@@ -1,0 +1,420 @@
+//! Code-coverage (invariance) analysis — paper §2.4.
+//!
+//! > "To identify whether a variable is invariant in the execution of the
+//! > code segment, our scheme performs a *code coverage analysis* to find
+//! > all basic blocks which are in the execution paths from the first
+//! > execution instance to the last execution instance of the code
+//! > segment. If the variable remains unchanged in all these basic blocks,
+//! > then it is invariant for the code segment."
+//!
+//! Invariant variables are dropped from the hash key ("An invariant never
+//! needs to be included in the hash key") — this is what turns the paper's
+//! `quan` example into a one-input segment: `power2` is initialized once
+//! at startup and never changes between `quan` executions.
+//!
+//! We implement a sound over-approximation of the coverage region:
+//!
+//! 1. a variable with **no definitions anywhere** is invariant;
+//! 2. otherwise, if **all** definitions sit in `main` and, within `main`'s
+//!    CFG, none is reachable *after* a call that can (transitively) reach
+//!    the segment's function, the variable is invariant — this covers the
+//!    ubiquitous "fill tables during startup, then run" pattern;
+//! 3. everything else is treated as varying (never wrongly invariant).
+
+use crate::usedef::{instr_effects, EffectCtx};
+use crate::vars::VarId;
+use crate::{Analyses, Segment};
+use flow::cfg::{Cfg, InstrKind};
+use minic::ast::{ExprKind, UnOp};
+use minic::sema::{Checked, Res};
+use std::collections::HashSet;
+
+/// Returns the subset of `candidates` that are invariant for `seg`.
+pub fn invariant_vars(
+    checked: &Checked,
+    an: &Analyses,
+    seg: &Segment,
+    candidates: &HashSet<VarId>,
+) -> HashSet<VarId> {
+    // Only globals can be invariant: parameters are (re)bound at every
+    // call without an explicit definition, and a local's definitions are
+    // necessarily inside its own function, where the segment lives.
+    let candidates: HashSet<VarId> = candidates
+        .iter()
+        .copied()
+        .filter(|v| matches!(v, VarId::Global(_)))
+        .collect();
+    let ever = an.modref.ever_modified();
+    let mut result: HashSet<VarId> = candidates
+        .iter()
+        .copied()
+        .filter(|v| !ever.contains(v))
+        .collect();
+
+    // Phase 2: init-before-use pattern. Only meaningful when the segment
+    // is not inside main itself.
+    let Some(&main_idx) = checked.info.func_index.get("main") else {
+        return result;
+    };
+    if seg.func == main_idx {
+        return result;
+    }
+
+    let remaining: Vec<VarId> = candidates
+        .iter()
+        .copied()
+        .filter(|v| !result.contains(v))
+        .collect();
+    if remaining.is_empty() {
+        return result;
+    }
+
+    // Definitions must be confined to main.
+    let confined: Vec<VarId> = remaining
+        .into_iter()
+        .filter(|v| {
+            an.modref
+                .direct_modifies
+                .iter()
+                .enumerate()
+                .all(|(fi, mods)| fi == main_idx || !mods.contains(v))
+        })
+        .collect();
+    if confined.is_empty() {
+        return result;
+    }
+
+    // Build main's CFG; find trigger blocks (instructions whose calls can
+    // reach the segment's function) and, per candidate, its def blocks.
+    let main_fn = &checked.program.funcs[main_idx];
+    let cfg = Cfg::build(&main_fn.body);
+    let ctx = an.effect_ctx(checked, main_idx);
+
+    // Which functions can reach the segment's function?
+    let reaches_seg: Vec<bool> = (0..checked.program.funcs.len())
+        .map(|f| an.cg.reachable_from(f).contains(&seg.func))
+        .collect();
+
+    // Per block: position of the first trigger instruction (if any), and
+    // per candidate the position of its last def instruction.
+    let mut trigger_first: Vec<Option<usize>> = vec![None; cfg.len()];
+    let mut def_positions: Vec<Vec<(VarId, usize)>> = vec![Vec::new(); cfg.len()];
+    for (bid, blk) in cfg.blocks.iter().enumerate() {
+        for (pos, instr) in blk.instrs.iter().enumerate() {
+            if trigger_first[bid].is_none() && instr_triggers(checked, &ctx, instr, &reaches_seg) {
+                trigger_first[bid] = Some(pos);
+            }
+            let fx = instr_effects(ctx, instr);
+            for v in fx.all_defs() {
+                if confined.contains(&v) {
+                    def_positions[bid].push((v, pos));
+                }
+            }
+        }
+    }
+
+    // Blocks reachable strictly after a trigger: successors of trigger
+    // blocks, transitively.
+    let g = cfg.graph();
+    let mut after: HashSet<usize> = HashSet::new();
+    let mut stack: Vec<usize> = Vec::new();
+    for (bid, t) in trigger_first.iter().enumerate() {
+        if t.is_some() {
+            stack.extend(g.succs(bid).iter().copied());
+        }
+    }
+    while let Some(b) = stack.pop() {
+        if after.insert(b) {
+            stack.extend(g.succs(b).iter().copied());
+        }
+    }
+
+    'cand: for v in confined {
+        for (bid, defs) in def_positions.iter().enumerate() {
+            for &(dv, pos) in defs {
+                if dv != v {
+                    continue;
+                }
+                // A def in a block reachable after some trigger: varies.
+                if after.contains(&bid) {
+                    continue 'cand;
+                }
+                // A def after a trigger within the same block: varies.
+                if let Some(tpos) = trigger_first[bid] {
+                    if pos >= tpos {
+                        continue 'cand;
+                    }
+                }
+            }
+        }
+        result.insert(v);
+    }
+    result
+}
+
+/// Whether an instruction may (transitively) trigger an execution of the
+/// segment's function.
+fn instr_triggers(
+    checked: &Checked,
+    ctx: &EffectCtx<'_>,
+    instr: &flow::cfg::Instr<'_>,
+    reaches_seg: &[bool],
+) -> bool {
+    let expr = match instr.kind {
+        InstrKind::Expr(e) | InstrKind::Cond(e) => Some(e),
+        InstrKind::Return(e) => e,
+        InstrKind::Decl(s) => match &s.kind {
+            minic::ast::StmtKind::Decl { init, .. } => init.as_ref(),
+            _ => None,
+        },
+        InstrKind::Memo(_) | InstrKind::Profile(_) => None,
+    };
+    let Some(expr) = expr else {
+        return false;
+    };
+    let mut triggers = false;
+    walk(expr, &mut |e| {
+        if let ExprKind::Call(callee, _) = &e.kind {
+            let mut c = callee.as_ref();
+            while let ExprKind::Unary(UnOp::Deref, inner) = &c.kind {
+                c = inner;
+            }
+            match checked.info.res.get(&c.id) {
+                Some(Res::Func(f)) => {
+                    if reaches_seg[*f] {
+                        triggers = true;
+                    }
+                }
+                Some(Res::Builtin(_)) => {}
+                _ => {
+                    // Indirect call: any may-callee reaching the segment.
+                    if ctx.callees[ctx.func].iter().any(|&f| reaches_seg[f]) {
+                        triggers = true;
+                    }
+                }
+            }
+        }
+    });
+    return triggers;
+
+    fn walk(e: &minic::ast::Expr, f: &mut impl FnMut(&minic::ast::Expr)) {
+        f(e);
+        match &e.kind {
+            ExprKind::Unary(_, a) | ExprKind::IncDec(_, a) | ExprKind::Cast(_, a) => walk(a, f),
+            ExprKind::Binary(_, a, b)
+            | ExprKind::Assign(a, b)
+            | ExprKind::AssignOp(_, a, b)
+            | ExprKind::Index(a, b) => {
+                walk(a, f);
+                walk(b, f);
+            }
+            ExprKind::Ternary(c, t, fl) => {
+                walk(c, f);
+                walk(t, f);
+                walk(fl, f);
+            }
+            ExprKind::Call(c, args) => {
+                walk(c, f);
+                for a in args {
+                    walk(a, f);
+                }
+            }
+            ExprKind::Member(a, _) | ExprKind::Arrow(a, _) => walk(a, f),
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::segments;
+
+    fn setup(src: &str) -> (minic::Checked, Analyses, Vec<Segment>) {
+        let checked = minic::compile(src).unwrap();
+        let an = Analyses::build(&checked);
+        let segs = segments::enumerate(&checked);
+        (checked, an, segs)
+    }
+
+    fn seg_named<'s>(segs: &'s [Segment], name: &str) -> &'s Segment {
+        segs.iter().find(|s| s.name == name).unwrap()
+    }
+
+    #[test]
+    fn never_written_global_is_invariant() {
+        let (checked, an, segs) = setup(
+            "int power2[15] = {1,2,4,8,16,32,64,128,256,512,1024,2048,4096,8192,16384};
+             int quan(int val) {
+                 int i;
+                 for (i = 0; i < 15; i++) if (val < power2[i]) break;
+                 return i;
+             }
+             int main() { return quan(5); }",
+        );
+        let seg = seg_named(&segs, "quan:body");
+        let cands: HashSet<VarId> = [VarId::Global(0)].into();
+        let inv = invariant_vars(&checked, &an, seg, &cands);
+        assert!(inv.contains(&VarId::Global(0)));
+    }
+
+    #[test]
+    fn init_before_first_call_is_invariant() {
+        // The paper's real G721 shape: a table filled during startup, then
+        // the hot function runs inside a loop.
+        let (checked, an, segs) = setup(
+            "int table[8];
+             int lookup(int v) {
+                 int i;
+                 for (i = 0; i < 8; i++) if (v < table[i]) break;
+                 return i;
+             }
+             int main() {
+                 for (int i = 0; i < 8; i++) table[i] = 1 << i;
+                 int s = 0;
+                 for (int k = 0; k < 100; k++) s += lookup(k % 9);
+                 return s;
+             }",
+        );
+        let seg = seg_named(&segs, "lookup:body");
+        let cands: HashSet<VarId> = [VarId::Global(0)].into();
+        let inv = invariant_vars(&checked, &an, seg, &cands);
+        assert!(
+            inv.contains(&VarId::Global(0)),
+            "table is filled before lookup ever runs"
+        );
+    }
+
+    #[test]
+    fn written_between_executions_is_not_invariant() {
+        let (checked, an, segs) = setup(
+            "int table[8];
+             int lookup(int v) {
+                 int i;
+                 for (i = 0; i < 8; i++) if (v < table[i]) break;
+                 return i;
+             }
+             int main() {
+                 int s = 0;
+                 for (int k = 0; k < 100; k++) {
+                     table[k % 8] = k;
+                     s += lookup(k % 9);
+                 }
+                 return s;
+             }",
+        );
+        let seg = seg_named(&segs, "lookup:body");
+        let cands: HashSet<VarId> = [VarId::Global(0)].into();
+        let inv = invariant_vars(&checked, &an, seg, &cands);
+        assert!(
+            !inv.contains(&VarId::Global(0)),
+            "table mutates between lookups"
+        );
+    }
+
+    #[test]
+    fn written_by_other_function_is_not_invariant() {
+        let (checked, an, segs) = setup(
+            "int g;
+             void clobber() { g = 1; }
+             int user(int v) { return v + g; }
+             int main() { clobber(); return user(2); }",
+        );
+        let seg = seg_named(&segs, "user:body");
+        let cands: HashSet<VarId> = [VarId::Global(0)].into();
+        let inv = invariant_vars(&checked, &an, seg, &cands);
+        assert!(!inv.contains(&VarId::Global(0)));
+    }
+
+    #[test]
+    fn segment_inside_main_uses_strict_rule() {
+        let (checked, an, segs) = setup(
+            "int g = 5;
+             int main() {
+                 int s = 0;
+                 g = 7;
+                 for (int i = 0; i < 10; i++) { s += g; }
+                 return s;
+             }",
+        );
+        let loop_seg = segs
+            .iter()
+            .find(|s| matches!(s.kind, crate::SegKind::LoopBody(_)))
+            .unwrap();
+        let cands: HashSet<VarId> = [VarId::Global(0)].into();
+        let inv = invariant_vars(&checked, &an, loop_seg, &cands);
+        assert!(!inv.contains(&VarId::Global(0)), "defs in main: varying");
+    }
+}
+
+#[cfg(test)]
+mod conservatism_tests {
+    use super::*;
+    use crate::segments;
+    use std::collections::HashSet;
+
+    /// Documented conservatism: tables initialized by a *helper* called
+    /// from main are not recognized as invariant (defs are not confined to
+    /// main). The scheme then keys on the table — slower but sound.
+    #[test]
+    fn helper_initialized_table_is_conservatively_varying() {
+        let checked = minic::compile(
+            "int table[8];
+             void init_tables() { for (int i = 0; i < 8; i++) table[i] = 1 << i; }
+             int lookup(int v) {
+                 int i;
+                 for (i = 0; i < 8; i++) if (v < table[i]) break;
+                 return i;
+             }
+             int main() {
+                 init_tables();
+                 int s = 0;
+                 for (int k = 0; k < 50; k++) s += lookup(k % 9);
+                 return s;
+             }",
+        )
+        .unwrap();
+        let an = crate::Analyses::build(&checked);
+        let segs = segments::enumerate(&checked);
+        let seg = segs.iter().find(|s| s.name == "lookup:body").unwrap();
+        let cands: HashSet<VarId> = [VarId::Global(0)].into();
+        let inv = invariant_vars(&checked, &an, seg, &cands);
+        assert!(
+            !inv.contains(&VarId::Global(0)),
+            "helper-initialized tables stay varying (conservative, sound)"
+        );
+        // The interface analysis then keys on the table contents.
+        let io = crate::inout::seg_io(&checked, &an, seg).unwrap();
+        assert_eq!(io.key_words, 9, "v + 8 table words");
+    }
+
+    /// A table written through a pointer alias in main (not by name) is
+    /// still detected as varying via the points-to-backed MOD sets.
+    #[test]
+    fn aliased_write_defeats_invariance() {
+        let checked = minic::compile(
+            "int table[8];
+             int lookup(int v) {
+                 int i;
+                 for (i = 0; i < 8; i++) if (v < table[i]) break;
+                 return i;
+             }
+             int main() {
+                 int *p = table;
+                 int s = 0;
+                 for (int k = 0; k < 50; k++) {
+                     p[k % 8] = k;
+                     s += lookup(k % 9);
+                 }
+                 return s;
+             }",
+        )
+        .unwrap();
+        let an = crate::Analyses::build(&checked);
+        let segs = segments::enumerate(&checked);
+        let seg = segs.iter().find(|s| s.name == "lookup:body").unwrap();
+        let cands: HashSet<VarId> = [VarId::Global(0)].into();
+        let inv = invariant_vars(&checked, &an, seg, &cands);
+        assert!(!inv.contains(&VarId::Global(0)), "alias write must count");
+    }
+}

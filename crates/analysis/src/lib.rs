@@ -1,0 +1,91 @@
+//! # analysis — compiler analyses for computation reuse
+//!
+//! The supporting-analysis layer of the `compreuse` workspace (a
+//! reproduction of Ding & Li, *A Compiler Scheme for Reusing Intermediate
+//! Computation Results*, CGO 2004). The paper lists the GCC modules it
+//! implemented; each has a counterpart here:
+//!
+//! | paper module | here |
+//! |---|---|
+//! | call graph construction (function pointers, recursion SCCs) | [`callgraph`] |
+//! | pointer analysis (unification-based, interprocedural) | [`pointsto`] |
+//! | control flow graph construction | `flow::cfg` |
+//! | def-use chains construction (global) | [`usedef`] + [`modref`] |
+//! | code segment analysis | [`segments`] |
+//! | — granularity analysis | [`granularity`] |
+//! | — hashing overhead analysis | [`granularity`] |
+//! | — code coverage analysis | [`invariance`] |
+//! | — array reference analysis for array input/output | [`inout`] |
+//!
+//! [`Analyses::build`] runs the whole-program analyses once; the
+//! per-segment queries ([`inout::seg_io`], [`granularity::seg_granularity`])
+//! answer the reuse pipeline's questions.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod callgraph;
+pub mod granularity;
+pub mod inout;
+pub mod invariance;
+pub mod modref;
+pub mod pointsto;
+pub mod segments;
+pub mod usedef;
+pub mod vars;
+
+pub use callgraph::CallGraph;
+pub use modref::ModRef;
+pub use pointsto::PointsTo;
+pub use segments::{Reject, SegKind, Segment};
+pub use vars::VarId;
+
+use minic::sema::Checked;
+
+/// All whole-program analysis results, built once per program.
+#[derive(Debug)]
+pub struct Analyses {
+    /// Call graph with recursion SCCs.
+    pub cg: CallGraph,
+    /// Points-to relation.
+    pub pts: PointsTo,
+    /// MOD/REF summaries.
+    pub modref: ModRef,
+    /// Transitive I/O flags per function.
+    pub io: Vec<bool>,
+}
+
+impl Analyses {
+    /// Runs the call-graph, pointer, and MOD/REF analyses.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// let checked = minic::compile("int main() { return 0; }").unwrap();
+    /// let an = analysis::Analyses::build(&checked);
+    /// assert_eq!(an.cg.callees.len(), 1);
+    /// ```
+    pub fn build(checked: &Checked) -> Analyses {
+        let cg = CallGraph::build(checked);
+        let pts = PointsTo::build(checked, &cg);
+        let modref = ModRef::build(checked, &cg, &pts);
+        let io = cg.io_closure();
+        Analyses {
+            cg,
+            pts,
+            modref,
+            io,
+        }
+    }
+
+    /// Effect-extraction context for `func`.
+    pub fn effect_ctx<'a>(&'a self, checked: &'a Checked, func: usize) -> usedef::EffectCtx<'a> {
+        usedef::EffectCtx {
+            checked,
+            pts: &self.pts,
+            modref: &self.modref,
+            callees: &self.cg.callees,
+            func,
+        }
+    }
+}

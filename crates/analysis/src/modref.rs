@@ -1,0 +1,537 @@
+//! Interprocedural MOD/REF summaries.
+//!
+//! For every function: which variables it may *modify* and which it may
+//! *reference*, directly or through any callee (the transitive closure the
+//! paper needs for its global def-use chains: "a definition in one
+//! procedure may be used in another procedure through pointers or global
+//! variables"). Through-pointer effects are resolved to concrete variables
+//! by the points-to analysis, so a callee writing `*p` where `p` points to
+//! the caller's local shows up as a modification of that local.
+
+use crate::callgraph::CallGraph;
+use crate::pointsto::PointsTo;
+use crate::vars::VarId;
+use minic::ast::{Expr, ExprKind, StmtKind, UnOp};
+use minic::sema::{Checked, Res};
+use std::collections::HashSet;
+
+/// Per-function MOD/REF sets over [`VarId`]s.
+#[derive(Debug)]
+pub struct ModRef {
+    /// Variables function `f` may write (transitively).
+    pub modifies: Vec<HashSet<VarId>>,
+    /// Variables function `f` may read (transitively).
+    pub refs: Vec<HashSet<VarId>>,
+    /// Variables function `f` writes *directly* (no callee effects) —
+    /// used by the code-coverage/invariance analysis to locate the
+    /// functions that actually contain definitions.
+    pub direct_modifies: Vec<HashSet<VarId>>,
+}
+
+impl ModRef {
+    /// Computes summaries by a fixpoint over the call graph.
+    pub fn build(checked: &Checked, cg: &CallGraph, pts: &PointsTo) -> ModRef {
+        let n = checked.program.funcs.len();
+        let mut modifies: Vec<HashSet<VarId>> = vec![HashSet::new(); n];
+        let mut refs: Vec<HashSet<VarId>> = vec![HashSet::new(); n];
+
+        // Direct effects.
+        for (fi, f) in checked.program.funcs.iter().enumerate() {
+            let mut col = Collector {
+                checked,
+                pts,
+                func: fi,
+                modifies: HashSet::new(),
+                refs: HashSet::new(),
+            };
+            col.block(&f.body);
+            modifies[fi] = col.modifies;
+            refs[fi] = col.refs;
+        }
+        let direct_modifies = modifies.clone();
+
+        // Transitive closure over the call graph.
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for fi in 0..n {
+                for &callee in &cg.callees[fi] {
+                    if callee == fi {
+                        continue;
+                    }
+                    let add_mod: Vec<VarId> = modifies[callee]
+                        .iter()
+                        .filter(|v| !modifies[fi].contains(v))
+                        .copied()
+                        .collect();
+                    let add_ref: Vec<VarId> = refs[callee]
+                        .iter()
+                        .filter(|v| !refs[fi].contains(v))
+                        .copied()
+                        .collect();
+                    if !add_mod.is_empty() || !add_ref.is_empty() {
+                        changed = true;
+                        modifies[fi].extend(add_mod);
+                        refs[fi].extend(add_ref);
+                    }
+                }
+            }
+        }
+        ModRef {
+            modifies,
+            refs,
+            direct_modifies,
+        }
+    }
+
+    /// All variables (any function's) that carry a write anywhere in the
+    /// program — the complement is "never modified", the cheap invariance
+    /// test.
+    pub fn ever_modified(&self) -> HashSet<VarId> {
+        let mut all = HashSet::new();
+        for m in &self.modifies {
+            all.extend(m.iter().copied());
+        }
+        all
+    }
+}
+
+struct Collector<'a> {
+    checked: &'a Checked,
+    pts: &'a PointsTo,
+    func: usize,
+    modifies: HashSet<VarId>,
+    refs: HashSet<VarId>,
+}
+
+impl<'a> Collector<'a> {
+    fn var(&self, e: &Expr) -> Option<VarId> {
+        VarId::of_expr(&self.checked.info, self.func, e)
+    }
+
+    fn block(&mut self, b: &minic::ast::Block) {
+        for s in &b.stmts {
+            self.stmt(s);
+        }
+    }
+
+    fn stmt(&mut self, s: &minic::ast::Stmt) {
+        match &s.kind {
+            StmtKind::Decl { init, .. } => {
+                if let Some(e) = init {
+                    self.read(e);
+                    if let Some(&slot) =
+                        self.checked.info.frames[self.func].decl_offsets.get(&s.id)
+                    {
+                        self.modifies.insert(VarId::Local {
+                            func: self.func,
+                            slot,
+                        });
+                    }
+                }
+            }
+            StmtKind::Expr(e) => self.read(e),
+            StmtKind::If {
+                cond,
+                then_blk,
+                else_blk,
+            } => {
+                self.read(cond);
+                self.block(then_blk);
+                if let Some(b) = else_blk {
+                    self.block(b);
+                }
+            }
+            StmtKind::While { cond, body } => {
+                self.read(cond);
+                self.block(body);
+            }
+            StmtKind::DoWhile { body, cond } => {
+                self.block(body);
+                self.read(cond);
+            }
+            StmtKind::For {
+                init,
+                cond,
+                step,
+                body,
+            } => {
+                if let Some(st) = init {
+                    self.stmt(st);
+                }
+                if let Some(e) = cond {
+                    self.read(e);
+                }
+                if let Some(e) = step {
+                    self.read(e);
+                }
+                self.block(body);
+            }
+            StmtKind::Return(Some(e)) => self.read(e),
+            StmtKind::Return(None) | StmtKind::Break | StmtKind::Continue => {}
+            StmtKind::Block(b) => self.block(b),
+            StmtKind::Profile(p) => self.block(&p.body),
+            StmtKind::Memo(m) => self.block(&m.body),
+        }
+    }
+
+    /// Records effects of evaluating `e` as an rvalue.
+    fn read(&mut self, e: &Expr) {
+        match &e.kind {
+            ExprKind::IntLit(_) | ExprKind::FloatLit(_) => {}
+            ExprKind::Var(_) => {
+                if let Some(v) = self.var(e) {
+                    self.refs.insert(v);
+                }
+            }
+            ExprKind::Unary(UnOp::Addr, lv) => {
+                // Taking an address reads nothing, but evaluate index
+                // expressions inside.
+                self.lvalue_subreads(lv);
+            }
+            ExprKind::Unary(UnOp::Deref, p) => {
+                self.read(p);
+                self.deref_targets(p, false);
+            }
+            ExprKind::Unary(_, a) | ExprKind::Cast(_, a) => self.read(a),
+            ExprKind::Binary(_, a, b) => {
+                self.read(a);
+                self.read(b);
+            }
+            ExprKind::IncDec(_, lv) => self.write(lv, true),
+            ExprKind::Assign(l, r) => {
+                self.read(r);
+                self.write(l, false);
+            }
+            ExprKind::AssignOp(_, l, r) => {
+                self.read(r);
+                self.write(l, true);
+            }
+            ExprKind::Ternary(c, t, f) => {
+                self.read(c);
+                self.read(t);
+                self.read(f);
+            }
+            ExprKind::Call(callee, args) => {
+                self.read_callee(callee);
+                for a in args {
+                    self.read(a);
+                }
+            }
+            ExprKind::Index(base, idx) => {
+                self.read(idx);
+                self.read_base_element(base);
+            }
+            ExprKind::Member(base, _) => {
+                // Reading s.f reads (part of) s.
+                self.read(base);
+            }
+            ExprKind::Arrow(base, _) => {
+                self.read(base);
+                self.deref_targets(base, false);
+            }
+        }
+    }
+
+    fn read_callee(&mut self, callee: &Expr) {
+        let mut c = callee;
+        while let ExprKind::Unary(UnOp::Deref, inner) = &c.kind {
+            c = inner;
+        }
+        if let ExprKind::Var(_) = &c.kind {
+            match self.checked.info.res.get(&c.id) {
+                Some(Res::Func(_)) | Some(Res::Builtin(_)) => return,
+                _ => {}
+            }
+        }
+        self.read(c);
+    }
+
+    /// Reading `base[...]`: reads the array/pointee variable(s).
+    fn read_base_element(&mut self, base: &Expr) {
+        match &base.kind {
+            ExprKind::Var(_) => {
+                if let Some(v) = self.var(base) {
+                    self.refs.insert(v);
+                    // If base is a pointer, also the pointees.
+                    self.deref_targets(base, false);
+                }
+            }
+            _ => {
+                self.read(base);
+                self.deref_targets(base, false);
+            }
+        }
+    }
+
+    /// Adds the points-to targets of pointer expression `p` to MOD (write)
+    /// or REF (read).
+    fn deref_targets(&mut self, p: &Expr, write: bool) {
+        let targets = self.pointer_targets(p);
+        if write {
+            self.modifies.extend(targets);
+        } else {
+            self.refs.extend(targets);
+        }
+    }
+
+    /// Conservative targets of a pointer-valued expression: the pointees of
+    /// the underlying pointer variable(s).
+    fn pointer_targets(&mut self, p: &Expr) -> Vec<VarId> {
+        match &p.kind {
+            ExprKind::Var(_) => match self.var(p) {
+                Some(v) => {
+                    let ty = self.checked.info.expr_types.get(&p.id);
+                    if matches!(ty, Some(minic::ast::Type::Array(..))) {
+                        vec![v] // decayed array: the target is the array
+                    } else {
+                        self.pts.pointees(v)
+                    }
+                }
+                None => Vec::new(),
+            },
+            ExprKind::Unary(UnOp::Addr, lv) => match &lv.kind {
+                ExprKind::Var(_) => self.var(lv).into_iter().collect(),
+                ExprKind::Index(base, _) => self.pointer_targets(base),
+                ExprKind::Member(base, _) => {
+                    // Address of a field: the base variable.
+                    let mut cur = base.as_ref();
+                    loop {
+                        match &cur.kind {
+                            ExprKind::Var(_) => return self.var(cur).into_iter().collect(),
+                            ExprKind::Member(b, _) => cur = b,
+                            _ => return Vec::new(),
+                        }
+                    }
+                }
+                _ => Vec::new(),
+            },
+            ExprKind::Binary(_, a, b) => {
+                let mut t = self.pointer_targets(a);
+                t.extend(self.pointer_targets(b));
+                t
+            }
+            ExprKind::Cast(_, a)
+            | ExprKind::IncDec(_, a)
+            | ExprKind::Assign(_, a)
+            | ExprKind::AssignOp(_, _, a) => self.pointer_targets(a),
+            ExprKind::Ternary(_, t, f) => {
+                let mut v = self.pointer_targets(t);
+                v.extend(self.pointer_targets(f));
+                v
+            }
+            _ => Vec::new(),
+        }
+    }
+
+    /// Evaluates the index/pointer sub-expressions of an lvalue without
+    /// treating the lvalue itself as read.
+    fn lvalue_subreads(&mut self, lv: &Expr) {
+        match &lv.kind {
+            ExprKind::Var(_) => {}
+            ExprKind::Unary(UnOp::Deref, p) => self.read(p),
+            ExprKind::Index(base, idx) => {
+                self.read(idx);
+                match &base.kind {
+                    ExprKind::Var(_) => {
+                        // Pointer bases are read to compute the address.
+                        let ty = self.checked.info.expr_types.get(&base.id);
+                        if matches!(ty, Some(minic::ast::Type::Ptr(_))) {
+                            self.read(base);
+                        }
+                    }
+                    _ => self.lvalue_subreads(base),
+                }
+            }
+            ExprKind::Member(base, _) => self.lvalue_subreads(base),
+            ExprKind::Arrow(base, _) => self.read(base),
+            _ => self.read(lv),
+        }
+    }
+
+    /// Records a write to lvalue `lv`; `also_read` for `op=`/`++`.
+    fn write(&mut self, lv: &Expr, also_read: bool) {
+        self.lvalue_subreads(lv);
+        if also_read {
+            self.read_target_of(lv);
+        }
+        match &lv.kind {
+            ExprKind::Var(_) => {
+                if let Some(v) = self.var(lv) {
+                    self.modifies.insert(v);
+                }
+            }
+            ExprKind::Unary(UnOp::Deref, p) => self.deref_targets(p, true),
+            ExprKind::Index(base, _) => match &base.kind {
+                ExprKind::Var(_) => {
+                    let ty = self.checked.info.expr_types.get(&base.id);
+                    if matches!(ty, Some(minic::ast::Type::Array(..))) {
+                        if let Some(v) = self.var(base) {
+                            self.modifies.insert(v);
+                        }
+                    } else {
+                        self.deref_targets(base, true);
+                    }
+                }
+                _ => {
+                    let targets = self.pointer_targets(base);
+                    self.modifies.extend(targets);
+                }
+            },
+            ExprKind::Member(base, _) => {
+                // Writing s.f writes s.
+                let mut cur = base.as_ref();
+                loop {
+                    match &cur.kind {
+                        ExprKind::Var(_) => {
+                            if let Some(v) = self.var(cur) {
+                                self.modifies.insert(v);
+                            }
+                            break;
+                        }
+                        ExprKind::Member(b, _) => cur = b,
+                        _ => {
+                            self.read(cur);
+                            break;
+                        }
+                    }
+                }
+            }
+            ExprKind::Arrow(base, _) => self.deref_targets(base, true),
+            _ => self.read(lv),
+        }
+    }
+
+    /// The read half of a read-modify-write.
+    fn read_target_of(&mut self, lv: &Expr) {
+        match &lv.kind {
+            ExprKind::Var(_) => {
+                if let Some(v) = self.var(lv) {
+                    self.refs.insert(v);
+                }
+            }
+            ExprKind::Unary(UnOp::Deref, p) | ExprKind::Arrow(p, _) => {
+                self.deref_targets(p, false)
+            }
+            ExprKind::Index(base, _) => self.read_base_element(base),
+            ExprKind::Member(base, _) => self.read(base),
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn build(src: &str) -> (minic::Checked, ModRef) {
+        let checked = minic::compile(src).unwrap();
+        let cg = CallGraph::build(&checked);
+        let pts = PointsTo::build(&checked, &cg);
+        let mr = ModRef::build(&checked, &cg, &pts);
+        (checked, mr)
+    }
+
+    #[test]
+    fn direct_global_effects() {
+        let (checked, mr) = build(
+            "int g; int h;
+             void writer() { g = 1; }
+             int reader() { return h; }
+             int main() { writer(); return reader(); }",
+        );
+        let w = checked.info.func_index["writer"];
+        let r = checked.info.func_index["reader"];
+        assert!(mr.modifies[w].contains(&VarId::Global(0)));
+        assert!(!mr.modifies[w].contains(&VarId::Global(1)));
+        assert!(mr.refs[r].contains(&VarId::Global(1)));
+        assert!(!mr.modifies[r].contains(&VarId::Global(1)));
+    }
+
+    #[test]
+    fn transitive_closure_through_calls() {
+        let (checked, mr) = build(
+            "int g;
+             void leaf() { g = 1; }
+             void mid() { leaf(); }
+             int main() { mid(); return g; }",
+        );
+        let main = checked.info.func_index["main"];
+        let mid = checked.info.func_index["mid"];
+        assert!(mr.modifies[mid].contains(&VarId::Global(0)));
+        assert!(mr.modifies[main].contains(&VarId::Global(0)));
+        assert!(mr.refs[main].contains(&VarId::Global(0)));
+    }
+
+    #[test]
+    fn through_pointer_write_hits_callers_local() {
+        let (checked, mr) = build(
+            "void set(int *p) { *p = 9; }
+             int main() { int x = 0; set(&x); return x; }",
+        );
+        let set = checked.info.func_index["set"];
+        let main = checked.info.func_index["main"];
+        assert!(
+            mr.modifies[set].contains(&VarId::Local { func: main, slot: 0 }),
+            "callee writes the caller's local through the pointer: {:?}",
+            mr.modifies[set]
+        );
+    }
+
+    #[test]
+    fn array_writes_are_weak_whole_array_mods() {
+        let (checked, mr) = build(
+            "int buf[16];
+             void fill() { for (int i = 0; i < 16; i++) buf[i] = i; }
+             int main() { fill(); return buf[3]; }",
+        );
+        let fill = checked.info.func_index["fill"];
+        assert!(mr.modifies[fill].contains(&VarId::Global(0)));
+        assert!(!mr.refs[fill].contains(&VarId::Global(0)), "write only");
+    }
+
+    #[test]
+    fn ever_modified_excludes_readonly_tables() {
+        let (_, mr) = build(
+            "int power2[15] = {1,2,4,8,16,32,64,128,256,512,1024,2048,4096,8192,16384};
+             int scratch;
+             int quan(int val) {
+                 int i;
+                 for (i = 0; i < 15; i++) if (val < power2[i]) break;
+                 return i;
+             }
+             int main() { scratch = quan(5); return scratch; }",
+        );
+        let modified = mr.ever_modified();
+        assert!(
+            !modified.contains(&VarId::Global(0)),
+            "power2 is never written"
+        );
+        assert!(modified.contains(&VarId::Global(1)));
+    }
+
+    #[test]
+    fn recursive_functions_converge() {
+        let (checked, mr) = build(
+            "int g;
+             int even(int n) { if (n == 0) { g = 1; return 1; } return odd(n - 1); }
+             int odd(int n) { if (n == 0) return 0; return even(n - 1); }
+             int main() { return even(4); }",
+        );
+        let odd = checked.info.func_index["odd"];
+        assert!(mr.modifies[odd].contains(&VarId::Global(0)));
+    }
+
+    #[test]
+    fn struct_member_write_mods_whole_struct() {
+        let (checked, mr) = build(
+            "struct pt { int x; int y; };
+             struct pt origin;
+             void move_x() { origin.x = origin.x + 1; }
+             int main() { move_x(); return origin.y; }",
+        );
+        let mv = checked.info.func_index["move_x"];
+        assert!(mr.modifies[mv].contains(&VarId::Global(0)));
+        assert!(mr.refs[mv].contains(&VarId::Global(0)));
+    }
+}

@@ -1,0 +1,566 @@
+//! Unification-based (Steensgaard-style) pointer analysis — the paper's
+//! "pointer analysis" module, after its citation of Das's unification
+//! approach. Flow- and context-insensitive, field- and element-insensitive
+//! (a struct or array is one abstract location), interprocedural ("we can
+//! analyze a local pointer in one procedure which points to a local
+//! variable in another procedure").
+
+use crate::callgraph::CallGraph;
+use crate::vars::VarId;
+use minic::ast::{Expr, ExprKind, StmtKind, Type, UnOp};
+use minic::sema::{Checked, Res};
+use std::collections::HashMap;
+
+/// The points-to relation over equivalence classes of locations.
+#[derive(Debug)]
+pub struct PointsTo {
+    parent: Vec<usize>,
+    /// Pointee class of each class (on representatives).
+    pts: Vec<Option<usize>>,
+    /// Concrete variables in each class (on representatives).
+    members: Vec<Vec<VarId>>,
+    var_node: HashMap<VarId, usize>,
+    /// Return-value class per function.
+    ret_node: Vec<usize>,
+}
+
+impl PointsTo {
+    /// Runs the analysis over a checked program, using `cg` to bind
+    /// actuals to formals at (direct and indirect) call sites.
+    pub fn build(checked: &Checked, cg: &CallGraph) -> PointsTo {
+        let mut p = PointsTo {
+            parent: Vec::new(),
+            pts: Vec::new(),
+            members: Vec::new(),
+            var_node: HashMap::new(),
+            ret_node: Vec::new(),
+        };
+        for _ in 0..checked.program.funcs.len() {
+            let n = p.fresh();
+            p.ret_node.push(n);
+        }
+        let mut an = Analyzer {
+            p: &mut p,
+            checked,
+            cg,
+            func: 0,
+        };
+        // Global initializers carry no pointers (sema restricts them to
+        // int/float constants), so only function bodies matter.
+        for (fi, f) in checked.program.funcs.iter().enumerate() {
+            an.func = fi;
+            an.block(&f.body);
+        }
+        p
+    }
+
+    /// The variables a pointer variable may point to. Empty when `v` has
+    /// no pointer uses (or is not a pointer).
+    pub fn pointees(&self, v: VarId) -> Vec<VarId> {
+        let Some(&node) = self.var_node.get(&v) else {
+            return Vec::new();
+        };
+        let r = self.find(node);
+        match self.pts[r] {
+            Some(t) => {
+                let tr = self.find(t);
+                let mut m = self.members[tr].clone();
+                m.sort_unstable();
+                m.dedup();
+                m
+            }
+            None => Vec::new(),
+        }
+    }
+
+    /// Whether `a` and `b` may alias (same class, or one's pointees
+    /// intersect the other). Conservative for whole variables.
+    pub fn may_alias(&self, a: VarId, b: VarId) -> bool {
+        if a == b {
+            return true;
+        }
+        let pa = self.pointees(a);
+        let pb = self.pointees(b);
+        pa.contains(&b) || pb.contains(&a) || pa.iter().any(|x| pb.contains(x))
+    }
+
+    // -- union-find plumbing --
+
+    fn fresh(&mut self) -> usize {
+        self.parent.push(self.parent.len());
+        self.pts.push(None);
+        self.members.push(Vec::new());
+        self.parent.len() - 1
+    }
+
+    fn node_of(&mut self, v: VarId) -> usize {
+        if let Some(&n) = self.var_node.get(&v) {
+            return n;
+        }
+        let n = self.fresh();
+        self.members[n].push(v);
+        self.var_node.insert(v, n);
+        n
+    }
+
+    fn find(&self, mut x: usize) -> usize {
+        while self.parent[x] != x {
+            x = self.parent[x];
+        }
+        x
+    }
+
+    fn find_compress(&mut self, x: usize) -> usize {
+        let r = self.find(x);
+        let mut cur = x;
+        while self.parent[cur] != r {
+            let next = self.parent[cur];
+            self.parent[cur] = r;
+            cur = next;
+        }
+        r
+    }
+
+    /// Unifies two classes, cascading into their pointee classes.
+    fn unify(&mut self, a: usize, b: usize) {
+        let ra = self.find_compress(a);
+        let rb = self.find_compress(b);
+        if ra == rb {
+            return;
+        }
+        self.parent[rb] = ra;
+        let moved = std::mem::take(&mut self.members[rb]);
+        self.members[ra].extend(moved);
+        match (self.pts[ra], self.pts[rb]) {
+            (Some(x), Some(y)) => {
+                self.pts[ra] = Some(x);
+                self.unify(x, y);
+            }
+            (None, Some(y)) => self.pts[ra] = Some(y),
+            _ => {}
+        }
+    }
+
+    /// The pointee class of `c`, created on demand.
+    fn pts_class(&mut self, c: usize) -> usize {
+        let r = self.find_compress(c);
+        if let Some(t) = self.pts[r] {
+            return self.find_compress(t);
+        }
+        let t = self.fresh();
+        self.pts[r] = Some(t);
+        t
+    }
+}
+
+struct Analyzer<'a> {
+    p: &'a mut PointsTo,
+    checked: &'a Checked,
+    cg: &'a CallGraph,
+    func: usize,
+}
+
+impl<'a> Analyzer<'a> {
+    fn is_ptr_like(&self, e: &Expr) -> bool {
+        matches!(
+            self.checked.info.expr_types.get(&e.id),
+            Some(Type::Ptr(_)) | Some(Type::Array(..)) | Some(Type::Func(_))
+        )
+    }
+
+    fn block(&mut self, b: &minic::ast::Block) {
+        for s in &b.stmts {
+            self.stmt(s);
+        }
+    }
+
+    fn stmt(&mut self, s: &minic::ast::Stmt) {
+        match &s.kind {
+            StmtKind::Decl { ty, init, .. } => {
+                if let Some(e) = init {
+                    self.expr(e);
+                    if matches!(ty, Type::Ptr(_) | Type::Func(_)) {
+                        let slot = self.checked.info.frames[self.func].decl_offsets[&s.id];
+                        let lhs = self.p.node_of(VarId::Local {
+                            func: self.func,
+                            slot,
+                        });
+                        if let Some(rc) = self.ptr_class(e) {
+                            let lp = self.p.pts_class(lhs);
+                            let rp = self.p.pts_class(rc);
+                            self.p.unify(lp, rp);
+                        }
+                    }
+                }
+            }
+            StmtKind::Expr(e) => {
+                self.expr(e);
+            }
+            StmtKind::If {
+                cond,
+                then_blk,
+                else_blk,
+            } => {
+                self.expr(cond);
+                self.block(then_blk);
+                if let Some(b) = else_blk {
+                    self.block(b);
+                }
+            }
+            StmtKind::While { cond, body } => {
+                self.expr(cond);
+                self.block(body);
+            }
+            StmtKind::DoWhile { body, cond } => {
+                self.block(body);
+                self.expr(cond);
+            }
+            StmtKind::For {
+                init,
+                cond,
+                step,
+                body,
+            } => {
+                if let Some(st) = init {
+                    self.stmt(st);
+                }
+                if let Some(e) = cond {
+                    self.expr(e);
+                }
+                if let Some(e) = step {
+                    self.expr(e);
+                }
+                self.block(body);
+            }
+            StmtKind::Return(Some(e)) => {
+                self.expr(e);
+                if self.is_ptr_like(e) {
+                    if let Some(rc) = self.ptr_class(e) {
+                        let ret = self.p.ret_node[self.func];
+                        let a = self.p.pts_class(ret);
+                        let b = self.p.pts_class(rc);
+                        self.p.unify(a, b);
+                    }
+                }
+            }
+            StmtKind::Return(None) | StmtKind::Break | StmtKind::Continue => {}
+            StmtKind::Block(b) => self.block(b),
+            StmtKind::Profile(p) => self.block(&p.body),
+            StmtKind::Memo(m) => self.block(&m.body),
+        }
+    }
+
+    /// Walks an expression, processing assignments and call bindings.
+    fn expr(&mut self, e: &Expr) {
+        match &e.kind {
+            ExprKind::Assign(l, r) | ExprKind::AssignOp(_, l, r) => {
+                self.expr(l);
+                self.expr(r);
+                if self.is_ptr_like(r) || self.is_ptr_like(l) {
+                    self.assign(l, r);
+                }
+            }
+            ExprKind::Call(callee, args) => {
+                self.expr(callee);
+                for a in args {
+                    self.expr(a);
+                }
+                self.bind_call(callee, args);
+            }
+            _ => {
+                // Recurse generically.
+                match &e.kind {
+                    ExprKind::Unary(_, a) | ExprKind::IncDec(_, a) | ExprKind::Cast(_, a) => {
+                        self.expr(a)
+                    }
+                    ExprKind::Binary(_, a, b) | ExprKind::Index(a, b) => {
+                        self.expr(a);
+                        self.expr(b);
+                    }
+                    ExprKind::Ternary(c, t, f) => {
+                        self.expr(c);
+                        self.expr(t);
+                        self.expr(f);
+                    }
+                    ExprKind::Member(a, _) | ExprKind::Arrow(a, _) => self.expr(a),
+                    _ => {}
+                }
+            }
+        }
+    }
+
+    /// `lhs = rhs` where a pointer value may flow.
+    fn assign(&mut self, lhs: &Expr, rhs: &Expr) {
+        let Some(lc) = self.place_class(lhs) else {
+            return;
+        };
+        let Some(rc) = self.ptr_class(rhs) else {
+            return;
+        };
+        let lp = self.p.pts_class(lc);
+        let rp = self.p.pts_class(rc);
+        self.p.unify(lp, rp);
+    }
+
+    /// Class of the cells denoted by an lvalue.
+    fn place_class(&mut self, lv: &Expr) -> Option<usize> {
+        match &lv.kind {
+            ExprKind::Var(_) => {
+                let v = VarId::of_expr(&self.checked.info, self.func, lv)?;
+                Some(self.p.node_of(v))
+            }
+            ExprKind::Unary(UnOp::Deref, p) => {
+                let pc = self.ptr_class(p)?;
+                Some(self.p.pts_class(pc))
+            }
+            ExprKind::Index(base, _) => {
+                let bc = self.ptr_class(base)?;
+                Some(self.p.pts_class(bc))
+            }
+            // Field-insensitive: a member is its base.
+            ExprKind::Member(base, _) => self.place_class(base),
+            ExprKind::Arrow(base, _) => {
+                let bc = self.ptr_class(base)?;
+                Some(self.p.pts_class(bc))
+            }
+            _ => None,
+        }
+    }
+
+    /// Class representing a pointer-valued expression: dereferencing the
+    /// value yields members of `pts(class)`.
+    fn ptr_class(&mut self, e: &Expr) -> Option<usize> {
+        match &e.kind {
+            ExprKind::Var(_) => {
+                match self.checked.info.res.get(&e.id)? {
+                    Res::Func(_) => {
+                        // A function value carries no data pointees.
+                        None
+                    }
+                    _ => {
+                        let v = VarId::of_expr(&self.checked.info, self.func, e)?;
+                        let ty = self.checked.info.expr_types.get(&e.id)?;
+                        if matches!(ty, Type::Array(..)) {
+                            // Array decay: value points at the array itself.
+                            let node = self.p.node_of(v);
+                            let a = self.p.fresh();
+                            let ap = self.p.pts_class(a);
+                            self.p.unify(ap, node);
+                            Some(a)
+                        } else {
+                            Some(self.p.node_of(v))
+                        }
+                    }
+                }
+            }
+            ExprKind::Unary(UnOp::Addr, lv) => {
+                let lc = self.place_class(lv)?;
+                let a = self.p.fresh();
+                let ap = self.p.pts_class(a);
+                self.p.unify(ap, lc);
+                Some(a)
+            }
+            ExprKind::Unary(UnOp::Deref, q) => {
+                let qc = self.ptr_class(q)?;
+                Some(self.p.pts_class(qc))
+            }
+            ExprKind::Index(base, _) => {
+                // arr[i] as a pointer value (element of pointer array) or
+                // decayed sub-array: its cells live in pts(base).
+                let bc = self.ptr_class(base)?;
+                Some(self.p.pts_class(bc))
+            }
+            ExprKind::Member(base, _) => self.place_class(base),
+            ExprKind::Arrow(base, _) => {
+                let bc = self.ptr_class(base)?;
+                Some(self.p.pts_class(bc))
+            }
+            ExprKind::Binary(_, a, b) => {
+                // Pointer arithmetic: the value stays within the same
+                // object; take whichever side is pointer-like.
+                if self.is_ptr_like(a) {
+                    self.ptr_class(a)
+                } else {
+                    self.ptr_class(b)
+                }
+            }
+            ExprKind::Ternary(_, t, f) => match (self.ptr_class(t), self.ptr_class(f)) {
+                (Some(a), Some(b)) => {
+                    self.p.unify(a, b);
+                    Some(a)
+                }
+                (a, b) => a.or(b),
+            },
+            ExprKind::Assign(_, r) | ExprKind::AssignOp(_, _, r) => self.ptr_class(r),
+            ExprKind::IncDec(_, lv) => self.ptr_class(lv),
+            ExprKind::Cast(_, a) => self.ptr_class(a),
+            ExprKind::Call(callee, _) => {
+                let mut nodes = Vec::new();
+                for target in self.may_callees(callee) {
+                    nodes.push(self.p.ret_node[target]);
+                }
+                let mut iter = nodes.into_iter();
+                let first = iter.next()?;
+                for n in iter {
+                    self.p.unify(first, n);
+                }
+                Some(first)
+            }
+            ExprKind::IntLit(_) | ExprKind::FloatLit(_) | ExprKind::Unary(..) => None,
+        }
+    }
+
+    fn may_callees(&self, callee: &Expr) -> Vec<usize> {
+        let mut c = callee;
+        while let ExprKind::Unary(UnOp::Deref, inner) = &c.kind {
+            c = inner;
+        }
+        if let ExprKind::Var(_) = &c.kind {
+            if let Some(Res::Func(f)) = self.checked.info.res.get(&c.id) {
+                return vec![*f];
+            }
+            if let Some(Res::Builtin(_)) = self.checked.info.res.get(&c.id) {
+                return vec![];
+            }
+        }
+        // Indirect: reuse the call graph's conservative resolution (all
+        // matching address-taken functions of the caller's callee set).
+        self.cg.callees[self.func].clone()
+    }
+
+    /// Binds pointer-typed actuals to formals for every may-callee.
+    fn bind_call(&mut self, callee: &Expr, args: &[Expr]) {
+        let targets = self.may_callees(callee);
+        for target in targets {
+            let f = &self.checked.program.funcs[target];
+            let frame = &self.checked.info.frames[target];
+            for ((param, &slot), arg) in f.params.iter().zip(&frame.param_offsets).zip(args) {
+                if matches!(param.ty, Type::Ptr(_) | Type::Func(_)) {
+                    if let Some(ac) = self.ptr_class(arg) {
+                        let formal = self.p.node_of(VarId::Local {
+                            func: target,
+                            slot,
+                        });
+                        let fp = self.p.pts_class(formal);
+                        let ap = self.p.pts_class(ac);
+                        self.p.unify(fp, ap);
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pts_of(src: &str, func: &str, var_slot: usize) -> (minic::Checked, Vec<VarId>) {
+        let checked = minic::compile(src).unwrap();
+        let cg = CallGraph::build(&checked);
+        let p = PointsTo::build(&checked, &cg);
+        let fi = checked.info.func_index[func];
+        let pointees = p.pointees(VarId::Local {
+            func: fi,
+            slot: var_slot,
+        });
+        (checked, pointees)
+    }
+
+    #[test]
+    fn address_of_local() {
+        let (checked, pts) = pts_of(
+            "int main() { int x; int *p = &x; *p = 3; return x; }",
+            "main",
+            1, // p is the second slot
+        );
+        let main = checked.info.func_index["main"];
+        assert_eq!(pts, vec![VarId::Local { func: main, slot: 0 }]);
+    }
+
+    #[test]
+    fn array_decay_points_to_array() {
+        let (_, pts) = pts_of(
+            "int table[8];
+             int main() { int *p = table; return *p; }",
+            "main",
+            0,
+        );
+        assert_eq!(pts, vec![VarId::Global(0)]);
+    }
+
+    #[test]
+    fn copy_merges_pointees() {
+        let (checked, pts) = pts_of(
+            "int a; int b;
+             int main() { int *p = &a; int *q = &b; p = q; return *p; }",
+            "main",
+            0, // p
+        );
+        // Unification: p and q end up pointing into {a, b}.
+        assert!(pts.contains(&VarId::Global(0)));
+        assert!(pts.contains(&VarId::Global(1)));
+        let _ = checked;
+    }
+
+    #[test]
+    fn interprocedural_param_binding() {
+        // The paper's claim: a local pointer in one procedure pointing to
+        // a local variable in another procedure.
+        let src = "void set(int *p) { *p = 42; }
+             int main() { int x = 0; set(&x); return x; }";
+        let checked = minic::compile(src).unwrap();
+        let cg = CallGraph::build(&checked);
+        let p = PointsTo::build(&checked, &cg);
+        let set = checked.info.func_index["set"];
+        let main = checked.info.func_index["main"];
+        let pointees = p.pointees(VarId::Local { func: set, slot: 0 });
+        assert_eq!(pointees, vec![VarId::Local { func: main, slot: 0 }]);
+    }
+
+    #[test]
+    fn quan_table_param_points_to_power2() {
+        // The paper's original quan(val, table, size): `table` must be seen
+        // to point to the global passed at the call site.
+        let src = "
+            int power2[15];
+            int quan(int val, int *table, int size) {
+                int i;
+                for (i = 0; i < size; i++)
+                    if (val < *(table + i))
+                        break;
+                return i;
+            }
+            int main() { return quan(7, power2, 15); }";
+        let checked = minic::compile(src).unwrap();
+        let cg = CallGraph::build(&checked);
+        let p = PointsTo::build(&checked, &cg);
+        let quan = checked.info.func_index["quan"];
+        let pointees = p.pointees(VarId::Local { func: quan, slot: 1 });
+        assert_eq!(pointees, vec![VarId::Global(0)]);
+    }
+
+    #[test]
+    fn unrelated_pointers_do_not_alias() {
+        let src = "int a; int b;
+             int main() { int *p = &a; int *q = &b; return *p + *q; }";
+        let checked = minic::compile(src).unwrap();
+        let cg = CallGraph::build(&checked);
+        let pts = PointsTo::build(&checked, &cg);
+        let main = checked.info.func_index["main"];
+        let p = VarId::Local { func: main, slot: 0 };
+        let q = VarId::Local { func: main, slot: 1 };
+        assert!(!pts.may_alias(p, q));
+        assert!(pts.may_alias(p, VarId::Global(0)));
+        assert!(!pts.may_alias(p, VarId::Global(1)));
+    }
+
+    #[test]
+    fn returned_pointer_flows_to_caller() {
+        let src = "int g;
+             int *get() { return &g; }
+             int main() { int *p = get(); return *p; }";
+        let (_, pts) = pts_of(src, "main", 0);
+        assert_eq!(pts, vec![VarId::Global(0)]);
+    }
+}

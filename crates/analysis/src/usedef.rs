@@ -1,0 +1,591 @@
+//! Per-instruction use/def extraction (the paper's "def-use chains
+//! construction", made global by resolving pointer dereferences with the
+//! points-to analysis and call effects with the MOD/REF summaries).
+//!
+//! A *strong* definition overwrites a whole scalar variable and kills
+//! prior values; writes to arrays, struct members, and through pointers
+//! are *weak* (may-writes) and kill nothing.
+
+use crate::modref::ModRef;
+use crate::pointsto::PointsTo;
+use crate::vars::VarId;
+use flow::cfg::{Instr, InstrKind};
+use minic::ast::{Expr, ExprKind, StmtKind, Type, UnOp};
+use minic::sema::{Checked, Res};
+use std::collections::HashSet;
+
+/// Use/def sets of one instruction.
+#[derive(Debug, Clone, Default)]
+pub struct Effects {
+    /// Variables possibly read.
+    pub uses: HashSet<VarId>,
+    /// Scalar variables definitely overwritten.
+    pub strong_defs: HashSet<VarId>,
+    /// Variables possibly (partially) written.
+    pub weak_defs: HashSet<VarId>,
+}
+
+impl Effects {
+    /// All definitions, strong and weak.
+    pub fn all_defs(&self) -> impl Iterator<Item = VarId> + '_ {
+        self.strong_defs.iter().chain(self.weak_defs.iter()).copied()
+    }
+}
+
+/// Context shared by effect extraction.
+#[derive(Debug, Clone, Copy)]
+pub struct EffectCtx<'a> {
+    /// The checked program.
+    pub checked: &'a Checked,
+    /// Points-to results.
+    pub pts: &'a PointsTo,
+    /// MOD/REF summaries.
+    pub modref: &'a ModRef,
+    /// May-callees per function (for indirect call effects).
+    pub callees: &'a [Vec<usize>],
+    /// The function being analyzed.
+    pub func: usize,
+}
+
+/// Effects of a CFG instruction.
+pub fn instr_effects(ctx: EffectCtx<'_>, instr: &Instr<'_>) -> Effects {
+    let mut fx = Effects::default();
+    match instr.kind {
+        InstrKind::Decl(stmt) => {
+            if let StmtKind::Decl { init: Some(e), .. } = &stmt.kind {
+                expr_effects(ctx, e, &mut fx);
+                if let Some(&slot) =
+                    ctx.checked.info.frames[ctx.func].decl_offsets.get(&stmt.id)
+                {
+                    fx.strong_defs.insert(VarId::Local {
+                        func: ctx.func,
+                        slot,
+                    });
+                }
+            }
+        }
+        InstrKind::Expr(e) | InstrKind::Cond(e) => expr_effects(ctx, e, &mut fx),
+        InstrKind::Return(Some(e)) => expr_effects(ctx, e, &mut fx),
+        InstrKind::Return(None) => {}
+        InstrKind::Memo(m) => {
+            // Opaque: uses its inputs, weakly defines its outputs, plus the
+            // body's effects (a miss runs it).
+            for s in &m.body.stmts {
+                stmt_effects_rec(ctx, s, &mut fx);
+            }
+        }
+        InstrKind::Profile(p) => {
+            for s in &p.body.stmts {
+                stmt_effects_rec(ctx, s, &mut fx);
+            }
+        }
+    }
+    fx
+}
+
+fn stmt_effects_rec(ctx: EffectCtx<'_>, s: &minic::ast::Stmt, fx: &mut Effects) {
+    // For opaque bodies we only need conservative aggregate effects: all
+    // defs become weak.
+    match &s.kind {
+        StmtKind::Decl { init, .. } => {
+            if let Some(e) = init {
+                expr_effects(ctx, e, fx);
+            }
+        }
+        StmtKind::Expr(e) => expr_effects(ctx, e, fx),
+        StmtKind::If {
+            cond,
+            then_blk,
+            else_blk,
+        } => {
+            expr_effects(ctx, cond, fx);
+            for s in &then_blk.stmts {
+                stmt_effects_rec(ctx, s, fx);
+            }
+            if let Some(b) = else_blk {
+                for s in &b.stmts {
+                    stmt_effects_rec(ctx, s, fx);
+                }
+            }
+        }
+        StmtKind::While { cond, body } | StmtKind::DoWhile { body, cond } => {
+            expr_effects(ctx, cond, fx);
+            for s in &body.stmts {
+                stmt_effects_rec(ctx, s, fx);
+            }
+        }
+        StmtKind::For {
+            init,
+            cond,
+            step,
+            body,
+        } => {
+            if let Some(st) = init {
+                stmt_effects_rec(ctx, st, fx);
+            }
+            if let Some(e) = cond {
+                expr_effects(ctx, e, fx);
+            }
+            if let Some(e) = step {
+                expr_effects(ctx, e, fx);
+            }
+            for s in &body.stmts {
+                stmt_effects_rec(ctx, s, fx);
+            }
+        }
+        StmtKind::Return(Some(e)) => expr_effects(ctx, e, fx),
+        StmtKind::Return(None) | StmtKind::Break | StmtKind::Continue => {}
+        StmtKind::Block(b) => {
+            for s in &b.stmts {
+                stmt_effects_rec(ctx, s, fx);
+            }
+        }
+        StmtKind::Profile(p) => {
+            for s in &p.body.stmts {
+                stmt_effects_rec(ctx, s, fx);
+            }
+        }
+        StmtKind::Memo(m) => {
+            for s in &m.body.stmts {
+                stmt_effects_rec(ctx, s, fx);
+            }
+        }
+    }
+}
+
+/// Effects of evaluating `e` as an rvalue (recursive).
+pub fn expr_effects(ctx: EffectCtx<'_>, e: &Expr, fx: &mut Effects) {
+    match &e.kind {
+        ExprKind::IntLit(_) | ExprKind::FloatLit(_) => {}
+        ExprKind::Var(_) => {
+            if let Some(v) = VarId::of_expr(&ctx.checked.info, ctx.func, e) {
+                fx.uses.insert(v);
+            }
+        }
+        ExprKind::Unary(UnOp::Addr, lv) => lvalue_subreads(ctx, lv, fx),
+        ExprKind::Unary(UnOp::Deref, p) => {
+            expr_effects(ctx, p, fx);
+            for t in pointer_targets(ctx, p) {
+                fx.uses.insert(t);
+            }
+        }
+        ExprKind::Unary(_, a) | ExprKind::Cast(_, a) => expr_effects(ctx, a, fx),
+        ExprKind::Binary(_, a, b) => {
+            expr_effects(ctx, a, fx);
+            expr_effects(ctx, b, fx);
+        }
+        ExprKind::IncDec(_, lv) => write_lvalue(ctx, lv, true, fx),
+        ExprKind::Assign(l, r) => {
+            expr_effects(ctx, r, fx);
+            write_lvalue(ctx, l, false, fx);
+        }
+        ExprKind::AssignOp(_, l, r) => {
+            expr_effects(ctx, r, fx);
+            write_lvalue(ctx, l, true, fx);
+        }
+        ExprKind::Ternary(c, t, f) => {
+            expr_effects(ctx, c, fx);
+            expr_effects(ctx, t, fx);
+            expr_effects(ctx, f, fx);
+        }
+        ExprKind::Call(callee, args) => {
+            for a in args {
+                expr_effects(ctx, a, fx);
+            }
+            call_effects(ctx, callee, fx);
+        }
+        ExprKind::Index(base, idx) => {
+            expr_effects(ctx, idx, fx);
+            read_indexed(ctx, base, fx);
+        }
+        ExprKind::Member(base, _) => expr_effects(ctx, base, fx),
+        ExprKind::Arrow(base, _) => {
+            expr_effects(ctx, base, fx);
+            for t in pointer_targets(ctx, base) {
+                fx.uses.insert(t);
+            }
+        }
+    }
+}
+
+fn read_indexed(ctx: EffectCtx<'_>, base: &Expr, fx: &mut Effects) {
+    match &base.kind {
+        ExprKind::Var(_) => {
+            if let Some(v) = VarId::of_expr(&ctx.checked.info, ctx.func, base) {
+                fx.uses.insert(v);
+                if matches!(
+                    ctx.checked.info.expr_types.get(&base.id),
+                    Some(Type::Ptr(_))
+                ) {
+                    for t in ctx.pts.pointees(v) {
+                        fx.uses.insert(t);
+                    }
+                }
+            }
+        }
+        _ => {
+            expr_effects(ctx, base, fx);
+            for t in pointer_targets(ctx, base) {
+                fx.uses.insert(t);
+            }
+        }
+    }
+}
+
+fn call_effects(ctx: EffectCtx<'_>, callee: &Expr, fx: &mut Effects) {
+    let mut c = callee;
+    while let ExprKind::Unary(UnOp::Deref, inner) = &c.kind {
+        c = inner;
+    }
+    let targets: Vec<usize> = if let ExprKind::Var(_) = &c.kind {
+        match ctx.checked.info.res.get(&c.id) {
+            Some(Res::Func(f)) => vec![*f],
+            Some(Res::Builtin(_)) => Vec::new(),
+            _ => {
+                expr_effects(ctx, c, fx);
+                ctx.callees[ctx.func].clone()
+            }
+        }
+    } else {
+        expr_effects(ctx, c, fx);
+        ctx.callees[ctx.func].clone()
+    };
+    for t in targets {
+        for &v in &ctx.modref.refs[t] {
+            if relevant(ctx, v) {
+                fx.uses.insert(v);
+            }
+        }
+        for &v in &ctx.modref.modifies[t] {
+            if relevant(ctx, v) {
+                fx.weak_defs.insert(v);
+            }
+        }
+    }
+}
+
+/// Whether a callee effect on `v` is visible in the current function's
+/// universe (globals and this function's own locals).
+fn relevant(ctx: EffectCtx<'_>, v: VarId) -> bool {
+    match v {
+        VarId::Global(_) => true,
+        VarId::Local { func, .. } => func == ctx.func,
+    }
+}
+
+fn pointer_targets(ctx: EffectCtx<'_>, p: &Expr) -> Vec<VarId> {
+    match &p.kind {
+        ExprKind::Var(_) => match VarId::of_expr(&ctx.checked.info, ctx.func, p) {
+            Some(v) => {
+                if matches!(
+                    ctx.checked.info.expr_types.get(&p.id),
+                    Some(Type::Array(..))
+                ) {
+                    vec![v]
+                } else {
+                    ctx.pts.pointees(v)
+                }
+            }
+            None => Vec::new(),
+        },
+        ExprKind::Unary(UnOp::Addr, lv) => match &lv.kind {
+            ExprKind::Var(_) => VarId::of_expr(&ctx.checked.info, ctx.func, lv)
+                .into_iter()
+                .collect(),
+            ExprKind::Index(base, _) => pointer_targets(ctx, base),
+            ExprKind::Member(base, _) => {
+                let mut cur = base.as_ref();
+                loop {
+                    match &cur.kind {
+                        ExprKind::Var(_) => {
+                            return VarId::of_expr(&ctx.checked.info, ctx.func, cur)
+                                .into_iter()
+                                .collect()
+                        }
+                        ExprKind::Member(b, _) => cur = b,
+                        _ => return Vec::new(),
+                    }
+                }
+            }
+            _ => Vec::new(),
+        },
+        ExprKind::Binary(_, a, b) => {
+            let mut t = pointer_targets(ctx, a);
+            t.extend(pointer_targets(ctx, b));
+            t
+        }
+        ExprKind::Cast(_, a) | ExprKind::IncDec(_, a) => pointer_targets(ctx, a),
+        ExprKind::Assign(_, r) | ExprKind::AssignOp(_, _, r) => pointer_targets(ctx, r),
+        ExprKind::Ternary(_, t, f) => {
+            let mut v = pointer_targets(ctx, t);
+            v.extend(pointer_targets(ctx, f));
+            v
+        }
+        ExprKind::Index(base, _) | ExprKind::Unary(UnOp::Deref, base) => {
+            // Element of a pointer array / double indirection: fall back
+            // to the pointees of the base's pointees — approximate with
+            // the base's own targets (field/element-insensitive).
+            pointer_targets(ctx, base)
+        }
+        _ => Vec::new(),
+    }
+}
+
+/// Index/pointer sub-expressions of an lvalue are evaluated (read) even
+/// though the lvalue cell itself is written.
+fn lvalue_subreads(ctx: EffectCtx<'_>, lv: &Expr, fx: &mut Effects) {
+    match &lv.kind {
+        ExprKind::Var(_) => {}
+        ExprKind::Unary(UnOp::Deref, p) => expr_effects(ctx, p, fx),
+        ExprKind::Index(base, idx) => {
+            expr_effects(ctx, idx, fx);
+            match &base.kind {
+                ExprKind::Var(_) => {
+                    if matches!(
+                        ctx.checked.info.expr_types.get(&base.id),
+                        Some(Type::Ptr(_))
+                    ) {
+                        expr_effects(ctx, base, fx);
+                    }
+                }
+                _ => lvalue_subreads(ctx, base, fx),
+            }
+        }
+        ExprKind::Member(base, _) => lvalue_subreads(ctx, base, fx),
+        ExprKind::Arrow(base, _) => expr_effects(ctx, base, fx),
+        _ => expr_effects(ctx, lv, fx),
+    }
+}
+
+fn write_lvalue(ctx: EffectCtx<'_>, lv: &Expr, also_read: bool, fx: &mut Effects) {
+    lvalue_subreads(ctx, lv, fx);
+    match &lv.kind {
+        ExprKind::Var(_) => {
+            if let Some(v) = VarId::of_expr(&ctx.checked.info, ctx.func, lv) {
+                let ty = ctx.checked.info.expr_types.get(&lv.id);
+                let scalar = matches!(
+                    ty,
+                    Some(Type::Int) | Some(Type::Float) | Some(Type::Ptr(_)) | Some(Type::Func(_))
+                );
+                if also_read {
+                    fx.uses.insert(v);
+                }
+                if scalar {
+                    fx.strong_defs.insert(v);
+                } else {
+                    fx.weak_defs.insert(v);
+                }
+            }
+        }
+        ExprKind::Unary(UnOp::Deref, p) => {
+            for t in pointer_targets(ctx, p) {
+                if also_read {
+                    fx.uses.insert(t);
+                }
+                fx.weak_defs.insert(t);
+            }
+        }
+        ExprKind::Index(base, _) => match &base.kind {
+            ExprKind::Var(_)
+                if matches!(
+                    ctx.checked.info.expr_types.get(&base.id),
+                    Some(Type::Array(..))
+                ) =>
+            {
+                if let Some(v) = VarId::of_expr(&ctx.checked.info, ctx.func, base) {
+                    if also_read {
+                        fx.uses.insert(v);
+                    }
+                    fx.weak_defs.insert(v);
+                }
+            }
+            _ => {
+                for t in pointer_targets(ctx, base) {
+                    if also_read {
+                        fx.uses.insert(t);
+                    }
+                    fx.weak_defs.insert(t);
+                }
+            }
+        },
+        ExprKind::Member(base, _) => {
+            let mut cur = base.as_ref();
+            loop {
+                match &cur.kind {
+                    ExprKind::Var(_) => {
+                        if let Some(v) = VarId::of_expr(&ctx.checked.info, ctx.func, cur) {
+                            if also_read {
+                                fx.uses.insert(v);
+                            }
+                            fx.weak_defs.insert(v);
+                        }
+                        break;
+                    }
+                    ExprKind::Member(b, _) => cur = b,
+                    _ => break,
+                }
+            }
+        }
+        ExprKind::Arrow(base, _) => {
+            for t in pointer_targets(ctx, base) {
+                if also_read {
+                    fx.uses.insert(t);
+                }
+                fx.weak_defs.insert(t);
+            }
+        }
+        _ => expr_effects(ctx, lv, fx),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::callgraph::CallGraph;
+
+    struct Built {
+        checked: minic::Checked,
+        cg: CallGraph,
+        pts: PointsTo,
+        modref: ModRef,
+    }
+
+    fn build(src: &str) -> Built {
+        let checked = minic::compile(src).unwrap();
+        let cg = CallGraph::build(&checked);
+        let pts = PointsTo::build(&checked, &cg);
+        let modref = ModRef::build(&checked, &cg, &pts);
+        Built {
+            checked,
+            cg,
+            pts,
+            modref,
+        }
+    }
+
+    fn effects_of_stmt(b: &Built, func: &str, stmt_idx: usize) -> Effects {
+        let fi = b.checked.info.func_index[func];
+        let f = &b.checked.program.funcs[fi];
+        let ctx = EffectCtx {
+            checked: &b.checked,
+            pts: &b.pts,
+            modref: &b.modref,
+            callees: &b.cg.callees,
+            func: fi,
+        };
+        let s = &f.body.stmts[stmt_idx];
+        let instr = Instr {
+            origin: s.id,
+            kind: match &s.kind {
+                StmtKind::Expr(e) => InstrKind::Expr(e),
+                StmtKind::Decl { .. } => InstrKind::Decl(s),
+                StmtKind::Return(v) => InstrKind::Return(v.as_ref()),
+                other => panic!("test uses simple stmts, got {other:?}"),
+            },
+        };
+        instr_effects(ctx, &instr)
+    }
+
+    #[test]
+    fn scalar_assign_is_strong_def() {
+        let b = build("int g; int main() { int x; x = g + 1; return x; }");
+        let fx = effects_of_stmt(&b, "main", 1);
+        let main = b.checked.info.func_index["main"];
+        let x = VarId::Local { func: main, slot: 0 };
+        assert!(fx.strong_defs.contains(&x));
+        assert!(fx.uses.contains(&VarId::Global(0)));
+        assert!(!fx.uses.contains(&x));
+    }
+
+    #[test]
+    fn array_write_is_weak() {
+        let b = build("int a[4]; int main() { a[2] = 5; return a[0]; }");
+        let fx = effects_of_stmt(&b, "main", 0);
+        assert!(fx.weak_defs.contains(&VarId::Global(0)));
+        assert!(fx.strong_defs.is_empty());
+    }
+
+    #[test]
+    fn compound_assign_reads_and_writes() {
+        let b = build("int main() { int x = 1; x += 2; return x; }");
+        let fx = effects_of_stmt(&b, "main", 1);
+        let main = b.checked.info.func_index["main"];
+        let x = VarId::Local { func: main, slot: 0 };
+        assert!(fx.uses.contains(&x));
+        assert!(fx.strong_defs.contains(&x));
+    }
+
+    #[test]
+    fn deref_write_defines_pointees_weakly() {
+        let b = build(
+            "int g;
+             int main() { int *p = &g; *p = 3; return g; }",
+        );
+        let fx = effects_of_stmt(&b, "main", 1);
+        assert!(fx.weak_defs.contains(&VarId::Global(0)));
+        let main = b.checked.info.func_index["main"];
+        assert!(fx.uses.contains(&VarId::Local { func: main, slot: 0 }));
+    }
+
+    #[test]
+    fn call_imports_callee_effects() {
+        let b = build(
+            "int g; int h;
+             void touch() { g = h; }
+             int main() { touch(); return 0; }",
+        );
+        let fx = effects_of_stmt(&b, "main", 0);
+        assert!(fx.weak_defs.contains(&VarId::Global(0)));
+        assert!(fx.uses.contains(&VarId::Global(1)));
+    }
+
+    #[test]
+    fn callee_locals_are_not_imported() {
+        let b = build(
+            "void work() { int t = 1; t = t + 1; }
+             int main() { work(); return 0; }",
+        );
+        let fx = effects_of_stmt(&b, "main", 0);
+        assert!(
+            fx.weak_defs.is_empty() && fx.uses.is_empty(),
+            "callee-private locals are invisible to the caller: {fx:?}"
+        );
+    }
+
+    #[test]
+    fn address_of_is_not_a_read() {
+        let b = build("int g; int *take() { return &g; } int main() { take(); return 0; }");
+        let fi = b.checked.info.func_index["take"];
+        let f = &b.checked.program.funcs[fi];
+        let ctx = EffectCtx {
+            checked: &b.checked,
+            pts: &b.pts,
+            modref: &b.modref,
+            callees: &b.cg.callees,
+            func: fi,
+        };
+        let s = &f.body.stmts[0];
+        let instr = Instr {
+            origin: s.id,
+            kind: match &s.kind {
+                StmtKind::Return(v) => InstrKind::Return(v.as_ref()),
+                _ => unreachable!(),
+            },
+        };
+        let fx = instr_effects(ctx, &instr);
+        assert!(!fx.uses.contains(&VarId::Global(0)));
+    }
+
+    #[test]
+    fn pointer_read_uses_pointee() {
+        let b = build(
+            "int table[8];
+             int main() { int *p = table; int s = 0; s = *(p + 2) + p[3]; return s; }",
+        );
+        let fx = effects_of_stmt(&b, "main", 2);
+        assert!(
+            fx.uses.contains(&VarId::Global(0)),
+            "reads through p use table: {fx:?}"
+        );
+    }
+}

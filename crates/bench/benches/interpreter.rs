@@ -1,0 +1,93 @@
+//! Criterion benchmarks of the VM: raw interpretation throughput and the
+//! real-time (host) cost of memoized vs. recomputed execution.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use memo_runtime::{MemoTable, TableSpec};
+use minic::ast::{MemoOperand, MemoStmt, ScalarKind, Stmt, StmtKind};
+use vm::RunConfig;
+
+const QUAN: &str = "
+    int power2[15] = {1,2,4,8,16,32,64,128,256,512,1024,2048,4096,8192,16384};
+    int quan(int val) {
+        int i;
+        for (i = 0; i < 15; i++)
+            if (val < power2[i])
+                break;
+        return (i);
+    }
+    int main() {
+        int s = 0;
+        for (int k = 0; k < 2000; k++)
+            s += quan(k % 50 * 11);
+        print(s);
+        return 0;
+    }";
+
+fn bench_interpret(c: &mut Criterion) {
+    let checked = minic::compile(QUAN).unwrap();
+    let module = vm::lower(&checked);
+    c.bench_function("interpret_quan_2000_calls", |b| {
+        b.iter(|| {
+            let out = vm::run(&module, RunConfig::default()).unwrap();
+            black_box(out.cycles)
+        })
+    });
+}
+
+fn bench_memoized(c: &mut Criterion) {
+    // Same program with quan's body memoized by hand.
+    let mut prog = minic::parse(QUAN).unwrap();
+    let f = prog.func_mut("quan").unwrap();
+    let body = std::mem::take(&mut f.body);
+    f.body = minic::ast::Block::new(vec![Stmt::synth(StmtKind::Memo(MemoStmt {
+        segment: "quan:body".into(),
+        table: 0,
+        slot: 0,
+        inputs: vec![MemoOperand::scalar("val", ScalarKind::Int)],
+        outputs: vec![],
+        ret: Some(ScalarKind::Int),
+        body,
+    }))]);
+    let checked = minic::check(prog).unwrap();
+    let module = vm::lower(&checked);
+    let spec = TableSpec {
+        slots: 1024,
+        key_words: 1,
+        out_words: vec![1],
+    };
+    c.bench_function("interpret_quan_memoized_2000_calls", |b| {
+        b.iter(|| {
+            let cfg = RunConfig {
+                tables: vec![MemoTable::direct(&spec)],
+                ..RunConfig::default()
+            };
+            let out = vm::run(&module, cfg).unwrap();
+            black_box(out.cycles)
+        })
+    });
+}
+
+fn bench_lowering(c: &mut Criterion) {
+    let w = workloads::gnugo::gnugo();
+    let checked = w.checked();
+    c.bench_function("lower_gnugo", |b| {
+        b.iter(|| black_box(vm::lower(&checked).funcs.len()))
+    });
+}
+
+fn bench_frontend(c: &mut Criterion) {
+    let w = workloads::gnugo::gnugo();
+    c.bench_function("parse_and_check_gnugo", |b| {
+        b.iter(|| {
+            let checked = minic::compile(black_box(&w.source)).unwrap();
+            black_box(checked.info.next_node_id)
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_interpret, bench_memoized, bench_lowering, bench_frontend
+}
+criterion_main!(benches);

@@ -1,0 +1,79 @@
+//! Criterion benches over the paper's headline comparisons, one group per
+//! evaluation table: each measures the *host-time* cost of producing one
+//! representative row, while the modelled (deterministic) numbers that
+//! populate the tables come from the `table*`/`fig*` binaries.
+
+use bench::runner::{execute, prepare, InputKind};
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use vm::OptLevel;
+
+const SCALE: f64 = 0.02;
+
+/// Table 6/7 row: baseline vs. memoized execution of UNEPIC.
+fn bench_table6_row(c: &mut Criterion) {
+    let w = workloads::unepic::unepic();
+    let p = prepare(&w, OptLevel::O0, SCALE);
+    let mut g = c.benchmark_group("table6_unepic");
+    g.bench_function("baseline_and_memoized", |b| {
+        b.iter(|| {
+            let m = execute(&p, &w, InputKind::Default, SCALE);
+            assert!(m.output_match);
+            black_box(m.speedup())
+        })
+    });
+    g.finish();
+}
+
+/// Table 5 row: hit ratio replay with a 64-entry LRU buffer.
+fn bench_table5_row(c: &mut Criterion) {
+    use bench::runner::{execute_with_tables, prepare_with, PrepareOpts};
+    let w = workloads::rasta::rasta();
+    let p = prepare_with(
+        &w,
+        OptLevel::O0,
+        SCALE,
+        &PrepareOpts {
+            disable_merging: true,
+            ..PrepareOpts::default()
+        },
+    );
+    c.bench_function("table5_rasta_lru64_replay", |b| {
+        b.iter(|| {
+            let tables: Vec<memo_runtime::MemoTable> = p
+                .outcome
+                .specs
+                .iter()
+                .map(|s| {
+                    memo_runtime::MemoTable::Lru(memo_runtime::LruTable::new(
+                        64,
+                        s.key_words,
+                        s.out_words[0],
+                    ))
+                })
+                .collect();
+            let m = execute_with_tables(&p, &w, InputKind::Default, SCALE, tables);
+            black_box(m.tables[0].stats().hit_ratio())
+        })
+    });
+}
+
+/// Table 10 row: alternate-input execution against the default-input
+/// transformation.
+fn bench_table10_row(c: &mut Criterion) {
+    let w = workloads::g721::encode();
+    let p = prepare(&w, OptLevel::O3, SCALE);
+    c.bench_function("table10_g721_alt_inputs", |b| {
+        b.iter(|| {
+            let m = execute(&p, &w, InputKind::Alt, SCALE);
+            assert!(m.output_match);
+            black_box(m.speedup())
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_table6_row, bench_table5_row, bench_table10_row
+}
+criterion_main!(benches);

@@ -1,0 +1,61 @@
+//! Criterion benchmarks of the compiler scheme itself: whole-program
+//! analyses and the full pipeline (the compile-time cost a user pays).
+
+use analysis::Analyses;
+use compreuse::{run_pipeline, PipelineConfig};
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+fn bench_analyses(c: &mut Criterion) {
+    let w = workloads::gnugo::gnugo();
+    let checked = w.checked();
+    c.bench_function("whole_program_analyses_gnugo", |b| {
+        b.iter(|| {
+            let an = Analyses::build(black_box(&checked));
+            black_box(an.cg.callees.len())
+        })
+    });
+}
+
+fn bench_segment_analysis(c: &mut Criterion) {
+    let w = workloads::g721::encode();
+    let checked = w.checked();
+    let an = Analyses::build(&checked);
+    let segs = analysis::segments::enumerate(&checked);
+    c.bench_function("seg_io_all_g721_segments", |b| {
+        b.iter(|| {
+            let mut ok = 0;
+            for seg in &segs {
+                if analysis::inout::seg_io(&checked, &an, seg).is_ok() {
+                    ok += 1;
+                }
+            }
+            black_box(ok)
+        })
+    });
+}
+
+fn bench_full_pipeline(c: &mut Criterion) {
+    let w = workloads::unepic::unepic();
+    let program = minic::parse(&w.source).unwrap();
+    let input = (w.default_input)(0.02);
+    c.bench_function("full_pipeline_unepic_small", |b| {
+        b.iter(|| {
+            let outcome = run_pipeline(
+                black_box(&program),
+                &PipelineConfig {
+                    profile_input: input.clone(),
+                    ..PipelineConfig::default()
+                },
+            )
+            .unwrap();
+            black_box(outcome.report.transformed)
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_analyses, bench_segment_analysis, bench_full_pipeline
+}
+criterion_main!(benches);

@@ -1,0 +1,122 @@
+//! Criterion microbenchmarks of the memo-table runtime — the per-probe
+//! costs that the paper's hashing-overhead analysis (`O`) models.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use memo_runtime::hash::jenkins_one_at_a_time;
+use memo_runtime::{DirectTable, LruTable, MemoTable, MergedTable, TableSpec};
+
+fn bench_direct(c: &mut Criterion) {
+    let mut g = c.benchmark_group("direct_table");
+    for &key_words in &[1usize, 4, 64] {
+        let mut table = DirectTable::new(16_384, key_words, key_words);
+        let keys: Vec<Vec<u64>> = (0..1024u64)
+            .map(|i| (0..key_words as u64).map(|w| i * 31 + w).collect())
+            .collect();
+        let out: Vec<u64> = vec![7; key_words];
+        for k in &keys {
+            table.record(k, &out);
+        }
+        let mut buf = Vec::new();
+        g.bench_with_input(
+            BenchmarkId::new("hit", key_words),
+            &key_words,
+            |b, _| {
+                let mut i = 0usize;
+                b.iter(|| {
+                    let k = &keys[i & 1023];
+                    i += 1;
+                    black_box(table.lookup(k, &mut buf))
+                })
+            },
+        );
+        g.bench_with_input(
+            BenchmarkId::new("record", key_words),
+            &key_words,
+            |b, _| {
+                let mut i = 0u64;
+                b.iter(|| {
+                    let k: Vec<u64> = (0..key_words as u64).map(|w| i * 131 + w).collect();
+                    i += 1;
+                    table.record(black_box(&k), &out);
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+fn bench_lru(c: &mut Criterion) {
+    let mut g = c.benchmark_group("lru_buffer");
+    for &cap in &[1usize, 4, 16, 64] {
+        let mut table = LruTable::new(cap, 1, 1);
+        for i in 0..cap as u64 {
+            table.record(&[i], &[i]);
+        }
+        let mut buf = Vec::new();
+        g.bench_with_input(BenchmarkId::new("lookup", cap), &cap, |b, _| {
+            let mut i = 0u64;
+            b.iter(|| {
+                i += 1;
+                black_box(table.lookup(&[i % cap as u64], &mut buf))
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_merged(c: &mut Criterion) {
+    let mut g = c.benchmark_group("merged_table");
+    let mut table = MergedTable::new(8_192, 4, &[1; 8]);
+    for i in 0..1024u64 {
+        for slot in 0..8 {
+            table.record(slot, &[i, i + 1, i + 2, i + 3], &[i]);
+        }
+    }
+    let mut buf = Vec::new();
+    g.bench_function("hit_8_slots", |b| {
+        let mut i = 0u64;
+        b.iter(|| {
+            let k = [i % 1024, i % 1024 + 1, i % 1024 + 2, i % 1024 + 3];
+            let slot = (i % 8) as usize;
+            i += 1;
+            black_box(table.lookup(slot, &k, &mut buf))
+        })
+    });
+    g.finish();
+}
+
+fn bench_hash(c: &mut Criterion) {
+    let mut g = c.benchmark_group("jenkins");
+    for &len in &[8usize, 64, 512] {
+        let data: Vec<u8> = (0..len).map(|i| i as u8).collect();
+        g.bench_with_input(BenchmarkId::new("one_at_a_time", len), &len, |b, _| {
+            b.iter(|| black_box(jenkins_one_at_a_time(black_box(&data))))
+        });
+    }
+    g.finish();
+}
+
+fn bench_uniform_handle(c: &mut Criterion) {
+    // The enum dispatch the VM pays per probe.
+    let spec = TableSpec {
+        slots: 4096,
+        key_words: 1,
+        out_words: vec![1],
+    };
+    let mut table = MemoTable::direct(&spec);
+    table.record(0, &[7], &[70]);
+    let mut buf = Vec::new();
+    c.bench_function("memo_table_enum_dispatch", |b| {
+        b.iter(|| black_box(table.lookup(0, &[7], &mut buf)))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_direct,
+    bench_lru,
+    bench_merged,
+    bench_hash,
+    bench_uniform_handle
+);
+criterion_main!(benches);

@@ -1,0 +1,84 @@
+//! ASCII table rendering for the harness output.
+
+/// Prints a titled, column-aligned table to stdout.
+pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
+    println!("\n{title}");
+    println!("{}", "=".repeat(title.len()));
+    let ncols = headers.len();
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate().take(ncols) {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+    let line = |cells: &[String]| {
+        let mut s = String::new();
+        for (i, c) in cells.iter().enumerate().take(ncols) {
+            s.push_str(&format!("{:<w$}  ", c, w = widths[i]));
+        }
+        println!("{}", s.trim_end());
+    };
+    line(&headers.iter().map(|h| h.to_string()).collect::<Vec<_>>());
+    println!(
+        "{}",
+        widths
+            .iter()
+            .map(|w| "-".repeat(*w))
+            .collect::<Vec<_>>()
+            .join("--")
+    );
+    for row in rows {
+        line(row);
+    }
+}
+
+/// Renders a horizontal ASCII bar scaled to `max`.
+pub fn bar(value: f64, max: f64, width: usize) -> String {
+    if max <= 0.0 {
+        return String::new();
+    }
+    let n = ((value / max) * width as f64).round() as usize;
+    "#".repeat(n.min(width))
+}
+
+/// Formats a float with `digits` decimals.
+pub fn f(value: f64, digits: usize) -> String {
+    format!("{value:.digits$}")
+}
+
+/// Formats a byte count like the paper prints table sizes.
+pub fn bytes(n: usize) -> String {
+    if n >= 1 << 20 {
+        format!("{:.2}MB", n as f64 / (1 << 20) as f64)
+    } else if n >= 1 << 10 {
+        format!("{:.0}KB", n as f64 / (1 << 10) as f64)
+    } else {
+        format!("{n}B")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bytes_formatting() {
+        assert_eq!(bytes(512), "512B");
+        assert_eq!(bytes(86 * 1024), "86KB");
+        assert_eq!(bytes(2 * 1024 * 1024 + 60000), "2.06MB");
+    }
+
+    #[test]
+    fn bar_scales() {
+        assert_eq!(bar(5.0, 10.0, 10), "#####");
+        assert_eq!(bar(10.0, 10.0, 10), "##########");
+        assert_eq!(bar(20.0, 10.0, 10), "##########", "clamped");
+        assert_eq!(bar(1.0, 0.0, 10), "");
+    }
+
+    #[test]
+    fn float_formatting() {
+        assert_eq!(f(1.23456, 2), "1.23");
+        assert_eq!(f(99.4, 1), "99.4");
+    }
+}

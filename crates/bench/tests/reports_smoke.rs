@@ -1,0 +1,33 @@
+//! Smoke tests for the table generators at tiny scale: rows must be
+//! well-formed and the headline structural result — transformed-segment
+//! counts matching the paper — must hold. (Full-scale fidelity lives in
+//! EXPERIMENTS.md; the expensive sweeps are exercised by the binaries.)
+
+use bench::reports;
+
+const SCALE: f64 = 0.02;
+
+#[test]
+fn table4_transformed_counts_match_paper() {
+    let rows = reports::table4(SCALE);
+    assert_eq!(rows.len(), 7);
+    for row in &rows {
+        assert_eq!(row.len(), reports::TABLE4_HEADERS.len(), "{row:?}");
+        // Our transformed count (col 6) equals the paper's (col 7) for
+        // every program — the reproduction's headline structural match.
+        assert_eq!(row[6], row[7], "{row:?}");
+    }
+}
+
+#[test]
+fn table6_has_eleven_rows_plus_mean() {
+    let rows = reports::table6_or_7(vm::OptLevel::O0, SCALE);
+    assert_eq!(rows.len(), 12);
+    assert_eq!(rows[11][0], "Harmonic Mean");
+    for row in &rows[..11] {
+        let speedup: f64 = row[3].parse().expect("speedup");
+        assert!(speedup > 0.5 && speedup < 30.0, "{row:?}");
+    }
+    let hm: f64 = rows[11][3].parse().expect("harmonic mean");
+    assert!(hm > 1.0, "the scheme wins overall: {hm}");
+}

@@ -1,0 +1,443 @@
+//! The paper's "clean-up" module (§3.1):
+//!
+//! > "The clean-up module is implemented to ease our subsequent analyses.
+//! > For example, each function call in a complex expression is split from
+//! > the expression in order to simplify the interprocedural analysis."
+//!
+//! [`cleanup`] hoists calls nested inside larger expressions into fresh
+//! temporaries declared just before the statement:
+//!
+//! ```text
+//! x = f(a) + g(b) * 2;   ⇒   int __cse0 = f(a);
+//!                            int __cse1 = g(b);
+//!                            x = __cse0 + __cse1 * 2;
+//! ```
+//!
+//! Hoisting must preserve the evaluation order of side effects, so a call
+//! is only lifted when everything evaluated before it (in the VM's strict
+//! left-to-right order) is side-effect-free, and never out of a
+//! conditionally-evaluated position (`&&`/`||` right operands, ternary
+//! branches, loop conditions and steps).
+
+use minic::ast::{Block, Expr, ExprKind, Stmt, StmtKind, Type, UnOp};
+use minic::sema::{Checked, Res};
+use minic::span::Span;
+
+/// Runs the clean-up pass; returns the rewritten program (unchecked —
+/// re-run [`minic::check`]) and the number of calls that were split out.
+pub fn cleanup(checked: &Checked) -> (minic::Program, usize) {
+    let mut out = checked.program.clone();
+    let mut cl = Cleaner {
+        checked,
+        counter: 0,
+        splits: 0,
+    };
+    for f in &mut out.funcs {
+        let body = std::mem::take(&mut f.body);
+        f.body = cl.block(body);
+    }
+    (out, cl.splits)
+}
+
+struct Cleaner<'c> {
+    checked: &'c Checked,
+    counter: usize,
+    splits: usize,
+}
+
+impl<'c> Cleaner<'c> {
+    fn fresh_name(&mut self) -> String {
+        let n = self.counter;
+        self.counter += 1;
+        format!("__cse{n}")
+    }
+
+    fn block(&mut self, b: Block) -> Block {
+        let mut stmts = Vec::with_capacity(b.stmts.len());
+        for s in b.stmts {
+            self.stmt(s, &mut stmts);
+        }
+        Block::new(stmts)
+    }
+
+    /// Rewrites one statement, pushing hoisted temporaries first.
+    fn stmt(&mut self, mut s: Stmt, out: &mut Vec<Stmt>) {
+        match &mut s.kind {
+            StmtKind::Expr(e) => {
+                self.drain_hoists(e, /* keep_root */ true, out);
+            }
+            StmtKind::Decl { init: Some(e), .. } => {
+                self.drain_hoists(e, true, out);
+            }
+            StmtKind::Return(Some(e)) => {
+                self.drain_hoists(e, true, out);
+            }
+            StmtKind::If {
+                cond,
+                then_blk,
+                else_blk,
+            } => {
+                // The condition is evaluated exactly once: hoistable.
+                self.drain_hoists(cond, true, out);
+                let t = std::mem::take(then_blk);
+                *then_blk = self.block(t);
+                if let Some(eb) = else_blk {
+                    let e = std::mem::take(eb);
+                    *eb = self.block(e);
+                }
+            }
+            StmtKind::While { body, .. } | StmtKind::DoWhile { body, .. } => {
+                // Conditions re-evaluate each iteration: leave them.
+                let b = std::mem::take(body);
+                *body = self.block(b);
+            }
+            StmtKind::For { init, body, .. } => {
+                if let Some(init_stmt) = init.take() {
+                    // The init runs once; split it like a normal statement,
+                    // folding any extra temporaries before the loop.
+                    let mut pre = Vec::new();
+                    self.stmt(*init_stmt, &mut pre);
+                    let rebuilt = pre.pop();
+                    out.extend(pre);
+                    *init = rebuilt.map(Box::new);
+                }
+                let b = std::mem::take(body);
+                *body = self.block(b);
+            }
+            StmtKind::Block(b) => {
+                let inner = std::mem::take(b);
+                *b = self.block(inner);
+            }
+            StmtKind::Profile(p) => {
+                let b = std::mem::take(&mut p.body);
+                p.body = self.block(b);
+            }
+            StmtKind::Memo(m) => {
+                let b = std::mem::take(&mut m.body);
+                m.body = self.block(b);
+            }
+            _ => {}
+        }
+        out.push(s);
+    }
+
+    /// Repeatedly hoists the leftmost liftable call out of `e` until none
+    /// remain, emitting `int/float __cseN = <call>;` declarations.
+    fn drain_hoists(&mut self, e: &mut Expr, keep_root: bool, out: &mut Vec<Stmt>) {
+        loop {
+            let mut pure = true;
+            let Some((call, ty, name)) = self.hoist_one(e, keep_root, &mut pure) else {
+                break;
+            };
+            self.splits += 1;
+            out.push(Stmt::new(
+                StmtKind::Decl {
+                    name,
+                    ty,
+                    init: Some(call),
+                },
+                Span::DUMMY,
+            ));
+        }
+    }
+
+    /// Finds the leftmost call in evaluation order that may be hoisted;
+    /// replaces it in place with a temp read and returns (call, type, temp
+    /// name). `pure` tracks whether everything evaluated so far is free of
+    /// side effects.
+    fn hoist_one(
+        &mut self,
+        e: &mut Expr,
+        is_root: bool,
+        pure: &mut bool,
+    ) -> Option<(Expr, Type, String)> {
+        let node_id = e.id;
+        match &mut e.kind {
+            ExprKind::IntLit(_) | ExprKind::FloatLit(_) | ExprKind::Var(_) => None,
+            ExprKind::Unary(_, a) | ExprKind::Cast(_, a) | ExprKind::Member(a, _)
+            | ExprKind::Arrow(a, _) => self.hoist_one(a, false, pure),
+            ExprKind::Binary(op, a, b) => {
+                if matches!(op, minic::ast::BinOp::LogAnd | minic::ast::BinOp::LogOr) {
+                    // Short-circuit: only the left operand is unconditional.
+                    self.hoist_one(a, false, pure)
+                } else {
+                    self.hoist_one(a, false, pure)
+                        .or_else(|| self.hoist_one(b, false, pure))
+                }
+            }
+            ExprKind::Index(a, b) => self
+                .hoist_one(a, false, pure)
+                .or_else(|| self.hoist_one(b, false, pure)),
+            ExprKind::Ternary(c, _, _) => {
+                // Branches are conditional: only the condition is eligible.
+                self.hoist_one(c, false, pure)
+            }
+            ExprKind::Assign(l, r) | ExprKind::AssignOp(_, l, r) => {
+                let hit = self
+                    .hoist_one(l, false, pure)
+                    .or_else(|| self.hoist_one(r, false, pure));
+                // The store is a side effect for anything evaluated later.
+                *pure = false;
+                hit
+            }
+            ExprKind::IncDec(_, a) => {
+                let hit = self.hoist_one(a, false, pure);
+                *pure = false;
+                hit
+            }
+            ExprKind::Call(callee, args) => {
+                // First look inside the arguments (they evaluate before
+                // the call completes).
+                for a in args.iter_mut() {
+                    if let Some(hit) = self.hoist_one(a, false, pure) {
+                        return Some(hit);
+                    }
+                }
+                if is_root || !*pure {
+                    // Already statement-level, or moving it would reorder
+                    // side effects. The call itself is a side effect for
+                    // whatever follows.
+                    *pure = false;
+                    return None;
+                }
+                // Void and non-arithmetic calls stay put (a void call can
+                // only legally be a statement root anyway).
+                let ty = match self.checked.info.expr_types.get(&node_id) {
+                    Some(Type::Int) => Type::Int,
+                    Some(Type::Float) => Type::Float,
+                    _ => {
+                        *pure = false;
+                        return None;
+                    }
+                };
+                // Builtins have effects of their own but assigning them to
+                // a temp first is still order-preserving; however `print`
+                // and `assert` are void (excluded above), and moving
+                // `input()` is safe under the purity prefix. Keep them.
+                let _ = (&callee,);
+                let name = self.fresh_name();
+                let call = std::mem::replace(
+                    e,
+                    Expr::synth(ExprKind::Var(name.clone())),
+                );
+                Some((call, ty, name))
+            }
+        }
+    }
+}
+
+/// Counts calls that remain nested inside larger, unconditionally
+/// evaluated expressions (diagnostic used by tests).
+pub fn nested_call_count(checked: &Checked) -> usize {
+    let mut count = 0;
+    for f in &checked.program.funcs {
+        minic::visit::for_each_stmt(&f.body, |s| {
+            let root: Option<&Expr> = match &s.kind {
+                StmtKind::Expr(e) => Some(e),
+                StmtKind::Decl { init: Some(e), .. } => Some(e),
+                StmtKind::Return(Some(e)) => Some(e),
+                StmtKind::If { cond, .. } => Some(cond),
+                _ => None,
+            };
+            if let Some(root) = root {
+                count += nested_calls_in(checked, root, true);
+            }
+        });
+    }
+    count
+}
+
+fn nested_calls_in(checked: &Checked, e: &Expr, is_root: bool) -> usize {
+    match &e.kind {
+        ExprKind::IntLit(_) | ExprKind::FloatLit(_) | ExprKind::Var(_) => 0,
+        ExprKind::Unary(_, a) | ExprKind::Cast(_, a) | ExprKind::Member(a, _)
+        | ExprKind::Arrow(a, _) => nested_calls_in(checked, a, false),
+        ExprKind::Binary(op, a, b) => {
+            if matches!(op, minic::ast::BinOp::LogAnd | minic::ast::BinOp::LogOr) {
+                nested_calls_in(checked, a, false)
+            } else {
+                nested_calls_in(checked, a, false) + nested_calls_in(checked, b, false)
+            }
+        }
+        ExprKind::Index(a, b) => {
+            nested_calls_in(checked, a, false) + nested_calls_in(checked, b, false)
+        }
+        ExprKind::Ternary(c, _, _) => nested_calls_in(checked, c, false),
+        ExprKind::Assign(l, r) | ExprKind::AssignOp(_, l, r) => {
+            nested_calls_in(checked, l, false) + nested_calls_in(checked, r, false)
+        }
+        ExprKind::IncDec(_, a) => nested_calls_in(checked, a, false),
+        ExprKind::Call(_, args) => {
+            let own = usize::from(
+                !is_root
+                    && matches!(
+                        checked.info.expr_types.get(&e.id),
+                        Some(Type::Int) | Some(Type::Float)
+                    )
+                    && !matches!(
+                        direct_builtin(checked, e),
+                        Some(true)
+                    ),
+            );
+            own + args
+                .iter()
+                .map(|a| nested_calls_in(checked, a, false))
+                .sum::<usize>()
+        }
+    }
+}
+
+fn direct_builtin(checked: &Checked, call: &Expr) -> Option<bool> {
+    if let ExprKind::Call(callee, _) = &call.kind {
+        let mut c = callee.as_ref();
+        while let ExprKind::Unary(UnOp::Deref, inner) = &c.kind {
+            c = inner;
+        }
+        return Some(matches!(
+            checked.info.res.get(&c.id),
+            Some(Res::Builtin(_))
+        ));
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vm::RunConfig;
+
+    fn roundtrip(src: &str, input: Vec<i64>) -> (String, String, usize) {
+        let checked = minic::compile(src).expect("compiles");
+        let (cleaned, splits) = cleanup(&checked);
+        let recheck = minic::check(cleaned).expect("cleaned program checks");
+        let orig = vm::run(
+            &vm::lower(&checked),
+            RunConfig {
+                input: input.clone(),
+                ..RunConfig::default()
+            },
+        )
+        .expect("original runs");
+        let new = vm::run(
+            &vm::lower(&recheck),
+            RunConfig {
+                input,
+                ..RunConfig::default()
+            },
+        )
+        .expect("cleaned runs");
+        (orig.output_text(), new.output_text(), splits)
+    }
+
+    #[test]
+    fn splits_calls_out_of_arithmetic() {
+        let src = "
+            int f(int x) { return x * 2; }
+            int g(int x) { return x + 10; }
+            int main() { print(f(3) + g(4) * 2); return 0; }";
+        let (a, b, splits) = roundtrip(src, vec![]);
+        assert_eq!(a, b);
+        assert_eq!(splits, 2);
+        // The cleaned program has no nested calls left.
+        let checked = minic::compile(src).unwrap();
+        let (cleaned, _) = cleanup(&checked);
+        let recheck = minic::check(cleaned).unwrap();
+        assert_eq!(nested_call_count(&recheck), 0);
+    }
+
+    #[test]
+    fn preserves_side_effect_order() {
+        // g() observes the global that f() bumps; hoisting must not swap
+        // them.
+        let src = "
+            int state = 0;
+            int f() { state = state + 1; return state; }
+            int g() { return state * 10; }
+            int main() { print(f() + g()); print(state); return 0; }";
+        let (a, b, splits) = roundtrip(src, vec![]);
+        assert_eq!(a, b);
+        assert!(splits >= 1);
+    }
+
+    #[test]
+    fn does_not_hoist_past_side_effects() {
+        // `x++ + f(x)`: f is preceded by a side effect — must stay.
+        let src = "
+            int f(int v) { return v * 3; }
+            int main() { int x = 1; print(x++ + f(x)); return 0; }";
+        let (a, b, splits) = roundtrip(src, vec![]);
+        assert_eq!(a, b);
+        assert_eq!(splits, 0, "impure prefix blocks hoisting");
+    }
+
+    #[test]
+    fn does_not_hoist_conditional_calls() {
+        // Hoisting g() out of the && RHS would make it run when x is 0.
+        let src = "
+            int calls = 0;
+            int g() { calls = calls + 1; return 1; }
+            int main() {
+                int x = 0;
+                int r = x != 0 && g();
+                print(r);
+                print(calls);
+                return 0;
+            }";
+        let (a, b, splits) = roundtrip(src, vec![]);
+        assert_eq!(a, b);
+        assert_eq!(splits, 0);
+        assert!(a.ends_with('0'), "g must not run: {a}");
+    }
+
+    #[test]
+    fn does_not_hoist_out_of_loop_conditions() {
+        let src = "
+            int n = 0;
+            int next() { n = n + 1; return n; }
+            int main() {
+                int s = 0;
+                while (next() < 5) s = s + 1;
+                print(s);
+                print(n);
+                return 0;
+            }";
+        let (a, b, splits) = roundtrip(src, vec![]);
+        assert_eq!(a, b);
+        assert_eq!(splits, 0, "loop conditions re-evaluate");
+    }
+
+    #[test]
+    fn nested_calls_unnest_iteratively() {
+        let src = "
+            int f(int x) { return x + 1; }
+            int main() { print(f(f(f(2))) * 2); return 0; }";
+        let (a, b, splits) = roundtrip(src, vec![]);
+        assert_eq!(a, b);
+        assert_eq!(splits, 3, "all three calls become temporaries");
+    }
+
+    #[test]
+    fn statement_level_calls_are_left_alone() {
+        let src = "
+            int g = 0;
+            void bump(int d) { g = g + d; }
+            int main() { bump(3); bump(4); print(g); return 0; }";
+        let (_, _, splits) = roundtrip(src, vec![]);
+        assert_eq!(splits, 0);
+    }
+
+    #[test]
+    fn input_builtin_hoists_safely() {
+        let src = "
+            int main() {
+                int s = input() * 2 + input();
+                print(s);
+                return 0;
+            }";
+        // 5*2 + 7 = 17 either way (left-to-right preserved).
+        let (a, b, splits) = roundtrip(src, vec![5, 7]);
+        assert_eq!(a, b);
+        assert_eq!(a, "17");
+        assert!(splits >= 1);
+    }
+}

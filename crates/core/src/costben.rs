@@ -1,0 +1,159 @@
+//! Cost-benefit analysis (paper §2.2, formulas 1–4).
+//!
+//! For a segment with computation granularity `C`, hashing overhead `O`,
+//! and reuse rate `R`:
+//!
+//! - new cost with reuse: `(C+O)(1−R) + O·R`    (formula 1)
+//! - gain: `C − [(C+O)(1−R) + O·R] ≡ R·C − O`   (formula 2)
+//! - transform iff `R·C − O > 0`, i.e. `R > O/C` (formula 3)
+//!
+//! For nested segments (§2.3), with outer gain `g1`, inner gain `g2`, and
+//! `n` inner instances per outer instance: reuse the inner segment iff
+//! `g1 − n·g2 < 0` (formula 4).
+
+use serde::{Deserialize, Serialize};
+
+/// The three measured quantities driving the decision.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CostBenefit {
+    /// Computation granularity `C` in cycles per execution.
+    pub granularity: f64,
+    /// Hashing overhead `O` in cycles per table probe.
+    pub overhead: f64,
+    /// Reuse rate `R ∈ [0, 1]` (collision-deducted).
+    pub reuse_rate: f64,
+}
+
+impl CostBenefit {
+    /// Creates a cost-benefit record.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `reuse_rate` is outside `[0, 1]` or the costs are
+    /// negative/non-finite.
+    pub fn new(granularity: f64, overhead: f64, reuse_rate: f64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&reuse_rate),
+            "reuse rate {reuse_rate} outside [0, 1]"
+        );
+        assert!(
+            granularity >= 0.0 && granularity.is_finite(),
+            "bad granularity {granularity}"
+        );
+        assert!(
+            overhead >= 0.0 && overhead.is_finite(),
+            "bad overhead {overhead}"
+        );
+        CostBenefit {
+            granularity,
+            overhead,
+            reuse_rate,
+        }
+    }
+
+    /// Expected cost per execution *with* computation reuse (formula 1):
+    /// `(C+O)(1−R) + O·R`.
+    pub fn cost_with_reuse(&self) -> f64 {
+        (self.granularity + self.overhead) * (1.0 - self.reuse_rate)
+            + self.overhead * self.reuse_rate
+    }
+
+    /// Expected gain per execution (formula 2): `R·C − O`.
+    pub fn gain(&self) -> f64 {
+        self.reuse_rate * self.granularity - self.overhead
+    }
+
+    /// The transformation decision (formula 3): `R·C − O > 0`.
+    pub fn profitable(&self) -> bool {
+        self.gain() > 0.0
+    }
+
+    /// The pre-profiling screen: `O/C < 1` (a segment with `O ≥ C` can
+    /// never profit because `R ≤ 1`).
+    pub fn feasible(&self) -> bool {
+        self.granularity > 0.0 && self.overhead / self.granularity < 1.0
+    }
+}
+
+/// Formula 4: `true` when the *inner* segment should be reused instead of
+/// the outer one (`g1 − n·g2 < 0`).
+pub fn prefer_inner(outer_gain: f64, n: f64, inner_gain: f64) -> bool {
+    outer_gain - n * inner_gain < 0.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn formula_identity_holds() {
+        // C − [(C+O)(1−R) + O·R] must equal R·C − O for any values.
+        for &(c, o, r) in &[
+            (100.0, 10.0, 0.9),
+            (13859.0, 49.4, 0.098),
+            (1.28, 0.12, 0.994),
+            (29.45, 0.61, 0.651),
+        ] {
+            let cb = CostBenefit::new(c, o, r);
+            let lhs = c - cb.cost_with_reuse();
+            assert!(
+                (lhs - cb.gain()).abs() < 1e-9,
+                "identity broken at C={c} O={o} R={r}"
+            );
+        }
+    }
+
+    #[test]
+    fn paper_table3_rows_are_profitable() {
+        // Table 3 values (converted: C and O in the same unit) — all seven
+        // programs' chosen segments satisfy formula 3.
+        let rows = [
+            (1.28, 0.12, 0.994),    // G721_encode
+            (1.38, 0.15, 0.997),    // G721_decode
+            (13859.0, 49.4, 0.098), // MPEG2_encode
+            (12029.0, 52.7, 0.486), // MPEG2_decode
+            (333.7, 59.5, 0.996),   // RASTA
+            (29.45, 0.61, 0.651),   // UNEPIC
+            (26.3, 2.14, 0.982),    // GNUGO
+        ];
+        for (c, o, r) in rows {
+            let cb = CostBenefit::new(c, o, r);
+            assert!(cb.profitable(), "C={c} O={o} R={r} should be profitable");
+            assert!(cb.feasible());
+        }
+    }
+
+    #[test]
+    fn break_even_is_r_equals_o_over_c() {
+        let c = 100.0;
+        let o = 25.0;
+        let below = CostBenefit::new(c, o, 0.2499);
+        let above = CostBenefit::new(c, o, 0.2501);
+        assert!(!below.profitable());
+        assert!(above.profitable());
+    }
+
+    #[test]
+    fn infeasible_when_overhead_dominates() {
+        let cb = CostBenefit::new(10.0, 15.0, 1.0);
+        assert!(!cb.feasible());
+        assert!(!cb.profitable(), "even at R=1, O>C loses");
+    }
+
+    #[test]
+    fn prefer_inner_matches_formula4() {
+        // Outer gains 50 per execution; inner gains 2 but runs 30 times
+        // per outer execution → inner wins.
+        assert!(prefer_inner(50.0, 30.0, 2.0));
+        // Inner runs 10 times → outer wins.
+        assert!(!prefer_inner(50.0, 10.0, 2.0));
+        // Tie goes to the outer segment (strict <).
+        assert!(!prefer_inner(20.0, 10.0, 2.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "outside [0, 1]")]
+    fn bad_rate_panics() {
+        CostBenefit::new(1.0, 1.0, 1.5);
+    }
+}

@@ -1,0 +1,75 @@
+//! # compreuse — a compiler scheme for reusing intermediate computation results
+//!
+//! A from-scratch reproduction of Ding & Li, *"A Compiler Scheme for
+//! Reusing Intermediate Computation Results"* (CGO 2004). The paper's
+//! scheme — implemented there inside GCC 3.3 — finds code segments whose
+//! inputs repeat at run time and rewrites them to consult a software hash
+//! table (`check_hash` style, Fig. 2(b)) instead of recomputing.
+//!
+//! This crate is the scheme itself; the substrates live in sibling crates
+//! (`minic` front end, `flow` CFGs, `analysis` dataflow, `memo-runtime`
+//! tables, `vm` profiling interpreter):
+//!
+//! - [`cleanup`] — the call-splitting normalization (§3.1's clean-up module);
+//! - [`costben`] — formulas 1–4 (§2.2);
+//! - [`specialize`] — code specialization to shrink inputs (§2.4);
+//! - [`nesting`] — nested-segment resolution over the condensed nesting
+//!   graph (§2.3);
+//! - [`merge`] — table merging for identical input sets (§2.5);
+//! - [`transform`] — probe and memoization insertion (Fig. 2(b));
+//! - [`subsegment`] — sub-segment exposure (the paper's §5 future work);
+//! - [`pipeline`] — the end-to-end flow (Fig. 1).
+//!
+//! ## Quick start
+//!
+//! ```
+//! use compreuse::{run_pipeline, PipelineConfig};
+//!
+//! let src = "
+//!     int power2[15] = {1, 2, 4, 8, 16, 32, 64, 128,
+//!                       256, 512, 1024, 2048, 4096, 8192, 16384};
+//!     int quan(int val) {
+//!         int i;
+//!         for (i = 0; i < 15; i++)
+//!             if (val < power2[i])
+//!                 break;
+//!         return i;
+//!     }
+//!     int main() {
+//!         int s = 0;
+//!         for (int k = 0; k < 2000; k++)
+//!             s += quan(k % 40 * 11);
+//!         print(s);
+//!         return 0;
+//!     }";
+//! let program = minic::parse(src)?;
+//! let outcome = run_pipeline(&program, &PipelineConfig::default()).unwrap();
+//! assert!(outcome.report.transformed >= 1, "quan gets memoized");
+//!
+//! // Execute both versions and compare.
+//! let base = vm::run(&vm::lower(&outcome.baseline), vm::RunConfig::default()).unwrap();
+//! let memo = vm::run(
+//!     &vm::lower(&outcome.transformed),
+//!     vm::RunConfig { tables: outcome.make_tables(), ..vm::RunConfig::default() },
+//! ).unwrap();
+//! assert_eq!(base.output_text(), memo.output_text());
+//! assert!(memo.cycles < base.cycles, "reuse wins at 98% repetition");
+//! # Ok::<(), minic::error::Diag>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod cleanup;
+pub mod costben;
+pub mod merge;
+pub mod nesting;
+pub mod pipeline;
+pub mod specialize;
+pub mod subsegment;
+pub mod transform;
+
+pub use costben::CostBenefit;
+pub use pipeline::{
+    run_pipeline, PipelineConfig, PipelineError, Report, ReuseOutcome, SegDecision,
+};

@@ -1,0 +1,183 @@
+//! Hash-table merging (paper §2.5, Table 2).
+//!
+//! Segments with *identical input variables* share one table whose entries
+//! carry a validity bit vector and one output group per segment — GNU Go's
+//! eight `accumulate_influence` segments are the motivating case (without
+//! merging, the transformed program exhausted the iPAQ's memory).
+
+use analysis::inout::SegIo;
+use memo_runtime::TableSpec;
+
+/// One segment's placement in the table plan.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TableAssignment {
+    /// Runtime table index.
+    pub table: usize,
+    /// Output slot within the table (0 for unmerged).
+    pub slot: usize,
+}
+
+/// The complete table plan for the selected segments.
+#[derive(Debug, Clone)]
+pub struct TablePlan {
+    /// One spec per runtime table.
+    pub specs: Vec<TableSpec>,
+    /// Assignment per selected segment (parallel to the input list).
+    pub assignments: Vec<TableAssignment>,
+    /// Number of tables that host more than one segment.
+    pub merged_tables: usize,
+}
+
+impl TablePlan {
+    /// Total memory footprint of all planned tables.
+    pub fn total_bytes(&self) -> usize {
+        self.specs.iter().map(TableSpec::bytes).sum()
+    }
+}
+
+/// Groups segments by input signature and sizes their tables.
+///
+/// `seg_ios[i]` and `dips[i]` describe selected segment `i`: its interface
+/// and its profiled number of distinct input patterns. `bytes_cap`, if
+/// set, caps each table's size (the paper's Figures 14/15 sweep).
+pub fn plan_tables(
+    seg_ios: &[&SegIo],
+    dips: &[usize],
+    bytes_cap: Option<usize>,
+) -> TablePlan {
+    assert_eq!(seg_ios.len(), dips.len());
+    let mut specs: Vec<TableSpec> = Vec::new();
+    let mut assignments: Vec<TableAssignment> = Vec::with_capacity(seg_ios.len());
+    // Group indices by identical input signature.
+    type Signature = Vec<(String, minic::ast::OperandShape, minic::ast::ScalarKind)>;
+    let mut groups: Vec<(Signature, Vec<usize>)> = Vec::new();
+    for (i, io) in seg_ios.iter().enumerate() {
+        let sig = io.input_signature();
+        match groups.iter_mut().find(|(s, _)| *s == sig) {
+            Some((_, members)) => members.push(i),
+            None => groups.push((sig, vec![i])),
+        }
+    }
+
+    assignments.resize(seg_ios.len(), TableAssignment { table: 0, slot: 0 });
+    let mut merged_tables = 0;
+    for (_, members) in &groups {
+        let table = specs.len();
+        let key_words = seg_ios[members[0]].key_words;
+        let out_words: Vec<usize> = members.iter().map(|&i| seg_ios[i].out_words).collect();
+        // The shared table must hold the union of the member DIPs.
+        let dip: usize = members.iter().map(|&i| dips[i]).max().unwrap_or(1);
+        let mut slots = TableSpec::recommended_slots(dip);
+        if let Some(cap) = bytes_cap {
+            let per = if members.len() == 1 {
+                memo_runtime::DirectTable::entry_bytes(key_words, out_words[0])
+            } else {
+                memo_runtime::MergedTable::entry_bytes(key_words, &out_words)
+            };
+            // Round capped slot counts down to a power of two: structured
+            // key streams resonate badly with arbitrary moduli.
+            let fit = (cap / per).max(1);
+            let fit_pow2 = if fit.is_power_of_two() { fit } else { fit.next_power_of_two() / 2 };
+            slots = slots.min(fit_pow2.max(1));
+        }
+        let spec = TableSpec {
+            slots,
+            key_words,
+            out_words: out_words.clone(),
+        };
+        if members.len() > 1 {
+            merged_tables += 1;
+        }
+        for (slot, &i) in members.iter().enumerate() {
+            assignments[i] = TableAssignment { table, slot };
+        }
+        specs.push(spec);
+    }
+    TablePlan {
+        specs,
+        assignments,
+        merged_tables,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use minic::ast::{MemoOperand, OperandShape, ScalarKind};
+
+    fn io(inputs: &[(&str, usize)], out_words: usize) -> SegIo {
+        let inputs: Vec<MemoOperand> = inputs
+            .iter()
+            .map(|&(name, words)| MemoOperand {
+                name: name.into(),
+                shape: if words == 1 {
+                    OperandShape::Scalar
+                } else {
+                    OperandShape::Array(words)
+                },
+                elem: ScalarKind::Int,
+            })
+            .collect();
+        let key_words = inputs.iter().map(|o| o.words()).sum();
+        SegIo {
+            inputs,
+            outputs: vec![],
+            ret: Some(ScalarKind::Int),
+            key_words,
+            out_words,
+        }
+    }
+
+    #[test]
+    fn identical_signatures_merge() {
+        // Eight GNU-Go-style segments with the same four inputs.
+        let one = io(&[("a", 1), ("b", 1), ("c", 1), ("d", 1)], 1);
+        let ios: Vec<&SegIo> = (0..8).map(|_| &one).collect();
+        let plan = plan_tables(&ios, &[1000; 8], None);
+        assert_eq!(plan.specs.len(), 1);
+        assert_eq!(plan.merged_tables, 1);
+        assert_eq!(plan.specs[0].out_words.len(), 8);
+        // Slots are distinct.
+        for (i, a) in plan.assignments.iter().enumerate() {
+            assert_eq!(a.table, 0);
+            assert_eq!(a.slot, i);
+        }
+        // Merging must be smaller than eight separate tables.
+        let merged_bytes = plan.total_bytes();
+        let single = plan_tables(&ios[..1], &[1000], None).total_bytes();
+        assert!(merged_bytes < single * 8);
+    }
+
+    #[test]
+    fn different_signatures_stay_separate() {
+        let a = io(&[("x", 1)], 1);
+        let b = io(&[("y", 1)], 1);
+        let c = io(&[("x", 1), ("y", 1)], 2);
+        let plan = plan_tables(&[&a, &b, &c], &[10, 10, 10], None);
+        assert_eq!(plan.specs.len(), 3);
+        assert_eq!(plan.merged_tables, 0);
+        assert!(plan.assignments.iter().all(|a| a.slot == 0));
+    }
+
+    #[test]
+    fn byte_cap_limits_slots() {
+        let a = io(&[("x", 1)], 1);
+        let uncapped = plan_tables(&[&a], &[100_000], None);
+        let capped = plan_tables(&[&a], &[100_000], Some(4096));
+        assert!(capped.specs[0].slots < uncapped.specs[0].slots);
+        assert!(capped.specs[0].bytes() <= 4096);
+        // The cap never drops below one slot.
+        let tiny = plan_tables(&[&a], &[100_000], Some(1));
+        assert_eq!(tiny.specs[0].slots, 1);
+    }
+
+    #[test]
+    fn dip_sizes_tables() {
+        let a = io(&[("x", 1)], 1);
+        let small = plan_tables(&[&a], &[31], None);
+        let large = plan_tables(&[&a], &[46_283], None);
+        assert!(small.specs[0].slots >= 31);
+        assert!(large.specs[0].slots >= 46_283);
+        assert!(large.specs[0].slots > small.specs[0].slots * 100);
+    }
+}

@@ -1,0 +1,277 @@
+//! Nested-segment resolution (paper §2.3, Fig. 3).
+//!
+//! Profitable segments may nest (loops in loops, calls in loops, function
+//! bodies calling other candidates). Memoizing both an outer and an inner
+//! segment wastes table space — the paper keeps exactly one per nest:
+//!
+//! 1. build the interprocedural *nesting graph* (arc outer → inner);
+//! 2. condense its SCCs (recursion), keeping the best-gain member;
+//! 3. traverse the DAG bottom-up: compare the outer gain `g1` with
+//!    `Σ n·g2` over its inner segments (formula 4) and mark the winner.
+//!
+//! We derive both the arcs and the `n` factors from the value-set
+//! profiling run: segment *inner* is nested in *outer* exactly when inner
+//! executions occurred while outer was active, and
+//! `n = executions(inner under outer) / executions(outer)`.
+
+use crate::costben::prefer_inner;
+use flow::graph::DiGraph;
+use vm::ProfileData;
+
+/// The outcome of nesting resolution.
+#[derive(Debug, Clone)]
+pub struct NestingDecision {
+    /// Indices (into the profiled-segment list) chosen for transformation.
+    pub chosen: Vec<usize>,
+    /// For each segment, the decided subtree gain per execution (the value
+    /// compared by formula 4 at its parent).
+    pub decided_gain: Vec<f64>,
+}
+
+/// Resolves nesting among `profitable` segments.
+///
+/// `gains[i]` is the per-execution gain `R·C − O` of segment `i`;
+/// segments with non-positive gain must already be excluded from
+/// `profitable`.
+pub fn resolve(
+    profile: &ProfileData,
+    gains: &[f64],
+    profitable: &[usize],
+) -> NestingDecision {
+    let n = gains.len();
+    let in_play: Vec<bool> = {
+        let mut v = vec![false; n];
+        for &i in profitable {
+            v[i] = true;
+        }
+        v
+    };
+
+    // Nesting graph over all profiled segments (arcs through unprofitable
+    // intermediates still order the profitable ones).
+    let mut g = DiGraph::new(n);
+    for inner in 0..n {
+        for (&outer, &count) in &profile.segs[inner].within {
+            if count > 0 && (outer as usize) != inner {
+                g.add_edge(outer as usize, inner);
+            }
+        }
+    }
+
+    // Condense SCCs (recursive nests): only the best-gain in-play member
+    // of each nontrivial SCC survives.
+    let sccs = g.sccs();
+    let mut alive = in_play.clone();
+    for comp in &sccs.comps {
+        if comp.len() <= 1 {
+            continue;
+        }
+        let best = comp
+            .iter()
+            .copied()
+            .filter(|&i| in_play[i])
+            .max_by(|&a, &b| {
+                let ta = gains[a] * profile.segs[a].n as f64;
+                let tb = gains[b] * profile.segs[b].n as f64;
+                ta.partial_cmp(&tb).expect("finite gains")
+            });
+        for &i in comp {
+            if Some(i) != best {
+                alive[i] = false;
+            }
+        }
+    }
+
+    // Condense and transitively reduce: profiling `within` counts record
+    // *all* ancestors, which would double-count a grandchild's gain (once
+    // directly and once inside its parent's decided gain).
+    let dag = g.condense(&sccs).transitive_reduction();
+
+    // Bottom-up (Tarjan emits components leaves-first): compute each
+    // component's decided gain in per-own-execution units, comparing the
+    // representative's own gain against Σ n·decided(child) (formula 4).
+    let mut decided = vec![0.0f64; n];
+    let mut winner = vec![false; n];
+    let mut comp_rep = vec![usize::MAX; sccs.comps.len()];
+    for (ci, comp) in sccs.comps.iter().enumerate() {
+        let rep = comp
+            .iter()
+            .copied()
+            .find(|&i| alive[i])
+            .unwrap_or(comp[0]);
+        comp_rep[ci] = rep;
+        let mut inner_sum = 0.0;
+        for &vc in dag.succs(ci) {
+            let inner = comp_rep[vc];
+            if decided[inner] > 0.0 {
+                inner_sum += profile.nesting_factor(rep as u32, inner as u32) * decided[inner];
+            }
+        }
+        let own = if alive[rep] { gains[rep] } else { 0.0 };
+        if own > 0.0 && !prefer_inner(own, 1.0, inner_sum) {
+            decided[rep] = own;
+            winner[rep] = true;
+        } else {
+            decided[rep] = inner_sum;
+        }
+    }
+
+    // Top-down over the DAG (ancestors first): the first winning,
+    // uncovered component on each path is chosen; everything below a
+    // chosen or covered component is covered.
+    let order = dag.topo_order().expect("condensation is acyclic");
+    let mut comp_covered = vec![false; dag.len()];
+    let mut chosen = Vec::new();
+    for &ci in &order {
+        let rep = comp_rep[ci];
+        if !comp_covered[ci] && winner[rep] && alive[rep] {
+            chosen.push(rep);
+            comp_covered[ci] = true; // cover descendants below
+        }
+        if comp_covered[ci] {
+            for &vc in dag.succs(ci) {
+                comp_covered[vc] = true;
+            }
+        }
+    }
+
+    // Shared-parent refinement: a segment that won against its own subtree
+    // but was covered by a chosen ancestor may still run *outside* that
+    // ancestor (G721's quan is called both from fmult and directly from
+    // the sample loop). If a meaningful share of its executions is not
+    // under any chosen ancestor, memoize it too — on the covered paths its
+    // table is simply consulted less often.
+    for u in 0..n {
+        if !winner[u] || !alive[u] || chosen.contains(&u) {
+            continue;
+        }
+        let total = profile.segs[u].n;
+        if total == 0 {
+            continue;
+        }
+        let covered_execs: u64 = chosen
+            .iter()
+            .map(|&a| {
+                profile.segs[u]
+                    .within
+                    .get(&(a as u32))
+                    .copied()
+                    .unwrap_or(0)
+            })
+            .sum();
+        let uncovered = total.saturating_sub(covered_execs);
+        if uncovered as f64 > 0.10 * total as f64 {
+            chosen.push(u);
+        }
+    }
+
+    chosen.sort_unstable();
+    NestingDecision {
+        chosen,
+        decided_gain: decided,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+    use vm::SegProfile;
+
+    /// Builds a ProfileData where seg `i` ran `n[i]` times and
+    /// `within[(outer, inner)] = count`.
+    fn profile(ns: &[u64], within: &[(u32, u32, u64)]) -> ProfileData {
+        let mut segs: Vec<SegProfile> = ns
+            .iter()
+            .map(|&n| SegProfile {
+                n,
+                ..SegProfile::default()
+            })
+            .collect();
+        for &(outer, inner, count) in within {
+            segs[inner as usize].within.insert(outer, count);
+        }
+        let _ = HashMap::<u32, u64>::new();
+        ProfileData { segs }
+    }
+
+    #[test]
+    fn inner_wins_when_n_times_gain_exceeds_outer() {
+        // Fig. 3 flavor: outer 0 encloses inner 1; inner runs 30× per
+        // outer with gain 2; outer gain 50 < 60.
+        let p = profile(&[10, 300], &[(0, 1, 300)]);
+        let d = resolve(&p, &[50.0, 2.0], &[0, 1]);
+        assert_eq!(d.chosen, vec![1]);
+    }
+
+    #[test]
+    fn outer_wins_when_gain_dominates() {
+        let p = profile(&[10, 100], &[(0, 1, 100)]);
+        let d = resolve(&p, &[50.0, 2.0], &[0, 1]);
+        assert_eq!(d.chosen, vec![0], "50 > 10×2");
+    }
+
+    #[test]
+    fn sequential_inner_segments_sum() {
+        // Outer 0 encloses sequential 1 and 2 (paper: "the performance
+        // gain from the outer code segment will be compared with the sum
+        // of the gains from the two inner code segments").
+        let p = profile(&[10, 100, 100], &[(0, 1, 100), (0, 2, 100)]);
+        // Each inner: n=10, gain 3 → sum 60 > outer 50.
+        let d = resolve(&p, &[50.0, 3.0, 3.0], &[0, 1, 2]);
+        assert_eq!(d.chosen, vec![1, 2]);
+        // With outer gain 70 the outer wins and covers both.
+        let d2 = resolve(&p, &[70.0, 3.0, 3.0], &[0, 1, 2]);
+        assert_eq!(d2.chosen, vec![0]);
+    }
+
+    #[test]
+    fn three_level_nesting_picks_middle() {
+        // 0 ⊃ 1 ⊃ 2; gains tuned so 1 beats both 2 (from below) and 0
+        // (from above).
+        // n(1 per 0) = 5, n(2 per 1) = 4.
+        let p = profile(
+            &[10, 50, 200],
+            &[(0, 1, 50), (1, 2, 200), (0, 2, 200)],
+        );
+        // decided(2)=2; at 1: inner_sum = 4×2 = 8 < g1=20 → 1 wins, decided(1)=20.
+        // at 0: inner_sum = 5×20 = 100 > g0=30 → inner wins.
+        let d = resolve(&p, &[30.0, 20.0, 2.0], &[0, 1, 2]);
+        assert_eq!(d.chosen, vec![1]);
+    }
+
+    #[test]
+    fn unprofitable_middle_does_not_block() {
+        // 0 ⊃ 1 ⊃ 2 but 1 is not profitable; 0 vs 2 directly.
+        let p = profile(
+            &[10, 50, 500],
+            &[(0, 1, 50), (1, 2, 500), (0, 2, 500)],
+        );
+        // n(2 per 0) = 50 × gain 1 = 50 > g0 = 30 → choose 2.
+        let d = resolve(&p, &[30.0, 0.0, 1.0], &[0, 2]);
+        assert_eq!(d.chosen, vec![2]);
+    }
+
+    #[test]
+    fn recursive_scc_keeps_best_total() {
+        // Segments 0 and 1 are mutually nested (recursion). 1 has the
+        // better total gain.
+        let p = profile(&[100, 100], &[(0, 1, 100), (1, 0, 100)]);
+        let d = resolve(&p, &[2.0, 5.0], &[0, 1]);
+        assert_eq!(d.chosen, vec![1]);
+    }
+
+    #[test]
+    fn independent_segments_all_chosen() {
+        let p = profile(&[10, 10, 10], &[]);
+        let d = resolve(&p, &[5.0, 5.0, 5.0], &[0, 1, 2]);
+        assert_eq!(d.chosen, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn empty_profitable_list_chooses_nothing() {
+        let p = profile(&[10], &[]);
+        let d = resolve(&p, &[5.0], &[]);
+        assert!(d.chosen.is_empty());
+    }
+}

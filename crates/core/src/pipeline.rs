@@ -1,0 +1,479 @@
+//! The end-to-end compiler scheme (paper Fig. 1):
+//!
+//! ```text
+//! source → [specialize §2.4] → enumerate segments → structural screen
+//!        → input/output analysis (§2.1) → static O/C < 1 pre-filter
+//!        → execution-frequency filter → value-set profiling
+//!        → cost-benefit selection (formula 3) → nesting resolution (§2.3)
+//!        → table merging (§2.5) → memoization transform (Fig. 2(b))
+//! ```
+//!
+//! [`run_pipeline`] drives all stages and returns the transformed program,
+//! the table specs to instantiate at run time, the profiling data (the
+//! harness regenerates the paper's histogram figures from it), and a
+//! [`Report`] with every decision (Tables 3 and 4).
+
+use crate::costben::CostBenefit;
+use crate::merge::{plan_tables, TableAssignment, TablePlan};
+use crate::nesting;
+use crate::specialize::{specialize, Specialization};
+use crate::transform::{insert_memos, insert_probes, MemoSpec, ProbeSpec};
+use analysis::granularity::{seg_granularity, SegCost};
+use analysis::inout::{seg_io, SegIo};
+use analysis::segments::{self, Reject};
+use analysis::{Analyses, SegKind, Segment};
+use memo_runtime::TableSpec;
+use minic::ast::{NodeId, Program};
+use minic::sema::Checked;
+use std::collections::HashMap;
+use std::fmt;
+use vm::{CostModel, ProfileData, RunConfig};
+
+/// Pipeline tuning knobs.
+#[derive(Debug, Clone)]
+pub struct PipelineConfig {
+    /// Cost model the decisions are made for (the paper profiles the same
+    /// binary it measures).
+    pub cost: CostModel,
+    /// Input stream for the frequency and value-set profiling runs.
+    pub profile_input: Vec<i64>,
+    /// Segments executed fewer times than this are not value-profiled
+    /// (the paper's first stage: "filter out code segments which are
+    /// executed infrequently").
+    pub min_exec: u64,
+    /// Optional per-table byte cap (Figures 14/15 sweep).
+    pub bytes_cap: Option<usize>,
+    /// Apply the §3.1 clean-up normalization (call splitting) before
+    /// anything else. Off by default: the analyses here handle nested
+    /// calls directly, so clean-up only changes the program shape, but it
+    /// is available for fidelity with the paper's module list.
+    pub enable_cleanup: bool,
+    /// Expose sub-segments (the paper's stated future work): statement
+    /// ranges inside bodies whose whole-body segment is illegal (I/O,
+    /// escaping control) are wrapped into bare blocks and become
+    /// candidates of their own. Off by default for paper fidelity.
+    pub enable_subsegments: bool,
+    /// Apply the §2.4 specialization pass.
+    pub enable_specialization: bool,
+    /// Apply the §2.5 table merging (ablation toggle).
+    pub enable_merging: bool,
+    /// Apply the §2.3 nesting resolution (ablation toggle; when off, every
+    /// profitable segment is transformed).
+    pub enable_nesting: bool,
+    /// Cycle budget for the profiling runs.
+    pub max_profile_cycles: u64,
+}
+
+impl Default for PipelineConfig {
+    fn default() -> Self {
+        PipelineConfig {
+            cost: CostModel::o0(),
+            profile_input: Vec::new(),
+            min_exec: 32,
+            bytes_cap: None,
+            enable_cleanup: false,
+            enable_subsegments: false,
+            enable_specialization: true,
+            enable_merging: true,
+            enable_nesting: true,
+            max_profile_cycles: u64::MAX,
+        }
+    }
+}
+
+/// Why the pipeline failed.
+#[derive(Debug)]
+pub enum PipelineError {
+    /// The program (or an intermediate transform) failed the front end.
+    FrontEnd(String),
+    /// A profiling run trapped.
+    Trap(vm::Trap),
+}
+
+impl fmt::Display for PipelineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PipelineError::FrontEnd(e) => write!(f, "front-end error: {e}"),
+            PipelineError::Trap(t) => write!(f, "profiling run trapped: {t}"),
+        }
+    }
+}
+
+impl std::error::Error for PipelineError {}
+
+/// Everything known about one value-profiled segment.
+#[derive(Debug, Clone)]
+pub struct SegDecision {
+    /// Segment name.
+    pub name: String,
+    /// Executions observed by the frequency run.
+    pub exec_count: u64,
+    /// Static granularity estimate (cycles).
+    pub static_c: f64,
+    /// Static overhead bound (cycles).
+    pub static_o: f64,
+    /// Profiled execution instances `N`.
+    pub n: u64,
+    /// Distinct input patterns `N_ds`.
+    pub dip: usize,
+    /// Raw reuse rate `R = 1 − N_ds/N`.
+    pub reuse_rate: f64,
+    /// Reuse rate after collision deduction at the planned table size.
+    pub effective_rate: f64,
+    /// Measured granularity `C` (cycles/execution).
+    pub measured_c: f64,
+    /// Hashing overhead `O` (cycles/probe).
+    pub overhead_o: f64,
+    /// Expected gain per execution, `R·C − O`.
+    pub gain: f64,
+    /// Formula 3 verdict.
+    pub profitable: bool,
+    /// Survived nesting resolution and was transformed.
+    pub chosen: bool,
+    /// Table placement, when chosen.
+    pub assignment: Option<TableAssignment>,
+    /// Key width in words.
+    pub key_words: usize,
+    /// Output width in words.
+    pub out_words: usize,
+}
+
+/// Pipeline statistics (the paper's Table 4 row for a program).
+#[derive(Debug, Clone, Default)]
+pub struct Report {
+    /// Segments enumerated ("Analyzed CS").
+    pub analyzed: usize,
+    /// Segments passing structure + interface + pre-filter + frequency
+    /// ("Profiled CS").
+    pub profiled: usize,
+    /// Segments transformed ("Transformed CS").
+    pub transformed: usize,
+    /// Per-segment rejection log.
+    pub rejects: Vec<(String, Reject)>,
+    /// Specializations applied.
+    pub specializations: Vec<Specialization>,
+    /// Decisions for every profiled segment.
+    pub decisions: Vec<SegDecision>,
+    /// Number of merged (multi-segment) tables.
+    pub merged_tables: usize,
+    /// Total planned table bytes.
+    pub total_table_bytes: usize,
+}
+
+/// The pipeline's product.
+#[derive(Debug)]
+pub struct ReuseOutcome {
+    /// The (possibly specialized) but untransformed program — the exact
+    /// baseline the transformation was derived from.
+    pub baseline: Checked,
+    /// The memoized program.
+    pub transformed: Checked,
+    /// Table specs to instantiate for [`vm::RunConfig::tables`].
+    pub specs: Vec<TableSpec>,
+    /// Value-set profiles of every profiled segment (drives the paper's
+    /// histogram figures).
+    pub profile: ProfileData,
+    /// Decision log.
+    pub report: Report,
+}
+
+impl ReuseOutcome {
+    /// Instantiates the planned memo tables.
+    pub fn make_tables(&self) -> Vec<memo_runtime::MemoTable> {
+        self.specs
+            .iter()
+            .map(|spec| {
+                if spec.out_words.len() > 1 {
+                    memo_runtime::MemoTable::merged(spec)
+                } else {
+                    memo_runtime::MemoTable::direct(spec)
+                }
+            })
+            .collect()
+    }
+}
+
+/// Runs the complete computation-reuse pipeline on `program`.
+///
+/// # Errors
+///
+/// Returns [`PipelineError`] if the program fails the front end or a
+/// profiling run traps.
+pub fn run_pipeline(
+    program: &Program,
+    config: &PipelineConfig,
+) -> Result<ReuseOutcome, PipelineError> {
+    let mut checked0 =
+        minic::check(program.clone()).map_err(|e| PipelineError::FrontEnd(e.to_string()))?;
+
+    // Stage −1: clean-up normalization (§3.1), when requested.
+    if config.enable_cleanup {
+        let (cleaned, _splits) = crate::cleanup::cleanup(&checked0);
+        checked0 = minic::check(cleaned).map_err(|e| PipelineError::FrontEnd(e.to_string()))?;
+    }
+
+    // Stage 0: specialization (§2.4).
+    let (checked, specializations) = if config.enable_specialization {
+        let an0 = Analyses::build(&checked0);
+        let (prog, reports) = specialize(&checked0, &an0);
+        if reports.is_empty() {
+            (checked0, reports)
+        } else {
+            let rechecked =
+                minic::check(prog).map_err(|e| PipelineError::FrontEnd(e.to_string()))?;
+            (rechecked, reports)
+        }
+    } else {
+        (checked0, Vec::new())
+    };
+
+    // Stage 0.5: sub-segment exposure (paper §5 future work), optional.
+    let checked = if config.enable_subsegments {
+        let an_pre = Analyses::build(&checked);
+        let (prog, wrapped) = crate::subsegment::expose(&checked, &an_pre);
+        if wrapped > 0 {
+            minic::check(prog).map_err(|e| PipelineError::FrontEnd(e.to_string()))?
+        } else {
+            checked
+        }
+    } else {
+        checked
+    };
+
+    let an = Analyses::build(&checked);
+    let mut report = Report {
+        specializations,
+        ..Report::default()
+    };
+
+    // Stage 1: enumerate and screen.
+    let segs = segments::enumerate(&checked);
+    report.analyzed = segs.len();
+    let mut candidates: Vec<(Segment, SegIo, SegCost)> = Vec::new();
+    for seg in segs {
+        if let Err(r) = segments::check_structure(&checked, &an.cg, &an.io, &seg) {
+            report.rejects.push((seg.name.clone(), r));
+            continue;
+        }
+        let io = match seg_io(&checked, &an, &seg) {
+            Ok(io) => io,
+            Err(r) => {
+                report.rejects.push((seg.name.clone(), r));
+                continue;
+            }
+        };
+        let cost = seg_granularity(&checked, &an, &seg, io.key_words, io.out_words);
+        if !cost.passes_prefilter() {
+            report
+                .rejects
+                .push((seg.name.clone(), Reject::OverheadDominates));
+            continue;
+        }
+        candidates.push((seg, io, cost));
+    }
+
+    // Stage 2: execution-frequency filter.
+    let module = vm::lower(&checked);
+    let freq = vm::run(
+        &module,
+        RunConfig {
+            cost: config.cost.clone(),
+            input: config.profile_input.clone(),
+            max_cycles: config.max_profile_cycles,
+            ..RunConfig::default()
+        },
+    )
+    .map_err(PipelineError::Trap)?;
+    let loop_index: HashMap<NodeId, usize> = module
+        .loop_origins
+        .iter()
+        .enumerate()
+        .map(|(i, &id)| (id, i))
+        .collect();
+    let branch_index: HashMap<NodeId, usize> = module
+        .branch_origins
+        .iter()
+        .enumerate()
+        .map(|(i, &id)| (id, i))
+        .collect();
+    let exec_count = |seg: &Segment| -> u64 {
+        match seg.kind {
+            SegKind::FuncBody => freq.func_calls[seg.func],
+            SegKind::LoopBody(id) => loop_index
+                .get(&id)
+                .map(|&i| freq.loop_counts[i])
+                .unwrap_or(0),
+            SegKind::IfBranch(id, then) => branch_index
+                .get(&id)
+                .map(|&i| freq.branch_counts[i * 2 + usize::from(!then)])
+                .unwrap_or(0),
+            SegKind::BareBlock(id) => {
+                // A bare block runs as often as its innermost enclosing
+                // loop iterates (or as often as the function is called).
+                match crate::subsegment::enclosing_loop(
+                    &checked.program.funcs[seg.func].body,
+                    id,
+                ) {
+                    Some(loop_id) => loop_index
+                        .get(&loop_id)
+                        .map(|&i| freq.loop_counts[i])
+                        .unwrap_or(0),
+                    None => freq.func_calls[seg.func],
+                }
+            }
+        }
+    };
+    let mut survivors: Vec<(Segment, SegIo, SegCost, u64)> = Vec::new();
+    for (seg, io, cost) in candidates {
+        let count = exec_count(&seg);
+        if count < config.min_exec {
+            report.rejects.push((seg.name.clone(), Reject::ColdCode));
+            continue;
+        }
+        survivors.push((seg, io, cost, count));
+    }
+    report.profiled = survivors.len();
+
+    // Stage 3: value-set profiling.
+    let probes: Vec<ProbeSpec> = survivors
+        .iter()
+        .enumerate()
+        .map(|(i, (seg, io, _, _))| ProbeSpec::for_segment(seg, i, io.inputs.clone()))
+        .collect();
+    let profile = if probes.is_empty() {
+        ProfileData::default()
+    } else {
+        let instrumented = insert_probes(&checked.program, &probes);
+        let ichecked =
+            minic::check(instrumented).map_err(|e| PipelineError::FrontEnd(e.to_string()))?;
+        let imodule = vm::lower(&ichecked);
+        let out = vm::run(
+            &imodule,
+            RunConfig {
+                cost: config.cost.clone(),
+                input: config.profile_input.clone(),
+                max_cycles: config.max_profile_cycles,
+                ..RunConfig::default()
+            },
+        )
+        .map_err(PipelineError::Trap)?;
+        out.profile.unwrap_or_default()
+    };
+
+    // Stage 4: cost-benefit selection (formula 3).
+    let mut decisions: Vec<SegDecision> = Vec::new();
+    let mut gains: Vec<f64> = Vec::new();
+    let mut profitable: Vec<usize> = Vec::new();
+    for (i, (seg, io, cost, count)) in survivors.iter().enumerate() {
+        let sp = &profile.segs[i];
+        let planned_slots = {
+            let mut slots = TableSpec::recommended_slots(sp.dip());
+            if let Some(cap) = config.bytes_cap {
+                let per =
+                    memo_runtime::DirectTable::entry_bytes(io.key_words, io.out_words);
+                let fit = (cap / per).max(1);
+                let fit_pow2 =
+                    if fit.is_power_of_two() { fit } else { fit.next_power_of_two() / 2 };
+                slots = slots.min(fit_pow2.max(1));
+            }
+            slots
+        };
+        let effective = sp.effective_reuse_rate(planned_slots);
+        let measured_c = sp.avg_cycles();
+        let overhead_o = config.cost.memo_overhead(io.key_words, io.out_words) as f64;
+        let cb = CostBenefit::new(measured_c, overhead_o, effective.clamp(0.0, 1.0));
+        let gain = cb.gain();
+        let is_profitable = cb.profitable();
+        if is_profitable {
+            profitable.push(i);
+        }
+        gains.push(gain);
+        decisions.push(SegDecision {
+            name: seg.name.clone(),
+            exec_count: *count,
+            static_c: cost.granularity_cycles,
+            static_o: cost.overhead_cycles,
+            n: sp.n,
+            dip: sp.dip(),
+            reuse_rate: sp.reuse_rate(),
+            effective_rate: effective,
+            measured_c,
+            overhead_o,
+            gain,
+            profitable: is_profitable,
+            chosen: false,
+            assignment: None,
+            key_words: io.key_words,
+            out_words: io.out_words,
+        });
+    }
+
+    // Stage 5: nesting resolution (§2.3).
+    let chosen: Vec<usize> = if config.enable_nesting {
+        nesting::resolve(&profile, &gains, &profitable).chosen
+    } else {
+        profitable.clone()
+    };
+
+    // Stage 6: table planning with merging (§2.5).
+    let chosen_ios: Vec<&SegIo> = chosen.iter().map(|&i| &survivors[i].1).collect();
+    let chosen_dips: Vec<usize> = chosen.iter().map(|&i| profile.segs[i].dip()).collect();
+    let plan: TablePlan = if config.enable_merging {
+        plan_tables(&chosen_ios, &chosen_dips, config.bytes_cap)
+    } else {
+        // Ablation: one table per segment.
+        let mut specs = Vec::new();
+        let mut assignments = Vec::new();
+        for (io, &dip) in chosen_ios.iter().zip(&chosen_dips) {
+            let single = plan_tables(&[io], &[dip], config.bytes_cap);
+            assignments.push(TableAssignment {
+                table: specs.len(),
+                slot: 0,
+            });
+            specs.extend(single.specs);
+        }
+        TablePlan {
+            specs,
+            assignments,
+            merged_tables: 0,
+        }
+    };
+
+    // Stage 7: the memoization transform.
+    let memos: Vec<MemoSpec> = chosen
+        .iter()
+        .enumerate()
+        .map(|(k, &i)| {
+            let (seg, io, _, _) = &survivors[i];
+            let a = plan.assignments[k];
+            decisions[i].chosen = true;
+            decisions[i].assignment = Some(a);
+            MemoSpec {
+                func: seg.func,
+                kind: seg.kind,
+                name: seg.name.clone(),
+                table: a.table,
+                slot: a.slot,
+                inputs: io.inputs.clone(),
+                outputs: io.outputs.clone(),
+                ret: io.ret,
+            }
+        })
+        .collect();
+    report.transformed = memos.len();
+    report.merged_tables = plan.merged_tables;
+    report.total_table_bytes = plan.total_bytes();
+    report.decisions = decisions;
+
+    let transformed_prog = insert_memos(&checked.program, &memos);
+    let transformed =
+        minic::check(transformed_prog).map_err(|e| PipelineError::FrontEnd(e.to_string()))?;
+
+    Ok(ReuseOutcome {
+        baseline: checked,
+        transformed,
+        specs: plan.specs,
+        profile,
+        report,
+    })
+}

@@ -1,0 +1,403 @@
+//! Code specialization to reduce hashing overhead (paper §2.4).
+//!
+//! > "Specialization makes multiple versions of a code segment. In certain
+//! > versions, some input variables become invariants."
+//!
+//! The motivating example is G721's `quan(val, table, size)` (Fig. 4):
+//! every call site passes `table = power2` (a never-modified global) and
+//! `size = 15`, so a specialized `quan` with a single `val` input becomes
+//! a profitable reuse candidate.
+//!
+//! This pass finds, for each non-recursive function, parameters whose
+//! value agrees at **every** direct call site and is either an integer /
+//! float literal or a never-modified global array (decayed to its base).
+//! It clones the function with those parameters substituted and rewrites
+//! the call sites. The original function is kept (it may still be reached
+//! through function pointers).
+
+use analysis::{Analyses, VarId};
+use minic::ast::{Expr, ExprKind, FuncDef, Param, Program, UnOp};
+use minic::sema::{Checked, Res};
+use minic::visit::{walk_expr_mut, VisitMut};
+use std::collections::{HashMap, HashSet};
+
+/// What a specialized-away parameter is replaced with.
+#[derive(Debug, Clone, PartialEq)]
+enum Binding {
+    /// An integer literal.
+    Int(i64),
+    /// A float literal.
+    Float(f64),
+    /// A never-modified global (arrays decay; scalars read directly).
+    Global(String),
+}
+
+/// Report of one specialization.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Specialization {
+    /// Original function name.
+    pub original: String,
+    /// New function name.
+    pub specialized: String,
+    /// Names of the parameters that were bound away.
+    pub bound_params: Vec<String>,
+}
+
+/// Runs the specialization pass; returns the rewritten program and a
+/// report of what was specialized.
+///
+/// The returned program is unchecked (node ids are stale); re-run
+/// [`minic::check`] before using it.
+pub fn specialize(checked: &Checked, an: &Analyses) -> (Program, Vec<Specialization>) {
+    let mut out = checked.program.clone();
+    let mut reports = Vec::new();
+    let never_modified: HashSet<VarId> = {
+        let ever = an.modref.ever_modified();
+        (0..checked.info.globals.len())
+            .map(VarId::Global)
+            .filter(|v| !ever.contains(v))
+            .collect()
+    };
+
+    let n = checked.program.funcs.len();
+    for target in 0..n {
+        let fname = checked.program.funcs[target].name.clone();
+        if fname == "main" || an.cg.is_recursive(target) || an.cg.address_taken[target] {
+            continue;
+        }
+        let nparams = checked.program.funcs[target].params.len();
+        if nparams < 2 {
+            continue; // nothing to shrink meaningfully
+        }
+
+        // Gather the binding candidate of every call-site argument.
+        let mut per_param: Vec<Option<Binding>> = vec![None; nparams];
+        let mut consistent = vec![true; nparams];
+        let mut any_site = false;
+        for (ci, caller) in checked.program.funcs.iter().enumerate() {
+            minic::visit::for_each_expr(&caller.body, |e| {
+                if let ExprKind::Call(callee, args) = &e.kind {
+                    if direct_target(checked, callee) != Some(target) {
+                        return;
+                    }
+                    any_site = true;
+                    for (i, arg) in args.iter().enumerate().take(nparams) {
+                        if !consistent[i] {
+                            continue;
+                        }
+                        match binding_of(checked, &never_modified, ci, arg) {
+                            Some(b) => match &per_param[i] {
+                                None => per_param[i] = Some(b),
+                                Some(prev) if *prev == b => {}
+                                Some(_) => consistent[i] = false,
+                            },
+                            None => consistent[i] = false,
+                        }
+                    }
+                }
+            });
+        }
+        if !any_site {
+            continue;
+        }
+        let bindings: Vec<(usize, Binding)> = per_param
+            .iter()
+            .enumerate()
+            .filter_map(|(i, b)| {
+                if consistent[i] {
+                    b.clone().map(|b| (i, b))
+                } else {
+                    None
+                }
+            })
+            .collect();
+        if bindings.is_empty() || bindings.len() == nparams {
+            // Either nothing to bind, or the function would take no
+            // arguments at all (a constant — out of scope here).
+            if bindings.len() == nparams {
+                continue;
+            }
+            continue;
+        }
+
+        // Refuse if a bound global's name is shadowed inside the function.
+        let func_def = &checked.program.funcs[target];
+        if bindings.iter().any(|(_, b)| {
+            matches!(b, Binding::Global(g) if name_shadowed_in(func_def, g))
+        }) {
+            continue;
+        }
+
+        // Build the specialized clone.
+        let spec_name = format!("{fname}__spec");
+        if checked.info.func_index.contains_key(&spec_name) {
+            continue; // name collision; skip rather than mangle further
+        }
+        let bound_idx: HashSet<usize> = bindings.iter().map(|&(i, _)| i).collect();
+        let mut clone = func_def.clone();
+        clone.name = spec_name.clone();
+        let kept_params: Vec<Param> = clone
+            .params
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| !bound_idx.contains(i))
+            .map(|(_, p)| p.clone())
+            .collect();
+        let substitutions: HashMap<String, Binding> = bindings
+            .iter()
+            .map(|(i, b)| (clone.params[*i].name.clone(), b.clone()))
+            .collect();
+        clone.params = kept_params;
+        let mut subst = Substituter {
+            map: &substitutions,
+        };
+        subst.visit_block_mut(&mut clone.body);
+
+        // Rewrite every direct call site to call the specialized clone
+        // with the bound arguments dropped.
+        for f in &mut out.funcs {
+            rewrite_calls(checked, f, target, &spec_name, &bound_idx);
+        }
+        out.funcs.push(clone);
+        reports.push(Specialization {
+            original: fname,
+            specialized: spec_name,
+            bound_params: bindings
+                .iter()
+                .map(|(i, _)| func_def.params[*i].name.clone())
+                .collect(),
+        });
+    }
+    (out, reports)
+}
+
+fn direct_target(checked: &Checked, callee: &Expr) -> Option<usize> {
+    let mut c = callee;
+    while let ExprKind::Unary(UnOp::Deref, inner) = &c.kind {
+        c = inner;
+    }
+    match checked.info.res.get(&c.id) {
+        Some(Res::Func(f)) => Some(*f),
+        _ => None,
+    }
+}
+
+/// Can this argument be bound at specialization time?
+fn binding_of(
+    checked: &Checked,
+    never_modified: &HashSet<VarId>,
+    caller: usize,
+    arg: &Expr,
+) -> Option<Binding> {
+    match &arg.kind {
+        ExprKind::IntLit(v) => Some(Binding::Int(*v)),
+        ExprKind::FloatLit(v) => Some(Binding::Float(*v)),
+        ExprKind::Unary(UnOp::Neg, inner) => match &inner.kind {
+            ExprKind::IntLit(v) => Some(Binding::Int(-v)),
+            ExprKind::FloatLit(v) => Some(Binding::Float(-v)),
+            _ => None,
+        },
+        ExprKind::Var(name) => {
+            let v = VarId::of_expr(&checked.info, caller, arg)?;
+            if matches!(v, VarId::Global(_)) && never_modified.contains(&v) {
+                Some(Binding::Global(name.clone()))
+            } else {
+                None
+            }
+        }
+        _ => None,
+    }
+}
+
+fn name_shadowed_in(f: &FuncDef, name: &str) -> bool {
+    if f.params.iter().any(|p| p.name == name) {
+        return true;
+    }
+    let mut shadowed = false;
+    minic::visit::for_each_stmt(&f.body, |s| {
+        if let minic::ast::StmtKind::Decl { name: n, .. } = &s.kind {
+            if n == name {
+                shadowed = true;
+            }
+        }
+    });
+    shadowed
+}
+
+struct Substituter<'a> {
+    map: &'a HashMap<String, Binding>,
+}
+
+impl VisitMut for Substituter<'_> {
+    fn visit_expr_mut(&mut self, e: &mut Expr) {
+        if let ExprKind::Var(name) = &e.kind {
+            if let Some(b) = self.map.get(name) {
+                e.kind = match b {
+                    Binding::Int(v) => ExprKind::IntLit(*v),
+                    Binding::Float(v) => ExprKind::FloatLit(*v),
+                    Binding::Global(g) => ExprKind::Var(g.clone()),
+                };
+                return;
+            }
+        }
+        walk_expr_mut(self, e);
+    }
+}
+
+fn rewrite_calls(
+    checked: &Checked,
+    f: &mut FuncDef,
+    target: usize,
+    spec_name: &str,
+    bound_idx: &HashSet<usize>,
+) {
+    struct Rewriter<'a> {
+        checked: &'a Checked,
+        target: usize,
+        spec_name: &'a str,
+        bound_idx: &'a HashSet<usize>,
+    }
+    impl VisitMut for Rewriter<'_> {
+        fn visit_expr_mut(&mut self, e: &mut Expr) {
+            walk_expr_mut(self, e);
+            if let ExprKind::Call(callee, args) = &mut e.kind {
+                if direct_target(self.checked, callee) == Some(self.target) {
+                    callee.kind = ExprKind::Var(self.spec_name.to_string());
+                    let mut i = 0usize;
+                    args.retain(|_| {
+                        let keep = !self.bound_idx.contains(&i);
+                        i += 1;
+                        keep
+                    });
+                }
+            }
+        }
+    }
+    let mut rw = Rewriter {
+        checked,
+        target,
+        spec_name,
+        bound_idx,
+    };
+    rw.visit_block_mut(&mut f.body);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const G721_SHAPE: &str = "
+        int power2[15] = {1,2,4,8,16,32,64,128,256,512,1024,2048,4096,8192,16384};
+        int quan(int val, int *table, int size) {
+            int i;
+            for (i = 0; i < size; i++)
+                if (val < table[i])
+                    break;
+            return i;
+        }
+        int main() {
+            int s = 0;
+            for (int v = 0; v < 40; v++) s += quan(v * 7, power2, 15);
+            s += quan(5, power2, 15);
+            return s;
+        }";
+
+    fn run_spec(src: &str) -> (minic::Checked, Program, Vec<Specialization>) {
+        let checked = minic::compile(src).unwrap();
+        let an = Analyses::build(&checked);
+        let (prog, reports) = specialize(&checked, &an);
+        (checked, prog, reports)
+    }
+
+    #[test]
+    fn quan_specializes_like_the_paper() {
+        let (_, prog, reports) = run_spec(G721_SHAPE);
+        assert_eq!(reports.len(), 1);
+        assert_eq!(reports[0].original, "quan");
+        assert_eq!(reports[0].specialized, "quan__spec");
+        assert_eq!(reports[0].bound_params, vec!["table", "size"]);
+        let spec = prog.func("quan__spec").expect("clone exists");
+        assert_eq!(spec.params.len(), 1);
+        assert_eq!(spec.params[0].name, "val");
+        // Body now references power2 directly and the literal 15.
+        let text = minic::pretty::print_program(&prog);
+        assert!(text.contains("power2[i]") || text.contains("power2 + i") || text.contains("*(power2"), "{text}");
+        assert!(text.contains("i < 15"), "{text}");
+        // Call sites rewritten.
+        assert!(text.contains("quan__spec(v * 7)"), "{text}");
+        assert!(text.contains("quan__spec(5)"), "{text}");
+    }
+
+    #[test]
+    fn specialized_program_is_semantically_equal() {
+        let (checked, prog, _) = run_spec(G721_SHAPE);
+        let rechecked = minic::check(prog).expect("specialized program checks");
+        let orig = vm::run(&vm::lower(&checked), vm::RunConfig::default()).unwrap();
+        let spec = vm::run(&vm::lower(&rechecked), vm::RunConfig::default()).unwrap();
+        assert_eq!(orig.ret, spec.ret);
+    }
+
+    #[test]
+    fn divergent_sites_block_binding() {
+        let src = "
+            int t1[4]; int t2[4];
+            int look(int v, int *t, int n) {
+                int i;
+                for (i = 0; i < n; i++) if (v < t[i]) break;
+                return i;
+            }
+            int main() { return look(1, t1, 4) + look(2, t2, 4); }";
+        let (_, prog, reports) = run_spec(src);
+        // `t` differs across sites; only `n` binds.
+        assert_eq!(reports.len(), 1);
+        assert_eq!(reports[0].bound_params, vec!["n"]);
+        let spec = prog.func("look__spec").unwrap();
+        assert_eq!(spec.params.len(), 2);
+    }
+
+    #[test]
+    fn mutated_global_does_not_bind() {
+        let src = "
+            int table[4];
+            int look(int v, int *t) {
+                int i;
+                for (i = 0; i < 4; i++) if (v < t[i]) break;
+                return i;
+            }
+            int main() {
+                table[0] = 5;
+                return look(1, table) + look(2, table);
+            }";
+        let (_, _, reports) = run_spec(src);
+        assert!(reports.is_empty(), "mutated table must not bind: {reports:?}");
+    }
+
+    #[test]
+    fn recursive_functions_skipped() {
+        let src = "
+            int f(int n, int k) { if (n == 0) return k; return f(n - 1, 7); }
+            int main() { return f(3, 7); }";
+        let (_, _, reports) = run_spec(src);
+        assert!(reports.is_empty());
+    }
+
+    #[test]
+    fn address_taken_functions_skipped() {
+        let src = "
+            int op(int a, int b) { return a + b; }
+            int main() {
+                int (*fp)(int, int);
+                fp = op;
+                return fp(1, 2) + op(3, 2);
+            }";
+        let (_, _, reports) = run_spec(src);
+        assert!(reports.is_empty());
+    }
+
+    #[test]
+    fn single_param_functions_untouched() {
+        let src = "int sq(int x) { return x * x; } int main() { return sq(4) + sq(4); }";
+        let (_, _, reports) = run_spec(src);
+        assert!(reports.is_empty());
+    }
+}

@@ -1,0 +1,243 @@
+//! A fixed-capacity bit set used by the dataflow solver.
+
+use std::fmt;
+
+/// A set of small integers `0..capacity`, stored as 64-bit words.
+#[derive(Clone, PartialEq, Eq, Default)]
+pub struct BitSet {
+    words: Vec<u64>,
+    capacity: usize,
+}
+
+impl BitSet {
+    /// Creates an empty set with room for `capacity` elements.
+    pub fn new(capacity: usize) -> Self {
+        BitSet {
+            words: vec![0; capacity.div_ceil(64)],
+            capacity,
+        }
+    }
+
+    /// The maximum number of elements the set can hold.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Inserts `i`; returns whether the set changed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= capacity`.
+    pub fn insert(&mut self, i: usize) -> bool {
+        assert!(i < self.capacity, "bit {i} out of capacity {}", self.capacity);
+        let (w, b) = (i / 64, i % 64);
+        let old = self.words[w];
+        self.words[w] |= 1 << b;
+        self.words[w] != old
+    }
+
+    /// Removes `i`; returns whether the set changed.
+    pub fn remove(&mut self, i: usize) -> bool {
+        assert!(i < self.capacity, "bit {i} out of capacity {}", self.capacity);
+        let (w, b) = (i / 64, i % 64);
+        let old = self.words[w];
+        self.words[w] &= !(1 << b);
+        self.words[w] != old
+    }
+
+    /// Whether `i` is in the set.
+    pub fn contains(&self, i: usize) -> bool {
+        if i >= self.capacity {
+            return false;
+        }
+        let (w, b) = (i / 64, i % 64);
+        self.words[w] >> b & 1 == 1
+    }
+
+    /// Removes all elements.
+    pub fn clear(&mut self) {
+        self.words.fill(0);
+    }
+
+    /// Inserts every element `0..capacity`.
+    pub fn fill(&mut self) {
+        self.words.fill(!0);
+        self.trim();
+    }
+
+    fn trim(&mut self) {
+        let extra = self.words.len() * 64 - self.capacity;
+        if extra > 0 {
+            if let Some(last) = self.words.last_mut() {
+                *last &= !0 >> extra;
+            }
+        }
+    }
+
+    /// `self |= other`; returns whether `self` changed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if capacities differ.
+    pub fn union_with(&mut self, other: &BitSet) -> bool {
+        assert_eq!(self.capacity, other.capacity, "bitset capacity mismatch");
+        let mut changed = false;
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            let old = *a;
+            *a |= b;
+            changed |= *a != old;
+        }
+        changed
+    }
+
+    /// `self &= other`; returns whether `self` changed.
+    pub fn intersect_with(&mut self, other: &BitSet) -> bool {
+        assert_eq!(self.capacity, other.capacity, "bitset capacity mismatch");
+        let mut changed = false;
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            let old = *a;
+            *a &= b;
+            changed |= *a != old;
+        }
+        changed
+    }
+
+    /// `self -= other` (set difference); returns whether `self` changed.
+    pub fn subtract(&mut self, other: &BitSet) -> bool {
+        assert_eq!(self.capacity, other.capacity, "bitset capacity mismatch");
+        let mut changed = false;
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            let old = *a;
+            *a &= !b;
+            changed |= *a != old;
+        }
+        changed
+    }
+
+    /// Number of elements in the set.
+    pub fn len(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// Iterates over the elements in increasing order.
+    pub fn iter(&self) -> impl Iterator<Item = usize> + '_ {
+        self.words.iter().enumerate().flat_map(|(wi, &w)| {
+            let mut w = w;
+            std::iter::from_fn(move || {
+                if w == 0 {
+                    None
+                } else {
+                    let b = w.trailing_zeros() as usize;
+                    w &= w - 1;
+                    Some(wi * 64 + b)
+                }
+            })
+        })
+    }
+}
+
+impl fmt::Debug for BitSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_set().entries(self.iter()).finish()
+    }
+}
+
+impl FromIterator<usize> for BitSet {
+    /// Collects into a set sized to the maximum element + 1.
+    fn from_iter<I: IntoIterator<Item = usize>>(iter: I) -> Self {
+        let items: Vec<usize> = iter.into_iter().collect();
+        let cap = items.iter().max().map_or(0, |&m| m + 1);
+        let mut s = BitSet::new(cap);
+        for i in items {
+            s.insert(i);
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_contains_remove() {
+        let mut s = BitSet::new(130);
+        assert!(s.insert(0));
+        assert!(s.insert(129));
+        assert!(!s.insert(129), "second insert is a no-op");
+        assert!(s.contains(0));
+        assert!(s.contains(129));
+        assert!(!s.contains(64));
+        assert!(s.remove(0));
+        assert!(!s.remove(0));
+        assert!(!s.contains(0));
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn union_intersect_subtract() {
+        let mut a = BitSet::new(100);
+        let mut b = BitSet::new(100);
+        a.insert(1);
+        a.insert(70);
+        b.insert(70);
+        b.insert(99);
+        let mut u = a.clone();
+        assert!(u.union_with(&b));
+        assert_eq!(u.iter().collect::<Vec<_>>(), vec![1, 70, 99]);
+        let mut i = a.clone();
+        assert!(i.intersect_with(&b));
+        assert_eq!(i.iter().collect::<Vec<_>>(), vec![70]);
+        let mut d = a.clone();
+        assert!(d.subtract(&b));
+        assert_eq!(d.iter().collect::<Vec<_>>(), vec![1]);
+        // Idempotent second applications.
+        assert!(!u.union_with(&b));
+        assert!(!i.intersect_with(&b));
+    }
+
+    #[test]
+    fn fill_respects_capacity() {
+        let mut s = BitSet::new(70);
+        s.fill();
+        assert_eq!(s.len(), 70);
+        assert!(!s.contains(70));
+        assert!(s.contains(69));
+    }
+
+    #[test]
+    fn iter_in_order() {
+        let s: BitSet = [5usize, 3, 64, 127].into_iter().collect();
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![3, 5, 64, 127]);
+    }
+
+    #[test]
+    fn empty_and_zero_capacity() {
+        let s = BitSet::new(0);
+        assert!(s.is_empty());
+        assert_eq!(s.iter().count(), 0);
+        let s2: BitSet = std::iter::empty::<usize>().collect();
+        assert_eq!(s2.capacity(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity mismatch")]
+    fn capacity_mismatch_panics() {
+        let mut a = BitSet::new(10);
+        let b = BitSet::new(20);
+        a.union_with(&b);
+    }
+
+    #[test]
+    fn debug_is_nonempty() {
+        let s: BitSet = [1usize, 2].into_iter().collect();
+        assert_eq!(format!("{s:?}"), "{1, 2}");
+        let empty = BitSet::new(4);
+        assert_eq!(format!("{empty:?}"), "{}");
+    }
+}

@@ -1,0 +1,111 @@
+//! Property test: `BitSet` against a `HashSet<usize>` reference model.
+
+use flow::BitSet;
+use proptest::prelude::*;
+use std::collections::HashSet;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Insert(usize),
+    Remove(usize),
+    Contains(usize),
+    UnionWith(Vec<usize>),
+    IntersectWith(Vec<usize>),
+    Subtract(Vec<usize>),
+    Clear,
+}
+
+fn arb_ops(cap: usize) -> impl Strategy<Value = Vec<Op>> {
+    let elem = 0..cap;
+    let set = prop::collection::vec(0..cap, 0..16);
+    prop::collection::vec(
+        prop_oneof![
+            elem.clone().prop_map(Op::Insert),
+            elem.clone().prop_map(Op::Remove),
+            elem.prop_map(Op::Contains),
+            set.clone().prop_map(Op::UnionWith),
+            set.clone().prop_map(Op::IntersectWith),
+            set.prop_map(Op::Subtract),
+            Just(Op::Clear),
+        ],
+        0..60,
+    )
+}
+
+fn other(cap: usize, items: &[usize]) -> (BitSet, HashSet<usize>) {
+    let mut b = BitSet::new(cap);
+    let mut h = HashSet::new();
+    for &i in items {
+        b.insert(i);
+        h.insert(i);
+    }
+    (b, h)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn bitset_matches_hashset(cap in 1usize..200, ops in arb_ops(199)) {
+        let ops: Vec<Op> = ops;
+        let mut b = BitSet::new(cap);
+        let mut h: HashSet<usize> = HashSet::new();
+        for op in ops {
+            match op {
+                Op::Insert(i) if i < cap => {
+                    prop_assert_eq!(b.insert(i), h.insert(i));
+                }
+                Op::Remove(i) if i < cap => {
+                    prop_assert_eq!(b.remove(i), h.remove(&i));
+                }
+                Op::Contains(i) => {
+                    prop_assert_eq!(b.contains(i), i < cap && h.contains(&i));
+                }
+                Op::UnionWith(items) => {
+                    let items: Vec<usize> = items.into_iter().filter(|&i| i < cap).collect();
+                    let (ob, oh) = other(cap, &items);
+                    let changed = b.union_with(&ob);
+                    let before = h.len();
+                    h.extend(oh);
+                    prop_assert_eq!(changed, h.len() != before);
+                }
+                Op::IntersectWith(items) => {
+                    let items: Vec<usize> = items.into_iter().filter(|&i| i < cap).collect();
+                    let (ob, oh) = other(cap, &items);
+                    b.intersect_with(&ob);
+                    h.retain(|i| oh.contains(i));
+                }
+                Op::Subtract(items) => {
+                    let items: Vec<usize> = items.into_iter().filter(|&i| i < cap).collect();
+                    let (ob, oh) = other(cap, &items);
+                    b.subtract(&ob);
+                    h.retain(|i| !oh.contains(i));
+                }
+                Op::Clear => {
+                    b.clear();
+                    h.clear();
+                }
+                _ => {}
+            }
+            // Invariants after every step.
+            prop_assert_eq!(b.len(), h.len());
+            prop_assert_eq!(b.is_empty(), h.is_empty());
+        }
+        // Final: iteration yields the sorted model contents.
+        let mut model: Vec<usize> = h.into_iter().collect();
+        model.sort_unstable();
+        prop_assert_eq!(b.iter().collect::<Vec<_>>(), model);
+    }
+
+    #[test]
+    fn fill_then_subtract_is_complement(cap in 1usize..150, items in prop::collection::vec(0usize..149, 0..20)) {
+        let items: Vec<usize> = items.into_iter().filter(|&i| i < cap).collect();
+        let (ob, _) = other(cap, &items);
+        let mut full = BitSet::new(cap);
+        full.fill();
+        full.subtract(&ob);
+        for i in 0..cap {
+            prop_assert_eq!(full.contains(i), !items.contains(&i));
+        }
+    }
+}

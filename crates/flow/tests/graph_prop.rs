@@ -1,0 +1,142 @@
+//! Property tests over the graph algorithms.
+
+use flow::DiGraph;
+use proptest::prelude::*;
+
+fn arb_graph() -> impl Strategy<Value = DiGraph> {
+    (2usize..24).prop_flat_map(|n| {
+        prop::collection::vec((0..n, 0..n), 0..n * 3).prop_map(move |edges| {
+            let mut g = DiGraph::new(n);
+            for (a, b) in edges {
+                g.add_edge(a, b);
+            }
+            g
+        })
+    })
+}
+
+fn reachable(g: &DiGraph, from: usize) -> Vec<bool> {
+    let mut seen = vec![false; g.len()];
+    let mut stack = vec![from];
+    seen[from] = true;
+    while let Some(u) = stack.pop() {
+        for &v in g.succs(u) {
+            if !seen[v] {
+                seen[v] = true;
+                stack.push(v);
+            }
+        }
+    }
+    seen
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Two nodes share an SCC iff they reach each other.
+    #[test]
+    fn scc_is_mutual_reachability(g in arb_graph()) {
+        let sccs = g.sccs();
+        // Every node appears in exactly one component.
+        let mut count = vec![0usize; g.len()];
+        for comp in &sccs.comps {
+            for &u in comp {
+                count[u] += 1;
+            }
+        }
+        prop_assert!(count.iter().all(|&c| c == 1));
+        // Spot-check mutual reachability against the partition.
+        for a in 0..g.len() {
+            let ra = reachable(&g, a);
+            for (b, &a_reaches_b) in ra.iter().enumerate() {
+                let mutual = a_reaches_b && reachable(&g, b)[a];
+                prop_assert_eq!(
+                    sccs.comp_of[a] == sccs.comp_of[b],
+                    mutual,
+                    "a={} b={}", a, b
+                );
+            }
+        }
+    }
+
+    /// The condensation is acyclic and edge-faithful.
+    #[test]
+    fn condensation_is_a_faithful_dag(g in arb_graph()) {
+        let sccs = g.sccs();
+        let dag = g.condense(&sccs);
+        prop_assert!(dag.topo_order().is_some(), "condensation must be acyclic");
+        // Every original cross-component edge appears.
+        for u in 0..g.len() {
+            for &v in g.succs(u) {
+                if sccs.comp_of[u] != sccs.comp_of[v] {
+                    prop_assert!(dag.has_edge(sccs.comp_of[u], sccs.comp_of[v]));
+                }
+            }
+        }
+    }
+
+    /// Transitive reduction preserves reachability with a minimal edge set.
+    #[test]
+    fn transitive_reduction_preserves_reachability(g in arb_graph()) {
+        let sccs = g.sccs();
+        let dag = g.condense(&sccs);
+        let red = dag.transitive_reduction();
+        prop_assert!(red.edge_count() <= dag.edge_count());
+        for u in 0..dag.len() {
+            let before = reachable(&dag, u);
+            let after = reachable(&red, u);
+            prop_assert_eq!(before, after, "reachability changed from {}", u);
+        }
+    }
+
+    /// Every node reachable from the entry is dominated by the entry, and
+    /// the idom of a node is a strict dominator appearing on every path.
+    #[test]
+    fn dominator_basics(g in arb_graph()) {
+        let entry = 0usize;
+        let idom = g.dominators(entry);
+        let seen = reachable(&g, entry);
+        for u in 0..g.len() {
+            if u == entry {
+                prop_assert_eq!(idom[u], Some(entry));
+            } else if seen[u] {
+                let d = idom[u].expect("reachable nodes have an idom");
+                prop_assert!(DiGraph::dominates(&idom, entry, u));
+                // Removing the idom must disconnect u from entry.
+                let mut cut = DiGraph::new(g.len());
+                for a in 0..g.len() {
+                    if a == d { continue; }
+                    for &b in g.succs(a) {
+                        if b != d {
+                            cut.add_edge(a, b);
+                        }
+                    }
+                }
+                if d != entry && d != u {
+                    prop_assert!(
+                        !reachable(&cut, entry)[u],
+                        "idom {} of {} is not a cut vertex", d, u
+                    );
+                }
+            } else {
+                prop_assert_eq!(idom[u], None);
+            }
+        }
+    }
+
+    /// Reverse postorder visits every reachable node exactly once, parents
+    /// of tree edges first.
+    #[test]
+    fn reverse_postorder_is_a_permutation_of_reachable(g in arb_graph()) {
+        let rpo = g.reverse_postorder(0);
+        let seen = reachable(&g, 0);
+        let expected = seen.iter().filter(|&&s| s).count();
+        prop_assert_eq!(rpo.len(), expected);
+        let mut once = std::collections::HashSet::new();
+        for &u in &rpo {
+            prop_assert!(seen[u]);
+            prop_assert!(once.insert(u), "duplicate {}", u);
+        }
+        prop_assert_eq!(rpo[0], 0);
+    }
+}

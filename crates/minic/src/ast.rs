@@ -1,0 +1,709 @@
+//! Abstract syntax tree for MiniC.
+//!
+//! The AST is produced by the [parser](crate::parser), checked and annotated
+//! by [sema](crate::sema), and consumed by the flow/analysis crates and the
+//! VM. Two statement forms — [`StmtKind::Profile`] and [`StmtKind::Memo`] —
+//! never come from source text: they are inserted by the computation-reuse
+//! transformation (the paper's instrumentation and `check_hash` rewrite,
+//! Fig. 2(b)) and are executed natively by the VM.
+
+use crate::span::Span;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifies an AST node uniquely within a checked [`Program`].
+///
+/// Freshly synthesized nodes carry [`NodeId::DUMMY`]; running
+/// [`sema::check`](crate::sema::check) renumbers every node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    /// Placeholder id for nodes not yet numbered by sema.
+    pub const DUMMY: NodeId = NodeId(u32::MAX);
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "#{}", self.0)
+    }
+}
+
+/// A MiniC type.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Type {
+    /// 64-bit signed integer (`int`).
+    Int,
+    /// 64-bit IEEE float (`float`).
+    Float,
+    /// No value; only valid as a function return type.
+    Void,
+    /// Pointer to another type.
+    Ptr(Box<Type>),
+    /// Fixed-size array.
+    Array(Box<Type>, usize),
+    /// Named struct type.
+    Struct(String),
+    /// Function type (used for function pointers).
+    Func(Box<FuncSig>),
+}
+
+impl Type {
+    /// Shorthand for `Ptr(Box::new(inner))`.
+    pub fn ptr(inner: Type) -> Type {
+        Type::Ptr(Box::new(inner))
+    }
+
+    /// Shorthand for `Array(Box::new(elem), len)`.
+    pub fn array(elem: Type, len: usize) -> Type {
+        Type::Array(Box::new(elem), len)
+    }
+
+    /// Whether this is a scalar (int, float, pointer, or function pointer).
+    pub fn is_scalar(&self) -> bool {
+        matches!(self, Type::Int | Type::Float | Type::Ptr(_) | Type::Func(_))
+    }
+
+    /// Whether this is an arithmetic type (int or float).
+    pub fn is_arith(&self) -> bool {
+        matches!(self, Type::Int | Type::Float)
+    }
+}
+
+impl fmt::Display for Type {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Type::Int => write!(f, "int"),
+            Type::Float => write!(f, "float"),
+            Type::Void => write!(f, "void"),
+            Type::Ptr(t) => write!(f, "{t}*"),
+            Type::Array(t, n) => write!(f, "{t}[{n}]"),
+            Type::Struct(name) => write!(f, "struct {name}"),
+            Type::Func(sig) => {
+                write!(f, "{}(*)(", sig.ret)?;
+                for (i, p) in sig.params.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{p}")?;
+                }
+                write!(f, ")")
+            }
+        }
+    }
+}
+
+/// Parameter and return types of a function (pointer) type.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct FuncSig {
+    /// Parameter types in order.
+    pub params: Vec<Type>,
+    /// Return type.
+    pub ret: Type,
+}
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum UnOp {
+    /// Arithmetic negation `-e`.
+    Neg,
+    /// Logical not `!e` (yields 0 or 1).
+    Not,
+    /// Bitwise complement `~e`.
+    BitNot,
+    /// Pointer dereference `*e`.
+    Deref,
+    /// Address-of `&e`.
+    Addr,
+}
+
+impl UnOp {
+    /// The operator's C spelling.
+    pub fn glyph(self) -> &'static str {
+        match self {
+            UnOp::Neg => "-",
+            UnOp::Not => "!",
+            UnOp::BitNot => "~",
+            UnOp::Deref => "*",
+            UnOp::Addr => "&",
+        }
+    }
+}
+
+/// Binary operators (also used by compound assignment).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum BinOp {
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/`
+    Div,
+    /// `%`
+    Rem,
+    /// `<<`
+    Shl,
+    /// `>>`
+    Shr,
+    /// `&`
+    BitAnd,
+    /// `|`
+    BitOr,
+    /// `^`
+    BitXor,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `==`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `&&` (short-circuit)
+    LogAnd,
+    /// `||` (short-circuit)
+    LogOr,
+}
+
+impl BinOp {
+    /// The operator's C spelling.
+    pub fn glyph(self) -> &'static str {
+        use BinOp::*;
+        match self {
+            Add => "+",
+            Sub => "-",
+            Mul => "*",
+            Div => "/",
+            Rem => "%",
+            Shl => "<<",
+            Shr => ">>",
+            BitAnd => "&",
+            BitOr => "|",
+            BitXor => "^",
+            Lt => "<",
+            Le => "<=",
+            Gt => ">",
+            Ge => ">=",
+            Eq => "==",
+            Ne => "!=",
+            LogAnd => "&&",
+            LogOr => "||",
+        }
+    }
+
+    /// Whether the result is always `int` 0/1.
+    pub fn is_comparison(self) -> bool {
+        use BinOp::*;
+        matches!(self, Lt | Le | Gt | Ge | Eq | Ne | LogAnd | LogOr)
+    }
+
+    /// Whether the operator only accepts integer operands.
+    pub fn int_only(self) -> bool {
+        use BinOp::*;
+        matches!(self, Rem | Shl | Shr | BitAnd | BitOr | BitXor)
+    }
+}
+
+/// Increment/decrement operators (`++`/`--`, prefix and postfix).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum IncDec {
+    /// `++e`
+    PreInc,
+    /// `--e`
+    PreDec,
+    /// `e++`
+    PostInc,
+    /// `e--`
+    PostDec,
+}
+
+impl IncDec {
+    /// True for `++e`/`--e`.
+    pub fn is_prefix(self) -> bool {
+        matches!(self, IncDec::PreInc | IncDec::PreDec)
+    }
+
+    /// +1 or -1.
+    pub fn delta(self) -> i64 {
+        match self {
+            IncDec::PreInc | IncDec::PostInc => 1,
+            IncDec::PreDec | IncDec::PostDec => -1,
+        }
+    }
+}
+
+/// An expression node.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Expr {
+    /// Unique id assigned by sema.
+    pub id: NodeId,
+    /// Source location.
+    pub span: Span,
+    /// The expression itself.
+    pub kind: ExprKind,
+}
+
+impl Expr {
+    /// Creates an expression with a dummy id (renumbered by sema).
+    pub fn new(kind: ExprKind, span: Span) -> Self {
+        Expr {
+            id: NodeId::DUMMY,
+            span,
+            kind,
+        }
+    }
+
+    /// Creates a synthesized expression with no real source location.
+    pub fn synth(kind: ExprKind) -> Self {
+        Expr::new(kind, Span::DUMMY)
+    }
+
+    /// If this is an integer literal, returns its value.
+    pub fn as_int_lit(&self) -> Option<i64> {
+        match self.kind {
+            ExprKind::IntLit(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// If this is a plain variable reference, returns the name.
+    pub fn as_var(&self) -> Option<&str> {
+        match &self.kind {
+            ExprKind::Var(name) => Some(name),
+            _ => None,
+        }
+    }
+}
+
+/// The kinds of MiniC expressions.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ExprKind {
+    /// Integer literal.
+    IntLit(i64),
+    /// Float literal.
+    FloatLit(f64),
+    /// Variable (or function name in call/address position).
+    Var(String),
+    /// Unary operation.
+    Unary(UnOp, Box<Expr>),
+    /// Binary operation.
+    Binary(BinOp, Box<Expr>, Box<Expr>),
+    /// Increment or decrement of an lvalue.
+    IncDec(IncDec, Box<Expr>),
+    /// Simple assignment `lhs = rhs`.
+    Assign(Box<Expr>, Box<Expr>),
+    /// Compound assignment `lhs op= rhs`.
+    AssignOp(BinOp, Box<Expr>, Box<Expr>),
+    /// Conditional `c ? t : e`.
+    Ternary(Box<Expr>, Box<Expr>, Box<Expr>),
+    /// Function call; callee is a function name or function-pointer value.
+    Call(Box<Expr>, Vec<Expr>),
+    /// Array/pointer indexing `base[idx]`.
+    Index(Box<Expr>, Box<Expr>),
+    /// Struct member access `base.field`.
+    Member(Box<Expr>, String),
+    /// Struct member access through a pointer `base->field`.
+    Arrow(Box<Expr>, String),
+    /// Explicit cast `(type) e` (only int<->float casts are allowed).
+    Cast(Type, Box<Expr>),
+}
+
+/// A statement node.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Stmt {
+    /// Unique id assigned by sema.
+    pub id: NodeId,
+    /// Source location.
+    pub span: Span,
+    /// The statement itself.
+    pub kind: StmtKind,
+}
+
+impl Stmt {
+    /// Creates a statement with a dummy id (renumbered by sema).
+    pub fn new(kind: StmtKind, span: Span) -> Self {
+        Stmt {
+            id: NodeId::DUMMY,
+            span,
+            kind,
+        }
+    }
+
+    /// Creates a synthesized statement with no real source location.
+    pub fn synth(kind: StmtKind) -> Self {
+        Stmt::new(kind, Span::DUMMY)
+    }
+}
+
+/// The kinds of MiniC statements.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum StmtKind {
+    /// Local declaration, e.g. `int i = 0;` or `int buf[8];`.
+    Decl {
+        /// Variable name.
+        name: String,
+        /// Declared type.
+        ty: Type,
+        /// Optional initializer (scalars only).
+        init: Option<Expr>,
+    },
+    /// Expression evaluated for its side effects.
+    Expr(Expr),
+    /// Conditional.
+    If {
+        /// Condition (nonzero = true).
+        cond: Expr,
+        /// Then branch.
+        then_blk: Block,
+        /// Optional else branch.
+        else_blk: Option<Block>,
+    },
+    /// `while (cond) body`.
+    While {
+        /// Loop condition.
+        cond: Expr,
+        /// Loop body.
+        body: Block,
+    },
+    /// `do body while (cond);`.
+    DoWhile {
+        /// Loop body.
+        body: Block,
+        /// Loop condition (tested after the body).
+        cond: Expr,
+    },
+    /// `for (init; cond; step) body`.
+    For {
+        /// Optional init statement (decl or expression).
+        init: Option<Box<Stmt>>,
+        /// Optional condition; absent means "always true".
+        cond: Option<Expr>,
+        /// Optional step expression.
+        step: Option<Expr>,
+        /// Loop body.
+        body: Block,
+    },
+    /// `break;`
+    Break,
+    /// `continue;`
+    Continue,
+    /// `return;` or `return e;`
+    Return(Option<Expr>),
+    /// A nested block `{ ... }`.
+    Block(Block),
+    /// Value-set profiling probe inserted by the reuse pipeline.
+    ///
+    /// Executes `body` while recording the tuple of input values on every
+    /// entry, so the profiler can compute `N`, `N_ds`, and the reuse rate.
+    Profile(ProfileStmt),
+    /// Memoized segment inserted by the reuse transformation.
+    ///
+    /// Semantically equivalent to the paper's Fig. 2(b): look the inputs up
+    /// in a hash table; on a hit, write the recorded outputs and skip
+    /// `body`; on a miss, run `body` and record the outputs.
+    Memo(MemoStmt),
+}
+
+/// A `{ ... }` block of statements.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct Block {
+    /// The statements, in order.
+    pub stmts: Vec<Stmt>,
+}
+
+impl Block {
+    /// Creates a block from statements.
+    pub fn new(stmts: Vec<Stmt>) -> Self {
+        Block { stmts }
+    }
+}
+
+/// Scalar element type of a memoized operand.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ScalarKind {
+    /// 64-bit integer.
+    Int,
+    /// 64-bit float.
+    Float,
+}
+
+/// How a memo operand's value is located and how many words it spans.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum OperandShape {
+    /// A scalar variable (one word).
+    Scalar,
+    /// A whole array variable of `len` elements.
+    Array(usize),
+    /// `len` elements read through a pointer variable.
+    Deref(usize),
+}
+
+impl OperandShape {
+    /// Number of 64-bit words the operand spans.
+    pub fn words(self) -> usize {
+        match self {
+            OperandShape::Scalar => 1,
+            OperandShape::Array(n) | OperandShape::Deref(n) => n,
+        }
+    }
+}
+
+/// One input or output of a profiled/memoized segment.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct MemoOperand {
+    /// Variable name (local, parameter, or global) in the enclosing scope.
+    pub name: String,
+    /// How the value is located.
+    pub shape: OperandShape,
+    /// Element type (needed to decode raw table words).
+    pub elem: ScalarKind,
+}
+
+impl MemoOperand {
+    /// A one-word scalar operand.
+    pub fn scalar(name: impl Into<String>, elem: ScalarKind) -> Self {
+        MemoOperand {
+            name: name.into(),
+            shape: OperandShape::Scalar,
+            elem,
+        }
+    }
+
+    /// Number of 64-bit words this operand contributes to the key/entry.
+    pub fn words(&self) -> usize {
+        self.shape.words()
+    }
+}
+
+/// A value-set profiling probe (inserted, never parsed).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ProfileStmt {
+    /// Human-readable segment name (e.g. `quan:body`).
+    pub segment: String,
+    /// Dense index of the segment in the profiling plan.
+    pub seg_index: usize,
+    /// Input operands whose value tuple is recorded on entry.
+    pub inputs: Vec<MemoOperand>,
+    /// The original segment body.
+    pub body: Block,
+}
+
+/// A memoized segment (inserted, never parsed).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MemoStmt {
+    /// Human-readable segment name.
+    pub segment: String,
+    /// Runtime table id; merged segments share one id.
+    pub table: usize,
+    /// Output slot within the (possibly merged) table's bit vector.
+    pub slot: usize,
+    /// Input operands forming the hash key.
+    pub inputs: Vec<MemoOperand>,
+    /// Output operands recorded/restored.
+    pub outputs: Vec<MemoOperand>,
+    /// If the segment is a whole function body that returns a value, the
+    /// return value is memoized too and restored on a hit.
+    pub ret: Option<ScalarKind>,
+    /// The original segment body.
+    pub body: Block,
+}
+
+/// A named, typed parameter or struct field.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Param {
+    /// Name.
+    pub name: String,
+    /// Type.
+    pub ty: Type,
+    /// Source location of the declaration.
+    pub span: Span,
+}
+
+/// A struct type definition.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StructDef {
+    /// Struct name.
+    pub name: String,
+    /// Fields in declaration order.
+    pub fields: Vec<Param>,
+    /// Source location.
+    pub span: Span,
+}
+
+/// A global variable initializer.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Init {
+    /// Scalar initializer expression (must be a constant expression).
+    Scalar(Expr),
+    /// Brace-enclosed list for arrays (and nested arrays).
+    List(Vec<Init>),
+}
+
+/// A global variable definition.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GlobalDef {
+    /// Name.
+    pub name: String,
+    /// Type.
+    pub ty: Type,
+    /// Optional initializer.
+    pub init: Option<Init>,
+    /// Whether declared `const`.
+    pub is_const: bool,
+    /// Source location.
+    pub span: Span,
+}
+
+/// A function definition.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FuncDef {
+    /// Function name.
+    pub name: String,
+    /// Parameters.
+    pub params: Vec<Param>,
+    /// Return type.
+    pub ret: Type,
+    /// Body.
+    pub body: Block,
+    /// Source location of the signature.
+    pub span: Span,
+}
+
+impl FuncDef {
+    /// The function's type signature.
+    pub fn sig(&self) -> FuncSig {
+        FuncSig {
+            params: self.params.iter().map(|p| p.ty.clone()).collect(),
+            ret: self.ret.clone(),
+        }
+    }
+}
+
+/// A complete MiniC translation unit.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct Program {
+    /// Struct definitions.
+    pub structs: Vec<StructDef>,
+    /// Global variables.
+    pub globals: Vec<GlobalDef>,
+    /// Functions; execution starts at `main`.
+    pub funcs: Vec<FuncDef>,
+}
+
+impl Program {
+    /// Finds a function by name.
+    pub fn func(&self, name: &str) -> Option<&FuncDef> {
+        self.funcs.iter().find(|f| f.name == name)
+    }
+
+    /// Finds a function by name, mutably.
+    pub fn func_mut(&mut self, name: &str) -> Option<&mut FuncDef> {
+        self.funcs.iter_mut().find(|f| f.name == name)
+    }
+
+    /// Finds a struct definition by name.
+    pub fn struct_def(&self, name: &str) -> Option<&StructDef> {
+        self.structs.iter().find(|s| s.name == name)
+    }
+
+    /// Finds a global by name.
+    pub fn global(&self, name: &str) -> Option<&GlobalDef> {
+        self.globals.iter().find(|g| g.name == name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn type_display() {
+        assert_eq!(Type::Int.to_string(), "int");
+        assert_eq!(Type::ptr(Type::Float).to_string(), "float*");
+        assert_eq!(Type::array(Type::Int, 8).to_string(), "int[8]");
+        assert_eq!(Type::Struct("pt".into()).to_string(), "struct pt");
+        let sig = FuncSig {
+            params: vec![Type::Int, Type::Int],
+            ret: Type::Int,
+        };
+        assert_eq!(Type::Func(Box::new(sig)).to_string(), "int(*)(int, int)");
+    }
+
+    #[test]
+    fn scalar_and_arith_predicates() {
+        assert!(Type::Int.is_scalar());
+        assert!(Type::ptr(Type::Int).is_scalar());
+        assert!(!Type::array(Type::Int, 4).is_scalar());
+        assert!(Type::Float.is_arith());
+        assert!(!Type::ptr(Type::Int).is_arith());
+        assert!(!Type::Void.is_scalar());
+    }
+
+    #[test]
+    fn binop_classification() {
+        assert!(BinOp::Lt.is_comparison());
+        assert!(BinOp::LogAnd.is_comparison());
+        assert!(!BinOp::Add.is_comparison());
+        assert!(BinOp::Shl.int_only());
+        assert!(!BinOp::Div.int_only());
+    }
+
+    #[test]
+    fn incdec_delta_and_prefix() {
+        assert_eq!(IncDec::PostInc.delta(), 1);
+        assert_eq!(IncDec::PreDec.delta(), -1);
+        assert!(IncDec::PreInc.is_prefix());
+        assert!(!IncDec::PostDec.is_prefix());
+    }
+
+    #[test]
+    fn operand_words() {
+        assert_eq!(OperandShape::Scalar.words(), 1);
+        assert_eq!(OperandShape::Array(64).words(), 64);
+        assert_eq!(OperandShape::Deref(3).words(), 3);
+        let op = MemoOperand::scalar("val", ScalarKind::Int);
+        assert_eq!(op.words(), 1);
+        assert_eq!(op.name, "val");
+    }
+
+    #[test]
+    fn expr_helpers() {
+        let lit = Expr::synth(ExprKind::IntLit(15));
+        assert_eq!(lit.as_int_lit(), Some(15));
+        assert_eq!(lit.as_var(), None);
+        let var = Expr::synth(ExprKind::Var("val".into()));
+        assert_eq!(var.as_var(), Some("val"));
+        assert_eq!(var.id, NodeId::DUMMY);
+    }
+
+    #[test]
+    fn program_lookup() {
+        let prog = Program {
+            structs: vec![],
+            globals: vec![GlobalDef {
+                name: "power2".into(),
+                ty: Type::array(Type::Int, 15),
+                init: None,
+                is_const: false,
+                span: Span::DUMMY,
+            }],
+            funcs: vec![FuncDef {
+                name: "quan".into(),
+                params: vec![],
+                ret: Type::Int,
+                body: Block::default(),
+                span: Span::DUMMY,
+            }],
+        };
+        assert!(prog.func("quan").is_some());
+        assert!(prog.func("missing").is_none());
+        assert!(prog.global("power2").is_some());
+        assert_eq!(prog.func("quan").unwrap().sig().ret, Type::Int);
+    }
+}

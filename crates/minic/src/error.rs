@@ -1,0 +1,129 @@
+//! Diagnostics shared by the lexer, parser, and semantic checker.
+
+use crate::span::{LineMap, Span};
+use std::error::Error;
+use std::fmt;
+
+/// Which front-end phase produced a diagnostic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Phase {
+    /// Tokenisation.
+    Lex,
+    /// Parsing.
+    Parse,
+    /// Semantic checking (name resolution + type checking).
+    Sema,
+}
+
+impl fmt::Display for Phase {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Phase::Lex => write!(f, "lex"),
+            Phase::Parse => write!(f, "parse"),
+            Phase::Sema => write!(f, "sema"),
+        }
+    }
+}
+
+/// A single front-end diagnostic with a source location.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Diag {
+    /// Which phase reported the problem.
+    pub phase: Phase,
+    /// Where in the source the problem is.
+    pub span: Span,
+    /// Human-readable description (lowercase, no trailing period).
+    pub message: String,
+}
+
+impl Diag {
+    /// Creates a diagnostic.
+    pub fn new(phase: Phase, span: Span, message: impl Into<String>) -> Self {
+        Diag {
+            phase,
+            span,
+            message: message.into(),
+        }
+    }
+
+    /// Renders the diagnostic with line/column information from `map`.
+    ///
+    /// ```
+    /// use minic::error::{Diag, Phase};
+    /// use minic::span::{LineMap, Span};
+    /// let d = Diag::new(Phase::Parse, Span::new(3, 4), "expected `;`");
+    /// let map = LineMap::new("abc def");
+    /// assert_eq!(d.render(&map), "parse error at 1:4: expected `;`");
+    /// ```
+    pub fn render(&self, map: &LineMap) -> String {
+        let lc = map.line_col(self.span.lo);
+        format!("{} error at {}: {}", self.phase, lc, self.message)
+    }
+}
+
+impl fmt::Display for Diag {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} error at byte {}: {}",
+            self.phase, self.span.lo, self.message
+        )
+    }
+}
+
+impl Error for Diag {}
+
+/// A non-empty batch of diagnostics, returned when a phase fails.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Diags(pub Vec<Diag>);
+
+impl Diags {
+    /// Renders all diagnostics, one per line, using `map` for positions.
+    pub fn render(&self, map: &LineMap) -> String {
+        self.0
+            .iter()
+            .map(|d| d.render(map))
+            .collect::<Vec<_>>()
+            .join("\n")
+    }
+}
+
+impl fmt::Display for Diags {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, d) in self.0.iter().enumerate() {
+            if i > 0 {
+                writeln!(f)?;
+            }
+            write!(f, "{d}")?;
+        }
+        Ok(())
+    }
+}
+
+impl Error for Diags {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_points_at_line_and_col() {
+        let src = "int main() {\n  retur 0;\n}\n";
+        let map = LineMap::new(src);
+        let off = src.find("retur").unwrap() as u32;
+        let d = Diag::new(Phase::Parse, Span::new(off, off + 5), "unknown statement");
+        assert_eq!(d.render(&map), "parse error at 2:3: unknown statement");
+    }
+
+    #[test]
+    fn diags_display_joins_lines() {
+        let ds = Diags(vec![
+            Diag::new(Phase::Sema, Span::new(0, 1), "first"),
+            Diag::new(Phase::Sema, Span::new(5, 6), "second"),
+        ]);
+        let text = ds.to_string();
+        assert!(text.contains("first"));
+        assert!(text.contains("second"));
+        assert_eq!(text.lines().count(), 2);
+    }
+}

@@ -1,0 +1,460 @@
+//! Hand-written lexer for MiniC.
+//!
+//! Converts source text into a [`Token`] stream. Supports `//` and `/* */`
+//! comments, decimal and hexadecimal integer literals, and floating-point
+//! literals with optional exponents.
+
+use crate::error::{Diag, Phase};
+use crate::span::Span;
+use crate::token::{Token, TokenKind};
+
+/// Tokenises `source` into a vector ending with an [`TokenKind::Eof`] token.
+///
+/// # Errors
+///
+/// Returns a [`Diag`] for the first unrecognised character, malformed
+/// number, or unterminated block comment.
+///
+/// # Examples
+///
+/// ```
+/// use minic::lexer::lex;
+/// use minic::token::TokenKind;
+/// let toks = lex("int x = 0x1f;")?;
+/// assert_eq!(toks[3].kind, TokenKind::Int(31));
+/// # Ok::<(), minic::error::Diag>(())
+/// ```
+pub fn lex(source: &str) -> Result<Vec<Token>, Diag> {
+    Lexer::new(source).run()
+}
+
+struct Lexer<'s> {
+    src: &'s [u8],
+    pos: usize,
+    tokens: Vec<Token>,
+}
+
+impl<'s> Lexer<'s> {
+    fn new(source: &'s str) -> Self {
+        Lexer {
+            src: source.as_bytes(),
+            pos: 0,
+            tokens: Vec::new(),
+        }
+    }
+
+    fn run(mut self) -> Result<Vec<Token>, Diag> {
+        loop {
+            self.skip_trivia()?;
+            let start = self.pos;
+            let Some(c) = self.peek() else {
+                self.push(TokenKind::Eof, start);
+                return Ok(self.tokens);
+            };
+            match c {
+                b'0'..=b'9' => self.number(start)?,
+                b'a'..=b'z' | b'A'..=b'Z' | b'_' => self.ident(start),
+                b'.' => {
+                    // `.5` style float literal vs member access.
+                    if self.peek_at(1).is_some_and(|c| c.is_ascii_digit()) {
+                        self.number(start)?;
+                    } else {
+                        self.pos += 1;
+                        self.push(TokenKind::Dot, start);
+                    }
+                }
+                _ => self.operator(start)?,
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.src.get(self.pos).copied()
+    }
+
+    fn peek_at(&self, n: usize) -> Option<u8> {
+        self.src.get(self.pos + n).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let c = self.peek()?;
+        self.pos += 1;
+        Some(c)
+    }
+
+    fn eat(&mut self, c: u8) -> bool {
+        if self.peek() == Some(c) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn push(&mut self, kind: TokenKind, start: usize) {
+        self.tokens.push(Token {
+            kind,
+            span: Span::new(start as u32, self.pos as u32),
+        });
+    }
+
+    fn err(&self, start: usize, msg: impl Into<String>) -> Diag {
+        Diag::new(
+            Phase::Lex,
+            Span::new(start as u32, self.pos.max(start + 1) as u32),
+            msg,
+        )
+    }
+
+    /// Skips whitespace and comments.
+    fn skip_trivia(&mut self) -> Result<(), Diag> {
+        loop {
+            match self.peek() {
+                Some(b' ' | b'\t' | b'\r' | b'\n') => {
+                    self.pos += 1;
+                }
+                Some(b'/') if self.peek_at(1) == Some(b'/') => {
+                    while let Some(c) = self.peek() {
+                        if c == b'\n' {
+                            break;
+                        }
+                        self.pos += 1;
+                    }
+                }
+                Some(b'/') if self.peek_at(1) == Some(b'*') => {
+                    let start = self.pos;
+                    self.pos += 2;
+                    loop {
+                        match self.peek() {
+                            Some(b'*') if self.peek_at(1) == Some(b'/') => {
+                                self.pos += 2;
+                                break;
+                            }
+                            Some(_) => self.pos += 1,
+                            None => {
+                                return Err(self.err(start, "unterminated block comment"));
+                            }
+                        }
+                    }
+                }
+                _ => return Ok(()),
+            }
+        }
+    }
+
+    fn ident(&mut self, start: usize) {
+        while let Some(c) = self.peek() {
+            if c.is_ascii_alphanumeric() || c == b'_' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        let word = std::str::from_utf8(&self.src[start..self.pos]).expect("ascii ident");
+        let kind = TokenKind::keyword(word).unwrap_or_else(|| TokenKind::Ident(word.to_string()));
+        self.push(kind, start);
+    }
+
+    fn number(&mut self, start: usize) -> Result<(), Diag> {
+        // Hexadecimal.
+        if self.peek() == Some(b'0') && matches!(self.peek_at(1), Some(b'x' | b'X')) {
+            self.pos += 2;
+            let digits_start = self.pos;
+            while self.peek().is_some_and(|c| c.is_ascii_hexdigit()) {
+                self.pos += 1;
+            }
+            if self.pos == digits_start {
+                return Err(self.err(start, "hexadecimal literal needs at least one digit"));
+            }
+            let text = std::str::from_utf8(&self.src[digits_start..self.pos]).expect("hex digits");
+            let value = i64::from_str_radix(text, 16)
+                .map_err(|_| self.err(start, "hexadecimal literal out of range"))?;
+            self.push(TokenKind::Int(value), start);
+            return Ok(());
+        }
+
+        let mut is_float = false;
+        while self.peek().is_some_and(|c| c.is_ascii_digit()) {
+            self.pos += 1;
+        }
+        if self.peek() == Some(b'.') && self.peek_at(1) != Some(b'.') {
+            is_float = true;
+            self.pos += 1;
+            while self.peek().is_some_and(|c| c.is_ascii_digit()) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            let mut ahead = 1;
+            if matches!(self.peek_at(1), Some(b'+' | b'-')) {
+                ahead = 2;
+            }
+            if self.peek_at(ahead).is_some_and(|c| c.is_ascii_digit()) {
+                is_float = true;
+                self.pos += ahead;
+                while self.peek().is_some_and(|c| c.is_ascii_digit()) {
+                    self.pos += 1;
+                }
+            }
+        }
+        let text = std::str::from_utf8(&self.src[start..self.pos]).expect("number text");
+        if is_float {
+            let value: f64 = text
+                .parse()
+                .map_err(|_| self.err(start, "malformed float literal"))?;
+            self.push(TokenKind::Float(value), start);
+        } else {
+            let value: i64 = text
+                .parse()
+                .map_err(|_| self.err(start, "integer literal out of range"))?;
+            self.push(TokenKind::Int(value), start);
+        }
+        Ok(())
+    }
+
+    fn operator(&mut self, start: usize) -> Result<(), Diag> {
+        use TokenKind::*;
+        let c = self.bump().expect("operator char");
+        let kind = match c {
+            b'(' => LParen,
+            b')' => RParen,
+            b'{' => LBrace,
+            b'}' => RBrace,
+            b'[' => LBracket,
+            b']' => RBracket,
+            b';' => Semi,
+            b',' => Comma,
+            b'?' => Question,
+            b':' => Colon,
+            b'~' => Tilde,
+            b'+' => {
+                if self.eat(b'+') {
+                    PlusPlus
+                } else if self.eat(b'=') {
+                    PlusEq
+                } else {
+                    Plus
+                }
+            }
+            b'-' => {
+                if self.eat(b'-') {
+                    MinusMinus
+                } else if self.eat(b'=') {
+                    MinusEq
+                } else if self.eat(b'>') {
+                    Arrow
+                } else {
+                    Minus
+                }
+            }
+            b'*' => {
+                if self.eat(b'=') {
+                    StarEq
+                } else {
+                    Star
+                }
+            }
+            b'/' => {
+                if self.eat(b'=') {
+                    SlashEq
+                } else {
+                    Slash
+                }
+            }
+            b'%' => {
+                if self.eat(b'=') {
+                    PercentEq
+                } else {
+                    Percent
+                }
+            }
+            b'&' => {
+                if self.eat(b'&') {
+                    AmpAmp
+                } else if self.eat(b'=') {
+                    AmpEq
+                } else {
+                    Amp
+                }
+            }
+            b'|' => {
+                if self.eat(b'|') {
+                    PipePipe
+                } else if self.eat(b'=') {
+                    PipeEq
+                } else {
+                    Pipe
+                }
+            }
+            b'^' => {
+                if self.eat(b'=') {
+                    CaretEq
+                } else {
+                    Caret
+                }
+            }
+            b'!' => {
+                if self.eat(b'=') {
+                    Ne
+                } else {
+                    Bang
+                }
+            }
+            b'<' => {
+                if self.eat(b'<') {
+                    if self.eat(b'=') {
+                        ShlEq
+                    } else {
+                        Shl
+                    }
+                } else if self.eat(b'=') {
+                    Le
+                } else {
+                    Lt
+                }
+            }
+            b'>' => {
+                if self.eat(b'>') {
+                    if self.eat(b'=') {
+                        ShrEq
+                    } else {
+                        Shr
+                    }
+                } else if self.eat(b'=') {
+                    Ge
+                } else {
+                    Gt
+                }
+            }
+            b'=' => {
+                if self.eat(b'=') {
+                    EqEq
+                } else {
+                    Eq
+                }
+            }
+            other => {
+                return Err(self.err(start, format!("unrecognised character `{}`", other as char)));
+            }
+        };
+        self.push(kind, start);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::token::TokenKind::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        lex(src)
+            .expect("lex ok")
+            .into_iter()
+            .map(|t| t.kind)
+            .collect()
+    }
+
+    #[test]
+    fn empty_input_gives_eof() {
+        assert_eq!(kinds(""), vec![Eof]);
+        assert_eq!(kinds("   \n\t "), vec![Eof]);
+    }
+
+    #[test]
+    fn keywords_and_idents() {
+        assert_eq!(
+            kinds("int quan while whilex"),
+            vec![
+                KwInt,
+                Ident("quan".into()),
+                KwWhile,
+                Ident("whilex".into()),
+                Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn integer_literals() {
+        assert_eq!(kinds("0 42 0x2A 0xff"), vec![Int(0), Int(42), Int(42), Int(255), Eof]);
+    }
+
+    #[test]
+    fn float_literals() {
+        assert_eq!(
+            kinds("1.5 0.25 3e2 1.5e-1 .5"),
+            vec![Float(1.5), Float(0.25), Float(300.0), Float(0.15), Float(0.5), Eof]
+        );
+    }
+
+    #[test]
+    fn dot_vs_float() {
+        assert_eq!(
+            kinds("s.f"),
+            vec![Ident("s".into()), Dot, Ident("f".into()), Eof]
+        );
+    }
+
+    #[test]
+    fn multi_char_operators() {
+        assert_eq!(
+            kinds("<<= >>= << >> <= >= == != && || ++ -- -> += <<"),
+            vec![
+                ShlEq, ShrEq, Shl, Shr, Le, Ge, EqEq, Ne, AmpAmp, PipePipe, PlusPlus, MinusMinus,
+                Arrow, PlusEq, Shl, Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        assert_eq!(
+            kinds("a // line comment\nb /* block\n comment */ c"),
+            vec![Ident("a".into()), Ident("b".into()), Ident("c".into()), Eof]
+        );
+    }
+
+    #[test]
+    fn unterminated_block_comment_is_error() {
+        let err = lex("x /* oops").unwrap_err();
+        assert!(err.message.contains("unterminated"));
+    }
+
+    #[test]
+    fn unrecognised_char_is_error() {
+        let err = lex("int $x;").unwrap_err();
+        assert!(err.message.contains("unrecognised"));
+    }
+
+    #[test]
+    fn spans_cover_tokens() {
+        let toks = lex("ab + cd").unwrap();
+        assert_eq!(toks[0].span, Span::new(0, 2));
+        assert_eq!(toks[1].span, Span::new(3, 4));
+        assert_eq!(toks[2].span, Span::new(5, 7));
+    }
+
+    #[test]
+    fn hex_without_digits_is_error() {
+        let err = lex("0x;").unwrap_err();
+        assert!(err.message.contains("hexadecimal"));
+    }
+
+    #[test]
+    fn quan_example_lexes() {
+        // The paper's Figure 2(a) example.
+        let src = r#"
+            int quan(int val) {
+                int i;
+                for (i = 0; i < 15; i++)
+                    if (val < power2[i])
+                        break;
+                return (i);
+            }
+        "#;
+        let toks = lex(src).unwrap();
+        assert!(toks.len() > 30);
+        assert_eq!(toks.last().unwrap().kind, Eof);
+    }
+}

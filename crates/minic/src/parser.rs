@@ -1,0 +1,986 @@
+//! Recursive-descent parser for MiniC.
+//!
+//! Produces an unnumbered [`Program`] (all node ids are [`NodeId::DUMMY`]);
+//! run [`sema::check`](crate::sema::check) to number nodes and attach types.
+//!
+//! Grammar highlights:
+//! - top level: struct definitions, global variables (with brace
+//!   initializer lists), function definitions and prototypes;
+//! - declarators: `int **p`, `int a[8][8]`, function pointers
+//!   `int (*fp)(int, int)`;
+//! - full C expression set with the usual precedence, short-circuit
+//!   `&&`/`||`, ternary, casts `(int)x`/`(float*)p`, compound assignment,
+//!   and prefix/postfix `++`/`--`.
+
+use crate::ast::*;
+use crate::error::{Diag, Phase};
+use crate::lexer::lex;
+use crate::span::Span;
+use crate::token::{Token, TokenKind};
+
+/// Parses MiniC source text into a [`Program`].
+///
+/// # Errors
+///
+/// Returns the first lexical or syntactic error encountered.
+///
+/// # Examples
+///
+/// ```
+/// let prog = minic::parse("int main() { return 2 + 3; }")?;
+/// assert_eq!(prog.funcs.len(), 1);
+/// assert_eq!(prog.funcs[0].name, "main");
+/// # Ok::<(), minic::error::Diag>(())
+/// ```
+pub fn parse(source: &str) -> Result<Program, Diag> {
+    let tokens = lex(source)?;
+    Parser {
+        tokens,
+        pos: 0,
+    }
+    .program()
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> &TokenKind {
+        &self.tokens[self.pos].kind
+    }
+
+    fn peek_at(&self, n: usize) -> &TokenKind {
+        let i = (self.pos + n).min(self.tokens.len() - 1);
+        &self.tokens[i].kind
+    }
+
+    fn span(&self) -> Span {
+        self.tokens[self.pos].span
+    }
+
+    fn prev_span(&self) -> Span {
+        self.tokens[self.pos.saturating_sub(1)].span
+    }
+
+    fn bump(&mut self) -> Token {
+        let t = self.tokens[self.pos].clone();
+        if self.pos + 1 < self.tokens.len() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn eat(&mut self, kind: &TokenKind) -> bool {
+        if self.peek() == kind {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, kind: TokenKind) -> Result<Span, Diag> {
+        if self.peek() == &kind {
+            Ok(self.bump().span)
+        } else {
+            Err(self.error(format!(
+                "expected {}, found {}",
+                kind.describe(),
+                self.peek().describe()
+            )))
+        }
+    }
+
+    fn expect_ident(&mut self) -> Result<(String, Span), Diag> {
+        match self.peek().clone() {
+            TokenKind::Ident(name) => {
+                let span = self.bump().span;
+                Ok((name, span))
+            }
+            other => Err(self.error(format!(
+                "expected identifier, found {}",
+                other.describe()
+            ))),
+        }
+    }
+
+    fn error(&self, msg: impl Into<String>) -> Diag {
+        Diag::new(Phase::Parse, self.span(), msg)
+    }
+
+    // ------------------------------------------------------------------
+    // Top level
+    // ------------------------------------------------------------------
+
+    fn program(&mut self) -> Result<Program, Diag> {
+        let mut prog = Program::default();
+        while self.peek() != &TokenKind::Eof {
+            if self.peek() == &TokenKind::KwStruct && self.peek_at(2) == &TokenKind::LBrace {
+                prog.structs.push(self.struct_def()?);
+                continue;
+            }
+            self.top_level_item(&mut prog)?;
+        }
+        Ok(prog)
+    }
+
+    fn struct_def(&mut self) -> Result<StructDef, Diag> {
+        let start = self.expect(TokenKind::KwStruct)?;
+        let (name, _) = self.expect_ident()?;
+        self.expect(TokenKind::LBrace)?;
+        let mut fields = Vec::new();
+        while self.peek() != &TokenKind::RBrace {
+            let base = self.base_type()?;
+            let (field_name, ty, fspan) = self.declarator(base)?;
+            fields.push(Param {
+                name: field_name,
+                ty,
+                span: fspan,
+            });
+            self.expect(TokenKind::Semi)?;
+        }
+        self.expect(TokenKind::RBrace)?;
+        let end = self.expect(TokenKind::Semi)?;
+        Ok(StructDef {
+            name,
+            fields,
+            span: start.merge(end),
+        })
+    }
+
+    fn top_level_item(&mut self, prog: &mut Program) -> Result<(), Diag> {
+        let is_const = self.eat(&TokenKind::KwConst);
+        let start = self.span();
+        let base = self.base_type()?;
+        let (name, ty, _) = self.declarator(base)?;
+
+        // A function definition or prototype: the declarator was a plain
+        // name followed by `(`.
+        if self.peek() == &TokenKind::LParen && !matches!(ty, Type::Func(_)) {
+            if is_const {
+                return Err(self.error("functions cannot be declared `const`"));
+            }
+            self.bump(); // '('
+            let params = self.param_list()?;
+            self.expect(TokenKind::RParen)?;
+            if self.eat(&TokenKind::Semi) {
+                // Prototype: accepted and discarded (MiniC resolves
+                // functions program-wide).
+                return Ok(());
+            }
+            let body = self.block()?;
+            prog.funcs.push(FuncDef {
+                name,
+                params,
+                ret: ty,
+                body,
+                span: start.merge(self.prev_span()),
+            });
+            return Ok(());
+        }
+
+        // Global variable.
+        let init = if self.eat(&TokenKind::Eq) {
+            Some(self.initializer()?)
+        } else {
+            None
+        };
+        let end = self.expect(TokenKind::Semi)?;
+        prog.globals.push(GlobalDef {
+            name,
+            ty,
+            init,
+            is_const,
+            span: start.merge(end),
+        });
+        Ok(())
+    }
+
+    fn initializer(&mut self) -> Result<Init, Diag> {
+        if self.eat(&TokenKind::LBrace) {
+            let mut items = Vec::new();
+            if self.peek() != &TokenKind::RBrace {
+                loop {
+                    items.push(self.initializer()?);
+                    if !self.eat(&TokenKind::Comma) {
+                        break;
+                    }
+                    if self.peek() == &TokenKind::RBrace {
+                        break; // trailing comma
+                    }
+                }
+            }
+            self.expect(TokenKind::RBrace)?;
+            Ok(Init::List(items))
+        } else {
+            Ok(Init::Scalar(self.expr()?))
+        }
+    }
+
+    fn param_list(&mut self) -> Result<Vec<Param>, Diag> {
+        let mut params = Vec::new();
+        if self.peek() == &TokenKind::RParen {
+            return Ok(params);
+        }
+        if self.peek() == &TokenKind::KwVoid && self.peek_at(1) == &TokenKind::RParen {
+            self.bump();
+            return Ok(params);
+        }
+        loop {
+            let base = self.base_type()?;
+            let (name, mut ty, pspan) = self.declarator(base)?;
+            // Array parameters decay to pointers, as in C.
+            if let Type::Array(elem, _) = ty {
+                ty = Type::Ptr(elem);
+            }
+            params.push(Param {
+                name,
+                ty,
+                span: pspan,
+            });
+            if !self.eat(&TokenKind::Comma) {
+                break;
+            }
+        }
+        Ok(params)
+    }
+
+    // ------------------------------------------------------------------
+    // Types and declarators
+    // ------------------------------------------------------------------
+
+    fn base_type(&mut self) -> Result<Type, Diag> {
+        match self.peek().clone() {
+            TokenKind::KwInt => {
+                self.bump();
+                Ok(Type::Int)
+            }
+            TokenKind::KwFloat => {
+                self.bump();
+                Ok(Type::Float)
+            }
+            TokenKind::KwVoid => {
+                self.bump();
+                Ok(Type::Void)
+            }
+            TokenKind::KwStruct => {
+                self.bump();
+                let (name, _) = self.expect_ident()?;
+                Ok(Type::Struct(name))
+            }
+            other => Err(self.error(format!("expected a type, found {}", other.describe()))),
+        }
+    }
+
+    /// Parses `'*'* (IDENT | '(' '*' IDENT ')' '(' types ')') ('[' INT ']')*`
+    /// and returns the declared name, full type, and name span.
+    fn declarator(&mut self, base: Type) -> Result<(String, Type, Span), Diag> {
+        let mut ty = base;
+        while self.eat(&TokenKind::Star) {
+            ty = Type::ptr(ty);
+        }
+
+        // Function-pointer declarator: `(*name)(param-types)`.
+        if self.peek() == &TokenKind::LParen && self.peek_at(1) == &TokenKind::Star {
+            self.bump(); // '('
+            self.bump(); // '*'
+            let (name, nspan) = self.expect_ident()?;
+            self.expect(TokenKind::RParen)?;
+            self.expect(TokenKind::LParen)?;
+            let mut params = Vec::new();
+            if self.peek() != &TokenKind::RParen {
+                if self.peek() == &TokenKind::KwVoid && self.peek_at(1) == &TokenKind::RParen {
+                    self.bump();
+                } else {
+                    loop {
+                        let pbase = self.base_type()?;
+                        let mut pty = pbase;
+                        while self.eat(&TokenKind::Star) {
+                            pty = Type::ptr(pty);
+                        }
+                        // Optional (ignored) parameter name.
+                        if matches!(self.peek(), TokenKind::Ident(_)) {
+                            self.bump();
+                        }
+                        params.push(pty);
+                        if !self.eat(&TokenKind::Comma) {
+                            break;
+                        }
+                    }
+                }
+            }
+            self.expect(TokenKind::RParen)?;
+            let sig = FuncSig { params, ret: ty };
+            return Ok((name, Type::Func(Box::new(sig)), nspan));
+        }
+
+        let (name, nspan) = self.expect_ident()?;
+
+        // Array suffixes, outermost dimension first in source order.
+        let mut dims = Vec::new();
+        while self.eat(&TokenKind::LBracket) {
+            let n = match self.peek().clone() {
+                TokenKind::Int(v) if v > 0 => {
+                    self.bump();
+                    v as usize
+                }
+                _ => return Err(self.error("array dimension must be a positive integer literal")),
+            };
+            self.expect(TokenKind::RBracket)?;
+            dims.push(n);
+        }
+        for &n in dims.iter().rev() {
+            ty = Type::array(ty, n);
+        }
+        Ok((name, ty, nspan))
+    }
+
+    fn starts_type(&self) -> bool {
+        matches!(
+            self.peek(),
+            TokenKind::KwInt | TokenKind::KwFloat | TokenKind::KwStruct | TokenKind::KwVoid
+        )
+    }
+
+    // ------------------------------------------------------------------
+    // Statements
+    // ------------------------------------------------------------------
+
+    fn block(&mut self) -> Result<Block, Diag> {
+        self.expect(TokenKind::LBrace)?;
+        let mut stmts = Vec::new();
+        while self.peek() != &TokenKind::RBrace {
+            if self.peek() == &TokenKind::Eof {
+                return Err(self.error("unexpected end of input inside block"));
+            }
+            stmts.push(self.stmt()?);
+        }
+        self.expect(TokenKind::RBrace)?;
+        Ok(Block::new(stmts))
+    }
+
+    /// Parses a single statement; a bare `{` starts a nested block.
+    fn stmt(&mut self) -> Result<Stmt, Diag> {
+        let start = self.span();
+        match self.peek().clone() {
+            TokenKind::LBrace => {
+                let b = self.block()?;
+                Ok(Stmt::new(StmtKind::Block(b), start.merge(self.prev_span())))
+            }
+            TokenKind::KwIf => self.if_stmt(),
+            TokenKind::KwWhile => {
+                self.bump();
+                self.expect(TokenKind::LParen)?;
+                let cond = self.expr()?;
+                self.expect(TokenKind::RParen)?;
+                let body = self.stmt_as_block()?;
+                Ok(Stmt::new(
+                    StmtKind::While { cond, body },
+                    start.merge(self.prev_span()),
+                ))
+            }
+            TokenKind::KwDo => {
+                self.bump();
+                let body = self.stmt_as_block()?;
+                self.expect(TokenKind::KwWhile)?;
+                self.expect(TokenKind::LParen)?;
+                let cond = self.expr()?;
+                self.expect(TokenKind::RParen)?;
+                self.expect(TokenKind::Semi)?;
+                Ok(Stmt::new(
+                    StmtKind::DoWhile { body, cond },
+                    start.merge(self.prev_span()),
+                ))
+            }
+            TokenKind::KwFor => self.for_stmt(),
+            TokenKind::KwBreak => {
+                self.bump();
+                self.expect(TokenKind::Semi)?;
+                Ok(Stmt::new(StmtKind::Break, start.merge(self.prev_span())))
+            }
+            TokenKind::KwContinue => {
+                self.bump();
+                self.expect(TokenKind::Semi)?;
+                Ok(Stmt::new(StmtKind::Continue, start.merge(self.prev_span())))
+            }
+            TokenKind::KwReturn => {
+                self.bump();
+                let value = if self.peek() == &TokenKind::Semi {
+                    None
+                } else {
+                    Some(self.expr()?)
+                };
+                self.expect(TokenKind::Semi)?;
+                Ok(Stmt::new(
+                    StmtKind::Return(value),
+                    start.merge(self.prev_span()),
+                ))
+            }
+            TokenKind::Semi => {
+                // Empty statement: an empty block.
+                self.bump();
+                Ok(Stmt::new(StmtKind::Block(Block::default()), start))
+            }
+            _ if self.starts_type() || self.peek() == &TokenKind::KwConst => self.decl_stmt(),
+            _ => {
+                let e = self.expr()?;
+                self.expect(TokenKind::Semi)?;
+                Ok(Stmt::new(StmtKind::Expr(e), start.merge(self.prev_span())))
+            }
+        }
+    }
+
+    /// Wraps a single-statement body (e.g. of `while (c) s;`) in a block.
+    fn stmt_as_block(&mut self) -> Result<Block, Diag> {
+        if self.peek() == &TokenKind::LBrace {
+            self.block()
+        } else {
+            let s = self.stmt()?;
+            Ok(Block::new(vec![s]))
+        }
+    }
+
+    fn if_stmt(&mut self) -> Result<Stmt, Diag> {
+        let start = self.expect(TokenKind::KwIf)?;
+        self.expect(TokenKind::LParen)?;
+        let cond = self.expr()?;
+        self.expect(TokenKind::RParen)?;
+        let then_blk = self.stmt_as_block()?;
+        let else_blk = if self.eat(&TokenKind::KwElse) {
+            Some(self.stmt_as_block()?)
+        } else {
+            None
+        };
+        Ok(Stmt::new(
+            StmtKind::If {
+                cond,
+                then_blk,
+                else_blk,
+            },
+            start.merge(self.prev_span()),
+        ))
+    }
+
+    fn for_stmt(&mut self) -> Result<Stmt, Diag> {
+        let start = self.expect(TokenKind::KwFor)?;
+        self.expect(TokenKind::LParen)?;
+        let init = if self.peek() == &TokenKind::Semi {
+            self.bump();
+            None
+        } else if self.starts_type() || self.peek() == &TokenKind::KwConst {
+            Some(Box::new(self.decl_stmt()?))
+        } else {
+            let e = self.expr()?;
+            let espan = e.span;
+            self.expect(TokenKind::Semi)?;
+            Some(Box::new(Stmt::new(StmtKind::Expr(e), espan)))
+        };
+        let cond = if self.peek() == &TokenKind::Semi {
+            None
+        } else {
+            Some(self.expr()?)
+        };
+        self.expect(TokenKind::Semi)?;
+        let step = if self.peek() == &TokenKind::RParen {
+            None
+        } else {
+            Some(self.expr()?)
+        };
+        self.expect(TokenKind::RParen)?;
+        let body = self.stmt_as_block()?;
+        Ok(Stmt::new(
+            StmtKind::For {
+                init,
+                cond,
+                step,
+                body,
+            },
+            start.merge(self.prev_span()),
+        ))
+    }
+
+    fn decl_stmt(&mut self) -> Result<Stmt, Diag> {
+        let start = self.span();
+        // `const` on locals is accepted and ignored (documented: constness
+        // of locals carries no semantic weight in MiniC).
+        let _ = self.eat(&TokenKind::KwConst);
+        let base = self.base_type()?;
+        let (name, ty, _) = self.declarator(base)?;
+        let init = if self.eat(&TokenKind::Eq) {
+            Some(self.expr()?)
+        } else {
+            None
+        };
+        self.expect(TokenKind::Semi)?;
+        Ok(Stmt::new(
+            StmtKind::Decl { name, ty, init },
+            start.merge(self.prev_span()),
+        ))
+    }
+
+    // ------------------------------------------------------------------
+    // Expressions
+    // ------------------------------------------------------------------
+
+    fn expr(&mut self) -> Result<Expr, Diag> {
+        self.assignment()
+    }
+
+    fn assignment(&mut self) -> Result<Expr, Diag> {
+        let lhs = self.ternary()?;
+        let op = match self.peek() {
+            TokenKind::Eq => None,
+            TokenKind::PlusEq => Some(BinOp::Add),
+            TokenKind::MinusEq => Some(BinOp::Sub),
+            TokenKind::StarEq => Some(BinOp::Mul),
+            TokenKind::SlashEq => Some(BinOp::Div),
+            TokenKind::PercentEq => Some(BinOp::Rem),
+            TokenKind::AmpEq => Some(BinOp::BitAnd),
+            TokenKind::PipeEq => Some(BinOp::BitOr),
+            TokenKind::CaretEq => Some(BinOp::BitXor),
+            TokenKind::ShlEq => Some(BinOp::Shl),
+            TokenKind::ShrEq => Some(BinOp::Shr),
+            _ => return Ok(lhs),
+        };
+        self.bump();
+        let rhs = self.assignment()?;
+        let span = lhs.span.merge(rhs.span);
+        let kind = match op {
+            None => ExprKind::Assign(Box::new(lhs), Box::new(rhs)),
+            Some(op) => ExprKind::AssignOp(op, Box::new(lhs), Box::new(rhs)),
+        };
+        Ok(Expr::new(kind, span))
+    }
+
+    fn ternary(&mut self) -> Result<Expr, Diag> {
+        let cond = self.binary(0)?;
+        if !self.eat(&TokenKind::Question) {
+            return Ok(cond);
+        }
+        let then_e = self.expr()?;
+        self.expect(TokenKind::Colon)?;
+        let else_e = self.ternary()?;
+        let span = cond.span.merge(else_e.span);
+        Ok(Expr::new(
+            ExprKind::Ternary(Box::new(cond), Box::new(then_e), Box::new(else_e)),
+            span,
+        ))
+    }
+
+    /// Precedence-climbing binary expression parser.
+    fn binary(&mut self, min_prec: u8) -> Result<Expr, Diag> {
+        let mut lhs = self.unary()?;
+        loop {
+            let (op, prec) = match self.peek() {
+                TokenKind::Star => (BinOp::Mul, 10),
+                TokenKind::Slash => (BinOp::Div, 10),
+                TokenKind::Percent => (BinOp::Rem, 10),
+                TokenKind::Plus => (BinOp::Add, 9),
+                TokenKind::Minus => (BinOp::Sub, 9),
+                TokenKind::Shl => (BinOp::Shl, 8),
+                TokenKind::Shr => (BinOp::Shr, 8),
+                TokenKind::Lt => (BinOp::Lt, 7),
+                TokenKind::Le => (BinOp::Le, 7),
+                TokenKind::Gt => (BinOp::Gt, 7),
+                TokenKind::Ge => (BinOp::Ge, 7),
+                TokenKind::EqEq => (BinOp::Eq, 6),
+                TokenKind::Ne => (BinOp::Ne, 6),
+                TokenKind::Amp => (BinOp::BitAnd, 5),
+                TokenKind::Caret => (BinOp::BitXor, 4),
+                TokenKind::Pipe => (BinOp::BitOr, 3),
+                TokenKind::AmpAmp => (BinOp::LogAnd, 2),
+                TokenKind::PipePipe => (BinOp::LogOr, 1),
+                _ => break,
+            };
+            if prec < min_prec {
+                break;
+            }
+            self.bump();
+            let rhs = self.binary(prec + 1)?;
+            let span = lhs.span.merge(rhs.span);
+            lhs = Expr::new(ExprKind::Binary(op, Box::new(lhs), Box::new(rhs)), span);
+        }
+        Ok(lhs)
+    }
+
+    fn unary(&mut self) -> Result<Expr, Diag> {
+        let start = self.span();
+        let op = match self.peek() {
+            TokenKind::Minus => Some(UnOp::Neg),
+            TokenKind::Bang => Some(UnOp::Not),
+            TokenKind::Tilde => Some(UnOp::BitNot),
+            TokenKind::Star => Some(UnOp::Deref),
+            TokenKind::Amp => Some(UnOp::Addr),
+            _ => None,
+        };
+        if let Some(op) = op {
+            self.bump();
+            let operand = self.unary()?;
+            let span = start.merge(operand.span);
+            return Ok(Expr::new(ExprKind::Unary(op, Box::new(operand)), span));
+        }
+        if self.peek() == &TokenKind::PlusPlus || self.peek() == &TokenKind::MinusMinus {
+            let inc = self.peek() == &TokenKind::PlusPlus;
+            self.bump();
+            let operand = self.unary()?;
+            let span = start.merge(operand.span);
+            let op = if inc { IncDec::PreInc } else { IncDec::PreDec };
+            return Ok(Expr::new(ExprKind::IncDec(op, Box::new(operand)), span));
+        }
+        // Cast: '(' type-keyword ... ')' unary.
+        if self.peek() == &TokenKind::LParen
+            && matches!(
+                self.peek_at(1),
+                TokenKind::KwInt | TokenKind::KwFloat | TokenKind::KwStruct | TokenKind::KwVoid
+            )
+        {
+            self.bump(); // '('
+            let base = self.base_type()?;
+            let mut ty = base;
+            while self.eat(&TokenKind::Star) {
+                ty = Type::ptr(ty);
+            }
+            self.expect(TokenKind::RParen)?;
+            let operand = self.unary()?;
+            let span = start.merge(operand.span);
+            return Ok(Expr::new(ExprKind::Cast(ty, Box::new(operand)), span));
+        }
+        self.postfix()
+    }
+
+    fn postfix(&mut self) -> Result<Expr, Diag> {
+        let mut e = self.primary()?;
+        loop {
+            match self.peek() {
+                TokenKind::LParen => {
+                    self.bump();
+                    let mut args = Vec::new();
+                    if self.peek() != &TokenKind::RParen {
+                        loop {
+                            args.push(self.expr()?);
+                            if !self.eat(&TokenKind::Comma) {
+                                break;
+                            }
+                        }
+                    }
+                    let end = self.expect(TokenKind::RParen)?;
+                    let span = e.span.merge(end);
+                    e = Expr::new(ExprKind::Call(Box::new(e), args), span);
+                }
+                TokenKind::LBracket => {
+                    self.bump();
+                    let idx = self.expr()?;
+                    let end = self.expect(TokenKind::RBracket)?;
+                    let span = e.span.merge(end);
+                    e = Expr::new(ExprKind::Index(Box::new(e), Box::new(idx)), span);
+                }
+                TokenKind::Dot => {
+                    self.bump();
+                    let (field, fspan) = self.expect_ident()?;
+                    let span = e.span.merge(fspan);
+                    e = Expr::new(ExprKind::Member(Box::new(e), field), span);
+                }
+                TokenKind::Arrow => {
+                    self.bump();
+                    let (field, fspan) = self.expect_ident()?;
+                    let span = e.span.merge(fspan);
+                    e = Expr::new(ExprKind::Arrow(Box::new(e), field), span);
+                }
+                TokenKind::PlusPlus => {
+                    let end = self.bump().span;
+                    let span = e.span.merge(end);
+                    e = Expr::new(ExprKind::IncDec(IncDec::PostInc, Box::new(e)), span);
+                }
+                TokenKind::MinusMinus => {
+                    let end = self.bump().span;
+                    let span = e.span.merge(end);
+                    e = Expr::new(ExprKind::IncDec(IncDec::PostDec, Box::new(e)), span);
+                }
+                _ => break,
+            }
+        }
+        Ok(e)
+    }
+
+    fn primary(&mut self) -> Result<Expr, Diag> {
+        let span = self.span();
+        match self.peek().clone() {
+            TokenKind::Int(v) => {
+                self.bump();
+                Ok(Expr::new(ExprKind::IntLit(v), span))
+            }
+            TokenKind::Float(v) => {
+                self.bump();
+                Ok(Expr::new(ExprKind::FloatLit(v), span))
+            }
+            TokenKind::Ident(name) => {
+                self.bump();
+                Ok(Expr::new(ExprKind::Var(name), span))
+            }
+            TokenKind::LParen => {
+                self.bump();
+                let e = self.expr()?;
+                self.expect(TokenKind::RParen)?;
+                Ok(e)
+            }
+            other => Err(self.error(format!(
+                "expected an expression, found {}",
+                other.describe()
+            ))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse_ok(src: &str) -> Program {
+        parse(src).unwrap_or_else(|e| panic!("parse failed: {e}\nsource: {src}"))
+    }
+
+    fn first_expr(src: &str) -> Expr {
+        let prog = parse_ok(&format!("int main() {{ {src}; }}"));
+        match &prog.funcs[0].body.stmts[0].kind {
+            StmtKind::Expr(e) => e.clone(),
+            StmtKind::Return(Some(e)) => e.clone(),
+            other => panic!("not an expr stmt: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_empty_function() {
+        let prog = parse_ok("void f() { }");
+        assert_eq!(prog.funcs[0].name, "f");
+        assert_eq!(prog.funcs[0].ret, Type::Void);
+        assert!(prog.funcs[0].body.stmts.is_empty());
+    }
+
+    #[test]
+    fn parses_globals_with_initializers() {
+        let prog = parse_ok("int x = 3; const int tab[3] = {1, 2, 4}; float pi = 3.14;");
+        assert_eq!(prog.globals.len(), 3);
+        assert!(prog.globals[1].is_const);
+        assert_eq!(prog.globals[1].ty, Type::array(Type::Int, 3));
+        match &prog.globals[1].init {
+            Some(Init::List(items)) => assert_eq!(items.len(), 3),
+            other => panic!("expected list init, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_2d_array_global() {
+        let prog = parse_ok("int grid[4][8];");
+        assert_eq!(
+            prog.globals[0].ty,
+            Type::array(Type::array(Type::Int, 8), 4)
+        );
+    }
+
+    #[test]
+    fn parses_struct_def_and_use() {
+        let prog = parse_ok(
+            "struct point { int x; int y; };
+             struct point origin;
+             int get_x(struct point *p) { return p->x; }",
+        );
+        assert_eq!(prog.structs[0].fields.len(), 2);
+        assert_eq!(prog.globals[0].ty, Type::Struct("point".into()));
+        assert_eq!(
+            prog.funcs[0].params[0].ty,
+            Type::ptr(Type::Struct("point".into()))
+        );
+    }
+
+    #[test]
+    fn parses_function_pointer_declarator() {
+        let prog = parse_ok("int apply(int (*fp)(int, int)) { return fp(1, 2); }");
+        match &prog.funcs[0].params[0].ty {
+            Type::Func(sig) => {
+                assert_eq!(sig.params.len(), 2);
+                assert_eq!(sig.ret, Type::Int);
+            }
+            other => panic!("expected func type, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn array_params_decay_to_pointers() {
+        let prog = parse_ok("int f(int a[16]) { return a[0]; }");
+        assert_eq!(prog.funcs[0].params[0].ty, Type::ptr(Type::Int));
+    }
+
+    #[test]
+    fn prototypes_are_skipped() {
+        let prog = parse_ok("int quan(int val); int main() { return 0; }");
+        assert_eq!(prog.funcs.len(), 1);
+        assert_eq!(prog.funcs[0].name, "main");
+    }
+
+    #[test]
+    fn precedence_mul_over_add() {
+        let e = first_expr("1 + 2 * 3");
+        match e.kind {
+            ExprKind::Binary(BinOp::Add, _, rhs) => match rhs.kind {
+                ExprKind::Binary(BinOp::Mul, _, _) => {}
+                other => panic!("rhs should be mul, got {other:?}"),
+            },
+            other => panic!("expected add at top, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn precedence_shift_vs_compare() {
+        // `a << 2 < b` parses as `(a << 2) < b`.
+        let e = first_expr("a << 2 < b");
+        match e.kind {
+            ExprKind::Binary(BinOp::Lt, lhs, _) => match lhs.kind {
+                ExprKind::Binary(BinOp::Shl, _, _) => {}
+                other => panic!("lhs should be shl, got {other:?}"),
+            },
+            other => panic!("expected lt at top, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn assignment_is_right_associative() {
+        let e = first_expr("a = b = 1");
+        match e.kind {
+            ExprKind::Assign(_, rhs) => {
+                assert!(matches!(rhs.kind, ExprKind::Assign(_, _)));
+            }
+            other => panic!("expected assign, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn ternary_parses() {
+        let e = first_expr("a < b ? 1 : 2");
+        assert!(matches!(e.kind, ExprKind::Ternary(_, _, _)));
+    }
+
+    #[test]
+    fn casts_vs_parenthesized_exprs() {
+        let e = first_expr("(int)x");
+        assert!(matches!(e.kind, ExprKind::Cast(Type::Int, _)));
+        let e = first_expr("(x)");
+        assert!(matches!(e.kind, ExprKind::Var(_)));
+        let e = first_expr("(float*)p");
+        match e.kind {
+            ExprKind::Cast(ty, _) => assert_eq!(ty, Type::ptr(Type::Float)),
+            other => panic!("expected cast, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn postfix_chain() {
+        let e = first_expr("a[1].f->g(2)[3]");
+        // Just check it parses to a nested structure ending in Index.
+        assert!(matches!(e.kind, ExprKind::Index(_, _)));
+    }
+
+    #[test]
+    fn deref_postincrement_like_quan() {
+        // The paper's original quan uses `*table++`.
+        let e = first_expr("*table++");
+        match e.kind {
+            ExprKind::Unary(UnOp::Deref, inner) => {
+                assert!(matches!(inner.kind, ExprKind::IncDec(IncDec::PostInc, _)));
+            }
+            other => panic!("expected deref of post-inc, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_full_quan() {
+        let prog = parse_ok(
+            "int power2[15] = {1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 2048, 4096, 8192, 16384};
+             int quan(int val) {
+                 int i;
+                 for (i = 0; i < 15; i++)
+                     if (val < power2[i])
+                         break;
+                 return (i);
+             }",
+        );
+        let f = &prog.funcs[0];
+        assert_eq!(f.name, "quan");
+        assert_eq!(f.params.len(), 1);
+        match &f.body.stmts[1].kind {
+            StmtKind::For { body, .. } => {
+                assert!(matches!(body.stmts[0].kind, StmtKind::If { .. }));
+            }
+            other => panic!("expected for, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_loops_and_control() {
+        let prog = parse_ok(
+            "int main() {
+                int i = 0;
+                int acc = 0;
+                while (i < 10) { i++; if (i == 3) continue; acc += i; }
+                do { acc--; } while (acc > 40);
+                for (;;) { break; }
+                return acc;
+            }",
+        );
+        assert_eq!(prog.funcs[0].body.stmts.len(), 6);
+    }
+
+    #[test]
+    fn compound_assignment_ops() {
+        for (src, op) in [
+            ("a += 1", BinOp::Add),
+            ("a <<= 1", BinOp::Shl),
+            ("a %= 2", BinOp::Rem),
+            ("a ^= b", BinOp::BitXor),
+        ] {
+            let e = first_expr(src);
+            match e.kind {
+                ExprKind::AssignOp(got, _, _) => assert_eq!(got, op),
+                other => panic!("expected assign-op, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn error_on_missing_semicolon() {
+        let err = parse("int main() { return 0 }").unwrap_err();
+        assert!(err.message.contains("expected"));
+    }
+
+    #[test]
+    fn error_on_bad_array_dim() {
+        let err = parse("int a[x];").unwrap_err();
+        assert!(err.message.contains("array dimension"));
+    }
+
+    #[test]
+    fn error_on_garbage_expression() {
+        let err = parse("int main() { return +; }").unwrap_err();
+        assert!(err.message.contains("expression"));
+    }
+
+    #[test]
+    fn empty_statement_is_empty_block() {
+        let prog = parse_ok("int main() { ;; return 0; }");
+        assert!(matches!(prog.funcs[0].body.stmts[0].kind, StmtKind::Block(_)));
+        assert_eq!(prog.funcs[0].body.stmts.len(), 3);
+    }
+
+    #[test]
+    fn logical_ops_precedence() {
+        // a || b && c  =>  a || (b && c)
+        let e = first_expr("a || b && c");
+        match e.kind {
+            ExprKind::Binary(BinOp::LogOr, _, rhs) => {
+                assert!(matches!(rhs.kind, ExprKind::Binary(BinOp::LogAnd, _, _)));
+            }
+            other => panic!("expected or at top, got {other:?}"),
+        }
+    }
+}

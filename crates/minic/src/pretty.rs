@@ -1,0 +1,596 @@
+//! Pretty-printer: renders an AST back to MiniC source text.
+//!
+//! The output re-parses to an equivalent AST (round-trip property, tested
+//! with proptest in `tests/roundtrip.rs`). Inserted [`StmtKind::Memo`] and
+//! [`StmtKind::Profile`] statements are rendered in the paper's
+//! `check_hash(...)` pseudo-C style (Fig. 2(b)) inside comment-delimited
+//! markers; such programs are for human inspection and do not re-parse.
+
+use crate::ast::*;
+use std::fmt::Write as _;
+
+/// Renders a whole program as MiniC source.
+///
+/// # Examples
+///
+/// ```
+/// let prog = minic::parse("int main() { return 1 + 2; }")?;
+/// let text = minic::pretty::print_program(&prog);
+/// assert!(text.contains("return 1 + 2;"));
+/// # Ok::<(), minic::error::Diag>(())
+/// ```
+pub fn print_program(p: &Program) -> String {
+    let mut pr = Printer::new();
+    for s in &p.structs {
+        pr.struct_def(s);
+        pr.blank();
+    }
+    for g in &p.globals {
+        pr.global(g);
+    }
+    if !p.globals.is_empty() {
+        pr.blank();
+    }
+    for (i, f) in p.funcs.iter().enumerate() {
+        if i > 0 {
+            pr.blank();
+        }
+        pr.func(f);
+    }
+    pr.out
+}
+
+/// Renders a single expression.
+pub fn print_expr(e: &Expr) -> String {
+    let mut pr = Printer::new();
+    pr.expr(e, 0);
+    pr.out
+}
+
+/// Renders a single statement at indent level 0.
+pub fn print_stmt(s: &Stmt) -> String {
+    let mut pr = Printer::new();
+    pr.stmt(s);
+    pr.out
+}
+
+struct Printer {
+    out: String,
+    indent: usize,
+}
+
+impl Printer {
+    fn new() -> Self {
+        Printer {
+            out: String::new(),
+            indent: 0,
+        }
+    }
+
+    fn line(&mut self, text: &str) {
+        for _ in 0..self.indent {
+            self.out.push_str("    ");
+        }
+        self.out.push_str(text);
+        self.out.push('\n');
+    }
+
+    fn blank(&mut self) {
+        self.out.push('\n');
+    }
+
+    fn struct_def(&mut self, s: &StructDef) {
+        self.line(&format!("struct {} {{", s.name));
+        self.indent += 1;
+        for f in &s.fields {
+            let d = declare(&f.ty, &f.name);
+            self.line(&format!("{d};"));
+        }
+        self.indent -= 1;
+        self.line("};");
+    }
+
+    fn global(&mut self, g: &GlobalDef) {
+        let mut text = String::new();
+        if g.is_const {
+            text.push_str("const ");
+        }
+        text.push_str(&declare(&g.ty, &g.name));
+        if let Some(init) = &g.init {
+            text.push_str(" = ");
+            self.init_text(init, &mut text);
+        }
+        text.push(';');
+        self.line(&text);
+    }
+
+    fn init_text(&mut self, init: &Init, out: &mut String) {
+        match init {
+            Init::Scalar(e) => {
+                let mut pr = Printer::new();
+                pr.expr(e, 0);
+                out.push_str(&pr.out);
+            }
+            Init::List(items) => {
+                out.push('{');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push_str(", ");
+                    }
+                    self.init_text(item, out);
+                }
+                out.push('}');
+            }
+        }
+    }
+
+    fn func(&mut self, f: &FuncDef) {
+        let params = if f.params.is_empty() {
+            "void".to_string()
+        } else {
+            f.params
+                .iter()
+                .map(|p| declare(&p.ty, &p.name))
+                .collect::<Vec<_>>()
+                .join(", ")
+        };
+        self.line(&format!("{} {}({}) {{", f.ret, f.name, params));
+        self.indent += 1;
+        for s in &f.body.stmts {
+            self.stmt(s);
+        }
+        self.indent -= 1;
+        self.line("}");
+    }
+
+    fn block_body(&mut self, b: &Block) {
+        self.indent += 1;
+        for s in &b.stmts {
+            self.stmt(s);
+        }
+        self.indent -= 1;
+    }
+
+    fn stmt(&mut self, s: &Stmt) {
+        match &s.kind {
+            StmtKind::Decl { name, ty, init } => {
+                let mut text = declare(ty, name);
+                if let Some(e) = init {
+                    let _ = write!(text, " = {}", print_expr(e));
+                }
+                text.push(';');
+                self.line(&text);
+            }
+            StmtKind::Expr(e) => {
+                self.line(&format!("{};", print_expr(e)));
+            }
+            StmtKind::If {
+                cond,
+                then_blk,
+                else_blk,
+            } => {
+                self.line(&format!("if ({}) {{", print_expr(cond)));
+                self.block_body(then_blk);
+                match else_blk {
+                    Some(b) => {
+                        self.line("} else {");
+                        self.block_body(b);
+                        self.line("}");
+                    }
+                    None => self.line("}"),
+                }
+            }
+            StmtKind::While { cond, body } => {
+                self.line(&format!("while ({}) {{", print_expr(cond)));
+                self.block_body(body);
+                self.line("}");
+            }
+            StmtKind::DoWhile { body, cond } => {
+                self.line("do {");
+                self.block_body(body);
+                self.line(&format!("}} while ({});", print_expr(cond)));
+            }
+            StmtKind::For {
+                init,
+                cond,
+                step,
+                body,
+            } => {
+                let init_text = match init {
+                    None => ";".to_string(),
+                    Some(s) => match &s.kind {
+                        StmtKind::Decl { name, ty, init } => {
+                            let mut t = declare(ty, name);
+                            if let Some(e) = init {
+                                let _ = write!(t, " = {}", print_expr(e));
+                            }
+                            t.push(';');
+                            t
+                        }
+                        StmtKind::Expr(e) => format!("{};", print_expr(e)),
+                        other => unreachable!("for-init is decl or expr, got {other:?}"),
+                    },
+                };
+                let cond_text = cond.as_ref().map(print_expr).unwrap_or_default();
+                let step_text = step.as_ref().map(print_expr).unwrap_or_default();
+                self.line(&format!("for ({init_text} {cond_text}; {step_text}) {{"));
+                self.block_body(body);
+                self.line("}");
+            }
+            StmtKind::Break => self.line("break;"),
+            StmtKind::Continue => self.line("continue;"),
+            StmtKind::Return(None) => self.line("return;"),
+            StmtKind::Return(Some(e)) => self.line(&format!("return {};", print_expr(e))),
+            StmtKind::Block(b) => {
+                self.line("{");
+                self.block_body(b);
+                self.line("}");
+            }
+            StmtKind::Profile(p) => {
+                self.line(&format!(
+                    "/* value-set profile probe: segment {} ({} inputs) */ {{",
+                    p.segment,
+                    p.inputs.len()
+                ));
+                self.block_body(&p.body);
+                self.line("}");
+            }
+            StmtKind::Memo(m) => self.memo(m),
+        }
+    }
+
+    /// Renders a memoized segment in the paper's Fig. 2(b) style.
+    fn memo(&mut self, m: &MemoStmt) {
+        let keys = m
+            .inputs
+            .iter()
+            .map(|op| op.name.clone())
+            .collect::<Vec<_>>()
+            .join(", ");
+        self.line(&format!("/* computation reuse: segment {} */", m.segment));
+        self.line(&format!(
+            "if (check_hash({keys}, hash_table_{}, &key) == 0) {{",
+            m.table
+        ));
+        self.block_body(&m.body);
+        self.indent += 1;
+        for op in &m.outputs {
+            self.line(&format!(
+                "hash_table_{}[key].{} = {};",
+                m.table, op.name, op.name
+            ));
+        }
+        if m.ret.is_some() {
+            self.line(&format!("hash_table_{}[key].__ret = __ret;", m.table));
+        }
+        self.indent -= 1;
+        self.line("} else {");
+        self.indent += 1;
+        for op in &m.outputs {
+            self.line(&format!(
+                "{} = hash_table_{}[key].{};",
+                op.name, m.table, op.name
+            ));
+        }
+        if m.ret.is_some() {
+            self.line(&format!("return hash_table_{}[key].__ret;", m.table));
+        }
+        self.indent -= 1;
+        self.line("}");
+    }
+
+    // ------------------------------------------------------------------
+    // Expressions, with parenthesization driven by precedence.
+    // ------------------------------------------------------------------
+
+    fn expr(&mut self, e: &Expr, parent_prec: u8) {
+        let prec = expr_prec(e);
+        let need_parens = prec < parent_prec;
+        if need_parens {
+            self.out.push('(');
+        }
+        match &e.kind {
+            ExprKind::IntLit(v) => {
+                let _ = write!(self.out, "{v}");
+            }
+            ExprKind::FloatLit(v) => {
+                if v.fract() == 0.0 && v.is_finite() && v.abs() < 1e15 {
+                    let _ = write!(self.out, "{v:.1}");
+                } else {
+                    let _ = write!(self.out, "{v}");
+                }
+            }
+            ExprKind::Var(name) => self.out.push_str(name),
+            ExprKind::Unary(op, a) => {
+                self.out.push_str(op.glyph());
+                self.prefix_operand(a);
+            }
+            ExprKind::IncDec(op, a) => {
+                if op.is_prefix() {
+                    self.out
+                        .push_str(if op.delta() > 0 { "++" } else { "--" });
+                    self.prefix_operand(a);
+                } else {
+                    self.expr(a, POSTFIX_PREC);
+                    self.out
+                        .push_str(if op.delta() > 0 { "++" } else { "--" });
+                }
+            }
+            ExprKind::Binary(op, a, b) => {
+                let p = binop_prec(*op);
+                self.expr(a, p);
+                let _ = write!(self.out, " {} ", op.glyph());
+                self.expr(b, p + 1);
+            }
+            ExprKind::Assign(a, b) => {
+                self.expr(a, UNARY_PREC);
+                self.out.push_str(" = ");
+                self.expr(b, ASSIGN_PREC);
+            }
+            ExprKind::AssignOp(op, a, b) => {
+                self.expr(a, UNARY_PREC);
+                let _ = write!(self.out, " {}= ", op.glyph());
+                self.expr(b, ASSIGN_PREC);
+            }
+            ExprKind::Ternary(c, t, f) => {
+                self.expr(c, TERNARY_PREC + 1);
+                self.out.push_str(" ? ");
+                self.expr(t, ASSIGN_PREC);
+                self.out.push_str(" : ");
+                self.expr(f, TERNARY_PREC);
+            }
+            ExprKind::Call(callee, args) => {
+                self.expr(callee, POSTFIX_PREC);
+                self.out.push('(');
+                for (i, a) in args.iter().enumerate() {
+                    if i > 0 {
+                        self.out.push_str(", ");
+                    }
+                    self.expr(a, ASSIGN_PREC);
+                }
+                self.out.push(')');
+            }
+            ExprKind::Index(base, idx) => {
+                self.expr(base, POSTFIX_PREC);
+                self.out.push('[');
+                self.expr(idx, 0);
+                self.out.push(']');
+            }
+            ExprKind::Member(base, field) => {
+                self.expr(base, POSTFIX_PREC);
+                let _ = write!(self.out, ".{field}");
+            }
+            ExprKind::Arrow(base, field) => {
+                self.expr(base, POSTFIX_PREC);
+                let _ = write!(self.out, "->{field}");
+            }
+            ExprKind::Cast(ty, a) => {
+                let _ = write!(self.out, "({})", cast_type_text(ty));
+                self.expr(a, UNARY_PREC);
+            }
+        }
+        if need_parens {
+            self.out.push(')');
+        }
+    }
+
+    /// Prints the operand of a prefix operator, inserting a space when the
+    /// operand's first character would otherwise glue with the operator
+    /// into a different token (`- -a` must not become `--a`).
+    fn prefix_operand(&mut self, a: &Expr) {
+        let mut tmp = Printer::new();
+        tmp.expr(a, UNARY_PREC);
+        let last = self.out.chars().last();
+        let first = tmp.out.chars().next();
+        if let (Some(l), Some(f)) = (last, first) {
+            if l == f && matches!(l, '-' | '+' | '&') {
+                self.out.push(' ');
+            }
+        }
+        self.out.push_str(&tmp.out);
+    }
+}
+
+const ASSIGN_PREC: u8 = 1;
+const TERNARY_PREC: u8 = 2;
+const UNARY_PREC: u8 = 13;
+const POSTFIX_PREC: u8 = 14;
+
+fn binop_prec(op: BinOp) -> u8 {
+    use BinOp::*;
+    match op {
+        Mul | Div | Rem => 12,
+        Add | Sub => 11,
+        Shl | Shr => 10,
+        Lt | Le | Gt | Ge => 9,
+        Eq | Ne => 8,
+        BitAnd => 7,
+        BitXor => 6,
+        BitOr => 5,
+        LogAnd => 4,
+        LogOr => 3,
+    }
+}
+
+fn expr_prec(e: &Expr) -> u8 {
+    match &e.kind {
+        ExprKind::IntLit(_) | ExprKind::FloatLit(_) | ExprKind::Var(_) => POSTFIX_PREC + 1,
+        ExprKind::Call(..)
+        | ExprKind::Index(..)
+        | ExprKind::Member(..)
+        | ExprKind::Arrow(..) => POSTFIX_PREC,
+        ExprKind::IncDec(op, _) if !op.is_prefix() => POSTFIX_PREC,
+        ExprKind::Unary(..) | ExprKind::IncDec(..) | ExprKind::Cast(..) => UNARY_PREC,
+        ExprKind::Binary(op, ..) => binop_prec(*op),
+        ExprKind::Ternary(..) => TERNARY_PREC,
+        ExprKind::Assign(..) | ExprKind::AssignOp(..) => ASSIGN_PREC,
+    }
+}
+
+/// Renders a C declaration of `name` with type `ty` (handles arrays and
+/// function pointers).
+fn declare(ty: &Type, name: &str) -> String {
+    match ty {
+        Type::Array(_, _) => {
+            let mut dims = String::new();
+            let mut cur = ty;
+            while let Type::Array(elem, n) = cur {
+                let _ = write!(dims, "[{n}]");
+                cur = elem;
+            }
+            let (base, ptrs) = stars(cur);
+            format!("{} {}{}{}", base_text(base), ptrs, name, dims)
+        }
+        Type::Func(sig) => {
+            let params = if sig.params.is_empty() {
+                "void".to_string()
+            } else {
+                sig.params
+                    .iter()
+                    .map(cast_type_text)
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            };
+            format!("{} (*{name})({params})", sig.ret)
+        }
+        _ => {
+            let (base, ptrs) = stars(ty);
+            format!("{} {}{}", base_text(base), ptrs, name)
+        }
+    }
+}
+
+/// Splits `ty` into its non-pointer base and a string of `*`s.
+fn stars(ty: &Type) -> (&Type, String) {
+    match ty {
+        Type::Ptr(inner) => {
+            let (base, s) = stars(inner);
+            (base, format!("{s}*"))
+        }
+        other => (other, String::new()),
+    }
+}
+
+fn base_text(ty: &Type) -> String {
+    match ty {
+        Type::Int => "int".to_string(),
+        Type::Float => "float".to_string(),
+        Type::Void => "void".to_string(),
+        Type::Struct(name) => format!("struct {name}"),
+        other => other.to_string(),
+    }
+}
+
+/// Renders a type in cast position (base + stars only).
+fn cast_type_text(ty: &Type) -> String {
+    let (base, ptrs) = stars(ty);
+    format!("{}{}", base_text(base), ptrs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    fn round_trip(src: &str) {
+        let p1 = parse(src).expect("first parse");
+        let text = print_program(&p1);
+        let p2 = parse(&text).unwrap_or_else(|e| panic!("re-parse failed: {e}\n---\n{text}"));
+        // Compare structure ignoring ids/spans by printing both.
+        assert_eq!(text, print_program(&p2), "print is not a fixed point");
+    }
+
+    #[test]
+    fn round_trips_quan() {
+        round_trip(
+            "int power2[15] = {1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 2048, 4096, 8192, 16384};
+             int quan(int val) {
+                 int i;
+                 for (i = 0; i < 15; i++)
+                     if (val < power2[i])
+                         break;
+                 return i;
+             }",
+        );
+    }
+
+    #[test]
+    fn round_trips_control_flow() {
+        round_trip(
+            "int main() {
+                int acc = 0;
+                int i = 0;
+                while (i < 10) { if (i == 3) { continue; } acc += i; i++; }
+                do { acc--; } while (acc > 40);
+                for (;;) { break; }
+                return acc > 0 ? acc : -acc;
+            }",
+        );
+    }
+
+    #[test]
+    fn round_trips_pointers_and_structs() {
+        round_trip(
+            "struct point { int x; int y; };
+             struct point origin;
+             int grid[4][8];
+             int get(struct point *p, int *q) { return p->x + *q + origin.y; }",
+        );
+    }
+
+    #[test]
+    fn round_trips_function_pointers() {
+        round_trip(
+            "int add(int a, int b) { return a + b; }
+             int apply(int (*fp)(int, int), int x) { return fp(x, x); }
+             int main() { int (*f)(int, int); f = add; return apply(f, 3); }",
+        );
+    }
+
+    #[test]
+    fn parenthesization_preserves_precedence() {
+        // (1 + 2) * 3 must keep its parens.
+        let p = parse("int main() { return (1 + 2) * 3; }").unwrap();
+        let text = print_program(&p);
+        assert!(text.contains("(1 + 2) * 3"), "got: {text}");
+        round_trip("int main() { return (1 + 2) * 3; }");
+    }
+
+    #[test]
+    fn nested_unary_and_casts() {
+        round_trip("int main() { int x = 5; float f; f = (float)-x; return (int)f + ~x + !x; }");
+    }
+
+    #[test]
+    fn deref_postinc_round_trips() {
+        round_trip("int f(int *p) { return *p++; }");
+    }
+
+    #[test]
+    fn memo_prints_check_hash_style() {
+        let m = MemoStmt {
+            segment: "quan:body".into(),
+            table: 0,
+            slot: 0,
+            inputs: vec![MemoOperand::scalar("val", ScalarKind::Int)],
+            outputs: vec![MemoOperand::scalar("i", ScalarKind::Int)],
+            ret: Some(ScalarKind::Int),
+            body: Block::default(),
+        };
+        let s = Stmt::synth(StmtKind::Memo(m));
+        let text = print_stmt(&s);
+        assert!(text.contains("check_hash(val, hash_table_0, &key)"), "got: {text}");
+        assert!(text.contains("hash_table_0[key].i = i;"));
+        assert!(text.contains("i = hash_table_0[key].i;"));
+    }
+
+    #[test]
+    fn shift_inside_comparison_keeps_meaning() {
+        round_trip("int main() { int a = 1; int b = 9; return a << 2 < b; }");
+    }
+
+    #[test]
+    fn ternary_nesting_round_trips() {
+        round_trip("int main() { int a = 1; return a ? a ? 1 : 2 : 3; }");
+    }
+}

@@ -1,0 +1,196 @@
+//! Source positions and spans.
+//!
+//! Every token, expression, and statement carries a [`Span`] — a half-open
+//! byte range into the original source text. A [`LineMap`] converts byte
+//! offsets back to 1-based line/column pairs for diagnostics.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A half-open byte range `[lo, hi)` into a source string.
+///
+/// # Examples
+///
+/// ```
+/// use minic::span::Span;
+/// let s = Span::new(3, 7);
+/// assert_eq!(s.len(), 4);
+/// assert!(!s.is_empty());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub struct Span {
+    /// Byte offset of the first character.
+    pub lo: u32,
+    /// Byte offset one past the last character.
+    pub hi: u32,
+}
+
+impl Span {
+    /// Creates a span covering bytes `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo > hi`.
+    pub fn new(lo: u32, hi: u32) -> Self {
+        assert!(lo <= hi, "span lo must not exceed hi");
+        Span { lo, hi }
+    }
+
+    /// A zero-length placeholder span (used by synthesized AST nodes).
+    pub const DUMMY: Span = Span { lo: 0, hi: 0 };
+
+    /// Number of bytes covered.
+    pub fn len(&self) -> usize {
+        (self.hi - self.lo) as usize
+    }
+
+    /// Whether the span covers zero bytes.
+    pub fn is_empty(&self) -> bool {
+        self.lo == self.hi
+    }
+
+    /// The smallest span containing both `self` and `other`.
+    ///
+    /// ```
+    /// use minic::span::Span;
+    /// assert_eq!(Span::new(1, 3).merge(Span::new(5, 9)), Span::new(1, 9));
+    /// ```
+    pub fn merge(self, other: Span) -> Span {
+        Span {
+            lo: self.lo.min(other.lo),
+            hi: self.hi.max(other.hi),
+        }
+    }
+}
+
+impl fmt::Display for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}..{}", self.lo, self.hi)
+    }
+}
+
+/// A 1-based line and column position.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LineCol {
+    /// 1-based line number.
+    pub line: u32,
+    /// 1-based column number (in bytes).
+    pub col: u32,
+}
+
+impl fmt::Display for LineCol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.line, self.col)
+    }
+}
+
+/// Maps byte offsets of a source string to line/column positions.
+///
+/// # Examples
+///
+/// ```
+/// use minic::span::LineMap;
+/// let map = LineMap::new("ab\ncd");
+/// assert_eq!(map.line_col(0).line, 1);
+/// assert_eq!(map.line_col(3).line, 2);
+/// assert_eq!(map.line_col(4).col, 2);
+/// ```
+#[derive(Debug, Clone)]
+pub struct LineMap {
+    /// Byte offset of the start of each line.
+    line_starts: Vec<u32>,
+}
+
+impl LineMap {
+    /// Builds a line map for `source`.
+    pub fn new(source: &str) -> Self {
+        let mut line_starts = vec![0u32];
+        for (i, b) in source.bytes().enumerate() {
+            if b == b'\n' {
+                line_starts.push(i as u32 + 1);
+            }
+        }
+        LineMap { line_starts }
+    }
+
+    /// Converts a byte `offset` to a 1-based line/column.
+    ///
+    /// Offsets past the end of the source map to the final line.
+    pub fn line_col(&self, offset: u32) -> LineCol {
+        let line_idx = match self.line_starts.binary_search(&offset) {
+            Ok(i) => i,
+            Err(i) => i - 1,
+        };
+        LineCol {
+            line: line_idx as u32 + 1,
+            col: offset - self.line_starts[line_idx] + 1,
+        }
+    }
+
+    /// Total number of lines in the mapped source.
+    pub fn line_count(&self) -> usize {
+        self.line_starts.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn span_merge_is_commutative() {
+        let a = Span::new(2, 5);
+        let b = Span::new(4, 10);
+        assert_eq!(a.merge(b), b.merge(a));
+        assert_eq!(a.merge(b), Span::new(2, 10));
+    }
+
+    #[test]
+    fn dummy_span_is_empty() {
+        assert!(Span::DUMMY.is_empty());
+        assert_eq!(Span::DUMMY.len(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "span lo must not exceed hi")]
+    fn inverted_span_panics() {
+        let _ = Span::new(5, 2);
+    }
+
+    #[test]
+    fn line_map_single_line() {
+        let map = LineMap::new("hello");
+        assert_eq!(map.line_count(), 1);
+        let lc = map.line_col(4);
+        assert_eq!((lc.line, lc.col), (1, 5));
+    }
+
+    #[test]
+    fn line_map_multi_line() {
+        let src = "int x;\nint y;\n\nint z;";
+        let map = LineMap::new(src);
+        assert_eq!(map.line_count(), 4);
+        // 'y' is at offset 11: line 2, col 5.
+        assert_eq!(src.as_bytes()[11], b'y');
+        let lc = map.line_col(11);
+        assert_eq!((lc.line, lc.col), (2, 5));
+        // Start of line 4.
+        let z_off = src.find('z').unwrap() as u32;
+        assert_eq!(map.line_col(z_off).line, 4);
+    }
+
+    #[test]
+    fn line_map_offset_at_newline_boundary() {
+        let map = LineMap::new("a\nb");
+        // Offset 2 is exactly the start of line 2.
+        let lc = map.line_col(2);
+        assert_eq!((lc.line, lc.col), (2, 1));
+        // Offset 1 (the newline itself) belongs to line 1.
+        assert_eq!(map.line_col(1).line, 1);
+    }
+
+    #[test]
+    fn line_col_display() {
+        assert_eq!(LineCol { line: 3, col: 9 }.to_string(), "3:9");
+    }
+}

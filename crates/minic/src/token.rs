@@ -1,0 +1,284 @@
+//! Token definitions for the MiniC lexer.
+
+use crate::span::Span;
+use std::fmt;
+
+/// A lexical token: a [`TokenKind`] plus the [`Span`] it was read from.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    /// What kind of token this is.
+    pub kind: TokenKind,
+    /// Where in the source it appeared.
+    pub span: Span,
+}
+
+/// The kinds of tokens MiniC recognises.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TokenKind {
+    /// An integer literal, e.g. `42` or `0x2a`.
+    Int(i64),
+    /// A floating-point literal, e.g. `3.14` or `1e-3`.
+    Float(f64),
+    /// An identifier, e.g. `quan`.
+    Ident(String),
+
+    // Keywords.
+    /// `int`
+    KwInt,
+    /// `float`
+    KwFloat,
+    /// `void`
+    KwVoid,
+    /// `struct`
+    KwStruct,
+    /// `if`
+    KwIf,
+    /// `else`
+    KwElse,
+    /// `while`
+    KwWhile,
+    /// `do`
+    KwDo,
+    /// `for`
+    KwFor,
+    /// `break`
+    KwBreak,
+    /// `continue`
+    KwContinue,
+    /// `return`
+    KwReturn,
+    /// `const`
+    KwConst,
+
+    // Punctuation and operators.
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// `[`
+    LBracket,
+    /// `]`
+    RBracket,
+    /// `;`
+    Semi,
+    /// `,`
+    Comma,
+    /// `.`
+    Dot,
+    /// `->`
+    Arrow,
+    /// `?`
+    Question,
+    /// `:`
+    Colon,
+
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `*`
+    Star,
+    /// `/`
+    Slash,
+    /// `%`
+    Percent,
+    /// `&`
+    Amp,
+    /// `|`
+    Pipe,
+    /// `^`
+    Caret,
+    /// `~`
+    Tilde,
+    /// `!`
+    Bang,
+    /// `<<`
+    Shl,
+    /// `>>`
+    Shr,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `==`
+    EqEq,
+    /// `!=`
+    Ne,
+    /// `&&`
+    AmpAmp,
+    /// `||`
+    PipePipe,
+    /// `++`
+    PlusPlus,
+    /// `--`
+    MinusMinus,
+
+    /// `=`
+    Eq,
+    /// `+=`
+    PlusEq,
+    /// `-=`
+    MinusEq,
+    /// `*=`
+    StarEq,
+    /// `/=`
+    SlashEq,
+    /// `%=`
+    PercentEq,
+    /// `&=`
+    AmpEq,
+    /// `|=`
+    PipeEq,
+    /// `^=`
+    CaretEq,
+    /// `<<=`
+    ShlEq,
+    /// `>>=`
+    ShrEq,
+
+    /// End of input.
+    Eof,
+}
+
+impl TokenKind {
+    /// Returns the keyword kind for `word`, if it is a keyword.
+    pub fn keyword(word: &str) -> Option<TokenKind> {
+        Some(match word {
+            "int" => TokenKind::KwInt,
+            "float" => TokenKind::KwFloat,
+            "void" => TokenKind::KwVoid,
+            "struct" => TokenKind::KwStruct,
+            "if" => TokenKind::KwIf,
+            "else" => TokenKind::KwElse,
+            "while" => TokenKind::KwWhile,
+            "do" => TokenKind::KwDo,
+            "for" => TokenKind::KwFor,
+            "break" => TokenKind::KwBreak,
+            "continue" => TokenKind::KwContinue,
+            "return" => TokenKind::KwReturn,
+            "const" => TokenKind::KwConst,
+            _ => return None,
+        })
+    }
+
+    /// A short human-readable description, used in parse errors.
+    pub fn describe(&self) -> String {
+        match self {
+            TokenKind::Int(v) => format!("integer `{v}`"),
+            TokenKind::Float(v) => format!("float `{v}`"),
+            TokenKind::Ident(s) => format!("identifier `{s}`"),
+            TokenKind::Eof => "end of input".to_string(),
+            other => format!("`{}`", other.glyph()),
+        }
+    }
+
+    /// The literal spelling of punctuation/keyword tokens.
+    fn glyph(&self) -> &'static str {
+        use TokenKind::*;
+        match self {
+            KwInt => "int",
+            KwFloat => "float",
+            KwVoid => "void",
+            KwStruct => "struct",
+            KwIf => "if",
+            KwElse => "else",
+            KwWhile => "while",
+            KwDo => "do",
+            KwFor => "for",
+            KwBreak => "break",
+            KwContinue => "continue",
+            KwReturn => "return",
+            KwConst => "const",
+            LParen => "(",
+            RParen => ")",
+            LBrace => "{",
+            RBrace => "}",
+            LBracket => "[",
+            RBracket => "]",
+            Semi => ";",
+            Comma => ",",
+            Dot => ".",
+            Arrow => "->",
+            Question => "?",
+            Colon => ":",
+            Plus => "+",
+            Minus => "-",
+            Star => "*",
+            Slash => "/",
+            Percent => "%",
+            Amp => "&",
+            Pipe => "|",
+            Caret => "^",
+            Tilde => "~",
+            Bang => "!",
+            Shl => "<<",
+            Shr => ">>",
+            Lt => "<",
+            Le => "<=",
+            Gt => ">",
+            Ge => ">=",
+            EqEq => "==",
+            Ne => "!=",
+            AmpAmp => "&&",
+            PipePipe => "||",
+            PlusPlus => "++",
+            MinusMinus => "--",
+            Eq => "=",
+            PlusEq => "+=",
+            MinusEq => "-=",
+            StarEq => "*=",
+            SlashEq => "/=",
+            PercentEq => "%=",
+            AmpEq => "&=",
+            PipeEq => "|=",
+            CaretEq => "^=",
+            ShlEq => "<<=",
+            ShrEq => ">>=",
+            Int(_) | Float(_) | Ident(_) | Eof => unreachable!("glyph called on non-glyph token"),
+        }
+    }
+}
+
+impl fmt::Display for TokenKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.describe())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keywords_round_trip() {
+        for word in [
+            "int", "float", "void", "struct", "if", "else", "while", "do", "for", "break",
+            "continue", "return", "const",
+        ] {
+            let kind = TokenKind::keyword(word).expect("keyword");
+            assert_eq!(kind.describe(), format!("`{word}`"));
+        }
+    }
+
+    #[test]
+    fn non_keyword_returns_none() {
+        assert_eq!(TokenKind::keyword("quan"), None);
+        assert_eq!(TokenKind::keyword(""), None);
+        assert_eq!(TokenKind::keyword("If"), None);
+    }
+
+    #[test]
+    fn describe_literals() {
+        assert_eq!(TokenKind::Int(42).describe(), "integer `42`");
+        assert_eq!(TokenKind::Ident("x".into()).describe(), "identifier `x`");
+        assert_eq!(TokenKind::Eof.describe(), "end of input");
+    }
+}

@@ -1,0 +1,354 @@
+//! AST visitors.
+//!
+//! [`Visit`] walks an immutable AST; [`VisitMut`] walks a mutable one.
+//! Default method implementations recurse, so implementors override only the
+//! hooks they need and call the corresponding `walk_*` function to continue
+//! recursion.
+
+use crate::ast::*;
+
+/// Immutable AST visitor.
+pub trait Visit {
+    /// Visits a statement. Override and call [`walk_stmt`] to recurse.
+    fn visit_stmt(&mut self, s: &Stmt) {
+        walk_stmt(self, s);
+    }
+
+    /// Visits an expression. Override and call [`walk_expr`] to recurse.
+    fn visit_expr(&mut self, e: &Expr) {
+        walk_expr(self, e);
+    }
+
+    /// Visits a block. Override and call [`walk_block`] to recurse.
+    fn visit_block(&mut self, b: &Block) {
+        walk_block(self, b);
+    }
+}
+
+/// Recurses into every statement of `b`.
+pub fn walk_block<V: Visit + ?Sized>(v: &mut V, b: &Block) {
+    for s in &b.stmts {
+        v.visit_stmt(s);
+    }
+}
+
+/// Recurses into the children of `s`.
+pub fn walk_stmt<V: Visit + ?Sized>(v: &mut V, s: &Stmt) {
+    match &s.kind {
+        StmtKind::Decl { init, .. } => {
+            if let Some(e) = init {
+                v.visit_expr(e);
+            }
+        }
+        StmtKind::Expr(e) => v.visit_expr(e),
+        StmtKind::If {
+            cond,
+            then_blk,
+            else_blk,
+        } => {
+            v.visit_expr(cond);
+            v.visit_block(then_blk);
+            if let Some(b) = else_blk {
+                v.visit_block(b);
+            }
+        }
+        StmtKind::While { cond, body } => {
+            v.visit_expr(cond);
+            v.visit_block(body);
+        }
+        StmtKind::DoWhile { body, cond } => {
+            v.visit_block(body);
+            v.visit_expr(cond);
+        }
+        StmtKind::For {
+            init,
+            cond,
+            step,
+            body,
+        } => {
+            if let Some(s) = init {
+                v.visit_stmt(s);
+            }
+            if let Some(e) = cond {
+                v.visit_expr(e);
+            }
+            if let Some(e) = step {
+                v.visit_expr(e);
+            }
+            v.visit_block(body);
+        }
+        StmtKind::Break | StmtKind::Continue => {}
+        StmtKind::Return(e) => {
+            if let Some(e) = e {
+                v.visit_expr(e);
+            }
+        }
+        StmtKind::Block(b) => v.visit_block(b),
+        StmtKind::Profile(p) => v.visit_block(&p.body),
+        StmtKind::Memo(m) => v.visit_block(&m.body),
+    }
+}
+
+/// Recurses into the children of `e`.
+pub fn walk_expr<V: Visit + ?Sized>(v: &mut V, e: &Expr) {
+    match &e.kind {
+        ExprKind::IntLit(_) | ExprKind::FloatLit(_) | ExprKind::Var(_) => {}
+        ExprKind::Unary(_, a) | ExprKind::IncDec(_, a) | ExprKind::Cast(_, a) => v.visit_expr(a),
+        ExprKind::Binary(_, a, b)
+        | ExprKind::Assign(a, b)
+        | ExprKind::AssignOp(_, a, b)
+        | ExprKind::Index(a, b) => {
+            v.visit_expr(a);
+            v.visit_expr(b);
+        }
+        ExprKind::Ternary(c, t, f) => {
+            v.visit_expr(c);
+            v.visit_expr(t);
+            v.visit_expr(f);
+        }
+        ExprKind::Call(callee, args) => {
+            v.visit_expr(callee);
+            for a in args {
+                v.visit_expr(a);
+            }
+        }
+        ExprKind::Member(a, _) | ExprKind::Arrow(a, _) => v.visit_expr(a),
+    }
+}
+
+/// Mutable AST visitor.
+pub trait VisitMut {
+    /// Visits a statement mutably.
+    fn visit_stmt_mut(&mut self, s: &mut Stmt) {
+        walk_stmt_mut(self, s);
+    }
+
+    /// Visits an expression mutably.
+    fn visit_expr_mut(&mut self, e: &mut Expr) {
+        walk_expr_mut(self, e);
+    }
+
+    /// Visits a block mutably.
+    fn visit_block_mut(&mut self, b: &mut Block) {
+        walk_block_mut(self, b);
+    }
+}
+
+/// Recurses into every statement of `b`, mutably.
+pub fn walk_block_mut<V: VisitMut + ?Sized>(v: &mut V, b: &mut Block) {
+    for s in &mut b.stmts {
+        v.visit_stmt_mut(s);
+    }
+}
+
+/// Recurses into the children of `s`, mutably.
+pub fn walk_stmt_mut<V: VisitMut + ?Sized>(v: &mut V, s: &mut Stmt) {
+    match &mut s.kind {
+        StmtKind::Decl { init, .. } => {
+            if let Some(e) = init {
+                v.visit_expr_mut(e);
+            }
+        }
+        StmtKind::Expr(e) => v.visit_expr_mut(e),
+        StmtKind::If {
+            cond,
+            then_blk,
+            else_blk,
+        } => {
+            v.visit_expr_mut(cond);
+            v.visit_block_mut(then_blk);
+            if let Some(b) = else_blk {
+                v.visit_block_mut(b);
+            }
+        }
+        StmtKind::While { cond, body } => {
+            v.visit_expr_mut(cond);
+            v.visit_block_mut(body);
+        }
+        StmtKind::DoWhile { body, cond } => {
+            v.visit_block_mut(body);
+            v.visit_expr_mut(cond);
+        }
+        StmtKind::For {
+            init,
+            cond,
+            step,
+            body,
+        } => {
+            if let Some(s) = init {
+                v.visit_stmt_mut(s);
+            }
+            if let Some(e) = cond {
+                v.visit_expr_mut(e);
+            }
+            if let Some(e) = step {
+                v.visit_expr_mut(e);
+            }
+            v.visit_block_mut(body);
+        }
+        StmtKind::Break | StmtKind::Continue => {}
+        StmtKind::Return(e) => {
+            if let Some(e) = e {
+                v.visit_expr_mut(e);
+            }
+        }
+        StmtKind::Block(b) => v.visit_block_mut(b),
+        StmtKind::Profile(p) => v.visit_block_mut(&mut p.body),
+        StmtKind::Memo(m) => v.visit_block_mut(&mut m.body),
+    }
+}
+
+/// Recurses into the children of `e`, mutably.
+pub fn walk_expr_mut<V: VisitMut + ?Sized>(v: &mut V, e: &mut Expr) {
+    match &mut e.kind {
+        ExprKind::IntLit(_) | ExprKind::FloatLit(_) | ExprKind::Var(_) => {}
+        ExprKind::Unary(_, a) | ExprKind::IncDec(_, a) | ExprKind::Cast(_, a) => {
+            v.visit_expr_mut(a)
+        }
+        ExprKind::Binary(_, a, b)
+        | ExprKind::Assign(a, b)
+        | ExprKind::AssignOp(_, a, b)
+        | ExprKind::Index(a, b) => {
+            v.visit_expr_mut(a);
+            v.visit_expr_mut(b);
+        }
+        ExprKind::Ternary(c, t, f) => {
+            v.visit_expr_mut(c);
+            v.visit_expr_mut(t);
+            v.visit_expr_mut(f);
+        }
+        ExprKind::Call(callee, args) => {
+            v.visit_expr_mut(callee);
+            for a in args {
+                v.visit_expr_mut(a);
+            }
+        }
+        ExprKind::Member(a, _) | ExprKind::Arrow(a, _) => v.visit_expr_mut(a),
+    }
+}
+
+/// Calls `f` on every expression in `block`, recursively (including
+/// expressions nested inside statements and sub-blocks).
+pub fn for_each_expr(block: &Block, mut f: impl FnMut(&Expr)) {
+    struct V<F>(F);
+    impl<F: FnMut(&Expr)> Visit for V<F> {
+        fn visit_expr(&mut self, e: &Expr) {
+            (self.0)(e);
+            walk_expr(self, e);
+        }
+    }
+    let mut v = V(&mut f);
+    v.visit_block(block);
+}
+
+/// Calls `f` on every statement in `block`, recursively.
+pub fn for_each_stmt(block: &Block, mut f: impl FnMut(&Stmt)) {
+    struct V<F>(F);
+    impl<F: FnMut(&Stmt)> Visit for V<F> {
+        fn visit_stmt(&mut self, s: &Stmt) {
+            (self.0)(s);
+            walk_stmt(self, s);
+        }
+    }
+    let mut v = V(&mut f);
+    v.visit_block(block);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::span::Span;
+
+    fn sample_block() -> Block {
+        // { int i = 0; while (i < 3) { i = i + 1; } return i; }
+        let var = |n: &str| Expr::synth(ExprKind::Var(n.into()));
+        let lit = |v: i64| Expr::synth(ExprKind::IntLit(v));
+        Block::new(vec![
+            Stmt::synth(StmtKind::Decl {
+                name: "i".into(),
+                ty: Type::Int,
+                init: Some(lit(0)),
+            }),
+            Stmt::synth(StmtKind::While {
+                cond: Expr::synth(ExprKind::Binary(
+                    BinOp::Lt,
+                    Box::new(var("i")),
+                    Box::new(lit(3)),
+                )),
+                body: Block::new(vec![Stmt::synth(StmtKind::Expr(Expr::synth(
+                    ExprKind::Assign(
+                        Box::new(var("i")),
+                        Box::new(Expr::synth(ExprKind::Binary(
+                            BinOp::Add,
+                            Box::new(var("i")),
+                            Box::new(lit(1)),
+                        ))),
+                    ),
+                )))]),
+            }),
+            Stmt::synth(StmtKind::Return(Some(var("i")))),
+        ])
+    }
+
+    #[test]
+    fn for_each_expr_sees_nested() {
+        let block = sample_block();
+        let mut vars = Vec::new();
+        for_each_expr(&block, |e| {
+            if let Some(name) = e.as_var() {
+                vars.push(name.to_string());
+            }
+        });
+        assert_eq!(vars, vec!["i", "i", "i", "i"]);
+    }
+
+    #[test]
+    fn for_each_stmt_counts_all() {
+        let block = sample_block();
+        let mut count = 0;
+        for_each_stmt(&block, |_| count += 1);
+        // decl, while, inner expr stmt, return.
+        assert_eq!(count, 4);
+    }
+
+    #[test]
+    fn mut_visitor_rewrites_literals() {
+        struct AddOne;
+        impl VisitMut for AddOne {
+            fn visit_expr_mut(&mut self, e: &mut Expr) {
+                if let ExprKind::IntLit(v) = &mut e.kind {
+                    *v += 1;
+                }
+                walk_expr_mut(self, e);
+            }
+        }
+        let mut block = sample_block();
+        AddOne.visit_block_mut(&mut block);
+        let mut lits = Vec::new();
+        for_each_expr(&block, |e| {
+            if let Some(v) = e.as_int_lit() {
+                lits.push(v);
+            }
+        });
+        assert_eq!(lits, vec![1, 4, 2]);
+    }
+
+    #[test]
+    fn visitor_descends_into_memo_bodies() {
+        let memo = Stmt::synth(StmtKind::Memo(MemoStmt {
+            segment: "s".into(),
+            table: 0,
+            slot: 0,
+            inputs: vec![],
+            outputs: vec![],
+            ret: None,
+            body: sample_block(),
+        }));
+        let block = Block::new(vec![memo]);
+        let mut count = 0;
+        for_each_stmt(&block, |_| count += 1);
+        // memo + 4 inner statements.
+        assert_eq!(count, 5);
+        let _ = Span::DUMMY;
+    }
+}

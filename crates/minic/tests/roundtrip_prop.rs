@@ -1,0 +1,106 @@
+//! Property tests: pretty-printing is a fixed point and preserves structure.
+//!
+//! Strategy: generate random well-formed expressions/programs over a fixed
+//! set of integer variables, print them, re-parse, and require the second
+//! print to be byte-identical (print∘parse∘print = print). On checked
+//! programs we additionally require sema to accept the reprinted program
+//! with identical frame sizes.
+
+use minic::ast::{BinOp, Expr, ExprKind, IncDec, UnOp};
+use minic::pretty::{print_expr, print_program};
+use minic::{check, parse};
+use proptest::prelude::*;
+
+/// Random expression over variables a, b, c (int-typed, all lvalues).
+fn arb_expr() -> impl Strategy<Value = Expr> {
+    let leaf = prop_oneof![
+        (0i64..1000).prop_map(|v| Expr::synth(ExprKind::IntLit(v))),
+        prop_oneof![Just("a"), Just("b"), Just("c")]
+            .prop_map(|n| Expr::synth(ExprKind::Var(n.to_string()))),
+    ];
+    leaf.prop_recursive(5, 64, 3, |inner| {
+        let bin_op = prop_oneof![
+            Just(BinOp::Add),
+            Just(BinOp::Sub),
+            Just(BinOp::Mul),
+            Just(BinOp::Div),
+            Just(BinOp::Rem),
+            Just(BinOp::Shl),
+            Just(BinOp::Shr),
+            Just(BinOp::BitAnd),
+            Just(BinOp::BitOr),
+            Just(BinOp::BitXor),
+            Just(BinOp::Lt),
+            Just(BinOp::Le),
+            Just(BinOp::Gt),
+            Just(BinOp::Ge),
+            Just(BinOp::Eq),
+            Just(BinOp::Ne),
+            Just(BinOp::LogAnd),
+            Just(BinOp::LogOr),
+        ];
+        let un_op = prop_oneof![Just(UnOp::Neg), Just(UnOp::Not), Just(UnOp::BitNot)];
+        prop_oneof![
+            (bin_op, inner.clone(), inner.clone()).prop_map(|(op, a, b)| Expr::synth(
+                ExprKind::Binary(op, Box::new(a), Box::new(b))
+            )),
+            (un_op, inner.clone()).prop_map(|(op, a)| Expr::synth(ExprKind::Unary(
+                op,
+                Box::new(a)
+            ))),
+            (inner.clone(), inner.clone(), inner.clone()).prop_map(|(c, t, f)| Expr::synth(
+                ExprKind::Ternary(Box::new(c), Box::new(t), Box::new(f))
+            )),
+            prop_oneof![
+                Just(IncDec::PreInc),
+                Just(IncDec::PreDec),
+                Just(IncDec::PostInc),
+                Just(IncDec::PostDec)
+            ]
+            .prop_map(|op| {
+                Expr::synth(ExprKind::IncDec(
+                    op,
+                    Box::new(Expr::synth(ExprKind::Var("a".into()))),
+                ))
+            }),
+        ]
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// print(e) must re-parse, and printing the re-parsed expression must
+    /// reproduce the same text (associativity/precedence round-trip).
+    #[test]
+    fn expr_print_parse_print_is_identity(e in arb_expr()) {
+        let text1 = print_expr(&e);
+        let src = format!("int main() {{ int a; int b; int c; return {text1}; }}");
+        let prog = parse(&src).expect("printed expression must re-parse");
+        let reparsed = match &prog.funcs[0].body.stmts[3].kind {
+            minic::ast::StmtKind::Return(Some(e)) => e.clone(),
+            other => panic!("expected return, got {other:?}"),
+        };
+        let text2 = print_expr(&reparsed);
+        prop_assert_eq!(text1, text2);
+    }
+
+    /// Checked programs survive a full print → parse → check cycle with the
+    /// same layout.
+    #[test]
+    fn program_roundtrip_preserves_check(e in arb_expr()) {
+        let src = format!(
+            "int g = 7;\nint main() {{ int a = 1; int b = 2; int c = 3; return {}; }}",
+            print_expr(&e)
+        );
+        // Some generated expressions divide by zero only at runtime; sema
+        // accepts them. Every generated expression must type-check.
+        let prog = parse(&src).expect("parse");
+        let checked = check(prog).expect("generated expressions are well-typed");
+        let printed = print_program(&checked.program);
+        let prog2 = parse(&printed).expect("printed program re-parses");
+        let checked2 = check(prog2).expect("printed program re-checks");
+        prop_assert_eq!(checked.info.frames[0].size, checked2.info.frames[0].size);
+        prop_assert_eq!(checked.info.global_region, checked2.info.global_region);
+    }
+}

@@ -1,0 +1,229 @@
+//! The paper's direct-addressed hash table (§3.1, Table 1).
+//!
+//! One slot per index; the index is `key mod size` for one-word keys and
+//! `jenkins(key) mod size` for longer keys. A colliding recording replaces
+//! the previous entry in place. The table additionally counts per-slot
+//! accesses so the harness can regenerate the paper's Figures 7/8
+//! ("histogram of accessed table entries").
+
+use crate::hash::index_of;
+use crate::stats::TableStats;
+
+/// A direct-addressed memo table mapping an input key (concatenated 64-bit
+/// words) to recorded output words.
+#[derive(Debug, Clone)]
+pub struct DirectTable {
+    entries: Vec<Option<Entry>>,
+    key_words: usize,
+    out_words: usize,
+    stats: TableStats,
+    access_counts: Vec<u64>,
+}
+
+#[derive(Debug, Clone)]
+struct Entry {
+    key: Box<[u64]>,
+    out: Box<[u64]>,
+}
+
+impl DirectTable {
+    /// Creates a table with `slots` entries for keys of `key_words` words
+    /// and outputs of `out_words` words.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any argument is zero (outputs may be zero-width only when
+    /// the segment memoizes just a return value — pass `out_words = 0` is
+    /// therefore allowed).
+    pub fn new(slots: usize, key_words: usize, out_words: usize) -> Self {
+        assert!(slots > 0, "table must have at least one slot");
+        assert!(key_words > 0, "key must have at least one word");
+        DirectTable {
+            entries: vec![None; slots],
+            key_words,
+            out_words,
+            stats: TableStats::default(),
+            access_counts: vec![0; slots],
+        }
+    }
+
+    /// Creates the largest table fitting in `bytes` bytes (at least one
+    /// slot), for the paper's Figures 14/15 size sweep.
+    pub fn with_bytes(bytes: usize, key_words: usize, out_words: usize) -> Self {
+        let per = Self::entry_bytes(key_words, out_words);
+        let slots = (bytes / per).max(1);
+        Self::new(slots, key_words, out_words)
+    }
+
+    /// Bytes one entry occupies (key + outputs + occupancy bookkeeping).
+    pub fn entry_bytes(key_words: usize, out_words: usize) -> usize {
+        (key_words + out_words) * 8 + 8
+    }
+
+    /// Number of slots.
+    pub fn slots(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Storage footprint in bytes (the paper's Table 3 last column).
+    pub fn bytes(&self) -> usize {
+        self.entries.len() * Self::entry_bytes(self.key_words, self.out_words)
+    }
+
+    /// Looks `key` up; on a hit copies the recorded outputs into `out`
+    /// (cleared first) and returns `true`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `key` has the wrong number of words.
+    pub fn lookup(&mut self, key: &[u64], out: &mut Vec<u64>) -> bool {
+        assert_eq!(key.len(), self.key_words, "key width mismatch");
+        let idx = index_of(key, self.entries.len());
+        self.stats.accesses += 1;
+        self.access_counts[idx] += 1;
+        match &self.entries[idx] {
+            Some(e) if *e.key == *key => {
+                self.stats.hits += 1;
+                out.clear();
+                out.extend_from_slice(&e.out);
+                true
+            }
+            _ => {
+                self.stats.misses += 1;
+                false
+            }
+        }
+    }
+
+    /// Records `outputs` for `key`, replacing whatever occupied the slot.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `key` or `outputs` have the wrong number of words.
+    pub fn record(&mut self, key: &[u64], outputs: &[u64]) {
+        assert_eq!(key.len(), self.key_words, "key width mismatch");
+        assert_eq!(outputs.len(), self.out_words, "output width mismatch");
+        let idx = index_of(key, self.entries.len());
+        self.stats.insertions += 1;
+        if let Some(prev) = &self.entries[idx] {
+            if *prev.key != *key {
+                self.stats.collisions += 1;
+            }
+        }
+        self.entries[idx] = Some(Entry {
+            key: key.into(),
+            out: outputs.into(),
+        });
+    }
+
+    /// Access statistics so far.
+    pub fn stats(&self) -> &TableStats {
+        &self.stats
+    }
+
+    /// Per-slot access counts (for the accessed-entries histograms).
+    pub fn access_counts(&self) -> &[u64] {
+        &self.access_counts
+    }
+
+    /// Number of occupied slots.
+    pub fn occupancy(&self) -> usize {
+        self.entries.iter().filter(|e| e.is_some()).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn miss_then_hit() {
+        let mut t = DirectTable::new(16, 1, 1);
+        let mut out = Vec::new();
+        assert!(!t.lookup(&[5], &mut out));
+        t.record(&[5], &[50]);
+        assert!(t.lookup(&[5], &mut out));
+        assert_eq!(out, vec![50]);
+        assert_eq!(t.stats().hits, 1);
+        assert_eq!(t.stats().misses, 1);
+        assert_eq!(t.stats().accesses, 2);
+    }
+
+    #[test]
+    fn collision_replaces_previous_entry() {
+        // Keys 3 and 19 collide in a 16-slot table (3 mod 16 == 19 mod 16).
+        let mut t = DirectTable::new(16, 1, 1);
+        let mut out = Vec::new();
+        t.record(&[3], &[30]);
+        t.record(&[19], &[190]);
+        assert_eq!(t.stats().collisions, 1);
+        assert!(!t.lookup(&[3], &mut out), "3 was evicted");
+        assert!(t.lookup(&[19], &mut out));
+        assert_eq!(out, vec![190]);
+        assert_eq!(t.occupancy(), 1);
+    }
+
+    #[test]
+    fn same_key_rerecord_is_not_a_collision() {
+        let mut t = DirectTable::new(8, 1, 1);
+        t.record(&[2], &[1]);
+        t.record(&[2], &[2]);
+        assert_eq!(t.stats().collisions, 0);
+        let mut out = Vec::new();
+        assert!(t.lookup(&[2], &mut out));
+        assert_eq!(out, vec![2]);
+    }
+
+    #[test]
+    fn multi_word_keys_hash_through_jenkins() {
+        let mut t = DirectTable::new(1024, 64, 2);
+        let key_a: Vec<u64> = (0..64).collect();
+        let key_b: Vec<u64> = (1..65).collect();
+        t.record(&key_a, &[7, 8]);
+        let mut out = Vec::new();
+        assert!(t.lookup(&key_a, &mut out));
+        assert_eq!(out, vec![7, 8]);
+        assert!(!t.lookup(&key_b, &mut out));
+    }
+
+    #[test]
+    fn access_counts_track_slots() {
+        let mut t = DirectTable::new(4, 1, 1);
+        let mut out = Vec::new();
+        t.record(&[1], &[1]);
+        for _ in 0..5 {
+            t.lookup(&[1], &mut out);
+        }
+        t.lookup(&[2], &mut out); // miss at slot 2
+        assert_eq!(t.access_counts()[1], 5);
+        assert_eq!(t.access_counts()[2], 1);
+    }
+
+    #[test]
+    fn with_bytes_caps_footprint() {
+        let t = DirectTable::with_bytes(512, 1, 1);
+        assert!(t.bytes() <= 512);
+        assert!(t.slots() >= 1);
+        let tiny = DirectTable::with_bytes(1, 64, 64);
+        assert_eq!(tiny.slots(), 1, "always at least one slot");
+    }
+
+    #[test]
+    fn zero_output_words_supported() {
+        // A segment whose only output is the return value stores no output
+        // words in the table body.
+        let mut t = DirectTable::new(4, 1, 0);
+        t.record(&[1], &[]);
+        let mut out = vec![99];
+        assert!(t.lookup(&[1], &mut out));
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "key width mismatch")]
+    fn wrong_key_width_panics() {
+        let mut t = DirectTable::new(4, 2, 1);
+        let mut out = Vec::new();
+        t.lookup(&[1], &mut out);
+    }
+}

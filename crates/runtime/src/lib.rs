@@ -1,0 +1,239 @@
+//! # memo-runtime — software reuse tables for computation reuse
+//!
+//! The runtime half of the `compreuse` workspace (a reproduction of
+//! Ding & Li, *A Compiler Scheme for Reusing Intermediate Computation
+//! Results*, CGO 2004). The compiler half decides *which* code segments to
+//! memoize; this crate provides the hash tables the transformed code uses
+//! at run time:
+//!
+//! - [`DirectTable`] — the paper's direct-addressed table (§3.1): index by
+//!   `key mod size` (one-word keys) or `jenkins(key) mod size` (longer
+//!   keys); collisions replace in place;
+//! - [`LruTable`] — a small fully-associative LRU buffer modelling the
+//!   hardware reuse buffers the paper compares against (Table 5);
+//! - [`MergedTable`] — one table shared by segments with identical inputs,
+//!   with a validity bit vector per entry (§2.5, Table 2);
+//! - [`MemoTable`] — a uniform handle over the three kinds, used by the VM.
+//!
+//! ```
+//! use memo_runtime::{MemoTable, TableSpec};
+//! let spec = TableSpec { slots: 1024, key_words: 1, out_words: vec![1] };
+//! let mut table = MemoTable::direct(&spec);
+//! let mut out = Vec::new();
+//! assert!(!table.lookup(0, &[42], &mut out)); // cold miss
+//! table.record(0, &[42], &[7]);
+//! assert!(table.lookup(0, &[42], &mut out)); // warm hit
+//! assert_eq!(out, vec![7]);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod direct;
+pub mod hash;
+pub mod lru;
+pub mod merged;
+pub mod stats;
+
+pub use direct::DirectTable;
+pub use lru::LruTable;
+pub use merged::MergedTable;
+pub use stats::TableStats;
+
+use serde::{Deserialize, Serialize};
+
+/// Shape of a memo table: slot count, key width, and the output width of
+/// each segment sharing it (one element for unmerged tables).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TableSpec {
+    /// Number of entries.
+    pub slots: usize,
+    /// Key width in 64-bit words.
+    pub key_words: usize,
+    /// Output width per segment slot, in 64-bit words.
+    pub out_words: Vec<usize>,
+}
+
+impl TableSpec {
+    /// Recommended slot count for an expected number of distinct input
+    /// patterns: the next power of two at or above `4/3 · dip`, so the
+    /// table holds all profiled patterns with headroom against collisions
+    /// (the paper sizes tables "based on the value profiling information").
+    pub fn recommended_slots(dip: usize) -> usize {
+        let want = dip.max(1) * 4 / 3;
+        want.next_power_of_two()
+    }
+
+    /// Bytes per entry for this spec.
+    pub fn entry_bytes(&self) -> usize {
+        if self.out_words.len() == 1 {
+            DirectTable::entry_bytes(self.key_words, self.out_words[0])
+        } else {
+            MergedTable::entry_bytes(self.key_words, &self.out_words)
+        }
+    }
+
+    /// Total bytes for this spec.
+    pub fn bytes(&self) -> usize {
+        self.slots * self.entry_bytes()
+    }
+}
+
+/// A uniform handle over the three table kinds.
+#[derive(Debug, Clone)]
+pub enum MemoTable {
+    /// Direct-addressed (the paper's software scheme).
+    Direct(DirectTable),
+    /// Small associative LRU buffer (hardware-buffer model).
+    Lru(LruTable),
+    /// Merged table shared by several segments.
+    Merged(MergedTable),
+}
+
+impl MemoTable {
+    /// Builds a direct-addressed table from `spec` (must have exactly one
+    /// output group).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `spec.out_words.len() != 1`.
+    pub fn direct(spec: &TableSpec) -> Self {
+        assert_eq!(spec.out_words.len(), 1, "direct tables have one segment");
+        MemoTable::Direct(DirectTable::new(
+            spec.slots,
+            spec.key_words,
+            spec.out_words[0],
+        ))
+    }
+
+    /// Builds an LRU buffer with `spec.slots` entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `spec.out_words.len() != 1`.
+    pub fn lru(spec: &TableSpec) -> Self {
+        assert_eq!(spec.out_words.len(), 1, "LRU buffers have one segment");
+        MemoTable::Lru(LruTable::new(spec.slots, spec.key_words, spec.out_words[0]))
+    }
+
+    /// Builds a merged table from `spec`.
+    pub fn merged(spec: &TableSpec) -> Self {
+        MemoTable::Merged(MergedTable::new(
+            spec.slots,
+            spec.key_words,
+            &spec.out_words,
+        ))
+    }
+
+    /// Looks up `key` for segment `slot` (always 0 for unmerged tables).
+    ///
+    /// On a hit, copies the recorded outputs into `out` and returns `true`.
+    pub fn lookup(&mut self, slot: usize, key: &[u64], out: &mut Vec<u64>) -> bool {
+        match self {
+            MemoTable::Direct(t) => {
+                debug_assert_eq!(slot, 0);
+                t.lookup(key, out)
+            }
+            MemoTable::Lru(t) => {
+                debug_assert_eq!(slot, 0);
+                t.lookup(key, out)
+            }
+            MemoTable::Merged(t) => t.lookup(slot, key, out),
+        }
+    }
+
+    /// Records `outputs` for `key` in segment `slot`.
+    pub fn record(&mut self, slot: usize, key: &[u64], outputs: &[u64]) {
+        match self {
+            MemoTable::Direct(t) => {
+                debug_assert_eq!(slot, 0);
+                t.record(key, outputs)
+            }
+            MemoTable::Lru(t) => {
+                debug_assert_eq!(slot, 0);
+                t.record(key, outputs)
+            }
+            MemoTable::Merged(t) => t.record(slot, key, outputs),
+        }
+    }
+
+    /// Aggregate statistics.
+    pub fn stats(&self) -> &TableStats {
+        match self {
+            MemoTable::Direct(t) => t.stats(),
+            MemoTable::Lru(t) => t.stats(),
+            MemoTable::Merged(t) => t.stats(),
+        }
+    }
+
+    /// Storage footprint in bytes.
+    pub fn bytes(&self) -> usize {
+        match self {
+            MemoTable::Direct(t) => t.bytes(),
+            MemoTable::Lru(t) => t.bytes(),
+            MemoTable::Merged(t) => t.bytes(),
+        }
+    }
+
+    /// Per-entry access counts, if the kind tracks them (direct and merged
+    /// tables do; LRU buffers have no stable entry identity).
+    pub fn access_counts(&self) -> Option<&[u64]> {
+        match self {
+            MemoTable::Direct(t) => Some(t.access_counts()),
+            MemoTable::Merged(t) => Some(t.access_counts()),
+            MemoTable::Lru(_) => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recommended_slots_cover_dip() {
+        for dip in [1usize, 31, 9155, 22902, 46283] {
+            let slots = TableSpec::recommended_slots(dip);
+            assert!(slots >= dip, "dip {dip} → slots {slots}");
+            assert!(slots.is_power_of_two());
+        }
+        assert_eq!(TableSpec::recommended_slots(0), 1);
+    }
+
+    #[test]
+    fn spec_bytes_match_tables() {
+        let spec = TableSpec {
+            slots: 128,
+            key_words: 2,
+            out_words: vec![3],
+        };
+        assert_eq!(MemoTable::direct(&spec).bytes(), spec.bytes());
+        let mspec = TableSpec {
+            slots: 128,
+            key_words: 1,
+            out_words: vec![1; 8],
+        };
+        assert_eq!(MemoTable::merged(&mspec).bytes(), mspec.bytes());
+    }
+
+    #[test]
+    fn uniform_handle_round_trips_all_kinds() {
+        let spec = TableSpec {
+            slots: 16,
+            key_words: 1,
+            out_words: vec![2],
+        };
+        for mut t in [
+            MemoTable::direct(&spec),
+            MemoTable::lru(&spec),
+            MemoTable::merged(&spec),
+        ] {
+            let mut out = Vec::new();
+            assert!(!t.lookup(0, &[9], &mut out));
+            t.record(0, &[9], &[1, 2]);
+            assert!(t.lookup(0, &[9], &mut out));
+            assert_eq!(out, vec![1, 2]);
+            assert_eq!(t.stats().accesses, 2);
+        }
+    }
+}

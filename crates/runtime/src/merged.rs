@@ -1,0 +1,280 @@
+//! Merged hash tables (paper §2.5, Table 2).
+//!
+//! When multiple code segments have *identical input variables*, their hash
+//! tables merge into one: each entry stores the shared key, a bit vector
+//! saying which segments' outputs are valid for that key, and one output
+//! group per segment. GNU Go's eight `accumulate_influence` segments are
+//! the paper's motivating case — unmerged tables ran the iPAQ out of
+//! memory.
+
+use crate::hash::index_of;
+use crate::stats::TableStats;
+
+/// A direct-addressed table shared by up to 64 segments with identical
+/// inputs.
+#[derive(Debug, Clone)]
+pub struct MergedTable {
+    entries: Vec<Option<MergedEntry>>,
+    key_words: usize,
+    /// Output width per segment slot.
+    out_words: Vec<usize>,
+    /// Word offset of each slot's output group within an entry.
+    out_offsets: Vec<usize>,
+    total_out_words: usize,
+    /// Aggregate counters plus per-slot counters.
+    stats: TableStats,
+    slot_stats: Vec<TableStats>,
+    access_counts: Vec<u64>,
+}
+
+#[derive(Debug, Clone)]
+struct MergedEntry {
+    key: Box<[u64]>,
+    /// Bit `s` set ⇔ slot `s`'s outputs are valid for this key.
+    valid: u64,
+    out: Box<[u64]>,
+}
+
+impl MergedTable {
+    /// Creates a merged table with `slots` entries, keys of `key_words`
+    /// words, and one output group per element of `out_words`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slots` or `key_words` is zero, if there are no segments,
+    /// or if there are more than 64 segments (the bit vector is one word).
+    pub fn new(slots: usize, key_words: usize, out_words: &[usize]) -> Self {
+        assert!(slots > 0, "table must have at least one slot");
+        assert!(key_words > 0, "key must have at least one word");
+        assert!(
+            !out_words.is_empty() && out_words.len() <= 64,
+            "merged table supports 1..=64 segments"
+        );
+        let mut out_offsets = Vec::with_capacity(out_words.len());
+        let mut total = 0usize;
+        for &w in out_words {
+            out_offsets.push(total);
+            total += w;
+        }
+        MergedTable {
+            entries: vec![None; slots],
+            key_words,
+            out_words: out_words.to_vec(),
+            out_offsets,
+            total_out_words: total,
+            stats: TableStats::default(),
+            slot_stats: vec![TableStats::default(); out_words.len()],
+            access_counts: vec![0; slots],
+        }
+    }
+
+    /// Creates the largest merged table fitting in `bytes`.
+    pub fn with_bytes(bytes: usize, key_words: usize, out_words: &[usize]) -> Self {
+        let per = Self::entry_bytes(key_words, out_words);
+        let slots = (bytes / per).max(1);
+        Self::new(slots, key_words, out_words)
+    }
+
+    /// Bytes one entry occupies: key + bit vector + all output groups.
+    pub fn entry_bytes(key_words: usize, out_words: &[usize]) -> usize {
+        (key_words + 1 + out_words.iter().sum::<usize>()) * 8 + 8
+    }
+
+    /// Number of segments sharing the table.
+    pub fn segment_count(&self) -> usize {
+        self.out_words.len()
+    }
+
+    /// Number of slots.
+    pub fn slots(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Storage footprint in bytes.
+    pub fn bytes(&self) -> usize {
+        self.entries.len() * Self::entry_bytes(self.key_words, &self.out_words)
+    }
+
+    /// Storage the same segments would need with *separate* tables of the
+    /// same slot count (quantifies the §2.5 saving).
+    pub fn unmerged_bytes(&self) -> usize {
+        self.out_words
+            .iter()
+            .map(|&w| self.entries.len() * ((self.key_words + w) * 8 + 8))
+            .sum()
+    }
+
+    /// Looks `key` up for segment `slot`; on a hit (key matches *and* the
+    /// slot's valid bit is set) copies that slot's outputs into `out`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on width mismatch or out-of-range slot.
+    pub fn lookup(&mut self, slot: usize, key: &[u64], out: &mut Vec<u64>) -> bool {
+        assert_eq!(key.len(), self.key_words, "key width mismatch");
+        assert!(slot < self.out_words.len(), "slot out of range");
+        let idx = index_of(key, self.entries.len());
+        self.stats.accesses += 1;
+        self.slot_stats[slot].accesses += 1;
+        self.access_counts[idx] += 1;
+        match &self.entries[idx] {
+            Some(e) if *e.key == *key && e.valid >> slot & 1 == 1 => {
+                self.stats.hits += 1;
+                self.slot_stats[slot].hits += 1;
+                let lo = self.out_offsets[slot];
+                let hi = lo + self.out_words[slot];
+                out.clear();
+                out.extend_from_slice(&e.out[lo..hi]);
+                true
+            }
+            _ => {
+                self.stats.misses += 1;
+                self.slot_stats[slot].misses += 1;
+                false
+            }
+        }
+    }
+
+    /// Records `outputs` for segment `slot` under `key`.
+    ///
+    /// If the indexed entry holds the same key, the slot's outputs are
+    /// added (or refreshed) and its valid bit set; a different key replaces
+    /// the whole entry, leaving only this slot valid.
+    ///
+    /// # Panics
+    ///
+    /// Panics on width mismatch or out-of-range slot.
+    pub fn record(&mut self, slot: usize, key: &[u64], outputs: &[u64]) {
+        assert_eq!(key.len(), self.key_words, "key width mismatch");
+        assert!(slot < self.out_words.len(), "slot out of range");
+        assert_eq!(outputs.len(), self.out_words[slot], "output width mismatch");
+        let idx = index_of(key, self.entries.len());
+        self.stats.insertions += 1;
+        self.slot_stats[slot].insertions += 1;
+        let lo = self.out_offsets[slot];
+        match &mut self.entries[idx] {
+            Some(e) if *e.key == *key => {
+                e.out[lo..lo + outputs.len()].copy_from_slice(outputs);
+                e.valid |= 1 << slot;
+            }
+            other => {
+                if other.is_some() {
+                    self.stats.collisions += 1;
+                    self.slot_stats[slot].collisions += 1;
+                }
+                let mut out = vec![0u64; self.total_out_words].into_boxed_slice();
+                out[lo..lo + outputs.len()].copy_from_slice(outputs);
+                *other = Some(MergedEntry {
+                    key: key.into(),
+                    valid: 1 << slot,
+                    out,
+                });
+            }
+        }
+    }
+
+    /// Aggregate statistics across all slots.
+    pub fn stats(&self) -> &TableStats {
+        &self.stats
+    }
+
+    /// Statistics for one segment slot.
+    pub fn slot_stats(&self, slot: usize) -> &TableStats {
+        &self.slot_stats[slot]
+    }
+
+    /// Per-slot access counts (entry-access histograms).
+    pub fn access_counts(&self) -> &[u64] {
+        &self.access_counts
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slots_share_one_key() {
+        let mut t = MergedTable::new(64, 1, &[1, 1, 1]);
+        let mut out = Vec::new();
+        // Segment 0 records; segment 1 still misses on the same key.
+        t.record(0, &[5], &[50]);
+        assert!(t.lookup(0, &[5], &mut out));
+        assert_eq!(out, vec![50]);
+        assert!(!t.lookup(1, &[5], &mut out), "slot 1's bit not set");
+        t.record(1, &[5], &[51]);
+        assert!(t.lookup(1, &[5], &mut out));
+        assert_eq!(out, vec![51]);
+        assert!(t.lookup(0, &[5], &mut out), "slot 0 still valid");
+        assert_eq!(out, vec![50]);
+    }
+
+    #[test]
+    fn different_key_replacement_clears_other_slots() {
+        // In a 1-slot table every distinct key collides.
+        let mut t = MergedTable::new(1, 1, &[1, 1]);
+        let mut out = Vec::new();
+        t.record(0, &[1], &[10]);
+        t.record(1, &[1], &[11]);
+        t.record(0, &[2], &[20]); // replaces the whole entry
+        assert_eq!(t.stats().collisions, 1);
+        assert!(!t.lookup(1, &[2], &mut out), "slot 1 invalid for new key");
+        assert!(t.lookup(0, &[2], &mut out));
+        assert!(!t.lookup(1, &[1], &mut out), "old key gone entirely");
+    }
+
+    #[test]
+    fn variable_width_output_groups() {
+        let mut t = MergedTable::new(16, 2, &[3, 1, 2]);
+        let mut out = Vec::new();
+        t.record(2, &[7, 8], &[100, 200]);
+        t.record(0, &[7, 8], &[1, 2, 3]);
+        assert!(t.lookup(0, &[7, 8], &mut out));
+        assert_eq!(out, vec![1, 2, 3]);
+        assert!(t.lookup(2, &[7, 8], &mut out));
+        assert_eq!(out, vec![100, 200]);
+        assert!(!t.lookup(1, &[7, 8], &mut out));
+    }
+
+    #[test]
+    fn merged_is_smaller_than_separate_tables() {
+        // Eight GNU-Go-like segments: 1-word key, 1-word output each.
+        let t = MergedTable::new(4096, 1, &[1; 8]);
+        assert!(
+            t.bytes() < t.unmerged_bytes(),
+            "merging must save memory: {} vs {}",
+            t.bytes(),
+            t.unmerged_bytes()
+        );
+        // Saving comes from sharing the key: 8 keys → 1 key + bitvec.
+        let saving = t.unmerged_bytes() as f64 / t.bytes() as f64;
+        assert!(saving > 1.5, "expected substantial saving, got {saving:.2}x");
+    }
+
+    #[test]
+    fn per_slot_stats_are_separate() {
+        let mut t = MergedTable::new(8, 1, &[1, 1]);
+        let mut out = Vec::new();
+        t.record(0, &[1], &[1]);
+        t.lookup(0, &[1], &mut out);
+        t.lookup(1, &[1], &mut out);
+        assert_eq!(t.slot_stats(0).hits, 1);
+        assert_eq!(t.slot_stats(1).hits, 0);
+        assert_eq!(t.slot_stats(1).misses, 1);
+        assert_eq!(t.stats().accesses, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "slot out of range")]
+    fn bad_slot_panics() {
+        let mut t = MergedTable::new(8, 1, &[1]);
+        let mut out = Vec::new();
+        t.lookup(1, &[1], &mut out);
+    }
+
+    #[test]
+    #[should_panic(expected = "1..=64 segments")]
+    fn too_many_segments_panics() {
+        MergedTable::new(8, 1, &[1; 65]);
+    }
+}

@@ -1,0 +1,84 @@
+//! Access statistics shared by all table kinds.
+
+use serde::{Deserialize, Serialize};
+
+/// Counters describing how a memo table was used during a run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TableStats {
+    /// Total lookups.
+    pub accesses: u64,
+    /// Lookups that found a matching key (and valid outputs).
+    pub hits: u64,
+    /// Lookups that found no usable entry.
+    pub misses: u64,
+    /// Recordings that evicted an entry holding a *different* key — the
+    /// paper's hash collisions ("the previously recorded inputs and outputs
+    /// in the entry is replaced").
+    pub collisions: u64,
+    /// Total recordings.
+    pub insertions: u64,
+}
+
+impl TableStats {
+    /// Hit ratio in `[0, 1]`; zero when there were no accesses.
+    pub fn hit_ratio(&self) -> f64 {
+        if self.accesses == 0 {
+            0.0
+        } else {
+            self.hits as f64 / self.accesses as f64
+        }
+    }
+
+    /// Collision rate per access, used to deduct the reuse rate as §2.1
+    /// describes.
+    pub fn collision_rate(&self) -> f64 {
+        if self.accesses == 0 {
+            0.0
+        } else {
+            self.collisions as f64 / self.accesses as f64
+        }
+    }
+
+    /// Merges counters from another table (for aggregate reporting).
+    pub fn merge(&mut self, other: &TableStats) {
+        self.accesses += other.accesses;
+        self.hits += other.hits;
+        self.misses += other.misses;
+        self.collisions += other.collisions;
+        self.insertions += other.insertions;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ratios_handle_zero_accesses() {
+        let s = TableStats::default();
+        assert_eq!(s.hit_ratio(), 0.0);
+        assert_eq!(s.collision_rate(), 0.0);
+    }
+
+    #[test]
+    fn merge_sums_counters() {
+        let mut a = TableStats {
+            accesses: 10,
+            hits: 6,
+            misses: 4,
+            collisions: 1,
+            insertions: 4,
+        };
+        let b = TableStats {
+            accesses: 5,
+            hits: 5,
+            misses: 0,
+            collisions: 0,
+            insertions: 0,
+        };
+        a.merge(&b);
+        assert_eq!(a.accesses, 15);
+        assert_eq!(a.hits, 11);
+        assert!((a.hit_ratio() - 11.0 / 15.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,143 @@
+//! Property tests: memo tables against reference models.
+//!
+//! - A `DirectTable` big enough to avoid collisions must behave exactly
+//!   like a `BTreeMap`.
+//! - An `LruTable` must behave exactly like a naive recency-list model.
+//! - A `MergedTable` over one segment must agree with a `DirectTable`
+//!   driven by the same operations.
+
+use memo_runtime::{DirectTable, LruTable, MergedTable};
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Lookup(u64),
+    Record(u64, u64),
+}
+
+fn arb_ops(key_space: u64) -> impl Strategy<Value = Vec<Op>> {
+    prop::collection::vec(
+        prop_oneof![
+            (0..key_space).prop_map(Op::Lookup),
+            (0..key_space, 0..1000u64).prop_map(|(k, v)| Op::Record(k, v)),
+        ],
+        0..200,
+    )
+}
+
+proptest! {
+    /// With table slots ≥ key space, `key mod slots` is injective, so the
+    /// direct table is collision-free and must match a map exactly.
+    #[test]
+    fn direct_table_matches_btreemap(ops in arb_ops(64)) {
+        let mut table = DirectTable::new(64, 1, 1);
+        let mut model: BTreeMap<u64, u64> = BTreeMap::new();
+        let mut out = Vec::new();
+        for op in ops {
+            match op {
+                Op::Lookup(k) => {
+                    let hit = table.lookup(&[k], &mut out);
+                    match model.get(&k) {
+                        Some(&v) => {
+                            prop_assert!(hit);
+                            prop_assert_eq!(&out[..], &[v]);
+                        }
+                        None => prop_assert!(!hit),
+                    }
+                }
+                Op::Record(k, v) => {
+                    table.record(&[k], &[v]);
+                    model.insert(k, v);
+                }
+            }
+        }
+        prop_assert_eq!(table.stats().collisions, 0);
+        prop_assert_eq!(table.occupancy(), model.len());
+    }
+
+    /// LRU table versus a straightforward recency-list model.
+    #[test]
+    fn lru_table_matches_recency_model(ops in arb_ops(16), cap in 1usize..8) {
+        let mut table = LruTable::new(cap, 1, 1);
+        // Model: most-recent-first vec of (key, value).
+        let mut model: Vec<(u64, u64)> = Vec::new();
+        let mut out = Vec::new();
+        for op in ops {
+            match op {
+                Op::Lookup(k) => {
+                    let hit = table.lookup(&[k], &mut out);
+                    let pos = model.iter().position(|&(mk, _)| mk == k);
+                    match pos {
+                        Some(p) => {
+                            prop_assert!(hit);
+                            let e = model.remove(p);
+                            prop_assert_eq!(&out[..], &[e.1]);
+                            model.insert(0, e);
+                        }
+                        None => prop_assert!(!hit),
+                    }
+                }
+                Op::Record(k, v) => {
+                    table.record(&[k], &[v]);
+                    if let Some(p) = model.iter().position(|&(mk, _)| mk == k) {
+                        model.remove(p);
+                    } else if model.len() == cap {
+                        model.pop();
+                    }
+                    model.insert(0, (k, v));
+                }
+            }
+        }
+        prop_assert_eq!(table.len(), model.len());
+    }
+
+    /// A single-segment merged table behaves like a direct table.
+    #[test]
+    fn merged_single_slot_matches_direct(ops in arb_ops(64)) {
+        let mut merged = MergedTable::new(64, 1, &[1]);
+        let mut direct = DirectTable::new(64, 1, 1);
+        let mut out_m = Vec::new();
+        let mut out_d = Vec::new();
+        for op in ops {
+            match op {
+                Op::Lookup(k) => {
+                    let hm = merged.lookup(0, &[k], &mut out_m);
+                    let hd = direct.lookup(&[k], &mut out_d);
+                    prop_assert_eq!(hm, hd);
+                    if hm {
+                        prop_assert_eq!(&out_m, &out_d);
+                    }
+                }
+                Op::Record(k, v) => {
+                    merged.record(0, &[k], &[v]);
+                    direct.record(&[k], &[v]);
+                }
+            }
+        }
+        prop_assert_eq!(merged.stats().hits, direct.stats().hits);
+        prop_assert_eq!(merged.stats().misses, direct.stats().misses);
+    }
+
+    /// Hit ratio never exceeds the theoretical maximum 1 - DIP/N for a
+    /// collision-free table replaying any access pattern where every miss
+    /// is followed by a record.
+    #[test]
+    fn hit_ratio_bounded_by_reuse_rate(keys in prop::collection::vec(0u64..32, 1..300)) {
+        let mut table = DirectTable::new(1024, 1, 1);
+        let mut out = Vec::new();
+        let mut distinct = std::collections::BTreeSet::new();
+        for &k in &keys {
+            if !table.lookup(&[k], &mut out) {
+                table.record(&[k], &[k]);
+            }
+            distinct.insert(k);
+        }
+        let n = keys.len() as f64;
+        let dip = distinct.len() as f64;
+        let max_rate = 1.0 - dip / n;
+        prop_assert!(table.stats().hit_ratio() <= max_rate + 1e-12);
+        // And with no collisions the bound is met exactly.
+        prop_assert!((table.stats().hit_ratio() - max_rate).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,65 @@
+//! # vm — a profiling interpreter standing in for the paper's iPAQ
+//!
+//! Part of the `compreuse` workspace (a reproduction of Ding & Li,
+//! *A Compiler Scheme for Reusing Intermediate Computation Results*,
+//! CGO 2004). The paper compiles C with GCC and measures wall-clock time
+//! and battery current on a Compaq iPAQ 3650; this crate replaces that
+//! testbed with a deterministic interpreter:
+//!
+//! - [`mod@lower`] turns a checked MiniC program into a resolved VM IR;
+//! - [`interp`] executes it under a [`cost::CostModel`] (`O0`/`O3` stand-ins,
+//!   206 MHz SA-1110 clock) and an [`energy::EnergyModel`] (the paper's
+//!   `E = V·I·t` with a DRAM term for table traffic);
+//! - `Profile` statements collect value-set profiles ([`profile`]);
+//! - `Memo` statements execute against `memo-runtime` tables, charging the
+//!   paper's hashing overhead on hit and miss alike.
+//!
+//! ```
+//! let checked = minic::compile("int main() { print(1 + 2); return 0; }").unwrap();
+//! let module = vm::lower::lower(&checked);
+//! let out = vm::run(&module, vm::RunConfig::default())?;
+//! assert_eq!(out.output_text(), "3");
+//! assert!(out.cycles > 0);
+//! # Ok::<(), vm::value::Trap>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod cost;
+pub mod energy;
+pub mod interp;
+pub mod lower;
+pub mod profile;
+pub mod value;
+
+pub use cost::{CostModel, OptLevel};
+pub use energy::EnergyModel;
+pub use interp::{run, Outcome, RunConfig};
+pub use lower::{lower, Module};
+pub use profile::{ProfileData, SegProfile};
+pub use value::{PrintVal, Trap, Value};
+
+/// Compiles MiniC source and runs it in one step (convenience for tests
+/// and examples).
+///
+/// # Errors
+///
+/// Returns front-end diagnostics or a runtime [`Trap`] as a rendered
+/// string.
+///
+/// # Examples
+///
+/// ```
+/// let out = vm::compile_and_run(
+///     "int main() { print(6 * 7); return 0; }",
+///     vm::RunConfig::default(),
+/// )?;
+/// assert_eq!(out.output_text(), "42");
+/// # Ok::<(), String>(())
+/// ```
+pub fn compile_and_run(source: &str, config: RunConfig) -> Result<Outcome, String> {
+    let checked = minic::compile(source)?;
+    let module = lower(&checked);
+    run(&module, config).map_err(|t| format!("runtime trap: {t}"))
+}

@@ -1,0 +1,172 @@
+//! Differential property test: the VM's arithmetic agrees with a
+//! reference evaluator written directly in Rust.
+//!
+//! Random expressions over three integer variables are rendered to MiniC,
+//! executed by the interpreter, and compared against an independent
+//! evaluation of the same AST. Division/remainder by zero must trap in
+//! the VM exactly when the reference detects it.
+
+use proptest::prelude::*;
+use vm::{compile_and_run, RunConfig};
+
+#[derive(Debug, Clone)]
+enum E {
+    Lit(i64),
+    Var(usize),
+    Un(char, Box<E>),
+    Bin(&'static str, Box<E>, Box<E>),
+}
+
+fn arb_expr() -> impl Strategy<Value = E> {
+    let leaf = prop_oneof![
+        (-1000i64..1000).prop_map(E::Lit),
+        (0usize..3).prop_map(E::Var),
+    ];
+    leaf.prop_recursive(4, 40, 2, |inner| {
+        prop_oneof![
+            (prop_oneof![Just('-'), Just('!'), Just('~')], inner.clone())
+                .prop_map(|(op, a)| E::Un(op, Box::new(a))),
+            (
+                prop_oneof![
+                    Just("+"),
+                    Just("-"),
+                    Just("*"),
+                    Just("/"),
+                    Just("%"),
+                    Just("&"),
+                    Just("|"),
+                    Just("^"),
+                    Just("<<"),
+                    Just(">>"),
+                    Just("<"),
+                    Just("<="),
+                    Just(">"),
+                    Just(">="),
+                    Just("=="),
+                    Just("!="),
+                    Just("&&"),
+                    Just("||"),
+                ],
+                inner.clone(),
+                inner
+            )
+                .prop_map(|(op, a, b)| E::Bin(op, Box::new(a), Box::new(b))),
+        ]
+    })
+}
+
+fn render(e: &E) -> String {
+    match e {
+        E::Lit(v) => {
+            if *v < 0 {
+                format!("({v})")
+            } else {
+                v.to_string()
+            }
+        }
+        E::Var(i) => ["va", "vb", "vc"][*i].to_string(),
+        E::Un(op, a) => format!("({op}{})", render(a)),
+        E::Bin(op, a, b) => format!("({} {op} {})", render(a), render(b)),
+    }
+}
+
+/// Reference evaluation with C-on-this-VM semantics; `None` = trap.
+fn eval(e: &E, env: &[i64; 3]) -> Option<i64> {
+    Some(match e {
+        E::Lit(v) => *v,
+        E::Var(i) => env[*i],
+        E::Un('-', a) => eval(a, env)?.wrapping_neg(),
+        E::Un('!', a) => i64::from(eval(a, env)? == 0),
+        E::Un('~', a) => !eval(a, env)?,
+        E::Un(op, _) => unreachable!("unary {op}"),
+        E::Bin(op, a, b) => {
+            // Short-circuit first (b must not be evaluated).
+            if *op == "&&" {
+                return Some(if eval(a, env)? != 0 {
+                    i64::from(eval(b, env)? != 0)
+                } else {
+                    0
+                });
+            }
+            if *op == "||" {
+                return Some(if eval(a, env)? != 0 {
+                    1
+                } else {
+                    i64::from(eval(b, env)? != 0)
+                });
+            }
+            let x = eval(a, env)?;
+            let y = eval(b, env)?;
+            match *op {
+                "+" => x.wrapping_add(y),
+                "-" => x.wrapping_sub(y),
+                "*" => x.wrapping_mul(y),
+                "/" => {
+                    if y == 0 {
+                        return None;
+                    }
+                    x.wrapping_div(y)
+                }
+                "%" => {
+                    if y == 0 {
+                        return None;
+                    }
+                    x.wrapping_rem(y)
+                }
+                "&" => x & y,
+                "|" => x | y,
+                "^" => x ^ y,
+                "<<" => x.wrapping_shl(y as u32),
+                ">>" => x.wrapping_shr(y as u32),
+                "<" => i64::from(x < y),
+                "<=" => i64::from(x <= y),
+                ">" => i64::from(x > y),
+                ">=" => i64::from(x >= y),
+                "==" => i64::from(x == y),
+                "!=" => i64::from(x != y),
+                other => unreachable!("binary {other}"),
+            }
+        }
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn vm_matches_reference(e in arb_expr(), va in -50i64..50, vb in -50i64..50, vc in -4i64..64) {
+        let env = [va, vb, vc];
+        let src = format!(
+            "int main() {{ int va = {va}; int vb = {vb}; int vc = {vc}; print({}); return 0; }}",
+            render(&e)
+        );
+        let result = compile_and_run(&src, RunConfig::default());
+        match eval(&e, &env) {
+            Some(expected) => {
+                let out = result.unwrap_or_else(|err| panic!("VM trapped unexpectedly: {err}\n{src}"));
+                prop_assert_eq!(out.output_text(), expected.to_string(), "src: {}", src);
+            }
+            None => {
+                let err = result.expect_err("reference traps, VM must too");
+                prop_assert!(err.contains("division by zero"), "{err}\n{src}");
+            }
+        }
+    }
+
+    /// Cost accounting is deterministic: the same program costs the same
+    /// cycles on every run.
+    #[test]
+    fn cycle_account_is_deterministic(e in arb_expr()) {
+        let src = format!(
+            "int main() {{ int va = 3; int vb = 5; int vc = 7; int r = 0; r = {}; return 0; }}",
+            render(&e)
+        );
+        let a = compile_and_run(&src, RunConfig::default());
+        let b = compile_and_run(&src, RunConfig::default());
+        match (a, b) {
+            (Ok(x), Ok(y)) => prop_assert_eq!(x.cycles, y.cycles),
+            (Err(x), Err(y)) => prop_assert_eq!(x, y),
+            (x, y) => prop_assert!(false, "nondeterministic trap: {x:?} vs {y:?}"),
+        }
+    }
+}

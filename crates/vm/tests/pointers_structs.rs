@@ -1,0 +1,237 @@
+//! VM edge cases: pointer compound assignment, arrays of structs,
+//! pointers to struct fields, nested data-structure traversal, and
+//! mixed-type coercion corners.
+
+use vm::{compile_and_run, RunConfig};
+
+fn output_of(src: &str) -> String {
+    compile_and_run(src, RunConfig::default())
+        .unwrap_or_else(|e| panic!("{e}\nsource:\n{src}"))
+        .output_text()
+}
+
+#[test]
+fn pointer_compound_assignment_steps_elements() {
+    assert_eq!(
+        output_of(
+            "int arr[8] = {0, 10, 20, 30, 40, 50, 60, 70};
+             int main() {
+                 int *p = arr;
+                 p += 3;
+                 print(*p);
+                 p -= 2;
+                 print(*p);
+                 p += 1 + 1;
+                 print(*p);
+                 return 0;
+             }"
+        ),
+        "30\n10\n30"
+    );
+}
+
+#[test]
+fn arrays_of_structs_layout() {
+    assert_eq!(
+        output_of(
+            "struct pt { int x; int y; };
+             struct pt pts[4];
+             int main() {
+                 for (int i = 0; i < 4; i++) {
+                     pts[i].x = i * 10;
+                     pts[i].y = i * 10 + 1;
+                 }
+                 print(pts[2].x);
+                 print(pts[3].y);
+                 print(pts[0].x + pts[1].y);
+                 return 0;
+             }"
+        ),
+        "20\n31\n11"
+    );
+}
+
+#[test]
+fn pointer_to_struct_walks_array() {
+    assert_eq!(
+        output_of(
+            "struct pt { int x; int y; };
+             struct pt pts[3];
+             int main() {
+                 for (int i = 0; i < 3; i++) { pts[i].x = i; pts[i].y = i * i; }
+                 struct pt *p = pts;
+                 int s = 0;
+                 for (int i = 0; i < 3; i++) {
+                     s += p->x + p->y;
+                     p++;
+                 }
+                 print(s);
+                 return 0;
+             }"
+        ),
+        "8"
+    );
+}
+
+#[test]
+fn address_of_field_is_writable() {
+    assert_eq!(
+        output_of(
+            "struct pt { int x; int y; };
+             struct pt g;
+             void set(int *p, int v) { *p = v; }
+             int main() {
+                 set(&g.x, 7);
+                 set(&g.y, 9);
+                 print(g.x * 10 + g.y);
+                 return 0;
+             }"
+        ),
+        "79"
+    );
+}
+
+#[test]
+fn float_array_round_trip() {
+    assert_eq!(
+        output_of(
+            "float tab[4];
+             int main() {
+                 for (int i = 0; i < 4; i++) tab[i] = (float)i * 0.5;
+                 float s = 0.0;
+                 for (int i = 0; i < 4; i++) s = s + tab[i];
+                 print(s);
+                 return 0;
+             }"
+        ),
+        "3"
+    );
+}
+
+#[test]
+fn struct_in_struct_through_pointer() {
+    assert_eq!(
+        output_of(
+            "struct inner { int a; int b; };
+             struct outer { int tag; struct inner payload; };
+             struct outer g;
+             int sum(struct outer *o) { return o->tag + o->payload.a + o->payload.b; }
+             int main() {
+                 g.tag = 1;
+                 g.payload.a = 2;
+                 g.payload.b = 3;
+                 print(sum(&g));
+                 return 0;
+             }"
+        ),
+        "6"
+    );
+}
+
+#[test]
+fn two_d_array_row_pointer() {
+    assert_eq!(
+        output_of(
+            "int m[3][4];
+             int row_sum(int *row) {
+                 int s = 0;
+                 for (int j = 0; j < 4; j++) s += row[j];
+                 return s;
+             }
+             int main() {
+                 for (int i = 0; i < 3; i++)
+                     for (int j = 0; j < 4; j++)
+                         m[i][j] = i * 4 + j;
+                 print(row_sum(m[1]));
+                 return 0;
+             }"
+        ),
+        "22"
+    );
+}
+
+#[test]
+fn negative_modulo_and_division_are_c_like() {
+    assert_eq!(
+        output_of(
+            "int main() {
+                 print(-7 % 3);
+                 print(7 % -3);
+                 print(-7 / 3);
+                 return 0;
+             }"
+        ),
+        "-1\n1\n-2"
+    );
+}
+
+#[test]
+fn cast_chains_and_mixed_compare() {
+    assert_eq!(
+        output_of(
+            "int main() {
+                 float f = 2.75;
+                 int i = (int)(f * 2.0);
+                 print(i);
+                 print(f > 2);
+                 print((float)i == 5.0);
+                 return 0;
+             }"
+        ),
+        "5\n1\n1"
+    );
+}
+
+#[test]
+fn ternary_selects_lvalues_value() {
+    assert_eq!(
+        output_of(
+            "int main() {
+                 int a = 3;
+                 int b = 8;
+                 int m = a > b ? a : b;
+                 int n = a < b ? a : b;
+                 print(m * 10 + n);
+                 return 0;
+             }"
+        ),
+        "83"
+    );
+}
+
+#[test]
+fn dangling_style_oob_is_trapped() {
+    let err = compile_and_run(
+        "int arr[4];
+         int main() {
+             int *p = arr;
+             p += 100000000;
+             return *p;
+         }",
+        RunConfig::default(),
+    )
+    .unwrap_err();
+    assert!(err.contains("out of bounds"), "{err}");
+}
+
+#[test]
+fn fnptr_array_like_dispatch_table() {
+    // Dispatch through a chain of reassigned function pointers.
+    assert_eq!(
+        output_of(
+            "int inc(int x) { return x + 1; }
+             int dbl(int x) { return x * 2; }
+             int sq(int x) { return x * x; }
+             int main() {
+                 int (*op)(int);
+                 int v = 3;
+                 op = inc; v = op(v);
+                 op = dbl; v = op(v);
+                 op = sq;  v = op(v);
+                 print(v);
+                 return 0;
+             }"
+        ),
+        "64"
+    );
+}

@@ -1,0 +1,277 @@
+//! Deterministic input-stream generators.
+//!
+//! The paper runs Mediabench programs on their default input files
+//! (speech PCM, MPEG streams, EPIC images) and, for Table 10, on inputs
+//! from other sources (MiBench, Tektronix, ICSI). We cannot ship those
+//! files; instead each workload has two generator families calibrated to
+//! reproduce the *value-repetition statistics* the paper reports (Table 3:
+//! distinct input patterns and reuse rates) — which is all the reuse
+//! scheme ever observes about an input.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Deterministic RNG for input synthesis.
+pub fn rng(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
+}
+
+/// Scales a full-size count: `scale` in `(0, 1]`, minimum 16.
+pub fn scaled(full: usize, scale: f64) -> usize {
+    ((full as f64 * scale) as usize).max(16)
+}
+
+/// Speech-like PCM: a sum of slowly-modulated sinusoids plus small noise,
+/// quantized to 16-bit-ish integer samples. Drives the G721 workloads.
+pub fn speech_pcm(samples: usize, seed: u64, base_freq: f64, amplitude: f64) -> Vec<i64> {
+    let mut r = rng(seed);
+    let mut out = Vec::with_capacity(samples);
+    let mut phase1 = 0.0f64;
+    let mut phase2 = 0.0f64;
+    for i in 0..samples {
+        // Slow amplitude envelope (syllable-ish) keeps differences small
+        // most of the time — the source of G721's high reuse rate.
+        let env = 0.4 + 0.6 * (0.5 + 0.5 * (i as f64 * 0.00037).sin());
+        phase1 += base_freq;
+        phase2 += base_freq * 2.31;
+        let s = amplitude * env * (0.7 * phase1.sin() + 0.3 * phase2.sin());
+        let noise: f64 = r.gen_range(-220.0..220.0);
+        out.push((s + noise) as i64);
+    }
+    out
+}
+
+/// ADPCM-style 4-bit code stream with a small-code bias (differential
+/// speech coding emits small codes most of the time). Drives G721 decode.
+pub fn adpcm_codes(samples: usize, seed: u64, spread: f64) -> Vec<i64> {
+    let mut r = rng(seed);
+    let mut out = Vec::with_capacity(samples);
+    for _ in 0..samples {
+        // 4-bit sign-magnitude: high bit is the sign, low three bits a
+        // geometric magnitude (differential coders emit small steps most
+        // of the time, in both directions).
+        let u: f64 = r.gen();
+        let mag = (-(1.0 - u).ln() * spread).min(7.0) as i64;
+        let sign = i64::from(r.gen::<bool>()) * 8;
+        out.push(sign + mag);
+    }
+    out
+}
+
+/// 8×8 blocks for MPEG2 encode: a fraction of blocks repeat exactly
+/// (flat background patches), the rest are unique textures.
+///
+/// Returns a flat stream of `blocks × 64` values.
+pub fn video_blocks(
+    blocks: usize,
+    seed: u64,
+    repeat_fraction: f64,
+    background_patterns: usize,
+) -> Vec<i64> {
+    let mut r = rng(seed);
+    // Pre-build the repeating background patterns.
+    let patterns: Vec<[i64; 64]> = (0..background_patterns.max(1))
+        .map(|p| {
+            let base = 64 + (p as i64 * 7) % 96;
+            let mut blk = [0i64; 64];
+            for (k, cell) in blk.iter_mut().enumerate() {
+                *cell = base + ((k as i64 % 8) - 4) * (p as i64 % 3);
+            }
+            blk
+        })
+        .collect();
+    let mut out = Vec::with_capacity(blocks * 64);
+    for _ in 0..blocks {
+        if r.gen::<f64>() < repeat_fraction {
+            let p = &patterns[r.gen_range(0..patterns.len())];
+            out.extend_from_slice(p);
+        } else {
+            // Unique textured block.
+            let base: i64 = r.gen_range(0..224);
+            for k in 0..64 {
+                let t: i64 = r.gen_range(-24..24);
+                out.push((base + t + (k % 8)).clamp(0, 255));
+            }
+        }
+    }
+    out
+}
+
+/// Quantized-coefficient blocks for MPEG2 decode: sparse 8×8 blocks whose
+/// DC and few AC terms come from small sets, so many blocks coincide.
+pub fn coefficient_blocks(blocks: usize, seed: u64, repeat_fraction: f64) -> Vec<i64> {
+    let mut r = rng(seed);
+    let mut seen: Vec<[i64; 64]> = Vec::new();
+    let mut out = Vec::with_capacity(blocks * 64);
+    for _ in 0..blocks {
+        if !seen.is_empty() && r.gen::<f64>() < repeat_fraction {
+            let p = seen[r.gen_range(0..seen.len())];
+            out.extend_from_slice(&p);
+            continue;
+        }
+        let mut blk = [0i64; 64];
+        blk[0] = r.gen_range(-32..32) * 8; // DC
+        let nonzero = r.gen_range(1..6usize);
+        for _ in 0..nonzero {
+            let pos = r.gen_range(1..20usize); // low-frequency positions
+            blk[pos] = r.gen_range(-8..8) * 4;
+        }
+        seen.push(blk);
+        if seen.len() > 4096 {
+            seen.remove(0);
+        }
+        out.extend_from_slice(&blk);
+    }
+    out
+}
+
+/// RASTA band schedule: each frame visits bands `0..bands`; optionally a
+/// fraction of entries are randomized (the alternate test suite's effect).
+pub fn band_schedule(frames: usize, bands: usize, seed: u64, jitter: f64) -> Vec<i64> {
+    let mut r = rng(seed);
+    let mut out = Vec::with_capacity(frames * bands);
+    for _ in 0..frames {
+        for b in 0..bands {
+            if r.gen::<f64>() < jitter {
+                out.push(r.gen_range(0..bands as i64 * 4));
+            } else {
+                out.push(b as i64);
+            }
+        }
+    }
+    out
+}
+
+/// EPIC-style pyramid coefficients: a head of heavily repeated small
+/// values plus a tail of (mostly) unique large magnitudes, tuned so
+/// `distinct/total ≈ 1 − reuse_rate`.
+pub fn pyramid_coefficients(count: usize, seed: u64, reuse_rate: f64) -> Vec<i64> {
+    let mut r = rng(seed);
+    let mut out = Vec::with_capacity(count);
+    let mut unique_cursor: i64 = 1000;
+    for _ in 0..count {
+        if r.gen::<f64>() < reuse_rate {
+            // Small, heavily repeated quantized values (Laplacian center).
+            let v: i64 = r.gen_range(-320..=320);
+            out.push(v);
+        } else {
+            // Tail values, essentially unique.
+            unique_cursor += r.gen_range(1..9);
+            let sign = if r.gen::<bool>() { 1 } else { -1 };
+            out.push(sign * unique_cursor);
+        }
+    }
+    out
+}
+
+/// Go move stream: positions biased toward earlier hot areas of the board
+/// (openings cluster moves), `moves` entries in `0..361`.
+pub fn go_moves(moves: usize, seed: u64) -> Vec<i64> {
+    let mut r = rng(seed);
+    let mut out = Vec::with_capacity(moves);
+    for i in 0..moves {
+        // Cluster around corners early, spread later — shapes the
+        // influence-input distribution.
+        let cluster = match (i / 8) % 4 {
+            0 => (3, 3),
+            1 => (15, 3),
+            2 => (3, 15),
+            _ => (9, 9),
+        };
+        let dx: i64 = r.gen_range(-3..=3);
+        let dy: i64 = r.gen_range(-3..=3);
+        let x = (cluster.0 + dx).clamp(0, 18);
+        let y = (cluster.1 + dy).clamp(0, 18);
+        out.push(x * 19 + y);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn generators_are_deterministic() {
+        assert_eq!(speech_pcm(100, 7, 0.05, 8000.0), speech_pcm(100, 7, 0.05, 8000.0));
+        assert_eq!(adpcm_codes(100, 7, 3.0), adpcm_codes(100, 7, 3.0));
+        assert_eq!(go_moves(50, 7), go_moves(50, 7));
+        assert_ne!(speech_pcm(100, 7, 0.05, 8000.0), speech_pcm(100, 8, 0.05, 8000.0));
+    }
+
+    #[test]
+    fn speech_amplitude_bounded() {
+        let pcm = speech_pcm(10_000, 1, 0.06, 9000.0);
+        assert!(pcm.iter().all(|&s| s.abs() < 16_000));
+        // Not constant.
+        let distinct: HashSet<i64> = pcm.iter().copied().collect();
+        assert!(distinct.len() > 1000);
+    }
+
+    #[test]
+    fn codes_in_range_and_biased_small() {
+        let codes = adpcm_codes(10_000, 2, 3.0);
+        assert!(codes.iter().all(|&c| (0..16).contains(&c)));
+        // Sign-magnitude: the low three bits carry a geometric magnitude.
+        let small = codes.iter().filter(|&&c| c & 7 < 4).count();
+        assert!(small > 5000, "small magnitudes dominate: {small}");
+        // Both signs occur.
+        let neg = codes.iter().filter(|&&c| c >= 8).count();
+        assert!((3000..7000).contains(&neg), "signs balanced: {neg}");
+    }
+
+    #[test]
+    fn video_blocks_hit_target_repeat_rate() {
+        let stream = video_blocks(2000, 3, 0.10, 12);
+        assert_eq!(stream.len(), 2000 * 64);
+        let mut distinct = HashSet::new();
+        for b in stream.chunks(64) {
+            distinct.insert(b.to_vec());
+        }
+        let reuse = 1.0 - distinct.len() as f64 / 2000.0;
+        assert!((0.04..0.25).contains(&reuse), "encode-like reuse, got {reuse}");
+    }
+
+    #[test]
+    fn coefficient_blocks_repeat_heavily() {
+        let stream = coefficient_blocks(2000, 4, 0.50);
+        let mut distinct = HashSet::new();
+        for b in stream.chunks(64) {
+            distinct.insert(b.to_vec());
+        }
+        let reuse = 1.0 - distinct.len() as f64 / 2000.0;
+        assert!((0.35..0.65).contains(&reuse), "decode-like reuse, got {reuse}");
+    }
+
+    #[test]
+    fn band_schedule_has_31_patterns_when_clean() {
+        let s = band_schedule(250, 31, 5, 0.0);
+        let distinct: HashSet<i64> = s.iter().copied().collect();
+        assert_eq!(distinct.len(), 31);
+        assert_eq!(s.len(), 250 * 31);
+    }
+
+    #[test]
+    fn pyramid_coefficients_match_reuse_target() {
+        let n = 60_000;
+        let coefs = pyramid_coefficients(n, 6, 0.651);
+        let distinct: HashSet<i64> = coefs.iter().copied().collect();
+        let r = 1.0 - distinct.len() as f64 / n as f64;
+        assert!((0.55..0.75).contains(&r), "UNEPIC-like reuse, got {r}");
+    }
+
+    #[test]
+    fn go_moves_valid_positions() {
+        let mv = go_moves(500, 9);
+        assert!(mv.iter().all(|&m| (0..361).contains(&m)));
+        let distinct: HashSet<i64> = mv.iter().copied().collect();
+        assert!(distinct.len() > 50);
+    }
+
+    #[test]
+    fn scaled_has_floor() {
+        assert_eq!(scaled(100_000, 0.5), 50_000);
+        assert_eq!(scaled(100, 0.0001), 16);
+    }
+}

@@ -1,0 +1,181 @@
+//! # workloads — the paper's benchmark programs, rebuilt for MiniC
+//!
+//! The paper evaluates on six Mediabench programs and GNU Go, run from
+//! their default input files on an iPAQ. This crate rebuilds each
+//! benchmark's *reuse-relevant* structure as a MiniC program — the hot
+//! function the paper names (Table 4), its input/output interface
+//! (Table 3), and the surrounding program shape — plus synthetic input
+//! generators calibrated to the paper's reported value-repetition
+//! statistics. See `DESIGN.md` §2 for the substitution argument.
+//!
+//! Each [`Workload`] carries the paper's published numbers ([`PaperData`])
+//! so the benchmark harness can print measured-vs-paper tables.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod g721;
+pub mod gnugo;
+pub mod inputs;
+pub mod mpeg2;
+pub mod rasta;
+pub mod unepic;
+
+/// The paper's Table 3 row (factors affecting the decision).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Table3Row {
+    /// Granularity `C` in µs.
+    pub c_us: f64,
+    /// Overhead `O` in µs.
+    pub o_us: f64,
+    /// Distinct input patterns.
+    pub dip: u64,
+    /// Reuse rate in percent.
+    pub reuse_pct: f64,
+    /// Hash table size as printed in the paper.
+    pub table_size: &'static str,
+}
+
+/// The paper's Table 4 row (segment counts).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Table4Row {
+    /// "Analyzed CS".
+    pub analyzed: u32,
+    /// "Profiled CS".
+    pub profiled: u32,
+    /// "Transformed CS".
+    pub transformed: u32,
+    /// "code size (lines)" as printed.
+    pub code_lines: &'static str,
+}
+
+/// Published numbers for one benchmark, for measured-vs-paper reporting.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PaperData {
+    /// Table 6 speedup (O0).
+    pub speedup_o0: f64,
+    /// Table 7 speedup (O3).
+    pub speedup_o3: f64,
+    /// Table 3 row (absent for the `_s`/`_b` code variants).
+    pub table3: Option<Table3Row>,
+    /// Table 4 row.
+    pub table4: Option<Table4Row>,
+    /// Table 5 hit ratios (%) for 1/4/16/64-entry LRU buffers.
+    pub table5: Option<[f64; 4]>,
+    /// Tables 8/9 energy savings (%) under O0 and O3.
+    pub energy_saving: Option<(f64, f64)>,
+    /// Table 10 speedup on alternate inputs (O3).
+    pub alt_speedup: Option<f64>,
+}
+
+/// One runnable benchmark.
+#[derive(Debug, Clone)]
+pub struct Workload {
+    /// Program name as the paper prints it (e.g. `G721_encode`).
+    pub name: &'static str,
+    /// The hot functions the paper names in Table 4.
+    pub hot_functions: &'static str,
+    /// MiniC source text.
+    pub source: String,
+    /// Default-input generator; the argument scales the input length
+    /// (1.0 = full size).
+    pub default_input: fn(f64) -> Vec<i64>,
+    /// Alternate-input generator (the paper's Table 10 inputs).
+    pub alt_input: fn(f64) -> Vec<i64>,
+    /// Label for the alternate input's provenance (Table 10 column 2).
+    pub alt_source: &'static str,
+    /// Published numbers.
+    pub paper: PaperData,
+}
+
+impl Workload {
+    /// Source length in lines (our analogue of Table 4's last column).
+    pub fn code_lines(&self) -> usize {
+        self.source.lines().filter(|l| !l.trim().is_empty()).count()
+    }
+
+    /// Parses and checks the workload's source.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the bundled source fails the front end (a bug in this
+    /// crate, covered by tests).
+    pub fn checked(&self) -> minic::Checked {
+        minic::compile(&self.source)
+            .unwrap_or_else(|e| panic!("workload {} does not compile: {e}", self.name))
+    }
+}
+
+/// The seven main programs, in the paper's table order.
+pub fn main_seven() -> Vec<Workload> {
+    vec![
+        g721::encode(),
+        g721::decode(),
+        mpeg2::encode(),
+        mpeg2::decode(),
+        rasta::rasta(),
+        unepic::unepic(),
+        gnugo::gnugo(),
+    ]
+}
+
+/// All eleven rows of Tables 6/7: the seven programs plus the `_s`
+/// (shift) and `_b` (binary search) G721 code variants.
+pub fn all_eleven() -> Vec<Workload> {
+    vec![
+        g721::encode(),
+        g721::encode_s(),
+        g721::encode_b(),
+        g721::decode(),
+        g721::decode_s(),
+        g721::decode_b(),
+        mpeg2::encode(),
+        mpeg2::decode(),
+        rasta::rasta(),
+        unepic::unepic(),
+        gnugo::gnugo(),
+    ]
+}
+
+/// Looks a workload up by its paper name.
+pub fn by_name(name: &str) -> Option<Workload> {
+    all_eleven().into_iter().find(|w| w.name == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_is_complete() {
+        assert_eq!(main_seven().len(), 7);
+        assert_eq!(all_eleven().len(), 11);
+        assert!(by_name("G721_encode").is_some());
+        assert!(by_name("GNUGO").is_some());
+        assert!(by_name("nope").is_none());
+    }
+
+    #[test]
+    fn all_sources_compile() {
+        for w in all_eleven() {
+            let checked = w.checked();
+            assert!(
+                checked.info.func_index.contains_key("main"),
+                "{} has a main",
+                w.name
+            );
+            assert!(w.code_lines() > 20, "{} suspiciously small", w.name);
+        }
+    }
+
+    #[test]
+    fn generators_produce_input() {
+        for w in all_eleven() {
+            let d = (w.default_input)(0.01);
+            let a = (w.alt_input)(0.01);
+            assert!(!d.is_empty(), "{} default input empty", w.name);
+            assert!(!a.is_empty(), "{} alt input empty", w.name);
+            assert_ne!(d, a, "{} alt input must differ", w.name);
+        }
+    }
+}

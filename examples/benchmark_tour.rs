@@ -1,0 +1,111 @@
+//! Benchmark tour: run any of the paper's workloads end to end.
+//!
+//! ```sh
+//! cargo run --release --example benchmark_tour -- UNEPIC 0.2
+//! cargo run --release --example benchmark_tour -- GNUGO
+//! cargo run --release --example benchmark_tour          # all seven
+//! ```
+//!
+//! For each selected workload: runs the pipeline (profiling on the default
+//! inputs), prints its Table-3-style factor row next to the paper's
+//! published numbers, then executes baseline and transformed programs
+//! under both O0 and O3 cost models.
+
+use compreuse::{run_pipeline, PipelineConfig};
+use vm::{CostModel, OptLevel, RunConfig};
+use workloads::Workload;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let scale: f64 = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(0.1);
+    let selected: Vec<Workload> = match args.first() {
+        Some(name) => vec![workloads::by_name(name)
+            .unwrap_or_else(|| panic!("unknown workload {name}; try G721_encode, MPEG2_decode, RASTA, UNEPIC, GNUGO"))],
+        None => workloads::main_seven(),
+    };
+
+    for w in selected {
+        tour(&w, scale);
+    }
+}
+
+fn tour(w: &Workload, scale: f64) {
+    println!("\n=== {} (hot: {}; {} source lines) ===", w.name, w.hot_functions, w.code_lines());
+    let input = (w.default_input)(scale);
+    let program = minic::parse(&w.source).expect("workload parses");
+
+    for opt in [OptLevel::O0, OptLevel::O3] {
+        let outcome = run_pipeline(
+            &program,
+            &PipelineConfig {
+                cost: CostModel::for_level(opt),
+                profile_input: input.clone(),
+                ..PipelineConfig::default()
+            },
+        )
+        .expect("pipeline");
+
+        let r = &outcome.report;
+        println!(
+            "[{opt}] segments: {} analyzed, {} profiled, {} transformed ({} merged tables, {} table bytes)",
+            r.analyzed, r.profiled, r.transformed, r.merged_tables, r.total_table_bytes
+        );
+        if let Some(d) = r.decisions.iter().filter(|d| d.chosen).max_by(|a, b| {
+            (a.gain * a.n as f64)
+                .partial_cmp(&(b.gain * b.n as f64))
+                .expect("finite")
+        }) {
+            println!(
+                "[{opt}] dominant segment {}: N={} DIP={} R={:.1}% key={}w out={}w",
+                d.name,
+                d.n,
+                d.dip,
+                d.reuse_rate * 100.0,
+                d.key_words,
+                d.out_words
+            );
+            if let Some(t3) = w.paper.table3 {
+                println!(
+                    "[{opt}] paper reports: DIP={} R={:.1}% table {}",
+                    t3.dip, t3.reuse_pct, t3.table_size
+                );
+            }
+        }
+
+        let cost = CostModel::for_level(opt);
+        let base = vm::run(
+            &vm::lower(&outcome.baseline),
+            RunConfig {
+                cost: cost.clone(),
+                input: input.clone(),
+                ..RunConfig::default()
+            },
+        )
+        .expect("baseline run");
+        let memo = vm::run(
+            &vm::lower(&outcome.transformed),
+            RunConfig {
+                cost,
+                input: input.clone(),
+                tables: outcome.make_tables(),
+                ..RunConfig::default()
+            },
+        )
+        .expect("memoized run");
+        assert_eq!(base.output_text(), memo.output_text(), "semantics preserved");
+        let paper_speedup = match opt {
+            OptLevel::O0 => w.paper.speedup_o0,
+            OptLevel::O3 => w.paper.speedup_o3,
+        };
+        println!(
+            "[{opt}] {:.3}s -> {:.3}s  speedup {:.2}x (paper {:.2}x)  energy {:.2}J -> {:.2}J (saving {:.1}%)",
+            base.seconds,
+            memo.seconds,
+            base.seconds / memo.seconds,
+            paper_speedup,
+            base.energy_joules,
+            memo.energy_joules,
+            (1.0 - memo.energy_joules / base.energy_joules) * 100.0
+        );
+    }
+}

@@ -1,0 +1,102 @@
+//! Cost-benefit lab: watch formula 3 flip as the input's reuse rate moves.
+//!
+//! ```sh
+//! cargo run --release --example cost_benefit_lab
+//! ```
+//!
+//! The same program — a moderately expensive `transform(x)` — is profiled
+//! against input streams of decreasing value locality. The pipeline keeps
+//! transforming it while `R > O/C` (paper formula 3) and stops once the
+//! repetition no longer pays for the hashing overhead; this example prints
+//! the whole decision curve, including the measured break-even point.
+
+use compreuse::{run_pipeline, CostBenefit, PipelineConfig};
+use vm::RunConfig;
+
+const SOURCE: &str = "
+    int transform(int x) {
+        int acc = x;
+        for (int k = 0; k < 24; k++) {
+            acc = acc + ((x + k) * (k | 3)) % 1009;
+            acc = acc & 1048575;
+        }
+        return acc;
+    }
+    int main() {
+        int s = 0;
+        while (!eof()) {
+            s = (s + transform(input())) & 1048575;
+        }
+        print(s);
+        return 0;
+    }";
+
+/// Builds a stream of `n` values drawn from `distinct` values.
+fn stream(n: usize, distinct: i64) -> Vec<i64> {
+    (0..n).map(|i| (i as i64 * 2654435761 % distinct) * 3 + 1).collect()
+}
+
+fn main() {
+    let program = minic::parse(SOURCE).expect("parse");
+    let n = 40_000usize;
+
+    println!("{:<10} {:>8} {:>8} {:>9} {:>9} {:>9} {:>10} {:>8}",
+        "distinct", "R", "O/C", "gain/exec", "decision", "speedup", "tbl bytes", "hit%");
+    for distinct in [50i64, 400, 2_000, 8_000, 16_000, 24_000, 32_000, 40_000] {
+        let input = stream(n, distinct);
+        let outcome = run_pipeline(
+            &program,
+            &PipelineConfig {
+                profile_input: input.clone(),
+                ..PipelineConfig::default()
+            },
+        )
+        .expect("pipeline");
+        let d = outcome
+            .report
+            .decisions
+            .iter()
+            .find(|d| d.name == "transform:body")
+            .expect("profiled");
+        // Re-derive the formula-3 numbers to show the algebra.
+        let cb = CostBenefit::new(d.measured_c, d.overhead_o, d.effective_rate);
+        debug_assert_eq!(cb.profitable(), d.profitable);
+
+        let base = vm::run(
+            &vm::lower(&outcome.baseline),
+            RunConfig {
+                input: input.clone(),
+                ..RunConfig::default()
+            },
+        )
+        .expect("baseline");
+        let memo = vm::run(
+            &vm::lower(&outcome.transformed),
+            RunConfig {
+                input,
+                tables: outcome.make_tables(),
+                ..RunConfig::default()
+            },
+        )
+        .expect("memoized");
+        assert_eq!(base.output_text(), memo.output_text());
+
+        let (bytes, hit) = memo
+            .tables
+            .first()
+            .map(|t| (t.bytes(), t.stats().hit_ratio() * 100.0))
+            .unwrap_or((0, 0.0));
+        println!(
+            "{:<10} {:>7.1}% {:>8.3} {:>9.1} {:>9} {:>8.2}x {:>10} {:>7.1}%",
+            distinct,
+            d.reuse_rate * 100.0,
+            d.overhead_o / d.measured_c,
+            d.gain,
+            if d.chosen { "REUSE" } else { "leave" },
+            base.seconds / memo.seconds,
+            bytes,
+            hit,
+        );
+    }
+    println!("\nformula 3: transform iff R > O/C — the flip happens exactly where the two columns cross.");
+}

@@ -1,0 +1,120 @@
+//! Quickstart: memoize the paper's `quan` example end to end.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+//!
+//! Takes the paper's Figure 4 program (the *original* three-argument
+//! `quan`), runs the full pipeline — specialization, profiling,
+//! cost-benefit, transformation — and executes both versions, printing the
+//! decision log, the `check_hash`-style transformed source, and the
+//! speedup.
+
+use compreuse::{run_pipeline, PipelineConfig};
+use vm::RunConfig;
+
+const SOURCE: &str = "
+    int power2[15] = {1, 2, 4, 8, 16, 32, 64, 128,
+                      256, 512, 1024, 2048, 4096, 8192, 16384};
+
+    int quan(int val, int *table, int size) {
+        int i;
+        for (i = 0; i < size; i++)
+            if (val < table[i])
+                break;
+        return (i);
+    }
+
+    int main() {
+        int s = 0;
+        while (!eof()) {
+            int sample = input();
+            s = (s + quan(sample, power2, 15)) & 1048575;
+        }
+        print(s);
+        return 0;
+    }";
+
+fn main() {
+    // A value-local input stream: 60k samples drawn from ~900 values.
+    let input: Vec<i64> = (0..60_000)
+        .map(|i| (i * 7919) % 900 * 18)
+        .collect();
+
+    println!("== running the computation-reuse pipeline ==");
+    let program = minic::parse(SOURCE).expect("parse");
+    let outcome = run_pipeline(
+        &program,
+        &PipelineConfig {
+            profile_input: input.clone(),
+            ..PipelineConfig::default()
+        },
+    )
+    .expect("pipeline");
+
+    for s in &outcome.report.specializations {
+        println!(
+            "specialized {} -> {} (bound: {})",
+            s.original,
+            s.specialized,
+            s.bound_params.join(", ")
+        );
+    }
+    for d in &outcome.report.decisions {
+        println!(
+            "segment {:<18} N={:<7} DIP={:<6} R={:.1}% C={:.0}cyc O={:.0}cyc gain={:.0} -> {}",
+            d.name,
+            d.n,
+            d.dip,
+            d.reuse_rate * 100.0,
+            d.measured_c,
+            d.overhead_o,
+            d.gain,
+            if d.chosen { "TRANSFORM" } else { "skip" }
+        );
+    }
+
+    println!("\n== transformed source (paper Fig. 2(b) style) ==");
+    let text = minic::pretty::print_program(&outcome.transformed.program);
+    for line in text.lines().filter(|l| !l.trim().is_empty()).take(30) {
+        println!("{line}");
+    }
+
+    println!("\n== executing both versions ==");
+    let base = vm::run(
+        &vm::lower(&outcome.baseline),
+        RunConfig {
+            input: input.clone(),
+            ..RunConfig::default()
+        },
+    )
+    .expect("baseline");
+    let memo = vm::run(
+        &vm::lower(&outcome.transformed),
+        RunConfig {
+            input,
+            tables: outcome.make_tables(),
+            ..RunConfig::default()
+        },
+    )
+    .expect("memoized");
+
+    assert_eq!(base.output_text(), memo.output_text(), "semantics preserved");
+    let stats = memo.tables[0].stats();
+    println!("output (both versions): {}", base.output_text());
+    println!(
+        "original:  {:>12} cycles ({:.4} modelled seconds)",
+        base.cycles, base.seconds
+    );
+    println!(
+        "memoized:  {:>12} cycles ({:.4} modelled seconds)",
+        memo.cycles, memo.seconds
+    );
+    println!(
+        "table:     {} accesses, {:.1}% hits, {} bytes",
+        stats.accesses,
+        stats.hit_ratio() * 100.0,
+        memo.tables[0].bytes()
+    );
+    println!("speedup:   {:.2}x", base.seconds / memo.seconds);
+}

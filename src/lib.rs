@@ -1,0 +1,28 @@
+//! # compreuse-repro — workspace façade
+//!
+//! A from-scratch reproduction of Ding & Li, *"A Compiler Scheme for
+//! Reusing Intermediate Computation Results"* (CGO 2004). This crate
+//! re-exports the workspace's layers so examples and downstream users can
+//! depend on one name; see the individual crates for the real APIs:
+//!
+//! - [`minic`] — the C-subset front end (GCC's role in the paper);
+//! - [`flow`] — graphs, CFGs, dataflow solving;
+//! - [`analysis`] — the paper's supporting analyses (call graph, pointer
+//!   analysis, def-use, code-segment analysis);
+//! - [`memo_runtime`] — the reuse hash tables (direct / LRU / merged);
+//! - [`vm`] — the profiling interpreter standing in for the iPAQ;
+//! - [`compreuse`] — the scheme itself (cost-benefit, specialization,
+//!   nesting, merging, transformation);
+//! - [`workloads`] — the seven benchmarks rebuilt for MiniC.
+//!
+//! Start with `examples/quickstart.rs`.
+
+#![warn(missing_docs)]
+
+pub use analysis;
+pub use compreuse;
+pub use flow;
+pub use memo_runtime;
+pub use minic;
+pub use vm;
+pub use workloads;

@@ -1,0 +1,201 @@
+//! Property test: the memoization transform is semantics-preserving on
+//! randomized programs and inputs.
+//!
+//! Programs are generated from a template family — a hot function with a
+//! random arithmetic body (always terminating, trap-free by construction)
+//! driven by a random input stream — then pushed through the full pipeline
+//! and executed against the baseline.
+
+use compreuse::{run_pipeline, PipelineConfig};
+use proptest::prelude::*;
+use vm::RunConfig;
+
+/// A random straight-line arithmetic expression over `x`, `i`, and `acc`,
+/// guaranteed division-free (no trap source).
+fn arb_body_expr() -> impl Strategy<Value = String> {
+    let leaf = prop_oneof![
+        Just("x".to_string()),
+        Just("i".to_string()),
+        Just("acc".to_string()),
+        (1i64..100).prop_map(|v| v.to_string()),
+    ];
+    leaf.prop_recursive(3, 24, 2, |inner| {
+        (inner.clone(), prop_oneof![Just("+"), Just("-"), Just("*"), Just("^"), Just("&"), Just("|")], inner)
+            .prop_map(|(a, op, b)| format!("({a} {op} {b})"))
+    })
+}
+
+fn program_with(body_expr: &str, iters: u8, modulus: u32) -> String {
+    format!(
+        "
+        int hot(int x) {{
+            int acc = 1;
+            for (int i = 0; i < {iters}; i++) {{
+                acc = (acc + {body_expr}) % {modulus};
+                acc = acc < 0 ? -acc : acc;
+            }}
+            return acc;
+        }}
+        int main() {{
+            int s = 0;
+            while (!eof()) s = (s + hot(input())) & 1048575;
+            print(s);
+            return 0;
+        }}"
+    )
+}
+
+/// A richer trap-free family: the hot function may index a global table
+/// (masked index), contain a nested loop, and branch on parity.
+fn rich_program(body_expr: &str, iters: u8, modulus: u32, variant: u8) -> String {
+    let inner = match variant % 3 {
+        0 => format!("acc = (acc + {body_expr}) % {modulus};"),
+        1 => format!(
+            "for (int j = 0; j < 3; j++) {{ acc = (acc + {body_expr} + j) % {modulus}; }}"
+        ),
+        _ => format!(
+            "if ((acc & 1) == 0) {{ acc = (acc + {body_expr}) % {modulus}; }} \
+             else {{ acc = (acc + tab[(x + i) & 15]) % {modulus}; }}"
+        ),
+    };
+    format!(
+        "
+        int tab[16] = {{3, 1, 4, 1, 5, 9, 2, 6, 5, 3, 5, 8, 9, 7, 9, 3}};
+        int hot(int x) {{
+            int acc = tab[x & 15];
+            for (int i = 0; i < {iters}; i++) {{
+                {inner}
+                acc = acc < 0 ? -acc : acc;
+            }}
+            return acc;
+        }}
+        int main() {{
+            int s = 0;
+            while (!eof()) s = (s + hot(input())) & 1048575;
+            print(s);
+            return 0;
+        }}"
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn rich_random_programs_preserve_semantics(
+        body in arb_body_expr(),
+        iters in 4u8..24,
+        modulus in 17u32..50_000,
+        variant in 0u8..3,
+        distinct in 3i64..120,
+        n in 400usize..2_500,
+    ) {
+        let src = rich_program(&body, iters, modulus, variant);
+        let input: Vec<i64> = (0..n).map(|i| (i as i64 * 13) % distinct).collect();
+        let program = minic::parse(&src).expect("template parses");
+        let outcome = run_pipeline(
+            &program,
+            &PipelineConfig {
+                profile_input: input.clone(),
+                min_exec: 8,
+                ..PipelineConfig::default()
+            },
+        )
+        .expect("pipeline");
+        let base = vm::run(
+            &vm::lower(&outcome.baseline),
+            RunConfig { input: input.clone(), ..RunConfig::default() },
+        )
+        .expect("baseline");
+        let memo = vm::run(
+            &vm::lower(&outcome.transformed),
+            RunConfig {
+                input,
+                tables: outcome.make_tables(),
+                ..RunConfig::default()
+            },
+        )
+        .expect("memoized");
+        prop_assert_eq!(base.output_text(), memo.output_text());
+    }
+
+    #[test]
+    fn pipeline_preserves_semantics_on_random_programs(
+        body in arb_body_expr(),
+        iters in 8u8..40,
+        modulus in 17u32..100_000,
+        distinct in 3i64..200,
+        n in 500usize..4_000,
+    ) {
+        let src = program_with(&body, iters, modulus);
+        let input: Vec<i64> = (0..n).map(|i| (i as i64 * 31) % distinct).collect();
+        let program = minic::parse(&src).expect("template parses");
+        let outcome = run_pipeline(
+            &program,
+            &PipelineConfig {
+                profile_input: input.clone(),
+                min_exec: 8,
+                ..PipelineConfig::default()
+            },
+        )
+        .expect("pipeline");
+        let base = vm::run(
+            &vm::lower(&outcome.baseline),
+            RunConfig { input: input.clone(), ..RunConfig::default() },
+        )
+        .expect("baseline");
+        let memo = vm::run(
+            &vm::lower(&outcome.transformed),
+            RunConfig {
+                input,
+                tables: outcome.make_tables(),
+                ..RunConfig::default()
+            },
+        )
+        .expect("memoized");
+        prop_assert_eq!(base.output_text(), memo.output_text());
+        // With few distinct inputs and a nontrivial body, hot() is
+        // normally chosen; when it is, the memoized run must not lose.
+        if outcome.report.transformed > 0 && base.cycles > 0 {
+            let d = outcome.report.decisions.iter().find(|d| d.chosen);
+            prop_assert!(d.is_some());
+        }
+    }
+
+    /// Formula-1/2 algebra: the measured table hit ratio matches the
+    /// profiled effective reuse rate when the table is big enough.
+    #[test]
+    fn measured_hits_match_profiled_reuse(distinct in 4i64..400) {
+        let src = program_with("(x * 13)", 20, 9973);
+        let n = 6_000usize;
+        let input: Vec<i64> = (0..n).map(|i| (i as i64 * 7) % distinct).collect();
+        let program = minic::parse(&src).expect("parses");
+        let outcome = run_pipeline(
+            &program,
+            &PipelineConfig { profile_input: input.clone(), ..PipelineConfig::default() },
+        )
+        .expect("pipeline");
+        let Some(d) = outcome.report.decisions.iter().find(|d| d.name == "hot:body") else {
+            return Ok(());
+        };
+        if !d.chosen {
+            return Ok(());
+        }
+        let memo = vm::run(
+            &vm::lower(&outcome.transformed),
+            RunConfig {
+                input,
+                tables: outcome.make_tables(),
+                ..RunConfig::default()
+            },
+        )
+        .expect("memoized");
+        let hit = memo.tables[d.assignment.unwrap().table].stats().hit_ratio();
+        prop_assert!(
+            (hit - d.effective_rate).abs() < 0.02,
+            "hit ratio {} vs profiled effective rate {}",
+            hit,
+            d.effective_rate
+        );
+    }
+}

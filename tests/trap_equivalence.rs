@@ -1,0 +1,162 @@
+//! Failure injection: when the baseline program traps, the memoized
+//! program must trap the same way (memoization may only skip *pure*
+//! recomputation, never mask or introduce a fault).
+
+use compreuse::{run_pipeline, PipelineConfig};
+use vm::RunConfig;
+
+/// Runs both versions; returns (baseline result, memoized result).
+fn both(
+    src: &str,
+    profile_input: Vec<i64>,
+    run_input: Vec<i64>,
+) -> (Result<vm::Outcome, vm::Trap>, Result<vm::Outcome, vm::Trap>) {
+    let program = minic::parse(src).expect("parse");
+    let outcome = run_pipeline(
+        &program,
+        &PipelineConfig {
+            profile_input,
+            ..PipelineConfig::default()
+        },
+    )
+    .expect("pipeline (profiling input must be trap-free)");
+    let base = vm::run(
+        &vm::lower(&outcome.baseline),
+        RunConfig {
+            input: run_input.clone(),
+            ..RunConfig::default()
+        },
+    );
+    let memo = vm::run(
+        &vm::lower(&outcome.transformed),
+        RunConfig {
+            input: run_input,
+            tables: outcome.make_tables(),
+            ..RunConfig::default()
+        },
+    );
+    (base, memo)
+}
+
+#[test]
+fn division_trap_reproduces_in_memoized_version() {
+    // hot() divides by (x - 13); profiling avoids 13, the real run hits it.
+    let src = "
+        int hot(int x) {
+            int acc = 0;
+            for (int i = 1; i < 20; i++) acc += (x * i) / (x - 13);
+            return acc;
+        }
+        int main() {
+            int s = 0;
+            while (!eof()) s = (s + hot(input())) & 65535;
+            print(s);
+            return 0;
+        }";
+    let profile: Vec<i64> = (0..3000).map(|i| i % 10).collect(); // never 13
+    let mut run: Vec<i64> = (0..500).map(|i| i % 10).collect();
+    run.push(13); // trap here
+    let (base, memo) = both(src, profile, run);
+    let bt = base.expect_err("baseline must trap");
+    let mt = memo.expect_err("memoized must trap identically");
+    assert_eq!(bt, mt);
+    assert_eq!(bt, vm::Trap::DivByZero);
+}
+
+#[test]
+fn trap_free_prefix_outputs_agree() {
+    // Before the trap, both versions must have produced the same printed
+    // prefix — check by running the trap-free prefix separately.
+    let src = "
+        int hot(int x) {
+            int acc = 1;
+            for (int i = 1; i < 15; i++) acc = (acc + x * i) % 1000;
+            return acc;
+        }
+        int main() {
+            while (!eof()) print(hot(input()) % (input() + 1));
+            return 0;
+        }";
+    // Pairs (x, d); d = -1 divides by zero.
+    let profile: Vec<i64> = (0..2000).flat_map(|i| [i % 6, 3]).collect();
+    let good: Vec<i64> = (0..100).flat_map(|i| [i % 6, 3]).collect();
+    let (b1, m1) = both(src, profile.clone(), good);
+    let (b1, m1) = (b1.unwrap(), m1.unwrap());
+    assert_eq!(b1.output_text(), m1.output_text());
+
+    let mut bad: Vec<i64> = (0..100).flat_map(|i| [i % 6, 3]).collect();
+    bad.extend([2, -1]); // second input makes the modulus zero
+    let (b2, m2) = both(src, profile, bad);
+    assert_eq!(b2.unwrap_err(), m2.unwrap_err());
+}
+
+#[test]
+fn assert_outside_segments_still_fires() {
+    // assert() makes a segment illegal (I/O-like), so it stays outside
+    // memoized regions and must fire identically.
+    let src = "
+        int hot(int x) {
+            int acc = 0;
+            for (int i = 0; i < 25; i++) acc += (x + i) % 97;
+            return acc;
+        }
+        int main() {
+            int s = 0;
+            while (!eof()) {
+                int v = input();
+                s = (s + hot(v % 8)) & 65535;
+                assert(s >= 0 && v < 1000);
+            }
+            print(s);
+            return 0;
+        }";
+    let profile: Vec<i64> = (0..2000).map(|i| i % 8).collect();
+    let mut run: Vec<i64> = (0..200).map(|i| i % 8).collect();
+    run.push(5000); // assertion fails
+    let (base, memo) = both(src, profile, run);
+    assert_eq!(base.unwrap_err(), vm::Trap::AssertFailed);
+    assert_eq!(memo.unwrap_err(), vm::Trap::AssertFailed);
+}
+
+#[test]
+fn cycle_limit_applies_to_both() {
+    let src = "
+        int hot(int x) {
+            int acc = 0;
+            for (int i = 0; i < 50; i++) acc += x * i;
+            return acc;
+        }
+        int main() {
+            int s = 0;
+            while (!eof()) s = (s + hot(input() % 4)) & 65535;
+            print(s);
+            return 0;
+        }";
+    let profile: Vec<i64> = (0..2000).map(|i| i % 4).collect();
+    let program = minic::parse(src).unwrap();
+    let outcome = run_pipeline(
+        &program,
+        &PipelineConfig {
+            profile_input: profile.clone(),
+            ..PipelineConfig::default()
+        },
+    )
+    .unwrap();
+    let tiny_budget = RunConfig {
+        input: profile.clone(),
+        max_cycles: 10_000,
+        ..RunConfig::default()
+    };
+    let base = vm::run(&vm::lower(&outcome.baseline), tiny_budget);
+    assert_eq!(base.unwrap_err(), vm::Trap::CycleLimit);
+    let memo = vm::run(
+        &vm::lower(&outcome.transformed),
+        RunConfig {
+            input: profile,
+            tables: outcome.make_tables(),
+            max_cycles: 10_000,
+            ..RunConfig::default()
+        },
+    );
+    assert_eq!(memo.unwrap_err(), vm::Trap::CycleLimit);
+}
