@@ -44,7 +44,7 @@ fn bench_table5_row(c: &mut Criterion) {
                 .specs
                 .iter()
                 .map(|s| {
-                    memo_runtime::MemoTable::Lru(memo_runtime::LruTable::new(
+                    memo_runtime::MemoTable::from(memo_runtime::LruTable::new(
                         64,
                         s.key_words,
                         s.out_words[0],

@@ -1,0 +1,69 @@
+//! Emits the JSON runtime-table metrics report for one workload: per-table
+//! accesses, hits, misses, collisions, evictions, guard state, and the
+//! adaptive-guard transition journal.
+//!
+//! ```text
+//! cargo run --release -p bench --bin metrics -- [workload] [--scale f]
+//!     [--opt o0|o3] [--adaptive] [--alt]
+//! ```
+//!
+//! `--alt` executes on the Table 10 alternate inputs (profiling always
+//! uses the defaults), the scenario where live rates diverge from the
+//! profile's predictions.
+//!
+//! Defaults: `G721_encode`, scale 0.25, O0, guard disabled (telemetry
+//! only).
+//! `--adaptive` instantiates the tables through
+//! `ReuseOutcome::make_adaptive_tables`, letting the guard resize or
+//! bypass tables whose live collision rate exceeds the profile's
+//! prediction.
+
+use bench::runner::{execute_with_tables, prepare, InputKind};
+
+fn main() {
+    let mut name = "G721_encode".to_string();
+    let mut scale = 0.25f64;
+    let mut opt = vm::OptLevel::O0;
+    let mut adaptive = false;
+    let mut input = InputKind::Default;
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--scale" => {
+                i += 1;
+                scale = argv
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| panic!("--scale needs a number"));
+            }
+            "--opt" => {
+                i += 1;
+                opt = match argv.get(i).map(String::as_str) {
+                    Some("o0") | Some("O0") => vm::OptLevel::O0,
+                    Some("o3") | Some("O3") => vm::OptLevel::O3,
+                    other => panic!("--opt needs o0 or o3, got {other:?}"),
+                };
+            }
+            "--adaptive" => adaptive = true,
+            "--alt" => input = InputKind::Alt,
+            w if !w.starts_with('-') => name = w.to_string(),
+            other => panic!("unknown flag {other}"),
+        }
+        i += 1;
+    }
+
+    let w = workloads::by_name(&name).unwrap_or_else(|| {
+        let names: Vec<&str> = workloads::all_eleven().iter().map(|w| w.name).collect();
+        panic!("unknown workload {name}; one of: {}", names.join(", "))
+    });
+    let p = prepare(&w, opt, scale);
+    let tables = if adaptive {
+        p.outcome.make_adaptive_tables()
+    } else {
+        p.outcome.make_tables()
+    };
+    let m = execute_with_tables(&p, &w, input, scale, tables);
+    assert!(m.output_match, "{name}: outputs diverged");
+    println!("{}", bench::reports::metrics_report_json(&p, &m, adaptive));
+}

@@ -34,16 +34,15 @@ pub fn prepare_seven(opt: OptLevel, scale: f64, opts: &PrepareOpts) -> Vec<(Work
     let ws = workloads::main_seven();
     let mut out: Vec<Option<(Workload, Prepared)>> = Vec::new();
     out.resize_with(ws.len(), || None);
-    crossbeam::thread::scope(|s| {
+    std::thread::scope(|s| {
         for (slot, w) in out.iter_mut().zip(ws) {
             let opts = opts.clone();
-            s.spawn(move |_| {
+            s.spawn(move || {
                 let p = prepare_with(&w, opt, scale, &opts);
                 *slot = Some((w, p));
             });
         }
-    })
-    .expect("prepare worker panicked");
+    });
     out.into_iter().map(|x| x.expect("filled")).collect()
 }
 
@@ -183,7 +182,7 @@ pub fn table5(scale: f64) -> Vec<Vec<String>> {
                 .specs
                 .iter()
                 .map(|spec| {
-                    MemoTable::Lru(LruTable::new(cap, spec.key_words, spec.out_words[0]))
+                    MemoTable::from(LruTable::new(cap, spec.key_words, spec.out_words[0]))
                 })
                 .collect();
             if p.outcome.specs.is_empty() {
@@ -237,9 +236,9 @@ pub fn table6_or_7(opt: OptLevel, scale: f64) -> Vec<Vec<String>> {
     let mut rows: Vec<Option<Vec<String>>> = Vec::new();
     rows.resize_with(ws.len(), || None);
     let mut speedups: Vec<Option<(bool, f64)>> = vec![None; ws.len()];
-    crossbeam::thread::scope(|s| {
+    std::thread::scope(|s| {
         for ((slot, sp), w) in rows.iter_mut().zip(speedups.iter_mut()).zip(ws.iter()) {
-            s.spawn(move |_| {
+            s.spawn(move || {
                 let p = prepare(w, opt, scale);
                 let m = execute(&p, w, InputKind::Default, scale);
                 assert!(m.output_match, "{}: outputs diverged", w.name);
@@ -258,8 +257,7 @@ pub fn table6_or_7(opt: OptLevel, scale: f64) -> Vec<Vec<String>> {
                 ]);
             });
         }
-    })
-    .expect("worker panicked");
+    });
     let mut out: Vec<Vec<String>> = rows.into_iter().map(|r| r.expect("filled")).collect();
     // Harmonic mean excludes the _s/_b variants, as in the paper.
     let mains: Vec<f64> = speedups
@@ -519,9 +517,9 @@ pub fn fig14_15(opt: OptLevel, scale: f64) -> Vec<Vec<String>> {
     let ws = workloads::main_seven();
     let mut rows: Vec<Option<Vec<String>>> = Vec::new();
     rows.resize_with(ws.len(), || None);
-    crossbeam::thread::scope(|s| {
+    std::thread::scope(|s| {
         for (slot, w) in rows.iter_mut().zip(ws.iter()) {
-            s.spawn(move |_| {
+            s.spawn(move || {
                 let mut cells = vec![w.name.to_string()];
                 for cap in SIZE_SWEEP {
                     let opts = PrepareOpts {
@@ -540,7 +538,150 @@ pub fn fig14_15(opt: OptLevel, scale: f64) -> Vec<Vec<String>> {
                 *slot = Some(cells);
             });
         }
-    })
-    .expect("worker panicked");
+    });
     rows.into_iter().map(|r| r.expect("filled")).collect()
+}
+
+// ---------------------------------------------------------------------
+// Runtime table metrics — JSON telemetry report (`metrics` binary)
+// ---------------------------------------------------------------------
+
+/// Escapes `s` for embedding inside a JSON string literal.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn json_stats(s: &memo_runtime::TableStats) -> String {
+    format!(
+        concat!(
+            "{{\"accesses\":{},\"hits\":{},\"misses\":{},\"collisions\":{},",
+            "\"evictions\":{},\"insertions\":{},\"hit_ratio\":{},\"collision_rate\":{}}}"
+        ),
+        s.accesses,
+        s.hits,
+        s.misses,
+        s.collisions,
+        s.evictions,
+        s.insertions,
+        s.hit_ratio(),
+        s.collision_rate(),
+    )
+}
+
+fn json_table(index: usize, spec: &memo_runtime::TableSpec, t: &MemoTable) -> String {
+    let kind = match t.kind() {
+        memo_runtime::TableKind::Direct(_) => "direct",
+        memo_runtime::TableKind::Lru(_) => "lru",
+        memo_runtime::TableKind::Merged(_) => "merged",
+    };
+    let pol = t.policy();
+    let tel = t.telemetry();
+    let policy = format!(
+        concat!(
+            "{{\"enabled\":{},\"epoch_len\":{},\"predicted_collision_rate\":{},",
+            "\"margin\":{},\"k_epochs\":{},\"bypass_epochs\":{},\"max_resizes\":{}}}"
+        ),
+        pol.enabled,
+        pol.epoch_len,
+        pol.predicted_collision_rate,
+        pol.margin,
+        pol.k_epochs,
+        pol.bypass_epochs,
+        pol.max_resizes,
+    );
+    let per_segment: Vec<String> = tel.per_segment().iter().map(json_stats).collect();
+    let transitions: Vec<String> = tel
+        .transitions()
+        .iter()
+        .map(|tr| {
+            format!(
+                "{{\"epoch\":{},\"from\":\"{}\",\"to\":\"{}\",\"reason\":\"{}\"}}",
+                tr.epoch,
+                tr.from.name(),
+                tr.to.name(),
+                json_escape(tr.reason),
+            )
+        })
+        .collect();
+    let epochs: Vec<String> = tel
+        .epochs()
+        .iter()
+        .map(|e| {
+            format!(
+                "{{\"epoch\":{},\"state\":\"{}\",\"bypassed\":{},\"stats\":{}}}",
+                e.epoch,
+                e.state.name(),
+                e.bypassed,
+                json_stats(&e.stats),
+            )
+        })
+        .collect();
+    format!(
+        concat!(
+            "{{\"index\":{},\"kind\":\"{}\",\"planned_slots\":{},\"slots\":{},",
+            "\"bytes\":{},\"segments\":{},\"state\":\"{}\",\"policy\":{},",
+            "\"stats\":{},\"bypassed_lookups\":{},\"dropped_records\":{},",
+            "\"per_segment\":[{}],\"transitions\":[{}],\"epochs\":[{}]}}"
+        ),
+        index,
+        kind,
+        spec.slots,
+        t.slots(),
+        t.bytes(),
+        spec.out_words.len(),
+        t.state().name(),
+        policy,
+        json_stats(t.stats()),
+        tel.bypassed_total(),
+        tel.dropped_records(),
+        per_segment.join(","),
+        transitions.join(","),
+        epochs.join(","),
+    )
+}
+
+/// Serialises one measured run into the JSON metrics report: per-table
+/// accesses, hits, misses, collisions, evictions, guard state, the
+/// transition journal, and the retained epoch windows.
+pub fn metrics_report_json(p: &Prepared, m: &crate::runner::Measurement, adaptive: bool) -> String {
+    let tables: Vec<String> = p
+        .outcome
+        .specs
+        .iter()
+        .zip(&m.tables)
+        .enumerate()
+        .map(|(i, (spec, t))| json_table(i, spec, t))
+        .collect();
+    let mut agg = memo_runtime::TableStats::default();
+    for t in &m.tables {
+        agg.merge(t.stats());
+    }
+    format!(
+        concat!(
+            "{{\"workload\":\"{}\",\"opt\":\"{:?}\",\"adaptive\":{},",
+            "\"output_match\":{},\"speedup\":{},\"orig_cycles\":{},\"memo_cycles\":{},",
+            "\"totals\":{},\"tables\":[{}]}}"
+        ),
+        json_escape(p.name),
+        p.opt,
+        adaptive,
+        m.output_match,
+        m.speedup(),
+        m.orig_cycles,
+        m.memo_cycles,
+        json_stats(&agg),
+        tables.join(","),
+    )
 }

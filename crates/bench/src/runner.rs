@@ -1,6 +1,6 @@
 //! Shared measurement machinery: run the pipeline once per (workload,
 //! opt-level), then execute baseline and transformed programs on chosen
-//! inputs. Independent workloads run in parallel with crossbeam scopes.
+//! inputs. Independent workloads run in parallel with scoped threads.
 
 use compreuse::{PipelineConfig, ReuseOutcome};
 use memo_runtime::MemoTable;
@@ -183,17 +183,16 @@ pub fn measure_all(
 ) -> Vec<Measurement> {
     let mut results: Vec<Option<Measurement>> = Vec::new();
     results.resize_with(workloads.len(), || None);
-    crossbeam::thread::scope(|s| {
+    std::thread::scope(|s| {
         for (slot, w) in results.iter_mut().zip(workloads) {
-            s.spawn(move |_| {
+            s.spawn(move || {
                 let p = prepare(w, opt, scale);
                 let m = execute(&p, w, input, scale);
                 assert!(m.output_match, "{}: outputs diverged", w.name);
                 *slot = Some(m);
             });
         }
-    })
-    .expect("worker panicked");
+    });
     results.into_iter().map(|m| m.expect("filled")).collect()
 }
 

@@ -11,10 +11,8 @@
 //! `n` inner instances per outer instance: reuse the inner segment iff
 //! `g1 − n·g2 < 0` (formula 4).
 
-use serde::{Deserialize, Serialize};
-
 /// The three measured quantities driving the decision.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CostBenefit {
     /// Computation granularity `C` in cycles per execution.
     pub granularity: f64,

@@ -173,23 +173,48 @@ pub struct ReuseOutcome {
     /// Value-set profiles of every profiled segment (drives the paper's
     /// histogram figures).
     pub profile: ProfileData,
+    /// Per-table adaptive-guard policies: `predicted_collision_rate` is
+    /// the worst `collision_deduction` among the segments sharing the
+    /// table, at the planned size. Disabled (`enabled: false`) — the
+    /// tables feed telemetry but never change state unless instantiated
+    /// through [`ReuseOutcome::make_adaptive_tables`].
+    pub policies: Vec<memo_runtime::GuardPolicy>,
     /// Decision log.
     pub report: Report,
 }
 
 impl ReuseOutcome {
-    /// Instantiates the planned memo tables.
-    pub fn make_tables(&self) -> Vec<memo_runtime::MemoTable> {
+    fn tables_with_policies(&self, enabled: bool) -> Vec<memo_runtime::MemoTable> {
         self.specs
             .iter()
-            .map(|spec| {
-                if spec.out_words.len() > 1 {
+            .zip(&self.policies)
+            .map(|(spec, policy)| {
+                let mut table = if spec.out_words.len() > 1 {
                     memo_runtime::MemoTable::merged(spec)
                 } else {
                     memo_runtime::MemoTable::direct(spec)
-                }
+                };
+                table.set_policy(memo_runtime::GuardPolicy {
+                    enabled,
+                    ..policy.clone()
+                });
+                table
             })
             .collect()
+    }
+
+    /// Instantiates the planned memo tables. The profile-derived guard
+    /// policies are installed for telemetry but left disabled, so table
+    /// behaviour matches the paper's static scheme exactly.
+    pub fn make_tables(&self) -> Vec<memo_runtime::MemoTable> {
+        self.tables_with_policies(false)
+    }
+
+    /// Instantiates the planned memo tables with the adaptive guard
+    /// enabled: a table whose live collision rate stays above its
+    /// profile-predicted threshold is resized or bypassed at run time.
+    pub fn make_adaptive_tables(&self) -> Vec<memo_runtime::MemoTable> {
+        self.tables_with_policies(true)
     }
 }
 
@@ -465,6 +490,30 @@ pub fn run_pipeline(
     report.total_table_bytes = plan.total_bytes();
     report.decisions = decisions;
 
+    // Per-table guard policies: predict each table's collision rate as the
+    // worst collision deduction (at the planned size) among the segments
+    // assigned to it, so the run-time guard degrades a table only when it
+    // does measurably worse than the profile promised.
+    let mut policies: Vec<memo_runtime::GuardPolicy> = plan
+        .specs
+        .iter()
+        .map(|_| memo_runtime::GuardPolicy {
+            predicted_collision_rate: 0.0,
+            ..memo_runtime::GuardPolicy::default()
+        })
+        .collect();
+    for (k, &i) in chosen.iter().enumerate() {
+        let a = plan.assignments[k];
+        let predicted = profile.segs[i].collision_deduction(plan.specs[a.table].slots);
+        let p = &mut policies[a.table];
+        if predicted > p.predicted_collision_rate {
+            p.predicted_collision_rate = predicted;
+        }
+        if let Some(cap) = config.bytes_cap {
+            p.resize_bytes_cap = Some(cap);
+        }
+    }
+
     let transformed_prog = insert_memos(&checked.program, &memos);
     let transformed =
         minic::check(transformed_prog).map_err(|e| PipelineError::FrontEnd(e.to_string()))?;
@@ -474,6 +523,7 @@ pub fn run_pipeline(
         transformed,
         specs: plan.specs,
         profile,
+        policies,
         report,
     })
 }

@@ -1,0 +1,171 @@
+//! A minimal, dependency-free micro-benchmark harness exposing the subset
+//! of the `criterion` crate API this workspace's `benches/` use, so
+//! `cargo bench` works fully offline.
+//!
+//! Compared to upstream criterion there is no warm-up calibration, no
+//! outlier analysis, and no HTML report: each benchmark runs its closure
+//! `sample_size` times and prints the mean wall-clock time per iteration.
+
+#![warn(missing_docs)]
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// Re-export of [`std::hint::black_box`] under criterion's name.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Top-level benchmark driver.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 100 }
+    }
+}
+
+impl Criterion {
+    /// Sets how many timed iterations each benchmark runs.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n > 0, "sample size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Runs a single named benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(name, self.sample_size, f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+        }
+    }
+}
+
+/// A named group of benchmarks (ids print as `group/name/param`).
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Runs a named benchmark within the group.
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, name);
+        run_one(&full, self.criterion.sample_size, f);
+        self
+    }
+
+    /// Runs a parameterised benchmark; the closure receives `input`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full = format!("{}/{}", self.name, id.0);
+        run_one(&full, self.criterion.sample_size, |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (upstream finalises reports here; a no-op for us).
+    pub fn finish(self) {}
+}
+
+/// A `function_name/parameter` benchmark identifier.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// Builds an id from a function name and a displayable parameter.
+    pub fn new(function: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        let mut s = function.into();
+        let _ = write!(s, "/{parameter}");
+        BenchmarkId(s)
+    }
+}
+
+/// Passed to benchmark closures; call [`Bencher::iter`] with the code to
+/// time.
+#[derive(Debug)]
+pub struct Bencher {
+    iters: usize,
+    total_nanos: u128,
+    timed: bool,
+}
+
+impl Bencher {
+    /// Times `f` over the configured number of iterations.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(f());
+        }
+        self.total_nanos = start.elapsed().as_nanos();
+        self.timed = true;
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(name: &str, iters: usize, mut f: F) {
+    let mut b = Bencher {
+        iters,
+        total_nanos: 0,
+        timed: false,
+    };
+    f(&mut b);
+    if b.timed {
+        let per_iter = b.total_nanos / iters.max(1) as u128;
+        println!("{name}: {per_iter} ns/iter ({iters} iterations)");
+    } else {
+        println!("{name}: no timing loop executed");
+    }
+}
+
+/// Declares a benchmark group function. Supports both the positional form
+/// `criterion_group!(benches, f1, f2)` and the configured form
+/// `criterion_group! { name = benches; config = ...; targets = f1, f2 }`.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $cfg;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Declares the `main` entry point running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -8,14 +8,13 @@
 //! Fig. 2(b)) and are executed natively by the VM.
 
 use crate::span::Span;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Identifies an AST node uniquely within a checked [`Program`].
 ///
 /// Freshly synthesized nodes carry [`NodeId::DUMMY`]; running
 /// [`sema::check`](crate::sema::check) renumbers every node.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct NodeId(pub u32);
 
 impl NodeId {
@@ -30,7 +29,7 @@ impl fmt::Display for NodeId {
 }
 
 /// A MiniC type.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub enum Type {
     /// 64-bit signed integer (`int`).
     Int,
@@ -94,7 +93,7 @@ impl fmt::Display for Type {
 }
 
 /// Parameter and return types of a function (pointer) type.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct FuncSig {
     /// Parameter types in order.
     pub params: Vec<Type>,
@@ -103,7 +102,7 @@ pub struct FuncSig {
 }
 
 /// Unary operators.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum UnOp {
     /// Arithmetic negation `-e`.
     Neg,
@@ -131,7 +130,7 @@ impl UnOp {
 }
 
 /// Binary operators (also used by compound assignment).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum BinOp {
     /// `+`
     Add,
@@ -211,7 +210,7 @@ impl BinOp {
 }
 
 /// Increment/decrement operators (`++`/`--`, prefix and postfix).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum IncDec {
     /// `++e`
     PreInc,
@@ -239,7 +238,7 @@ impl IncDec {
 }
 
 /// An expression node.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Expr {
     /// Unique id assigned by sema.
     pub id: NodeId,
@@ -282,7 +281,7 @@ impl Expr {
 }
 
 /// The kinds of MiniC expressions.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum ExprKind {
     /// Integer literal.
     IntLit(i64),
@@ -315,7 +314,7 @@ pub enum ExprKind {
 }
 
 /// A statement node.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Stmt {
     /// Unique id assigned by sema.
     pub id: NodeId,
@@ -342,7 +341,7 @@ impl Stmt {
 }
 
 /// The kinds of MiniC statements.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum StmtKind {
     /// Local declaration, e.g. `int i = 0;` or `int buf[8];`.
     Decl {
@@ -411,7 +410,7 @@ pub enum StmtKind {
 }
 
 /// A `{ ... }` block of statements.
-#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct Block {
     /// The statements, in order.
     pub stmts: Vec<Stmt>,
@@ -425,7 +424,7 @@ impl Block {
 }
 
 /// Scalar element type of a memoized operand.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum ScalarKind {
     /// 64-bit integer.
     Int,
@@ -434,7 +433,7 @@ pub enum ScalarKind {
 }
 
 /// How a memo operand's value is located and how many words it spans.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum OperandShape {
     /// A scalar variable (one word).
     Scalar,
@@ -455,7 +454,7 @@ impl OperandShape {
 }
 
 /// One input or output of a profiled/memoized segment.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct MemoOperand {
     /// Variable name (local, parameter, or global) in the enclosing scope.
     pub name: String,
@@ -482,7 +481,7 @@ impl MemoOperand {
 }
 
 /// A value-set profiling probe (inserted, never parsed).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ProfileStmt {
     /// Human-readable segment name (e.g. `quan:body`).
     pub segment: String,
@@ -495,7 +494,7 @@ pub struct ProfileStmt {
 }
 
 /// A memoized segment (inserted, never parsed).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct MemoStmt {
     /// Human-readable segment name.
     pub segment: String,
@@ -515,7 +514,7 @@ pub struct MemoStmt {
 }
 
 /// A named, typed parameter or struct field.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Param {
     /// Name.
     pub name: String,
@@ -526,7 +525,7 @@ pub struct Param {
 }
 
 /// A struct type definition.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct StructDef {
     /// Struct name.
     pub name: String,
@@ -537,7 +536,7 @@ pub struct StructDef {
 }
 
 /// A global variable initializer.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum Init {
     /// Scalar initializer expression (must be a constant expression).
     Scalar(Expr),
@@ -546,7 +545,7 @@ pub enum Init {
 }
 
 /// A global variable definition.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct GlobalDef {
     /// Name.
     pub name: String,
@@ -561,7 +560,7 @@ pub struct GlobalDef {
 }
 
 /// A function definition.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct FuncDef {
     /// Function name.
     pub name: String,
@@ -586,7 +585,7 @@ impl FuncDef {
 }
 
 /// A complete MiniC translation unit.
-#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct Program {
     /// Struct definitions.
     pub structs: Vec<StructDef>,

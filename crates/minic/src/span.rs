@@ -4,7 +4,6 @@
 //! byte range into the original source text. A [`LineMap`] converts byte
 //! offsets back to 1-based line/column pairs for diagnostics.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A half-open byte range `[lo, hi)` into a source string.
@@ -17,7 +16,7 @@ use std::fmt;
 /// assert_eq!(s.len(), 4);
 /// assert!(!s.is_empty());
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub struct Span {
     /// Byte offset of the first character.
     pub lo: u32,
@@ -70,7 +69,7 @@ impl fmt::Display for Span {
 }
 
 /// A 1-based line and column position.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct LineCol {
     /// 1-based line number.
     pub line: u32,

@@ -75,9 +75,11 @@ impl DirectTable {
     ///
     /// # Panics
     ///
-    /// Panics if `key` has the wrong number of words.
+    /// In debug builds, panics if `key` has the wrong number of words
+    /// (widths are validated once at spec level; see
+    /// [`crate::TableSpec::validate`]).
     pub fn lookup(&mut self, key: &[u64], out: &mut Vec<u64>) -> bool {
-        assert_eq!(key.len(), self.key_words, "key width mismatch");
+        debug_assert_eq!(key.len(), self.key_words, "key width mismatch");
         let idx = index_of(key, self.entries.len());
         self.stats.accesses += 1;
         self.access_counts[idx] += 1;
@@ -99,15 +101,17 @@ impl DirectTable {
     ///
     /// # Panics
     ///
-    /// Panics if `key` or `outputs` have the wrong number of words.
+    /// In debug builds, panics if `key` or `outputs` have the wrong number
+    /// of words.
     pub fn record(&mut self, key: &[u64], outputs: &[u64]) {
-        assert_eq!(key.len(), self.key_words, "key width mismatch");
-        assert_eq!(outputs.len(), self.out_words, "output width mismatch");
+        debug_assert_eq!(key.len(), self.key_words, "key width mismatch");
+        debug_assert_eq!(outputs.len(), self.out_words, "output width mismatch");
         let idx = index_of(key, self.entries.len());
         self.stats.insertions += 1;
         if let Some(prev) = &self.entries[idx] {
             if *prev.key != *key {
                 self.stats.collisions += 1;
+                self.stats.evictions += 1;
             }
         }
         self.entries[idx] = Some(Entry {
@@ -129,6 +133,24 @@ impl DirectTable {
     /// Number of occupied slots.
     pub fn occupancy(&self) -> usize {
         self.entries.iter().filter(|e| e.is_some()).count()
+    }
+
+    /// Rebuilds the table with `new_slots` slots, rehashing the live
+    /// entries (entries whose new indices clash keep the later one, as a
+    /// normal collision would). Statistics are preserved; the per-slot
+    /// access histogram restarts at zero because slot identities change.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `new_slots` is zero.
+    pub fn resize(&mut self, new_slots: usize) {
+        assert!(new_slots > 0, "table must have at least one slot");
+        let old = std::mem::replace(&mut self.entries, vec![None; new_slots]);
+        for e in old.into_iter().flatten() {
+            let idx = index_of(&e.key, new_slots);
+            self.entries[idx] = Some(e);
+        }
+        self.access_counts = vec![0; new_slots];
     }
 }
 

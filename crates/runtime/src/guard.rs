@@ -1,0 +1,407 @@
+//! Adaptive degradation for memo tables.
+//!
+//! The compiler admits a segment when its *profiled* collision-deducted
+//! reuse rate clears the cost-benefit bar (paper §2.1, §3.1) — but the
+//! profile can diverge from deployment inputs. The guard closes that gap
+//! at run time: it watches each table's windowed (per-epoch) collision
+//! rate against the profile-predicted threshold and, after `k_epochs`
+//! consecutive bad windows, either **resizes** the table (when growth is
+//! still allowed and the table is earning hits) or **bypasses** it
+//! entirely. A bypassed table periodically re-enters a one-epoch
+//! **probation** probe and is re-enabled when the live collision rate has
+//! come back under the threshold.
+//!
+//! State machine (all transitions happen at epoch boundaries):
+//!
+//! ```text
+//!            k bad epochs, resize budget left
+//!   Active ────────────────────────────────▶ Active (table doubled)
+//!   Active ────────────────────────────────▶ Bypassed  (budget spent)
+//!   Bypassed ──(bypass_epochs elapsed)─────▶ Probation
+//!   Probation ──(window rate ≤ threshold)──▶ Active
+//!   Probation ──(window rate > threshold)──▶ Bypassed
+//! ```
+
+use crate::stats::TableStats;
+
+/// Lifecycle state of a guarded table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TableState {
+    /// Serving lookups and recordings normally.
+    Active,
+    /// Lookups return misses without probing; recordings are dropped.
+    Bypassed,
+    /// Serving normally for one epoch to re-measure the live rates.
+    Probation,
+}
+
+impl TableState {
+    /// Short lowercase name (used in metrics reports).
+    pub fn name(self) -> &'static str {
+        match self {
+            TableState::Active => "active",
+            TableState::Bypassed => "bypassed",
+            TableState::Probation => "probation",
+        }
+    }
+}
+
+/// Tuning knobs for the adaptive guard, derived per table by the pipeline
+/// (the predicted collision rate comes from the value profile) with
+/// conservative defaults everywhere else.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GuardPolicy {
+    /// Whether the guard may change state at all. When `false` the table
+    /// stays `Active` forever and the guard only feeds telemetry — the
+    /// default, so observation never perturbs a measurement run.
+    pub enabled: bool,
+    /// Accesses per observation window (bypassed probes count, so a
+    /// bypassed table still makes progress toward probation).
+    pub epoch_len: u64,
+    /// Collision rate the profile predicted at the planned table size
+    /// (`SegProfile::collision_deduction`); the live threshold sits
+    /// `margin` above it.
+    pub predicted_collision_rate: f64,
+    /// Slack added to the prediction before a window counts as bad.
+    pub margin: f64,
+    /// Consecutive bad windows before the guard acts.
+    pub k_epochs: u32,
+    /// Windows to stay bypassed before the next probation probe.
+    pub bypass_epochs: u32,
+    /// Times the guard may double the table instead of bypassing.
+    pub max_resizes: u32,
+    /// Byte ceiling a resize must stay under (`None` = unbounded).
+    pub resize_bytes_cap: Option<usize>,
+}
+
+impl Default for GuardPolicy {
+    fn default() -> Self {
+        GuardPolicy {
+            enabled: false,
+            epoch_len: 1024,
+            predicted_collision_rate: 0.05,
+            margin: 0.10,
+            k_epochs: 3,
+            bypass_epochs: 4,
+            max_resizes: 1,
+            resize_bytes_cap: None,
+        }
+    }
+}
+
+impl GuardPolicy {
+    /// The live collision rate above which a window counts as bad.
+    pub fn threshold(&self) -> f64 {
+        self.predicted_collision_rate + self.margin
+    }
+}
+
+/// What the table owner must do after an epoch closes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EpochVerdict {
+    /// `Some((from, to, reason))` when the state machine moved (a resize
+    /// reports `Active → Active` with reason `"resize"`).
+    pub transition: Option<(TableState, TableState, &'static str)>,
+    /// `Some(new_slots)` when the table should be rebuilt at a new size.
+    pub resize_to: Option<usize>,
+}
+
+impl EpochVerdict {
+    fn quiet() -> Self {
+        EpochVerdict {
+            transition: None,
+            resize_to: None,
+        }
+    }
+}
+
+/// Per-table adaptive controller; owned by `MemoTable`.
+#[derive(Debug, Clone)]
+pub struct AdaptiveGuard {
+    policy: GuardPolicy,
+    state: TableState,
+    consecutive_bad: u32,
+    bypassed_for: u32,
+    resizes_done: u32,
+}
+
+impl AdaptiveGuard {
+    /// A guard starting in `Active` under `policy`.
+    pub fn new(policy: GuardPolicy) -> Self {
+        AdaptiveGuard {
+            policy,
+            state: TableState::Active,
+            consecutive_bad: 0,
+            bypassed_for: 0,
+            resizes_done: 0,
+        }
+    }
+
+    /// Current state.
+    pub fn state(&self) -> TableState {
+        self.state
+    }
+
+    /// Whether lookups/recordings should skip the table right now.
+    pub fn is_bypassed(&self) -> bool {
+        self.state == TableState::Bypassed
+    }
+
+    /// The active policy.
+    pub fn policy(&self) -> &GuardPolicy {
+        &self.policy
+    }
+
+    /// Replaces the policy and resets the state machine to `Active`.
+    pub fn set_policy(&mut self, policy: GuardPolicy) {
+        *self = AdaptiveGuard::new(policy);
+    }
+
+    /// Number of resizes performed so far.
+    pub fn resizes_done(&self) -> u32 {
+        self.resizes_done
+    }
+
+    /// Closes an observation window. `window` holds the epoch's counters
+    /// (zero accesses when the table was bypassed throughout); `slots` and
+    /// `entry_bytes` describe the table's current geometry for resize
+    /// decisions.
+    pub fn on_epoch(&mut self, window: &TableStats, slots: usize, entry_bytes: usize) -> EpochVerdict {
+        if !self.policy.enabled {
+            return EpochVerdict::quiet();
+        }
+        match self.state {
+            TableState::Active => {
+                if window.accesses > 0 && window.collision_rate() > self.policy.threshold() {
+                    self.consecutive_bad += 1;
+                } else {
+                    self.consecutive_bad = 0;
+                }
+                if self.consecutive_bad < self.policy.k_epochs {
+                    return EpochVerdict::quiet();
+                }
+                self.consecutive_bad = 0;
+                let doubled = slots.saturating_mul(2);
+                let fits = self
+                    .policy
+                    .resize_bytes_cap
+                    .is_none_or(|cap| doubled.saturating_mul(entry_bytes) <= cap);
+                // Growing only pays while the table still earns hits;
+                // a table that is all collisions just gets out of the way.
+                if self.resizes_done < self.policy.max_resizes
+                    && fits
+                    && window.hit_ratio() > 0.0
+                {
+                    self.resizes_done += 1;
+                    EpochVerdict {
+                        transition: Some((TableState::Active, TableState::Active, "resize")),
+                        resize_to: Some(doubled),
+                    }
+                } else {
+                    self.state = TableState::Bypassed;
+                    self.bypassed_for = 0;
+                    EpochVerdict {
+                        transition: Some((
+                            TableState::Active,
+                            TableState::Bypassed,
+                            "collision rate over threshold",
+                        )),
+                        resize_to: None,
+                    }
+                }
+            }
+            TableState::Bypassed => {
+                self.bypassed_for += 1;
+                if self.bypassed_for < self.policy.bypass_epochs {
+                    return EpochVerdict::quiet();
+                }
+                self.state = TableState::Probation;
+                EpochVerdict {
+                    transition: Some((
+                        TableState::Bypassed,
+                        TableState::Probation,
+                        "probation probe",
+                    )),
+                    resize_to: None,
+                }
+            }
+            TableState::Probation => {
+                let healthy =
+                    window.accesses == 0 || window.collision_rate() <= self.policy.threshold();
+                if healthy {
+                    self.state = TableState::Active;
+                    self.consecutive_bad = 0;
+                    EpochVerdict {
+                        transition: Some((
+                            TableState::Probation,
+                            TableState::Active,
+                            "probation passed",
+                        )),
+                        resize_to: None,
+                    }
+                } else {
+                    self.state = TableState::Bypassed;
+                    self.bypassed_for = 0;
+                    EpochVerdict {
+                        transition: Some((
+                            TableState::Probation,
+                            TableState::Bypassed,
+                            "probation failed",
+                        )),
+                        resize_to: None,
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bad_window() -> TableStats {
+        TableStats {
+            accesses: 100,
+            hits: 0,
+            misses: 100,
+            collisions: 90,
+            evictions: 90,
+            insertions: 100,
+        }
+    }
+
+    fn good_window() -> TableStats {
+        TableStats {
+            accesses: 100,
+            hits: 80,
+            misses: 20,
+            collisions: 2,
+            evictions: 2,
+            insertions: 20,
+        }
+    }
+
+    fn adaptive(max_resizes: u32) -> AdaptiveGuard {
+        AdaptiveGuard::new(GuardPolicy {
+            enabled: true,
+            k_epochs: 2,
+            bypass_epochs: 2,
+            max_resizes,
+            ..GuardPolicy::default()
+        })
+    }
+
+    #[test]
+    fn disabled_guard_never_moves() {
+        let mut g = AdaptiveGuard::new(GuardPolicy::default());
+        for _ in 0..20 {
+            let v = g.on_epoch(&bad_window(), 16, 16);
+            assert_eq!(v, EpochVerdict::quiet());
+        }
+        assert_eq!(g.state(), TableState::Active);
+    }
+
+    #[test]
+    fn k_bad_epochs_bypass_without_resize_budget() {
+        let mut g = adaptive(0);
+        assert!(g.on_epoch(&bad_window(), 16, 16).transition.is_none());
+        let v = g.on_epoch(&bad_window(), 16, 16);
+        assert_eq!(
+            v.transition,
+            Some((TableState::Active, TableState::Bypassed, "collision rate over threshold"))
+        );
+        assert!(g.is_bypassed());
+    }
+
+    #[test]
+    fn good_epochs_reset_the_bad_streak() {
+        let mut g = adaptive(0);
+        g.on_epoch(&bad_window(), 16, 16);
+        g.on_epoch(&good_window(), 16, 16);
+        g.on_epoch(&bad_window(), 16, 16);
+        assert_eq!(g.state(), TableState::Active, "streak was broken");
+    }
+
+    #[test]
+    fn resize_budget_is_spent_before_bypass() {
+        let mut g = adaptive(1);
+        // A window that collides above threshold but still hits sometimes.
+        let mixed = TableStats {
+            accesses: 100,
+            hits: 30,
+            misses: 70,
+            collisions: 40,
+            evictions: 40,
+            insertions: 70,
+        };
+        g.on_epoch(&mixed, 16, 16);
+        let v = g.on_epoch(&mixed, 16, 16);
+        assert_eq!(v.resize_to, Some(32));
+        assert_eq!(
+            v.transition,
+            Some((TableState::Active, TableState::Active, "resize"))
+        );
+        assert_eq!(g.state(), TableState::Active);
+        // Budget is now exhausted: the next streak bypasses.
+        g.on_epoch(&mixed, 32, 16);
+        let v = g.on_epoch(&mixed, 32, 16);
+        assert!(g.is_bypassed());
+        assert!(v.resize_to.is_none());
+    }
+
+    #[test]
+    fn resize_respects_bytes_cap() {
+        let mut g = AdaptiveGuard::new(GuardPolicy {
+            enabled: true,
+            k_epochs: 1,
+            max_resizes: 4,
+            resize_bytes_cap: Some(16 * 16), // already at the cap
+            ..GuardPolicy::default()
+        });
+        let v = g.on_epoch(&bad_window(), 16, 16);
+        assert!(v.resize_to.is_none(), "doubling would exceed the cap");
+        assert!(g.is_bypassed());
+    }
+
+    #[test]
+    fn bypass_probation_reactivate_cycle() {
+        let mut g = adaptive(0);
+        g.on_epoch(&bad_window(), 16, 16);
+        g.on_epoch(&bad_window(), 16, 16);
+        assert!(g.is_bypassed());
+        // Two bypassed epochs (no real accesses) then probation.
+        let empty = TableStats::default();
+        assert!(g.on_epoch(&empty, 16, 16).transition.is_none());
+        let v = g.on_epoch(&empty, 16, 16);
+        assert_eq!(g.state(), TableState::Probation);
+        assert_eq!(
+            v.transition,
+            Some((TableState::Bypassed, TableState::Probation, "probation probe"))
+        );
+        // A healthy probe window re-enables the table.
+        let v = g.on_epoch(&good_window(), 16, 16);
+        assert_eq!(g.state(), TableState::Active);
+        assert_eq!(
+            v.transition,
+            Some((TableState::Probation, TableState::Active, "probation passed"))
+        );
+    }
+
+    #[test]
+    fn failed_probation_goes_back_to_bypass() {
+        let mut g = adaptive(0);
+        g.on_epoch(&bad_window(), 16, 16);
+        g.on_epoch(&bad_window(), 16, 16);
+        let empty = TableStats::default();
+        g.on_epoch(&empty, 16, 16);
+        g.on_epoch(&empty, 16, 16);
+        assert_eq!(g.state(), TableState::Probation);
+        let v = g.on_epoch(&bad_window(), 16, 16);
+        assert!(g.is_bypassed());
+        assert_eq!(
+            v.transition,
+            Some((TableState::Probation, TableState::Bypassed, "probation failed"))
+        );
+    }
+}

@@ -6,7 +6,21 @@
 //! > function \[Jenkins, Dr. Dobb's 1997\] on the large hash key to
 //! > generate a 32-bit hash key before the modularization."
 
-use bytes::{BufMut, BytesMut};
+/// One mixing step of Jenkins' one-at-a-time hash.
+#[inline]
+fn jenkins_mix(mut hash: u32, b: u8) -> u32 {
+    hash = hash.wrapping_add(b as u32);
+    hash = hash.wrapping_add(hash << 10);
+    hash ^ (hash >> 6)
+}
+
+/// The finalisation avalanche of Jenkins' one-at-a-time hash.
+#[inline]
+fn jenkins_final(mut hash: u32) -> u32 {
+    hash = hash.wrapping_add(hash << 3);
+    hash ^= hash >> 11;
+    hash.wrapping_add(hash << 15)
+}
 
 /// Bob Jenkins' one-at-a-time hash over a byte slice, producing the 32-bit
 /// key the paper's scheme feeds to the modularization step.
@@ -22,14 +36,9 @@ use bytes::{BufMut, BytesMut};
 pub fn jenkins_one_at_a_time(bytes: &[u8]) -> u32 {
     let mut hash: u32 = 0;
     for &b in bytes {
-        hash = hash.wrapping_add(b as u32);
-        hash = hash.wrapping_add(hash << 10);
-        hash ^= hash >> 6;
+        hash = jenkins_mix(hash, b);
     }
-    hash = hash.wrapping_add(hash << 3);
-    hash ^= hash >> 11;
-    hash = hash.wrapping_add(hash << 15);
-    hash
+    jenkins_final(hash)
 }
 
 /// Computes the table index for a concatenated key of 64-bit words.
@@ -38,20 +47,29 @@ pub fn jenkins_one_at_a_time(bytes: &[u8]) -> u32 {
 /// input) index by `key mod size` directly; longer keys are serialized and
 /// Jenkins-hashed to 32 bits first.
 ///
+/// The caller must uphold `size > 0` and `key` non-empty; both are
+/// enforced when a [`crate::TableSpec`] is validated at table
+/// construction, so the per-access check here is a `debug_assert!`.
+///
 /// # Panics
 ///
-/// Panics if `size` is zero or `key` is empty.
+/// In debug builds, panics if `size` is zero or `key` is empty.
 pub fn index_of(key: &[u64], size: usize) -> usize {
-    assert!(size > 0, "table size must be positive");
-    assert!(!key.is_empty(), "hash key must have at least one word");
+    debug_assert!(size > 0, "table size must be positive");
+    debug_assert!(!key.is_empty(), "hash key must have at least one word");
     if key.len() == 1 {
         (key[0] % size as u64) as usize
     } else {
-        let mut buf = BytesMut::with_capacity(key.len() * 8);
+        // Stream the words' little-endian bytes through the hash instead
+        // of serializing into a scratch buffer: this is the lookup hot
+        // path, and the byte order matches the former serialized form.
+        let mut hash: u32 = 0;
         for &w in key {
-            buf.put_u64_le(w);
+            for b in w.to_le_bytes() {
+                hash = jenkins_mix(hash, b);
+            }
         }
-        (jenkins_one_at_a_time(&buf) as usize) % size
+        (jenkins_final(hash) as usize) % size
     }
 }
 
@@ -103,6 +121,20 @@ mod tests {
     fn float_words_distinguish_sign_of_zero() {
         assert_ne!(word_of_float(0.0), word_of_float(-0.0));
         assert_eq!(word_of_float(1.5), word_of_float(1.5));
+    }
+
+    #[test]
+    fn streamed_multiword_hash_matches_serialized_reference() {
+        // The no-allocation streaming path must agree with Jenkins over
+        // the explicit little-endian serialization it replaced.
+        for key in [&[1u64, 2, 3][..], &[u64::MAX, 0, 0x0123_4567_89AB_CDEF]] {
+            let mut bytes = Vec::with_capacity(key.len() * 8);
+            for &w in key {
+                bytes.extend_from_slice(&w.to_le_bytes());
+            }
+            let reference = (jenkins_one_at_a_time(&bytes) as usize) % 4096;
+            assert_eq!(index_of(key, 4096), reference);
+        }
     }
 
     #[test]

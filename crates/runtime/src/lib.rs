@@ -30,21 +30,57 @@
 #![warn(missing_debug_implementations)]
 
 pub mod direct;
+pub mod guard;
 pub mod hash;
 pub mod lru;
 pub mod merged;
 pub mod stats;
+pub mod telemetry;
 
 pub use direct::DirectTable;
+pub use guard::{AdaptiveGuard, EpochVerdict, GuardPolicy, TableState};
 pub use lru::LruTable;
 pub use merged::MergedTable;
 pub use stats::TableStats;
+pub use telemetry::{EpochStats, StateTransition, Telemetry};
 
-use serde::{Deserialize, Serialize};
+/// A structurally invalid [`TableSpec`], reported once at table
+/// construction (the per-access checks are `debug_assert!`s).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SpecError {
+    /// `slots` was zero.
+    ZeroSlots,
+    /// `key_words` was zero.
+    ZeroKeyWords,
+    /// `out_words` was empty.
+    NoSegments,
+    /// More than 64 segments (the merged validity bit vector is one word).
+    TooManySegments(usize),
+    /// A single-segment table kind (direct, LRU) got a multi-segment spec.
+    MultiSegment(usize),
+}
+
+impl std::fmt::Display for SpecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SpecError::ZeroSlots => write!(f, "table must have at least one slot"),
+            SpecError::ZeroKeyWords => write!(f, "key must have at least one word"),
+            SpecError::NoSegments => write!(f, "spec needs at least one output group"),
+            SpecError::TooManySegments(n) => {
+                write!(f, "merged table supports 1..=64 segments, got {n}")
+            }
+            SpecError::MultiSegment(n) => {
+                write!(f, "table kind holds one segment, spec has {n}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SpecError {}
 
 /// Shape of a memo table: slot count, key width, and the output width of
 /// each segment sharing it (one element for unmerged tables).
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct TableSpec {
     /// Number of entries.
     pub slots: usize,
@@ -55,6 +91,27 @@ pub struct TableSpec {
 }
 
 impl TableSpec {
+    /// Checks the structural invariants every table kind relies on.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violated invariant.
+    pub fn validate(&self) -> Result<(), SpecError> {
+        if self.slots == 0 {
+            return Err(SpecError::ZeroSlots);
+        }
+        if self.key_words == 0 {
+            return Err(SpecError::ZeroKeyWords);
+        }
+        if self.out_words.is_empty() {
+            return Err(SpecError::NoSegments);
+        }
+        if self.out_words.len() > 64 {
+            return Err(SpecError::TooManySegments(self.out_words.len()));
+        }
+        Ok(())
+    }
+
     /// Recommended slot count for an expected number of distinct input
     /// patterns: the next power of two at or above `4/3 · dip`, so the
     /// table holds all profiled patterns with headroom against collisions
@@ -79,9 +136,9 @@ impl TableSpec {
     }
 }
 
-/// A uniform handle over the three table kinds.
+/// The storage backing a [`MemoTable`].
 #[derive(Debug, Clone)]
-pub enum MemoTable {
+pub enum TableKind {
     /// Direct-addressed (the paper's software scheme).
     Direct(DirectTable),
     /// Small associative LRU buffer (hardware-buffer model).
@@ -90,99 +147,305 @@ pub enum MemoTable {
     Merged(MergedTable),
 }
 
+impl TableKind {
+    fn lookup(&mut self, slot: usize, key: &[u64], out: &mut Vec<u64>) -> bool {
+        match self {
+            TableKind::Direct(t) => {
+                debug_assert_eq!(slot, 0);
+                t.lookup(key, out)
+            }
+            TableKind::Lru(t) => {
+                debug_assert_eq!(slot, 0);
+                t.lookup(key, out)
+            }
+            TableKind::Merged(t) => t.lookup(slot, key, out),
+        }
+    }
+
+    fn record(&mut self, slot: usize, key: &[u64], outputs: &[u64]) {
+        match self {
+            TableKind::Direct(t) => {
+                debug_assert_eq!(slot, 0);
+                t.record(key, outputs)
+            }
+            TableKind::Lru(t) => {
+                debug_assert_eq!(slot, 0);
+                t.record(key, outputs)
+            }
+            TableKind::Merged(t) => t.record(slot, key, outputs),
+        }
+    }
+
+    fn stats(&self) -> &TableStats {
+        match self {
+            TableKind::Direct(t) => t.stats(),
+            TableKind::Lru(t) => t.stats(),
+            TableKind::Merged(t) => t.stats(),
+        }
+    }
+
+    fn bytes(&self) -> usize {
+        match self {
+            TableKind::Direct(t) => t.bytes(),
+            TableKind::Lru(t) => t.bytes(),
+            TableKind::Merged(t) => t.bytes(),
+        }
+    }
+
+    fn slots(&self) -> usize {
+        match self {
+            TableKind::Direct(t) => t.slots(),
+            TableKind::Lru(t) => t.capacity(),
+            TableKind::Merged(t) => t.slots(),
+        }
+    }
+
+    fn entry_bytes(&self) -> usize {
+        (self.bytes() / self.slots().max(1)).max(1)
+    }
+
+    fn resize(&mut self, new_slots: usize) {
+        match self {
+            TableKind::Direct(t) => t.resize(new_slots),
+            TableKind::Lru(t) => t.set_capacity(new_slots),
+            TableKind::Merged(t) => t.resize(new_slots),
+        }
+    }
+}
+
+/// A uniform handle over the three table kinds, wrapping the storage with
+/// a [`Telemetry`] sink (always on) and an [`AdaptiveGuard`] (inert until
+/// a policy with `enabled: true` is installed via
+/// [`MemoTable::set_policy`]).
+#[derive(Debug, Clone)]
+pub struct MemoTable {
+    kind: TableKind,
+    guard: AdaptiveGuard,
+    telemetry: Telemetry,
+}
+
+/// Closed observation windows retained per table.
+const TELEMETRY_EPOCH_HISTORY: usize = 64;
+
 impl MemoTable {
+    fn with_kind(kind: TableKind, policy: GuardPolicy) -> Self {
+        let telemetry = Telemetry::new(policy.epoch_len, TELEMETRY_EPOCH_HISTORY);
+        MemoTable {
+            kind,
+            guard: AdaptiveGuard::new(policy),
+            telemetry,
+        }
+    }
+
+    /// Builds a direct-addressed table from `spec` (must have exactly one
+    /// output group).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpecError`] when the spec is structurally invalid or has
+    /// more than one output group.
+    pub fn try_direct(spec: &TableSpec) -> Result<Self, SpecError> {
+        spec.validate()?;
+        if spec.out_words.len() != 1 {
+            return Err(SpecError::MultiSegment(spec.out_words.len()));
+        }
+        Ok(Self::with_kind(
+            TableKind::Direct(DirectTable::new(spec.slots, spec.key_words, spec.out_words[0])),
+            GuardPolicy::default(),
+        ))
+    }
+
+    /// Builds an LRU buffer with `spec.slots` entries.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpecError`] when the spec is structurally invalid or has
+    /// more than one output group.
+    pub fn try_lru(spec: &TableSpec) -> Result<Self, SpecError> {
+        spec.validate()?;
+        if spec.out_words.len() != 1 {
+            return Err(SpecError::MultiSegment(spec.out_words.len()));
+        }
+        Ok(Self::with_kind(
+            TableKind::Lru(LruTable::new(spec.slots, spec.key_words, spec.out_words[0])),
+            GuardPolicy::default(),
+        ))
+    }
+
+    /// Builds a merged table from `spec`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpecError`] when the spec is structurally invalid.
+    pub fn try_merged(spec: &TableSpec) -> Result<Self, SpecError> {
+        spec.validate()?;
+        Ok(Self::with_kind(
+            TableKind::Merged(MergedTable::new(spec.slots, spec.key_words, &spec.out_words)),
+            GuardPolicy::default(),
+        ))
+    }
+
     /// Builds a direct-addressed table from `spec` (must have exactly one
     /// output group).
     ///
     /// # Panics
     ///
-    /// Panics if `spec.out_words.len() != 1`.
+    /// Panics if the spec fails [`TableSpec::validate`] or has more than
+    /// one output group; use [`MemoTable::try_direct`] for a typed error.
     pub fn direct(spec: &TableSpec) -> Self {
-        assert_eq!(spec.out_words.len(), 1, "direct tables have one segment");
-        MemoTable::Direct(DirectTable::new(
-            spec.slots,
-            spec.key_words,
-            spec.out_words[0],
-        ))
+        Self::try_direct(spec).unwrap_or_else(|e| panic!("invalid direct table spec: {e}"))
     }
 
     /// Builds an LRU buffer with `spec.slots` entries.
     ///
     /// # Panics
     ///
-    /// Panics if `spec.out_words.len() != 1`.
+    /// Panics if the spec fails [`TableSpec::validate`] or has more than
+    /// one output group; use [`MemoTable::try_lru`] for a typed error.
     pub fn lru(spec: &TableSpec) -> Self {
-        assert_eq!(spec.out_words.len(), 1, "LRU buffers have one segment");
-        MemoTable::Lru(LruTable::new(spec.slots, spec.key_words, spec.out_words[0]))
+        Self::try_lru(spec).unwrap_or_else(|e| panic!("invalid LRU table spec: {e}"))
     }
 
     /// Builds a merged table from `spec`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the spec fails [`TableSpec::validate`]; use
+    /// [`MemoTable::try_merged`] for a typed error.
     pub fn merged(spec: &TableSpec) -> Self {
-        MemoTable::Merged(MergedTable::new(
-            spec.slots,
-            spec.key_words,
-            &spec.out_words,
-        ))
+        Self::try_merged(spec).unwrap_or_else(|e| panic!("invalid merged table spec: {e}"))
     }
 
     /// Looks up `key` for segment `slot` (always 0 for unmerged tables).
     ///
-    /// On a hit, copies the recorded outputs into `out` and returns `true`.
+    /// On a hit, copies the recorded outputs into `out` and returns
+    /// `true`. While the table is [`TableState::Bypassed`] the lookup is
+    /// answered as a miss without touching the storage (the caller then
+    /// executes the segment body normally, so program results are
+    /// unaffected).
     pub fn lookup(&mut self, slot: usize, key: &[u64], out: &mut Vec<u64>) -> bool {
-        match self {
-            MemoTable::Direct(t) => {
-                debug_assert_eq!(slot, 0);
-                t.lookup(key, out)
-            }
-            MemoTable::Lru(t) => {
-                debug_assert_eq!(slot, 0);
-                t.lookup(key, out)
-            }
-            MemoTable::Merged(t) => t.lookup(slot, key, out),
+        if self.guard.is_bypassed() {
+            self.telemetry.observe_bypassed(slot);
+            self.roll_epoch_if_due();
+            return false;
         }
+        let before = *self.kind.stats();
+        let hit = self.kind.lookup(slot, key, out);
+        let delta = self.kind.stats().delta_since(&before);
+        self.telemetry.observe(slot, &delta);
+        self.roll_epoch_if_due();
+        hit
     }
 
-    /// Records `outputs` for `key` in segment `slot`.
+    /// Records `outputs` for `key` in segment `slot` (dropped while the
+    /// table is bypassed).
     pub fn record(&mut self, slot: usize, key: &[u64], outputs: &[u64]) {
-        match self {
-            MemoTable::Direct(t) => {
-                debug_assert_eq!(slot, 0);
-                t.record(key, outputs)
-            }
-            MemoTable::Lru(t) => {
-                debug_assert_eq!(slot, 0);
-                t.record(key, outputs)
-            }
-            MemoTable::Merged(t) => t.record(slot, key, outputs),
+        if self.guard.is_bypassed() {
+            self.telemetry.observe_dropped_record();
+            return;
+        }
+        let before = *self.kind.stats();
+        self.kind.record(slot, key, outputs);
+        let delta = self.kind.stats().delta_since(&before);
+        self.telemetry.observe(slot, &delta);
+    }
+
+    fn roll_epoch_if_due(&mut self) {
+        if !self.telemetry.window_full() {
+            return;
+        }
+        let verdict = self.guard.on_epoch(
+            self.telemetry.window(),
+            self.kind.slots(),
+            self.kind.entry_bytes(),
+        );
+        if let Some(new_slots) = verdict.resize_to {
+            self.kind.resize(new_slots);
+        }
+        let epoch = self.telemetry.close_window(self.guard.state());
+        if let Some((from, to, reason)) = verdict.transition {
+            self.telemetry.push_transition(epoch, from, to, reason);
         }
     }
 
     /// Aggregate statistics.
     pub fn stats(&self) -> &TableStats {
-        match self {
-            MemoTable::Direct(t) => t.stats(),
-            MemoTable::Lru(t) => t.stats(),
-            MemoTable::Merged(t) => t.stats(),
-        }
+        self.kind.stats()
     }
 
     /// Storage footprint in bytes.
     pub fn bytes(&self) -> usize {
-        match self {
-            MemoTable::Direct(t) => t.bytes(),
-            MemoTable::Lru(t) => t.bytes(),
-            MemoTable::Merged(t) => t.bytes(),
-        }
+        self.kind.bytes()
+    }
+
+    /// Current slot count (buffer capacity for the LRU kind). May change
+    /// at run time when an enabled guard resizes the table.
+    pub fn slots(&self) -> usize {
+        self.kind.slots()
     }
 
     /// Per-entry access counts, if the kind tracks them (direct and merged
     /// tables do; LRU buffers have no stable entry identity).
     pub fn access_counts(&self) -> Option<&[u64]> {
-        match self {
-            MemoTable::Direct(t) => Some(t.access_counts()),
-            MemoTable::Merged(t) => Some(t.access_counts()),
-            MemoTable::Lru(_) => None,
+        match &self.kind {
+            TableKind::Direct(t) => Some(t.access_counts()),
+            TableKind::Merged(t) => Some(t.access_counts()),
+            TableKind::Lru(_) => None,
         }
+    }
+
+    /// The storage kind.
+    pub fn kind(&self) -> &TableKind {
+        &self.kind
+    }
+
+    /// The merged storage, when this table is merged.
+    pub fn as_merged(&self) -> Option<&MergedTable> {
+        match &self.kind {
+            TableKind::Merged(t) => Some(t),
+            _ => None,
+        }
+    }
+
+    /// Current guard state.
+    pub fn state(&self) -> TableState {
+        self.guard.state()
+    }
+
+    /// The telemetry collected so far.
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
+    }
+
+    /// The active guard policy.
+    pub fn policy(&self) -> &GuardPolicy {
+        self.guard.policy()
+    }
+
+    /// Installs `policy`, resetting the guard to `Active` and restarting
+    /// telemetry windows at the policy's epoch length (whole-run counters
+    /// in [`MemoTable::stats`] are unaffected).
+    pub fn set_policy(&mut self, policy: GuardPolicy) {
+        self.telemetry = Telemetry::new(policy.epoch_len, TELEMETRY_EPOCH_HISTORY);
+        self.guard.set_policy(policy);
+    }
+}
+
+impl From<DirectTable> for MemoTable {
+    fn from(t: DirectTable) -> Self {
+        MemoTable::with_kind(TableKind::Direct(t), GuardPolicy::default())
+    }
+}
+
+impl From<LruTable> for MemoTable {
+    fn from(t: LruTable) -> Self {
+        MemoTable::with_kind(TableKind::Lru(t), GuardPolicy::default())
+    }
+}
+
+impl From<MergedTable> for MemoTable {
+    fn from(t: MergedTable) -> Self {
+        MemoTable::with_kind(TableKind::Merged(t), GuardPolicy::default())
     }
 }
 
@@ -235,5 +498,140 @@ mod tests {
             assert_eq!(out, vec![1, 2]);
             assert_eq!(t.stats().accesses, 2);
         }
+    }
+
+    #[test]
+    fn invalid_specs_yield_typed_errors() {
+        let good = TableSpec {
+            slots: 16,
+            key_words: 1,
+            out_words: vec![2],
+        };
+        assert!(good.validate().is_ok());
+
+        let zero_slots = TableSpec { slots: 0, ..good.clone() };
+        assert_eq!(zero_slots.validate(), Err(SpecError::ZeroSlots));
+        assert!(MemoTable::try_direct(&zero_slots).is_err());
+
+        let zero_key = TableSpec { key_words: 0, ..good.clone() };
+        assert_eq!(zero_key.validate(), Err(SpecError::ZeroKeyWords));
+
+        let no_segs = TableSpec { out_words: vec![], ..good.clone() };
+        assert_eq!(no_segs.validate(), Err(SpecError::NoSegments));
+
+        let too_many = TableSpec { out_words: vec![1; 65], ..good.clone() };
+        assert_eq!(too_many.validate(), Err(SpecError::TooManySegments(65)));
+
+        let multi = TableSpec { out_words: vec![1, 2], ..good };
+        assert!(multi.validate().is_ok(), "merged tables accept several segments");
+        assert_eq!(MemoTable::try_direct(&multi).err(), Some(SpecError::MultiSegment(2)));
+        assert_eq!(MemoTable::try_lru(&multi).err(), Some(SpecError::MultiSegment(2)));
+        assert!(MemoTable::try_merged(&multi).is_ok());
+    }
+
+    #[test]
+    fn telemetry_windows_accumulate_through_the_handle() {
+        let spec = TableSpec {
+            slots: 8,
+            key_words: 1,
+            out_words: vec![1],
+        };
+        let mut t = MemoTable::direct(&spec);
+        t.set_policy(GuardPolicy {
+            epoch_len: 4,
+            ..GuardPolicy::default()
+        });
+        let mut out = Vec::new();
+        for k in 0..6u64 {
+            if !t.lookup(0, &[k], &mut out) {
+                t.record(0, &[k], &[k * 10]);
+            }
+        }
+        assert_eq!(t.telemetry().epochs().len(), 1, "one window closed at 4 accesses");
+        assert_eq!(t.telemetry().epochs()[0].stats.accesses, 4);
+        assert_eq!(t.telemetry().window().accesses, 2);
+        assert_eq!(t.telemetry().per_segment().len(), 1);
+        assert_eq!(t.stats().accesses, 6, "whole-run counters unaffected by windows");
+    }
+
+    #[test]
+    fn guard_disabled_by_default_never_bypasses() {
+        let spec = TableSpec {
+            slots: 1,
+            key_words: 1,
+            out_words: vec![1],
+        };
+        let mut t = MemoTable::direct(&spec);
+        let mut out = Vec::new();
+        // Forced collisions on a 1-slot table: every record evicts.
+        for k in 0..10_000u64 {
+            assert!(!t.lookup(0, &[k], &mut out));
+            t.record(0, &[k], &[k]);
+        }
+        assert_eq!(t.state(), TableState::Active);
+        assert_eq!(t.telemetry().bypassed_total(), 0);
+    }
+
+    #[test]
+    fn enabled_guard_bypasses_and_recovers_through_the_handle() {
+        let spec = TableSpec {
+            slots: 1,
+            key_words: 1,
+            out_words: vec![1],
+        };
+        let mut t = MemoTable::direct(&spec);
+        // epoch_len must leave the one collision the probation probe incurs
+        // (its first record evicts the stale adversarial key) under the
+        // threshold: 1/16 = 0.0625 ≤ 0.05 + 0.05.
+        t.set_policy(GuardPolicy {
+            enabled: true,
+            epoch_len: 16,
+            predicted_collision_rate: 0.05,
+            margin: 0.05,
+            k_epochs: 2,
+            bypass_epochs: 2,
+            max_resizes: 0,
+            ..GuardPolicy::default()
+        });
+        let mut out = Vec::new();
+        // Adversarial all-distinct keys: collision rate ≈ 1 per window.
+        let mut k = 0u64;
+        while t.state() != TableState::Bypassed {
+            assert!(!t.lookup(0, &[k], &mut out));
+            t.record(0, &[k], &[k]);
+            k += 1;
+            assert!(k < 10_000, "guard never tripped");
+        }
+        // While bypassed, lookups are forced misses and records dropped.
+        let before = t.stats().accesses;
+        assert!(!t.lookup(0, &[1], &mut out));
+        t.record(0, &[1], &[1]);
+        assert_eq!(t.stats().accesses, before, "storage untouched while bypassed");
+        assert!(t.telemetry().dropped_records() > 0);
+        // Bypassed windows still roll, so the guard reaches probation and,
+        // fed a healthy (hit-only) stream, returns to Active.
+        let mut spins = 0u64;
+        while t.state() == TableState::Bypassed {
+            assert!(!t.lookup(0, &[2], &mut out));
+            spins += 1;
+            assert!(spins < 10_000, "never reached probation");
+        }
+        assert_eq!(t.state(), TableState::Probation);
+        t.record(0, &[2], &[2]);
+        while t.state() == TableState::Probation {
+            assert!(t.lookup(0, &[2], &mut out));
+            spins += 1;
+            assert!(spins < 20_000, "never re-activated");
+        }
+        assert_eq!(t.state(), TableState::Active);
+        let names: Vec<&str> = t
+            .telemetry()
+            .transitions()
+            .iter()
+            .map(|tr| tr.to.name())
+            .collect();
+        assert!(names.contains(&"bypassed"));
+        assert!(names.contains(&"probation"));
+        assert!(names.contains(&"active"));
     }
 }

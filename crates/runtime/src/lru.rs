@@ -65,9 +65,9 @@ impl LruTable {
     ///
     /// # Panics
     ///
-    /// Panics if `key` has the wrong number of words.
+    /// In debug builds, panics if `key` has the wrong number of words.
     pub fn lookup(&mut self, key: &[u64], out: &mut Vec<u64>) -> bool {
-        assert_eq!(key.len(), self.key_words, "key width mismatch");
+        debug_assert_eq!(key.len(), self.key_words, "key width mismatch");
         self.stats.accesses += 1;
         if let Some(pos) = self.entries.iter().position(|(k, _)| **k == *key) {
             let entry = self.entries.remove(pos);
@@ -87,16 +87,17 @@ impl LruTable {
     ///
     /// # Panics
     ///
-    /// Panics if widths mismatch.
+    /// In debug builds, panics if widths mismatch.
     pub fn record(&mut self, key: &[u64], outputs: &[u64]) {
-        assert_eq!(key.len(), self.key_words, "key width mismatch");
-        assert_eq!(outputs.len(), self.out_words, "output width mismatch");
+        debug_assert_eq!(key.len(), self.key_words, "key width mismatch");
+        debug_assert_eq!(outputs.len(), self.out_words, "output width mismatch");
         self.stats.insertions += 1;
         if let Some(pos) = self.entries.iter().position(|(k, _)| **k == *key) {
             self.entries.remove(pos);
         } else if self.entries.len() == self.capacity {
             self.entries.pop();
             self.stats.collisions += 1; // an eviction of a different key
+            self.stats.evictions += 1;
         }
         self.entries.insert(0, (key.into(), outputs.into()));
     }
@@ -104,6 +105,21 @@ impl LruTable {
     /// Access statistics so far.
     pub fn stats(&self) -> &TableStats {
         &self.stats
+    }
+
+    /// Changes the buffer capacity; shrinking drops least-recently-used
+    /// entries (counted as evictions).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `new_capacity` is zero.
+    pub fn set_capacity(&mut self, new_capacity: usize) {
+        assert!(new_capacity > 0, "capacity must be positive");
+        while self.entries.len() > new_capacity {
+            self.entries.pop();
+            self.stats.evictions += 1;
+        }
+        self.capacity = new_capacity;
     }
 }
 

@@ -109,9 +109,10 @@ impl MergedTable {
     ///
     /// # Panics
     ///
-    /// Panics on width mismatch or out-of-range slot.
+    /// In debug builds, panics on width mismatch or out-of-range slot
+    /// (out-of-range slots still panic in release via indexing).
     pub fn lookup(&mut self, slot: usize, key: &[u64], out: &mut Vec<u64>) -> bool {
-        assert_eq!(key.len(), self.key_words, "key width mismatch");
+        debug_assert_eq!(key.len(), self.key_words, "key width mismatch");
         assert!(slot < self.out_words.len(), "slot out of range");
         let idx = index_of(key, self.entries.len());
         self.stats.accesses += 1;
@@ -143,11 +144,12 @@ impl MergedTable {
     ///
     /// # Panics
     ///
-    /// Panics on width mismatch or out-of-range slot.
+    /// In debug builds, panics on width mismatch; out-of-range slots panic
+    /// in all builds.
     pub fn record(&mut self, slot: usize, key: &[u64], outputs: &[u64]) {
-        assert_eq!(key.len(), self.key_words, "key width mismatch");
+        debug_assert_eq!(key.len(), self.key_words, "key width mismatch");
         assert!(slot < self.out_words.len(), "slot out of range");
-        assert_eq!(outputs.len(), self.out_words[slot], "output width mismatch");
+        debug_assert_eq!(outputs.len(), self.out_words[slot], "output width mismatch");
         let idx = index_of(key, self.entries.len());
         self.stats.insertions += 1;
         self.slot_stats[slot].insertions += 1;
@@ -160,7 +162,9 @@ impl MergedTable {
             other => {
                 if other.is_some() {
                     self.stats.collisions += 1;
+                    self.stats.evictions += 1;
                     self.slot_stats[slot].collisions += 1;
+                    self.slot_stats[slot].evictions += 1;
                 }
                 let mut out = vec![0u64; self.total_out_words].into_boxed_slice();
                 out[lo..lo + outputs.len()].copy_from_slice(outputs);
@@ -186,6 +190,23 @@ impl MergedTable {
     /// Per-slot access counts (entry-access histograms).
     pub fn access_counts(&self) -> &[u64] {
         &self.access_counts
+    }
+
+    /// Rebuilds the table with `new_slots` slots, rehashing live entries
+    /// (clashing rehashes keep the later entry). Statistics are preserved;
+    /// the access histogram restarts because slot identities change.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `new_slots` is zero.
+    pub fn resize(&mut self, new_slots: usize) {
+        assert!(new_slots > 0, "table must have at least one slot");
+        let old = std::mem::replace(&mut self.entries, vec![None; new_slots]);
+        for e in old.into_iter().flatten() {
+            let idx = index_of(&e.key, new_slots);
+            self.entries[idx] = Some(e);
+        }
+        self.access_counts = vec![0; new_slots];
     }
 }
 

@@ -1,9 +1,7 @@
 //! Access statistics shared by all table kinds.
 
-use serde::{Deserialize, Serialize};
-
 /// Counters describing how a memo table was used during a run.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct TableStats {
     /// Total lookups.
     pub accesses: u64,
@@ -15,6 +13,10 @@ pub struct TableStats {
     /// paper's hash collisions ("the previously recorded inputs and outputs
     /// in the entry is replaced").
     pub collisions: u64,
+    /// Recordings that displaced a live entry (slot replacement in the
+    /// direct/merged tables, capacity eviction in the LRU buffer). Every
+    /// collision is an eviction; same-key refreshes are neither.
+    pub evictions: u64,
     /// Total recordings.
     pub insertions: u64,
 }
@@ -40,12 +42,29 @@ impl TableStats {
     }
 
     /// Merges counters from another table (for aggregate reporting).
+    /// Saturates instead of overflowing so pathological aggregate merges
+    /// near `u64::MAX` stay well-defined.
     pub fn merge(&mut self, other: &TableStats) {
-        self.accesses += other.accesses;
-        self.hits += other.hits;
-        self.misses += other.misses;
-        self.collisions += other.collisions;
-        self.insertions += other.insertions;
+        self.accesses = self.accesses.saturating_add(other.accesses);
+        self.hits = self.hits.saturating_add(other.hits);
+        self.misses = self.misses.saturating_add(other.misses);
+        self.collisions = self.collisions.saturating_add(other.collisions);
+        self.evictions = self.evictions.saturating_add(other.evictions);
+        self.insertions = self.insertions.saturating_add(other.insertions);
+    }
+
+    /// Counter increments since `earlier` (a snapshot of the same table's
+    /// stats). Used by the telemetry layer to attribute per-access deltas
+    /// to windows and segments regardless of table kind.
+    pub fn delta_since(&self, earlier: &TableStats) -> TableStats {
+        TableStats {
+            accesses: self.accesses.wrapping_sub(earlier.accesses),
+            hits: self.hits.wrapping_sub(earlier.hits),
+            misses: self.misses.wrapping_sub(earlier.misses),
+            collisions: self.collisions.wrapping_sub(earlier.collisions),
+            evictions: self.evictions.wrapping_sub(earlier.evictions),
+            insertions: self.insertions.wrapping_sub(earlier.insertions),
+        }
     }
 }
 
@@ -67,6 +86,7 @@ mod tests {
             hits: 6,
             misses: 4,
             collisions: 1,
+            evictions: 1,
             insertions: 4,
         };
         let b = TableStats {
@@ -74,11 +94,79 @@ mod tests {
             hits: 5,
             misses: 0,
             collisions: 0,
+            evictions: 0,
             insertions: 0,
         };
         a.merge(&b);
         assert_eq!(a.accesses, 15);
         assert_eq!(a.hits, 11);
         assert!((a.hit_ratio() - 11.0 / 15.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_saturates_near_overflow() {
+        let mut a = TableStats {
+            accesses: u64::MAX - 1,
+            hits: u64::MAX,
+            misses: 3,
+            collisions: u64::MAX - 7,
+            evictions: u64::MAX - 7,
+            insertions: 0,
+        };
+        let b = a;
+        a.merge(&b);
+        assert_eq!(a.accesses, u64::MAX);
+        assert_eq!(a.hits, u64::MAX);
+        assert_eq!(a.misses, 6);
+        assert_eq!(a.collisions, u64::MAX);
+        assert_eq!(a.evictions, u64::MAX);
+        // Ratios stay finite and in range even at the saturation point.
+        assert!(a.hit_ratio() <= 1.0 + 1e-9);
+        assert!(a.collision_rate() <= 1.0 + 1e-9);
+    }
+
+    #[test]
+    fn ratios_at_boundary_values() {
+        let all_hits = TableStats {
+            accesses: u64::MAX,
+            hits: u64::MAX,
+            ..TableStats::default()
+        };
+        assert!((all_hits.hit_ratio() - 1.0).abs() < 1e-12);
+        let one = TableStats {
+            accesses: 1,
+            misses: 1,
+            ..TableStats::default()
+        };
+        assert_eq!(one.hit_ratio(), 0.0);
+        assert_eq!(one.collision_rate(), 0.0);
+    }
+
+    #[test]
+    fn delta_since_isolates_a_window() {
+        let earlier = TableStats {
+            accesses: 100,
+            hits: 60,
+            misses: 40,
+            collisions: 5,
+            evictions: 6,
+            insertions: 40,
+        };
+        let mut later = earlier;
+        later.merge(&TableStats {
+            accesses: 10,
+            hits: 3,
+            misses: 7,
+            collisions: 2,
+            evictions: 2,
+            insertions: 7,
+        });
+        let d = later.delta_since(&earlier);
+        assert_eq!(d.accesses, 10);
+        assert_eq!(d.hits, 3);
+        assert_eq!(d.misses, 7);
+        assert_eq!(d.collisions, 2);
+        assert_eq!(d.evictions, 2);
+        assert_eq!(d.insertions, 7);
     }
 }

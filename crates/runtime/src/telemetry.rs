@@ -1,0 +1,256 @@
+//! Windowed observability for memo tables.
+//!
+//! Aggregate [`TableStats`] answer "how did the run go overall"; this
+//! module answers "how is the table doing *right now*": counters are
+//! additionally accumulated into fixed-length access windows (*epochs*),
+//! attributed per segment slot, and every adaptive-guard state change is
+//! journalled. The bench crate serialises all of it into the JSON metrics
+//! report, and the guard reads the closing window to decide whether a
+//! table should degrade.
+
+use crate::guard::TableState;
+use crate::stats::TableStats;
+
+/// Counters of one closed observation window.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EpochStats {
+    /// Zero-based window index.
+    pub epoch: u64,
+    /// Counters the underlying table accumulated during the window
+    /// (all-zero while the table was bypassed).
+    pub stats: TableStats,
+    /// Accesses answered as forced misses because the table was bypassed.
+    pub bypassed: u64,
+    /// Guard state when the window closed (after any transition).
+    pub state: TableState,
+}
+
+/// One adaptive-guard state change.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StateTransition {
+    /// Window index at which the transition happened.
+    pub epoch: u64,
+    /// State before.
+    pub from: TableState,
+    /// State after (a resize reports `Active → Active`).
+    pub to: TableState,
+    /// Human-readable cause (`"resize"`, `"probation passed"`, …).
+    pub reason: &'static str,
+}
+
+/// Per-table telemetry sink: the current window, a bounded history of
+/// closed windows, per-segment counters, and the transition journal.
+#[derive(Debug, Clone)]
+pub struct Telemetry {
+    epoch_len: u64,
+    epoch: u64,
+    window: TableStats,
+    window_bypassed: u64,
+    epochs: Vec<EpochStats>,
+    max_epochs: usize,
+    per_segment: Vec<TableStats>,
+    transitions: Vec<StateTransition>,
+    bypassed_total: u64,
+    dropped_records: u64,
+}
+
+impl Telemetry {
+    /// A sink closing windows every `epoch_len` accesses and retaining the
+    /// most recent `max_epochs` of them.
+    pub fn new(epoch_len: u64, max_epochs: usize) -> Self {
+        Telemetry {
+            epoch_len: epoch_len.max(1),
+            epoch: 0,
+            window: TableStats::default(),
+            window_bypassed: 0,
+            epochs: Vec::new(),
+            max_epochs: max_epochs.max(1),
+            per_segment: Vec::new(),
+            transitions: Vec::new(),
+            bypassed_total: 0,
+            dropped_records: 0,
+        }
+    }
+
+    /// Accesses per window.
+    pub fn epoch_len(&self) -> u64 {
+        self.epoch_len
+    }
+
+    /// Index of the window currently being filled.
+    pub fn current_epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Counters accumulated in the window so far.
+    pub fn window(&self) -> &TableStats {
+        &self.window
+    }
+
+    /// Closed windows, oldest first (bounded by `max_epochs`).
+    pub fn epochs(&self) -> &[EpochStats] {
+        &self.epochs
+    }
+
+    /// Whole-run per-segment counters (index = segment slot). Unmerged
+    /// tables have a single element.
+    pub fn per_segment(&self) -> &[TableStats] {
+        &self.per_segment
+    }
+
+    /// The guard's transition journal.
+    pub fn transitions(&self) -> &[StateTransition] {
+        &self.transitions
+    }
+
+    /// Total accesses answered while bypassed.
+    pub fn bypassed_total(&self) -> u64 {
+        self.bypassed_total
+    }
+
+    /// Total recordings dropped while bypassed.
+    pub fn dropped_records(&self) -> u64 {
+        self.dropped_records
+    }
+
+    /// Feeds the counter increments of one table operation, attributed to
+    /// segment `slot`.
+    pub fn observe(&mut self, slot: usize, delta: &TableStats) {
+        self.window.merge(delta);
+        if self.per_segment.len() <= slot {
+            self.per_segment.resize(slot + 1, TableStats::default());
+        }
+        self.per_segment[slot].merge(delta);
+    }
+
+    /// Counts a lookup answered as a forced miss because the table was
+    /// bypassed (still advances the window clock).
+    pub fn observe_bypassed(&mut self, slot: usize) {
+        self.window_bypassed += 1;
+        self.bypassed_total += 1;
+        if self.per_segment.len() <= slot {
+            self.per_segment.resize(slot + 1, TableStats::default());
+        }
+    }
+
+    /// Counts a recording dropped because the table was bypassed.
+    pub fn observe_dropped_record(&mut self) {
+        self.dropped_records += 1;
+    }
+
+    /// Whether the current window has reached `epoch_len` accesses
+    /// (real + bypassed).
+    pub fn window_full(&self) -> bool {
+        self.window.accesses + self.window_bypassed >= self.epoch_len
+    }
+
+    /// Closes the current window, stamping it with the guard state that
+    /// holds after the epoch decision, and starts the next one. Returns
+    /// the index of the closed window.
+    pub fn close_window(&mut self, state: TableState) -> u64 {
+        let closed = self.epoch;
+        self.epochs.push(EpochStats {
+            epoch: closed,
+            stats: self.window,
+            bypassed: self.window_bypassed,
+            state,
+        });
+        if self.epochs.len() > self.max_epochs {
+            let excess = self.epochs.len() - self.max_epochs;
+            self.epochs.drain(..excess);
+        }
+        self.window = TableStats::default();
+        self.window_bypassed = 0;
+        self.epoch += 1;
+        closed
+    }
+
+    /// Journals a guard transition at window `epoch`.
+    pub fn push_transition(
+        &mut self,
+        epoch: u64,
+        from: TableState,
+        to: TableState,
+        reason: &'static str,
+    ) {
+        self.transitions.push(StateTransition {
+            epoch,
+            from,
+            to,
+            reason,
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn one_hit() -> TableStats {
+        TableStats {
+            accesses: 1,
+            hits: 1,
+            ..TableStats::default()
+        }
+    }
+
+    #[test]
+    fn windows_roll_at_epoch_len() {
+        let mut t = Telemetry::new(2, 8);
+        t.observe(0, &one_hit());
+        assert!(!t.window_full());
+        t.observe(0, &one_hit());
+        assert!(t.window_full());
+        let idx = t.close_window(TableState::Active);
+        assert_eq!(idx, 0);
+        assert_eq!(t.current_epoch(), 1);
+        assert_eq!(t.epochs().len(), 1);
+        assert_eq!(t.epochs()[0].stats.hits, 2);
+        assert_eq!(t.window().accesses, 0, "window reset");
+    }
+
+    #[test]
+    fn bypassed_accesses_advance_the_clock() {
+        let mut t = Telemetry::new(3, 8);
+        t.observe(0, &one_hit());
+        t.observe_bypassed(0);
+        t.observe_bypassed(0);
+        assert!(t.window_full());
+        t.close_window(TableState::Bypassed);
+        assert_eq!(t.epochs()[0].bypassed, 2);
+        assert_eq!(t.bypassed_total(), 2);
+    }
+
+    #[test]
+    fn history_is_bounded() {
+        let mut t = Telemetry::new(1, 3);
+        for _ in 0..10 {
+            t.observe(0, &one_hit());
+            t.close_window(TableState::Active);
+        }
+        assert_eq!(t.epochs().len(), 3);
+        assert_eq!(t.epochs()[0].epoch, 7, "oldest retained window");
+        assert_eq!(t.current_epoch(), 10);
+    }
+
+    #[test]
+    fn per_segment_counters_split_by_slot() {
+        let mut t = Telemetry::new(1024, 8);
+        t.observe(0, &one_hit());
+        t.observe(2, &one_hit());
+        t.observe(2, &one_hit());
+        assert_eq!(t.per_segment().len(), 3);
+        assert_eq!(t.per_segment()[0].hits, 1);
+        assert_eq!(t.per_segment()[1].hits, 0);
+        assert_eq!(t.per_segment()[2].hits, 2);
+    }
+
+    #[test]
+    fn transitions_are_journalled_in_order() {
+        let mut t = Telemetry::new(1, 8);
+        t.push_transition(0, TableState::Active, TableState::Bypassed, "x");
+        t.push_transition(3, TableState::Bypassed, TableState::Probation, "y");
+        assert_eq!(t.transitions().len(), 2);
+        assert_eq!(t.transitions()[1].epoch, 3);
+    }
+}

@@ -1,0 +1,132 @@
+//! Property tests for the statistics invariants every table kind must
+//! uphold under arbitrary operation sequences:
+//!
+//! - `hits + misses == accesses` (every lookup is exactly one of the two);
+//! - `collisions <= evictions <= insertions` (a collision is an eviction,
+//!   an eviction is an insertion);
+//! - the counters delivered to the telemetry windows sum to the same
+//!   totals as the table's own aggregate stats.
+
+use memo_runtime::{GuardPolicy, MemoTable, TableSpec, TableStats};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Lookup(u64),
+    Record(u64, u64),
+}
+
+fn arb_ops() -> impl Strategy<Value = Vec<Op>> {
+    prop::collection::vec(
+        prop_oneof![
+            (0..40u64).prop_map(Op::Lookup),
+            (0..40u64, 0..1000u64).prop_map(|(k, v)| Op::Record(k, v)),
+        ],
+        0..300,
+    )
+}
+
+fn spec(slots: usize) -> TableSpec {
+    TableSpec {
+        slots,
+        key_words: 1,
+        out_words: vec![1],
+    }
+}
+
+fn check_invariants(stats: &TableStats) -> Result<(), TestCaseError> {
+    prop_assert_eq!(
+        stats.hits + stats.misses,
+        stats.accesses,
+        "every lookup is exactly a hit or a miss"
+    );
+    prop_assert!(stats.collisions <= stats.evictions);
+    prop_assert!(stats.evictions <= stats.insertions);
+    prop_assert!(stats.hit_ratio() >= 0.0 && stats.hit_ratio() <= 1.0);
+    // Collision rate is per *lookup*; an arbitrary sequence may record
+    // (and collide) more often than it looks up, so only non-negativity
+    // and finiteness are unconditional. The ≤ 1 bound holds under the
+    // VM's probe-then-record discipline (separate property below).
+    prop_assert!(stats.collision_rate() >= 0.0 && stats.collision_rate().is_finite());
+    Ok(())
+}
+
+fn drive(table: &mut MemoTable, ops: &[Op]) {
+    let mut out = Vec::new();
+    for op in ops {
+        match *op {
+            Op::Lookup(k) => {
+                table.lookup(0, &[k], &mut out);
+            }
+            Op::Record(k, v) => table.record(0, &[k], &[v]),
+        }
+    }
+}
+
+proptest! {
+    /// The invariants hold for all three kinds, at sizes small enough to
+    /// force collisions and large enough to avoid them.
+    #[test]
+    fn stats_invariants_hold_on_all_kinds(ops in arb_ops(), small in proptest::bool::ANY) {
+        let slots = if small { 4 } else { 64 };
+        for mut table in [
+            MemoTable::direct(&spec(slots)),
+            MemoTable::lru(&spec(slots)),
+            MemoTable::merged(&spec(slots)),
+        ] {
+            drive(&mut table, &ops);
+            check_invariants(table.stats())?;
+        }
+    }
+
+    /// Telemetry windows partition the run: closed epochs plus the open
+    /// window sum to the table's aggregate counters, on every kind.
+    #[test]
+    fn telemetry_windows_sum_to_aggregate_stats(ops in arb_ops()) {
+        for mut table in [
+            MemoTable::direct(&spec(8)),
+            MemoTable::lru(&spec(8)),
+            MemoTable::merged(&spec(8)),
+        ] {
+            table.set_policy(GuardPolicy { epoch_len: 16, ..GuardPolicy::default() });
+            drive(&mut table, &ops);
+            let mut summed = TableStats::default();
+            for e in table.telemetry().epochs() {
+                summed.merge(&e.stats);
+            }
+            summed.merge(table.telemetry().window());
+            prop_assert_eq!(&summed, table.stats());
+            // Per-segment attribution covers the same totals (slot 0 only
+            // for unmerged specs).
+            let mut per_seg = TableStats::default();
+            for s in table.telemetry().per_segment() {
+                per_seg.merge(s);
+            }
+            prop_assert_eq!(&per_seg, table.stats());
+            check_invariants(table.stats())?;
+        }
+    }
+
+    /// Under the transformed code's discipline — record only after a
+    /// missed lookup — collisions cannot outnumber accesses, so the
+    /// collision rate is a true fraction.
+    #[test]
+    fn probe_then_record_bounds_the_collision_rate(keys in prop::collection::vec(0..40u64, 0..300)) {
+        for mut table in [
+            MemoTable::direct(&spec(4)),
+            MemoTable::lru(&spec(4)),
+            MemoTable::merged(&spec(4)),
+        ] {
+            let mut out = Vec::new();
+            for &k in &keys {
+                if !table.lookup(0, &[k], &mut out) {
+                    table.record(0, &[k], &[k ^ 0xFFFF]);
+                }
+            }
+            let s = table.stats();
+            prop_assert!(s.collisions <= s.misses);
+            prop_assert!(s.collision_rate() <= 1.0);
+            check_invariants(s)?;
+        }
+    }
+}

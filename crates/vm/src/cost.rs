@@ -17,10 +17,8 @@
 //! which is why the paper's speedups shrink from Table 6 to Table 7: the
 //! baseline gets faster while the table probe does not.
 
-use serde::{Deserialize, Serialize};
-
 /// The two modelled compiler optimization levels.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum OptLevel {
     /// GCC `-O0`: stack-resident locals, full overheads.
     O0,
@@ -38,7 +36,7 @@ impl std::fmt::Display for OptLevel {
 }
 
 /// Per-operation cycle costs charged by the interpreter.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct CostModel {
     /// Which optimization level this model represents.
     pub level: OptLevel,

@@ -14,10 +14,8 @@
 //! access energy of a late-1990s SDRAM part.
 
 use crate::cost::cycles_to_seconds;
-use serde::{Deserialize, Serialize};
-
 /// Parameters of the energy model.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct EnergyModel {
     /// Supply voltage in volts (the paper fixes 5 V).
     pub voltage: f64,

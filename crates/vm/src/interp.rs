@@ -15,7 +15,7 @@ use crate::lower::{
 };
 use crate::profile::{ProfileData, SegProfile};
 use crate::value::{PrintVal, Trap, Value};
-use memo_runtime::MemoTable;
+use memo_runtime::{MemoTable, TableState};
 use minic::ast::{BinOp, UnOp};
 use minic::sema::Builtin;
 
@@ -519,6 +519,19 @@ impl<'m> Machine<'m> {
     }
 
     fn exec_memo(&mut self, m: &LMemo) -> Result<Flow, Trap> {
+        // An adaptively bypassed table is not probed: the transformed code
+        // pays only the guard-flag branch and falls through to the original
+        // body — no key build, no table traffic. The lookup call still runs
+        // (it is a forced miss) so the table's epoch clock advances toward
+        // its next probation probe.
+        if self.tables[m.table as usize].state() == TableState::Bypassed {
+            self.tick(self.cost.branch);
+            let mut out = Vec::new();
+            let hit = self.tables[m.table as usize].lookup(m.slot as usize, &[], &mut out);
+            debug_assert!(!hit, "bypassed lookups are forced misses");
+            return self.exec_block(&m.body);
+        }
+
         // Build the concatenated key (paper §2.1: bit patterns of the
         // inputs in a fixed order).
         let mut key = Vec::with_capacity(m.key_words as usize);

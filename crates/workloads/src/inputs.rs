@@ -8,8 +8,7 @@
 //! distinct input patterns and reuse rates) — which is all the reuse
 //! scheme ever observes about an input.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use crate::rng::StdRng;
 
 /// Deterministic RNG for input synthesis.
 pub fn rng(seed: u64) -> StdRng {

@@ -19,6 +19,7 @@ pub mod gnugo;
 pub mod inputs;
 pub mod mpeg2;
 pub mod rasta;
+pub mod rng;
 pub mod unepic;
 
 /// The paper's Table 3 row (factors affecting the decision).

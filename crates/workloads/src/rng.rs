@@ -1,0 +1,158 @@
+//! A small deterministic pseudo-random generator (SplitMix64) exposing the
+//! `rand`-style surface the input generators use (`gen`, `gen_range`), so
+//! the workloads build without external crates. Streams are fixed per
+//! seed: the generated inputs are part of the reproduction's test
+//! expectations and must never change between runs.
+
+use std::ops::{Range, RangeInclusive};
+
+/// Deterministic generator with `rand::rngs::StdRng`-shaped methods.
+#[derive(Debug, Clone)]
+pub struct StdRng(u64);
+
+impl StdRng {
+    /// Seeds the generator (same entry point name as `rand`'s
+    /// `SeedableRng::seed_from_u64`).
+    pub fn seed_from_u64(seed: u64) -> Self {
+        let mut r = StdRng(seed ^ 0x1CEB_00DA_5EED);
+        // Warm up so small seeds decorrelate immediately.
+        r.next_u64();
+        r
+    }
+
+    /// Next raw 64-bit value (SplitMix64).
+    fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform `f64` in `[0, 1)` (for `gen::<f64>()`), uniform `bool`
+    /// (for `gen::<bool>()`).
+    pub fn gen<T: Sample>(&mut self) -> T {
+        T::sample(self)
+    }
+
+    /// Uniform value in `range` (half-open or inclusive ranges of the
+    /// [`SampleUniform`] types).
+    pub fn gen_range<T, R: SampleRange<T>>(&mut self, range: R) -> T {
+        range.sample(self)
+    }
+}
+
+/// Types `StdRng::gen` can produce.
+pub trait Sample {
+    /// Draws one value.
+    fn sample(rng: &mut StdRng) -> Self;
+}
+
+impl Sample for f64 {
+    fn sample(rng: &mut StdRng) -> f64 {
+        // 53 high-quality mantissa bits → uniform in [0, 1).
+        (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+impl Sample for bool {
+    fn sample(rng: &mut StdRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// Element types `gen_range` can draw uniformly.
+pub trait SampleUniform: Copy {
+    /// Uniform draw from `[lo, hi)`.
+    fn sample_half_open(lo: Self, hi: Self, rng: &mut StdRng) -> Self;
+    /// Uniform draw from `[lo, hi]`.
+    fn sample_inclusive(lo: Self, hi: Self, rng: &mut StdRng) -> Self;
+}
+
+macro_rules! int_sample_uniform {
+    ($($t:ty),* $(,)?) => {$(
+        impl SampleUniform for $t {
+            fn sample_half_open(lo: $t, hi: $t, rng: &mut StdRng) -> $t {
+                let (lo, span) = (lo as i128, hi as i128 - lo as i128);
+                assert!(span > 0, "gen_range on empty range");
+                (lo + (rng.next_u64() as i128).rem_euclid(span)) as $t
+            }
+            fn sample_inclusive(lo: $t, hi: $t, rng: &mut StdRng) -> $t {
+                let (lo, span) = (lo as i128, hi as i128 - lo as i128 + 1);
+                assert!(span > 0, "gen_range on empty range");
+                (lo + (rng.next_u64() as i128).rem_euclid(span)) as $t
+            }
+        }
+    )*};
+}
+int_sample_uniform!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize);
+
+impl SampleUniform for f64 {
+    fn sample_half_open(lo: f64, hi: f64, rng: &mut StdRng) -> f64 {
+        assert!(hi > lo, "gen_range on empty range");
+        lo + f64::sample(rng) * (hi - lo)
+    }
+    fn sample_inclusive(lo: f64, hi: f64, rng: &mut StdRng) -> f64 {
+        f64::sample_half_open(lo, hi, rng)
+    }
+}
+
+/// Ranges `StdRng::gen_range` accepts. A single generic impl per range
+/// shape (rather than one per element type) so untyped integer literals
+/// in the range infer `T` from the call site, as with `rand`.
+pub trait SampleRange<T> {
+    /// Draws one value inside the range.
+    fn sample(self, rng: &mut StdRng) -> T;
+}
+
+impl<T: SampleUniform> SampleRange<T> for Range<T> {
+    fn sample(self, rng: &mut StdRng) -> T {
+        T::sample_half_open(self.start, self.end, rng)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for RangeInclusive<T> {
+    fn sample(self, rng: &mut StdRng) -> T {
+        let (lo, hi) = self.into_inner();
+        T::sample_inclusive(lo, hi, rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn streams_are_deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = StdRng::seed_from_u64(8);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut r = StdRng::seed_from_u64(42);
+        for _ in 0..1000 {
+            let v = r.gen_range(-24i64..24);
+            assert!((-24..24).contains(&v));
+            let w = r.gen_range(-3i64..=3);
+            assert!((-3..=3).contains(&w));
+            let u: f64 = r.gen();
+            assert!((0.0..1.0).contains(&u));
+            let f = r.gen_range(-220.0..220.0);
+            assert!((-220.0..220.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn f64_is_roughly_uniform() {
+        let mut r = StdRng::seed_from_u64(3);
+        let n = 10_000;
+        let mean: f64 = (0..n).map(|_| r.gen::<f64>()).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.02, "mean {mean}");
+    }
+}

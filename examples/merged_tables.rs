@@ -63,7 +63,7 @@ fn main() {
             base.seconds / memo.seconds
         );
         if *merging {
-            if let memo_runtime::MemoTable::Merged(t) = &memo.tables[0] {
+            if let Some(t) = memo.tables[0].as_merged() {
                 println!(
                     "          one table, {} segments share each key; vs separate tables: {} -> {} bytes",
                     t.segment_count(),

@@ -1,0 +1,204 @@
+//! Adaptive-degradation integration tests: a forced-collision access
+//! stream must flip a table to `Bypassed` (and back through probation)
+//! without ever changing program outputs.
+
+use compreuse::{run_pipeline, PipelineConfig};
+use memo_runtime::{GuardPolicy, MemoTable, TableSpec, TableState};
+use vm::RunConfig;
+
+/// Small epochs so the guard reacts within a test-sized run.
+fn aggressive(policy: &GuardPolicy) -> GuardPolicy {
+    GuardPolicy {
+        enabled: true,
+        epoch_len: 64,
+        margin: 0.10,
+        k_epochs: 2,
+        bypass_epochs: 2,
+        max_resizes: 0,
+        ..policy.clone()
+    }
+}
+
+#[test]
+fn forced_collisions_bypass_and_reenable_a_raw_table() {
+    let spec = TableSpec {
+        slots: 4,
+        key_words: 1,
+        out_words: vec![1],
+    };
+    let mut table = MemoTable::direct(&spec);
+    table.set_policy(aggressive(&GuardPolicy::default()));
+
+    // The table's contract, bypassed or not: a hit only ever returns what
+    // was recorded for that exact key. `f` is the pure function being
+    // memoized; every lookup that hits must agree with it.
+    let f = |k: u64| k.wrapping_mul(0x9E37) ^ 0x5EED;
+    let check = |table: &mut MemoTable, k: u64| {
+        let mut out = Vec::new();
+        if table.lookup(0, &[k], &mut out) {
+            assert_eq!(out, vec![f(k)], "hit returned another key's outputs");
+        } else {
+            table.record(0, &[k], &[f(k)]);
+        }
+    };
+
+    // Phase 1 — adversarial: all-distinct keys, every record collides.
+    let mut k = 0u64;
+    while table.state() != TableState::Bypassed {
+        check(&mut table, k);
+        k += 1;
+        assert!(k < 100_000, "guard never bypassed the table");
+    }
+    let flips: Vec<&str> = table
+        .telemetry()
+        .transitions()
+        .iter()
+        .map(|t| t.to.name())
+        .collect();
+    assert!(flips.contains(&"bypassed"));
+
+    // Phase 2 — benign: a tiny working set. The bypassed table first
+    // spins through its bypass epochs, probes in probation, and re-enables.
+    let mut spins = 0u64;
+    while table.state() != TableState::Active {
+        check(&mut table, spins % 4);
+        spins += 1;
+        assert!(spins < 100_000, "guard never re-enabled the table");
+    }
+    let names: Vec<&str> = table
+        .telemetry()
+        .transitions()
+        .iter()
+        .map(|t| t.to.name())
+        .collect();
+    assert!(names.contains(&"probation"), "transitions: {names:?}");
+    assert_eq!(*names.last().unwrap(), "active");
+
+    // Re-enabled table serves correct hits again.
+    let mut out = Vec::new();
+    table.record(0, &[7], &[f(7)]);
+    assert!(table.lookup(0, &[7], &mut out));
+    assert_eq!(out, vec![f(7)]);
+}
+
+#[test]
+fn bypassed_program_output_matches_baseline() {
+    // Profile with a repetitive input (high predicted reuse, low predicted
+    // collisions), then execute on an adversarial all-distinct input that
+    // thrashes the table. With the adaptive guard enabled the table
+    // degrades to `Bypassed` mid-run; outputs must still match the
+    // baseline exactly.
+    let src = "
+        int mix(int x) {
+            int t = x;
+            for (int i = 0; i < 40; i++) t = (t * 31 + i) % 65536;
+            return t;
+        }
+        int main() {
+            int s = 0;
+            while (!eof()) s = (s + mix(input())) & 65535;
+            print(s);
+            return 0;
+        }";
+    let profile_input: Vec<i64> = (0..4_000).map(|i| i % 5).collect();
+    let adversarial: Vec<i64> = (0..12_000).collect();
+
+    let program = minic::parse(src).expect("parse");
+    let outcome = run_pipeline(
+        &program,
+        &PipelineConfig {
+            profile_input,
+            ..PipelineConfig::default()
+        },
+    )
+    .expect("pipeline");
+    assert!(outcome.report.transformed >= 1, "mix must be memoized");
+
+    let base = vm::run(
+        &vm::lower(&outcome.baseline),
+        RunConfig {
+            input: adversarial.clone(),
+            ..RunConfig::default()
+        },
+    )
+    .expect("baseline");
+
+    let mut tables = outcome.make_adaptive_tables();
+    for t in &mut tables {
+        let p = aggressive(t.policy());
+        t.set_policy(p);
+    }
+    let memo = vm::run(
+        &vm::lower(&outcome.transformed),
+        RunConfig {
+            input: adversarial,
+            tables,
+            ..RunConfig::default()
+        },
+    )
+    .expect("memoized");
+
+    assert_eq!(
+        base.output_text(),
+        memo.output_text(),
+        "bypass must not change program results"
+    );
+    let states: Vec<&str> = memo
+        .tables
+        .iter()
+        .flat_map(|t| t.telemetry().transitions())
+        .map(|tr| tr.to.name())
+        .collect();
+    assert!(
+        states.contains(&"bypassed"),
+        "adversarial input should trip the guard; transitions: {states:?}"
+    );
+    let bypassed_lookups: u64 = memo
+        .tables
+        .iter()
+        .map(|t| t.telemetry().bypassed_total())
+        .sum();
+    assert!(bypassed_lookups > 0, "some lookups must have been bypassed");
+}
+
+#[test]
+fn disabled_guard_is_inert_on_the_same_adversarial_run() {
+    // The same thrashing run through `make_tables` (guard disabled) must
+    // never change state: observation alone cannot perturb the paper's
+    // static scheme.
+    let src = "
+        int mix(int x) {
+            int t = x;
+            for (int i = 0; i < 40; i++) t = (t * 31 + i) % 65536;
+            return t;
+        }
+        int main() {
+            int s = 0;
+            while (!eof()) s = (s + mix(input())) & 65535;
+            print(s);
+            return 0;
+        }";
+    let program = minic::parse(src).expect("parse");
+    let outcome = run_pipeline(
+        &program,
+        &PipelineConfig {
+            profile_input: (0..4_000).map(|i| i % 5).collect(),
+            ..PipelineConfig::default()
+        },
+    )
+    .expect("pipeline");
+    let memo = vm::run(
+        &vm::lower(&outcome.transformed),
+        RunConfig {
+            input: (0..12_000).collect(),
+            tables: outcome.make_tables(),
+            ..RunConfig::default()
+        },
+    )
+    .expect("memoized");
+    for t in &memo.tables {
+        assert_eq!(t.state(), TableState::Active);
+        assert!(t.telemetry().transitions().is_empty());
+        assert_eq!(t.telemetry().bypassed_total(), 0);
+    }
+}
