@@ -4,7 +4,8 @@
 //!
 //! ```text
 //! cargo run --release -p bench --bin metrics -- [workload] [--scale f]
-//!     [--opt o0|o3] [--adaptive] [--alt]
+//!     [--opt o0|o3] [--adaptive] [--alt] [--engine tree|bytecode]
+//!     [--bench-engines] [--assert-faster]
 //! ```
 //!
 //! `--alt` executes on the Table 10 alternate inputs (profiling always
@@ -12,13 +13,58 @@
 //! profile's predictions.
 //!
 //! Defaults: `G721_encode`, scale 0.25, O0, guard disabled (telemetry
-//! only).
+//! only), bytecode engine.
 //! `--adaptive` instantiates the tables through
 //! `ReuseOutcome::make_adaptive_tables`, letting the guard resize or
 //! bypass tables whose live collision rate exceeds the profile's
 //! prediction.
+//!
+//! `--bench-engines` replaces the metrics report with a host wall-clock
+//! comparison of the two execution engines: the full `run_pipeline` +
+//! measurement cycle is timed per workload under each engine (workload
+//! name `all` sweeps the seven main programs). Modelled cycles and
+//! energy are engine-independent — only host speed differs. With
+//! `--assert-faster` the process exits nonzero if the bytecode engine is
+//! not faster overall, which CI runs on `G721_encode`.
 
-use bench::runner::{execute_with_tables, prepare, InputKind};
+use bench::reports::EngineBenchRow;
+use bench::runner::{
+    execute, execute_with_tables, prepare_with, InputKind, PrepareOpts,
+};
+use workloads::Workload;
+
+/// Times one full prepare + execute cycle on `engine`, in milliseconds.
+fn time_workload(w: &Workload, opt: vm::OptLevel, scale: f64, engine: vm::Engine) -> f64 {
+    let opts = PrepareOpts {
+        engine,
+        ..PrepareOpts::default()
+    };
+    let start = std::time::Instant::now();
+    let p = prepare_with(w, opt, scale, &opts);
+    let m = execute(&p, w, InputKind::Default, scale);
+    assert!(m.output_match, "{}: outputs diverged", w.name);
+    start.elapsed().as_secs_f64() * 1e3
+}
+
+fn bench_engines(ws: &[Workload], opt: vm::OptLevel, scale: f64, assert_faster: bool) {
+    let rows: Vec<EngineBenchRow> = ws
+        .iter()
+        .map(|w| EngineBenchRow {
+            name: w.name,
+            tree_ms: time_workload(w, opt, scale, vm::Engine::Tree),
+            bytecode_ms: time_workload(w, opt, scale, vm::Engine::Bytecode),
+        })
+        .collect();
+    println!("{}", bench::reports::engine_bench_json(scale, opt, &rows));
+    if assert_faster {
+        let tree: f64 = rows.iter().map(|r| r.tree_ms).sum();
+        let bc: f64 = rows.iter().map(|r| r.bytecode_ms).sum();
+        if bc >= tree {
+            eprintln!("bytecode engine not faster: {bc:.1} ms vs tree {tree:.1} ms");
+            std::process::exit(1);
+        }
+    }
+}
 
 fn main() {
     let mut name = "G721_encode".to_string();
@@ -26,6 +72,9 @@ fn main() {
     let mut opt = vm::OptLevel::O0;
     let mut adaptive = false;
     let mut input = InputKind::Default;
+    let mut engine = vm::Engine::default();
+    let mut bench_mode = false;
+    let mut assert_faster = false;
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
     while i < argv.len() {
@@ -45,19 +94,48 @@ fn main() {
                     other => panic!("--opt needs o0 or o3, got {other:?}"),
                 };
             }
+            "--engine" => {
+                i += 1;
+                engine = match argv.get(i).map(String::as_str) {
+                    Some("tree") => vm::Engine::Tree,
+                    Some("bytecode") => vm::Engine::Bytecode,
+                    other => panic!("--engine needs tree or bytecode, got {other:?}"),
+                };
+            }
             "--adaptive" => adaptive = true,
             "--alt" => input = InputKind::Alt,
+            "--bench-engines" => bench_mode = true,
+            "--assert-faster" => assert_faster = true,
             w if !w.starts_with('-') => name = w.to_string(),
             other => panic!("unknown flag {other}"),
         }
         i += 1;
     }
 
+    if bench_mode {
+        let ws = if name == "all" {
+            workloads::main_seven()
+        } else {
+            vec![workloads::by_name(&name)
+                .unwrap_or_else(|| panic!("unknown workload {name}"))]
+        };
+        bench_engines(&ws, opt, scale, assert_faster);
+        return;
+    }
+
     let w = workloads::by_name(&name).unwrap_or_else(|| {
         let names: Vec<&str> = workloads::all_eleven().iter().map(|w| w.name).collect();
         panic!("unknown workload {name}; one of: {}", names.join(", "))
     });
-    let p = prepare(&w, opt, scale);
+    let p = prepare_with(
+        &w,
+        opt,
+        scale,
+        &PrepareOpts {
+            engine,
+            ..PrepareOpts::default()
+        },
+    );
     let tables = if adaptive {
         p.outcome.make_adaptive_tables()
     } else {

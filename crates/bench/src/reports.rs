@@ -652,6 +652,62 @@ fn json_table(index: usize, spec: &memo_runtime::TableSpec, t: &MemoTable) -> St
     )
 }
 
+// ---------------------------------------------------------------------
+// Engine wall-clock benchmark — JSON report (`metrics --bench-engines`)
+// ---------------------------------------------------------------------
+
+/// Host wall-clock timings of one workload's full prepare + execute
+/// cycle under each execution engine.
+#[derive(Debug, Clone)]
+pub struct EngineBenchRow {
+    /// Workload name.
+    pub name: &'static str,
+    /// Tree-walker wall-clock, milliseconds.
+    pub tree_ms: f64,
+    /// Bytecode-engine wall-clock, milliseconds.
+    pub bytecode_ms: f64,
+}
+
+impl EngineBenchRow {
+    /// Wall-clock speedup of the bytecode engine over the tree-walker.
+    pub fn speedup(&self) -> f64 {
+        self.tree_ms / self.bytecode_ms
+    }
+}
+
+/// Serialises the per-engine wall-clock comparison. Modelled metrics are
+/// engine-independent (asserted by the differential tests), so only host
+/// timings appear here.
+pub fn engine_bench_json(scale: f64, opt: OptLevel, rows: &[EngineBenchRow]) -> String {
+    let total_tree: f64 = rows.iter().map(|r| r.tree_ms).sum();
+    let total_bc: f64 = rows.iter().map(|r| r.bytecode_ms).sum();
+    let per: Vec<String> = rows
+        .iter()
+        .map(|r| {
+            format!(
+                "{{\"name\":\"{}\",\"tree_ms\":{:.3},\"bytecode_ms\":{:.3},\"speedup\":{:.3}}}",
+                json_escape(r.name),
+                r.tree_ms,
+                r.bytecode_ms,
+                r.speedup(),
+            )
+        })
+        .collect();
+    format!(
+        concat!(
+            "{{\"bench\":\"engines\",\"scale\":{},\"opt\":\"{:?}\",",
+            "\"total_tree_ms\":{:.3},\"total_bytecode_ms\":{:.3},\"speedup_wall\":{:.3},",
+            "\"workloads\":[{}]}}"
+        ),
+        scale,
+        opt,
+        total_tree,
+        total_bc,
+        total_tree / total_bc,
+        per.join(","),
+    )
+}
+
 /// Serialises one measured run into the JSON metrics report: per-table
 /// accesses, hits, misses, collisions, evictions, guard state, the
 /// transition journal, and the retained epoch windows.

@@ -29,6 +29,8 @@ pub struct Prepared {
     pub memo_module: vm::Module,
     /// The opt level decisions were made for.
     pub opt: OptLevel,
+    /// The execution engine used for profiling and measurement runs.
+    pub engine: vm::Engine,
 }
 
 /// Extra preparation options.
@@ -38,6 +40,9 @@ pub struct PrepareOpts {
     pub bytes_cap: Option<usize>,
     /// Disable §2.5 merging (Table 5 models per-segment hardware buffers).
     pub disable_merging: bool,
+    /// Execution engine (modelled cycles are engine-independent; this
+    /// only picks the host-speed implementation).
+    pub engine: vm::Engine,
 }
 
 /// Runs the reuse pipeline for `w` at `opt`, profiling on default inputs
@@ -64,6 +69,7 @@ pub fn prepare_with(
         profile_input: (w.default_input)(profile_scale),
         bytes_cap: opts.bytes_cap,
         enable_merging: !opts.disable_merging,
+        engine: opts.engine,
         ..PipelineConfig::default()
     };
     let outcome = compreuse::run_pipeline(&program, &config)
@@ -76,6 +82,7 @@ pub fn prepare_with(
         base_module,
         memo_module,
         opt,
+        engine: opts.engine,
     }
 }
 
@@ -147,6 +154,7 @@ pub fn execute_with_tables(
         RunConfig {
             cost: cost.clone(),
             input: data.clone(),
+            engine: p.engine,
             ..RunConfig::default()
         },
     )
@@ -157,6 +165,7 @@ pub fn execute_with_tables(
             cost,
             input: data,
             tables,
+            engine: p.engine,
             ..RunConfig::default()
         },
     )
@@ -181,12 +190,29 @@ pub fn measure_all(
     scale: f64,
     input: InputKind,
 ) -> Vec<Measurement> {
+    measure_all_with_engine(workloads, opt, scale, input, vm::Engine::default())
+}
+
+/// Like [`measure_all`] but on an explicit execution engine (modelled
+/// results are engine-independent; wall-clock is not).
+pub fn measure_all_with_engine(
+    workloads: &[Workload],
+    opt: OptLevel,
+    scale: f64,
+    input: InputKind,
+    engine: vm::Engine,
+) -> Vec<Measurement> {
+    let opts = PrepareOpts {
+        engine,
+        ..PrepareOpts::default()
+    };
     let mut results: Vec<Option<Measurement>> = Vec::new();
     results.resize_with(workloads.len(), || None);
     std::thread::scope(|s| {
         for (slot, w) in results.iter_mut().zip(workloads) {
+            let opts = &opts;
             s.spawn(move || {
-                let p = prepare(w, opt, scale);
+                let p = prepare_with(w, opt, scale, opts);
                 let m = execute(&p, w, input, scale);
                 assert!(m.output_match, "{}: outputs diverged", w.name);
                 *slot = Some(m);

@@ -1,0 +1,138 @@
+//! Engine equivalence contract: the flat bytecode engine must be
+//! observationally identical to the tree-walker — same output text, same
+//! return value, same modelled cycles/energy, same table statistics, and
+//! same profiler counts — on every workload, at both opt levels, on both
+//! input families. Host wall-clock is the only permitted difference.
+
+use bench::runner::{prepare_with, InputKind, Prepared, PrepareOpts};
+use vm::{CostModel, Engine, OptLevel, RunConfig};
+use workloads::Workload;
+
+const SCALE: f64 = 0.05;
+
+/// Deterministic fingerprint of a profiler state (hash maps are sorted
+/// so iteration order cannot leak in).
+fn profile_fingerprint(p: &vm::ProfileData) -> String {
+    let mut s = String::new();
+    for seg in &p.segs {
+        let mut distinct: Vec<(&[u64], u64)> =
+            seg.distinct.iter().map(|(k, &c)| (&**k, c)).collect();
+        distinct.sort();
+        let mut within: Vec<(u32, u64)> = seg.within.iter().map(|(&k, &c)| (k, c)).collect();
+        within.sort();
+        s.push_str(&format!(
+            "{} n={} dip={} body_cycles={} distinct={distinct:?} within={within:?}\n",
+            seg.name,
+            seg.n,
+            seg.dip(),
+            seg.body_cycles
+        ));
+    }
+    s
+}
+
+/// Deterministic fingerprint of everything a run observes.
+fn outcome_fingerprint(o: &vm::Outcome) -> String {
+    let stats: Vec<_> = o.tables.iter().map(|t| *t.stats()).collect();
+    format!(
+        "out={:?} ret={} cycles={} seconds={} energy={} table_words={} \
+         calls={:?} loops={:?} branches={:?} tables={stats:?} profile={}",
+        o.output_text(),
+        o.ret,
+        o.cycles,
+        o.seconds.to_bits(),
+        o.energy_joules.to_bits(),
+        o.table_words,
+        o.func_calls,
+        o.loop_counts,
+        o.branch_counts,
+        o.profile
+            .as_ref()
+            .map(profile_fingerprint)
+            .unwrap_or_default()
+    )
+}
+
+fn run_engine(p: &Prepared, module: &vm::Module, input: &[i64], engine: Engine) -> vm::Outcome {
+    vm::run(
+        module,
+        RunConfig {
+            cost: CostModel::for_level(p.opt),
+            input: input.to_vec(),
+            tables: p.outcome.make_tables(),
+            engine,
+            ..RunConfig::default()
+        },
+    )
+    .unwrap_or_else(|t| panic!("{} ({engine}): trapped: {t}", p.name))
+}
+
+/// Pipeline + baseline + memoized runs for one (workload, opt): both
+/// engines must agree at every observation point.
+fn check_workload(w: &Workload, opt: OptLevel) {
+    let prep = |engine| {
+        prepare_with(
+            w,
+            opt,
+            SCALE,
+            &PrepareOpts {
+                engine,
+                ..PrepareOpts::default()
+            },
+        )
+    };
+    let pt = prep(Engine::Tree);
+    let pb = prep(Engine::Bytecode);
+
+    // The profiling runs inside the pipeline must have produced the same
+    // value-set profiles, hence the same decisions and table plan.
+    assert_eq!(
+        profile_fingerprint(&pt.outcome.profile),
+        profile_fingerprint(&pb.outcome.profile),
+        "{} {opt:?}: pipeline profiles diverged across engines",
+        w.name
+    );
+    assert_eq!(
+        pt.outcome.report.transformed, pb.outcome.report.transformed,
+        "{} {opt:?}: decision counts diverged",
+        w.name
+    );
+
+    for kind in [InputKind::Default, InputKind::Alt] {
+        let input = match kind {
+            InputKind::Default => (w.default_input)(SCALE),
+            InputKind::Alt => (w.alt_input)(SCALE),
+        };
+        for (label, module) in [("base", &pb.base_module), ("memo", &pb.memo_module)] {
+            let tree = run_engine(&pb, module, &input, Engine::Tree);
+            let bc = run_engine(&pb, module, &input, Engine::Bytecode);
+            assert_eq!(
+                outcome_fingerprint(&tree),
+                outcome_fingerprint(&bc),
+                "{} {opt:?} {kind:?} {label}: engines diverged",
+                w.name
+            );
+        }
+    }
+}
+
+#[test]
+fn engines_agree_on_all_workloads_both_opt_levels() {
+    let ws = [
+        workloads::g721::encode(),
+        workloads::g721::decode(),
+        workloads::mpeg2::encode(),
+        workloads::rasta::rasta(),
+        workloads::unepic::unepic(),
+        workloads::gnugo::gnugo(),
+    ];
+    std::thread::scope(|s| {
+        for w in &ws {
+            s.spawn(move || {
+                for opt in [OptLevel::O0, OptLevel::O3] {
+                    check_workload(w, opt);
+                }
+            });
+        }
+    });
+}

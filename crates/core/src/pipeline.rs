@@ -62,6 +62,10 @@ pub struct PipelineConfig {
     pub enable_nesting: bool,
     /// Cycle budget for the profiling runs.
     pub max_profile_cycles: u64,
+    /// Execution engine for the profiling runs. Both engines charge
+    /// identical modelled cycles, so this only affects host wall-clock;
+    /// the default ([`vm::Engine::Bytecode`]) is the fast one.
+    pub engine: vm::Engine,
 }
 
 impl Default for PipelineConfig {
@@ -77,6 +81,7 @@ impl Default for PipelineConfig {
             enable_merging: true,
             enable_nesting: true,
             max_profile_cycles: u64::MAX,
+            engine: vm::Engine::default(),
         }
     }
 }
@@ -305,6 +310,7 @@ pub fn run_pipeline(
             cost: config.cost.clone(),
             input: config.profile_input.clone(),
             max_cycles: config.max_profile_cycles,
+            engine: config.engine,
             ..RunConfig::default()
         },
     )
@@ -378,6 +384,7 @@ pub fn run_pipeline(
                 cost: config.cost.clone(),
                 input: config.profile_input.clone(),
                 max_cycles: config.max_profile_cycles,
+                engine: config.engine,
                 ..RunConfig::default()
             },
         )

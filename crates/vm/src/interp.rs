@@ -19,6 +19,31 @@ use memo_runtime::{MemoTable, TableState};
 use minic::ast::{BinOp, UnOp};
 use minic::sema::Builtin;
 
+/// Which execution engine runs the module.
+///
+/// Both engines charge identical cycle/energy costs and produce
+/// bit-for-bit identical [`Outcome`]s; they differ only in host-side
+/// execution strategy (see DESIGN.md, "Two execution engines").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Engine {
+    /// The original recursive tree-walker (runs on a dedicated
+    /// big-stack thread).
+    Tree,
+    /// The flat bytecode compiler + non-recursive dispatch loop
+    /// (default: same results, much lower host wall-clock).
+    #[default]
+    Bytecode,
+}
+
+impl std::fmt::Display for Engine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Engine::Tree => write!(f, "tree"),
+            Engine::Bytecode => write!(f, "bytecode"),
+        }
+    }
+}
+
 /// Everything configurable about a run.
 #[derive(Debug)]
 pub struct RunConfig {
@@ -34,10 +59,14 @@ pub struct RunConfig {
     pub stack_cells: usize,
     /// Abort after this many cycles (runaway guard).
     pub max_cycles: u64,
-    /// Maximum call depth. The interpreter recurses on the Rust stack
-    /// (up to ~10 KiB per MiniC call in debug builds); [`run`] executes on
-    /// a dedicated thread whose stack is sized for this depth.
+    /// Maximum call depth. The tree-walker recurses on the Rust stack
+    /// (up to ~10 KiB per MiniC call in debug builds); [`run`] executes it
+    /// on a dedicated thread whose stack is sized for this depth. The
+    /// bytecode engine keeps frames on an explicit stack and ignores the
+    /// host stack entirely.
     pub max_depth: usize,
+    /// Which execution engine to use.
+    pub engine: Engine,
 }
 
 impl Default for RunConfig {
@@ -50,6 +79,7 @@ impl Default for RunConfig {
             stack_cells: 1 << 20,
             max_cycles: u64::MAX,
             max_depth: 4096,
+            engine: Engine::default(),
         }
     }
 }
@@ -109,27 +139,36 @@ impl Outcome {
 /// # Ok::<(), vm::value::Trap>(())
 /// ```
 pub fn run(module: &Module, config: RunConfig) -> Result<Outcome, Trap> {
-    // The interpreter recurses on the Rust stack (one chain of frames per
-    // MiniC call level), so execute on a thread whose stack is sized to
-    // the configured depth: ~16 KiB per level plus slack.
-    let stack_bytes = (config.max_depth * 16 * 1024 + (8 << 20)).max(16 << 20);
-    std::thread::scope(|scope| {
-        std::thread::Builder::new()
-            .name("vm-interp".into())
-            .stack_size(stack_bytes)
-            .spawn_scoped(scope, || run_on_current_thread(module, config))
-            .expect("spawn interpreter thread")
-            .join()
-            .expect("interpreter thread panicked")
-    })
+    match config.engine {
+        Engine::Bytecode => {
+            // The dispatch loop keeps MiniC frames on an explicit stack,
+            // so it runs on the caller's thread with no recursion.
+            let bc = crate::bytecode::compile(module, &config.cost);
+            crate::interp_bc::run_bc(module, &bc, config)
+        }
+        Engine::Tree => {
+            // The tree-walker recurses on the Rust stack (one chain of
+            // frames per MiniC call level), so execute on a thread whose
+            // stack is sized to the configured depth: ~16 KiB per level
+            // plus slack.
+            let stack_bytes = (config.max_depth * 16 * 1024 + (8 << 20)).max(16 << 20);
+            std::thread::scope(|scope| {
+                std::thread::Builder::new()
+                    .name("vm-interp".into())
+                    .stack_size(stack_bytes)
+                    .spawn_scoped(scope, || run_on_current_thread(module, config))
+                    .expect("spawn interpreter thread")
+                    .join()
+                    .expect("interpreter thread panicked")
+            })
+        }
+    }
 }
 
-fn run_on_current_thread(module: &Module, config: RunConfig) -> Result<Outcome, Trap> {
-    let globals_len = module.globals.len();
-    let mut mem = Vec::with_capacity(globals_len + 4096);
-    mem.extend_from_slice(&module.globals);
-
-    let profiler = if module.profile_segments.is_empty() {
+/// Builds the per-segment profiler when the module carries probes (both
+/// engines share this so segment ordering is identical).
+pub(crate) fn make_profiler(module: &Module) -> Option<ProfileData> {
+    if module.profile_segments.is_empty() {
         None
     } else {
         Some(ProfileData {
@@ -142,7 +181,15 @@ fn run_on_current_thread(module: &Module, config: RunConfig) -> Result<Outcome, 
                 })
                 .collect(),
         })
-    };
+    }
+}
+
+fn run_on_current_thread(module: &Module, config: RunConfig) -> Result<Outcome, Trap> {
+    let globals_len = module.globals.len();
+    let mut mem = Vec::with_capacity(globals_len + 4096);
+    mem.extend_from_slice(&module.globals);
+
+    let profiler = make_profiler(module);
 
     assert!(
         config.tables.len() >= module.table_count,
@@ -172,6 +219,10 @@ fn run_on_current_thread(module: &Module, config: RunConfig) -> Result<Outcome, 
         branch_counts: vec![0; module.branch_origins.len() * 2],
         profiler,
         profile_stack: Vec::new(),
+        key_arena: Vec::new(),
+        out_scratch: Vec::new(),
+        rec_scratch: Vec::new(),
+        seen_scratch: Vec::new(),
     };
 
     let ret = m.call(module.main, &[])?;
@@ -225,6 +276,16 @@ struct Machine<'m> {
     branch_counts: Vec<u64>,
     profiler: Option<ProfileData>,
     profile_stack: Vec<(u32, u64)>,
+    /// Memo/profile key words under construction. Nested segments stack
+    /// their keys; each user truncates back to its start offset, so the
+    /// buffer's capacity is reused and the hot path never allocates.
+    key_arena: Vec<u64>,
+    /// Reused lookup-output buffer (cleared per probe).
+    out_scratch: Vec<u64>,
+    /// Reused record buffer (cleared per miss).
+    rec_scratch: Vec<u64>,
+    /// Reused ancestor-dedup buffer for profile probes.
+    seen_scratch: Vec<u32>,
 }
 
 impl<'m> Machine<'m> {
@@ -481,43 +542,6 @@ impl<'m> Machine<'m> {
     // Memoization and profiling
     // ------------------------------------------------------------------
 
-    fn operand_base(&self, op: &LOperand) -> Result<usize, Trap> {
-        match op.loc {
-            OpLoc::Local(off) => Ok(self.frame + off as usize),
-            OpLoc::Global(addr) => Ok(addr as usize),
-            OpLoc::DerefLocal(off) => self.read(self.frame + off as usize)?.as_ptr(),
-            OpLoc::DerefGlobal(addr) => self.read(addr as usize)?.as_ptr(),
-        }
-    }
-
-    fn read_operand(&self, op: &LOperand, out: &mut Vec<u64>) -> Result<(), Trap> {
-        let base = self.operand_base(op)?;
-        for i in 0..op.words as usize {
-            let w = match self.read(base + i)? {
-                Value::Int(v) => v as u64,
-                Value::Float(v) => v.to_bits(),
-                Value::Ptr(a) => a as u64,
-                Value::Func(f) => f as u64,
-                Value::Uninit => return Err(Trap::UninitRead),
-            };
-            out.push(w);
-        }
-        Ok(())
-    }
-
-    fn write_operand(&mut self, op: &LOperand, words: &[u64]) -> Result<(), Trap> {
-        let base = self.operand_base(op)?;
-        for (i, &w) in words.iter().enumerate() {
-            let v = if op.is_float {
-                Value::Float(f64::from_bits(w))
-            } else {
-                Value::Int(w as i64)
-            };
-            self.write(base + i, v)?;
-        }
-        Ok(())
-    }
-
     fn exec_memo(&mut self, m: &LMemo) -> Result<Flow, Trap> {
         // An adaptively bypassed table is not probed: the transformed code
         // pays only the guard-flag branch and falls through to the original
@@ -526,17 +550,19 @@ impl<'m> Machine<'m> {
         // its next probation probe.
         if self.tables[m.table as usize].state() == TableState::Bypassed {
             self.tick(self.cost.branch);
-            let mut out = Vec::new();
-            let hit = self.tables[m.table as usize].lookup(m.slot as usize, &[], &mut out);
+            self.out_scratch.clear();
+            let hit =
+                self.tables[m.table as usize].lookup(m.slot as usize, &[], &mut self.out_scratch);
             debug_assert!(!hit, "bypassed lookups are forced misses");
             return self.exec_block(&m.body);
         }
 
         // Build the concatenated key (paper §2.1: bit patterns of the
-        // inputs in a fixed order).
-        let mut key = Vec::with_capacity(m.key_words as usize);
+        // inputs in a fixed order) on the shared arena; nested segments
+        // stack above it.
+        let ks = self.key_arena.len();
         for op in &m.inputs {
-            self.read_operand(op, &mut key)?;
+            read_operand_into(&self.mem, self.frame, op, &mut self.key_arena)?;
         }
         // A hit and a miss charge the same extra operations (§2.1).
         self.tick(
@@ -545,18 +571,23 @@ impl<'m> Machine<'m> {
         );
         self.table_words += (m.key_words + m.out_words) as u64;
 
-        let mut out = Vec::with_capacity(m.out_words as usize);
-        let hit = self.tables[m.table as usize].lookup(m.slot as usize, &key, &mut out);
+        self.out_scratch.clear();
+        let hit = self.tables[m.table as usize].lookup(
+            m.slot as usize,
+            &self.key_arena[ks..],
+            &mut self.out_scratch,
+        );
         if hit {
+            self.key_arena.truncate(ks);
             // Restore outputs; optionally return the memoized value.
             let mut pos = 0usize;
             for op in &m.outputs {
                 let n = op.words as usize;
-                self.write_operand(op, &out[pos..pos + n])?;
+                write_operand_from(&mut self.mem, self.frame, op, &self.out_scratch[pos..pos + n])?;
                 pos += n;
             }
             if let Some(is_float) = m.ret {
-                let w = out[pos];
+                let w = self.out_scratch[pos];
                 let v = if is_float {
                     Value::Float(f64::from_bits(w))
                 } else {
@@ -569,9 +600,9 @@ impl<'m> Machine<'m> {
 
         // Miss: run the body, then record outputs (and return value).
         let flow = self.exec_block(&m.body)?;
-        let mut rec = Vec::with_capacity(m.out_words as usize);
+        self.rec_scratch.clear();
         for op in &m.outputs {
-            self.read_operand(op, &mut rec)?;
+            read_operand_into(&self.mem, self.frame, op, &mut self.rec_scratch)?;
         }
         let ret_flow = match (&flow, m.ret) {
             (Flow::Return(v), Some(is_float)) => {
@@ -580,7 +611,7 @@ impl<'m> Machine<'m> {
                 } else {
                     v.as_int()? as u64
                 };
-                rec.push(w);
+                self.rec_scratch.push(w);
                 true
             }
             (Flow::Normal, None) => false,
@@ -588,15 +619,22 @@ impl<'m> Machine<'m> {
                 // The body fell through without returning: don't record a
                 // bogus return slot; skip recording entirely. The caller
                 // will trap if it uses the missing value.
+                self.key_arena.truncate(ks);
                 return Ok(Flow::Normal);
             }
             _ => {
                 // Break/Continue cannot escape a legal segment.
+                self.key_arena.truncate(ks);
                 return Ok(flow);
             }
         };
         self.table_words += m.out_words as u64;
-        self.tables[m.table as usize].record(m.slot as usize, &key, &rec);
+        self.tables[m.table as usize].record(
+            m.slot as usize,
+            &self.key_arena[ks..],
+            &self.rec_scratch,
+        );
+        self.key_arena.truncate(ks);
         if ret_flow {
             Ok(flow)
         } else {
@@ -608,24 +646,31 @@ impl<'m> Machine<'m> {
         if self.profiler.is_none() {
             return self.exec_block(&p.body);
         }
-        let mut key = Vec::new();
+        let ks = self.key_arena.len();
         for op in &p.inputs {
-            self.read_operand(op, &mut key)?;
+            read_operand_into(&self.mem, self.frame, op, &mut self.key_arena)?;
         }
         {
             let prof = self.profiler.as_mut().expect("profiler present");
             let seg = &mut prof.segs[p.seg as usize];
             seg.n += 1;
-            *seg.distinct.entry(key.into_boxed_slice()).or_insert(0) += 1;
+            let key = &self.key_arena[ks..];
+            // Box the key only on first occurrence; repeats hit get_mut.
+            if let Some(c) = seg.distinct.get_mut(key) {
+                *c += 1;
+            } else {
+                seg.distinct.insert(key.into(), 1);
+            }
             // Count this execution under each distinct active ancestor.
-            let mut seen = Vec::new();
+            self.seen_scratch.clear();
             for &(outer, _) in &self.profile_stack {
-                if outer != p.seg && !seen.contains(&outer) {
-                    seen.push(outer);
+                if outer != p.seg && !self.seen_scratch.contains(&outer) {
+                    self.seen_scratch.push(outer);
                     *seg.within.entry(outer).or_insert(0) += 1;
                 }
             }
         }
+        self.key_arena.truncate(ks);
         let entry_cycles = self.cycles;
         self.profile_stack.push((p.seg, entry_cycles));
         let flow = self.exec_block(&p.body);
@@ -837,8 +882,93 @@ impl<'m> Machine<'m> {
     }
 }
 
+// ----------------------------------------------------------------------
+// Helpers shared by both execution engines (the tree-walker above and the
+// bytecode dispatch loop in `interp_bc`). Keeping them in one place is
+// what makes the cycle/trap-parity contract auditable: an operation's
+// semantics exist exactly once.
+// ----------------------------------------------------------------------
+
+/// Checked memory read (null + bounds), shared by both engines.
+#[inline]
+pub(crate) fn mem_read(mem: &[Value], addr: usize) -> Result<Value, Trap> {
+    if addr == 0 {
+        return Err(Trap::NullDeref);
+    }
+    match mem.get(addr) {
+        Some(v) => Ok(*v),
+        None => Err(Trap::OutOfBounds(addr)),
+    }
+}
+
+/// Checked memory write (null + bounds), shared by both engines.
+#[inline]
+pub(crate) fn mem_write(mem: &mut [Value], addr: usize, v: Value) -> Result<(), Trap> {
+    if addr == 0 {
+        return Err(Trap::NullDeref);
+    }
+    match mem.get_mut(addr) {
+        Some(cell) => {
+            *cell = v;
+            Ok(())
+        }
+        None => Err(Trap::OutOfBounds(addr)),
+    }
+}
+
+/// Resolves a memo/profile operand to its base cell address.
+pub(crate) fn operand_base(mem: &[Value], frame: usize, op: &LOperand) -> Result<usize, Trap> {
+    match op.loc {
+        OpLoc::Local(off) => Ok(frame + off as usize),
+        OpLoc::Global(addr) => Ok(addr as usize),
+        OpLoc::DerefLocal(off) => mem_read(mem, frame + off as usize)?.as_ptr(),
+        OpLoc::DerefGlobal(addr) => mem_read(mem, addr as usize)?.as_ptr(),
+    }
+}
+
+/// Appends an operand's bit pattern to `out` (key/record construction).
+/// Appending to a caller-owned buffer keeps the hot path allocation-free.
+pub(crate) fn read_operand_into(
+    mem: &[Value],
+    frame: usize,
+    op: &LOperand,
+    out: &mut Vec<u64>,
+) -> Result<(), Trap> {
+    let base = operand_base(mem, frame, op)?;
+    for i in 0..op.words as usize {
+        let w = match mem_read(mem, base + i)? {
+            Value::Int(v) => v as u64,
+            Value::Float(v) => v.to_bits(),
+            Value::Ptr(a) => a as u64,
+            Value::Func(f) => f as u64,
+            Value::Uninit => return Err(Trap::UninitRead),
+        };
+        out.push(w);
+    }
+    Ok(())
+}
+
+/// Writes recorded words back into an operand's cells (memo hit restore).
+pub(crate) fn write_operand_from(
+    mem: &mut [Value],
+    frame: usize,
+    op: &LOperand,
+    words: &[u64],
+) -> Result<(), Trap> {
+    let base = operand_base(mem, frame, op)?;
+    for (i, &w) in words.iter().enumerate() {
+        let v = if op.is_float {
+            Value::Float(f64::from_bits(w))
+        } else {
+            Value::Int(w as i64)
+        };
+        mem_write(mem, base + i, v)?;
+    }
+    Ok(())
+}
+
 /// Store-side coercion.
-fn coerce_value(v: Value, c: Coerce) -> Result<Value, Trap> {
+pub(crate) fn coerce_value(v: Value, c: Coerce) -> Result<Value, Trap> {
     match c {
         Coerce::None => Ok(v),
         Coerce::ToInt => match v {
@@ -859,7 +989,8 @@ fn coerce_value(v: Value, c: Coerce) -> Result<Value, Trap> {
     }
 }
 
-fn unary_value(op: UnOp, v: Value) -> Result<Value, Trap> {
+/// Evaluates a unary operator (shared by both engines).
+pub(crate) fn unary_value(op: UnOp, v: Value) -> Result<Value, Trap> {
     match op {
         UnOp::Neg => match v {
             Value::Int(x) => Ok(Value::Int(x.wrapping_neg())),
@@ -873,7 +1004,8 @@ fn unary_value(op: UnOp, v: Value) -> Result<Value, Trap> {
     }
 }
 
-fn binary_value(op: BinOp, a: Value, b: Value) -> Result<Value, Trap> {
+/// Evaluates a binary operator (shared by both engines).
+pub(crate) fn binary_value(op: BinOp, a: Value, b: Value) -> Result<Value, Trap> {
     use BinOp::*;
     // Pointer comparisons (and null-literal comparisons).
     if matches!(a, Value::Ptr(_)) || matches!(b, Value::Ptr(_)) {

@@ -26,16 +26,18 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+mod bytecode;
 pub mod cost;
 pub mod energy;
 pub mod interp;
+mod interp_bc;
 pub mod lower;
 pub mod profile;
 pub mod value;
 
 pub use cost::{CostModel, OptLevel};
 pub use energy::EnergyModel;
-pub use interp::{run, Outcome, RunConfig};
+pub use interp::{run, Engine, Outcome, RunConfig};
 pub use lower::{lower, Module};
 pub use profile::{ProfileData, SegProfile};
 pub use value::{PrintVal, Trap, Value};

@@ -1,0 +1,164 @@
+//! Property test: the tree-walking and bytecode engines produce identical
+//! [`vm::Outcome`]s — output, return value, modelled cycles/energy, table
+//! statistics — on randomized MiniC programs, including trap parity when
+//! the program faults.
+
+use compreuse::{run_pipeline, PipelineConfig};
+use proptest::prelude::*;
+use vm::{Engine, RunConfig};
+
+/// A random arithmetic expression over `x`, `i`, and `acc`. With
+/// `div_by` set, a division by `(x - div_by)` is injected so specific
+/// inputs trap.
+fn arb_body_expr() -> impl Strategy<Value = String> {
+    let leaf = prop_oneof![
+        Just("x".to_string()),
+        Just("i".to_string()),
+        Just("acc".to_string()),
+        (1i64..100).prop_map(|v| v.to_string()),
+    ];
+    leaf.prop_recursive(3, 24, 2, |inner| {
+        (
+            inner.clone(),
+            prop_oneof![Just("+"), Just("-"), Just("*"), Just("^"), Just("&"), Just("|")],
+            inner,
+        )
+            .prop_map(|(a, op, b)| format!("({a} {op} {b})"))
+    })
+}
+
+fn program_with(body_expr: &str, iters: u8, modulus: u32, div_by: Option<i64>) -> String {
+    let step = match div_by {
+        Some(k) => format!("acc = (acc + {body_expr}) % {modulus} + x / (x - {k});"),
+        None => format!("acc = (acc + {body_expr}) % {modulus};"),
+    };
+    format!(
+        "
+        int hot(int x) {{
+            int acc = 1;
+            for (int i = 0; i < {iters}; i++) {{
+                {step}
+                acc = acc < 0 ? -acc : acc;
+            }}
+            return acc;
+        }}
+        int main() {{
+            int s = 0;
+            while (!eof()) s = (s + hot(input())) & 1048575;
+            print(s);
+            return 0;
+        }}"
+    )
+}
+
+/// Everything an [`vm::Outcome`] observes, as a deterministic string.
+fn fingerprint(o: &vm::Outcome) -> String {
+    let stats: Vec<_> = o.tables.iter().map(|t| *t.stats()).collect();
+    format!(
+        "out={:?} ret={} cycles={} energy={} words={} calls={:?} loops={:?} branches={:?} \
+         tables={stats:?}",
+        o.output_text(),
+        o.ret,
+        o.cycles,
+        o.energy_joules.to_bits(),
+        o.table_words,
+        o.func_calls,
+        o.loop_counts,
+        o.branch_counts,
+    )
+}
+
+/// Runs `module` under one engine.
+fn run_one(
+    module: &vm::Module,
+    input: &[i64],
+    tables: Vec<memo_runtime::MemoTable>,
+    engine: Engine,
+) -> Result<vm::Outcome, vm::Trap> {
+    vm::run(
+        module,
+        RunConfig {
+            input: input.to_vec(),
+            tables,
+            engine,
+            ..RunConfig::default()
+        },
+    )
+}
+
+/// Both engines on both program versions must agree bit-for-bit (or trap
+/// identically).
+fn assert_engines_agree(outcome: &compreuse::ReuseOutcome, input: &[i64]) {
+    for module in [
+        vm::lower(&outcome.baseline),
+        vm::lower(&outcome.transformed),
+    ] {
+        let tree = run_one(&module, input, outcome.make_tables(), Engine::Tree);
+        let bc = run_one(&module, input, outcome.make_tables(), Engine::Bytecode);
+        match (tree, bc) {
+            (Ok(a), Ok(b)) => assert_eq!(fingerprint(&a), fingerprint(&b)),
+            (Err(a), Err(b)) => assert_eq!(a, b, "engines trapped differently"),
+            (a, b) => panic!(
+                "engines diverged: tree={:?} bytecode={:?}",
+                a.map(|o| o.output_text()),
+                b.map(|o| o.output_text())
+            ),
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn engines_agree_on_random_programs(
+        body in arb_body_expr(),
+        iters in 4u8..24,
+        modulus in 17u32..50_000,
+        distinct in 3i64..120,
+        n in 300usize..1_500,
+    ) {
+        let src = program_with(&body, iters, modulus, None);
+        let input: Vec<i64> = (0..n).map(|i| (i as i64 * 13) % distinct).collect();
+        let program = minic::parse(&src).expect("template parses");
+        let outcome = run_pipeline(
+            &program,
+            &PipelineConfig {
+                profile_input: input.clone(),
+                min_exec: 8,
+                ..PipelineConfig::default()
+            },
+        )
+        .expect("pipeline");
+        assert_engines_agree(&outcome, &input);
+    }
+
+    #[test]
+    fn engines_trap_identically(
+        body in arb_body_expr(),
+        iters in 4u8..16,
+        modulus in 17u32..10_000,
+        distinct in 3i64..40,
+        trap_at in 0usize..400,
+    ) {
+        // hot() divides by (x - 7); profiling avoids 7, the run input
+        // injects it at a random position, so both engines must trap at
+        // exactly the same point with exactly the same trap.
+        let src = program_with(&body, iters, modulus, Some(7));
+        let profile: Vec<i64> =
+            (0..1_000).map(|i| 8 + (i as i64 * 13) % distinct).collect();
+        let program = minic::parse(&src).expect("template parses");
+        let outcome = run_pipeline(
+            &program,
+            &PipelineConfig {
+                profile_input: profile.clone(),
+                min_exec: 8,
+                ..PipelineConfig::default()
+            },
+        )
+        .expect("pipeline (profile input is trap-free)");
+        let mut run = profile;
+        run.insert(trap_at.min(run.len()), 7); // div-by-zero here
+        assert_engines_agree(&outcome, &run);
+    }
+}
