@@ -161,10 +161,7 @@ impl<'a> Estimator<'a> {
 
     fn stmt(&self, s: &minic::ast::Stmt) -> OpCounts {
         match &s.kind {
-            StmtKind::Decl { init, .. } => init
-                .as_ref()
-                .map(|e| self.expr(e))
-                .unwrap_or_default(),
+            StmtKind::Decl { init, .. } => init.as_ref().map(|e| self.expr(e)).unwrap_or_default(),
             StmtKind::Expr(e) => self.expr(e),
             StmtKind::If {
                 cond,
@@ -357,11 +354,7 @@ const DEFAULT_TRIP: f64 = 4.0;
 
 /// Trip-count estimate for `for (i = 0; i < N; i++)`-shaped loops with a
 /// constant bound: `N` when the body has no break, `N/2` with one.
-fn trip_estimate(
-    init: Option<&minic::ast::Stmt>,
-    cond: Option<&Expr>,
-    body: &Block,
-) -> f64 {
+fn trip_estimate(init: Option<&minic::ast::Stmt>, cond: Option<&Expr>, body: &Block) -> f64 {
     let bound = cond.and_then(constant_bound);
     let Some(n) = bound else {
         return DEFAULT_TRIP;

@@ -278,9 +278,7 @@ pub fn seg_io(checked: &Checked, an: &Analyses, seg: &Segment) -> Result<SegIo, 
                     elem: scalar_kind(elem),
                 });
             }
-            Type::Struct(_) => {
-                return Err(Reject::UnsupportedOperand("struct-typed input".into()))
-            }
+            Type::Struct(_) => return Err(Reject::UnsupportedOperand("struct-typed input".into())),
             Type::Func(_) => {
                 return Err(Reject::UnsupportedOperand("function-pointer input".into()))
             }
@@ -403,8 +401,7 @@ pub fn seg_io(checked: &Checked, an: &Analyses, seg: &Segment) -> Result<SegIo, 
     }
 
     let key_words = inputs.iter().map(|o| o.words()).sum();
-    let out_words =
-        outputs.iter().map(|o| o.words()).sum::<usize>() + usize::from(ret.is_some());
+    let out_words = outputs.iter().map(|o| o.words()).sum::<usize>() + usize::from(ret.is_some());
     Ok(SegIo {
         inputs,
         outputs,
@@ -543,14 +540,16 @@ fn pointer_bases_ok(
         }
         match &e.kind {
             ExprKind::Assign(l, r)
-                if resolves_to(checked, func, l, p) && !base_expr_ok(checked, an, func, r, visiting)
-                => {
-                    ok = false;
-                }
+                if resolves_to(checked, func, l, p)
+                    && !base_expr_ok(checked, an, func, r, visiting) =>
+            {
+                ok = false;
+            }
             ExprKind::AssignOp(_, l, _) | ExprKind::IncDec(_, l)
-                if resolves_to(checked, func, l, p) => {
-                    ok = false; // pointer stepping breaks the base invariant
-                }
+                if resolves_to(checked, func, l, p) =>
+            {
+                ok = false; // pointer stepping breaks the base invariant
+            }
             _ => {}
         }
     });
@@ -585,14 +584,15 @@ fn global_ptr_bases_ok(
             match &e.kind {
                 ExprKind::Assign(l, r)
                     if resolves_to(checked, fi, l, p)
-                        && !base_expr_ok(checked, an, fi, r, visiting)
-                    => {
-                        ok = false;
-                    }
+                        && !base_expr_ok(checked, an, fi, r, visiting) =>
+                {
+                    ok = false;
+                }
                 ExprKind::AssignOp(_, l, _) | ExprKind::IncDec(_, l)
-                    if resolves_to(checked, fi, l, p) => {
-                        ok = false;
-                    }
+                    if resolves_to(checked, fi, l, p) =>
+                {
+                    ok = false;
+                }
                 _ => {}
             }
         });
@@ -604,8 +604,7 @@ fn global_ptr_bases_ok(
 }
 
 fn resolves_to(checked: &Checked, func: usize, e: &Expr, v: VarId) -> bool {
-    matches!(&e.kind, ExprKind::Var(_))
-        && VarId::of_expr(&checked.info, func, e) == Some(v)
+    matches!(&e.kind, ExprKind::Var(_)) && VarId::of_expr(&checked.info, func, e) == Some(v)
 }
 
 /// Whether a pointer-producing expression denotes an array base.
@@ -630,10 +629,7 @@ fn base_expr_ok(
         ExprKind::Unary(UnOp::Addr, lv) => match &lv.kind {
             ExprKind::Index(base, idx) => {
                 matches!(idx.as_int_lit(), Some(0))
-                    && matches!(
-                        checked.info.expr_types.get(&base.id),
-                        Some(Type::Array(..))
-                    )
+                    && matches!(checked.info.expr_types.get(&base.id), Some(Type::Array(..)))
             }
             _ => false,
         },
@@ -757,10 +753,7 @@ fn scan_expr(
         ExprKind::Var(_) => {
             if let Some(v) = VarId::of_expr(&checked.info, func, e) {
                 res.named_vars.insert(v);
-                let is_ptr = matches!(
-                    checked.info.expr_types.get(&e.id),
-                    Some(Type::Ptr(_))
-                );
+                let is_ptr = matches!(checked.info.expr_types.get(&e.id), Some(Type::Ptr(_)));
                 if is_ptr && !as_deref_base {
                     res.ptr_value_uses.insert(v);
                 }
@@ -862,10 +855,7 @@ fn scan_write(
         }
         ExprKind::Index(base, idx) => {
             scan_expr(checked, func, idx, false, res, bad);
-            let is_array = matches!(
-                checked.info.expr_types.get(&base.id),
-                Some(Type::Array(..))
-            );
+            let is_array = matches!(checked.info.expr_types.get(&base.id), Some(Type::Array(..)));
             if is_array {
                 scan_write(checked, func, base, res, bad);
             } else {
@@ -909,10 +899,7 @@ fn record_ptr_write(
             scan_expr(checked, func, idx, false, res, bad);
             match &pp.kind {
                 ExprKind::Var(_)
-                    if matches!(
-                        checked.info.expr_types.get(&pp.id),
-                        Some(Type::Array(..))
-                    ) =>
+                    if matches!(checked.info.expr_types.get(&pp.id), Some(Type::Array(..))) =>
                 {
                     // Array decay: a named array write.
                     if let Some(v) = VarId::of_expr(&checked.info, func, pp) {

@@ -120,8 +120,7 @@ impl<'a> Collector<'a> {
             StmtKind::Decl { init, .. } => {
                 if let Some(e) = init {
                     self.read(e);
-                    if let Some(&slot) =
-                        self.checked.info.frames[self.func].decl_offsets.get(&s.id)
+                    if let Some(&slot) = self.checked.info.frames[self.func].decl_offsets.get(&s.id)
                     {
                         self.modifies.insert(VarId::Local {
                             func: self.func,
@@ -410,9 +409,7 @@ impl<'a> Collector<'a> {
                     self.refs.insert(v);
                 }
             }
-            ExprKind::Unary(UnOp::Deref, p) | ExprKind::Arrow(p, _) => {
-                self.deref_targets(p, false)
-            }
+            ExprKind::Unary(UnOp::Deref, p) | ExprKind::Arrow(p, _) => self.deref_targets(p, false),
             ExprKind::Index(base, _) => self.read_base_element(base),
             ExprKind::Member(base, _) => self.read(base),
             _ => {}
@@ -472,7 +469,10 @@ mod tests {
         let set = checked.info.func_index["set"];
         let main = checked.info.func_index["main"];
         assert!(
-            mr.modifies[set].contains(&VarId::Local { func: main, slot: 0 }),
+            mr.modifies[set].contains(&VarId::Local {
+                func: main,
+                slot: 0
+            }),
             "callee writes the caller's local through the pointer: {:?}",
             mr.modifies[set]
         );

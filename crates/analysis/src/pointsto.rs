@@ -437,10 +437,7 @@ impl<'a> Analyzer<'a> {
             for ((param, &slot), arg) in f.params.iter().zip(&frame.param_offsets).zip(args) {
                 if matches!(param.ty, Type::Ptr(_) | Type::Func(_)) {
                     if let Some(ac) = self.ptr_class(arg) {
-                        let formal = self.p.node_of(VarId::Local {
-                            func: target,
-                            slot,
-                        });
+                        let formal = self.p.node_of(VarId::Local { func: target, slot });
                         let fp = self.p.pts_class(formal);
                         let ap = self.p.pts_class(ac);
                         self.p.unify(fp, ap);
@@ -475,7 +472,13 @@ mod tests {
             1, // p is the second slot
         );
         let main = checked.info.func_index["main"];
-        assert_eq!(pts, vec![VarId::Local { func: main, slot: 0 }]);
+        assert_eq!(
+            pts,
+            vec![VarId::Local {
+                func: main,
+                slot: 0
+            }]
+        );
     }
 
     #[test]
@@ -515,7 +518,13 @@ mod tests {
         let set = checked.info.func_index["set"];
         let main = checked.info.func_index["main"];
         let pointees = p.pointees(VarId::Local { func: set, slot: 0 });
-        assert_eq!(pointees, vec![VarId::Local { func: main, slot: 0 }]);
+        assert_eq!(
+            pointees,
+            vec![VarId::Local {
+                func: main,
+                slot: 0
+            }]
+        );
     }
 
     #[test]
@@ -536,7 +545,10 @@ mod tests {
         let cg = CallGraph::build(&checked);
         let p = PointsTo::build(&checked, &cg);
         let quan = checked.info.func_index["quan"];
-        let pointees = p.pointees(VarId::Local { func: quan, slot: 1 });
+        let pointees = p.pointees(VarId::Local {
+            func: quan,
+            slot: 1,
+        });
         assert_eq!(pointees, vec![VarId::Global(0)]);
     }
 
@@ -548,8 +560,14 @@ mod tests {
         let cg = CallGraph::build(&checked);
         let pts = PointsTo::build(&checked, &cg);
         let main = checked.info.func_index["main"];
-        let p = VarId::Local { func: main, slot: 0 };
-        let q = VarId::Local { func: main, slot: 1 };
+        let p = VarId::Local {
+            func: main,
+            slot: 0,
+        };
+        let q = VarId::Local {
+            func: main,
+            slot: 1,
+        };
         assert!(!pts.may_alias(p, q));
         assert!(pts.may_alias(p, VarId::Global(0)));
         assert!(!pts.may_alias(p, VarId::Global(1)));

@@ -51,15 +51,11 @@ impl Segment {
         let f = &program.funcs[self.func];
         match self.kind {
             SegKind::FuncBody => &f.body,
-            SegKind::LoopBody(id) => {
-                find_block(&f.body, id, true).expect("loop body present")
-            }
+            SegKind::LoopBody(id) => find_block(&f.body, id, true).expect("loop body present"),
             SegKind::IfBranch(id, then) => {
                 find_branch(&f.body, id, then).expect("if branch present")
             }
-            SegKind::BareBlock(id) => {
-                find_bare_block(&f.body, id).expect("bare block present")
-            }
+            SegKind::BareBlock(id) => find_bare_block(&f.body, id).expect("bare block present"),
         }
     }
 
@@ -102,7 +98,11 @@ fn find_branch<'p>(block: &'p Block, id: NodeId, then: bool) -> Option<&'p Block
                 then_blk, else_blk, ..
             } = &s.kind
             {
-                found = if then { Some(then_blk) } else { else_blk.as_ref() };
+                found = if then {
+                    Some(then_blk)
+                } else {
+                    else_blk.as_ref()
+                };
             }
         }
     });
@@ -135,9 +135,7 @@ fn visit_blocks<'p>(block: &'p Block, f: &mut impl FnMut(&'p Stmt)) {
                     visit_blocks(b, f);
                 }
             }
-            StmtKind::While { body, .. } | StmtKind::DoWhile { body, .. } => {
-                visit_blocks(body, f)
-            }
+            StmtKind::While { body, .. } | StmtKind::DoWhile { body, .. } => visit_blocks(body, f),
             StmtKind::For { init, body, .. } => {
                 if let Some(init) = init {
                     f(init);
@@ -194,15 +192,14 @@ pub fn enumerate(checked: &Checked) -> Vec<Segment> {
                     });
                 }
             }
-            StmtKind::Block(b)
-                if !b.stmts.is_empty() => {
-                    segs.push(Segment {
-                        id: 0,
-                        func: fi,
-                        kind: SegKind::BareBlock(s.id),
-                        name: format!("{}:block#{}", f.name, s.id.0),
-                    });
-                }
+            StmtKind::Block(b) if !b.stmts.is_empty() => {
+                segs.push(Segment {
+                    id: 0,
+                    func: fi,
+                    kind: SegKind::BareBlock(s.id),
+                    name: format!("{}:block#{}", f.name, s.id.0),
+                });
+            }
             _ => {}
         });
     }
@@ -301,7 +298,17 @@ pub fn check_structure(
                 }
                 StmtKind::While { cond, body } | StmtKind::DoWhile { body, cond } => {
                     scan_expr(checked, cg, io, cond, has_io);
-                    walk(checked, cg, io, body, depth + 1, is_func_body, has_io, instrumented, escaping);
+                    walk(
+                        checked,
+                        cg,
+                        io,
+                        body,
+                        depth + 1,
+                        is_func_body,
+                        has_io,
+                        instrumented,
+                        escaping,
+                    );
                 }
                 StmtKind::For {
                     init,
@@ -310,8 +317,7 @@ pub fn check_structure(
                     body,
                 } => {
                     if let Some(init) = init {
-                        if let StmtKind::Decl { init: Some(e), .. } | StmtKind::Expr(e) =
-                            &init.kind
+                        if let StmtKind::Decl { init: Some(e), .. } | StmtKind::Expr(e) = &init.kind
                         {
                             scan_expr(checked, cg, io, e, has_io);
                         }
@@ -322,7 +328,17 @@ pub fn check_structure(
                     if let Some(e) = step {
                         scan_expr(checked, cg, io, e, has_io);
                     }
-                    walk(checked, cg, io, body, depth + 1, is_func_body, has_io, instrumented, escaping);
+                    walk(
+                        checked,
+                        cg,
+                        io,
+                        body,
+                        depth + 1,
+                        is_func_body,
+                        has_io,
+                        instrumented,
+                        escaping,
+                    );
                 }
                 StmtKind::If {
                     cond,
@@ -330,14 +346,42 @@ pub fn check_structure(
                     else_blk,
                 } => {
                     scan_expr(checked, cg, io, cond, has_io);
-                    walk(checked, cg, io, then_blk, depth, is_func_body, has_io, instrumented, escaping);
+                    walk(
+                        checked,
+                        cg,
+                        io,
+                        then_blk,
+                        depth,
+                        is_func_body,
+                        has_io,
+                        instrumented,
+                        escaping,
+                    );
                     if let Some(eb) = else_blk {
-                        walk(checked, cg, io, eb, depth, is_func_body, has_io, instrumented, escaping);
+                        walk(
+                            checked,
+                            cg,
+                            io,
+                            eb,
+                            depth,
+                            is_func_body,
+                            has_io,
+                            instrumented,
+                            escaping,
+                        );
                     }
                 }
-                StmtKind::Block(inner) => {
-                    walk(checked, cg, io, inner, depth, is_func_body, has_io, instrumented, escaping)
-                }
+                StmtKind::Block(inner) => walk(
+                    checked,
+                    cg,
+                    io,
+                    inner,
+                    depth,
+                    is_func_body,
+                    has_io,
+                    instrumented,
+                    escaping,
+                ),
                 StmtKind::Decl { init: Some(e), .. } | StmtKind::Expr(e) => {
                     scan_expr(checked, cg, io, e, has_io)
                 }
@@ -347,7 +391,13 @@ pub fn check_structure(
         }
     }
 
-    fn scan_expr(checked: &Checked, cg: &CallGraph, io: &[bool], e: &minic::ast::Expr, has_io: &mut bool) {
+    fn scan_expr(
+        checked: &Checked,
+        cg: &CallGraph,
+        io: &[bool],
+        e: &minic::ast::Expr,
+        has_io: &mut bool,
+    ) {
         minic_expr_walk(e, &mut |e| {
             if let ExprKind::Call(callee, _) = &e.kind {
                 let mut c = callee.as_ref();
@@ -366,7 +416,8 @@ pub fn check_structure(
                     _ => {
                         // Indirect call: conservative — I/O if any possible
                         // callee does I/O.
-                        let caller_sets: Vec<usize> = cg.callees.iter().flatten().copied().collect();
+                        let caller_sets: Vec<usize> =
+                            cg.callees.iter().flatten().copied().collect();
                         let _ = caller_sets;
                         if io.iter().any(|&b| b) {
                             // Over-approximate only when the program has
@@ -417,7 +468,15 @@ pub fn check_structure(
 
     let is_func_body = matches!(seg.kind, SegKind::FuncBody);
     walk(
-        checked, cg, io, body, 0, is_func_body, &mut has_io, &mut instrumented, &mut escaping,
+        checked,
+        cg,
+        io,
+        body,
+        0,
+        is_func_body,
+        &mut has_io,
+        &mut instrumented,
+        &mut escaping,
     );
     if instrumented {
         return Err(Reject::Instrumented);
@@ -458,11 +517,17 @@ mod tests {
         let kinds: Vec<_> = segs.iter().map(|s| s.kind).collect();
         assert!(kinds.iter().any(|k| matches!(k, SegKind::FuncBody)));
         assert_eq!(
-            kinds.iter().filter(|k| matches!(k, SegKind::LoopBody(_))).count(),
+            kinds
+                .iter()
+                .filter(|k| matches!(k, SegKind::LoopBody(_)))
+                .count(),
             2
         );
         assert_eq!(
-            kinds.iter().filter(|k| matches!(k, SegKind::IfBranch(..))).count(),
+            kinds
+                .iter()
+                .filter(|k| matches!(k, SegKind::IfBranch(..)))
+                .count(),
             2
         );
         // Ids are dense.
@@ -473,9 +538,7 @@ mod tests {
 
     #[test]
     fn body_accessor_returns_right_block() {
-        let (checked, _, _, segs) = setup(
-            "int f(int x) { while (x > 0) { x--; } return x; }",
-        );
+        let (checked, _, _, segs) = setup("int f(int x) { while (x > 0) { x--; } return x; }");
         let loop_seg = segs
             .iter()
             .find(|s| matches!(s.kind, SegKind::LoopBody(_)))

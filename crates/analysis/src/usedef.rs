@@ -28,7 +28,10 @@ pub struct Effects {
 impl Effects {
     /// All definitions, strong and weak.
     pub fn all_defs(&self) -> impl Iterator<Item = VarId> + '_ {
-        self.strong_defs.iter().chain(self.weak_defs.iter()).copied()
+        self.strong_defs
+            .iter()
+            .chain(self.weak_defs.iter())
+            .copied()
     }
 }
 
@@ -54,9 +57,7 @@ pub fn instr_effects(ctx: EffectCtx<'_>, instr: &Instr<'_>) -> Effects {
         InstrKind::Decl(stmt) => {
             if let StmtKind::Decl { init: Some(e), .. } = &stmt.kind {
                 expr_effects(ctx, e, &mut fx);
-                if let Some(&slot) =
-                    ctx.checked.info.frames[ctx.func].decl_offsets.get(&stmt.id)
-                {
+                if let Some(&slot) = ctx.checked.info.frames[ctx.func].decl_offsets.get(&stmt.id) {
                     fx.strong_defs.insert(VarId::Local {
                         func: ctx.func,
                         slot,
@@ -491,7 +492,10 @@ mod tests {
         let b = build("int g; int main() { int x; x = g + 1; return x; }");
         let fx = effects_of_stmt(&b, "main", 1);
         let main = b.checked.info.func_index["main"];
-        let x = VarId::Local { func: main, slot: 0 };
+        let x = VarId::Local {
+            func: main,
+            slot: 0,
+        };
         assert!(fx.strong_defs.contains(&x));
         assert!(fx.uses.contains(&VarId::Global(0)));
         assert!(!fx.uses.contains(&x));
@@ -510,7 +514,10 @@ mod tests {
         let b = build("int main() { int x = 1; x += 2; return x; }");
         let fx = effects_of_stmt(&b, "main", 1);
         let main = b.checked.info.func_index["main"];
-        let x = VarId::Local { func: main, slot: 0 };
+        let x = VarId::Local {
+            func: main,
+            slot: 0,
+        };
         assert!(fx.uses.contains(&x));
         assert!(fx.strong_defs.contains(&x));
     }
@@ -524,7 +531,10 @@ mod tests {
         let fx = effects_of_stmt(&b, "main", 1);
         assert!(fx.weak_defs.contains(&VarId::Global(0)));
         let main = b.checked.info.func_index["main"];
-        assert!(fx.uses.contains(&VarId::Local { func: main, slot: 0 }));
+        assert!(fx.uses.contains(&VarId::Local {
+            func: main,
+            slot: 0
+        }));
     }
 
     #[test]

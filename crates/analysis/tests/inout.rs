@@ -14,9 +14,12 @@ fn setup(src: &str) -> (minic::Checked, Analyses, Vec<Segment>) {
 }
 
 fn seg_named<'s>(segs: &'s [Segment], name: &str) -> &'s Segment {
-    segs.iter()
-        .find(|s| s.name == name)
-        .unwrap_or_else(|| panic!("segment {name} not found in {:?}", segs.iter().map(|s| &s.name).collect::<Vec<_>>()))
+    segs.iter().find(|s| s.name == name).unwrap_or_else(|| {
+        panic!(
+            "segment {name} not found in {:?}",
+            segs.iter().map(|s| &s.name).collect::<Vec<_>>()
+        )
+    })
 }
 
 const QUAN: &str = "
@@ -104,10 +107,19 @@ fn loop_body_segment_like_unepic() {
         .unwrap();
     let io = seg_io(&checked, &an, seg).expect("analyzable");
     let in_names: Vec<&str> = io.inputs.iter().map(|o| o.name.as_str()).collect();
-    assert!(in_names.contains(&"i"), "loop index is upward-exposed: {in_names:?}");
+    assert!(
+        in_names.contains(&"i"),
+        "loop index is upward-exposed: {in_names:?}"
+    );
     let out_names: Vec<&str> = io.outputs.iter().map(|o| o.name.as_str()).collect();
-    assert!(out_names.contains(&"acc"), "accumulator is live out: {out_names:?}");
-    assert!(out_names.contains(&"v") || !out_names.contains(&"t"), "t is scoped to the block");
+    assert!(
+        out_names.contains(&"acc"),
+        "accumulator is live out: {out_names:?}"
+    );
+    assert!(
+        out_names.contains(&"v") || !out_names.contains(&"t"),
+        "t is scoped to the block"
+    );
 }
 
 #[test]
@@ -158,10 +170,7 @@ fn stepped_pointer_is_rejected() {
     let (checked, an, segs) = setup(src);
     let seg = seg_named(&segs, "quan:body");
     let err = seg_io(&checked, &an, seg).unwrap_err();
-    assert!(
-        matches!(err, Reject::UnsupportedOperand(_)),
-        "got {err:?}"
-    );
+    assert!(matches!(err, Reject::UnsupportedOperand(_)), "got {err:?}");
 }
 
 #[test]

@@ -58,7 +58,7 @@ fn bench_memoized(c: &mut Criterion) {
     c.bench_function("interpret_quan_memoized_2000_calls", |b| {
         b.iter(|| {
             let cfg = RunConfig {
-                tables: vec![MemoTable::direct(&spec)],
+                tables: vec![MemoTable::try_direct(&spec).expect("valid spec")],
                 ..RunConfig::default()
             };
             let out = vm::run(&module, cfg).unwrap();

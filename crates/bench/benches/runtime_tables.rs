@@ -17,30 +17,22 @@ fn bench_direct(c: &mut Criterion) {
             table.record(k, &out);
         }
         let mut buf = Vec::new();
-        g.bench_with_input(
-            BenchmarkId::new("hit", key_words),
-            &key_words,
-            |b, _| {
-                let mut i = 0usize;
-                b.iter(|| {
-                    let k = &keys[i & 1023];
-                    i += 1;
-                    black_box(table.lookup(k, &mut buf))
-                })
-            },
-        );
-        g.bench_with_input(
-            BenchmarkId::new("record", key_words),
-            &key_words,
-            |b, _| {
-                let mut i = 0u64;
-                b.iter(|| {
-                    let k: Vec<u64> = (0..key_words as u64).map(|w| i * 131 + w).collect();
-                    i += 1;
-                    table.record(black_box(&k), &out);
-                })
-            },
-        );
+        g.bench_with_input(BenchmarkId::new("hit", key_words), &key_words, |b, _| {
+            let mut i = 0usize;
+            b.iter(|| {
+                let k = &keys[i & 1023];
+                i += 1;
+                black_box(table.lookup(k, &mut buf))
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("record", key_words), &key_words, |b, _| {
+            let mut i = 0u64;
+            b.iter(|| {
+                let k: Vec<u64> = (0..key_words as u64).map(|w| i * 131 + w).collect();
+                i += 1;
+                table.record(black_box(&k), &out);
+            })
+        });
     }
     g.finish();
 }
@@ -103,7 +95,7 @@ fn bench_uniform_handle(c: &mut Criterion) {
         key_words: 1,
         out_words: vec![1],
     };
-    let mut table = MemoTable::direct(&spec);
+    let mut table = MemoTable::try_direct(&spec).expect("valid spec");
     table.record(0, &[7], &[70]);
     let mut buf = Vec::new();
     c.bench_function("memo_table_enum_dispatch", |b| {

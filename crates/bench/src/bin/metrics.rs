@@ -26,11 +26,27 @@
 //! energy are engine-independent — only host speed differs. With
 //! `--assert-faster` the process exits nonzero if the bytecode engine is
 //! not faster overall, which CI runs on `G721_encode`.
+//!
+//! `--serve` replaces the report with the request-serving benchmark: a
+//! `service::ReuseService` over the seven main workloads (or the named
+//! one), swept over `--sweep-workers` worker counts (default: just
+//! `--workers N`), each from a cold shared store with a warm second
+//! round. Extra flags: `--shards S` (lock shards per table),
+//! `--requests R` (requests per workload per batch),
+//! `--assert-serve-speedup` (exit nonzero unless the sweep's highest
+//! worker count beats its lowest on warm wall-clock — meaningful only on
+//! a multi-CPU host — or any fingerprint diverges from the sequential
+//! baseline).
+//!
+//! ```text
+//! cargo run --release -p bench --bin metrics -- --serve --workers 4
+//! cargo run --release -p bench --bin metrics -- --serve \
+//!     --sweep-workers 1,2,4 --shards 8 --assert-serve-speedup
+//! ```
 
 use bench::reports::EngineBenchRow;
-use bench::runner::{
-    execute, execute_with_tables, prepare_with, InputKind, PrepareOpts,
-};
+use bench::runner::{execute, execute_with_tables, prepare_with, InputKind, PrepareOpts};
+use bench::serve::{run_serve, ServeOpts};
 use workloads::Workload;
 
 /// Times one full prepare + execute cycle on `engine`, in milliseconds.
@@ -66,8 +82,42 @@ fn bench_engines(ws: &[Workload], opt: vm::OptLevel, scale: f64, assert_faster: 
     }
 }
 
+/// Runs the serving benchmark and applies the optional CI gate.
+fn serve_mode(ws: &[Workload], opts: &ServeOpts, sweep: &[usize], assert_speedup: bool) {
+    let summary = run_serve(ws, opts, sweep);
+    println!("{}", bench::reports::serve_report_json(&summary));
+    if !summary.all_match() {
+        eprintln!("serve: fingerprints diverged from the sequential baseline");
+        std::process::exit(1);
+    }
+    if assert_speedup {
+        let lo = summary
+            .points
+            .iter()
+            .min_by_key(|p| p.workers)
+            .expect("at least one sweep point");
+        let hi = summary
+            .points
+            .iter()
+            .max_by_key(|p| p.workers)
+            .expect("at least one sweep point");
+        if hi.workers == lo.workers {
+            eprintln!("--assert-serve-speedup needs a sweep with at least two worker counts");
+            std::process::exit(1);
+        }
+        if hi.warm.wall_seconds >= lo.warm.wall_seconds {
+            eprintln!(
+                "serve: {} workers not faster than {}: {:.4}s vs {:.4}s ({} cpus)",
+                hi.workers, lo.workers, hi.warm.wall_seconds, lo.warm.wall_seconds, summary.cpus
+            );
+            std::process::exit(1);
+        }
+    }
+}
+
 fn main() {
     let mut name = "G721_encode".to_string();
+    let mut name_set = false;
     let mut scale = 0.25f64;
     let mut opt = vm::OptLevel::O0;
     let mut adaptive = false;
@@ -75,10 +125,56 @@ fn main() {
     let mut engine = vm::Engine::default();
     let mut bench_mode = false;
     let mut assert_faster = false;
+    let mut serve = false;
+    let mut workers = 4usize;
+    let mut shards = 8usize;
+    let mut requests_per_workload = 4usize;
+    let mut sweep_workers: Option<Vec<usize>> = None;
+    let mut assert_serve_speedup = false;
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
     while i < argv.len() {
         match argv[i].as_str() {
+            "--serve" => serve = true,
+            "--workers" => {
+                i += 1;
+                workers = argv
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| panic!("--workers needs a positive integer"));
+            }
+            "--shards" => {
+                i += 1;
+                shards = argv
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| panic!("--shards needs a positive integer"));
+            }
+            "--requests" => {
+                i += 1;
+                requests_per_workload = argv
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| panic!("--requests needs a positive integer"));
+            }
+            "--sweep-workers" => {
+                i += 1;
+                let list = argv
+                    .get(i)
+                    .map(|s| {
+                        s.split(',')
+                            .map(|t| {
+                                t.trim()
+                                    .parse::<usize>()
+                                    .unwrap_or_else(|_| panic!("--sweep-workers: bad count {t:?}"))
+                            })
+                            .collect::<Vec<usize>>()
+                    })
+                    .filter(|l| !l.is_empty())
+                    .unwrap_or_else(|| panic!("--sweep-workers needs a comma-separated list"));
+                sweep_workers = Some(list);
+            }
+            "--assert-serve-speedup" => assert_serve_speedup = true,
             "--scale" => {
                 i += 1;
                 scale = argv
@@ -106,18 +202,40 @@ fn main() {
             "--alt" => input = InputKind::Alt,
             "--bench-engines" => bench_mode = true,
             "--assert-faster" => assert_faster = true,
-            w if !w.starts_with('-') => name = w.to_string(),
+            w if !w.starts_with('-') => {
+                name = w.to_string();
+                name_set = true;
+            }
             other => panic!("unknown flag {other}"),
         }
         i += 1;
+    }
+
+    if serve {
+        let ws = if !name_set || name == "all" {
+            // --serve defaults to the full seven-workload mix; a named
+            // workload restricts the batch to it.
+            workloads::main_seven()
+        } else {
+            vec![workloads::by_name(&name).unwrap_or_else(|| panic!("unknown workload {name}"))]
+        };
+        let opts = ServeOpts {
+            scale,
+            opt,
+            shards,
+            requests_per_workload,
+            ..ServeOpts::default()
+        };
+        let sweep = sweep_workers.unwrap_or_else(|| vec![workers]);
+        serve_mode(&ws, &opts, &sweep, assert_serve_speedup);
+        return;
     }
 
     if bench_mode {
         let ws = if name == "all" {
             workloads::main_seven()
         } else {
-            vec![workloads::by_name(&name)
-                .unwrap_or_else(|| panic!("unknown workload {name}"))]
+            vec![workloads::by_name(&name).unwrap_or_else(|| panic!("unknown workload {name}"))]
         };
         bench_engines(&ws, opt, scale, assert_faster);
         return;
@@ -137,10 +255,14 @@ fn main() {
         },
     );
     let tables = if adaptive {
-        p.outcome.make_adaptive_tables()
+        p.outcome.try_make_adaptive_tables()
     } else {
-        p.outcome.make_tables()
+        p.outcome.try_make_tables()
     };
+    let tables = tables.unwrap_or_else(|e| {
+        eprintln!("metrics: invalid table spec: {e}");
+        std::process::exit(1);
+    });
     let m = execute_with_tables(&p, &w, input, scale, tables);
     assert!(m.output_match, "{name}: outputs diverged");
     println!("{}", bench::reports::metrics_report_json(&p, &m, adaptive));

@@ -5,7 +5,10 @@ fn main() {
     let args = bench::Args::parse();
     let rows = bench::reports::table5(args.scale);
     bench::fmt::print_table(
-        &format!("Table 5: hit ratios with limited buffers (scale {})", args.scale),
+        &format!(
+            "Table 5: hit ratios with limited buffers (scale {})",
+            args.scale
+        ),
         &bench::reports::TABLE5_HEADERS,
         &rows,
     );

@@ -24,6 +24,7 @@
 pub mod fmt;
 pub mod reports;
 pub mod runner;
+pub mod serve;
 
 pub use runner::{execute, prepare, InputKind, Measurement, Prepared};
 

@@ -7,7 +7,7 @@
 
 use crate::fmt;
 use crate::runner::{
-    execute, execute_with_tables, prepare, prepare_with, InputKind, Prepared, PrepareOpts,
+    execute, execute_with_tables, prepare, prepare_with, InputKind, PrepareOpts, Prepared,
 };
 use compreuse::SegDecision;
 use memo_runtime::{LruTable, MemoTable};
@@ -18,15 +18,11 @@ use workloads::Workload;
 /// The segment the paper's Table 3 reports: the chosen segment with the
 /// largest total gain.
 pub fn dominant_segment(report: &compreuse::Report) -> Option<&SegDecision> {
-    report
-        .decisions
-        .iter()
-        .filter(|d| d.chosen)
-        .max_by(|a, b| {
-            let ta = a.gain * a.n as f64;
-            let tb = b.gain * b.n as f64;
-            ta.partial_cmp(&tb).expect("finite")
-        })
+    report.decisions.iter().filter(|d| d.chosen).max_by(|a, b| {
+        let ta = a.gain * a.n as f64;
+        let tb = b.gain * b.n as f64;
+        ta.partial_cmp(&tb).expect("finite")
+    })
 }
 
 /// Prepares all seven main workloads in parallel.
@@ -181,9 +177,7 @@ pub fn table5(scale: f64) -> Vec<Vec<String>> {
                 .outcome
                 .specs
                 .iter()
-                .map(|spec| {
-                    MemoTable::from(LruTable::new(cap, spec.key_words, spec.out_words[0]))
-                })
+                .map(|spec| MemoTable::from(LruTable::new(cap, spec.key_words, spec.out_words[0])))
                 .collect();
             if p.outcome.specs.is_empty() {
                 cells.push("—".into());
@@ -203,11 +197,7 @@ pub fn table5(scale: f64) -> Vec<Vec<String>> {
                 size64 = m.tables.iter().map(|t| t.bytes()).max().unwrap_or(0);
             }
             cells.push(format!("{:.1}%", stats.hit_ratio() * 100.0));
-            cells.push(
-                paper
-                    .map(|t| format!("{:.2}%", t[ci]))
-                    .unwrap_or_default(),
-            );
+            cells.push(paper.map(|t| format!("{:.2}%", t[ci])).unwrap_or_default());
         }
         cells.push(fmt::bytes(size64));
         cells.push("(paper: 512B-16KB)".into());
@@ -372,13 +362,41 @@ pub fn table10(scale: f64) -> Vec<Vec<String>> {
 /// Panics on an unknown figure number.
 pub fn print_figure(figure: u32, scale: f64) {
     match figure {
-        5 => input_value_histogram("G721_encode", scale, "Figure 5: histogram of input values in G721_encode (quan)"),
-        6 => input_value_histogram("G721_decode", scale, "Figure 6: histogram of input values in G721_decode (quan)"),
-        7 => table_entry_histogram("G721_encode", scale, "Figure 7: histogram of accessed table entries in G721_encode"),
-        8 => table_entry_histogram("G721_decode", scale, "Figure 8: histogram of accessed table entries in G721_decode"),
-        11 => pattern_histogram("RASTA", scale, "Figure 11: histogram of distinct input patterns in RASTA"),
-        12 => input_value_histogram("UNEPIC", scale, "Figure 12: histogram of input values in UNEPIC"),
-        13 => pattern_histogram("GNUGO", scale, "Figure 13: histogram of input values in GNU Go"),
+        5 => input_value_histogram(
+            "G721_encode",
+            scale,
+            "Figure 5: histogram of input values in G721_encode (quan)",
+        ),
+        6 => input_value_histogram(
+            "G721_decode",
+            scale,
+            "Figure 6: histogram of input values in G721_decode (quan)",
+        ),
+        7 => table_entry_histogram(
+            "G721_encode",
+            scale,
+            "Figure 7: histogram of accessed table entries in G721_encode",
+        ),
+        8 => table_entry_histogram(
+            "G721_decode",
+            scale,
+            "Figure 8: histogram of accessed table entries in G721_decode",
+        ),
+        11 => pattern_histogram(
+            "RASTA",
+            scale,
+            "Figure 11: histogram of distinct input patterns in RASTA",
+        ),
+        12 => input_value_histogram(
+            "UNEPIC",
+            scale,
+            "Figure 12: histogram of input values in UNEPIC",
+        ),
+        13 => pattern_histogram(
+            "GNUGO",
+            scale,
+            "Figure 13: histogram of input values in GNU Go",
+        ),
         other => panic!("figure {other} is not a histogram figure (5-8, 11-13)"),
     }
 }
@@ -409,7 +427,12 @@ fn input_value_histogram(name: &str, scale: f64, title: &str) {
         .value_histogram()
         .expect("single-word key for value histograms");
     println!("\n{title}");
-    println!("segment {} — {} executions, {} distinct values", d.name, seg.n, pairs.len());
+    println!(
+        "segment {} — {} executions, {} distinct values",
+        d.name,
+        seg.n,
+        pairs.len()
+    );
     print_bucketed(&pairs, 24);
 }
 
@@ -508,9 +531,8 @@ pub const SIZE_SWEEP: [Option<usize>; 6] = [
 ];
 
 /// Header row for Figures 14/15.
-pub const FIG1415_HEADERS: [&str; 7] = [
-    "Program", "2KB", "8KB", "32KB", "128KB", "512KB", "optimal",
-];
+pub const FIG1415_HEADERS: [&str; 7] =
+    ["Program", "2KB", "8KB", "32KB", "128KB", "512KB", "optimal"];
 
 /// Generates the Figure 14 (O0) / Figure 15 (O3) speedup matrix.
 pub fn fig14_15(opt: OptLevel, scale: f64) -> Vec<Vec<String>> {
@@ -705,6 +727,105 @@ pub fn engine_bench_json(scale: f64, opt: OptLevel, rows: &[EngineBenchRow]) -> 
         total_bc,
         total_tree / total_bc,
         per.join(","),
+    )
+}
+
+// ---------------------------------------------------------------------
+// Serving benchmark — JSON report (`metrics --serve`)
+// ---------------------------------------------------------------------
+
+fn json_histogram(h: &service::LatencyHistogram) -> String {
+    let buckets: Vec<String> = h
+        .nonzero_buckets()
+        .iter()
+        .map(|b| {
+            format!(
+                "{{\"lo_ns\":{},\"hi_ns\":{},\"count\":{}}}",
+                b.lo_ns, b.hi_ns, b.count
+            )
+        })
+        .collect();
+    format!(
+        concat!(
+            "{{\"count\":{},\"mean_ns\":{:.1},\"min_ns\":{},\"max_ns\":{},",
+            "\"p50_ns\":{},\"p90_ns\":{},\"p99_ns\":{},\"buckets\":[{}]}}"
+        ),
+        h.count(),
+        h.mean_ns(),
+        h.min_ns(),
+        h.max_ns(),
+        h.quantile_ns(0.5),
+        h.quantile_ns(0.9),
+        h.quantile_ns(0.99),
+        buckets.join(","),
+    )
+}
+
+fn json_service_report(r: &service::ServiceReport) -> String {
+    let per_worker: Vec<String> = r.per_worker.iter().map(u64::to_string).collect();
+    format!(
+        concat!(
+            "{{\"wall_seconds\":{:.6},\"throughput_rps\":{:.1},\"hit_ratio\":{:.6},",
+            "\"trapped\":{},\"per_worker\":[{}],\"store\":{},\"latency\":{}}}"
+        ),
+        r.wall_seconds,
+        r.throughput_rps,
+        r.hit_ratio(),
+        r.results.iter().filter(|x| x.trapped).count(),
+        per_worker.join(","),
+        json_stats(&r.store_delta),
+        json_histogram(&r.latency),
+    )
+}
+
+/// Serialises a [`crate::serve::ServeSummary`] — the worker-scaling sweep
+/// of the request-serving benchmark. Each point reports a cold and a warm
+/// round; `speedup_vs_first` compares warm wall-clock against the sweep's
+/// first worker count.
+pub fn serve_report_json(s: &crate::serve::ServeSummary) -> String {
+    let names: Vec<String> = s
+        .workload_names
+        .iter()
+        .map(|n| format!("\"{}\"", json_escape(n)))
+        .collect();
+    let first_warm_wall = s.points.first().map_or(0.0, |p| p.warm.wall_seconds);
+    let points: Vec<String> = s
+        .points
+        .iter()
+        .map(|p| {
+            format!(
+                concat!(
+                    "{{\"workers\":{},\"fingerprints_match\":{},\"speedup_vs_first\":{:.3},",
+                    "\"cold\":{},\"warm\":{}}}"
+                ),
+                p.workers,
+                p.matches_baseline,
+                if p.warm.wall_seconds > 0.0 {
+                    first_warm_wall / p.warm.wall_seconds
+                } else {
+                    0.0
+                },
+                json_service_report(&p.cold),
+                json_service_report(&p.warm),
+            )
+        })
+        .collect();
+    format!(
+        concat!(
+            "{{\"bench\":\"serve\",\"scale\":{},\"opt\":\"{:?}\",\"shards\":{},",
+            "\"queue_capacity\":{},\"cpus\":{},\"requests\":{},\"all_match\":{},",
+            "\"workloads\":[{}],\"baseline\":{},\"sweep\":[{}]}}"
+        ),
+        s.opts.scale,
+        s.opts.opt,
+        s.opts.shards,
+        s.opts.queue_capacity,
+        s.cpus,
+        s.requests,
+        s.all_match(),
+        names.join(","),
+        json_service_report(&s.baseline),
+        points.join(","),
     )
 }
 

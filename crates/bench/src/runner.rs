@@ -62,8 +62,8 @@ pub fn prepare_with(
     profile_scale: f64,
     opts: &PrepareOpts,
 ) -> Prepared {
-    let program = minic::parse(&w.source)
-        .unwrap_or_else(|e| panic!("{}: parse failed: {e}", w.name));
+    let program =
+        minic::parse(&w.source).unwrap_or_else(|e| panic!("{}: parse failed: {e}", w.name));
     let config = PipelineConfig {
         cost: CostModel::for_level(opt),
         profile_input: (w.default_input)(profile_scale),

@@ -1,0 +1,207 @@
+//! `metrics --serve` machinery: a request-serving benchmark over the
+//! seven main workloads.
+//!
+//! Builds one [`service::ReuseService`] whose programs are the memoized
+//! modules the pipeline produced, then drives a mixed request batch
+//! (default and alternate inputs, round-robin across workloads) through
+//! it at each worker count of a sweep. Every sweep point starts from a
+//! cold store ([`service::ReuseService::reset_stores`]) and runs the
+//! batch twice — the second, warm round measures what a populated shared
+//! store buys. Fingerprints at every point must equal the sequential
+//! private-table baseline ([`service::ReuseService::run_private_sequential`]);
+//! throughput and hit rates are expected to differ (DESIGN.md §8e).
+
+use crate::runner::{prepare_with, PrepareOpts};
+use service::{Request, ReuseService, ServiceConfig, ServiceProgram, ServiceReport};
+use vm::{CostModel, OptLevel};
+use workloads::Workload;
+
+/// Options for the serving benchmark.
+#[derive(Debug, Clone)]
+pub struct ServeOpts {
+    /// Input-size scale factor for profiling and request inputs.
+    pub scale: f64,
+    /// Optimization level the programs are planned and costed under.
+    pub opt: OptLevel,
+    /// Lock shards per table.
+    pub shards: usize,
+    /// Bounded request-queue capacity.
+    pub queue_capacity: usize,
+    /// Requests per workload in the batch (alternating default and
+    /// alternate inputs).
+    pub requests_per_workload: usize,
+}
+
+impl Default for ServeOpts {
+    fn default() -> Self {
+        ServeOpts {
+            scale: 0.25,
+            opt: OptLevel::O0,
+            shards: 8,
+            queue_capacity: 64,
+            requests_per_workload: 4,
+        }
+    }
+}
+
+/// Builds the service (pipeline run per workload, in parallel) and the
+/// mixed request batch.
+///
+/// # Panics
+///
+/// Panics if a workload fails the pipeline or plans an invalid table spec
+/// (both covered by the workload test suite).
+pub fn build_service(
+    ws: &[Workload],
+    opts: &ServeOpts,
+    workers: usize,
+) -> (ReuseService, Vec<Request>) {
+    let mut programs: Vec<Option<ServiceProgram>> = Vec::new();
+    programs.resize_with(ws.len(), || None);
+    std::thread::scope(|s| {
+        for (slot, w) in programs.iter_mut().zip(ws) {
+            s.spawn(move || {
+                let p = prepare_with(w, opts.opt, opts.scale, &PrepareOpts::default());
+                *slot = Some(ServiceProgram {
+                    name: w.name.to_string(),
+                    module: p.memo_module,
+                    specs: p.outcome.specs,
+                    policies: p.outcome.policies,
+                });
+            });
+        }
+    });
+    let programs: Vec<ServiceProgram> = programs.into_iter().map(|p| p.expect("filled")).collect();
+    // Round-robin across workloads so concurrent workers interleave
+    // different programs; alternate input families so the store sees both
+    // the profiled and the unprofiled value distributions.
+    let mut requests = Vec::with_capacity(ws.len() * opts.requests_per_workload);
+    for round in 0..opts.requests_per_workload {
+        for (i, w) in ws.iter().enumerate() {
+            let input = if round % 2 == 0 {
+                (w.default_input)(opts.scale)
+            } else {
+                (w.alt_input)(opts.scale)
+            };
+            requests.push(Request { program: i, input });
+        }
+    }
+    let svc = ReuseService::new(
+        programs,
+        ServiceConfig {
+            workers,
+            shards: opts.shards,
+            queue_capacity: opts.queue_capacity,
+            adaptive: false,
+            cost: CostModel::for_level(opts.opt),
+        },
+    )
+    .unwrap_or_else(|e| panic!("pipeline planned an invalid table spec: {e}"));
+    (svc, requests)
+}
+
+/// One worker count's measurements: cold and warm rounds over the same
+/// batch, plus the determinism verdict against the baseline.
+#[derive(Debug)]
+pub struct SweepPoint {
+    /// Worker threads at this point.
+    pub workers: usize,
+    /// First round against a freshly reset (cold) store.
+    pub cold: ServiceReport,
+    /// Second round over the now-populated store.
+    pub warm: ServiceReport,
+    /// Whether both rounds fingerprinted identically to the sequential
+    /// private-table baseline.
+    pub matches_baseline: bool,
+}
+
+/// The full serving-benchmark result.
+#[derive(Debug)]
+pub struct ServeSummary {
+    /// Options the sweep ran under.
+    pub opts: ServeOpts,
+    /// Host CPUs available to the process (parallel speedup is bounded
+    /// by this — a single-CPU host cannot show one).
+    pub cpus: usize,
+    /// Program names, in request `program`-index order.
+    pub workload_names: Vec<String>,
+    /// Requests per batch.
+    pub requests: usize,
+    /// Sequential baseline: private tables per request, no sharing.
+    pub baseline: ServiceReport,
+    /// One entry per swept worker count.
+    pub points: Vec<SweepPoint>,
+}
+
+impl ServeSummary {
+    /// Whether every sweep point fingerprinted identically to the
+    /// baseline.
+    pub fn all_match(&self) -> bool {
+        self.points.iter().all(|p| p.matches_baseline)
+    }
+}
+
+/// Runs the serving benchmark at each worker count in `worker_counts`.
+///
+/// # Panics
+///
+/// Panics if the pipeline fails for a workload (see [`build_service`]).
+pub fn run_serve(ws: &[Workload], opts: &ServeOpts, worker_counts: &[usize]) -> ServeSummary {
+    let first = worker_counts.first().copied().unwrap_or(1);
+    let (mut svc, requests) = build_service(ws, opts, first);
+    let baseline = svc.run_private_sequential(&requests);
+    let expected = baseline.fingerprints();
+    let mut points = Vec::with_capacity(worker_counts.len());
+    for &workers in worker_counts {
+        svc.reset_stores().expect("specs already built once");
+        svc.set_workers(workers);
+        let cold = svc.run(&requests);
+        let warm = svc.run(&requests);
+        let matches_baseline = cold.fingerprints() == expected && warm.fingerprints() == expected;
+        points.push(SweepPoint {
+            workers,
+            cold,
+            warm,
+            matches_baseline,
+        });
+    }
+    ServeSummary {
+        opts: opts.clone(),
+        cpus: std::thread::available_parallelism().map_or(1, |n| n.get()),
+        workload_names: svc.program_names().iter().map(|s| s.to_string()).collect(),
+        requests: requests.len(),
+        baseline,
+        points,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_sweep_is_deterministic_and_warms_up() {
+        let ws = vec![workloads::unepic::unepic(), workloads::rasta::rasta()];
+        let opts = ServeOpts {
+            scale: 0.05,
+            requests_per_workload: 3,
+            ..ServeOpts::default()
+        };
+        let summary = run_serve(&ws, &opts, &[1, 2]);
+        assert_eq!(summary.requests, 6);
+        assert!(summary.all_match(), "fingerprints diverged from baseline");
+        for p in &summary.points {
+            assert_eq!(
+                p.cold.fingerprints(),
+                p.warm.fingerprints(),
+                "warm round changed results at {} workers",
+                p.workers
+            );
+            assert!(
+                p.warm.hit_ratio() >= p.cold.hit_ratio(),
+                "warm hit ratio fell at {} workers",
+                p.workers
+            );
+        }
+    }
+}

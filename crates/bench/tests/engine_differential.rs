@@ -4,7 +4,7 @@
 //! same profiler counts — on every workload, at both opt levels, on both
 //! input families. Host wall-clock is the only permitted difference.
 
-use bench::runner::{prepare_with, InputKind, Prepared, PrepareOpts};
+use bench::runner::{prepare_with, InputKind, PrepareOpts, Prepared};
 use vm::{CostModel, Engine, OptLevel, RunConfig};
 use workloads::Workload;
 

@@ -1,0 +1,75 @@
+//! Determinism of the concurrent reuse service (DESIGN.md §8e).
+//!
+//! Runs the seven-workload request mix through the service at 1, 2 and 4
+//! workers — cold and warm store each — and asserts every request's
+//! outcome fingerprint equals the sequential private-table baseline's.
+//! Program results must be store-independent; only throughput, cycles
+//! and hit rates may differ. CI runs this in release alongside the
+//! engine differential test (debug runs use a smaller scale).
+
+use bench::serve::{run_serve, ServeOpts};
+
+fn scale() -> f64 {
+    if cfg!(debug_assertions) {
+        0.03
+    } else {
+        0.1
+    }
+}
+
+#[test]
+fn seven_workload_mix_fingerprints_match_sequential_baseline() {
+    let ws = workloads::main_seven();
+    let opts = ServeOpts {
+        scale: scale(),
+        requests_per_workload: 2,
+        ..ServeOpts::default()
+    };
+    let summary = run_serve(&ws, &opts, &[1, 2, 4]);
+    assert_eq!(summary.requests, 14);
+    let expected = summary.baseline.fingerprints();
+    for p in &summary.points {
+        assert_eq!(
+            p.cold.fingerprints(),
+            expected,
+            "cold round diverged at {} workers",
+            p.workers
+        );
+        assert_eq!(
+            p.warm.fingerprints(),
+            expected,
+            "warm round diverged at {} workers",
+            p.workers
+        );
+        assert!(p.matches_baseline);
+        // Every request was served exactly once, by some worker.
+        assert_eq!(p.cold.per_worker.iter().sum::<u64>(), 14);
+        assert_eq!(p.warm.latency.count(), 14);
+    }
+}
+
+#[test]
+fn warm_shared_store_beats_private_tables_on_hit_rate() {
+    let ws = workloads::main_seven();
+    let opts = ServeOpts {
+        scale: scale(),
+        requests_per_workload: 2,
+        ..ServeOpts::default()
+    };
+    let summary = run_serve(&ws, &opts, &[2]);
+    assert!(summary.all_match());
+    let point = &summary.points[0];
+    // The baseline gives every request fresh private tables, so nothing
+    // carries over between requests. The warm shared store has already
+    // seen this exact batch once: every probe the cold round recorded is
+    // now a hit, on top of the within-request reuse the baseline gets.
+    assert!(
+        point.warm.hit_ratio() > summary.baseline.hit_ratio(),
+        "warm shared store {} <= private baseline {}",
+        point.warm.hit_ratio(),
+        summary.baseline.hit_ratio()
+    );
+    // And warming never lowers the hit rate relative to the same store
+    // cold.
+    assert!(point.warm.hit_ratio() >= point.cold.hit_ratio());
+}

@@ -169,6 +169,13 @@ fn main() -> ExitCode {
     }
 
     if cli.run {
+        let tables = match outcome.try_make_tables() {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("compreuse: invalid table spec: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
         let base = vm::run(
             &vm::lower(&outcome.baseline),
             RunConfig {
@@ -182,7 +189,7 @@ fn main() -> ExitCode {
             RunConfig {
                 cost: CostModel::for_level(cli.opt),
                 input,
-                tables: outcome.make_tables(),
+                tables,
                 ..RunConfig::default()
             },
         );

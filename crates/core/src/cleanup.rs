@@ -154,7 +154,9 @@ impl<'c> Cleaner<'c> {
         let node_id = e.id;
         match &mut e.kind {
             ExprKind::IntLit(_) | ExprKind::FloatLit(_) | ExprKind::Var(_) => None,
-            ExprKind::Unary(_, a) | ExprKind::Cast(_, a) | ExprKind::Member(a, _)
+            ExprKind::Unary(_, a)
+            | ExprKind::Cast(_, a)
+            | ExprKind::Member(a, _)
             | ExprKind::Arrow(a, _) => self.hoist_one(a, false, pure),
             ExprKind::Binary(op, a, b) => {
                 if matches!(op, minic::ast::BinOp::LogAnd | minic::ast::BinOp::LogOr) {
@@ -216,10 +218,7 @@ impl<'c> Cleaner<'c> {
                 // `input()` is safe under the purity prefix. Keep them.
                 let _ = (&callee,);
                 let name = self.fresh_name();
-                let call = std::mem::replace(
-                    e,
-                    Expr::synth(ExprKind::Var(name.clone())),
-                );
+                let call = std::mem::replace(e, Expr::synth(ExprKind::Var(name.clone())));
                 Some((call, ty, name))
             }
         }
@@ -250,7 +249,9 @@ pub fn nested_call_count(checked: &Checked) -> usize {
 fn nested_calls_in(checked: &Checked, e: &Expr, is_root: bool) -> usize {
     match &e.kind {
         ExprKind::IntLit(_) | ExprKind::FloatLit(_) | ExprKind::Var(_) => 0,
-        ExprKind::Unary(_, a) | ExprKind::Cast(_, a) | ExprKind::Member(a, _)
+        ExprKind::Unary(_, a)
+        | ExprKind::Cast(_, a)
+        | ExprKind::Member(a, _)
         | ExprKind::Arrow(a, _) => nested_calls_in(checked, a, false),
         ExprKind::Binary(op, a, b) => {
             if matches!(op, minic::ast::BinOp::LogAnd | minic::ast::BinOp::LogOr) {
@@ -274,10 +275,7 @@ fn nested_calls_in(checked: &Checked, e: &Expr, is_root: bool) -> usize {
                         checked.info.expr_types.get(&e.id),
                         Some(Type::Int) | Some(Type::Float)
                     )
-                    && !matches!(
-                        direct_builtin(checked, e),
-                        Some(true)
-                    ),
+                    && !matches!(direct_builtin(checked, e), Some(true)),
             );
             own + args
                 .iter()
@@ -293,10 +291,7 @@ fn direct_builtin(checked: &Checked, call: &Expr) -> Option<bool> {
         while let ExprKind::Unary(UnOp::Deref, inner) = &c.kind {
             c = inner;
         }
-        return Some(matches!(
-            checked.info.res.get(&c.id),
-            Some(Res::Builtin(_))
-        ));
+        return Some(matches!(checked.info.res.get(&c.id), Some(Res::Builtin(_))));
     }
     None
 }

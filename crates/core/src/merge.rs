@@ -40,11 +40,7 @@ impl TablePlan {
 /// `seg_ios[i]` and `dips[i]` describe selected segment `i`: its interface
 /// and its profiled number of distinct input patterns. `bytes_cap`, if
 /// set, caps each table's size (the paper's Figures 14/15 sweep).
-pub fn plan_tables(
-    seg_ios: &[&SegIo],
-    dips: &[usize],
-    bytes_cap: Option<usize>,
-) -> TablePlan {
+pub fn plan_tables(seg_ios: &[&SegIo], dips: &[usize], bytes_cap: Option<usize>) -> TablePlan {
     assert_eq!(seg_ios.len(), dips.len());
     let mut specs: Vec<TableSpec> = Vec::new();
     let mut assignments: Vec<TableAssignment> = Vec::with_capacity(seg_ios.len());
@@ -77,7 +73,11 @@ pub fn plan_tables(
             // Round capped slot counts down to a power of two: structured
             // key streams resonate badly with arbitrary moduli.
             let fit = (cap / per).max(1);
-            let fit_pow2 = if fit.is_power_of_two() { fit } else { fit.next_power_of_two() / 2 };
+            let fit_pow2 = if fit.is_power_of_two() {
+                fit
+            } else {
+                fit.next_power_of_two() / 2
+            };
             slots = slots.min(fit_pow2.max(1));
         }
         let spec = TableSpec {

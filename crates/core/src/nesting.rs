@@ -33,11 +33,7 @@ pub struct NestingDecision {
 /// `gains[i]` is the per-execution gain `R·C − O` of segment `i`;
 /// segments with non-positive gain must already be excluded from
 /// `profitable`.
-pub fn resolve(
-    profile: &ProfileData,
-    gains: &[f64],
-    profitable: &[usize],
-) -> NestingDecision {
+pub fn resolve(profile: &ProfileData, gains: &[f64], profitable: &[usize]) -> NestingDecision {
     let n = gains.len();
     let in_play: Vec<bool> = {
         let mut v = vec![false; n];
@@ -94,11 +90,7 @@ pub fn resolve(
     let mut winner = vec![false; n];
     let mut comp_rep = vec![usize::MAX; sccs.comps.len()];
     for (ci, comp) in sccs.comps.iter().enumerate() {
-        let rep = comp
-            .iter()
-            .copied()
-            .find(|&i| alive[i])
-            .unwrap_or(comp[0]);
+        let rep = comp.iter().copied().find(|&i| alive[i]).unwrap_or(comp[0]);
         comp_rep[ci] = rep;
         let mut inner_sum = 0.0;
         for &vc in dag.succs(ci) {
@@ -230,10 +222,7 @@ mod tests {
         // 0 ⊃ 1 ⊃ 2; gains tuned so 1 beats both 2 (from below) and 0
         // (from above).
         // n(1 per 0) = 5, n(2 per 1) = 4.
-        let p = profile(
-            &[10, 50, 200],
-            &[(0, 1, 50), (1, 2, 200), (0, 2, 200)],
-        );
+        let p = profile(&[10, 50, 200], &[(0, 1, 50), (1, 2, 200), (0, 2, 200)]);
         // decided(2)=2; at 1: inner_sum = 4×2 = 8 < g1=20 → 1 wins, decided(1)=20.
         // at 0: inner_sum = 5×20 = 100 > g0=30 → inner wins.
         let d = resolve(&p, &[30.0, 20.0, 2.0], &[0, 1, 2]);
@@ -243,10 +232,7 @@ mod tests {
     #[test]
     fn unprofitable_middle_does_not_block() {
         // 0 ⊃ 1 ⊃ 2 but 1 is not profitable; 0 vs 2 directly.
-        let p = profile(
-            &[10, 50, 500],
-            &[(0, 1, 50), (1, 2, 500), (0, 2, 500)],
-        );
+        let p = profile(&[10, 50, 500], &[(0, 1, 50), (1, 2, 500), (0, 2, 500)]);
         // n(2 per 0) = 50 × gain 1 = 50 > g0 = 30 → choose 2.
         let d = resolve(&p, &[30.0, 0.0, 1.0], &[0, 2]);
         assert_eq!(d.chosen, vec![2]);

@@ -189,21 +189,24 @@ pub struct ReuseOutcome {
 }
 
 impl ReuseOutcome {
-    fn tables_with_policies(&self, enabled: bool) -> Vec<memo_runtime::MemoTable> {
+    fn tables_with_policies(
+        &self,
+        enabled: bool,
+    ) -> Result<Vec<memo_runtime::MemoTable>, memo_runtime::SpecError> {
         self.specs
             .iter()
             .zip(&self.policies)
             .map(|(spec, policy)| {
                 let mut table = if spec.out_words.len() > 1 {
-                    memo_runtime::MemoTable::merged(spec)
+                    memo_runtime::MemoTable::try_merged(spec)?
                 } else {
-                    memo_runtime::MemoTable::direct(spec)
+                    memo_runtime::MemoTable::try_direct(spec)?
                 };
                 table.set_policy(memo_runtime::GuardPolicy {
                     enabled,
                     ..policy.clone()
                 });
-                table
+                Ok(table)
             })
             .collect()
     }
@@ -211,15 +214,79 @@ impl ReuseOutcome {
     /// Instantiates the planned memo tables. The profile-derived guard
     /// policies are installed for telemetry but left disabled, so table
     /// behaviour matches the paper's static scheme exactly.
-    pub fn make_tables(&self) -> Vec<memo_runtime::MemoTable> {
+    ///
+    /// # Errors
+    ///
+    /// Returns [`memo_runtime::SpecError`] when a planned spec is
+    /// structurally invalid.
+    pub fn try_make_tables(&self) -> Result<Vec<memo_runtime::MemoTable>, memo_runtime::SpecError> {
         self.tables_with_policies(false)
     }
 
     /// Instantiates the planned memo tables with the adaptive guard
     /// enabled: a table whose live collision rate stays above its
     /// profile-predicted threshold is resized or bypassed at run time.
-    pub fn make_adaptive_tables(&self) -> Vec<memo_runtime::MemoTable> {
+    ///
+    /// # Errors
+    ///
+    /// Returns [`memo_runtime::SpecError`] when a planned spec is
+    /// structurally invalid.
+    pub fn try_make_adaptive_tables(
+        &self,
+    ) -> Result<Vec<memo_runtime::MemoTable>, memo_runtime::SpecError> {
         self.tables_with_policies(true)
+    }
+
+    /// Instantiates the planned tables as a shareable, sharded store
+    /// (`shards` lock shards per table, rounded up to a power of two) for
+    /// concurrent probing through [`vm::RunConfig::shared_tables`]. Guard
+    /// policies are installed per shard, disabled — matching
+    /// [`ReuseOutcome::try_make_tables`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`memo_runtime::SpecError`] when a planned spec is
+    /// structurally invalid.
+    pub fn try_make_shared_tables(
+        &self,
+        shards: usize,
+    ) -> Result<Vec<memo_runtime::ShardedTable>, memo_runtime::SpecError> {
+        self.specs
+            .iter()
+            .zip(&self.policies)
+            .map(|(spec, policy)| {
+                let mut table = memo_runtime::ShardedTable::try_from_spec(spec, shards)?;
+                table.set_policy(memo_runtime::GuardPolicy {
+                    enabled: false,
+                    ..policy.clone()
+                });
+                Ok(table)
+            })
+            .collect()
+    }
+
+    /// Instantiates the planned memo tables, panicking on an invalid spec.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a planned spec is structurally invalid (the pipeline
+    /// never plans one); binaries use [`ReuseOutcome::try_make_tables`]
+    /// and surface the error instead.
+    pub fn make_tables(&self) -> Vec<memo_runtime::MemoTable> {
+        self.try_make_tables()
+            .unwrap_or_else(|e| panic!("pipeline planned an invalid table spec: {e}"))
+    }
+
+    /// Instantiates the planned memo tables with the adaptive guard
+    /// enabled, panicking on an invalid spec.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a planned spec is structurally invalid; binaries use
+    /// [`ReuseOutcome::try_make_adaptive_tables`] instead.
+    pub fn make_adaptive_tables(&self) -> Vec<memo_runtime::MemoTable> {
+        self.try_make_adaptive_tables()
+            .unwrap_or_else(|e| panic!("pipeline planned an invalid table spec: {e}"))
     }
 }
 
@@ -341,10 +408,7 @@ pub fn run_pipeline(
             SegKind::BareBlock(id) => {
                 // A bare block runs as often as its innermost enclosing
                 // loop iterates (or as often as the function is called).
-                match crate::subsegment::enclosing_loop(
-                    &checked.program.funcs[seg.func].body,
-                    id,
-                ) {
+                match crate::subsegment::enclosing_loop(&checked.program.funcs[seg.func].body, id) {
                     Some(loop_id) => loop_index
                         .get(&loop_id)
                         .map(|&i| freq.loop_counts[i])
@@ -401,11 +465,13 @@ pub fn run_pipeline(
         let planned_slots = {
             let mut slots = TableSpec::recommended_slots(sp.dip());
             if let Some(cap) = config.bytes_cap {
-                let per =
-                    memo_runtime::DirectTable::entry_bytes(io.key_words, io.out_words);
+                let per = memo_runtime::DirectTable::entry_bytes(io.key_words, io.out_words);
                 let fit = (cap / per).max(1);
-                let fit_pow2 =
-                    if fit.is_power_of_two() { fit } else { fit.next_power_of_two() / 2 };
+                let fit_pow2 = if fit.is_power_of_two() {
+                    fit
+                } else {
+                    fit.next_power_of_two() / 2
+                };
                 slots = slots.min(fit_pow2.max(1));
             }
             slots

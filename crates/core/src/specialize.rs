@@ -122,9 +122,10 @@ pub fn specialize(checked: &Checked, an: &Analyses) -> (Program, Vec<Specializat
 
         // Refuse if a bound global's name is shadowed inside the function.
         let func_def = &checked.program.funcs[target];
-        if bindings.iter().any(|(_, b)| {
-            matches!(b, Binding::Global(g) if name_shadowed_in(func_def, g))
-        }) {
+        if bindings
+            .iter()
+            .any(|(_, b)| matches!(b, Binding::Global(g) if name_shadowed_in(func_def, g)))
+        {
             continue;
         }
 
@@ -321,7 +322,10 @@ mod tests {
         assert_eq!(spec.params[0].name, "val");
         // Body now references power2 directly and the literal 15.
         let text = minic::pretty::print_program(&prog);
-        assert!(text.contains("power2[i]") || text.contains("power2 + i") || text.contains("*(power2"), "{text}");
+        assert!(
+            text.contains("power2[i]") || text.contains("power2 + i") || text.contains("*(power2"),
+            "{text}"
+        );
         assert!(text.contains("i < 15"), "{text}");
         // Call sites rewritten.
         assert!(text.contains("quan__spec(v * 7)"), "{text}");
@@ -369,7 +373,10 @@ mod tests {
                 return look(1, table) + look(2, table);
             }";
         let (_, _, reports) = run_spec(src);
-        assert!(reports.is_empty(), "mutated table must not bind: {reports:?}");
+        assert!(
+            reports.is_empty(),
+            "mutated table must not bind: {reports:?}"
+        );
     }
 
     #[test]

@@ -49,11 +49,8 @@ pub fn enclosing_loop(body: &Block, target: NodeId) -> Option<NodeId> {
             let hit = match &s.kind {
                 StmtKind::If {
                     then_blk, else_blk, ..
-                } => search(then_blk, target, current).or_else(|| {
-                    else_blk
-                        .as_ref()
-                        .and_then(|eb| search(eb, target, current))
-                }),
+                } => search(then_blk, target, current)
+                    .or_else(|| else_blk.as_ref().and_then(|eb| search(eb, target, current))),
                 StmtKind::While { body, .. }
                 | StmtKind::DoWhile { body, .. }
                 | StmtKind::For { body, .. } => search(body, target, Some(s.id)),
@@ -284,9 +281,9 @@ fn call_is_io(checked: &Checked, an: &Analyses, _func: usize, callee: &Expr) -> 
         c = inner;
     }
     match checked.info.res.get(&c.id) {
-        Some(Res::Builtin(
-            Builtin::Print | Builtin::Input | Builtin::Eof | Builtin::Assert,
-        )) => true,
+        Some(Res::Builtin(Builtin::Print | Builtin::Input | Builtin::Eof | Builtin::Assert)) => {
+            true
+        }
         Some(Res::Func(f)) => an.io[*f],
         _ => an.io.iter().any(|&b| b), // indirect: conservative
     }
@@ -321,10 +318,7 @@ fn has_shallow_escape(s: &Stmt) -> bool {
         // The statement itself at range level was handled by the caller.
         StmtKind::If {
             then_blk, else_blk, ..
-        } => {
-            block_escapes(then_blk, 0)
-                || else_blk.as_ref().is_some_and(|b| block_escapes(b, 0))
-        }
+        } => block_escapes(then_blk, 0) || else_blk.as_ref().is_some_and(|b| block_escapes(b, 0)),
         StmtKind::While { body, .. }
         | StmtKind::DoWhile { body, .. }
         | StmtKind::For { body, .. } => block_escapes(body, 1),
@@ -377,7 +371,11 @@ mod tests {
     #[test]
     fn without_subsegments_nothing_transforms() {
         let outcome = pipeline(IO_LOOP, false, io_loop_input());
-        assert_eq!(outcome.report.transformed, 0, "{:?}", outcome.report.decisions);
+        assert_eq!(
+            outcome.report.transformed, 0,
+            "{:?}",
+            outcome.report.decisions
+        );
     }
 
     #[test]
@@ -417,7 +415,12 @@ mod tests {
         )
         .unwrap();
         assert_eq!(base.output_text(), memo.output_text());
-        assert!(memo.cycles < base.cycles, "{} vs {}", memo.cycles, base.cycles);
+        assert!(
+            memo.cycles < base.cycles,
+            "{} vs {}",
+            memo.cycles,
+            base.cycles
+        );
     }
 
     #[test]

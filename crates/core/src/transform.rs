@@ -9,7 +9,7 @@
 
 use analysis::{SegKind, Segment};
 use minic::ast::{
-    Block, MemoOperand, MemoStmt, NodeId, Program, ProfileStmt, ScalarKind, Stmt, StmtKind,
+    Block, MemoOperand, MemoStmt, NodeId, ProfileStmt, Program, ScalarKind, Stmt, StmtKind,
 };
 
 /// A profiling-probe request: wrap `segment` and record `inputs`.
@@ -164,11 +164,7 @@ fn apply_wrap(func_body: &mut Block, kind: &SegKind, wrap: &dyn Fn(Block) -> Blo
 }
 
 /// Finds the statement with `id` anywhere under `block` and applies `f`.
-fn wrap_in_block(
-    block: &mut Block,
-    id: NodeId,
-    f: &mut impl FnMut(&mut Stmt) -> bool,
-) -> bool {
+fn wrap_in_block(block: &mut Block, id: NodeId, f: &mut impl FnMut(&mut Stmt) -> bool) -> bool {
     for s in &mut block.stmts {
         if s.id == id && f(s) {
             return true;
@@ -178,9 +174,7 @@ fn wrap_in_block(
                 then_blk, else_blk, ..
             } => {
                 wrap_in_block(then_blk, id, f)
-                    || else_blk
-                        .as_mut()
-                        .is_some_and(|b| wrap_in_block(b, id, f))
+                    || else_blk.as_mut().is_some_and(|b| wrap_in_block(b, id, f))
             }
             StmtKind::While { body, .. }
             | StmtKind::DoWhile { body, .. }
@@ -263,11 +257,14 @@ mod tests {
         let rechecked = minic::check(transformed).expect("transformed program checks");
         let module = vm::lower(&rechecked);
         let cfg = vm::RunConfig {
-            tables: vec![memo_runtime::MemoTable::direct(&memo_runtime::TableSpec {
-                slots: 1024,
-                key_words: 1,
-                out_words: vec![1],
-            })],
+            tables: vec![
+                memo_runtime::MemoTable::try_direct(&memo_runtime::TableSpec {
+                    slots: 1024,
+                    key_words: 1,
+                    out_words: vec![1],
+                })
+                .expect("valid spec"),
+            ],
             ..vm::RunConfig::default()
         };
         let orig = vm::run(&vm::lower(&checked), vm::RunConfig::default()).unwrap();
@@ -322,7 +319,11 @@ mod tests {
             .find(|s| matches!(s.kind, SegKind::LoopBody(_)) && s.name.starts_with("main"))
             .unwrap();
         let probes = vec![
-            ProbeSpec::for_segment(main_loop, 0, vec![MemoOperand::scalar("v", ScalarKind::Int)]),
+            ProbeSpec::for_segment(
+                main_loop,
+                0,
+                vec![MemoOperand::scalar("v", ScalarKind::Int)],
+            ),
             ProbeSpec::for_segment(quan_body, 1, vec![val_operand()]),
         ];
         let instrumented = insert_probes(&checked.program, &probes);

@@ -6,7 +6,11 @@ use vm::{CostModel, RunConfig};
 
 /// Runs the pipeline and both program versions; returns (outcome,
 /// baseline run, memoized run).
-fn full(src: &str, config: &PipelineConfig, input: Vec<i64>) -> (ReuseOutcome, vm::Outcome, vm::Outcome) {
+fn full(
+    src: &str,
+    config: &PipelineConfig,
+    input: Vec<i64>,
+) -> (ReuseOutcome, vm::Outcome, vm::Outcome) {
     let program = minic::parse(src).expect("parse");
     let outcome = run_pipeline(&program, config).expect("pipeline");
     let base = vm::run(
@@ -187,7 +191,11 @@ fn merging_groups_identical_inputs() {
         }";
     let config = PipelineConfig::default();
     let (outcome, base, memo) = full(src, &config, vec![]);
-    assert_eq!(outcome.report.merged_tables, 1, "{:?}", outcome.report.decisions);
+    assert_eq!(
+        outcome.report.merged_tables, 1,
+        "{:?}",
+        outcome.report.decisions
+    );
     assert_eq!(outcome.specs.len(), 1);
     assert_eq!(outcome.specs[0].out_words.len(), 2);
     assert_eq!(base.output_text(), memo.output_text());
@@ -229,12 +237,15 @@ fn cold_code_is_not_profiled() {
             .report
             .rejects
             .iter()
-            .any(|(name, r)| name == "rare:body"
-                && matches!(r, analysis::Reject::ColdCode)),
+            .any(|(name, r)| name == "rare:body" && matches!(r, analysis::Reject::ColdCode)),
         "{:?}",
         outcome.report.rejects
     );
-    assert!(!outcome.report.decisions.iter().any(|d| d.name == "rare:body"));
+    assert!(!outcome
+        .report
+        .decisions
+        .iter()
+        .any(|d| d.name == "rare:body"));
 }
 
 #[test]

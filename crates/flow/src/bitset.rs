@@ -29,7 +29,11 @@ impl BitSet {
     ///
     /// Panics if `i >= capacity`.
     pub fn insert(&mut self, i: usize) -> bool {
-        assert!(i < self.capacity, "bit {i} out of capacity {}", self.capacity);
+        assert!(
+            i < self.capacity,
+            "bit {i} out of capacity {}",
+            self.capacity
+        );
         let (w, b) = (i / 64, i % 64);
         let old = self.words[w];
         self.words[w] |= 1 << b;
@@ -38,7 +42,11 @@ impl BitSet {
 
     /// Removes `i`; returns whether the set changed.
     pub fn remove(&mut self, i: usize) -> bool {
-        assert!(i < self.capacity, "bit {i} out of capacity {}", self.capacity);
+        assert!(
+            i < self.capacity,
+            "bit {i} out of capacity {}",
+            self.capacity
+        );
         let (w, b) = (i / 64, i % 64);
         let old = self.words[w];
         self.words[w] &= !(1 << b);

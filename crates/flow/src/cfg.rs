@@ -206,7 +206,12 @@ impl<'p> Builder<'p> {
 
     /// Lowers `block` starting in `cur`; returns the block where control
     /// falls through, or `None` if all paths terminated.
-    fn lower_block(&mut self, block: &'p Block, mut cur: BlockId, exit: BlockId) -> Option<BlockId> {
+    fn lower_block(
+        &mut self,
+        block: &'p Block,
+        mut cur: BlockId,
+        exit: BlockId,
+    ) -> Option<BlockId> {
         let mut live = true;
         for s in &block.stmts {
             if !live {
@@ -492,9 +497,8 @@ mod tests {
 
     #[test]
     fn if_else_shapes_diamond() {
-        let (checked, _) = cfg_of(
-            "int f(int x) { int r; if (x > 0) { r = 1; } else { r = 2; } return r; }",
-        );
+        let (checked, _) =
+            cfg_of("int f(int x) { int r; if (x > 0) { r = 1; } else { r = 2; } return r; }");
         let cfg = Cfg::build(&checked.program.funcs[0].body);
         let g = cfg.graph();
         let idom = g.dominators(cfg.entry);
@@ -616,10 +620,7 @@ mod tests {
         assert_eq!(exits.len(), 1);
         // The exit target holds `r = r * 2` (reached from both paths).
         let (_, join) = exits[0];
-        assert!(cfg.blocks[join]
-            .preds
-            .iter()
-            .any(|p| !region.contains(p)));
+        assert!(cfg.blocks[join].preds.iter().any(|p| !region.contains(p)));
     }
 
     #[test]

@@ -45,7 +45,10 @@ impl DiGraph {
     ///
     /// Panics if either endpoint is out of range.
     pub fn add_edge(&mut self, from: usize, to: usize) {
-        assert!(from < self.len() && to < self.len(), "edge endpoint out of range");
+        assert!(
+            from < self.len() && to < self.len(),
+            "edge endpoint out of range"
+        );
         if !self.succs[from].contains(&to) {
             self.succs[from].push(to);
             self.preds[to].push(from);
@@ -253,7 +256,10 @@ impl DiGraph {
     ///
     /// Panics if the graph has a cycle.
     pub fn transitive_reduction(&self) -> DiGraph {
-        assert!(self.topo_order().is_some(), "transitive reduction needs a DAG");
+        assert!(
+            self.topo_order().is_some(),
+            "transitive reduction needs a DAG"
+        );
         let n = self.len();
         // Reachability from each node (small graphs: O(V·E) is fine).
         let mut reach: Vec<Vec<bool>> = vec![vec![false; n]; n];
@@ -269,10 +275,7 @@ impl DiGraph {
         let mut out = DiGraph::new(n);
         for u in 0..n {
             for &w in self.succs(u) {
-                let redundant = self
-                    .succs(u)
-                    .iter()
-                    .any(|&v| v != w && reach[v][w]);
+                let redundant = self.succs(u).iter().any(|&v| v != w && reach[v][w]);
                 if !redundant {
                     out.add_edge(u, w);
                 }
@@ -365,7 +368,19 @@ mod tests {
 
     #[test]
     fn condensation_is_acyclic() {
-        let g = graph(6, &[(0, 1), (1, 0), (1, 2), (2, 3), (3, 2), (3, 4), (4, 5), (5, 4)]);
+        let g = graph(
+            6,
+            &[
+                (0, 1),
+                (1, 0),
+                (1, 2),
+                (2, 3),
+                (3, 2),
+                (3, 4),
+                (4, 5),
+                (5, 4),
+            ],
+        );
         let sccs = g.sccs();
         let dag = g.condense(&sccs);
         assert_eq!(dag.len(), 3);

@@ -377,14 +377,24 @@ mod tests {
 
     #[test]
     fn integer_literals() {
-        assert_eq!(kinds("0 42 0x2A 0xff"), vec![Int(0), Int(42), Int(42), Int(255), Eof]);
+        assert_eq!(
+            kinds("0 42 0x2A 0xff"),
+            vec![Int(0), Int(42), Int(42), Int(255), Eof]
+        );
     }
 
     #[test]
     fn float_literals() {
         assert_eq!(
             kinds("1.5 0.25 3e2 1.5e-1 .5"),
-            vec![Float(1.5), Float(0.25), Float(300.0), Float(0.15), Float(0.5), Eof]
+            vec![
+                Float(1.5),
+                Float(0.25),
+                Float(300.0),
+                Float(0.15),
+                Float(0.5),
+                Eof
+            ]
         );
     }
 

@@ -34,11 +34,7 @@ use crate::token::{Token, TokenKind};
 /// ```
 pub fn parse(source: &str) -> Result<Program, Diag> {
     let tokens = lex(source)?;
-    Parser {
-        tokens,
-        pos: 0,
-    }
-    .program()
+    Parser { tokens, pos: 0 }.program()
 }
 
 struct Parser {
@@ -99,10 +95,7 @@ impl Parser {
                 let span = self.bump().span;
                 Ok((name, span))
             }
-            other => Err(self.error(format!(
-                "expected identifier, found {}",
-                other.describe()
-            ))),
+            other => Err(self.error(format!("expected identifier, found {}", other.describe()))),
         }
     }
 
@@ -968,7 +961,10 @@ mod tests {
     #[test]
     fn empty_statement_is_empty_block() {
         let prog = parse_ok("int main() { ;; return 0; }");
-        assert!(matches!(prog.funcs[0].body.stmts[0].kind, StmtKind::Block(_)));
+        assert!(matches!(
+            prog.funcs[0].body.stmts[0].kind,
+            StmtKind::Block(_)
+        ));
         assert_eq!(prog.funcs[0].body.stmts.len(), 3);
     }
 

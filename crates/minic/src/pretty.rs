@@ -307,13 +307,11 @@ impl Printer {
             }
             ExprKind::IncDec(op, a) => {
                 if op.is_prefix() {
-                    self.out
-                        .push_str(if op.delta() > 0 { "++" } else { "--" });
+                    self.out.push_str(if op.delta() > 0 { "++" } else { "--" });
                     self.prefix_operand(a);
                 } else {
                     self.expr(a, POSTFIX_PREC);
-                    self.out
-                        .push_str(if op.delta() > 0 { "++" } else { "--" });
+                    self.out.push_str(if op.delta() > 0 { "++" } else { "--" });
                 }
             }
             ExprKind::Binary(op, a, b) => {
@@ -415,10 +413,9 @@ fn binop_prec(op: BinOp) -> u8 {
 fn expr_prec(e: &Expr) -> u8 {
     match &e.kind {
         ExprKind::IntLit(_) | ExprKind::FloatLit(_) | ExprKind::Var(_) => POSTFIX_PREC + 1,
-        ExprKind::Call(..)
-        | ExprKind::Index(..)
-        | ExprKind::Member(..)
-        | ExprKind::Arrow(..) => POSTFIX_PREC,
+        ExprKind::Call(..) | ExprKind::Index(..) | ExprKind::Member(..) | ExprKind::Arrow(..) => {
+            POSTFIX_PREC
+        }
         ExprKind::IncDec(op, _) if !op.is_prefix() => POSTFIX_PREC,
         ExprKind::Unary(..) | ExprKind::IncDec(..) | ExprKind::Cast(..) => UNARY_PREC,
         ExprKind::Binary(op, ..) => binop_prec(*op),
@@ -579,7 +576,10 @@ mod tests {
         };
         let s = Stmt::synth(StmtKind::Memo(m));
         let text = print_stmt(&s);
-        assert!(text.contains("check_hash(val, hash_table_0, &key)"), "got: {text}");
+        assert!(
+            text.contains("check_hash(val, hash_table_0, &key)"),
+            "got: {text}"
+        );
         assert!(text.contains("hash_table_0[key].i = i;"));
         assert!(text.contains("i = hash_table_0[key].i;"));
     }

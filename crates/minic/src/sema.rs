@@ -296,6 +296,14 @@ impl Checker {
             }
             if let Type::Struct(_) = f.ret {
                 self.err(f.span, "functions cannot return structs by value");
+            } else if !self.type_is_known_shallow(&f.ret) {
+                self.err(
+                    f.span,
+                    format!(
+                        "function `{}` returns unknown struct type {}",
+                        f.name, f.ret
+                    ),
+                );
             }
             for p in &f.params {
                 if let Type::Struct(_) = p.ty {
@@ -337,9 +345,13 @@ impl Checker {
                 offset += size;
             }
             if ok {
-                self.info
-                    .structs
-                    .insert(s.name.clone(), StructLayout { fields, size: offset });
+                self.info.structs.insert(
+                    s.name.clone(),
+                    StructLayout {
+                        fields,
+                        size: offset,
+                    },
+                );
             }
         }
     }
@@ -377,7 +389,10 @@ impl Checker {
                 continue;
             }
             if !self.type_is_known(&g.ty) {
-                self.err(g.span, format!("global `{}` has unknown struct type", g.name));
+                self.err(
+                    g.span,
+                    format!("global `{}` has unknown struct type", g.name),
+                );
                 continue;
             }
             if g.ty == Type::Void {
@@ -417,7 +432,10 @@ impl Checker {
             }
             (Type::Array(elem, n), Init::List(items)) => {
                 if items.len() > *n {
-                    self.err(span, format!("too many initializers ({} > {n})", items.len()));
+                    self.err(
+                        span,
+                        format!("too many initializers ({} > {n})", items.len()),
+                    );
                     return Err(());
                 }
                 let elem_size = self.info.size_of(elem);
@@ -445,7 +463,10 @@ impl Checker {
                 Err(())
             }
             (Type::Ptr(_) | Type::Func(_) | Type::Struct(_) | Type::Void, Init::Scalar(e)) => {
-                self.err(e.span, "only int/float globals and arrays can be initialized");
+                self.err(
+                    e.span,
+                    "only int/float globals and arrays can be initialized",
+                );
                 Err(())
             }
         }
@@ -830,6 +851,13 @@ impl Checker {
             ExprKind::Cast(ty, a) => {
                 let aty = self.type_expr(a)?;
                 let aty = decay(&aty);
+                // The target type is user input too: a cast to (a pointer
+                // to) an undeclared struct must be a diagnostic here, not
+                // a panic when lowering asks for the struct's size.
+                if !self.type_is_known_shallow(ty) {
+                    self.err(e.span, format!("cast to unknown struct type {ty}"));
+                    return None;
+                }
                 let ok = matches!(
                     (ty, &aty),
                     (Type::Int, Type::Int | Type::Float)
@@ -944,10 +972,7 @@ impl Checker {
         }
 
         if !l.is_arith() || !r.is_arith() {
-            self.err(
-                e.span,
-                format!("invalid operands {l} {} {r}", op.glyph()),
-            );
+            self.err(e.span, format!("invalid operands {l} {} {r}", op.glyph()));
             return None;
         }
         if op.int_only() && (l == Type::Float || r == Type::Float) {
@@ -967,13 +992,12 @@ impl Checker {
     fn type_call(&mut self, e: &Expr, callee: &Expr, args: &[Expr]) -> Option<Type> {
         // Builtins get bespoke signatures.
         if let ExprKind::Var(name) = &callee.kind {
-            if self.lookup_local_or_global(name).is_none() && !self.info.func_index.contains_key(name)
+            if self.lookup_local_or_global(name).is_none()
+                && !self.info.func_index.contains_key(name)
             {
                 if let Some(b) = Builtin::by_name(name) {
                     self.info.res.insert(callee.id, Res::Builtin(b));
-                    self.info
-                        .expr_types
-                        .insert(callee.id, builtin_type(b));
+                    self.info.expr_types.insert(callee.id, builtin_type(b));
                     return self.type_builtin_call(e, b, args);
                 }
             }
@@ -997,7 +1021,11 @@ impl Checker {
         if args.len() != sig.params.len() {
             self.err(
                 e.span,
-                format!("expected {} arguments, found {}", sig.params.len(), args.len()),
+                format!(
+                    "expected {} arguments, found {}",
+                    sig.params.len(),
+                    args.len()
+                ),
             );
         }
         for (arg, pty) in args.iter().zip(&sig.params) {

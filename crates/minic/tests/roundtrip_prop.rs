@@ -41,13 +41,10 @@ fn arb_expr() -> impl Strategy<Value = Expr> {
         ];
         let un_op = prop_oneof![Just(UnOp::Neg), Just(UnOp::Not), Just(UnOp::BitNot)];
         prop_oneof![
-            (bin_op, inner.clone(), inner.clone()).prop_map(|(op, a, b)| Expr::synth(
-                ExprKind::Binary(op, Box::new(a), Box::new(b))
-            )),
-            (un_op, inner.clone()).prop_map(|(op, a)| Expr::synth(ExprKind::Unary(
-                op,
-                Box::new(a)
-            ))),
+            (bin_op, inner.clone(), inner.clone())
+                .prop_map(|(op, a, b)| Expr::synth(ExprKind::Binary(op, Box::new(a), Box::new(b)))),
+            (un_op, inner.clone())
+                .prop_map(|(op, a)| Expr::synth(ExprKind::Unary(op, Box::new(a)))),
             (inner.clone(), inner.clone(), inner.clone()).prop_map(|(c, t, f)| Expr::synth(
                 ExprKind::Ternary(Box::new(c), Box::new(t), Box::new(f))
             )),

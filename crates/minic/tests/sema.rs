@@ -170,11 +170,7 @@ fn user_function_shadows_builtin() {
          int main() { return print(3); }",
     )
     .unwrap();
-    assert!(checked
-        .info
-        .res
-        .values()
-        .any(|r| matches!(r, Res::Func(_))));
+    assert!(checked.info.res.values().any(|r| matches!(r, Res::Func(_))));
 }
 
 #[test]
@@ -323,8 +319,8 @@ fn const_exprs_in_global_init() {
 fn check_is_idempotent_on_renumbered_ast() {
     // Running check twice on the same parsed AST must succeed and agree on
     // the number of nodes (renumber is deterministic).
-    let prog = parse("int main() { int s = 0; for (int i = 0; i < 4; i++) s += i; return s; }")
-        .unwrap();
+    let prog =
+        parse("int main() { int s = 0; for (int i = 0; i < 4; i++) s += i; return s; }").unwrap();
     let c1 = check(prog.clone()).unwrap();
     let c2 = check(c1.program.clone()).unwrap();
     assert_eq!(c1.info.next_node_id, c2.info.next_node_id);
@@ -353,4 +349,33 @@ fn comparison_always_int() {
             assert_eq!(checked.info.expr_types[&e.id], Type::Int);
         }
     });
+}
+
+#[test]
+fn rejects_cast_to_undeclared_struct() {
+    // Used to pass checking and panic later, when lowering asked for the
+    // size of `struct S` during the pointer arithmetic.
+    let e = compile_err("int main() { int x; x = 0; return (int)((struct S*)&x + 1); }");
+    assert!(e.contains("unknown struct"), "{e}");
+}
+
+#[test]
+fn rejects_function_returning_undeclared_struct_pointer() {
+    let e = compile_err("struct S *f() { return 0; } int main() { return 0; }");
+    assert!(e.contains("unknown struct"), "{e}");
+}
+
+#[test]
+fn cast_to_declared_struct_pointer_still_allowed() {
+    compile(
+        "struct p { int a; int b; };
+         struct p cell;
+         int main() {
+             struct p *q;
+             q = (struct p *)&cell;
+             q->a = 3;
+             return q->a;
+         }",
+    )
+    .expect("declared struct casts stay legal");
 }

@@ -28,9 +28,7 @@ pub mod test_runner {
     impl TestRng {
         /// A generator for case `case` of a run seeded with `seed`.
         pub fn for_case(seed: u64, case: u32) -> Self {
-            let mut rng = TestRng(
-                seed ^ (u64::from(case).wrapping_mul(0x9E37_79B9_7F4A_7C15)),
-            );
+            let mut rng = TestRng(seed ^ (u64::from(case).wrapping_mul(0x9E37_79B9_7F4A_7C15)));
             // Warm up so adjacent case indices diverge immediately.
             rng.next_u64();
             rng
@@ -322,26 +320,38 @@ pub mod collection {
 
     impl From<usize> for SizeRange {
         fn from(n: usize) -> Self {
-            SizeRange { min: n, max_excl: n + 1 }
+            SizeRange {
+                min: n,
+                max_excl: n + 1,
+            }
         }
     }
 
     impl From<Range<usize>> for SizeRange {
         fn from(r: Range<usize>) -> Self {
-            SizeRange { min: r.start, max_excl: r.end }
+            SizeRange {
+                min: r.start,
+                max_excl: r.end,
+            }
         }
     }
 
     impl From<RangeInclusive<usize>> for SizeRange {
         fn from(r: RangeInclusive<usize>) -> Self {
-            SizeRange { min: *r.start(), max_excl: *r.end() + 1 }
+            SizeRange {
+                min: *r.start(),
+                max_excl: *r.end() + 1,
+            }
         }
     }
 
     /// Generates `Vec`s of values from `elem` with a length drawn from
     /// `len`.
     pub fn vec<S: Strategy>(elem: S, len: impl Into<SizeRange>) -> VecStrategy<S> {
-        VecStrategy { elem, len: len.into() }
+        VecStrategy {
+            elem,
+            len: len.into(),
+        }
     }
 
     /// See [`vec`].
@@ -451,7 +461,10 @@ macro_rules! prop_assert_ne {
         $crate::prop_assert!(
             *l != *r,
             "assertion failed: `{:?}` == `{:?}` ({} == {})",
-            l, r, stringify!($left), stringify!($right)
+            l,
+            r,
+            stringify!($left),
+            stringify!($right)
         );
     }};
 }

@@ -166,7 +166,12 @@ impl AdaptiveGuard {
     /// (zero accesses when the table was bypassed throughout); `slots` and
     /// `entry_bytes` describe the table's current geometry for resize
     /// decisions.
-    pub fn on_epoch(&mut self, window: &TableStats, slots: usize, entry_bytes: usize) -> EpochVerdict {
+    pub fn on_epoch(
+        &mut self,
+        window: &TableStats,
+        slots: usize,
+        entry_bytes: usize,
+    ) -> EpochVerdict {
         if !self.policy.enabled {
             return EpochVerdict::quiet();
         }
@@ -188,10 +193,7 @@ impl AdaptiveGuard {
                     .is_none_or(|cap| doubled.saturating_mul(entry_bytes) <= cap);
                 // Growing only pays while the table still earns hits;
                 // a table that is all collisions just gets out of the way.
-                if self.resizes_done < self.policy.max_resizes
-                    && fits
-                    && window.hit_ratio() > 0.0
-                {
+                if self.resizes_done < self.policy.max_resizes && fits && window.hit_ratio() > 0.0 {
                     self.resizes_done += 1;
                     EpochVerdict {
                         transition: Some((TableState::Active, TableState::Active, "resize")),
@@ -309,7 +311,11 @@ mod tests {
         let v = g.on_epoch(&bad_window(), 16, 16);
         assert_eq!(
             v.transition,
-            Some((TableState::Active, TableState::Bypassed, "collision rate over threshold"))
+            Some((
+                TableState::Active,
+                TableState::Bypassed,
+                "collision rate over threshold"
+            ))
         );
         assert!(g.is_bypassed());
     }
@@ -377,14 +383,22 @@ mod tests {
         assert_eq!(g.state(), TableState::Probation);
         assert_eq!(
             v.transition,
-            Some((TableState::Bypassed, TableState::Probation, "probation probe"))
+            Some((
+                TableState::Bypassed,
+                TableState::Probation,
+                "probation probe"
+            ))
         );
         // A healthy probe window re-enables the table.
         let v = g.on_epoch(&good_window(), 16, 16);
         assert_eq!(g.state(), TableState::Active);
         assert_eq!(
             v.transition,
-            Some((TableState::Probation, TableState::Active, "probation passed"))
+            Some((
+                TableState::Probation,
+                TableState::Active,
+                "probation passed"
+            ))
         );
     }
 
@@ -401,7 +415,11 @@ mod tests {
         assert!(g.is_bypassed());
         assert_eq!(
             v.transition,
-            Some((TableState::Probation, TableState::Bypassed, "probation failed"))
+            Some((
+                TableState::Probation,
+                TableState::Bypassed,
+                "probation failed"
+            ))
         );
     }
 }

@@ -18,13 +18,17 @@
 //! ```
 //! use memo_runtime::{MemoTable, TableSpec};
 //! let spec = TableSpec { slots: 1024, key_words: 1, out_words: vec![1] };
-//! let mut table = MemoTable::direct(&spec);
+//! let mut table = MemoTable::try_direct(&spec)?;
 //! let mut out = Vec::new();
 //! assert!(!table.lookup(0, &[42], &mut out)); // cold miss
 //! table.record(0, &[42], &[7]);
 //! assert!(table.lookup(0, &[42], &mut out)); // warm hit
 //! assert_eq!(out, vec![7]);
+//! # Ok::<(), memo_runtime::SpecError>(())
 //! ```
+//!
+//! For a store shared by several worker threads, wrap the same specs in a
+//! [`ShardedTable`] (N power-of-two lock shards probed through `&self`).
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
@@ -34,6 +38,7 @@ pub mod guard;
 pub mod hash;
 pub mod lru;
 pub mod merged;
+pub mod sharded;
 pub mod stats;
 pub mod telemetry;
 
@@ -41,6 +46,7 @@ pub use direct::DirectTable;
 pub use guard::{AdaptiveGuard, EpochVerdict, GuardPolicy, TableState};
 pub use lru::LruTable;
 pub use merged::MergedTable;
+pub use sharded::ShardedTable;
 pub use stats::TableStats;
 pub use telemetry::{EpochStats, StateTransition, Telemetry};
 
@@ -250,7 +256,11 @@ impl MemoTable {
             return Err(SpecError::MultiSegment(spec.out_words.len()));
         }
         Ok(Self::with_kind(
-            TableKind::Direct(DirectTable::new(spec.slots, spec.key_words, spec.out_words[0])),
+            TableKind::Direct(DirectTable::new(
+                spec.slots,
+                spec.key_words,
+                spec.out_words[0],
+            )),
             GuardPolicy::default(),
         ))
     }
@@ -280,7 +290,11 @@ impl MemoTable {
     pub fn try_merged(spec: &TableSpec) -> Result<Self, SpecError> {
         spec.validate()?;
         Ok(Self::with_kind(
-            TableKind::Merged(MergedTable::new(spec.slots, spec.key_words, &spec.out_words)),
+            TableKind::Merged(MergedTable::new(
+                spec.slots,
+                spec.key_words,
+                &spec.out_words,
+            )),
             GuardPolicy::default(),
         ))
     }
@@ -509,23 +523,47 @@ mod tests {
         };
         assert!(good.validate().is_ok());
 
-        let zero_slots = TableSpec { slots: 0, ..good.clone() };
+        let zero_slots = TableSpec {
+            slots: 0,
+            ..good.clone()
+        };
         assert_eq!(zero_slots.validate(), Err(SpecError::ZeroSlots));
         assert!(MemoTable::try_direct(&zero_slots).is_err());
 
-        let zero_key = TableSpec { key_words: 0, ..good.clone() };
+        let zero_key = TableSpec {
+            key_words: 0,
+            ..good.clone()
+        };
         assert_eq!(zero_key.validate(), Err(SpecError::ZeroKeyWords));
 
-        let no_segs = TableSpec { out_words: vec![], ..good.clone() };
+        let no_segs = TableSpec {
+            out_words: vec![],
+            ..good.clone()
+        };
         assert_eq!(no_segs.validate(), Err(SpecError::NoSegments));
 
-        let too_many = TableSpec { out_words: vec![1; 65], ..good.clone() };
+        let too_many = TableSpec {
+            out_words: vec![1; 65],
+            ..good.clone()
+        };
         assert_eq!(too_many.validate(), Err(SpecError::TooManySegments(65)));
 
-        let multi = TableSpec { out_words: vec![1, 2], ..good };
-        assert!(multi.validate().is_ok(), "merged tables accept several segments");
-        assert_eq!(MemoTable::try_direct(&multi).err(), Some(SpecError::MultiSegment(2)));
-        assert_eq!(MemoTable::try_lru(&multi).err(), Some(SpecError::MultiSegment(2)));
+        let multi = TableSpec {
+            out_words: vec![1, 2],
+            ..good
+        };
+        assert!(
+            multi.validate().is_ok(),
+            "merged tables accept several segments"
+        );
+        assert_eq!(
+            MemoTable::try_direct(&multi).err(),
+            Some(SpecError::MultiSegment(2))
+        );
+        assert_eq!(
+            MemoTable::try_lru(&multi).err(),
+            Some(SpecError::MultiSegment(2))
+        );
         assert!(MemoTable::try_merged(&multi).is_ok());
     }
 
@@ -547,11 +585,19 @@ mod tests {
                 t.record(0, &[k], &[k * 10]);
             }
         }
-        assert_eq!(t.telemetry().epochs().len(), 1, "one window closed at 4 accesses");
+        assert_eq!(
+            t.telemetry().epochs().len(),
+            1,
+            "one window closed at 4 accesses"
+        );
         assert_eq!(t.telemetry().epochs()[0].stats.accesses, 4);
         assert_eq!(t.telemetry().window().accesses, 2);
         assert_eq!(t.telemetry().per_segment().len(), 1);
-        assert_eq!(t.stats().accesses, 6, "whole-run counters unaffected by windows");
+        assert_eq!(
+            t.stats().accesses,
+            6,
+            "whole-run counters unaffected by windows"
+        );
     }
 
     #[test]
@@ -606,7 +652,11 @@ mod tests {
         let before = t.stats().accesses;
         assert!(!t.lookup(0, &[1], &mut out));
         t.record(0, &[1], &[1]);
-        assert_eq!(t.stats().accesses, before, "storage untouched while bypassed");
+        assert_eq!(
+            t.stats().accesses,
+            before,
+            "storage untouched while bypassed"
+        );
         assert!(t.telemetry().dropped_records() > 0);
         // Bypassed windows still roll, so the guard reaches probation and,
         // fed a healthy (hit-only) stream, returns to Active.

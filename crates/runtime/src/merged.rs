@@ -269,7 +269,10 @@ mod tests {
         );
         // Saving comes from sharing the key: 8 keys → 1 key + bitvec.
         let saving = t.unmerged_bytes() as f64 / t.bytes() as f64;
-        assert!(saving > 1.5, "expected substantial saving, got {saving:.2}x");
+        assert!(
+            saving > 1.5,
+            "expected substantial saving, got {saving:.2}x"
+        );
     }
 
     #[test]

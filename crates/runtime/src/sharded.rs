@@ -1,0 +1,312 @@
+//! A sharded, shareable wrapper over [`MemoTable`] for concurrent probing.
+//!
+//! A [`MemoTable`] is `&mut`-owned by one VM and dies with the run. A
+//! [`ShardedTable`] wraps the same storage kinds in N power-of-two lock
+//! shards (std [`Mutex`] only — the workspace builds offline) so many
+//! worker threads can probe one long-lived reuse store through `&self`.
+//! Each shard is a complete `MemoTable` — storage, telemetry, and its own
+//! [`AdaptiveGuard`](crate::AdaptiveGuard) — so the adaptive machinery is
+//! evaluated per shard with no extra code.
+//!
+//! ## Sharding scheme
+//!
+//! A key is routed to shard `fib(jenkins(key)) >> (32 - log2 N)`:
+//! [`hash_words`] streams the key's words through the Jenkins hash (no
+//! single-word modulo shortcut, unlike [`crate::hash::index_of`]) and a
+//! Fibonacci multiply selects the *high* bits, so the shard choice stays
+//! decorrelated from the in-shard slot index (which uses the low bits).
+//! Within a shard the lookup/record contract is exactly the sequential
+//! one, which is what makes results store-independent: a hit only ever
+//! returns outputs recorded for a bit-identical key.
+//!
+//! ## What merging preserves
+//!
+//! Every counter increment happens under exactly one shard lock, so the
+//! aggregate [`ShardedTable::stats`] is a lossless sum of the per-shard
+//! deltas: no access is lost or double-counted under contention (asserted
+//! by `tests/sharded_prop.rs`). The aggregate taken while writers are
+//! still running is a momentary snapshot; quiesce first for exact totals.
+
+use std::sync::{Mutex, MutexGuard, PoisonError};
+
+use crate::guard::{GuardPolicy, TableState};
+use crate::hash::hash_words;
+use crate::stats::TableStats;
+use crate::{MemoTable, SpecError, TableSpec};
+
+/// The three table kinds wrapped in N power-of-two lock shards, probed
+/// through `&self` so one store can outlive and be shared by many runs.
+#[derive(Debug)]
+pub struct ShardedTable {
+    shards: Vec<Mutex<MemoTable>>,
+    /// `shards.len() - 1`; the length is a power of two.
+    mask: u32,
+}
+
+impl ShardedTable {
+    /// Builds a sharded store from `spec`, rounding `shards` up to the
+    /// next power of two (minimum 1). The spec's slot budget is divided
+    /// across the shards (at least one slot each); multi-segment specs
+    /// get merged shards, single-segment specs direct-addressed ones,
+    /// mirroring the pipeline's kind choice.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpecError`] when the spec is structurally invalid.
+    pub fn try_from_spec(spec: &TableSpec, shards: usize) -> Result<Self, SpecError> {
+        spec.validate()?;
+        let n = shards.max(1).next_power_of_two();
+        let per_shard = TableSpec {
+            slots: (spec.slots / n).max(1),
+            key_words: spec.key_words,
+            out_words: spec.out_words.clone(),
+        };
+        let mut built = Vec::with_capacity(n);
+        for _ in 0..n {
+            let table = if per_shard.out_words.len() > 1 {
+                MemoTable::try_merged(&per_shard)?
+            } else {
+                MemoTable::try_direct(&per_shard)?
+            };
+            built.push(Mutex::new(table));
+        }
+        Ok(ShardedTable {
+            shards: built,
+            mask: (n - 1) as u32,
+        })
+    }
+
+    /// Installs `policy` on every shard (each shard's guard is reset to
+    /// `Active` and re-windowed). Takes `&mut self`: policies are set at
+    /// build time, before the store is shared.
+    pub fn set_policy(&mut self, policy: GuardPolicy) {
+        for shard in &mut self.shards {
+            shard
+                .get_mut()
+                .unwrap_or_else(PoisonError::into_inner)
+                .set_policy(policy.clone());
+        }
+    }
+
+    fn shard_index(&self, key: &[u64]) -> usize {
+        if self.mask == 0 || key.is_empty() {
+            return 0;
+        }
+        let bits = (self.mask + 1).trailing_zeros();
+        let h = hash_words(key).wrapping_mul(0x9E37_79B1);
+        (h >> (32 - bits)) as usize
+    }
+
+    fn lock(&self, i: usize) -> MutexGuard<'_, MemoTable> {
+        // A poisoned shard only means another worker panicked mid-access;
+        // the table data is a cache and stays usable.
+        self.shards[i]
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Looks up `key` for segment `slot` in the shard the key hashes to.
+    /// Same contract as [`MemoTable::lookup`]; a bypassed shard answers a
+    /// forced miss.
+    pub fn lookup(&self, slot: usize, key: &[u64], out: &mut Vec<u64>) -> bool {
+        self.lock(self.shard_index(key)).lookup(slot, key, out)
+    }
+
+    /// Records `outputs` for `key` in segment `slot` in the shard the key
+    /// hashes to (dropped while that shard is bypassed).
+    pub fn record(&self, slot: usize, key: &[u64], outputs: &[u64]) {
+        self.lock(self.shard_index(key)).record(slot, key, outputs)
+    }
+
+    /// Number of shards (a power of two).
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Lossless aggregate statistics: the sum of every shard's counters.
+    pub fn stats(&self) -> TableStats {
+        let mut total = TableStats::default();
+        for s in self.shard_stats() {
+            total.merge(&s);
+        }
+        total
+    }
+
+    /// Per-shard statistics snapshots, in shard order.
+    pub fn shard_stats(&self) -> Vec<TableStats> {
+        (0..self.shards.len())
+            .map(|i| *self.lock(i).stats())
+            .collect()
+    }
+
+    /// Per-shard guard states, in shard order.
+    pub fn shard_states(&self) -> Vec<TableState> {
+        (0..self.shards.len())
+            .map(|i| self.lock(i).state())
+            .collect()
+    }
+
+    /// Total storage footprint across shards, in bytes.
+    pub fn bytes(&self) -> usize {
+        (0..self.shards.len()).map(|i| self.lock(i).bytes()).sum()
+    }
+
+    /// Total slot count across shards.
+    pub fn slots(&self) -> usize {
+        (0..self.shards.len()).map(|i| self.lock(i).slots()).sum()
+    }
+
+    /// Total lookups answered as forced misses by bypassed shards.
+    pub fn bypassed_total(&self) -> u64 {
+        (0..self.shards.len())
+            .map(|i| self.lock(i).telemetry().bypassed_total())
+            .sum()
+    }
+
+    /// Total recordings dropped by bypassed shards.
+    pub fn dropped_records(&self) -> u64 {
+        (0..self.shards.len())
+            .map(|i| self.lock(i).telemetry().dropped_records())
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec(slots: usize) -> TableSpec {
+        TableSpec {
+            slots,
+            key_words: 1,
+            out_words: vec![1],
+        }
+    }
+
+    #[test]
+    fn round_trips_through_shared_reference() {
+        let t = ShardedTable::try_from_spec(&spec(64), 8).unwrap();
+        let mut out = Vec::new();
+        assert!(!t.lookup(0, &[42], &mut out));
+        t.record(0, &[42], &[7]);
+        assert!(t.lookup(0, &[42], &mut out));
+        assert_eq!(out, vec![7]);
+        let s = t.stats();
+        assert_eq!(s.accesses, 2);
+        assert_eq!(s.hits, 1);
+        assert_eq!(s.insertions, 1);
+    }
+
+    #[test]
+    fn shard_count_rounds_to_power_of_two() {
+        for (ask, got) in [(0, 1), (1, 1), (3, 4), (4, 4), (5, 8)] {
+            let t = ShardedTable::try_from_spec(&spec(64), ask).unwrap();
+            assert_eq!(t.shard_count(), got);
+        }
+    }
+
+    #[test]
+    fn slot_budget_is_divided_across_shards() {
+        let t = ShardedTable::try_from_spec(&spec(64), 8).unwrap();
+        assert_eq!(t.slots(), 64);
+        // A tiny spec still gets one slot per shard.
+        let tiny = ShardedTable::try_from_spec(&spec(2), 8).unwrap();
+        assert_eq!(tiny.slots(), 8);
+    }
+
+    #[test]
+    fn invalid_specs_yield_typed_errors() {
+        let bad = TableSpec {
+            slots: 0,
+            key_words: 1,
+            out_words: vec![1],
+        };
+        assert_eq!(
+            ShardedTable::try_from_spec(&bad, 4).err(),
+            Some(SpecError::ZeroSlots)
+        );
+    }
+
+    #[test]
+    fn keys_spread_over_shards() {
+        let t = ShardedTable::try_from_spec(&spec(1024), 8).unwrap();
+        for k in 0..256u64 {
+            t.record(0, &[k], &[k]);
+        }
+        let used = t.shard_stats().iter().filter(|s| s.insertions > 0).count();
+        assert!(used >= 4, "only {used} of 8 shards saw traffic");
+    }
+
+    #[test]
+    fn aggregate_stats_equal_sum_of_shards() {
+        let t = ShardedTable::try_from_spec(&spec(32), 4).unwrap();
+        let mut out = Vec::new();
+        for k in 0..100u64 {
+            if !t.lookup(0, &[k % 13], &mut out) {
+                t.record(0, &[k % 13], &[k]);
+            }
+        }
+        let mut sum = TableStats::default();
+        for s in t.shard_stats() {
+            sum.merge(&s);
+        }
+        assert_eq!(t.stats(), sum);
+        assert_eq!(sum.accesses, 100);
+    }
+
+    #[test]
+    fn merged_specs_build_merged_shards() {
+        let mspec = TableSpec {
+            slots: 16,
+            key_words: 1,
+            out_words: vec![1, 2],
+        };
+        let t = ShardedTable::try_from_spec(&mspec, 2).unwrap();
+        let mut out = Vec::new();
+        t.record(1, &[5], &[8, 9]);
+        assert!(t.lookup(1, &[5], &mut out));
+        assert_eq!(out, vec![8, 9]);
+        assert!(!t.lookup(0, &[5], &mut out), "segment 0 not yet valid");
+    }
+
+    #[test]
+    fn per_shard_guard_bypasses_independently() {
+        let mut t = ShardedTable::try_from_spec(&spec(4), 4).unwrap();
+        t.set_policy(GuardPolicy {
+            enabled: true,
+            epoch_len: 16,
+            predicted_collision_rate: 0.0,
+            margin: 0.01,
+            k_epochs: 1,
+            bypass_epochs: 1000,
+            max_resizes: 0,
+            ..GuardPolicy::default()
+        });
+        // Hammer one shard with all-distinct keys until it trips; other
+        // shards must stay active.
+        let mut out = Vec::new();
+        let victim = {
+            // Find two keys in the same shard and one elsewhere.
+            let idx: Vec<usize> = (0..64).map(|k| t.shard_index(&[k])).collect();
+            idx[0]
+        };
+        let same_shard: Vec<u64> = (0..10_000u64)
+            .filter(|&k| t.shard_index(&[k]) == victim)
+            .take(2000)
+            .collect();
+        for &k in &same_shard {
+            assert!(!t.lookup(0, &[k], &mut out));
+            t.record(0, &[k], &[k]);
+        }
+        let states = t.shard_states();
+        assert_eq!(states[victim], TableState::Bypassed);
+        assert!(
+            states
+                .iter()
+                .enumerate()
+                .any(|(i, &s)| i != victim && s == TableState::Active),
+            "independent shards should remain active"
+        );
+        assert!(t.bypassed_total() > 0);
+    }
+}

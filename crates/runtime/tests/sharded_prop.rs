@@ -1,0 +1,120 @@
+//! Property tests for the sharded concurrent store's statistics: under
+//! arbitrary concurrent traffic, the merged [`memo_runtime::TableStats`]
+//! must equal the sum of the per-shard stats, and no access may be lost
+//! or double-counted — every lookup issued by any thread shows up exactly
+//! once in exactly one shard (each shard's counters sit behind that
+//! shard's lock, so contention can reorder but never drop updates).
+
+use memo_runtime::{ShardedTable, TableSpec, TableStats};
+use proptest::prelude::*;
+
+fn spec(slots: usize, out_words: usize) -> TableSpec {
+    TableSpec {
+        slots,
+        key_words: 1,
+        out_words: vec![1; out_words],
+    }
+}
+
+/// Sums per-shard stats the way `ShardedTable::stats` merges them.
+fn shard_sum(t: &ShardedTable) -> TableStats {
+    let mut total = TableStats::default();
+    for s in t.shard_stats() {
+        total.merge(&s);
+    }
+    total
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24 })]
+
+    /// T threads each issue L lookup+record pairs over a shared key range;
+    /// afterwards the merged stats equal the per-shard sum and account for
+    /// every access exactly once.
+    #[test]
+    fn merged_stats_equal_per_shard_sum_under_contention(
+        threads in 2..5usize,
+        lookups in 1..120u64,
+        shards in 1..9usize,
+        slots in 1..48usize,
+        key_range in 1..64u64,
+        out_words in 1..3usize,
+    ) {
+        let table = ShardedTable::try_from_spec(&spec(slots, out_words), shards)
+            .expect("valid spec");
+        std::thread::scope(|s| {
+            for t in 0..threads {
+                let table = &table;
+                s.spawn(move || {
+                    let mut out = Vec::new();
+                    // All traffic targets segment slot 0, whose output
+                    // width is out_words[0] == 1 regardless of how many
+                    // segments the table merges.
+                    let outputs = [7u64];
+                    for i in 0..lookups {
+                        // Distinct threads hammer overlapping keys so
+                        // shards genuinely contend.
+                        let k = (i + t as u64) % key_range;
+                        if !table.lookup(0, &[k], &mut out) {
+                            table.record(0, &[k], &outputs);
+                        }
+                    }
+                });
+            }
+        });
+        let merged = table.stats();
+        let summed = shard_sum(&table);
+        prop_assert_eq!(merged, summed, "merge must be lossless");
+        // No lost or double-counted accesses: every lookup any thread
+        // issued is in the totals, and nothing else is.
+        prop_assert_eq!(merged.accesses, threads as u64 * lookups);
+        prop_assert_eq!(merged.hits + merged.misses, merged.accesses);
+        // Per-shard deltas partition the totals: each access landed in
+        // exactly one shard.
+        let per_shard = table.shard_stats();
+        prop_assert_eq!(per_shard.len(), table.shard_count());
+        prop_assert_eq!(
+            per_shard.iter().map(|s| s.accesses).sum::<u64>(),
+            merged.accesses
+        );
+    }
+
+    /// Interleaved batches: deltas taken between rounds also sum shard-wise.
+    #[test]
+    fn round_deltas_sum_shard_wise(
+        rounds in 1..4usize,
+        per_round in 1..40u64,
+        shards in 1..5usize,
+    ) {
+        let table = ShardedTable::try_from_spec(&spec(16, 1), shards).expect("valid spec");
+        let mut before = table.stats();
+        let mut before_shards = table.shard_stats();
+        for r in 0..rounds {
+            std::thread::scope(|s| {
+                for t in 0..3u64 {
+                    let table = &table;
+                    s.spawn(move || {
+                        let mut out = Vec::new();
+                        for i in 0..per_round {
+                            let k = r as u64 * 131 + i * 3 + t;
+                            if !table.lookup(0, &[k], &mut out) {
+                                table.record(0, &[k], &[k]);
+                            }
+                        }
+                    });
+                }
+            });
+            let after = table.stats();
+            let after_shards = table.shard_stats();
+            let delta = after.delta_since(&before);
+            prop_assert_eq!(delta.accesses, 3 * per_round);
+            let mut shard_delta = TableStats::default();
+            for (now, was) in after_shards.iter().zip(&before_shards) {
+                shard_delta.merge(&now.delta_since(was));
+            }
+            prop_assert_eq!(delta, shard_delta);
+            before = after;
+            before_shards = after_shards;
+        }
+    }
+}

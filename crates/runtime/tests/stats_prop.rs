@@ -70,9 +70,9 @@ proptest! {
     fn stats_invariants_hold_on_all_kinds(ops in arb_ops(), small in proptest::bool::ANY) {
         let slots = if small { 4 } else { 64 };
         for mut table in [
-            MemoTable::direct(&spec(slots)),
-            MemoTable::lru(&spec(slots)),
-            MemoTable::merged(&spec(slots)),
+            MemoTable::try_direct(&spec(slots)).expect("valid spec"),
+            MemoTable::try_lru(&spec(slots)).expect("valid spec"),
+            MemoTable::try_merged(&spec(slots)).expect("valid spec"),
         ] {
             drive(&mut table, &ops);
             check_invariants(table.stats())?;
@@ -84,9 +84,9 @@ proptest! {
     #[test]
     fn telemetry_windows_sum_to_aggregate_stats(ops in arb_ops()) {
         for mut table in [
-            MemoTable::direct(&spec(8)),
-            MemoTable::lru(&spec(8)),
-            MemoTable::merged(&spec(8)),
+            MemoTable::try_direct(&spec(8)).expect("valid spec"),
+            MemoTable::try_lru(&spec(8)).expect("valid spec"),
+            MemoTable::try_merged(&spec(8)).expect("valid spec"),
         ] {
             table.set_policy(GuardPolicy { epoch_len: 16, ..GuardPolicy::default() });
             drive(&mut table, &ops);
@@ -113,9 +113,9 @@ proptest! {
     #[test]
     fn probe_then_record_bounds_the_collision_rate(keys in prop::collection::vec(0..40u64, 0..300)) {
         for mut table in [
-            MemoTable::direct(&spec(4)),
-            MemoTable::lru(&spec(4)),
-            MemoTable::merged(&spec(4)),
+            MemoTable::try_direct(&spec(4)).expect("valid spec"),
+            MemoTable::try_lru(&spec(4)).expect("valid spec"),
+            MemoTable::try_merged(&spec(4)).expect("valid spec"),
         ] {
             let mut out = Vec::new();
             for &k in &keys {

@@ -1,0 +1,92 @@
+//! Request outcome fingerprints.
+//!
+//! A fingerprint hashes exactly the parts of a run that the reuse scheme
+//! guarantees are store-independent: the printed output and the return
+//! value (a trap hashes its rendered message instead). Cycle counts, hit
+//! rates and table statistics are deliberately excluded — they depend on
+//! the order concurrent requests populate a shared store (DESIGN.md §8e)
+//! — so a service run at any worker count must fingerprint identically to
+//! the sequential baseline.
+
+use vm::{Outcome, Trap};
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// FNV-1a over `bytes`, continuing from `state` (seed with [`FNV_OFFSET`]
+/// via [`fingerprint_outcome`]; exposed for chaining in tests).
+fn fnv1a(mut state: u64, bytes: &[u8]) -> u64 {
+    for &b in bytes {
+        state ^= u64::from(b);
+        state = state.wrapping_mul(FNV_PRIME);
+    }
+    state
+}
+
+/// Fingerprints a finished request: printed output + return value for a
+/// normal exit, the rendered trap message for a fault. Two results get the
+/// same fingerprint exactly when the observable program behaviour matched.
+pub fn fingerprint_outcome(result: &Result<Outcome, Trap>) -> u64 {
+    match result {
+        Ok(out) => {
+            let mut h = fnv1a(FNV_OFFSET, b"ok:");
+            h = fnv1a(h, out.output_text().as_bytes());
+            fnv1a(h, &out.ret.to_le_bytes())
+        }
+        Err(trap) => fnv1a(FNV_OFFSET, format!("trap:{trap}").as_bytes()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run_src(src: &str) -> Result<Outcome, Trap> {
+        let checked = minic::compile(src).expect("compiles");
+        let module = vm::lower(&checked);
+        vm::run(&module, vm::RunConfig::default())
+    }
+
+    #[test]
+    fn equal_behaviour_equal_fingerprint() {
+        let a = run_src("int main() { print(41 + 1); return 3; }");
+        let b = run_src("int main() { print(42); return 3; }");
+        assert_eq!(fingerprint_outcome(&a), fingerprint_outcome(&b));
+    }
+
+    #[test]
+    fn output_and_ret_both_distinguish() {
+        let base = run_src("int main() { print(1); return 0; }");
+        let other_out = run_src("int main() { print(2); return 0; }");
+        let other_ret = run_src("int main() { print(1); return 1; }");
+        assert_ne!(fingerprint_outcome(&base), fingerprint_outcome(&other_out));
+        assert_ne!(fingerprint_outcome(&base), fingerprint_outcome(&other_ret));
+    }
+
+    #[test]
+    fn cycles_do_not_affect_fingerprint() {
+        let mut fast = run_src("int main() { print(7); return 0; }").unwrap();
+        let slow = run_src(
+            "int main() { int i; int s; s = 0;\
+             for (i = 0; i < 100; i = i + 1) { s = s + i; }\
+             print(7); return 0; }",
+        )
+        .unwrap();
+        assert_ne!(fast.cycles, slow.cycles);
+        fast.cycles = slow.cycles; // irrelevant either way
+        assert_eq!(
+            fingerprint_outcome(&Ok(fast)),
+            fingerprint_outcome(&Ok(slow))
+        );
+    }
+
+    #[test]
+    fn trap_fingerprints_are_stable_and_distinct() {
+        let trap = run_src("int main() { int x; x = 1 / 0; return x; }");
+        assert!(trap.is_err());
+        let again = run_src("int main() { int x; x = 1 / 0; return x; }");
+        assert_eq!(fingerprint_outcome(&trap), fingerprint_outcome(&again));
+        let ok = run_src("int main() { return 0; }");
+        assert_ne!(fingerprint_outcome(&trap), fingerprint_outcome(&ok));
+    }
+}

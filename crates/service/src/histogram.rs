@@ -1,0 +1,210 @@
+//! Log2-bucketed latency histogram.
+//!
+//! Request latencies span several orders of magnitude (a warm memo hit
+//! returns in microseconds, a cold full run can take milliseconds), so
+//! buckets double in width: bucket 0 holds exactly 0 ns and bucket *b*
+//! holds latencies in `[2^(b-1), 2^b)` ns. Per-worker histograms merge
+//! losslessly — bucket counts are plain sums — so the service can report
+//! one aggregate distribution without sharing state on the hot path.
+
+/// Number of buckets: bucket 0 plus one per bit of a `u64` latency.
+pub const BUCKETS: usize = 65;
+
+/// A fixed-size log2 histogram of nanosecond latencies.
+#[derive(Debug, Clone)]
+pub struct LatencyHistogram {
+    buckets: [u64; BUCKETS],
+    count: u64,
+    sum_ns: u128,
+    min_ns: u64,
+    max_ns: u64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// One non-empty bucket, for reports: `lo..=hi` nanoseconds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BucketRow {
+    /// Inclusive lower bound in nanoseconds.
+    pub lo_ns: u64,
+    /// Inclusive upper bound in nanoseconds.
+    pub hi_ns: u64,
+    /// Samples that landed in the bucket.
+    pub count: u64,
+}
+
+fn bucket_of(ns: u64) -> usize {
+    if ns == 0 {
+        0
+    } else {
+        64 - ns.leading_zeros() as usize
+    }
+}
+
+fn bucket_bounds(b: usize) -> (u64, u64) {
+    if b == 0 {
+        (0, 0)
+    } else {
+        let lo = 1u64 << (b - 1);
+        let hi = if b >= 64 { u64::MAX } else { (1u64 << b) - 1 };
+        (lo, hi)
+    }
+}
+
+impl LatencyHistogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        LatencyHistogram {
+            buckets: [0; BUCKETS],
+            count: 0,
+            sum_ns: 0,
+            min_ns: u64::MAX,
+            max_ns: 0,
+        }
+    }
+
+    /// Records one latency sample.
+    pub fn record(&mut self, ns: u64) {
+        self.buckets[bucket_of(ns)] += 1;
+        self.count += 1;
+        self.sum_ns += u128::from(ns);
+        self.min_ns = self.min_ns.min(ns);
+        self.max_ns = self.max_ns.max(ns);
+    }
+
+    /// Folds another histogram in (bucket-wise sum; lossless).
+    pub fn merge(&mut self, other: &LatencyHistogram) {
+        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum_ns += other.sum_ns;
+        self.min_ns = self.min_ns.min(other.min_ns);
+        self.max_ns = self.max_ns.max(other.max_ns);
+    }
+
+    /// Total samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Mean latency in nanoseconds (0 when empty).
+    pub fn mean_ns(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum_ns as f64 / self.count as f64
+        }
+    }
+
+    /// Smallest recorded sample (0 when empty).
+    pub fn min_ns(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min_ns
+        }
+    }
+
+    /// Largest recorded sample.
+    pub fn max_ns(&self) -> u64 {
+        self.max_ns
+    }
+
+    /// Upper bound (bucket ceiling) of the quantile `q` in `[0, 1]`: the
+    /// smallest bucket ceiling at which at least `q * count` samples have
+    /// accumulated. Returns 0 when empty. Resolution is the bucket width,
+    /// i.e. a factor of two.
+    pub fn quantile_ns(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let threshold = (q.clamp(0.0, 1.0) * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0;
+        for (b, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= threshold {
+                return bucket_bounds(b).1;
+            }
+        }
+        self.max_ns
+    }
+
+    /// The non-empty buckets in ascending latency order.
+    pub fn nonzero_buckets(&self) -> Vec<BucketRow> {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &n)| n > 0)
+            .map(|(b, &n)| {
+                let (lo_ns, hi_ns) = bucket_bounds(b);
+                BucketRow {
+                    lo_ns,
+                    hi_ns,
+                    count: n,
+                }
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_double_in_width() {
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 1);
+        assert_eq!(bucket_of(2), 2);
+        assert_eq!(bucket_of(3), 2);
+        assert_eq!(bucket_of(4), 3);
+        assert_eq!(bucket_of(1023), 10);
+        assert_eq!(bucket_of(1024), 11);
+        assert_eq!(bucket_of(u64::MAX), 64);
+        for b in 0..BUCKETS {
+            let (lo, hi) = bucket_bounds(b);
+            assert!(lo <= hi);
+            assert_eq!(bucket_of(lo), b);
+            assert_eq!(bucket_of(hi), b);
+        }
+    }
+
+    #[test]
+    fn merge_is_lossless() {
+        let mut a = LatencyHistogram::new();
+        let mut b = LatencyHistogram::new();
+        let mut whole = LatencyHistogram::new();
+        for ns in [0u64, 1, 5, 17, 1000, 65_536, 3] {
+            whole.record(ns);
+            if ns % 2 == 0 {
+                a.record(ns);
+            } else {
+                b.record(ns);
+            }
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), whole.count());
+        assert_eq!(a.nonzero_buckets(), whole.nonzero_buckets());
+        assert_eq!(a.min_ns(), whole.min_ns());
+        assert_eq!(a.max_ns(), whole.max_ns());
+        assert!((a.mean_ns() - whole.mean_ns()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn quantiles_report_bucket_ceilings() {
+        let mut h = LatencyHistogram::new();
+        for _ in 0..99 {
+            h.record(10); // bucket [8, 15]
+        }
+        h.record(1_000_000); // bucket [2^19, 2^20-1]
+        assert_eq!(h.quantile_ns(0.5), 15);
+        assert_eq!(h.quantile_ns(0.99), 15);
+        assert_eq!(h.quantile_ns(1.0), (1u64 << 20) - 1);
+        assert_eq!(LatencyHistogram::new().quantile_ns(0.5), 0);
+    }
+}

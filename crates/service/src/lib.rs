@@ -1,0 +1,620 @@
+//! # service — a concurrent reuse service over shared memo tables
+//!
+//! Part of the `compreuse` workspace (a reproduction of Ding & Li,
+//! *A Compiler Scheme for Reusing Intermediate Computation Results*,
+//! CGO 2004). The paper memoizes within one process; this crate asks the
+//! next question — what if many requests for the same programs could
+//! share one reuse store? A [`ReuseService`] owns a set of compiled
+//! programs, one sharded concurrent memo store per program
+//! ([`memo_runtime::ShardedTable`]), and a bounded request queue
+//! ([`queue::BoundedQueue`]). `K` worker threads each hold a private VM
+//! (bytecode precompiled once per program per worker) and probe the
+//! shared store, so a result computed for one request is reused by every
+//! later request with the same intermediate inputs — across threads.
+//!
+//! ## Equivalence contract (DESIGN.md §8e)
+//!
+//! Program *results* (printed output and return value) are identical to a
+//! sequential run with private tables: a memo entry stores the exact
+//! outputs of a segment body keyed by its exact inputs, so a hit replays
+//! precisely what a miss would recompute, no matter which request
+//! recorded it. Per-request [`RequestResult::fingerprint`] hashes only
+//! these store-independent parts. Cycle ledgers, hit rates and collision
+//! rates *are* store-order dependent — a request may hit on an entry some
+//! other request recorded — which is the point of sharing, and they are
+//! reported per run, never folded into fingerprints.
+//!
+//! ```
+//! use service::{Request, ReuseService, ServiceConfig, ServiceProgram};
+//!
+//! let checked = minic::compile(
+//!     "int f(int x) { int i; int s; s = 0;
+//!        for (i = 0; i < 100; i = i + 1) { s = s + x * i; } return s; }
+//!      int main() { print(f(input())); return 0; }",
+//! )
+//! .unwrap();
+//! let svc = ReuseService::new(
+//!     vec![ServiceProgram {
+//!         name: "square".into(),
+//!         module: vm::lower(&checked),
+//!         specs: vec![],
+//!         policies: vec![],
+//!     }],
+//!     ServiceConfig { workers: 2, ..ServiceConfig::default() },
+//! )
+//! .unwrap();
+//! let requests: Vec<Request> = (0..8).map(|i| Request { program: 0, input: vec![i % 3] }).collect();
+//! let report = svc.run(&requests);
+//! let baseline = svc.run_private_sequential(&requests);
+//! assert_eq!(report.fingerprints(), baseline.fingerprints());
+//! # Ok::<(), memo_runtime::SpecError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod fingerprint;
+pub mod histogram;
+pub mod queue;
+
+use std::sync::{Arc, Mutex, PoisonError};
+use std::time::Instant;
+
+use memo_runtime::{GuardPolicy, MemoTable, ShardedTable, SpecError, TableSpec, TableStats};
+use vm::{CostModel, Module, RunConfig};
+
+pub use fingerprint::fingerprint_outcome;
+pub use histogram::LatencyHistogram;
+pub use queue::BoundedQueue;
+
+/// One program the service can serve: the memoized module plus the table
+/// plan the pipeline produced for it ([`compreuse::ReuseOutcome`]'s
+/// `specs` and `policies`, by value so the service crate stays independent
+/// of the compiler crates).
+#[derive(Debug)]
+pub struct ServiceProgram {
+    /// Display name (workload name in the bench harness).
+    pub name: String,
+    /// The lowered, memoized module.
+    pub module: Module,
+    /// Planned table specs, indexed by the module's table ids.
+    pub specs: Vec<TableSpec>,
+    /// Per-table adaptive-guard policies (same length as `specs`).
+    pub policies: Vec<GuardPolicy>,
+}
+
+/// Service tuning knobs.
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    /// Worker threads (minimum 1).
+    pub workers: usize,
+    /// Lock shards per table (rounded up to a power of two).
+    pub shards: usize,
+    /// Bounded queue capacity — in-flight back-pressure limit.
+    pub queue_capacity: usize,
+    /// Whether the per-shard adaptive guard may act (default: telemetry
+    /// only, matching `ReuseOutcome::make_tables`).
+    pub adaptive: bool,
+    /// Cost model the programs were planned under; bytecode is compiled
+    /// against it once per worker.
+    pub cost: CostModel,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            workers: 4,
+            shards: 8,
+            queue_capacity: 64,
+            adaptive: false,
+            cost: CostModel::o0(),
+        }
+    }
+}
+
+/// One request: which program to run and its input stream.
+#[derive(Debug, Clone)]
+pub struct Request {
+    /// Index into the service's program list.
+    pub program: usize,
+    /// Input stream consumed by the program's `input()` builtin.
+    pub input: Vec<i64>,
+}
+
+/// The per-request record a worker produces.
+#[derive(Debug, Clone)]
+pub struct RequestResult {
+    /// Index of the request in the submitted batch.
+    pub request: usize,
+    /// Program index the request named.
+    pub program: usize,
+    /// Worker that served it (0 for the sequential baseline).
+    pub worker: usize,
+    /// Store-independent outcome fingerprint ([`fingerprint_outcome`]).
+    pub fingerprint: u64,
+    /// Modelled cycles (store-order dependent under sharing).
+    pub cycles: u64,
+    /// Host wall-clock latency of the run, in nanoseconds.
+    pub latency_ns: u64,
+    /// Whether the program trapped (the fingerprint then hashes the trap).
+    pub trapped: bool,
+}
+
+/// Everything one batch run produced.
+#[derive(Debug)]
+pub struct ServiceReport {
+    /// Per-request records, indexed by request position in the batch.
+    pub results: Vec<RequestResult>,
+    /// Host wall-clock for the whole batch, seconds.
+    pub wall_seconds: f64,
+    /// Requests per wall-clock second.
+    pub throughput_rps: f64,
+    /// Merged latency distribution across workers.
+    pub latency: LatencyHistogram,
+    /// Requests served per worker.
+    pub per_worker: Vec<u64>,
+    /// Aggregate store statistics accumulated by *this batch* (delta over
+    /// the run; the store itself keeps accumulating across batches).
+    pub store_delta: TableStats,
+}
+
+impl ServiceReport {
+    /// The batch's fingerprints in request order (the determinism
+    /// invariant: equal across worker counts and store temperatures).
+    pub fn fingerprints(&self) -> Vec<u64> {
+        self.results.iter().map(|r| r.fingerprint).collect()
+    }
+
+    /// Hit ratio of the store traffic this batch generated.
+    pub fn hit_ratio(&self) -> f64 {
+        self.store_delta.hit_ratio()
+    }
+}
+
+struct ProgramRt {
+    program: ServiceProgram,
+    store: Arc<Vec<ShardedTable>>,
+}
+
+/// The service: programs, their shared stores, and a worker-pool runner.
+///
+/// `run` may be called repeatedly; the shared stores persist between
+/// batches, so a second identical batch runs warm (higher hit rate, same
+/// fingerprints).
+pub struct ReuseService {
+    programs: Vec<ProgramRt>,
+    config: ServiceConfig,
+}
+
+impl std::fmt::Debug for ReuseService {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ReuseService")
+            .field("programs", &self.programs.len())
+            .field("config", &self.config)
+            .finish()
+    }
+}
+
+fn recover<T>(r: Result<T, PoisonError<T>>) -> T {
+    r.unwrap_or_else(PoisonError::into_inner)
+}
+
+impl ReuseService {
+    /// Builds the service: one sharded store per program, policies
+    /// installed per shard (enabled only with [`ServiceConfig::adaptive`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpecError`] when a program's table spec is structurally
+    /// invalid.
+    pub fn new(programs: Vec<ServiceProgram>, config: ServiceConfig) -> Result<Self, SpecError> {
+        let programs = programs
+            .into_iter()
+            .map(|p| {
+                let store = build_store(&p, &config)?;
+                Ok(ProgramRt {
+                    program: p,
+                    store: Arc::new(store),
+                })
+            })
+            .collect::<Result<_, SpecError>>()?;
+        Ok(ReuseService { programs, config })
+    }
+
+    /// Replaces every shared store with a fresh, empty one — a cold start
+    /// without re-running the pipeline (worker-scaling sweeps reset
+    /// between points so each worker count is measured from the same
+    /// store temperature).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpecError`] when a table spec is structurally invalid
+    /// (cannot happen for specs that already built once).
+    pub fn reset_stores(&mut self) -> Result<(), SpecError> {
+        for rt in &mut self.programs {
+            rt.store = Arc::new(build_store(&rt.program, &self.config)?);
+        }
+        Ok(())
+    }
+
+    /// Changes the worker count for subsequent [`ReuseService::run`] calls.
+    pub fn set_workers(&mut self, workers: usize) {
+        self.config.workers = workers.max(1);
+    }
+
+    /// The currently configured worker count.
+    pub fn workers(&self) -> usize {
+        self.config.workers.max(1)
+    }
+
+    /// Program names, in index order.
+    pub fn program_names(&self) -> Vec<&str> {
+        self.programs
+            .iter()
+            .map(|p| p.program.name.as_str())
+            .collect()
+    }
+
+    /// Aggregate statistics over every program's shared store.
+    pub fn store_stats(&self) -> TableStats {
+        let mut total = TableStats::default();
+        for p in &self.programs {
+            for t in p.store.iter() {
+                total.merge(&t.stats());
+            }
+        }
+        total
+    }
+
+    /// Total bytes held by the shared stores.
+    pub fn store_bytes(&self) -> usize {
+        self.programs
+            .iter()
+            .map(|p| p.store.iter().map(ShardedTable::bytes).sum::<usize>())
+            .sum()
+    }
+
+    fn run_config_for(&self, req: &Request, store: Option<Arc<Vec<ShardedTable>>>) -> RunConfig {
+        RunConfig {
+            cost: self.config.cost.clone(),
+            input: req.input.clone(),
+            shared_tables: store,
+            ..RunConfig::default()
+        }
+    }
+
+    /// Serves one batch on `config.workers` threads against the shared
+    /// stores. Requests flow through the bounded queue in submission
+    /// order; completion order is scheduler-dependent, but `results` is
+    /// indexed by submission position either way.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a request names a program index out of range.
+    pub fn run(&self, requests: &[Request]) -> ServiceReport {
+        for r in requests {
+            assert!(
+                r.program < self.programs.len(),
+                "request names program {} but the service has {}",
+                r.program,
+                self.programs.len()
+            );
+        }
+        let workers = self.config.workers.max(1);
+        let queue: BoundedQueue<usize> = BoundedQueue::new(self.config.queue_capacity);
+        let results: Mutex<Vec<Option<RequestResult>>> = Mutex::new(vec![None; requests.len()]);
+        let gathered: Mutex<Vec<LatencyHistogram>> = Mutex::new(Vec::new());
+        let before = self.store_stats();
+        let t0 = Instant::now();
+        std::thread::scope(|s| {
+            for w in 0..workers {
+                let queue = &queue;
+                let results = &results;
+                let gathered = &gathered;
+                s.spawn(move || {
+                    // One lazily-filled bytecode cache per worker: each
+                    // program is compiled at most once per worker, then
+                    // every request for it reuses the bytecode.
+                    let mut compiled: Vec<Option<vm::Precompiled<'_>>> =
+                        (0..self.programs.len()).map(|_| None).collect();
+                    let mut hist = LatencyHistogram::new();
+                    while let Some(idx) = queue.pop() {
+                        let req = &requests[idx];
+                        let rt = &self.programs[req.program];
+                        let pre = compiled[req.program].get_or_insert_with(|| {
+                            vm::precompile(&rt.program.module, &self.config.cost)
+                        });
+                        let start = Instant::now();
+                        let outcome = vm::run_precompiled(
+                            &rt.program.module,
+                            pre,
+                            self.run_config_for(req, Some(Arc::clone(&rt.store))),
+                        );
+                        let latency_ns =
+                            start.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64;
+                        hist.record(latency_ns);
+                        let record = RequestResult {
+                            request: idx,
+                            program: req.program,
+                            worker: w,
+                            fingerprint: fingerprint_outcome(&outcome),
+                            cycles: outcome.as_ref().map_or(0, |o| o.cycles),
+                            latency_ns,
+                            trapped: outcome.is_err(),
+                        };
+                        recover(results.lock())[idx] = Some(record);
+                    }
+                    recover(gathered.lock()).push(hist);
+                });
+            }
+            // The caller's thread is the producer: bounded queue, so a
+            // long batch exerts back-pressure here instead of buffering
+            // everything.
+            for idx in 0..requests.len() {
+                if queue.push(idx).is_err() {
+                    break;
+                }
+            }
+            queue.close();
+        });
+        let wall_seconds = t0.elapsed().as_secs_f64();
+        let after = self.store_stats();
+
+        let results: Vec<RequestResult> = recover(results.into_inner())
+            .into_iter()
+            .enumerate()
+            .map(|(i, r)| r.unwrap_or_else(|| panic!("request {i} was never served")))
+            .collect();
+        let mut latency = LatencyHistogram::new();
+        let mut per_worker = vec![0u64; workers];
+        for hist in recover(gathered.into_inner()) {
+            latency.merge(&hist);
+        }
+        for r in &results {
+            per_worker[r.worker] += 1;
+        }
+        ServiceReport {
+            throughput_rps: if wall_seconds > 0.0 {
+                results.len() as f64 / wall_seconds
+            } else {
+                0.0
+            },
+            results,
+            wall_seconds,
+            latency,
+            per_worker,
+            store_delta: after.delta_since(&before),
+        }
+    }
+
+    /// The sequential baseline: every request runs on the calling thread
+    /// with *fresh private tables* (the paper's per-process scheme — no
+    /// cross-request reuse). Fingerprints from [`ReuseService::run`] must
+    /// equal this baseline's at any worker count; throughput and hit rate
+    /// are what sharing is measured against.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a request names a program index out of range, or if a
+    /// program's table spec stopped being instantiable (the service
+    /// already built a sharded store from the same specs in `new`).
+    pub fn run_private_sequential(&self, requests: &[Request]) -> ServiceReport {
+        let mut compiled: Vec<Option<vm::Precompiled<'_>>> =
+            (0..self.programs.len()).map(|_| None).collect();
+        let mut latency = LatencyHistogram::new();
+        let mut results = Vec::with_capacity(requests.len());
+        let mut table_stats = TableStats::default();
+        let t0 = Instant::now();
+        for (idx, req) in requests.iter().enumerate() {
+            let rt = &self.programs[req.program];
+            let pre = compiled[req.program]
+                .get_or_insert_with(|| vm::precompile(&rt.program.module, &self.config.cost));
+            let tables = private_tables(&rt.program.specs, &rt.program.policies)
+                .unwrap_or_else(|e| panic!("{}: invalid table spec: {e}", rt.program.name));
+            let mut config = self.run_config_for(req, None);
+            config.tables = tables;
+            let start = Instant::now();
+            let outcome = vm::run_precompiled(&rt.program.module, pre, config);
+            let latency_ns = start.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64;
+            latency.record(latency_ns);
+            if let Ok(o) = &outcome {
+                for t in &o.tables {
+                    table_stats.merge(t.stats());
+                }
+            }
+            results.push(RequestResult {
+                request: idx,
+                program: req.program,
+                worker: 0,
+                fingerprint: fingerprint_outcome(&outcome),
+                cycles: outcome.as_ref().map_or(0, |o| o.cycles),
+                latency_ns,
+                trapped: outcome.is_err(),
+            });
+        }
+        let wall_seconds = t0.elapsed().as_secs_f64();
+        ServiceReport {
+            throughput_rps: if wall_seconds > 0.0 {
+                results.len() as f64 / wall_seconds
+            } else {
+                0.0
+            },
+            per_worker: vec![results.len() as u64],
+            results,
+            wall_seconds,
+            latency,
+            store_delta: table_stats,
+        }
+    }
+}
+
+/// Builds one program's sharded shared store from its table plan.
+fn build_store(p: &ServiceProgram, config: &ServiceConfig) -> Result<Vec<ShardedTable>, SpecError> {
+    p.specs
+        .iter()
+        .zip(&p.policies)
+        .map(|(spec, policy)| {
+            let mut t = ShardedTable::try_from_spec(spec, config.shards)?;
+            t.set_policy(GuardPolicy {
+                enabled: config.adaptive,
+                ..policy.clone()
+            });
+            Ok(t)
+        })
+        .collect()
+}
+
+/// Instantiates a program's table plan as run-private tables — the same
+/// construction `ReuseOutcome::try_make_tables` performs, duplicated here
+/// so the service crate does not depend on the compiler crates.
+fn private_tables(
+    specs: &[TableSpec],
+    policies: &[GuardPolicy],
+) -> Result<Vec<MemoTable>, SpecError> {
+    specs
+        .iter()
+        .zip(policies)
+        .map(|(spec, policy)| {
+            let mut t = if spec.out_words.len() > 1 {
+                MemoTable::try_merged(spec)?
+            } else {
+                MemoTable::try_direct(spec)?
+            };
+            t.set_policy(GuardPolicy {
+                enabled: false,
+                ..policy.clone()
+            });
+            Ok(t)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn memoized_program(name: &str) -> ServiceProgram {
+        // Run the real pipeline on a small program with a profitable
+        // loop so the module carries Memo segments and table specs.
+        let src = "
+            int work(int x) {
+                int i; int s;
+                s = 0;
+                for (i = 0; i < 200; i = i + 1) {
+                    s = s + (x * i) % 97;
+                }
+                return s;
+            }
+            int main() {
+                int n; int r; int j;
+                n = input();
+                r = 0;
+                for (j = 0; j < 30; j = j + 1) {
+                    r = r + work(n % 4);
+                }
+                print(r);
+                return 0;
+            }";
+        let program = minic::parse(src).expect("parses");
+        let outcome = compreuse::run_pipeline(
+            &program,
+            &compreuse::PipelineConfig {
+                profile_input: vec![2],
+                min_exec: 4,
+                ..compreuse::PipelineConfig::default()
+            },
+        )
+        .expect("pipeline");
+        ServiceProgram {
+            name: name.to_string(),
+            module: vm::lower(&outcome.transformed),
+            specs: outcome.specs,
+            policies: outcome.policies,
+        }
+    }
+
+    fn mix(n: usize) -> Vec<Request> {
+        (0..n)
+            .map(|i| Request {
+                program: 0,
+                input: vec![(i % 5) as i64],
+            })
+            .collect()
+    }
+
+    #[test]
+    fn concurrent_run_matches_sequential_baseline() {
+        let svc = ReuseService::new(
+            vec![memoized_program("work")],
+            ServiceConfig {
+                workers: 3,
+                shards: 4,
+                queue_capacity: 2,
+                ..ServiceConfig::default()
+            },
+        )
+        .expect("valid specs");
+        let requests = mix(24);
+        let baseline = svc.run_private_sequential(&requests);
+        let report = svc.run(&requests);
+        assert_eq!(report.fingerprints(), baseline.fingerprints());
+        assert_eq!(report.results.len(), 24);
+        assert!(report.results.iter().all(|r| !r.trapped));
+        assert_eq!(report.latency.count(), 24);
+        assert_eq!(report.per_worker.iter().sum::<u64>(), 24);
+    }
+
+    #[test]
+    fn warm_store_raises_hit_ratio_not_fingerprints() {
+        let svc = ReuseService::new(
+            vec![memoized_program("work")],
+            ServiceConfig {
+                workers: 2,
+                ..ServiceConfig::default()
+            },
+        )
+        .expect("valid specs");
+        let requests = mix(16);
+        let cold = svc.run(&requests);
+        let warm = svc.run(&requests);
+        assert_eq!(cold.fingerprints(), warm.fingerprints());
+        assert!(
+            warm.hit_ratio() >= cold.hit_ratio(),
+            "warm {} < cold {}",
+            warm.hit_ratio(),
+            cold.hit_ratio()
+        );
+        // The second pass replays inputs the store has seen: every probe
+        // the first pass recorded is now a hit.
+        assert!(
+            warm.hit_ratio() > 0.5,
+            "warm hit ratio {}",
+            warm.hit_ratio()
+        );
+    }
+
+    #[test]
+    fn store_persists_across_batches_until_reset() {
+        let mut svc = ReuseService::new(vec![memoized_program("work")], ServiceConfig::default())
+            .expect("valid specs");
+        let before = svc.store_stats();
+        assert_eq!(before.accesses, 0);
+        svc.run(&mix(4));
+        let after = svc.store_stats();
+        assert!(after.accesses > 0);
+        assert!(svc.store_bytes() > 0);
+        svc.reset_stores().expect("specs still valid");
+        assert_eq!(svc.store_stats().accesses, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "request names program")]
+    fn out_of_range_program_panics() {
+        let svc = ReuseService::new(vec![memoized_program("work")], ServiceConfig::default())
+            .expect("valid specs");
+        svc.run(&[Request {
+            program: 9,
+            input: vec![],
+        }]);
+    }
+}

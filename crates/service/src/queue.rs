@@ -1,0 +1,177 @@
+//! Bounded multi-producer multi-consumer request queue.
+//!
+//! Built from `std` primitives only (`Mutex` + two `Condvar`s), matching
+//! the workspace's offline-build constraint. The queue is *bounded*:
+//! producers block once `capacity` items are in flight, so a burst of
+//! requests exerts back-pressure instead of growing without limit.
+//! `close` wakes everyone; consumers then drain the remaining items and
+//! receive `None`.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex, PoisonError};
+
+#[derive(Debug)]
+struct Inner<T> {
+    items: VecDeque<T>,
+    closed: bool,
+}
+
+/// A bounded FIFO channel usable from any number of threads by shared
+/// reference.
+#[derive(Debug)]
+pub struct BoundedQueue<T> {
+    inner: Mutex<Inner<T>>,
+    not_empty: Condvar,
+    not_full: Condvar,
+    capacity: usize,
+}
+
+// The queue is a cache-free FIFO: a poisoned mutex only means another
+// thread panicked mid-push/pop, and the VecDeque itself is still
+// structurally sound, so every lock recovers the guard.
+fn recover<T>(r: Result<T, PoisonError<T>>) -> T {
+    r.unwrap_or_else(PoisonError::into_inner)
+}
+
+impl<T> BoundedQueue<T> {
+    /// Creates a queue holding at most `capacity` items (minimum 1).
+    pub fn new(capacity: usize) -> Self {
+        BoundedQueue {
+            inner: Mutex::new(Inner {
+                items: VecDeque::new(),
+                closed: false,
+            }),
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// Enqueues `item`, blocking while the queue is full. Returns the item
+    /// back if the queue has been closed.
+    ///
+    /// # Errors
+    ///
+    /// Returns `Err(item)` when the queue was closed before the item could
+    /// be enqueued.
+    pub fn push(&self, item: T) -> Result<(), T> {
+        let mut inner = recover(self.inner.lock());
+        while inner.items.len() >= self.capacity && !inner.closed {
+            inner = recover(self.not_full.wait(inner));
+        }
+        if inner.closed {
+            return Err(item);
+        }
+        inner.items.push_back(item);
+        drop(inner);
+        self.not_empty.notify_one();
+        Ok(())
+    }
+
+    /// Dequeues the next item, blocking while the queue is empty and open.
+    /// Returns `None` once the queue is closed *and* drained.
+    pub fn pop(&self) -> Option<T> {
+        let mut inner = recover(self.inner.lock());
+        loop {
+            if let Some(item) = inner.items.pop_front() {
+                drop(inner);
+                self.not_full.notify_one();
+                return Some(item);
+            }
+            if inner.closed {
+                return None;
+            }
+            inner = recover(self.not_empty.wait(inner));
+        }
+    }
+
+    /// Closes the queue: future pushes fail, consumers drain what is left
+    /// and then see `None`.
+    pub fn close(&self) {
+        recover(self.inner.lock()).closed = true;
+        self.not_empty.notify_all();
+        self.not_full.notify_all();
+    }
+
+    /// Items currently buffered (racy snapshot; for tests and telemetry).
+    pub fn len(&self) -> usize {
+        recover(self.inner.lock()).items.len()
+    }
+
+    /// Whether the buffer is empty right now (racy snapshot).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    #[test]
+    fn fifo_order_single_thread() {
+        let q = BoundedQueue::new(8);
+        for i in 0..5 {
+            q.push(i).unwrap();
+        }
+        q.close();
+        let drained: Vec<i32> = std::iter::from_fn(|| q.pop()).collect();
+        assert_eq!(drained, vec![0, 1, 2, 3, 4]);
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn push_after_close_returns_item() {
+        let q = BoundedQueue::new(2);
+        q.close();
+        assert_eq!(q.push(7), Err(7));
+    }
+
+    #[test]
+    fn bounded_capacity_blocks_and_drains() {
+        let q = BoundedQueue::new(2);
+        let consumed = AtomicU64::new(0);
+        std::thread::scope(|s| {
+            s.spawn(|| {
+                while let Some(v) = q.pop() {
+                    consumed.fetch_add(v, Ordering::Relaxed);
+                }
+            });
+            // 100 pushes through a capacity-2 queue must all land.
+            for i in 1..=100u64 {
+                q.push(i).unwrap();
+            }
+            q.close();
+        });
+        assert_eq!(consumed.load(Ordering::Relaxed), 5050);
+    }
+
+    #[test]
+    fn many_producers_many_consumers() {
+        let q = BoundedQueue::new(4);
+        let total = AtomicU64::new(0);
+        std::thread::scope(|s| {
+            for _ in 0..3 {
+                s.spawn(|| {
+                    while let Some(v) = q.pop() {
+                        total.fetch_add(v, Ordering::Relaxed);
+                    }
+                });
+            }
+            std::thread::scope(|p| {
+                for t in 0..4u64 {
+                    let q = &q;
+                    p.spawn(move || {
+                        for i in 0..50 {
+                            q.push(t * 50 + i).unwrap();
+                        }
+                    });
+                }
+            });
+            q.close();
+        });
+        // sum 0..200 = 19900
+        assert_eq!(total.load(Ordering::Relaxed), 19900);
+    }
+}

@@ -741,8 +741,8 @@ impl<'m> FnCx<'_, 'm> {
                 self.emit(Instr::ForHead(self.cost.loop_overhead));
                 let mut cond_fix = None;
                 if let Some(cond) = cond {
-                    cond_fix =
-                        Some(if let Some((op, a, b, cost)) = self.fuse_cond(cond, self.cost.branch) {
+                    cond_fix = Some(
+                        if let Some((op, a, b, cost)) = self.fuse_cond(cond, self.cost.branch) {
                             self.emit(Instr::JumpIfFalseCmp {
                                 op,
                                 a,
@@ -754,7 +754,8 @@ impl<'m> FnCx<'_, 'm> {
                             self.emit(Instr::Tick(self.cost.branch));
                             self.expr(cond);
                             self.emit(Instr::JumpIfFalse(0))
-                        });
+                        },
+                    );
                 }
                 self.emit(Instr::LoopCount(*loop_idx));
                 self.loops.push(LoopCx {
@@ -832,9 +833,10 @@ impl<'m> FnCx<'_, 'm> {
     fn memo(&mut self, m: &'m LMemo) {
         let id = self.bc.memos.len() as u32;
         self.bc.memos.push(m);
-        self.bc
-            .memo_cost
-            .push(self.cost.memo_overhead(m.key_words as usize, m.out_words as usize));
+        self.bc.memo_cost.push(
+            self.cost
+                .memo_overhead(m.key_words as usize, m.out_words as usize),
+        );
         let enter = self.emit(Instr::MemoEnter { id, hit_target: 0 });
         self.regions.push(StaticRegion::Memo(id));
         self.block(&m.body);
@@ -915,9 +917,7 @@ impl<'m> FnCx<'_, 'm> {
                         LExpr::AddrLocal(off) => Some((false, *off)),
                         _ => None,
                     };
-                    if let (Some((global, b)), Some((fi, ci))) =
-                        (static_base, self.fast_arg(idx))
-                    {
+                    if let (Some((global, b)), Some((fi, ci))) = (static_base, self.fast_arg(idx)) {
                         self.emit(Instr::ReadIdx {
                             global,
                             base: b,
@@ -1134,9 +1134,10 @@ mod tests {
 
     #[test]
     fn jumps_are_patched() {
-        let checked =
-            minic::compile("int main() { int i; int s; s = 0; for (i = 0; i < 3; i++) { s = s + i; } return s; }")
-                .expect("compiles");
+        let checked = minic::compile(
+            "int main() { int i; int s; s = 0; for (i = 0; i < 3; i++) { s = s + i; } return s; }",
+        )
+        .expect("compiles");
         let module = crate::lower::lower(&checked);
         let bc = compile(&module, &CostModel::o0());
         for (i, ins) in bc.code.iter().enumerate() {

@@ -165,10 +165,7 @@ mod tests {
         assert!(o3.call <= o0.call);
         // But the memo probe costs the same: this is what compresses
         // speedups between Table 6 and Table 7.
-        assert_eq!(
-            o3.memo_overhead(1, 1),
-            o0.memo_overhead(1, 1)
-        );
+        assert_eq!(o3.memo_overhead(1, 1), o0.memo_overhead(1, 1));
     }
 
     #[test]

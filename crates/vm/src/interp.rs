@@ -14,10 +14,12 @@ use crate::lower::{
     WriteCost,
 };
 use crate::profile::{ProfileData, SegProfile};
+use crate::tables::TableHandles;
 use crate::value::{PrintVal, Trap, Value};
-use memo_runtime::{MemoTable, TableState};
+use memo_runtime::{MemoTable, ShardedTable, TableState};
 use minic::ast::{BinOp, UnOp};
 use minic::sema::Builtin;
+use std::sync::Arc;
 
 /// Which execution engine runs the module.
 ///
@@ -53,8 +55,16 @@ pub struct RunConfig {
     pub energy: EnergyModel,
     /// Input stream consumed by the `input()` builtin.
     pub input: Vec<i64>,
-    /// Memo tables, indexed by the module's table ids.
+    /// Memo tables, indexed by the module's table ids. Ignored when
+    /// `shared_tables` is set.
     pub tables: Vec<MemoTable>,
+    /// A shared, sharded reuse store to probe instead of `tables`. When
+    /// set, the run's memo traffic goes to this store (which outlives the
+    /// run and may be probed by other runs concurrently) and
+    /// [`Outcome::tables`] comes back empty — statistics live in the
+    /// store. Program results are identical either way; cycle counts and
+    /// hit rates depend on the store's contents (DESIGN.md §8e).
+    pub shared_tables: Option<Arc<Vec<ShardedTable>>>,
     /// Stack region size in cells.
     pub stack_cells: usize,
     /// Abort after this many cycles (runaway guard).
@@ -76,6 +86,7 @@ impl Default for RunConfig {
             energy: EnergyModel::default(),
             input: Vec::new(),
             tables: Vec::new(),
+            shared_tables: None,
             stack_cells: 1 << 20,
             max_cycles: u64::MAX,
             max_depth: 4096,
@@ -191,12 +202,8 @@ fn run_on_current_thread(module: &Module, config: RunConfig) -> Result<Outcome, 
 
     let profiler = make_profiler(module);
 
-    assert!(
-        config.tables.len() >= module.table_count,
-        "module expects {} memo tables, got {}",
-        module.table_count,
-        config.tables.len()
-    );
+    let tables =
+        crate::tables::take_handles(config.tables, config.shared_tables, module.table_count);
 
     let mut m = Machine {
         module,
@@ -212,7 +219,7 @@ fn run_on_current_thread(module: &Module, config: RunConfig) -> Result<Outcome, 
         input: config.input,
         input_pos: 0,
         output: Vec::new(),
-        tables: config.tables,
+        tables,
         table_words: 0,
         func_calls: vec![0; module.funcs.len()],
         loop_counts: vec![0; module.loop_origins.len()],
@@ -241,7 +248,7 @@ fn run_on_current_thread(module: &Module, config: RunConfig) -> Result<Outcome, 
         func_calls: m.func_calls,
         loop_counts: m.loop_counts,
         branch_counts: m.branch_counts,
-        tables: m.tables,
+        tables: m.tables.into_tables(),
         profile: m.profiler,
     })
 }
@@ -269,7 +276,7 @@ struct Machine<'m> {
     input: Vec<i64>,
     input_pos: usize,
     output: Vec<PrintVal>,
-    tables: Vec<MemoTable>,
+    tables: TableHandles,
     table_words: u64,
     func_calls: Vec<u64>,
     loop_counts: Vec<u64>,
@@ -547,12 +554,18 @@ impl<'m> Machine<'m> {
         // pays only the guard-flag branch and falls through to the original
         // body — no key build, no table traffic. The lookup call still runs
         // (it is a forced miss) so the table's epoch clock advances toward
-        // its next probation probe.
-        if self.tables[m.table as usize].state() == TableState::Bypassed {
+        // its next probation probe. Shared stores never take this path:
+        // their guard state is per shard, and the shard is unknown until
+        // the key is built (`TableHandles::state` reports `Active`).
+        if self.tables.state(m.table as usize) == TableState::Bypassed {
             self.tick(self.cost.branch);
             self.out_scratch.clear();
-            let hit =
-                self.tables[m.table as usize].lookup(m.slot as usize, &[], &mut self.out_scratch);
+            let hit = self.tables.lookup(
+                m.table as usize,
+                m.slot as usize,
+                &[],
+                &mut self.out_scratch,
+            );
             debug_assert!(!hit, "bypassed lookups are forced misses");
             return self.exec_block(&m.body);
         }
@@ -572,7 +585,8 @@ impl<'m> Machine<'m> {
         self.table_words += (m.key_words + m.out_words) as u64;
 
         self.out_scratch.clear();
-        let hit = self.tables[m.table as usize].lookup(
+        let hit = self.tables.lookup(
+            m.table as usize,
             m.slot as usize,
             &self.key_arena[ks..],
             &mut self.out_scratch,
@@ -583,7 +597,12 @@ impl<'m> Machine<'m> {
             let mut pos = 0usize;
             for op in &m.outputs {
                 let n = op.words as usize;
-                write_operand_from(&mut self.mem, self.frame, op, &self.out_scratch[pos..pos + n])?;
+                write_operand_from(
+                    &mut self.mem,
+                    self.frame,
+                    op,
+                    &self.out_scratch[pos..pos + n],
+                )?;
                 pos += n;
             }
             if let Some(is_float) = m.ret {
@@ -629,7 +648,8 @@ impl<'m> Machine<'m> {
             }
         };
         self.table_words += m.out_words as u64;
-        self.tables[m.table as usize].record(
+        self.tables.record(
+            m.table as usize,
             m.slot as usize,
             &self.key_arena[ks..],
             &self.rec_scratch,

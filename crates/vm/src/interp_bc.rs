@@ -20,8 +20,9 @@ use crate::interp::{
     write_operand_from, Outcome, RunConfig,
 };
 use crate::lower::{Module, WriteCost};
+use crate::tables::TableHandles;
 use crate::value::{PrintVal, Trap, Value};
-use memo_runtime::{MemoTable, TableState};
+use memo_runtime::TableState;
 use minic::ast::BinOp;
 use minic::sema::Builtin;
 
@@ -50,19 +51,19 @@ struct Region {
 
 /// Runs a compiled module to completion. Engine-agnostic setup and the
 /// outcome layout match `run_on_current_thread` in `interp` exactly.
-pub(crate) fn run_bc(module: &Module, bc: &BcModule<'_>, config: RunConfig) -> Result<Outcome, Trap> {
+pub(crate) fn run_bc(
+    module: &Module,
+    bc: &BcModule<'_>,
+    config: RunConfig,
+) -> Result<Outcome, Trap> {
     let globals_len = module.globals.len();
     let mut mem = Vec::with_capacity(globals_len + 4096);
     mem.extend_from_slice(&module.globals);
 
     let profiler = make_profiler(module);
 
-    assert!(
-        config.tables.len() >= module.table_count,
-        "module expects {} memo tables, got {}",
-        module.table_count,
-        config.tables.len()
-    );
+    let tables =
+        crate::tables::take_handles(config.tables, config.shared_tables, module.table_count);
 
     let mut m = BcMachine {
         module,
@@ -79,7 +80,7 @@ pub(crate) fn run_bc(module: &Module, bc: &BcModule<'_>, config: RunConfig) -> R
         input: config.input,
         input_pos: 0,
         output: Vec::new(),
-        tables: config.tables,
+        tables,
         table_words: 0,
         func_calls: vec![0; module.funcs.len()],
         loop_counts: vec![0; module.loop_origins.len()],
@@ -110,7 +111,7 @@ pub(crate) fn run_bc(module: &Module, bc: &BcModule<'_>, config: RunConfig) -> R
         func_calls: m.func_calls,
         loop_counts: m.loop_counts,
         branch_counts: m.branch_counts,
-        tables: m.tables,
+        tables: m.tables.into_tables(),
         profile: m.profiler,
     })
 }
@@ -131,7 +132,7 @@ struct BcMachine<'m, 'b> {
     input: Vec<i64>,
     input_pos: usize,
     output: Vec<PrintVal>,
-    tables: Vec<MemoTable>,
+    tables: TableHandles,
     table_words: u64,
     func_calls: Vec<u64>,
     loop_counts: Vec<u64>,
@@ -738,11 +739,17 @@ impl BcMachine<'_, '_> {
         let m = self.bc.memos[id as usize];
         // Bypassed table: pay only the guard branch, run the body with an
         // unarmed region; the forced-miss probe advances the epoch clock.
-        if self.tables[m.table as usize].state() == TableState::Bypassed {
+        // Shared stores never take this path — their guard state is per
+        // shard and unknown before the key exists (`TableHandles::state`).
+        if self.tables.state(m.table as usize) == TableState::Bypassed {
             self.tick(self.cost.branch);
             self.out_scratch.clear();
-            let hit =
-                self.tables[m.table as usize].lookup(m.slot as usize, &[], &mut self.out_scratch);
+            let hit = self.tables.lookup(
+                m.table as usize,
+                m.slot as usize,
+                &[],
+                &mut self.out_scratch,
+            );
             debug_assert!(!hit, "bypassed lookups are forced misses");
             self.regions.push(Region {
                 memo: true,
@@ -762,7 +769,8 @@ impl BcMachine<'_, '_> {
         self.table_words += (m.key_words + m.out_words) as u64;
 
         self.out_scratch.clear();
-        let hit = self.tables[m.table as usize].lookup(
+        let hit = self.tables.lookup(
+            m.table as usize,
             m.slot as usize,
             &self.key_arena[ks..],
             &mut self.out_scratch,
@@ -772,7 +780,12 @@ impl BcMachine<'_, '_> {
             let mut pos = 0usize;
             for op in &m.outputs {
                 let n = op.words as usize;
-                write_operand_from(&mut self.mem, self.frame, op, &self.out_scratch[pos..pos + n])?;
+                write_operand_from(
+                    &mut self.mem,
+                    self.frame,
+                    op,
+                    &self.out_scratch[pos..pos + n],
+                )?;
                 pos += n;
             }
             if let Some(is_float) = m.ret {
@@ -819,7 +832,8 @@ impl BcMachine<'_, '_> {
         if m.ret.is_none() {
             self.table_words += m.out_words as u64;
             let ks = r.key_start as usize;
-            self.tables[m.table as usize].record(
+            self.tables.record(
+                m.table as usize,
                 m.slot as usize,
                 &self.key_arena[ks..],
                 &self.rec_scratch,
@@ -851,7 +865,8 @@ impl BcMachine<'_, '_> {
             self.rec_scratch.push(w);
             self.table_words += m.out_words as u64;
             let ks = r.key_start as usize;
-            self.tables[m.table as usize].record(
+            self.tables.record(
+                m.table as usize,
                 m.slot as usize,
                 &self.key_arena[ks..],
                 &self.rec_scratch,

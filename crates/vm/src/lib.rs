@@ -33,6 +33,7 @@ pub mod interp;
 mod interp_bc;
 pub mod lower;
 pub mod profile;
+pub mod tables;
 pub mod value;
 
 pub use cost::{CostModel, OptLevel};
@@ -40,7 +41,38 @@ pub use energy::EnergyModel;
 pub use interp::{run, Engine, Outcome, RunConfig};
 pub use lower::{lower, Module};
 pub use profile::{ProfileData, SegProfile};
+pub use tables::TableHandles;
 pub use value::{PrintVal, Trap, Value};
+
+/// A module compiled to bytecode once, reusable across many runs.
+///
+/// [`run`] compiles the bytecode on every call; a request-serving worker
+/// instead compiles each program once with [`precompile`] and executes
+/// requests with [`run_precompiled`], keeping the per-request path free of
+/// compilation work.
+#[derive(Debug)]
+pub struct Precompiled<'m>(bytecode::BcModule<'m>);
+
+/// Compiles `module` to bytecode under `cost` (cycle charges are baked in
+/// as immediates, so later runs must use the same cost model).
+pub fn precompile<'m>(module: &'m Module, cost: &CostModel) -> Precompiled<'m> {
+    Precompiled(bytecode::compile(module, cost))
+}
+
+/// Runs a precompiled module on the bytecode engine (`config.engine` is
+/// ignored). `config.cost` must be the model the bytecode was compiled
+/// under, or cycle accounting will mix two models.
+///
+/// # Errors
+///
+/// Returns a [`Trap`] if the program faults, as [`run`] does.
+pub fn run_precompiled(
+    module: &Module,
+    pre: &Precompiled<'_>,
+    config: RunConfig,
+) -> Result<Outcome, Trap> {
+    interp_bc::run_bc(module, &pre.0, config)
+}
 
 /// Compiles MiniC source and runs it in one step (convenience for tests
 /// and examples).

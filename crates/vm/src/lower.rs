@@ -465,7 +465,9 @@ impl<'c> Lowerer<'c> {
                     .get(self.current_frame_of(s))
                     .and_then(|f| f.decl_offsets.get(&s.id))
                     .expect("decl has a slot") as u32;
-                let init = init.as_ref().map(|e| (self.lower_expr(e), Coerce::of_type(ty)));
+                let init = init
+                    .as_ref()
+                    .map(|e| (self.lower_expr(e), Coerce::of_type(ty)));
                 LStmt::Decl { slot, init }
             }
             StmtKind::Expr(e) => LStmt::Expr(self.lower_expr(e)),
@@ -550,8 +552,8 @@ impl<'c> Lowerer<'c> {
                 let inputs = self.lower_operands(s.id, &m.inputs, 0);
                 let outputs = self.lower_operands(s.id, &m.outputs, m.inputs.len());
                 let key_words: u32 = inputs.iter().map(|o| o.words).sum();
-                let out_words: u32 = outputs.iter().map(|o| o.words).sum::<u32>()
-                    + u32::from(m.ret.is_some());
+                let out_words: u32 =
+                    outputs.iter().map(|o| o.words).sum::<u32>() + u32::from(m.ret.is_some());
                 LStmt::Memo(LMemo {
                     table: m.table as u32,
                     slot: m.slot as u32,
@@ -790,11 +792,15 @@ impl<'c> Lowerer<'c> {
                 b: Box::new(self.lower_expr(b)),
             },
             _ => {
-                let is_float =
-                    matches!(aty, Type::Float) || matches!(bty, Type::Float);
+                let is_float = matches!(aty, Type::Float) || matches!(bty, Type::Float);
                 let ck = self.cost_kind(op, is_float);
                 let _ = e;
-                LExpr::Binary(op, Box::new(self.lower_expr(a)), Box::new(self.lower_expr(b)), ck)
+                LExpr::Binary(
+                    op,
+                    Box::new(self.lower_expr(a)),
+                    Box::new(self.lower_expr(b)),
+                    ck,
+                )
             }
         }
     }
@@ -826,7 +832,11 @@ impl<'c> Lowerer<'c> {
         };
         let args = args
             .iter()
-            .zip(param_coerce.into_iter().chain(std::iter::repeat(Coerce::None)))
+            .zip(
+                param_coerce
+                    .into_iter()
+                    .chain(std::iter::repeat(Coerce::None)),
+            )
             .map(|(a, c)| (self.lower_expr(a), c))
             .collect();
         LExpr::Call {
@@ -858,10 +868,9 @@ impl<'c> Lowerer<'c> {
                 ),
                 _ => panic!("assignment to function name rejected by sema"),
             },
-            ExprKind::Unary(UnOp::Deref, p) => (
-                LPlace::Mem(Box::new(self.lower_expr(p))),
-                WriteCost::Mem,
-            ),
+            ExprKind::Unary(UnOp::Deref, p) => {
+                (LPlace::Mem(Box::new(self.lower_expr(p))), WriteCost::Mem)
+            }
             ExprKind::Index(base, idx) => {
                 let stride = self.elem_size(&minic::sema::decay(self.ty(base)));
                 (

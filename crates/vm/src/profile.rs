@@ -67,7 +67,10 @@ impl SegProfile {
         }
         let mut per_slot: HashMap<usize, Vec<u64>> = HashMap::new();
         for (key, &count) in &self.distinct {
-            per_slot.entry(index_of(key, slots)).or_default().push(count);
+            per_slot
+                .entry(index_of(key, slots))
+                .or_default()
+                .push(count);
         }
         let mut lost = 0u64;
         for counts in per_slot.values() {

@@ -16,34 +16,72 @@ fn output_of(src: &str) -> String {
 
 #[test]
 fn arithmetic_and_precedence() {
-    assert_eq!(output_of("int main() { print(2 + 3 * 4); return 0; }"), "14");
-    assert_eq!(output_of("int main() { print((2 + 3) * 4); return 0; }"), "20");
-    assert_eq!(output_of("int main() { print(7 / 2); print(7 % 2); return 0; }"), "3\n1");
+    assert_eq!(
+        output_of("int main() { print(2 + 3 * 4); return 0; }"),
+        "14"
+    );
+    assert_eq!(
+        output_of("int main() { print((2 + 3) * 4); return 0; }"),
+        "20"
+    );
+    assert_eq!(
+        output_of("int main() { print(7 / 2); print(7 % 2); return 0; }"),
+        "3\n1"
+    );
     assert_eq!(output_of("int main() { print(-7 / 2); return 0; }"), "-3");
-    assert_eq!(output_of("int main() { print(1 << 10); print(1024 >> 3); return 0; }"), "1024\n128");
-    assert_eq!(output_of("int main() { print(6 & 3); print(6 | 3); print(6 ^ 3); print(~0); return 0; }"), "2\n7\n5\n-1");
+    assert_eq!(
+        output_of("int main() { print(1 << 10); print(1024 >> 3); return 0; }"),
+        "1024\n128"
+    );
+    assert_eq!(
+        output_of("int main() { print(6 & 3); print(6 | 3); print(6 ^ 3); print(~0); return 0; }"),
+        "2\n7\n5\n-1"
+    );
 }
 
 #[test]
 fn float_arithmetic_and_promotion() {
-    assert_eq!(output_of("int main() { print(1.5 + 2.25); return 0; }"), "3.75");
+    assert_eq!(
+        output_of("int main() { print(1.5 + 2.25); return 0; }"),
+        "3.75"
+    );
     assert_eq!(output_of("int main() { print(3 * 1.5); return 0; }"), "4.5");
-    assert_eq!(output_of("int main() { print((int)(7.9)); return 0; }"), "7");
-    assert_eq!(output_of("int main() { float f = 3; print(f / 2); return 0; }"), "1.5");
+    assert_eq!(
+        output_of("int main() { print((int)(7.9)); return 0; }"),
+        "7"
+    );
+    assert_eq!(
+        output_of("int main() { float f = 3; print(f / 2); return 0; }"),
+        "1.5"
+    );
     // Assignment truncates (C semantics).
-    assert_eq!(output_of("int main() { int x = 2.9; print(x); return 0; }"), "2");
+    assert_eq!(
+        output_of("int main() { int x = 2.9; print(x); return 0; }"),
+        "2"
+    );
 }
 
 #[test]
 fn comparisons_and_logic() {
     assert_eq!(
-        output_of("int main() { print(1 < 2); print(2 <= 1); print(1 == 1); print(1 != 1); return 0; }"),
+        output_of(
+            "int main() { print(1 < 2); print(2 <= 1); print(1 == 1); print(1 != 1); return 0; }"
+        ),
         "1\n0\n1\n0"
     );
     // Short circuit: the divide by zero on the right must not run.
-    assert_eq!(output_of("int main() { int x = 0; print(x != 0 && 10 / x > 0); return 0; }"), "0");
-    assert_eq!(output_of("int main() { int x = 1; print(x == 1 || 10 / 0); return 0; }"), "1");
-    assert_eq!(output_of("int main() { print(!5); print(!0); return 0; }"), "0\n1");
+    assert_eq!(
+        output_of("int main() { int x = 0; print(x != 0 && 10 / x > 0); return 0; }"),
+        "0"
+    );
+    assert_eq!(
+        output_of("int main() { int x = 1; print(x == 1 || 10 / 0); return 0; }"),
+        "1"
+    );
+    assert_eq!(
+        output_of("int main() { print(!5); print(!0); return 0; }"),
+        "0\n1"
+    );
 }
 
 #[test]
@@ -303,7 +341,9 @@ fn frequency_counters_count() {
 #[test]
 fn energy_scales_with_cycles() {
     let short = run_ok("int main() { return 0; }");
-    let long = run_ok("int main() { int s = 0; for (int i = 0; i < 100000; i++) s += i; print(s); return 0; }");
+    let long = run_ok(
+        "int main() { int s = 0; for (int i = 0; i < 100000; i++) s += i; print(s); return 0; }",
+    );
     assert!(long.cycles > short.cycles * 100);
     assert!(long.energy_joules > short.energy_joules * 100.0);
     assert!(long.seconds > 0.0);
@@ -359,11 +399,12 @@ const QUAN_SRC: &str = "
 fn quan_table() -> MemoTable {
     // Keys are multiples of 100 below 2000; 2048 slots keep `key mod size`
     // injective so the test sees zero collisions.
-    MemoTable::direct(&TableSpec {
+    MemoTable::try_direct(&TableSpec {
         slots: 2048,
         key_words: 1,
         out_words: vec![1], // the return value
     })
+    .expect("valid spec")
 }
 
 #[test]
@@ -387,7 +428,11 @@ fn memoized_quan_preserves_semantics_and_saves_cycles() {
     };
     let memo = run(&module, cfg).expect("memoized run");
 
-    assert_eq!(orig.output_text(), memo.output_text(), "semantics preserved");
+    assert_eq!(
+        orig.output_text(),
+        memo.output_text(),
+        "semantics preserved"
+    );
     assert!(
         memo.cycles < orig.cycles,
         "memoized ({}) must beat original ({}) at 98% reuse",
@@ -436,11 +481,12 @@ fn memoized_segment_with_scalar_outputs() {
     );
     let module = vm::lower(&checked);
     let cfg = RunConfig {
-        tables: vec![MemoTable::direct(&TableSpec {
+        tables: vec![MemoTable::try_direct(&TableSpec {
             slots: 16,
             key_words: 1,
             out_words: vec![2],
-        })],
+        })
+        .expect("valid spec")],
         ..RunConfig::default()
     };
     let memo = run(&module, cfg).expect("memoized run");
@@ -481,11 +527,12 @@ fn memoization_hurts_when_reuse_rate_is_low() {
     );
     let module = vm::lower(&checked);
     let cfg = RunConfig {
-        tables: vec![MemoTable::direct(&TableSpec {
+        tables: vec![MemoTable::try_direct(&TableSpec {
             slots: 2048,
             key_words: 1,
             out_words: vec![1],
-        })],
+        })
+        .expect("valid spec")],
         ..RunConfig::default()
     };
     let memo = run(&module, cfg).expect("run");
@@ -558,11 +605,12 @@ fn merged_table_segments_share_key() {
     let checked = minic::check(prog).expect("checks");
     let module = vm::lower(&checked);
     let cfg = RunConfig {
-        tables: vec![MemoTable::merged(&TableSpec {
+        tables: vec![MemoTable::try_merged(&TableSpec {
             slots: 16,
             key_words: 1,
             out_words: vec![1, 1],
-        })],
+        })
+        .expect("valid spec")],
         ..RunConfig::default()
     };
     let memo = run(&module, cfg).expect("run");

@@ -246,7 +246,12 @@ fn encode_default(scale: f64) -> Vec<i64> {
 
 fn encode_alt(scale: f64) -> Vec<i64> {
     // MiBench's small.pcm stand-in: different speaker pitch and level.
-    speech_pcm(scaled(ENCODE_SAMPLES * 2, scale), 0x5A11_0077, 0.043, 6400.0)
+    speech_pcm(
+        scaled(ENCODE_SAMPLES * 2, scale),
+        0x5A11_0077,
+        0.043,
+        6400.0,
+    )
 }
 
 fn decode_default(scale: f64) -> Vec<i64> {

@@ -193,10 +193,16 @@ mod tests {
 
     #[test]
     fn generators_are_deterministic() {
-        assert_eq!(speech_pcm(100, 7, 0.05, 8000.0), speech_pcm(100, 7, 0.05, 8000.0));
+        assert_eq!(
+            speech_pcm(100, 7, 0.05, 8000.0),
+            speech_pcm(100, 7, 0.05, 8000.0)
+        );
         assert_eq!(adpcm_codes(100, 7, 3.0), adpcm_codes(100, 7, 3.0));
         assert_eq!(go_moves(50, 7), go_moves(50, 7));
-        assert_ne!(speech_pcm(100, 7, 0.05, 8000.0), speech_pcm(100, 8, 0.05, 8000.0));
+        assert_ne!(
+            speech_pcm(100, 7, 0.05, 8000.0),
+            speech_pcm(100, 8, 0.05, 8000.0)
+        );
     }
 
     #[test]
@@ -229,7 +235,10 @@ mod tests {
             distinct.insert(b.to_vec());
         }
         let reuse = 1.0 - distinct.len() as f64 / 2000.0;
-        assert!((0.04..0.25).contains(&reuse), "encode-like reuse, got {reuse}");
+        assert!(
+            (0.04..0.25).contains(&reuse),
+            "encode-like reuse, got {reuse}"
+        );
     }
 
     #[test]
@@ -240,7 +249,10 @@ mod tests {
             distinct.insert(b.to_vec());
         }
         let reuse = 1.0 - distinct.len() as f64 / 2000.0;
-        assert!((0.35..0.65).contains(&reuse), "decode-like reuse, got {reuse}");
+        assert!(
+            (0.35..0.65).contains(&reuse),
+            "decode-like reuse, got {reuse}"
+        );
     }
 
     #[test]

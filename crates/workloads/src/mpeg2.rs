@@ -22,9 +22,9 @@ fn dct_table_literal() -> String {
     for j in 0..8 {
         for k in 0..8 {
             let c = if j == 0 { (0.5f64).sqrt() } else { 1.0 };
-            let v = (c * ((2 * k + 1) as f64 * j as f64 * std::f64::consts::PI / 16.0).cos()
-                * 2048.0)
-                .round() as i64;
+            let v =
+                (c * ((2 * k + 1) as f64 * j as f64 * std::f64::consts::PI / 16.0).cos() * 2048.0)
+                    .round() as i64;
             rows.push(v.to_string());
         }
     }

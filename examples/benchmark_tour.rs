@@ -19,8 +19,9 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let scale: f64 = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(0.1);
     let selected: Vec<Workload> = match args.first() {
-        Some(name) => vec![workloads::by_name(name)
-            .unwrap_or_else(|| panic!("unknown workload {name}; try G721_encode, MPEG2_decode, RASTA, UNEPIC, GNUGO"))],
+        Some(name) => vec![workloads::by_name(name).unwrap_or_else(|| {
+            panic!("unknown workload {name}; try G721_encode, MPEG2_decode, RASTA, UNEPIC, GNUGO")
+        })],
         None => workloads::main_seven(),
     };
 
@@ -30,7 +31,12 @@ fn main() {
 }
 
 fn tour(w: &Workload, scale: f64) {
-    println!("\n=== {} (hot: {}; {} source lines) ===", w.name, w.hot_functions, w.code_lines());
+    println!(
+        "\n=== {} (hot: {}; {} source lines) ===",
+        w.name,
+        w.hot_functions,
+        w.code_lines()
+    );
     let input = (w.default_input)(scale);
     let program = minic::parse(&w.source).expect("workload parses");
 
@@ -92,7 +98,11 @@ fn tour(w: &Workload, scale: f64) {
             },
         )
         .expect("memoized run");
-        assert_eq!(base.output_text(), memo.output_text(), "semantics preserved");
+        assert_eq!(
+            base.output_text(),
+            memo.output_text(),
+            "semantics preserved"
+        );
         let paper_speedup = match opt {
             OptLevel::O0 => w.paper.speedup_o0,
             OptLevel::O3 => w.paper.speedup_o3,

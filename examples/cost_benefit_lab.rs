@@ -33,15 +33,19 @@ const SOURCE: &str = "
 
 /// Builds a stream of `n` values drawn from `distinct` values.
 fn stream(n: usize, distinct: i64) -> Vec<i64> {
-    (0..n).map(|i| (i as i64 * 2654435761 % distinct) * 3 + 1).collect()
+    (0..n)
+        .map(|i| (i as i64 * 2654435761 % distinct) * 3 + 1)
+        .collect()
 }
 
 fn main() {
     let program = minic::parse(SOURCE).expect("parse");
     let n = 40_000usize;
 
-    println!("{:<10} {:>8} {:>8} {:>9} {:>9} {:>9} {:>10} {:>8}",
-        "distinct", "R", "O/C", "gain/exec", "decision", "speedup", "tbl bytes", "hit%");
+    println!(
+        "{:<10} {:>8} {:>8} {:>9} {:>9} {:>9} {:>10} {:>8}",
+        "distinct", "R", "O/C", "gain/exec", "decision", "speedup", "tbl bytes", "hit%"
+    );
     for distinct in [50i64, 400, 2_000, 8_000, 16_000, 24_000, 32_000, 40_000] {
         let input = stream(n, distinct);
         let outcome = run_pipeline(

@@ -82,8 +82,8 @@ fn main() {
         }
     }
 
-    let saved = results[1].1.report.total_table_bytes as f64
-        / results[0].1.report.total_table_bytes as f64;
+    let saved =
+        results[1].1.report.total_table_bytes as f64 / results[0].1.report.total_table_bytes as f64;
     println!("\nmerging shrinks table memory by {saved:.2}x on this workload —");
     println!("the paper's fix for the iPAQ running out of memory on GNU Go.");
 }

@@ -37,9 +37,7 @@ const SOURCE: &str = "
 
 fn main() {
     // A value-local input stream: 60k samples drawn from ~900 values.
-    let input: Vec<i64> = (0..60_000)
-        .map(|i| (i * 7919) % 900 * 18)
-        .collect();
+    let input: Vec<i64> = (0..60_000).map(|i| (i * 7919) % 900 * 18).collect();
 
     println!("== running the computation-reuse pipeline ==");
     let program = minic::parse(SOURCE).expect("parse");
@@ -99,7 +97,11 @@ fn main() {
     )
     .expect("memoized");
 
-    assert_eq!(base.output_text(), memo.output_text(), "semantics preserved");
+    assert_eq!(
+        base.output_text(),
+        memo.output_text(),
+        "semantics preserved"
+    );
     let stats = memo.tables[0].stats();
     println!("output (both versions): {}", base.output_text());
     println!(

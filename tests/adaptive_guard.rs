@@ -26,7 +26,7 @@ fn forced_collisions_bypass_and_reenable_a_raw_table() {
         key_words: 1,
         out_words: vec![1],
     };
-    let mut table = MemoTable::direct(&spec);
+    let mut table = MemoTable::try_direct(&spec).expect("valid spec");
     table.set_policy(aggressive(&GuardPolicy::default()));
 
     // The table's contract, bypassed or not: a hit only ever returns what

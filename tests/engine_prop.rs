@@ -20,7 +20,14 @@ fn arb_body_expr() -> impl Strategy<Value = String> {
     leaf.prop_recursive(3, 24, 2, |inner| {
         (
             inner.clone(),
-            prop_oneof![Just("+"), Just("-"), Just("*"), Just("^"), Just("&"), Just("|")],
+            prop_oneof![
+                Just("+"),
+                Just("-"),
+                Just("*"),
+                Just("^"),
+                Just("&"),
+                Just("|")
+            ],
             inner,
         )
             .prop_map(|(a, op, b)| format!("({a} {op} {b})"))

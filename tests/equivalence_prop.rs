@@ -20,7 +20,18 @@ fn arb_body_expr() -> impl Strategy<Value = String> {
         (1i64..100).prop_map(|v| v.to_string()),
     ];
     leaf.prop_recursive(3, 24, 2, |inner| {
-        (inner.clone(), prop_oneof![Just("+"), Just("-"), Just("*"), Just("^"), Just("&"), Just("|")], inner)
+        (
+            inner.clone(),
+            prop_oneof![
+                Just("+"),
+                Just("-"),
+                Just("*"),
+                Just("^"),
+                Just("&"),
+                Just("|")
+            ],
+            inner,
+        )
             .prop_map(|(a, op, b)| format!("({a} {op} {b})"))
     })
 }
@@ -50,9 +61,9 @@ fn program_with(body_expr: &str, iters: u8, modulus: u32) -> String {
 fn rich_program(body_expr: &str, iters: u8, modulus: u32, variant: u8) -> String {
     let inner = match variant % 3 {
         0 => format!("acc = (acc + {body_expr}) % {modulus};"),
-        1 => format!(
-            "for (int j = 0; j < 3; j++) {{ acc = (acc + {body_expr} + j) % {modulus}; }}"
-        ),
+        1 => {
+            format!("for (int j = 0; j < 3; j++) {{ acc = (acc + {body_expr} + j) % {modulus}; }}")
+        }
         _ => format!(
             "if ((acc & 1) == 0) {{ acc = (acc + {body_expr}) % {modulus}; }} \
              else {{ acc = (acc + tab[(x + i) & 15]) % {modulus}; }}"
