@@ -43,6 +43,23 @@
 //! cargo run --release -p bench --bin metrics -- --serve \
 //!     --sweep-workers 1,2,4 --shards 8 --assert-serve-speedup
 //! ```
+//!
+//! Chaos flags (with `--serve`): `--fault-plan <seed>` installs a
+//! deterministic fault plan firing every fail point at `--fault-rate`
+//! (default 0.1); `--deadline-cycles N` and `--high-watermark N` set the
+//! per-request cycle budget and the load-shedding queue depth.
+//! `--assert-fault-equivalence` is the CI gate for DESIGN.md §8f: it
+//! requires a fault plan, checks that every *executed* request
+//! fingerprinted identically to the fault-free sequential baseline, that
+//! the four terminal statuses account for the whole batch, that the plan
+//! actually bit (faults fired, retries happened), and that the emitted
+//! report round-trips through the `bench::json` parser; any failure
+//! exits nonzero.
+//!
+//! ```text
+//! cargo run --release -p bench --bin metrics -- --serve --fault-plan 42 \
+//!     --fault-rate 0.15 --sweep-workers 1,4 --assert-fault-equivalence
+//! ```
 
 use bench::reports::EngineBenchRow;
 use bench::runner::{execute, execute_with_tables, prepare_with, InputKind, PrepareOpts};
@@ -82,13 +99,88 @@ fn bench_engines(ws: &[Workload], opt: vm::OptLevel, scale: f64, assert_faster: 
     }
 }
 
-/// Runs the serving benchmark and applies the optional CI gate.
-fn serve_mode(ws: &[Workload], opts: &ServeOpts, sweep: &[usize], assert_speedup: bool) {
+/// The `--assert-fault-equivalence` gate: executed-fingerprint
+/// equivalence under an active fault plan, whole-batch status
+/// accounting, proof the plan actually bit, and a JSON round-trip of the
+/// emitted report.
+fn assert_fault_equivalence(summary: &bench::serve::ServeSummary, report: &str) {
+    let fail = |msg: &str| -> ! {
+        eprintln!("serve: fault-equivalence gate failed: {msg}");
+        std::process::exit(1);
+    };
+    if summary.opts.fault_seed.is_none() {
+        fail("--assert-fault-equivalence requires --fault-plan <seed>");
+    }
+    if !summary.all_accounted() {
+        fail("status counts do not sum to the submitted batch");
+    }
+    let mut retries = 0u64;
+    let mut unserved = 0u64;
+    let mut probe_misses = 0u64;
+    let mut total_fired = 0u64;
+    for p in &summary.points {
+        for r in [&p.cold, &p.warm] {
+            let [_, shed, _, exhausted] = r.status_counts();
+            retries += r.retries;
+            unserved += shed + exhausted;
+            let c = r.faults.as_ref().unwrap_or_else(|| {
+                fail("a sweep point ran without fault counters despite the plan")
+            });
+            probe_misses += c.fired_at(memo_runtime::FailPoint::ProbeMiss);
+            total_fired += c.total_fired();
+        }
+    }
+    if total_fired == 0 {
+        fail("the fault plan never fired — rate too low for this batch");
+    }
+    if probe_misses == 0 {
+        fail("no probe-miss faults fired on the shared stores");
+    }
+    if retries == 0 {
+        fail("no request ever retried — queue/poison faults never bit");
+    }
+    // Without a watermark nothing is ever shed (retries absorb the queue
+    // faults), so only hold the shed/exhausted counter to nonzero when
+    // the degradation ladder is actually configured.
+    if summary.opts.high_watermark.is_some() && unserved == 0 {
+        fail("a high watermark was set but nothing was shed or exhausted");
+    }
+    let parsed = bench::json::parse(report)
+        .unwrap_or_else(|e| fail(&format!("emitted report is not valid JSON: {e}")));
+    let round_trip_ok = parsed.get("all_match").and_then(|v| v.as_bool()) == Some(true)
+        && parsed.get("all_accounted").and_then(|v| v.as_bool()) == Some(true)
+        && parsed
+            .get("fault_plan")
+            .and_then(|v| v.get("seed"))
+            .and_then(|v| v.as_u64())
+            == summary.opts.fault_seed
+        && parsed
+            .get("sweep")
+            .and_then(|v| v.as_array())
+            .map(<[_]>::len)
+            == Some(summary.points.len());
+    if !round_trip_ok {
+        fail("round-tripped report disagrees with the in-memory summary");
+    }
+}
+
+/// Runs the serving benchmark and applies the optional CI gates.
+fn serve_mode(
+    ws: &[Workload],
+    opts: &ServeOpts,
+    sweep: &[usize],
+    assert_speedup: bool,
+    assert_faults: bool,
+) {
     let summary = run_serve(ws, opts, sweep);
-    println!("{}", bench::reports::serve_report_json(&summary));
+    let report = bench::reports::serve_report_json(&summary);
+    println!("{report}");
     if !summary.all_match() {
         eprintln!("serve: fingerprints diverged from the sequential baseline");
         std::process::exit(1);
+    }
+    if assert_faults {
+        assert_fault_equivalence(&summary, &report);
     }
     if assert_speedup {
         let lo = summary
@@ -131,6 +223,11 @@ fn main() {
     let mut requests_per_workload = 4usize;
     let mut sweep_workers: Option<Vec<usize>> = None;
     let mut assert_serve_speedup = false;
+    let mut fault_seed: Option<u64> = None;
+    let mut fault_rate = 0.1f64;
+    let mut deadline_cycles: Option<u64> = None;
+    let mut high_watermark: Option<usize> = None;
+    let mut assert_fault_equiv = false;
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
     while i < argv.len() {
@@ -175,6 +272,39 @@ fn main() {
                 sweep_workers = Some(list);
             }
             "--assert-serve-speedup" => assert_serve_speedup = true,
+            "--fault-plan" => {
+                i += 1;
+                fault_seed = Some(
+                    argv.get(i)
+                        .and_then(|s| s.parse().ok())
+                        .unwrap_or_else(|| panic!("--fault-plan needs a seed (u64)")),
+                );
+            }
+            "--fault-rate" => {
+                i += 1;
+                fault_rate = argv
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .filter(|r| (0.0..=1.0).contains(r))
+                    .unwrap_or_else(|| panic!("--fault-rate needs a number in [0, 1]"));
+            }
+            "--deadline-cycles" => {
+                i += 1;
+                deadline_cycles = Some(
+                    argv.get(i)
+                        .and_then(|s| s.parse().ok())
+                        .unwrap_or_else(|| panic!("--deadline-cycles needs a positive integer")),
+                );
+            }
+            "--high-watermark" => {
+                i += 1;
+                high_watermark = Some(
+                    argv.get(i)
+                        .and_then(|s| s.parse().ok())
+                        .unwrap_or_else(|| panic!("--high-watermark needs a positive integer")),
+                );
+            }
+            "--assert-fault-equivalence" => assert_fault_equiv = true,
             "--scale" => {
                 i += 1;
                 scale = argv
@@ -224,10 +354,14 @@ fn main() {
             opt,
             shards,
             requests_per_workload,
+            fault_seed,
+            fault_rate,
+            deadline_cycles,
+            high_watermark,
             ..ServeOpts::default()
         };
         let sweep = sweep_workers.unwrap_or_else(|| vec![workers]);
-        serve_mode(&ws, &opts, &sweep, assert_serve_speedup);
+        serve_mode(&ws, &opts, &sweep, assert_serve_speedup, assert_fault_equiv);
         return;
     }
 

@@ -22,6 +22,7 @@
 #![warn(missing_docs)]
 
 pub mod fmt;
+pub mod json;
 pub mod reports;
 pub mod runner;
 pub mod serve;

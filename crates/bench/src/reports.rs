@@ -761,12 +761,44 @@ fn json_histogram(h: &service::LatencyHistogram) -> String {
     )
 }
 
+fn json_fault_counters(c: &memo_runtime::FaultCounters) -> String {
+    let per: Vec<String> = memo_runtime::FailPoint::ALL
+        .iter()
+        .map(|&p| {
+            format!(
+                "\"{}\":{{\"draws\":{},\"fired\":{}}}",
+                p.name(),
+                c.draws_at(p),
+                c.fired_at(p),
+            )
+        })
+        .collect();
+    format!("{{{}}}", per.join(","))
+}
+
 fn json_service_report(r: &service::ServiceReport) -> String {
     let per_worker: Vec<String> = r.per_worker.iter().map(u64::to_string).collect();
+    let counts = r.status_counts();
+    let statuses: Vec<String> = service::RequestStatus::ALL
+        .iter()
+        .zip(counts)
+        .map(|(s, n)| format!("\"{}\":{}", s.name(), n))
+        .collect();
+    let by_status: Vec<String> = service::RequestStatus::ALL
+        .iter()
+        .zip(&r.latency_by_status)
+        .map(|(s, h)| format!("\"{}\":{}", s.name(), json_histogram(h)))
+        .collect();
+    let faults = r
+        .faults
+        .as_ref()
+        .map_or_else(|| "null".to_string(), json_fault_counters);
     format!(
         concat!(
             "{{\"wall_seconds\":{:.6},\"throughput_rps\":{:.1},\"hit_ratio\":{:.6},",
-            "\"trapped\":{},\"per_worker\":[{}],\"store\":{},\"latency\":{}}}"
+            "\"trapped\":{},\"per_worker\":[{}],\"store\":{},\"latency\":{},",
+            "\"statuses\":{{{}}},\"retries\":{},\"degraded_flips\":{},",
+            "\"faults\":{},\"latency_by_status\":{{{}}}}}"
         ),
         r.wall_seconds,
         r.throughput_rps,
@@ -775,6 +807,11 @@ fn json_service_report(r: &service::ServiceReport) -> String {
         per_worker.join(","),
         json_stats(&r.store_delta),
         json_histogram(&r.latency),
+        statuses.join(","),
+        r.retries,
+        r.degraded_flips,
+        faults,
+        by_status.join(","),
     )
 }
 
@@ -795,11 +832,12 @@ pub fn serve_report_json(s: &crate::serve::ServeSummary) -> String {
         .map(|p| {
             format!(
                 concat!(
-                    "{{\"workers\":{},\"fingerprints_match\":{},\"speedup_vs_first\":{:.3},",
-                    "\"cold\":{},\"warm\":{}}}"
+                    "{{\"workers\":{},\"fingerprints_match\":{},\"accounting_ok\":{},",
+                    "\"speedup_vs_first\":{:.3},\"cold\":{},\"warm\":{}}}"
                 ),
                 p.workers,
                 p.matches_baseline,
+                p.accounting_ok,
                 if p.warm.wall_seconds > 0.0 {
                     first_warm_wall / p.warm.wall_seconds
                 } else {
@@ -810,10 +848,30 @@ pub fn serve_report_json(s: &crate::serve::ServeSummary) -> String {
             )
         })
         .collect();
+    let fault_plan = s.opts.fault_seed.map_or_else(
+        || "null".to_string(),
+        |seed| {
+            format!(
+                concat!(
+                    "{{\"seed\":{},\"rate\":{},\"deadline_cycles\":{},",
+                    "\"high_watermark\":{}}}"
+                ),
+                seed,
+                s.opts.fault_rate,
+                s.opts
+                    .deadline_cycles
+                    .map_or_else(|| "null".to_string(), |d| d.to_string()),
+                s.opts
+                    .high_watermark
+                    .map_or_else(|| "null".to_string(), |h| h.to_string()),
+            )
+        },
+    );
     format!(
         concat!(
             "{{\"bench\":\"serve\",\"scale\":{},\"opt\":\"{:?}\",\"shards\":{},",
             "\"queue_capacity\":{},\"cpus\":{},\"requests\":{},\"all_match\":{},",
+            "\"all_accounted\":{},\"fault_plan\":{},",
             "\"workloads\":[{}],\"baseline\":{},\"sweep\":[{}]}}"
         ),
         s.opts.scale,
@@ -823,6 +881,8 @@ pub fn serve_report_json(s: &crate::serve::ServeSummary) -> String {
         s.cpus,
         s.requests,
         s.all_match(),
+        s.all_accounted(),
+        fault_plan,
         names.join(","),
         json_service_report(&s.baseline),
         points.join(","),

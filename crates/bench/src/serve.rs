@@ -10,8 +10,18 @@
 //! store buys. Fingerprints at every point must equal the sequential
 //! private-table baseline ([`service::ReuseService::run_private_sequential`]);
 //! throughput and hit rates are expected to differ (DESIGN.md §8e).
+//!
+//! With [`ServeOpts::fault_seed`] set, every sweep point additionally
+//! runs under a deterministic [`FaultPlan`] firing all four fail points
+//! at [`ServeOpts::fault_rate`]. Faults may shed, delay, or retry
+//! requests, but every request that *executes* must still fingerprint
+//! identically to the fault-free baseline, and the four terminal
+//! statuses must account for the whole batch (DESIGN.md §8f).
+
+use std::sync::Arc;
 
 use crate::runner::{prepare_with, PrepareOpts};
+use memo_runtime::FaultPlan;
 use service::{Request, ReuseService, ServiceConfig, ServiceProgram, ServiceReport};
 use vm::{CostModel, OptLevel};
 use workloads::Workload;
@@ -30,6 +40,15 @@ pub struct ServeOpts {
     /// Requests per workload in the batch (alternating default and
     /// alternate inputs).
     pub requests_per_workload: usize,
+    /// Seed for a deterministic [`FaultPlan`]; `None` (the default) runs
+    /// fault-free.
+    pub fault_seed: Option<u64>,
+    /// Fire rate applied to every fail point when `fault_seed` is set.
+    pub fault_rate: f64,
+    /// Default per-request modelled-cycle deadline.
+    pub deadline_cycles: Option<u64>,
+    /// Queue-depth high watermark at which the producer sheds load.
+    pub high_watermark: Option<usize>,
 }
 
 impl Default for ServeOpts {
@@ -40,8 +59,33 @@ impl Default for ServeOpts {
             shards: 8,
             queue_capacity: 64,
             requests_per_workload: 4,
+            fault_seed: None,
+            fault_rate: 0.1,
+            deadline_cycles: None,
+            high_watermark: None,
         }
     }
+}
+
+impl ServeOpts {
+    /// A fresh fault plan for one sweep point, or `None` when
+    /// `fault_seed` is unset. Each point gets its own plan so the fault
+    /// sequence (and the counters reported for the point) restart from
+    /// the seed, making every point independently reproducible.
+    pub fn fault_plan(&self) -> Option<Arc<FaultPlan>> {
+        self.fault_seed
+            .map(|seed| Arc::new(FaultPlan::new(seed).with_all_rates(self.fault_rate)))
+    }
+}
+
+/// Whether every *executed* request in `r` (status `Ok` or
+/// `DeadlineExceeded`) fingerprinted identically to the same request in
+/// the fault-free sequential baseline. Shed and exhausted requests never
+/// ran, so they carry no fingerprint to compare (DESIGN.md §8f).
+pub fn executed_matches(r: &ServiceReport, expected: &[u64]) -> bool {
+    r.executed_fingerprints()
+        .iter()
+        .all(|&(i, fp)| expected.get(i) == Some(&fp))
 }
 
 /// Builds the service (pipeline run per workload, in parallel) and the
@@ -83,7 +127,7 @@ pub fn build_service(
             } else {
                 (w.alt_input)(opts.scale)
             };
-            requests.push(Request { program: i, input });
+            requests.push(Request::new(i, input));
         }
     }
     let svc = ReuseService::new(
@@ -94,6 +138,15 @@ pub fn build_service(
             queue_capacity: opts.queue_capacity,
             adaptive: false,
             cost: CostModel::for_level(opts.opt),
+            faults: opts.fault_plan(),
+            deadline_cycles: opts.deadline_cycles,
+            high_watermark: opts.high_watermark,
+            low_watermark: opts.high_watermark.map_or(0, |h| h / 2),
+            // Chaos sweeps retry often; a cheap backoff keeps them fast
+            // without changing any outcome.
+            backoff_base_ns: 2_000,
+            backoff_cap_ns: 200_000,
+            ..ServiceConfig::default()
         },
     )
     .unwrap_or_else(|e| panic!("pipeline planned an invalid table spec: {e}"));
@@ -110,9 +163,13 @@ pub struct SweepPoint {
     pub cold: ServiceReport,
     /// Second round over the now-populated store.
     pub warm: ServiceReport,
-    /// Whether both rounds fingerprinted identically to the sequential
-    /// private-table baseline.
+    /// Whether both rounds' *executed* requests fingerprinted identically
+    /// to the sequential private-table baseline (with faults disabled
+    /// every request executes, so this is full-batch equality).
     pub matches_baseline: bool,
+    /// Whether both rounds' status counts sum to the submitted batch
+    /// (`ok + shed + deadline_exceeded + exhausted == submitted`).
+    pub accounting_ok: bool,
 }
 
 /// The full serving-benchmark result.
@@ -134,10 +191,15 @@ pub struct ServeSummary {
 }
 
 impl ServeSummary {
-    /// Whether every sweep point fingerprinted identically to the
-    /// baseline.
+    /// Whether every sweep point's executed requests fingerprinted
+    /// identically to the baseline.
     pub fn all_match(&self) -> bool {
         self.points.iter().all(|p| p.matches_baseline)
+    }
+
+    /// Whether every sweep point's status counts sum to the batch size.
+    pub fn all_accounted(&self) -> bool {
+        self.points.iter().all(|p| p.accounting_ok)
     }
 }
 
@@ -153,16 +215,24 @@ pub fn run_serve(ws: &[Workload], opts: &ServeOpts, worker_counts: &[usize]) -> 
     let expected = baseline.fingerprints();
     let mut points = Vec::with_capacity(worker_counts.len());
     for &workers in worker_counts {
+        // A fresh plan per point restarts the deterministic fault
+        // sequence; it must be installed before `reset_stores` so the
+        // rebuilt stores pick up probe-level fail points.
+        svc.set_fault_plan(opts.fault_plan());
         svc.reset_stores().expect("specs already built once");
         svc.set_workers(workers);
         let cold = svc.run(&requests);
         let warm = svc.run(&requests);
-        let matches_baseline = cold.fingerprints() == expected && warm.fingerprints() == expected;
+        let matches_baseline =
+            executed_matches(&cold, &expected) && executed_matches(&warm, &expected);
+        let accounting_ok =
+            cold.accounting_holds(requests.len()) && warm.accounting_holds(requests.len());
         points.push(SweepPoint {
             workers,
             cold,
             warm,
             matches_baseline,
+            accounting_ok,
         });
     }
     ServeSummary {
@@ -200,6 +270,33 @@ mod tests {
             assert!(
                 p.warm.hit_ratio() >= p.cold.hit_ratio(),
                 "warm hit ratio fell at {} workers",
+                p.workers
+            );
+        }
+    }
+
+    #[test]
+    fn faulted_sweep_keeps_executed_requests_equivalent() {
+        memo_runtime::silence_injected_panics();
+        let ws = vec![workloads::unepic::unepic(), workloads::rasta::rasta()];
+        let opts = ServeOpts {
+            scale: 0.05,
+            requests_per_workload: 4,
+            fault_seed: Some(42),
+            fault_rate: 0.25,
+            ..ServeOpts::default()
+        };
+        let summary = run_serve(&ws, &opts, &[1, 2]);
+        assert!(
+            summary.all_match(),
+            "an executed request diverged from the fault-free baseline"
+        );
+        assert!(summary.all_accounted(), "status counts lost a request");
+        for p in &summary.points {
+            let faults = p.cold.faults.as_ref().expect("plan installed");
+            assert!(
+                faults.total_fired() > 0,
+                "a 25% fault plan fired nothing at {} workers",
                 p.workers
             );
         }

@@ -135,6 +135,14 @@ impl DirectTable {
         self.entries.iter().filter(|e| e.is_some()).count()
     }
 
+    /// Drops every stored entry and zeroes the per-slot access histogram,
+    /// keeping geometry and whole-run statistics. Forgetting is always
+    /// sound for a memo table; used by shard poison recovery.
+    pub fn clear(&mut self) {
+        self.entries.fill_with(|| None);
+        self.access_counts.fill(0);
+    }
+
     /// Rebuilds the table with `new_slots` slots, rehashing the live
     /// entries (entries whose new indices clash keep the later one, as a
     /// normal collision would). Statistics are preserved; the per-slot

@@ -162,6 +162,33 @@ impl AdaptiveGuard {
         self.resizes_done
     }
 
+    /// Forces the guard into `Bypassed` immediately (service degradation
+    /// under overload), regardless of `policy.enabled` — unlike the
+    /// epoch-driven transitions, external degradation must work even on
+    /// guards configured as observe-only.
+    pub fn force_bypass(&mut self) {
+        self.state = TableState::Bypassed;
+        self.consecutive_bad = 0;
+        self.bypassed_for = 0;
+    }
+
+    /// Ends an externally forced bypass. An enabled guard re-enters
+    /// through the `Probation` probe (re-measuring before trusting the
+    /// table again); a disabled one returns straight to `Active`, since
+    /// `on_epoch` would never move it out of probation.
+    pub fn end_forced_bypass(&mut self) {
+        if self.state != TableState::Bypassed {
+            return;
+        }
+        self.state = if self.policy.enabled {
+            TableState::Probation
+        } else {
+            TableState::Active
+        };
+        self.consecutive_bad = 0;
+        self.bypassed_for = 0;
+    }
+
     /// Closes an observation window. `window` holds the epoch's counters
     /// (zero accesses when the table was bypassed throughout); `slots` and
     /// `entry_bytes` describe the table's current geometry for resize
@@ -400,6 +427,35 @@ mod tests {
                 "probation passed"
             ))
         );
+    }
+
+    #[test]
+    fn forced_bypass_works_even_when_disabled() {
+        let mut g = AdaptiveGuard::new(GuardPolicy::default());
+        assert!(!g.policy().enabled);
+        g.force_bypass();
+        assert!(g.is_bypassed());
+        g.end_forced_bypass();
+        assert_eq!(
+            g.state(),
+            TableState::Active,
+            "disabled guards skip probation"
+        );
+    }
+
+    #[test]
+    fn forced_bypass_ends_in_probation_when_enabled() {
+        let mut g = adaptive(0);
+        g.force_bypass();
+        assert!(g.is_bypassed());
+        g.end_forced_bypass();
+        assert_eq!(g.state(), TableState::Probation);
+        // A healthy probe window completes the recovery.
+        g.on_epoch(&good_window(), 16, 16);
+        assert_eq!(g.state(), TableState::Active);
+        // Ending when not bypassed is a no-op.
+        g.end_forced_bypass();
+        assert_eq!(g.state(), TableState::Active);
     }
 
     #[test]

@@ -34,6 +34,7 @@
 #![warn(missing_debug_implementations)]
 
 pub mod direct;
+pub mod faults;
 pub mod guard;
 pub mod hash;
 pub mod lru;
@@ -43,6 +44,10 @@ pub mod stats;
 pub mod telemetry;
 
 pub use direct::DirectTable;
+pub use faults::{
+    silence_injected_panics, FailPoint, FaultCounters, FaultPlan, FAIL_POINT_COUNT,
+    INJECTED_POISON_PANIC,
+};
 pub use guard::{AdaptiveGuard, EpochVerdict, GuardPolicy, TableState};
 pub use lru::LruTable;
 pub use merged::MergedTable;
@@ -215,6 +220,14 @@ impl TableKind {
             TableKind::Direct(t) => t.resize(new_slots),
             TableKind::Lru(t) => t.set_capacity(new_slots),
             TableKind::Merged(t) => t.resize(new_slots),
+        }
+    }
+
+    fn clear(&mut self) {
+        match self {
+            TableKind::Direct(t) => t.clear(),
+            TableKind::Lru(t) => t.clear(),
+            TableKind::Merged(t) => t.clear(),
         }
     }
 }
@@ -442,6 +455,49 @@ impl MemoTable {
     pub fn set_policy(&mut self, policy: GuardPolicy) {
         self.telemetry = Telemetry::new(policy.epoch_len, TELEMETRY_EPOCH_HISTORY);
         self.guard.set_policy(policy);
+    }
+
+    /// Drops every stored entry, keeping geometry, whole-run statistics,
+    /// guard state, and telemetry. A memo table is a cache — forgetting is
+    /// always sound; the caller re-derives on the resulting misses. Used
+    /// by poison recovery, where a shard's storage may be mid-update.
+    pub fn clear(&mut self) {
+        self.kind.clear();
+    }
+
+    /// Forces the table into [`TableState::Bypassed`] now, journaling the
+    /// transition under `reason`. Service-level degradation (overload,
+    /// fault recovery) uses this; the guard's own epoch machinery is not
+    /// consulted and need not be enabled. No-op when already bypassed.
+    pub fn force_bypass(&mut self, reason: &'static str) {
+        let from = self.guard.state();
+        if from == TableState::Bypassed {
+            return;
+        }
+        self.guard.force_bypass();
+        self.telemetry.push_transition(
+            self.telemetry.current_epoch(),
+            from,
+            TableState::Bypassed,
+            reason,
+        );
+    }
+
+    /// Ends a forced bypass, journaling the transition under `reason`:
+    /// enabled guards re-enter through `Probation` (re-measuring before
+    /// trusting the table), disabled ones return straight to `Active`.
+    /// No-op unless currently bypassed.
+    pub fn end_forced_bypass(&mut self, reason: &'static str) {
+        if self.guard.state() != TableState::Bypassed {
+            return;
+        }
+        self.guard.end_forced_bypass();
+        self.telemetry.push_transition(
+            self.telemetry.current_epoch(),
+            TableState::Bypassed,
+            self.guard.state(),
+            reason,
+        );
     }
 }
 

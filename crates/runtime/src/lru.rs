@@ -107,6 +107,13 @@ impl LruTable {
         &self.stats
     }
 
+    /// Drops every buffered entry, keeping capacity and whole-run
+    /// statistics. Forgetting is always sound for a memo buffer; used by
+    /// shard poison recovery.
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
+
     /// Changes the buffer capacity; shrinking drops least-recently-used
     /// entries (counted as evictions).
     ///

@@ -192,6 +192,15 @@ impl MergedTable {
         &self.access_counts
     }
 
+    /// Drops every stored entry and zeroes the per-slot access histogram,
+    /// keeping geometry and whole-run statistics (aggregate and per-slot).
+    /// Forgetting is always sound for a memo table; used by shard poison
+    /// recovery.
+    pub fn clear(&mut self) {
+        self.entries.fill_with(|| None);
+        self.access_counts.fill(0);
+    }
+
     /// Rebuilds the table with `new_slots` slots, rehashing live entries
     /// (clashing rehashes keep the later entry). Statistics are preserved;
     /// the access histogram restarts because slot identities change.

@@ -26,9 +26,23 @@
 //! deltas: no access is lost or double-counted under contention (asserted
 //! by `tests/sharded_prop.rs`). The aggregate taken while writers are
 //! still running is a momentary snapshot; quiesce first for exact totals.
+//!
+//! ## Poisoning and fault injection
+//!
+//! A shard whose lock is poisoned (a worker panicked mid-access) is
+//! recovered on the next acquisition: the poison flag is cleared and the
+//! shard's *entries dropped* — its storage may have been mid-update, and
+//! forgetting is always sound for a cache, so the shard restarts empty but
+//! valid while every other shard keeps serving untouched. Recoveries are
+//! counted ([`ShardedTable::poison_recoveries`]). For chaos testing, an
+//! installed [`FaultPlan`] can force probe misses
+//! ([`FailPoint::ProbeMiss`]) and [`ShardedTable::poison_shard`] poisons a
+//! shard's lock for real via a deliberate panic.
 
-use std::sync::{Mutex, MutexGuard, PoisonError};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 
+use crate::faults::{FailPoint, FaultPlan, INJECTED_POISON_PANIC};
 use crate::guard::{GuardPolicy, TableState};
 use crate::hash::hash_words;
 use crate::stats::TableStats;
@@ -41,6 +55,10 @@ pub struct ShardedTable {
     shards: Vec<Mutex<MemoTable>>,
     /// `shards.len() - 1`; the length is a power of two.
     mask: u32,
+    /// Times a poisoned shard was recovered (cleared and restarted empty).
+    poison_recoveries: AtomicU64,
+    /// Chaos plane; `None` (the default) costs one branch per lookup.
+    faults: Option<Arc<FaultPlan>>,
 }
 
 impl ShardedTable {
@@ -73,7 +91,18 @@ impl ShardedTable {
         Ok(ShardedTable {
             shards: built,
             mask: (n - 1) as u32,
+            poison_recoveries: AtomicU64::new(0),
+            faults: None,
         })
+    }
+
+    /// Installs (or removes, with `None`) a fault-injection plan. Takes
+    /// `&mut self`: plans are wired at build time, before the store is
+    /// shared. With a plan installed, [`FailPoint::ProbeMiss`] fires turn
+    /// lookups into forced misses (sound: the caller recomputes, exactly
+    /// as on a cold miss, and the probe is not counted in the stats).
+    pub fn set_fault_plan(&mut self, plan: Option<Arc<FaultPlan>>) {
+        self.faults = plan;
     }
 
     /// Installs `policy` on every shard (each shard's guard is reset to
@@ -97,18 +126,36 @@ impl ShardedTable {
         (h >> (32 - bits)) as usize
     }
 
+    /// The shard `key` routes to (exposed so tests and fault drivers can
+    /// target a specific shard deterministically).
+    pub fn shard_of(&self, key: &[u64]) -> usize {
+        self.shard_index(key)
+    }
+
     fn lock(&self, i: usize) -> MutexGuard<'_, MemoTable> {
-        // A poisoned shard only means another worker panicked mid-access;
-        // the table data is a cache and stays usable.
-        self.shards[i]
-            .lock()
-            .unwrap_or_else(PoisonError::into_inner)
+        self.shards[i].lock().unwrap_or_else(|poisoned| {
+            // Another worker panicked while holding this shard: its storage
+            // may be mid-update, so drop the entries (forgetting is always
+            // sound for a cache) and clear the flag so later acquisitions
+            // see a healthy, empty shard instead of re-recovering forever.
+            self.shards[i].clear_poison();
+            self.poison_recoveries.fetch_add(1, Ordering::Relaxed);
+            let mut guard = poisoned.into_inner();
+            guard.clear();
+            guard
+        })
     }
 
     /// Looks up `key` for segment `slot` in the shard the key hashes to.
     /// Same contract as [`MemoTable::lookup`]; a bypassed shard answers a
-    /// forced miss.
+    /// forced miss, as does a fired [`FailPoint::ProbeMiss`] (which skips
+    /// the probe entirely, leaving statistics untouched).
     pub fn lookup(&self, slot: usize, key: &[u64], out: &mut Vec<u64>) -> bool {
+        if let Some(plan) = &self.faults {
+            if plan.fire(FailPoint::ProbeMiss) {
+                return false;
+            }
+        }
         self.lock(self.shard_index(key)).lookup(slot, key, out)
     }
 
@@ -168,6 +215,47 @@ impl ShardedTable {
         (0..self.shards.len())
             .map(|i| self.lock(i).telemetry().dropped_records())
             .sum()
+    }
+
+    /// Times a poisoned shard lock was recovered (shard cleared and
+    /// restarted empty).
+    pub fn poison_recoveries(&self) -> u64 {
+        self.poison_recoveries.load(Ordering::Relaxed)
+    }
+
+    /// Genuinely poisons shard `shard`'s lock by panicking while holding
+    /// it (the panic is caught here; install
+    /// [`crate::silence_injected_panics`] to mute its report). The next
+    /// acquisition recovers the shard empty-but-valid. Chaos-testing
+    /// entry point for the retryable poisoned-shard fault.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shard` is out of range.
+    pub fn poison_shard(&self, shard: usize) {
+        assert!(shard < self.shards.len(), "shard out of range");
+        let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _guard = self.shards[shard]
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner);
+            std::panic::panic_any(INJECTED_POISON_PANIC);
+        }));
+    }
+
+    /// Forces every shard into [`TableState::Bypassed`] (service-level
+    /// degradation under overload), journaling `reason` per shard.
+    pub fn force_bypass(&self, reason: &'static str) {
+        for i in 0..self.shards.len() {
+            self.lock(i).force_bypass(reason);
+        }
+    }
+
+    /// Ends a forced bypass on every shard (enabled guards re-enter via
+    /// probation, disabled ones return to `Active`), journaling `reason`.
+    pub fn end_forced_bypass(&self, reason: &'static str) {
+        for i in 0..self.shards.len() {
+            self.lock(i).end_forced_bypass(reason);
+        }
     }
 }
 
@@ -267,6 +355,65 @@ mod tests {
         assert!(t.lookup(1, &[5], &mut out));
         assert_eq!(out, vec![8, 9]);
         assert!(!t.lookup(0, &[5], &mut out), "segment 0 not yet valid");
+    }
+
+    #[test]
+    fn full_rate_probe_miss_plan_forces_every_lookup_to_miss() {
+        use crate::faults::{FailPoint, FaultPlan};
+        let mut t = ShardedTable::try_from_spec(&spec(64), 4).unwrap();
+        let mut out = Vec::new();
+        t.record(0, &[42], &[7]);
+        assert!(t.lookup(0, &[42], &mut out), "no plan yet: genuine hit");
+        let plan = std::sync::Arc::new(FaultPlan::new(1).with_rate(FailPoint::ProbeMiss, 1.0));
+        t.set_fault_plan(Some(plan.clone()));
+        let stats_before = t.stats();
+        for _ in 0..10 {
+            assert!(!t.lookup(0, &[42], &mut out), "forced miss");
+        }
+        assert_eq!(plan.fired(FailPoint::ProbeMiss), 10);
+        assert_eq!(
+            t.stats(),
+            stats_before,
+            "forced misses skip the probe and the stats"
+        );
+        t.set_fault_plan(None);
+        assert!(t.lookup(0, &[42], &mut out), "entry survived the faults");
+        assert_eq!(out, vec![7]);
+    }
+
+    #[test]
+    fn poisoned_shard_recovers_empty_and_counts() {
+        crate::faults::silence_injected_panics();
+        let t = ShardedTable::try_from_spec(&spec(64), 4).unwrap();
+        let mut out = Vec::new();
+        t.record(0, &[1], &[10]);
+        let victim = t.shard_of(&[1]);
+        t.poison_shard(victim);
+        assert!(
+            !t.lookup(0, &[1], &mut out),
+            "recovered shard restarts empty"
+        );
+        assert_eq!(t.poison_recoveries(), 1);
+        // Recovery is one-shot: the shard serves normally afterwards.
+        t.record(0, &[1], &[11]);
+        assert!(t.lookup(0, &[1], &mut out));
+        assert_eq!(out, vec![11]);
+        assert_eq!(t.poison_recoveries(), 1, "no re-recovery loop");
+    }
+
+    #[test]
+    fn forced_bypass_flips_all_shards_and_ends_cleanly() {
+        let t = ShardedTable::try_from_spec(&spec(64), 4).unwrap();
+        let mut out = Vec::new();
+        t.record(0, &[5], &[50]);
+        t.force_bypass("overload shed");
+        assert!(t.shard_states().iter().all(|&s| s == TableState::Bypassed));
+        assert!(!t.lookup(0, &[5], &mut out), "bypassed: forced miss");
+        t.end_forced_bypass("overload cleared");
+        // Guards are disabled by default, so they return straight to Active.
+        assert!(t.shard_states().iter().all(|&s| s == TableState::Active));
+        assert!(t.lookup(0, &[5], &mut out), "entries survived the bypass");
+        assert_eq!(out, vec![50]);
     }
 
     #[test]

@@ -1,0 +1,99 @@
+//! Regression test for shard-poison recovery (DESIGN.md §8f).
+//!
+//! A worker that panics while holding a shard lock poisons that shard's
+//! mutex. The store must contain the blast radius: every *other* shard
+//! keeps serving its entries untouched, and the next acquisition of the
+//! poisoned shard recovers it into an empty-but-valid state (forgetting
+//! cached results is always sound; serving a half-written entry is not).
+
+use memo_runtime::{silence_injected_panics, ShardedTable, TableSpec};
+
+fn spec() -> TableSpec {
+    TableSpec {
+        slots: 64,
+        key_words: 1,
+        out_words: vec![1],
+    }
+}
+
+/// Fills the store with one entry per key and returns, per shard, one
+/// resident `(key, output)` pair to check back later. The *last* key
+/// recorded into each shard is the one guaranteed still resident — a
+/// direct-addressed shard overwrites on slot collisions.
+fn populate(t: &ShardedTable, keys: u64) -> Vec<(u64, u64)> {
+    let mut per_shard: Vec<Option<(u64, u64)>> = vec![None; t.shard_count()];
+    for k in 0..keys {
+        t.record(0, &[k], &[k * 10 + 1]);
+        per_shard[t.shard_of(&[k])] = Some((k, k * 10 + 1));
+    }
+    per_shard.into_iter().flatten().collect()
+}
+
+#[test]
+fn poisoned_shard_recovers_empty_while_others_keep_serving() {
+    silence_injected_panics();
+    let t = ShardedTable::try_from_spec(&spec(), 4).expect("valid spec");
+    let resident = populate(&t, 64);
+    assert!(resident.len() > 1, "need at least two populated shards");
+
+    let victim_key = resident[0].0;
+    let victim_shard = t.shard_of(&[victim_key]);
+    t.poison_shard(victim_shard);
+
+    // Every shard but the victim still serves its entry.
+    let mut out = Vec::new();
+    for &(k, v) in &resident[1..] {
+        assert_ne!(t.shard_of(&[k]), victim_shard, "populate picked per shard");
+        assert!(t.lookup(0, &[k], &mut out), "healthy shard lost key {k}");
+        assert_eq!(out, vec![v]);
+    }
+
+    // The victim recovers on its next acquisition: a miss (the shard
+    // restarts empty), counted as exactly one recovery.
+    assert!(
+        !t.lookup(0, &[victim_key], &mut out),
+        "a poisoned shard served a possibly half-written entry"
+    );
+    assert_eq!(t.poison_recoveries(), 1);
+
+    // Recovered means *valid*, not just alive: the shard accepts new
+    // entries and serves them, and no further recoveries are charged.
+    t.record(0, &[victim_key], &[777]);
+    assert!(t.lookup(0, &[victim_key], &mut out));
+    assert_eq!(out, vec![777]);
+    assert_eq!(t.poison_recoveries(), 1);
+}
+
+#[test]
+fn concurrent_readers_survive_a_poisoned_shard() {
+    silence_injected_panics();
+    let t = ShardedTable::try_from_spec(&spec(), 4).expect("valid spec");
+    let resident = populate(&t, 64);
+    let victim_shard = t.shard_of(&[resident[0].0]);
+    t.poison_shard(victim_shard);
+
+    // Hammer every key from several threads while the poisoned shard
+    // recovers underneath them: no panic escapes, and healthy entries
+    // never disappear.
+    std::thread::scope(|s| {
+        for _ in 0..4 {
+            s.spawn(|| {
+                let mut out = Vec::new();
+                for _ in 0..50 {
+                    for &(k, v) in &resident {
+                        if t.lookup(0, &[k], &mut out) {
+                            assert_eq!(out, vec![v], "key {k} served a foreign value");
+                        } else {
+                            assert_eq!(
+                                t.shard_of(&[k]),
+                                victim_shard,
+                                "a healthy shard dropped key {k}"
+                            );
+                        }
+                    }
+                }
+            });
+        }
+    });
+    assert_eq!(t.poison_recoveries(), 1, "recovery ran more than once");
+}

@@ -117,8 +117,9 @@ impl LatencyHistogram {
 
     /// Upper bound (bucket ceiling) of the quantile `q` in `[0, 1]`: the
     /// smallest bucket ceiling at which at least `q * count` samples have
-    /// accumulated. Returns 0 when empty. Resolution is the bucket width,
-    /// i.e. a factor of two.
+    /// accumulated, clamped into `[min_ns, max_ns]` so a quantile never
+    /// reports a latency outside the observed range. Returns 0 when
+    /// empty. Resolution is the bucket width, i.e. a factor of two.
     pub fn quantile_ns(&self, q: f64) -> u64 {
         if self.count == 0 {
             return 0;
@@ -128,7 +129,7 @@ impl LatencyHistogram {
         for (b, &n) in self.buckets.iter().enumerate() {
             seen += n;
             if seen >= threshold {
-                return bucket_bounds(b).1;
+                return bucket_bounds(b).1.clamp(self.min_ns, self.max_ns);
             }
         }
         self.max_ns
@@ -196,7 +197,7 @@ mod tests {
     }
 
     #[test]
-    fn quantiles_report_bucket_ceilings() {
+    fn quantiles_report_bucket_ceilings_clamped_to_observed_range() {
         let mut h = LatencyHistogram::new();
         for _ in 0..99 {
             h.record(10); // bucket [8, 15]
@@ -204,7 +205,14 @@ mod tests {
         h.record(1_000_000); // bucket [2^19, 2^20-1]
         assert_eq!(h.quantile_ns(0.5), 15);
         assert_eq!(h.quantile_ns(0.99), 15);
-        assert_eq!(h.quantile_ns(1.0), (1u64 << 20) - 1);
+        // The last bucket's ceiling (2^20 - 1) exceeds the largest
+        // observed sample; the clamp reports max_ns instead.
+        assert_eq!(h.quantile_ns(1.0), 1_000_000);
         assert_eq!(LatencyHistogram::new().quantile_ns(0.5), 0);
+        // A single-sample histogram answers that sample at every q.
+        let mut one = LatencyHistogram::new();
+        one.record(10);
+        assert_eq!(one.quantile_ns(0.0), 10);
+        assert_eq!(one.quantile_ns(1.0), 10);
     }
 }

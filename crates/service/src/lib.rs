@@ -24,6 +24,21 @@
 //! other request recorded — which is the point of sharing, and they are
 //! reported per run, never folded into fingerprints.
 //!
+//! ## Fault model and degradation (DESIGN.md §8f)
+//!
+//! The service degrades, it does not corrupt. A [`memo_runtime::FaultPlan`]
+//! in [`ServiceConfig::faults`] injects deterministic failures — forced
+//! probe misses, genuinely poisoned shard locks, queue-push rejections,
+//! simulated slow requests — and the service answers with *retries*
+//! (bounded, decorrelated exponential backoff, for the retryable faults),
+//! *deadlines* (cycle and wall-clock budgets per request), and *load
+//! shedding* (queue watermarks that shed requests and flip the stores to
+//! table bypass until the backlog drains). Every request ends in a
+//! terminal [`RequestStatus`]; the §8e invariant extends to: every
+//! *executed* request (status `Ok` or `DeadlineExceeded`) has a
+//! fingerprint equal to the fault-free sequential baseline's — faults may
+//! cost latency and hit ratio, never correctness.
+//!
 //! ```
 //! use service::{Request, ReuseService, ServiceConfig, ServiceProgram};
 //!
@@ -43,7 +58,7 @@
 //!     ServiceConfig { workers: 2, ..ServiceConfig::default() },
 //! )
 //! .unwrap();
-//! let requests: Vec<Request> = (0..8).map(|i| Request { program: 0, input: vec![i % 3] }).collect();
+//! let requests: Vec<Request> = (0..8).map(|i| Request::new(0, vec![i % 3])).collect();
 //! let report = svc.run(&requests);
 //! let baseline = svc.run_private_sequential(&requests);
 //! assert_eq!(report.fingerprints(), baseline.fingerprints());
@@ -58,14 +73,17 @@ pub mod histogram;
 pub mod queue;
 
 use std::sync::{Arc, Mutex, PoisonError};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
-use memo_runtime::{GuardPolicy, MemoTable, ShardedTable, SpecError, TableSpec, TableStats};
+use memo_runtime::{
+    FailPoint, FaultCounters, FaultPlan, GuardPolicy, MemoTable, ShardedTable, SpecError,
+    TableSpec, TableState, TableStats,
+};
 use vm::{CostModel, Module, RunConfig};
 
 pub use fingerprint::fingerprint_outcome;
 pub use histogram::LatencyHistogram;
-pub use queue::BoundedQueue;
+pub use queue::{BoundedQueue, PushError};
 
 /// One program the service can serve: the memoized module plus the table
 /// plan the pipeline produced for it ([`compreuse::ReuseOutcome`]'s
@@ -98,6 +116,34 @@ pub struct ServiceConfig {
     /// Cost model the programs were planned under; bytecode is compiled
     /// against it once per worker.
     pub cost: CostModel,
+    /// Deterministic fault-injection plan (`None`, the default, costs one
+    /// branch at each injection site). Store-level probe faults take
+    /// effect on stores built after the plan is set (via
+    /// [`ReuseService::new`] or [`ReuseService::reset_stores`]); queue and
+    /// worker faults apply from the next [`ReuseService::run`].
+    pub faults: Option<Arc<FaultPlan>>,
+    /// Default per-request modelled-cycle budget; a request whose charged
+    /// cycles (including injected slow-request penalties) exceed it ends
+    /// as [`RequestStatus::DeadlineExceeded`]. Overridden per request by
+    /// [`Request::deadline_cycles`].
+    pub deadline_cycles: Option<u64>,
+    /// Default per-request wall-clock budget in nanoseconds (same
+    /// semantics; overridden by [`Request::deadline_ns`]).
+    pub deadline_ns: Option<u64>,
+    /// Retry budget for retryable faults (queue rejections, poisoned
+    /// shards); a request that exhausts it ends as
+    /// [`RequestStatus::Exhausted`].
+    pub max_retries: u32,
+    /// Backoff floor for the first retry, nanoseconds.
+    pub backoff_base_ns: u64,
+    /// Backoff ceiling, nanoseconds (decorrelated jitter stays under it).
+    pub backoff_cap_ns: u64,
+    /// Queue depth at which the producer starts shedding requests and
+    /// flips the stores to table bypass (`None` disables watermarks).
+    pub high_watermark: Option<usize>,
+    /// Queue depth at which a degraded service re-arms its stores
+    /// (hysteresis: must be below the high watermark to avoid flapping).
+    pub low_watermark: usize,
 }
 
 impl Default for ServiceConfig {
@@ -108,17 +154,100 @@ impl Default for ServiceConfig {
             queue_capacity: 64,
             adaptive: false,
             cost: CostModel::o0(),
+            faults: None,
+            deadline_cycles: None,
+            deadline_ns: None,
+            max_retries: 3,
+            backoff_base_ns: 20_000,
+            backoff_cap_ns: 2_000_000,
+            high_watermark: None,
+            low_watermark: 0,
         }
     }
 }
 
-/// One request: which program to run and its input stream.
+/// How a request's service attempt ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RequestStatus {
+    /// Executed within its budgets.
+    Ok,
+    /// Never executed: shed at admission because the queue was over the
+    /// high watermark. Its fingerprint is 0 and excluded from the
+    /// equivalence check.
+    Shed,
+    /// Executed, but over its cycle or wall-clock budget. The outputs
+    /// were still produced, so its fingerprint *is* checked against the
+    /// baseline.
+    DeadlineExceeded,
+    /// Never executed: the retry budget ran out on retryable faults.
+    /// Fingerprint 0, excluded from the equivalence check.
+    Exhausted,
+}
+
+impl RequestStatus {
+    /// Every status, in reporting order.
+    pub const ALL: [RequestStatus; 4] = [
+        RequestStatus::Ok,
+        RequestStatus::Shed,
+        RequestStatus::DeadlineExceeded,
+        RequestStatus::Exhausted,
+    ];
+
+    /// Short snake_case name (used in metrics reports).
+    pub fn name(self) -> &'static str {
+        match self {
+            RequestStatus::Ok => "ok",
+            RequestStatus::Shed => "shed",
+            RequestStatus::DeadlineExceeded => "deadline_exceeded",
+            RequestStatus::Exhausted => "exhausted",
+        }
+    }
+
+    /// Position in [`RequestStatus::ALL`] (indexes the per-status
+    /// latency histograms).
+    pub fn index(self) -> usize {
+        match self {
+            RequestStatus::Ok => 0,
+            RequestStatus::Shed => 1,
+            RequestStatus::DeadlineExceeded => 2,
+            RequestStatus::Exhausted => 3,
+        }
+    }
+
+    /// Whether the program body actually ran (its fingerprint is then
+    /// subject to the §8e/§8f equivalence invariant).
+    pub fn executed(self) -> bool {
+        matches!(self, RequestStatus::Ok | RequestStatus::DeadlineExceeded)
+    }
+}
+
+/// One request: which program to run, its input stream, and optional
+/// per-request budget overrides.
 #[derive(Debug, Clone)]
 pub struct Request {
     /// Index into the service's program list.
     pub program: usize,
     /// Input stream consumed by the program's `input()` builtin.
     pub input: Vec<i64>,
+    /// Per-request cycle budget, overriding
+    /// [`ServiceConfig::deadline_cycles`].
+    pub deadline_cycles: Option<u64>,
+    /// Per-request wall-clock budget (ns), overriding
+    /// [`ServiceConfig::deadline_ns`].
+    pub deadline_ns: Option<u64>,
+}
+
+impl Request {
+    /// A request with no per-request budget overrides (the service
+    /// defaults apply).
+    pub fn new(program: usize, input: Vec<i64>) -> Self {
+        Request {
+            program,
+            input,
+            deadline_cycles: None,
+            deadline_ns: None,
+        }
+    }
 }
 
 /// The per-request record a worker produces.
@@ -128,16 +257,23 @@ pub struct RequestResult {
     pub request: usize,
     /// Program index the request named.
     pub program: usize,
-    /// Worker that served it (0 for the sequential baseline).
+    /// Worker that served it (0 for the sequential baseline and for
+    /// requests that never reached a worker).
     pub worker: usize,
-    /// Store-independent outcome fingerprint ([`fingerprint_outcome`]).
+    /// Store-independent outcome fingerprint ([`fingerprint_outcome`]);
+    /// 0 for requests that never executed (`Shed`, `Exhausted`).
     pub fingerprint: u64,
     /// Modelled cycles (store-order dependent under sharing).
     pub cycles: u64,
-    /// Host wall-clock latency of the run, in nanoseconds.
+    /// Host wall-clock latency, in nanoseconds: run time for executed
+    /// requests, time burned retrying for `Exhausted`, 0 for `Shed`.
     pub latency_ns: u64,
     /// Whether the program trapped (the fingerprint then hashes the trap).
     pub trapped: bool,
+    /// Terminal status of the service attempt.
+    pub status: RequestStatus,
+    /// Retries this request consumed (queue re-pushes and re-executions).
+    pub retries: u32,
 }
 
 /// Everything one batch run produced.
@@ -149,13 +285,25 @@ pub struct ServiceReport {
     pub wall_seconds: f64,
     /// Requests per wall-clock second.
     pub throughput_rps: f64,
-    /// Merged latency distribution across workers.
+    /// Latency distribution of the *executed* requests.
     pub latency: LatencyHistogram,
-    /// Requests served per worker.
+    /// Latency distribution per terminal status, in
+    /// [`RequestStatus::ALL`] order (always 4 histograms).
+    pub latency_by_status: Vec<LatencyHistogram>,
+    /// Requests *executed* per worker (shed/exhausted requests reached no
+    /// worker and are not counted).
     pub per_worker: Vec<u64>,
     /// Aggregate store statistics accumulated by *this batch* (delta over
     /// the run; the store itself keeps accumulating across batches).
     pub store_delta: TableStats,
+    /// Total retries consumed across the batch (queue re-pushes plus
+    /// worker re-executions).
+    pub retries: u64,
+    /// Times the service entered degraded mode (stores flipped to bypass
+    /// at the high watermark) during the batch.
+    pub degraded_flips: u64,
+    /// Fault-plan counter deltas for this batch (`None` without a plan).
+    pub faults: Option<FaultCounters>,
 }
 
 impl ServiceReport {
@@ -163,6 +311,33 @@ impl ServiceReport {
     /// invariant: equal across worker counts and store temperatures).
     pub fn fingerprints(&self) -> Vec<u64> {
         self.results.iter().map(|r| r.fingerprint).collect()
+    }
+
+    /// `(request index, fingerprint)` for the *executed* requests only —
+    /// the set the §8f fault-equivalence invariant quantifies over (shed
+    /// and exhausted requests never produced outputs).
+    pub fn executed_fingerprints(&self) -> Vec<(usize, u64)> {
+        self.results
+            .iter()
+            .filter(|r| r.status.executed())
+            .map(|r| (r.request, r.fingerprint))
+            .collect()
+    }
+
+    /// Requests per terminal status, in [`RequestStatus::ALL`] order.
+    pub fn status_counts(&self) -> [u64; 4] {
+        let mut counts = [0u64; 4];
+        for r in &self.results {
+            counts[r.status.index()] += 1;
+        }
+        counts
+    }
+
+    /// Whether every submitted request ended in exactly one terminal
+    /// status (`ok + shed + deadline_exceeded + exhausted == submitted`).
+    pub fn accounting_holds(&self, submitted: usize) -> bool {
+        self.results.len() == submitted
+            && self.status_counts().iter().sum::<u64>() == submitted as u64
     }
 
     /// Hit ratio of the store traffic this batch generated.
@@ -197,6 +372,28 @@ impl std::fmt::Debug for ReuseService {
 
 fn recover<T>(r: Result<T, PoisonError<T>>) -> T {
     r.unwrap_or_else(PoisonError::into_inner)
+}
+
+/// A terminal record for a request that never executed (shed at
+/// admission, or retry budget exhausted).
+fn unserved(
+    idx: usize,
+    program: usize,
+    status: RequestStatus,
+    latency_ns: u64,
+    retries: u32,
+) -> RequestResult {
+    RequestResult {
+        request: idx,
+        program,
+        worker: 0,
+        fingerprint: 0,
+        cycles: 0,
+        latency_ns,
+        trapped: false,
+        status,
+        retries,
+    }
 }
 
 impl ReuseService {
@@ -240,6 +437,37 @@ impl ReuseService {
     /// Changes the worker count for subsequent [`ReuseService::run`] calls.
     pub fn set_workers(&mut self, workers: usize) {
         self.config.workers = workers.max(1);
+    }
+
+    /// Installs (or removes) a fault plan. Queue and worker fail points
+    /// apply from the next [`ReuseService::run`]; store-level probe
+    /// faults need the stores rebuilt ([`ReuseService::reset_stores`]) to
+    /// pick the plan up.
+    pub fn set_fault_plan(&mut self, plan: Option<Arc<FaultPlan>>) {
+        self.config.faults = plan;
+    }
+
+    /// The installed fault plan, if any.
+    pub fn fault_plan(&self) -> Option<&Arc<FaultPlan>> {
+        self.config.faults.as_ref()
+    }
+
+    /// Guard state of every shard of every table of every program, in
+    /// (program, table, shard) order — the degradation ladder's
+    /// observable.
+    pub fn store_states(&self) -> Vec<TableState> {
+        self.programs
+            .iter()
+            .flat_map(|p| p.store.iter().flat_map(ShardedTable::shard_states))
+            .collect()
+    }
+
+    /// Total poisoned-shard recoveries across every store.
+    pub fn poison_recoveries(&self) -> u64 {
+        self.programs
+            .iter()
+            .flat_map(|p| p.store.iter().map(ShardedTable::poison_recoveries))
+            .sum()
     }
 
     /// The currently configured worker count.
@@ -286,7 +514,12 @@ impl ReuseService {
     /// Serves one batch on `config.workers` threads against the shared
     /// stores. Requests flow through the bounded queue in submission
     /// order; completion order is scheduler-dependent, but `results` is
-    /// indexed by submission position either way.
+    /// indexed by submission position either way. Every request ends in
+    /// exactly one terminal [`RequestStatus`]; under an installed fault
+    /// plan, retryable faults (queue rejections, poisoned shards) are
+    /// retried with decorrelated backoff up to
+    /// [`ServiceConfig::max_retries`], and the high/low watermarks shed
+    /// load and flip the stores to bypass while the queue is backed up.
     ///
     /// # Panics
     ///
@@ -300,62 +533,110 @@ impl ReuseService {
                 self.programs.len()
             );
         }
+        if let Some(plan) = &self.config.faults {
+            if plan.rate(FailPoint::ShardPoison) > 0.0 {
+                memo_runtime::silence_injected_panics();
+            }
+        }
         let workers = self.config.workers.max(1);
-        let queue: BoundedQueue<usize> = BoundedQueue::new(self.config.queue_capacity);
+        let queue: BoundedQueue<usize> =
+            BoundedQueue::with_faults(self.config.queue_capacity, self.config.faults.clone());
         let results: Mutex<Vec<Option<RequestResult>>> = Mutex::new(vec![None; requests.len()]);
-        let gathered: Mutex<Vec<LatencyHistogram>> = Mutex::new(Vec::new());
         let before = self.store_stats();
+        let faults_before = self.config.faults.as_ref().map(|p| p.counters());
+        let mut push_retries = 0u64;
+        let mut degraded_flips = 0u64;
         let t0 = Instant::now();
         std::thread::scope(|s| {
             for w in 0..workers {
                 let queue = &queue;
                 let results = &results;
-                let gathered = &gathered;
                 s.spawn(move || {
                     // One lazily-filled bytecode cache per worker: each
                     // program is compiled at most once per worker, then
                     // every request for it reuses the bytecode.
                     let mut compiled: Vec<Option<vm::Precompiled<'_>>> =
                         (0..self.programs.len()).map(|_| None).collect();
-                    let mut hist = LatencyHistogram::new();
                     while let Some(idx) = queue.pop() {
                         let req = &requests[idx];
                         let rt = &self.programs[req.program];
                         let pre = compiled[req.program].get_or_insert_with(|| {
                             vm::precompile(&rt.program.module, &self.config.cost)
                         });
-                        let start = Instant::now();
-                        let outcome = vm::run_precompiled(
-                            &rt.program.module,
-                            pre,
-                            self.run_config_for(req, Some(Arc::clone(&rt.store))),
-                        );
-                        let latency_ns =
-                            start.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64;
-                        hist.record(latency_ns);
-                        let record = RequestResult {
-                            request: idx,
-                            program: req.program,
-                            worker: w,
-                            fingerprint: fingerprint_outcome(&outcome),
-                            cycles: outcome.as_ref().map_or(0, |o| o.cycles),
-                            latency_ns,
-                            trapped: outcome.is_err(),
-                        };
+                        let record = self.serve_one(idx, req, rt, pre, w);
                         recover(results.lock())[idx] = Some(record);
                     }
-                    recover(gathered.lock()).push(hist);
                 });
             }
             // The caller's thread is the producer: bounded queue, so a
             // long batch exerts back-pressure here instead of buffering
-            // everything.
-            for idx in 0..requests.len() {
-                if queue.push(idx).is_err() {
-                    break;
+            // everything. Watermarks turn that back-pressure into load
+            // shedding plus store degradation when configured.
+            let mut degraded = false;
+            for (idx, req) in requests.iter().enumerate() {
+                if let Some(high) = self.config.high_watermark {
+                    let depth = queue.len();
+                    if depth >= high {
+                        if !degraded {
+                            degraded = true;
+                            degraded_flips += 1;
+                            self.for_each_store(|t| t.force_bypass("queue over high watermark"));
+                        }
+                        recover(results.lock())[idx] =
+                            Some(unserved(idx, req.program, RequestStatus::Shed, 0, 0));
+                        continue;
+                    }
+                    if degraded && depth <= self.config.low_watermark {
+                        degraded = false;
+                        self.for_each_store(|t| {
+                            t.end_forced_bypass("queue drained to low watermark")
+                        });
+                    }
+                }
+                let mut item = idx;
+                let mut attempt = 0u32;
+                loop {
+                    match queue.push(item) {
+                        Ok(()) => break,
+                        Err(PushError::Rejected(it)) => {
+                            attempt += 1;
+                            if attempt > self.config.max_retries {
+                                recover(results.lock())[idx] = Some(unserved(
+                                    idx,
+                                    req.program,
+                                    RequestStatus::Exhausted,
+                                    0,
+                                    self.config.max_retries,
+                                ));
+                                break;
+                            }
+                            push_retries += 1;
+                            if let Some(plan) = &self.config.faults {
+                                std::thread::sleep(Duration::from_nanos(plan.backoff_ns(
+                                    attempt,
+                                    self.config.backoff_base_ns,
+                                    self.config.backoff_cap_ns,
+                                )));
+                            }
+                            item = it;
+                        }
+                        Err(PushError::Closed(_)) => {
+                            // Unreachable in practice: only this thread
+                            // closes the queue, after the loop. Shed
+                            // rather than lose the request silently.
+                            recover(results.lock())[idx] =
+                                Some(unserved(idx, req.program, RequestStatus::Shed, 0, 0));
+                            break;
+                        }
+                    }
                 }
             }
             queue.close();
+            if degraded {
+                // The batch is fully admitted; re-arm the stores so the
+                // next batch starts healthy.
+                self.for_each_store(|t| t.end_forced_bypass("batch admission complete"));
+            }
         });
         let wall_seconds = t0.elapsed().as_secs_f64();
         let after = self.store_stats();
@@ -366,12 +647,18 @@ impl ReuseService {
             .map(|(i, r)| r.unwrap_or_else(|| panic!("request {i} was never served")))
             .collect();
         let mut latency = LatencyHistogram::new();
+        let mut latency_by_status: Vec<LatencyHistogram> = (0..RequestStatus::ALL.len())
+            .map(|_| LatencyHistogram::new())
+            .collect();
         let mut per_worker = vec![0u64; workers];
-        for hist in recover(gathered.into_inner()) {
-            latency.merge(&hist);
-        }
+        let mut retries = push_retries;
         for r in &results {
-            per_worker[r.worker] += 1;
+            latency_by_status[r.status.index()].record(r.latency_ns);
+            retries += u64::from(r.retries);
+            if r.status.executed() {
+                latency.record(r.latency_ns);
+                per_worker[r.worker] += 1;
+            }
         }
         ServiceReport {
             throughput_rps: if wall_seconds > 0.0 {
@@ -382,8 +669,107 @@ impl ReuseService {
             results,
             wall_seconds,
             latency,
+            latency_by_status,
             per_worker,
             store_delta: after.delta_since(&before),
+            retries,
+            degraded_flips,
+            faults: self
+                .config
+                .faults
+                .as_ref()
+                .zip(faults_before)
+                .map(|(p, b)| p.counters().delta_since(&b)),
+        }
+    }
+
+    /// Runs one request on a worker thread: retry loop for poisoned-shard
+    /// faults, slow-request penalty, then the deadline checks.
+    fn serve_one(
+        &self,
+        idx: usize,
+        req: &Request,
+        rt: &ProgramRt,
+        pre: &vm::Precompiled<'_>,
+        worker: usize,
+    ) -> RequestResult {
+        let start = Instant::now();
+        let mut failed_attempts = 0u32;
+        let outcome = loop {
+            if let Some(plan) = &self.config.faults {
+                if plan.fire(FailPoint::ShardPoison) {
+                    // A deterministic victim shard is genuinely poisoned;
+                    // the attempt is treated as failed and retried, and
+                    // the next probe of that shard recovers it empty.
+                    if let Some(t) = rt.store.get(plan.pick(rt.store.len() as u64) as usize) {
+                        t.poison_shard(plan.pick(t.shard_count() as u64) as usize);
+                    }
+                    failed_attempts += 1;
+                    if failed_attempts > self.config.max_retries {
+                        break None;
+                    }
+                    std::thread::sleep(Duration::from_nanos(plan.backoff_ns(
+                        failed_attempts,
+                        self.config.backoff_base_ns,
+                        self.config.backoff_cap_ns,
+                    )));
+                    continue;
+                }
+            }
+            break Some(vm::run_precompiled(
+                &rt.program.module,
+                pre,
+                self.run_config_for(req, Some(Arc::clone(&rt.store))),
+            ));
+        };
+        let latency_ns = start.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64;
+        let Some(outcome) = outcome else {
+            return unserved(
+                idx,
+                req.program,
+                RequestStatus::Exhausted,
+                latency_ns,
+                self.config.max_retries,
+            );
+        };
+        let cycles = outcome.as_ref().map_or(0, |o| o.cycles);
+        // The slow-request fault charges synthetic cycles against the
+        // deadline only: the outputs (and so the fingerprint) are those
+        // of a normal run that simply took too long.
+        let mut charged_cycles = cycles;
+        if let Some(plan) = &self.config.faults {
+            if plan.fire(FailPoint::SlowRequest) {
+                charged_cycles = charged_cycles.saturating_add(plan.slow_penalty_cycles());
+            }
+        }
+        let deadline_cycles = req.deadline_cycles.or(self.config.deadline_cycles);
+        let deadline_ns = req.deadline_ns.or(self.config.deadline_ns);
+        let status = if deadline_cycles.is_some_and(|d| charged_cycles > d)
+            || deadline_ns.is_some_and(|d| latency_ns > d)
+        {
+            RequestStatus::DeadlineExceeded
+        } else {
+            RequestStatus::Ok
+        };
+        RequestResult {
+            request: idx,
+            program: req.program,
+            worker,
+            fingerprint: fingerprint_outcome(&outcome),
+            cycles,
+            latency_ns,
+            trapped: outcome.is_err(),
+            status,
+            retries: failed_attempts,
+        }
+    }
+
+    /// Applies `f` to every sharded table of every program.
+    fn for_each_store(&self, f: impl Fn(&ShardedTable)) {
+        for p in &self.programs {
+            for t in p.store.iter() {
+                f(t);
+            }
         }
     }
 
@@ -430,9 +816,16 @@ impl ReuseService {
                 cycles: outcome.as_ref().map_or(0, |o| o.cycles),
                 latency_ns,
                 trapped: outcome.is_err(),
+                status: RequestStatus::Ok,
+                retries: 0,
             });
         }
         let wall_seconds = t0.elapsed().as_secs_f64();
+        // The baseline is fault-free by construction: every request is Ok.
+        let mut latency_by_status: Vec<LatencyHistogram> = (0..RequestStatus::ALL.len())
+            .map(|_| LatencyHistogram::new())
+            .collect();
+        latency_by_status[RequestStatus::Ok.index()] = latency.clone();
         ServiceReport {
             throughput_rps: if wall_seconds > 0.0 {
                 results.len() as f64 / wall_seconds
@@ -443,7 +836,11 @@ impl ReuseService {
             results,
             wall_seconds,
             latency,
+            latency_by_status,
             store_delta: table_stats,
+            retries: 0,
+            degraded_flips: 0,
+            faults: None,
         }
     }
 }
@@ -459,6 +856,7 @@ fn build_store(p: &ServiceProgram, config: &ServiceConfig) -> Result<Vec<Sharded
                 enabled: config.adaptive,
                 ..policy.clone()
             });
+            t.set_fault_plan(config.faults.clone());
             Ok(t)
         })
         .collect()
@@ -535,10 +933,7 @@ mod tests {
 
     fn mix(n: usize) -> Vec<Request> {
         (0..n)
-            .map(|i| Request {
-                program: 0,
-                input: vec![(i % 5) as i64],
-            })
+            .map(|i| Request::new(0, vec![(i % 5) as i64]))
             .collect()
     }
 
@@ -612,9 +1007,159 @@ mod tests {
     fn out_of_range_program_panics() {
         let svc = ReuseService::new(vec![memoized_program("work")], ServiceConfig::default())
             .expect("valid specs");
-        svc.run(&[Request {
-            program: 9,
-            input: vec![],
-        }]);
+        svc.run(&[Request::new(9, vec![])]);
+    }
+
+    #[test]
+    fn fault_free_batches_are_all_ok_with_clean_accounting() {
+        let svc = ReuseService::new(vec![memoized_program("work")], ServiceConfig::default())
+            .expect("valid specs");
+        let requests = mix(12);
+        let report = svc.run(&requests);
+        assert!(report.accounting_holds(12));
+        assert_eq!(report.status_counts(), [12, 0, 0, 0]);
+        assert_eq!(report.retries, 0);
+        assert_eq!(report.degraded_flips, 0);
+        assert!(report.faults.is_none());
+        assert_eq!(report.executed_fingerprints().len(), 12);
+        assert_eq!(report.latency_by_status[0].count(), 12);
+    }
+
+    #[test]
+    fn cycle_deadline_marks_requests_without_changing_outputs() {
+        let svc = ReuseService::new(
+            vec![memoized_program("work")],
+            ServiceConfig {
+                workers: 2,
+                deadline_cycles: Some(1), // everything is over budget
+                ..ServiceConfig::default()
+            },
+        )
+        .expect("valid specs");
+        let requests = mix(8);
+        let baseline = svc.run_private_sequential(&requests);
+        let report = svc.run(&requests);
+        assert_eq!(report.status_counts(), [0, 0, 8, 0]);
+        // Deadline-exceeded requests still executed: outputs must match.
+        assert_eq!(report.fingerprints(), baseline.fingerprints());
+        assert_eq!(report.latency.count(), 8, "executed set covers them");
+    }
+
+    #[test]
+    fn per_request_deadline_overrides_the_config_default() {
+        let svc = ReuseService::new(
+            vec![memoized_program("work")],
+            ServiceConfig {
+                workers: 1,
+                deadline_cycles: Some(1),
+                ..ServiceConfig::default()
+            },
+        )
+        .expect("valid specs");
+        let mut generous = Request::new(0, vec![1]);
+        generous.deadline_cycles = Some(u64::MAX);
+        let tight = Request::new(0, vec![2]);
+        let report = svc.run(&[generous, tight]);
+        assert_eq!(report.results[0].status, RequestStatus::Ok);
+        assert_eq!(report.results[1].status, RequestStatus::DeadlineExceeded);
+    }
+
+    #[test]
+    fn injected_queue_rejections_retry_and_preserve_executed_outputs() {
+        let plan = Arc::new(FaultPlan::new(77).with_rate(FailPoint::QueueReject, 0.3));
+        let svc = ReuseService::new(
+            vec![memoized_program("work")],
+            ServiceConfig {
+                workers: 2,
+                backoff_base_ns: 100,
+                backoff_cap_ns: 1_000,
+                faults: Some(plan),
+                ..ServiceConfig::default()
+            },
+        )
+        .expect("valid specs");
+        let requests = mix(40);
+        let baseline = svc.run_private_sequential(&requests);
+        let report = svc.run(&requests);
+        assert!(report.accounting_holds(40));
+        assert!(report.retries > 0, "30% rejection rate must cause retries");
+        let counters = report.faults.expect("plan installed");
+        assert!(counters.fired_at(FailPoint::QueueReject) > 0);
+        let base = baseline.fingerprints();
+        for (idx, fp) in report.executed_fingerprints() {
+            assert_eq!(fp, base[idx], "request {idx} diverged under faults");
+        }
+    }
+
+    #[test]
+    fn watermark_shedding_degrades_and_recovers_the_stores() {
+        let svc = ReuseService::new(
+            vec![memoized_program("work")],
+            ServiceConfig {
+                workers: 1,
+                queue_capacity: 4,
+                high_watermark: Some(2),
+                low_watermark: 0,
+                ..ServiceConfig::default()
+            },
+        )
+        .expect("valid specs");
+        let requests = mix(60);
+        let baseline = svc.run_private_sequential(&requests);
+        let report = svc.run(&requests);
+        assert!(report.accounting_holds(60));
+        let [ok, shed, deadline, exhausted] = report.status_counts();
+        assert_eq!(ok + shed + deadline + exhausted, 60);
+        assert!(
+            shed > 0,
+            "one worker behind a 2-deep watermark must shed some of 60 requests"
+        );
+        assert!(report.degraded_flips >= 1);
+        // After the batch the stores are re-armed (guards are disabled by
+        // default, so they return straight to Active).
+        assert!(
+            svc.store_states().iter().all(|&s| s == TableState::Active),
+            "stores must be restored after the batch"
+        );
+        // Shed requests have fingerprint 0 and are excluded; executed
+        // ones still match the baseline.
+        let base = baseline.fingerprints();
+        for (idx, fp) in report.executed_fingerprints() {
+            assert_eq!(fp, base[idx]);
+        }
+        assert_eq!(
+            report.latency_by_status[RequestStatus::Shed.index()].count(),
+            shed
+        );
+    }
+
+    #[test]
+    fn poisoned_shard_faults_retry_to_completion() {
+        let plan = Arc::new(FaultPlan::new(13).with_rate(FailPoint::ShardPoison, 0.2));
+        let svc = ReuseService::new(
+            vec![memoized_program("work")],
+            ServiceConfig {
+                workers: 2,
+                backoff_base_ns: 100,
+                backoff_cap_ns: 1_000,
+                faults: Some(plan),
+                ..ServiceConfig::default()
+            },
+        )
+        .expect("valid specs");
+        let requests = mix(40);
+        let baseline = svc.run_private_sequential(&requests);
+        let report = svc.run(&requests);
+        assert!(report.accounting_holds(40));
+        let counters = report.faults.expect("plan installed");
+        assert!(counters.fired_at(FailPoint::ShardPoison) > 0);
+        assert!(
+            svc.poison_recoveries() > 0,
+            "poisoned shards must have been recovered"
+        );
+        let base = baseline.fingerprints();
+        for (idx, fp) in report.executed_fingerprints() {
+            assert_eq!(fp, base[idx], "request {idx} diverged after poisoning");
+        }
     }
 }

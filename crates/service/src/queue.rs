@@ -6,9 +6,36 @@
 //! requests exerts back-pressure instead of growing without limit.
 //! `close` wakes everyone; consumers then drain the remaining items and
 //! receive `None`.
+//!
+//! A queue built with [`BoundedQueue::with_faults`] can additionally
+//! reject pushes at the installed [`FaultPlan`]'s
+//! [`FailPoint::QueueReject`] rate, modelling a transiently full or
+//! failing admission path; a rejected item is returned to the caller
+//! (never enqueued), who may retry it.
 
 use std::collections::VecDeque;
-use std::sync::{Condvar, Mutex, PoisonError};
+use std::sync::{Arc, Condvar, Mutex, PoisonError};
+
+use memo_runtime::{FailPoint, FaultPlan};
+
+/// Why a [`BoundedQueue::push`] returned the item instead of enqueuing it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PushError<T> {
+    /// The queue was closed; no later push can succeed (terminal).
+    Closed(T),
+    /// The push was rejected by the fault plane, as a transiently failing
+    /// admission path would; a retry may succeed (retryable).
+    Rejected(T),
+}
+
+impl<T> PushError<T> {
+    /// The item that was not enqueued.
+    pub fn into_inner(self) -> T {
+        match self {
+            PushError::Closed(item) | PushError::Rejected(item) => item,
+        }
+    }
+}
 
 #[derive(Debug)]
 struct Inner<T> {
@@ -24,6 +51,8 @@ pub struct BoundedQueue<T> {
     not_empty: Condvar,
     not_full: Condvar,
     capacity: usize,
+    /// Chaos plane; `None` (the default) costs one branch per push.
+    faults: Option<Arc<FaultPlan>>,
 }
 
 // The queue is a cache-free FIFO: a poisoned mutex only means another
@@ -36,6 +65,16 @@ fn recover<T>(r: Result<T, PoisonError<T>>) -> T {
 impl<T> BoundedQueue<T> {
     /// Creates a queue holding at most `capacity` items (minimum 1).
     pub fn new(capacity: usize) -> Self {
+        Self::build(capacity, None)
+    }
+
+    /// Creates a queue whose pushes can be rejected by `plan`'s
+    /// [`FailPoint::QueueReject`] fires.
+    pub fn with_faults(capacity: usize, plan: Option<Arc<FaultPlan>>) -> Self {
+        Self::build(capacity, plan)
+    }
+
+    fn build(capacity: usize, faults: Option<Arc<FaultPlan>>) -> Self {
         BoundedQueue {
             inner: Mutex::new(Inner {
                 items: VecDeque::new(),
@@ -44,23 +83,35 @@ impl<T> BoundedQueue<T> {
             not_empty: Condvar::new(),
             not_full: Condvar::new(),
             capacity: capacity.max(1),
+            faults,
         }
     }
 
-    /// Enqueues `item`, blocking while the queue is full. Returns the item
-    /// back if the queue has been closed.
+    /// Maximum number of buffered items.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Enqueues `item`, blocking while the queue is full.
     ///
     /// # Errors
     ///
-    /// Returns `Err(item)` when the queue was closed before the item could
-    /// be enqueued.
-    pub fn push(&self, item: T) -> Result<(), T> {
+    /// Returns [`PushError::Closed`] when the queue was closed before the
+    /// item could be enqueued (terminal), or [`PushError::Rejected`] when
+    /// the fault plane rejected the push (retryable); either way the item
+    /// is handed back and was never enqueued.
+    pub fn push(&self, item: T) -> Result<(), PushError<T>> {
+        if let Some(plan) = &self.faults {
+            if plan.fire(FailPoint::QueueReject) {
+                return Err(PushError::Rejected(item));
+            }
+        }
         let mut inner = recover(self.inner.lock());
         while inner.items.len() >= self.capacity && !inner.closed {
             inner = recover(self.not_full.wait(inner));
         }
         if inner.closed {
-            return Err(item);
+            return Err(PushError::Closed(item));
         }
         inner.items.push_back(item);
         drop(inner);
@@ -93,7 +144,8 @@ impl<T> BoundedQueue<T> {
         self.not_full.notify_all();
     }
 
-    /// Items currently buffered (racy snapshot; for tests and telemetry).
+    /// Items currently buffered (racy snapshot; for tests, telemetry, and
+    /// the service's watermark checks).
     pub fn len(&self) -> usize {
         recover(self.inner.lock()).items.len()
     }
@@ -125,7 +177,8 @@ mod tests {
     fn push_after_close_returns_item() {
         let q = BoundedQueue::new(2);
         q.close();
-        assert_eq!(q.push(7), Err(7));
+        assert_eq!(q.push(7), Err(PushError::Closed(7)));
+        assert_eq!(PushError::Closed(7).into_inner(), 7);
     }
 
     #[test]
@@ -173,5 +226,24 @@ mod tests {
         });
         // sum 0..200 = 19900
         assert_eq!(total.load(Ordering::Relaxed), 19900);
+    }
+
+    #[test]
+    fn injected_rejections_hand_the_item_back() {
+        let plan = Arc::new(FaultPlan::new(5).with_rate(FailPoint::QueueReject, 1.0));
+        let q = BoundedQueue::with_faults(4, Some(plan.clone()));
+        assert_eq!(q.push(9), Err(PushError::Rejected(9)));
+        assert!(q.is_empty(), "rejected items are never enqueued");
+        assert_eq!(plan.fired(FailPoint::QueueReject), 1);
+    }
+
+    #[test]
+    fn zero_rate_plan_never_rejects() {
+        let plan = Arc::new(FaultPlan::new(5));
+        let q = BoundedQueue::with_faults(4, Some(plan));
+        for i in 0..100 {
+            q.push(i).unwrap();
+            assert_eq!(q.pop(), Some(i));
+        }
     }
 }

@@ -1,0 +1,97 @@
+//! Property tests for [`service::LatencyHistogram`].
+//!
+//! The histogram backs every latency figure the service reports, and the
+//! chaos gate trusts three of its contracts without re-checking them:
+//! quantiles are monotone in `q` and never leave the observed range, and
+//! merging per-worker histograms is exactly equivalent to recording the
+//! concatenated sample stream into one histogram.
+
+use proptest::prelude::*;
+use service::LatencyHistogram;
+
+/// Latencies spanning the full bucket range: exact zeros, small counts,
+/// microseconds, and values near `u64::MAX`.
+fn sample() -> impl Strategy<Value = u64> {
+    prop_oneof![
+        Just(0u64),
+        1..16u64,
+        1_000..2_000_000u64,
+        (u64::MAX - 1000)..u64::MAX,
+    ]
+}
+
+fn record_all(samples: &[u64]) -> LatencyHistogram {
+    let mut h = LatencyHistogram::new();
+    for &ns in samples {
+        h.record(ns);
+    }
+    h
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64 })]
+
+    /// `quantile_ns` never decreases as `q` grows, and every answer on a
+    /// non-empty histogram stays inside `[min_ns, max_ns]`.
+    #[test]
+    fn quantiles_are_monotone_and_bounded(
+        samples in prop::collection::vec(sample(), 1..200),
+    ) {
+        let h = record_all(&samples);
+        let qs = [0.0, 0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 1.0];
+        let mut prev = 0u64;
+        for &q in &qs {
+            let v = h.quantile_ns(q);
+            prop_assert!(v >= prev, "quantile fell from {prev} to {v} at q={q}");
+            prop_assert!(
+                (h.min_ns()..=h.max_ns()).contains(&v),
+                "quantile {v} at q={q} outside [{}, {}]",
+                h.min_ns(),
+                h.max_ns()
+            );
+            prev = v;
+        }
+        // q=1 crosses the bucket holding the largest sample, whose
+        // ceiling the clamp pins to exactly `max_ns`.
+        prop_assert_eq!(h.quantile_ns(1.0), h.max_ns());
+    }
+
+    /// Merging histograms of two streams equals recording their
+    /// concatenation: same count, mean, extremes, buckets, and quantiles.
+    #[test]
+    fn merge_equals_recording_the_concatenated_stream(
+        left in prop::collection::vec(sample(), 0..120),
+        right in prop::collection::vec(sample(), 0..120),
+    ) {
+        let mut merged = record_all(&left);
+        merged.merge(&record_all(&right));
+        let whole: Vec<u64> = left.iter().chain(&right).copied().collect();
+        let expected = record_all(&whole);
+        prop_assert_eq!(merged.count(), expected.count());
+        prop_assert_eq!(merged.min_ns(), expected.min_ns());
+        prop_assert_eq!(merged.max_ns(), expected.max_ns());
+        prop_assert!((merged.mean_ns() - expected.mean_ns()).abs() < 1e-6);
+        prop_assert_eq!(merged.nonzero_buckets(), expected.nonzero_buckets());
+        for q in [0.0, 0.5, 0.9, 0.99, 1.0] {
+            prop_assert_eq!(merged.quantile_ns(q), expected.quantile_ns(q));
+        }
+    }
+
+    /// An empty histogram is the identity for merge, in either order.
+    #[test]
+    fn empty_histogram_is_merge_identity(
+        samples in prop::collection::vec(sample(), 0..60),
+    ) {
+        let base = record_all(&samples);
+        let mut left = LatencyHistogram::new();
+        left.merge(&base);
+        let mut right = base.clone();
+        right.merge(&LatencyHistogram::new());
+        for h in [&left, &right] {
+            prop_assert_eq!(h.count(), base.count());
+            prop_assert_eq!(h.min_ns(), base.min_ns());
+            prop_assert_eq!(h.max_ns(), base.max_ns());
+            prop_assert_eq!(h.nonzero_buckets(), base.nonzero_buckets());
+        }
+    }
+}

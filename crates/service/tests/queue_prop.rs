@@ -1,0 +1,179 @@
+//! Model-based property tests for [`service::BoundedQueue`].
+//!
+//! The queue is the service's only hand-off point, so its delivery
+//! contract is load-bearing for the chaos invariants: an item the queue
+//! *accepted* is delivered exactly once (close drains, never drops), and
+//! an item it *rejected* — by fault injection or closure — is handed
+//! back to the caller and never delivered. The tests drive the real
+//! queue alongside a `VecDeque` model through scripted interleavings,
+//! and a concurrent sweep checks the same conservation law under racing
+//! producers and consumers.
+
+use proptest::prelude::*;
+use service::{BoundedQueue, PushError};
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use memo_runtime::{FailPoint, FaultPlan};
+
+/// One scripted step. Pops are only *attempted* when they cannot block
+/// (model non-empty, or queue closed), and pushes only when they cannot
+/// block (model below capacity, or queue closed) — the single-threaded
+/// script must never wait on itself.
+#[derive(Debug, Clone, Copy)]
+enum Op {
+    Push,
+    Pop,
+    Close,
+}
+
+fn op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        Just(Op::Push),
+        Just(Op::Push),
+        Just(Op::Pop),
+        Just(Op::Close)
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 48 })]
+
+    /// Scripted single-thread interleavings against a `VecDeque` model:
+    /// accepted items come back in FIFO order, rejected and post-close
+    /// items are returned verbatim and never surface again, and after
+    /// close the queue drains exactly the model's residue.
+    #[test]
+    fn interleavings_match_the_fifo_model(
+        ops in prop::collection::vec(op(), 1..120),
+        capacity in 1..5usize,
+        seed in 0..1000u64,
+        rate_pct in 0..60u32,
+    ) {
+        let plan = Arc::new(
+            FaultPlan::new(seed)
+                .with_rate(FailPoint::QueueReject, f64::from(rate_pct) / 100.0),
+        );
+        let q: BoundedQueue<u64> = BoundedQueue::with_faults(capacity, Some(plan));
+        let mut model: VecDeque<u64> = VecDeque::new();
+        let mut closed = false;
+        let mut next_item = 0u64;
+        let mut rejected: Vec<u64> = Vec::new();
+        let mut delivered: Vec<u64> = Vec::new();
+        for o in ops {
+            match o {
+                Op::Push => {
+                    if model.len() >= q.capacity() && !closed {
+                        continue; // a real push would block on itself
+                    }
+                    let item = next_item;
+                    next_item += 1;
+                    match q.push(item) {
+                        Ok(()) => {
+                            prop_assert!(!closed, "closed queue accepted {item}");
+                            model.push_back(item);
+                        }
+                        Err(PushError::Closed(back)) => {
+                            prop_assert!(closed, "open queue claimed closure");
+                            prop_assert_eq!(back, item);
+                            rejected.push(back);
+                        }
+                        Err(PushError::Rejected(back)) => {
+                            prop_assert_eq!(back, item);
+                            rejected.push(back);
+                        }
+                    }
+                }
+                Op::Pop => {
+                    if model.is_empty() && !closed {
+                        continue; // a real pop would block on itself
+                    }
+                    let got = q.pop();
+                    prop_assert_eq!(got, model.pop_front(), "pop order diverged");
+                    if let Some(v) = got {
+                        delivered.push(v);
+                    }
+                }
+                Op::Close => {
+                    q.close();
+                    closed = true;
+                }
+            }
+        }
+        // Close drains exactly the already-accepted items, in order.
+        q.close();
+        while let Some(v) = q.pop() {
+            prop_assert_eq!(Some(v), model.pop_front(), "drain order diverged");
+            delivered.push(v);
+        }
+        prop_assert!(model.is_empty(), "accepted items were lost on close");
+        prop_assert_eq!(q.pop(), None);
+        // No item was both handed back and delivered.
+        for r in &rejected {
+            prop_assert!(
+                !delivered.contains(r),
+                "item {r} was rejected AND delivered"
+            );
+        }
+    }
+
+    /// Conservation under real races: every pushed item is either
+    /// delivered exactly once or handed back exactly once, never both,
+    /// and close loses nothing that was accepted.
+    #[test]
+    fn concurrent_traffic_conserves_items(
+        producers in 1..4usize,
+        consumers in 1..4usize,
+        per_producer in 1..40u64,
+        capacity in 1..5usize,
+        seed in 0..1000u64,
+    ) {
+        let plan = Arc::new(FaultPlan::new(seed).with_rate(FailPoint::QueueReject, 0.2));
+        let q: BoundedQueue<u64> = BoundedQueue::with_faults(capacity, Some(plan));
+        let delivered_sum = AtomicU64::new(0);
+        let delivered_count = AtomicU64::new(0);
+        let rejected_sum = AtomicU64::new(0);
+        let rejected_count = AtomicU64::new(0);
+        std::thread::scope(|s| {
+            for _ in 0..consumers {
+                s.spawn(|| {
+                    while let Some(v) = q.pop() {
+                        delivered_sum.fetch_add(v, Ordering::Relaxed);
+                        delivered_count.fetch_add(1, Ordering::Relaxed);
+                    }
+                });
+            }
+            std::thread::scope(|p| {
+                for t in 0..producers as u64 {
+                    let q = &q;
+                    let rejected_sum = &rejected_sum;
+                    let rejected_count = &rejected_count;
+                    p.spawn(move || {
+                        for i in 0..per_producer {
+                            // Unique item ids across producers.
+                            let item = t * per_producer + i + 1;
+                            if let Err(e) = q.push(item) {
+                                rejected_sum.fetch_add(e.into_inner(), Ordering::Relaxed);
+                                rejected_count.fetch_add(1, Ordering::Relaxed);
+                            }
+                        }
+                    });
+                }
+            });
+            q.close();
+        });
+        let total = producers as u64 * per_producer;
+        let total_sum = total * (total + 1) / 2;
+        prop_assert_eq!(
+            delivered_count.load(Ordering::Relaxed) + rejected_count.load(Ordering::Relaxed),
+            total,
+            "an item vanished or was duplicated"
+        );
+        prop_assert_eq!(
+            delivered_sum.load(Ordering::Relaxed) + rejected_sum.load(Ordering::Relaxed),
+            total_sum,
+            "delivered + rejected ids do not partition the pushed ids"
+        );
+    }
+}
