@@ -40,6 +40,16 @@ pub struct SegIo {
     pub key_words: usize,
     /// Total output width in words (including the return slot).
     pub out_words: usize,
+    /// Directly-named invariant global regions the segment reads, dropped
+    /// from the key by the §2.1 invariance filter: `(name, words)`, sorted
+    /// by name. The dependency planner turns these into non-mutable
+    /// validated dependencies so stored results also witness their
+    /// (expected-constant) contents.
+    pub invariant_reads: Vec<(String, usize)>,
+    /// Names of input operands that resolve to globals, sorted. Key
+    /// reduction (moving a mutable region out of the key into a validated
+    /// dependency) applies only to these.
+    pub global_inputs: Vec<String>,
 }
 
 impl SegIo {
@@ -177,6 +187,31 @@ pub fn seg_io(checked: &Checked, an: &Analyses, seg: &Segment) -> Result<SegIo, 
         .filter(|v| !declared_inside.contains(v))
         .collect();
 
+    // Record which invariant *global* regions were dropped, so the
+    // dependency planner can re-attach them as validated (non-mutable)
+    // dependencies. Unnameable or non-arithmetic regions are skipped: they
+    // simply stay untracked, as before.
+    let mut invariant_reads: Vec<(String, usize)> = Vec::new();
+    for &v in &invariants {
+        if !matches!(v, VarId::Global(_)) {
+            continue;
+        }
+        let Some(ty) = type_of_var(&checked.info, &checked.program, v) else {
+            continue;
+        };
+        let words = match &ty {
+            Type::Int | Type::Float => 1,
+            Type::Array(elem, n) if elem.is_arith() => *n,
+            _ => continue,
+        };
+        let Ok(name) = nameable(checked, seg.func, v) else {
+            continue;
+        };
+        invariant_reads.push((name, words));
+    }
+    invariant_reads.sort();
+    invariant_reads.dedup();
+
     // Aggregate region defs and their liveness at region exits.
     let mut defs: HashSet<VarId> = HashSet::new();
     for &b in &region {
@@ -242,13 +277,25 @@ pub fn seg_io(checked: &Checked, an: &Analyses, seg: &Segment) -> Result<SegIo, 
         }
     }
 
+    let mut global_inputs: Vec<String> = Vec::new();
     for &v in &input_vars {
         let ty = type_of_var(&checked.info, &checked.program, v)
             .ok_or_else(|| Reject::UnsupportedOperand("unknown variable type".into()))?;
         let name = nameable(checked, seg.func, v)?;
+        let is_global = matches!(v, VarId::Global(_));
         match &ty {
-            Type::Int => inputs.push(MemoOperand::scalar(name, ScalarKind::Int)),
-            Type::Float => inputs.push(MemoOperand::scalar(name, ScalarKind::Float)),
+            Type::Int => {
+                if is_global {
+                    global_inputs.push(name.clone());
+                }
+                inputs.push(MemoOperand::scalar(name, ScalarKind::Int));
+            }
+            Type::Float => {
+                if is_global {
+                    global_inputs.push(name.clone());
+                }
+                inputs.push(MemoOperand::scalar(name, ScalarKind::Float));
+            }
             Type::Array(elem, n) => {
                 if !elem.is_arith() {
                     return Err(Reject::UnsupportedOperand(format!(
@@ -259,6 +306,9 @@ pub fn seg_io(checked: &Checked, an: &Analyses, seg: &Segment) -> Result<SegIo, 
                 // already-keyed pointer, the Deref operand covers it.
                 if keyed_targets.contains(&v) && !scan.named_vars.contains(&v) {
                     continue;
+                }
+                if is_global {
+                    global_inputs.push(name.clone());
                 }
                 inputs.push(MemoOperand {
                     name,
@@ -392,6 +442,8 @@ pub fn seg_io(checked: &Checked, an: &Analyses, seg: &Segment) -> Result<SegIo, 
     inputs.dedup();
     outputs.sort_by(|a, b| a.name.cmp(&b.name));
     outputs.dedup();
+    global_inputs.sort();
+    global_inputs.dedup();
 
     if inputs.is_empty() {
         return Err(Reject::NoInputs);
@@ -408,6 +460,8 @@ pub fn seg_io(checked: &Checked, an: &Analyses, seg: &Segment) -> Result<SegIo, 
         ret,
         key_words,
         out_words,
+        invariant_reads,
+        global_inputs,
     })
 }
 

@@ -25,6 +25,7 @@
 #![warn(missing_debug_implementations)]
 
 pub mod callgraph;
+pub mod deps;
 pub mod granularity;
 pub mod inout;
 pub mod invariance;

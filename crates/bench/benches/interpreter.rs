@@ -45,6 +45,7 @@ fn bench_memoized(c: &mut Criterion) {
         slot: 0,
         inputs: vec![MemoOperand::scalar("val", ScalarKind::Int)],
         outputs: vec![],
+        deps: vec![],
         ret: Some(ScalarKind::Int),
         body,
     }))]);

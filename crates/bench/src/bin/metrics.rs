@@ -60,10 +60,26 @@
 //! cargo run --release -p bench --bin metrics -- --serve --fault-plan 42 \
 //!     --fault-rate 0.15 --sweep-workers 1,4 --assert-fault-equivalence
 //! ```
+//!
+//! `--serve --alt` switches to the perturbed-input A/B benchmark
+//! (DESIGN.md §8g): per sweep point the same mixed default/alternate
+//! batch is served cold+warm with dependency validation off (arm A —
+//! dependency-keyed entries are forced red, exact matching only) and
+//! again from a fresh store with validation on (arm B — recorded
+//! fingerprints that still hold promote entries green). The report's
+//! `hit_lift` is arm B's warm hit ratio minus arm A's.
+//! `--assert-hit-lift` is the CI gate: exit nonzero unless every point
+//! lifts, at least one green promotion happened, and every executed
+//! request fingerprints identically to the sequential baseline.
+//!
+//! ```text
+//! cargo run --release -p bench --bin metrics -- --serve --alt \
+//!     --sweep-workers 1,2,4 --assert-hit-lift
+//! ```
 
 use bench::reports::EngineBenchRow;
 use bench::runner::{execute, execute_with_tables, prepare_with, InputKind, PrepareOpts};
-use bench::serve::{run_serve, ServeOpts};
+use bench::serve::{run_serve, run_serve_ab, ServeOpts};
 use workloads::Workload;
 
 /// Times one full prepare + execute cycle on `engine`, in milliseconds.
@@ -164,6 +180,59 @@ fn assert_fault_equivalence(summary: &bench::serve::ServeSummary, report: &str) 
     }
 }
 
+/// The `--serve --alt` perturbed-input A/B mode: the same batch served
+/// with validation off (arm A, exact-match probing only) and on (arm B,
+/// try-mark-green), measuring the warm hit-ratio lift. With
+/// `--assert-hit-lift`, exits nonzero unless every sweep point shows a
+/// positive lift with at least one green promotion, every executed
+/// request fingerprints identically to the sequential baseline, and the
+/// emitted report round-trips through the JSON parser.
+fn serve_ab_mode(ws: &[Workload], opts: &ServeOpts, sweep: &[usize], assert_lift: bool) {
+    let summary = run_serve_ab(ws, opts, sweep);
+    let report = bench::reports::serve_ab_json(&summary);
+    println!("{report}");
+    if !summary.all_match() {
+        eprintln!("serve-ab: fingerprints diverged from the sequential baseline");
+        std::process::exit(1);
+    }
+    if !summary.all_accounted() {
+        eprintln!("serve-ab: status counts do not sum to the submitted batch");
+        std::process::exit(1);
+    }
+    if assert_lift {
+        let fail = |msg: &str| -> ! {
+            eprintln!("serve-ab: hit-lift gate failed: {msg}");
+            std::process::exit(1);
+        };
+        if !summary.lift_holds() {
+            for p in &summary.points {
+                eprintln!(
+                    "  workers {}: warm hit ratio {:.4} (red) -> {:.4} (green), lift {:+.4}, \
+                     green hits {}",
+                    p.workers,
+                    p.red_warm.hit_ratio(),
+                    p.green_warm.hit_ratio(),
+                    p.hit_lift(),
+                    p.green_cold.store_delta.green_hits + p.green_warm.store_delta.green_hits,
+                );
+            }
+            fail("validation did not lift the warm hit ratio at every sweep point");
+        }
+        let parsed = bench::json::parse(&report)
+            .unwrap_or_else(|e| fail(&format!("emitted report is not valid JSON: {e}")));
+        let round_trip_ok = parsed.get("all_match").and_then(|v| v.as_bool()) == Some(true)
+            && parsed.get("lift_holds").and_then(|v| v.as_bool()) == Some(true)
+            && parsed
+                .get("sweep")
+                .and_then(|v| v.as_array())
+                .map(<[_]>::len)
+                == Some(summary.points.len());
+        if !round_trip_ok {
+            fail("round-tripped report disagrees with the in-memory summary");
+        }
+    }
+}
+
 /// Runs the serving benchmark and applies the optional CI gates.
 fn serve_mode(
     ws: &[Workload],
@@ -228,6 +297,7 @@ fn main() {
     let mut deadline_cycles: Option<u64> = None;
     let mut high_watermark: Option<usize> = None;
     let mut assert_fault_equiv = false;
+    let mut assert_hit_lift = false;
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
     while i < argv.len() {
@@ -305,6 +375,7 @@ fn main() {
                 );
             }
             "--assert-fault-equivalence" => assert_fault_equiv = true,
+            "--assert-hit-lift" => assert_hit_lift = true,
             "--scale" => {
                 i += 1;
                 scale = argv
@@ -361,7 +432,14 @@ fn main() {
             ..ServeOpts::default()
         };
         let sweep = sweep_workers.unwrap_or_else(|| vec![workers]);
-        serve_mode(&ws, &opts, &sweep, assert_serve_speedup, assert_fault_equiv);
+        if input == InputKind::Alt {
+            // --serve --alt: the perturbed-input A/B mode. The batch
+            // already mixes default and alternate inputs; --alt here
+            // selects the red-vs-green arm comparison over it.
+            serve_ab_mode(&ws, &opts, &sweep, assert_hit_lift);
+        } else {
+            serve_mode(&ws, &opts, &sweep, assert_serve_speedup, assert_fault_equiv);
+        }
         return;
     }
 

@@ -588,11 +588,14 @@ fn json_escape(s: &str) -> String {
 fn json_stats(s: &memo_runtime::TableStats) -> String {
     format!(
         concat!(
-            "{{\"accesses\":{},\"hits\":{},\"misses\":{},\"collisions\":{},",
+            "{{\"accesses\":{},\"hits\":{},\"green_hits\":{},\"stale_reds\":{},",
+            "\"misses\":{},\"collisions\":{},",
             "\"evictions\":{},\"insertions\":{},\"hit_ratio\":{},\"collision_rate\":{}}}"
         ),
         s.accesses,
         s.hits,
+        s.green_hits,
+        s.stale_reds,
         s.misses,
         s.collisions,
         s.evictions,
@@ -793,10 +796,14 @@ fn json_service_report(r: &service::ServiceReport) -> String {
         .faults
         .as_ref()
         .map_or_else(|| "null".to_string(), json_fault_counters);
+    // Per-program store deltas, in the summary's workload order — the
+    // per-workload green/red breakdown of this batch's store traffic.
+    let per_program: Vec<String> = r.per_program_delta.iter().map(json_stats).collect();
     format!(
         concat!(
             "{{\"wall_seconds\":{:.6},\"throughput_rps\":{:.1},\"hit_ratio\":{:.6},",
-            "\"trapped\":{},\"per_worker\":[{}],\"store\":{},\"latency\":{},",
+            "\"trapped\":{},\"per_worker\":[{}],\"store\":{},\"per_program\":[{}],",
+            "\"latency\":{},",
             "\"statuses\":{{{}}},\"retries\":{},\"degraded_flips\":{},",
             "\"faults\":{},\"latency_by_status\":{{{}}}}}"
         ),
@@ -806,6 +813,7 @@ fn json_service_report(r: &service::ServiceReport) -> String {
         r.results.iter().filter(|x| x.trapped).count(),
         per_worker.join(","),
         json_stats(&r.store_delta),
+        per_program.join(","),
         json_histogram(&r.latency),
         statuses.join(","),
         r.retries,
@@ -883,6 +891,66 @@ pub fn serve_report_json(s: &crate::serve::ServeSummary) -> String {
         s.all_match(),
         s.all_accounted(),
         fault_plan,
+        names.join(","),
+        json_service_report(&s.baseline),
+        points.join(","),
+    )
+}
+
+/// Serialises a [`crate::serve::AbSummary`] — the perturbed-input A/B
+/// benchmark (`metrics --serve --alt`). Each point reports both arms'
+/// cold and warm rounds; `hit_lift` is arm B's warm hit ratio minus arm
+/// A's (what try-mark-green validation buys over exact matching on the
+/// same batch, DESIGN.md §8g).
+pub fn serve_ab_json(s: &crate::serve::AbSummary) -> String {
+    let names: Vec<String> = s
+        .workload_names
+        .iter()
+        .map(|n| format!("\"{}\"", json_escape(n)))
+        .collect();
+    let points: Vec<String> = s
+        .points
+        .iter()
+        .map(|p| {
+            format!(
+                concat!(
+                    "{{\"workers\":{},\"fingerprints_match\":{},\"accounting_ok\":{},",
+                    "\"hit_lift\":{:.6},\"red_hit_ratio\":{:.6},\"green_hit_ratio\":{:.6},",
+                    "\"green_hits\":{},\"stale_reds\":{},",
+                    "\"red\":{{\"cold\":{},\"warm\":{}}},",
+                    "\"green\":{{\"cold\":{},\"warm\":{}}}}}"
+                ),
+                p.workers,
+                p.matches_baseline,
+                p.accounting_ok,
+                p.hit_lift(),
+                p.red_warm.hit_ratio(),
+                p.green_warm.hit_ratio(),
+                p.green_warm.store_delta.green_hits + p.green_cold.store_delta.green_hits,
+                p.green_warm.store_delta.stale_reds + p.green_cold.store_delta.stale_reds,
+                json_service_report(&p.red_cold),
+                json_service_report(&p.red_warm),
+                json_service_report(&p.green_cold),
+                json_service_report(&p.green_warm),
+            )
+        })
+        .collect();
+    format!(
+        concat!(
+            "{{\"bench\":\"serve_ab\",\"scale\":{},\"opt\":\"{:?}\",\"shards\":{},",
+            "\"queue_capacity\":{},\"cpus\":{},\"requests\":{},\"all_match\":{},",
+            "\"all_accounted\":{},\"lift_holds\":{},",
+            "\"workloads\":[{}],\"baseline\":{},\"sweep\":[{}]}}"
+        ),
+        s.opts.scale,
+        s.opts.opt,
+        s.opts.shards,
+        s.opts.queue_capacity,
+        s.cpus,
+        s.requests,
+        s.all_match(),
+        s.all_accounted(),
+        s.lift_holds(),
         names.join(","),
         json_service_report(&s.baseline),
         points.join(","),

@@ -43,6 +43,11 @@ pub struct PrepareOpts {
     /// Execution engine (modelled cycles are engine-independent; this
     /// only picks the host-speed implementation).
     pub engine: vm::Engine,
+    /// Plan with dependency-tracked key reduction (DESIGN.md §8g). Off by
+    /// default: the paper tables reproduce the static exact-match scheme,
+    /// so only the serve harness (which measures the incremental-reuse
+    /// extension) opts in.
+    pub validate: bool,
 }
 
 /// Runs the reuse pipeline for `w` at `opt`, profiling on default inputs
@@ -70,6 +75,7 @@ pub fn prepare_with(
         bytes_cap: opts.bytes_cap,
         enable_merging: !opts.disable_merging,
         engine: opts.engine,
+        enable_validation: opts.validate,
         ..PipelineConfig::default()
     };
     let outcome = compreuse::run_pipeline(&program, &config)

@@ -116,6 +116,80 @@ fn check_workload(w: &Workload, opt: OptLevel) {
     }
 }
 
+/// Green-promotion parity (§8g): plan with dependency validation, then
+/// chain a cold run (default inputs, fresh tables) into a warm run
+/// (alternate inputs, reusing the populated tables). The warm run probes
+/// dependency-fingerprinted entries recorded cold — the configuration
+/// where try-mark-green promotes entries — and both engines must agree
+/// on every observable of both runs, green/stale statistics included.
+#[test]
+fn engines_agree_on_green_promoted_hits() {
+    let ws = [
+        workloads::gnugo::gnugo(),
+        workloads::unepic::unepic(),
+        workloads::g721::encode(),
+    ];
+    let green_total = std::sync::atomic::AtomicU64::new(0);
+    std::thread::scope(|s| {
+        for w in &ws {
+            let green_total = &green_total;
+            s.spawn(move || {
+                let p = prepare_with(
+                    w,
+                    OptLevel::O0,
+                    SCALE,
+                    &PrepareOpts {
+                        validate: true,
+                        ..PrepareOpts::default()
+                    },
+                );
+                let cold_input = (w.default_input)(SCALE);
+                let warm_input = (w.alt_input)(SCALE);
+                let chain = |engine| {
+                    let cold = run_engine(&p, &p.memo_module, &cold_input, engine);
+                    let warm = vm::run(
+                        &p.memo_module,
+                        RunConfig {
+                            cost: CostModel::for_level(p.opt),
+                            input: warm_input.clone(),
+                            tables: cold.tables.clone(),
+                            engine,
+                            ..RunConfig::default()
+                        },
+                    )
+                    .unwrap_or_else(|t| panic!("{} ({engine}): warm trapped: {t}", p.name));
+                    (cold, warm)
+                };
+                let (tree_cold, tree_warm) = chain(Engine::Tree);
+                let (bc_cold, bc_warm) = chain(Engine::Bytecode);
+                assert_eq!(
+                    outcome_fingerprint(&tree_cold),
+                    outcome_fingerprint(&bc_cold),
+                    "{}: engines diverged on the cold validated run",
+                    w.name
+                );
+                assert_eq!(
+                    outcome_fingerprint(&tree_warm),
+                    outcome_fingerprint(&bc_warm),
+                    "{}: engines diverged on the green-promoted warm run",
+                    w.name
+                );
+                let green: u64 = tree_cold
+                    .tables
+                    .iter()
+                    .chain(&tree_warm.tables)
+                    .map(|t| t.stats().green_hits)
+                    .sum();
+                green_total.fetch_add(green, std::sync::atomic::Ordering::Relaxed);
+            });
+        }
+    });
+    assert!(
+        green_total.load(std::sync::atomic::Ordering::Relaxed) > 0,
+        "no workload promoted a single entry green"
+    );
+}
+
 #[test]
 fn engines_agree_on_all_workloads_both_opt_levels() {
     let ws = [

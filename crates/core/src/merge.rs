@@ -125,6 +125,8 @@ mod tests {
             ret: Some(ScalarKind::Int),
             key_words,
             out_words,
+            invariant_reads: vec![],
+            global_inputs: vec![],
         }
     }
 

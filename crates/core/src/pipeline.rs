@@ -18,6 +18,7 @@ use crate::merge::{plan_tables, TableAssignment, TablePlan};
 use crate::nesting;
 use crate::specialize::{specialize, Specialization};
 use crate::transform::{insert_memos, insert_probes, MemoSpec, ProbeSpec};
+use analysis::deps::{plan_deps, shared_region_edges, DepEdge, DepPlan};
 use analysis::granularity::{seg_granularity, SegCost};
 use analysis::inout::{seg_io, SegIo};
 use analysis::segments::{self, Reject};
@@ -66,6 +67,13 @@ pub struct PipelineConfig {
     /// identical modelled cycles, so this only affects host wall-clock;
     /// the default ([`vm::Engine::Bytecode`]) is the fast one.
     pub engine: vm::Engine,
+    /// Plan validated dependencies (red/green incremental reuse): large
+    /// mutable global arrays read by ret-only segments move out of the
+    /// hash key into fingerprinted dependency regions, and invariant
+    /// global reads are fingerprinted as a guard. When off, every segment
+    /// keeps its full §2.1 exact-match key and no fingerprints are
+    /// planned.
+    pub enable_validation: bool,
 }
 
 impl Default for PipelineConfig {
@@ -82,6 +90,7 @@ impl Default for PipelineConfig {
             enable_nesting: true,
             max_profile_cycles: u64::MAX,
             engine: vm::Engine::default(),
+            enable_validation: true,
         }
     }
 }
@@ -137,10 +146,16 @@ pub struct SegDecision {
     pub chosen: bool,
     /// Table placement, when chosen.
     pub assignment: Option<TableAssignment>,
-    /// Key width in words.
+    /// Key width in words (after dependency-driven key reduction).
     pub key_words: usize,
     /// Output width in words.
     pub out_words: usize,
+    /// Fingerprint words stored per entry (0 when the segment has no
+    /// validated dependencies).
+    pub fp_words: usize,
+    /// Whether the segment depends on mutable regions outside its key, so
+    /// its entries need green validation to be trusted.
+    pub green: bool,
 }
 
 /// Pipeline statistics (the paper's Table 4 row for a program).
@@ -163,6 +178,10 @@ pub struct Report {
     pub merged_tables: usize,
     /// Total planned table bytes.
     pub total_table_bytes: usize,
+    /// Shared-region edges of the segment dependency graph: pairs of
+    /// transformed segments whose stored results depend on the same
+    /// tracked global region (a write there can invalidate both).
+    pub dep_edges: Vec<DepEdge>,
 }
 
 /// The pipeline's product.
@@ -184,6 +203,10 @@ pub struct ReuseOutcome {
     /// tables feed telemetry but never change state unless instantiated
     /// through [`ReuseOutcome::make_adaptive_tables`].
     pub policies: Vec<memo_runtime::GuardPolicy>,
+    /// Fingerprint words per table and slot (`table_deps[t][s]`, 0 for
+    /// exact-match slots): instantiated tables get their per-slot
+    /// fingerprint widths declared before traffic.
+    pub table_deps: Vec<Vec<usize>>,
     /// Decision log.
     pub report: Report,
 }
@@ -195,8 +218,9 @@ impl ReuseOutcome {
     ) -> Result<Vec<memo_runtime::MemoTable>, memo_runtime::SpecError> {
         self.specs
             .iter()
+            .enumerate()
             .zip(&self.policies)
-            .map(|(spec, policy)| {
+            .map(|((t, spec), policy)| {
                 let mut table = if spec.out_words.len() > 1 {
                     memo_runtime::MemoTable::try_merged(spec)?
                 } else {
@@ -206,6 +230,11 @@ impl ReuseOutcome {
                     enabled,
                     ..policy.clone()
                 });
+                for (slot, &fpw) in self.table_deps[t].iter().enumerate() {
+                    if fpw > 0 {
+                        table.set_deps(slot, fpw);
+                    }
+                }
                 Ok(table)
             })
             .collect()
@@ -253,13 +282,19 @@ impl ReuseOutcome {
     ) -> Result<Vec<memo_runtime::ShardedTable>, memo_runtime::SpecError> {
         self.specs
             .iter()
+            .enumerate()
             .zip(&self.policies)
-            .map(|(spec, policy)| {
+            .map(|((t, spec), policy)| {
                 let mut table = memo_runtime::ShardedTable::try_from_spec(spec, shards)?;
                 table.set_policy(memo_runtime::GuardPolicy {
                     enabled: false,
                     ..policy.clone()
                 });
+                for (slot, &fpw) in self.table_deps[t].iter().enumerate() {
+                    if fpw > 0 {
+                        table.set_deps(slot, fpw);
+                    }
+                }
                 Ok(table)
             })
             .collect()
@@ -346,17 +381,34 @@ pub fn run_pipeline(
     // Stage 1: enumerate and screen.
     let segs = segments::enumerate(&checked);
     report.analyzed = segs.len();
-    let mut candidates: Vec<(Segment, SegIo, SegCost)> = Vec::new();
+    let mut candidates: Vec<(Segment, SegIo, SegCost, DepPlan)> = Vec::new();
     for seg in segs {
         if let Err(r) = segments::check_structure(&checked, &an.cg, &an.io, &seg) {
             report.rejects.push((seg.name.clone(), r));
             continue;
         }
-        let io = match seg_io(&checked, &an, &seg) {
+        let mut io = match seg_io(&checked, &an, &seg) {
             Ok(io) => io,
             Err(r) => {
                 report.rejects.push((seg.name.clone(), r));
                 continue;
+            }
+        };
+        // Dependency planning: move qualifying mutable reads out of the
+        // key and fingerprint invariant reads. The reduced interface is
+        // substituted into `io` so every later stage — granularity,
+        // probes, value profiling, cost-benefit, and table planning —
+        // sees the key the transformed program will actually hash.
+        let plan = if config.enable_validation {
+            let plan = plan_deps(&io);
+            io.inputs = plan.key_inputs.clone();
+            io.key_words = plan.key_words;
+            plan
+        } else {
+            DepPlan {
+                key_inputs: io.inputs.clone(),
+                deps: Vec::new(),
+                key_words: io.key_words,
             }
         };
         let cost = seg_granularity(&checked, &an, &seg, io.key_words, io.out_words);
@@ -366,7 +418,7 @@ pub fn run_pipeline(
                 .push((seg.name.clone(), Reject::OverheadDominates));
             continue;
         }
-        candidates.push((seg, io, cost));
+        candidates.push((seg, io, cost, plan));
     }
 
     // Stage 2: execution-frequency filter.
@@ -418,14 +470,14 @@ pub fn run_pipeline(
             }
         }
     };
-    let mut survivors: Vec<(Segment, SegIo, SegCost, u64)> = Vec::new();
-    for (seg, io, cost) in candidates {
+    let mut survivors: Vec<(Segment, SegIo, SegCost, DepPlan, u64)> = Vec::new();
+    for (seg, io, cost, plan) in candidates {
         let count = exec_count(&seg);
         if count < config.min_exec {
             report.rejects.push((seg.name.clone(), Reject::ColdCode));
             continue;
         }
-        survivors.push((seg, io, cost, count));
+        survivors.push((seg, io, cost, plan, count));
     }
     report.profiled = survivors.len();
 
@@ -433,7 +485,7 @@ pub fn run_pipeline(
     let probes: Vec<ProbeSpec> = survivors
         .iter()
         .enumerate()
-        .map(|(i, (seg, io, _, _))| ProbeSpec::for_segment(seg, i, io.inputs.clone()))
+        .map(|(i, (seg, io, _, _, _))| ProbeSpec::for_segment(seg, i, io.inputs.clone()))
         .collect();
     let profile = if probes.is_empty() {
         ProfileData::default()
@@ -460,7 +512,7 @@ pub fn run_pipeline(
     let mut decisions: Vec<SegDecision> = Vec::new();
     let mut gains: Vec<f64> = Vec::new();
     let mut profitable: Vec<usize> = Vec::new();
-    for (i, (seg, io, cost, count)) in survivors.iter().enumerate() {
+    for (i, (seg, io, cost, plan, count)) in survivors.iter().enumerate() {
         let sp = &profile.segs[i];
         let planned_slots = {
             let mut slots = TableSpec::recommended_slots(sp.dip());
@@ -478,7 +530,16 @@ pub fn run_pipeline(
         };
         let effective = sp.effective_reuse_rate(planned_slots);
         let measured_c = sp.avg_cycles();
-        let overhead_o = config.cost.memo_overhead(io.key_words, io.out_words) as f64;
+        // A validated segment pays the fingerprint probe on every access
+        // (plus the record cost on misses, folded in as a probe-side
+        // pessimism since formula 3 charges overhead per execution).
+        let fp_overhead = if plan.fp_words() > 0 {
+            (config.cost.fp_probe_cost(plan.fp_words())
+                + config.cost.fp_record_cost(plan.fp_words())) as f64
+        } else {
+            0.0
+        };
+        let overhead_o = config.cost.memo_overhead(io.key_words, io.out_words) as f64 + fp_overhead;
         let cb = CostBenefit::new(measured_c, overhead_o, effective.clamp(0.0, 1.0));
         let gain = cb.gain();
         let is_profitable = cb.profitable();
@@ -503,6 +564,8 @@ pub fn run_pipeline(
             assignment: None,
             key_words: io.key_words,
             out_words: io.out_words,
+            fp_words: plan.fp_words(),
+            green: plan.green(),
         });
     }
 
@@ -538,14 +601,20 @@ pub fn run_pipeline(
     };
 
     // Stage 7: the memoization transform.
+    let mut table_deps: Vec<Vec<usize>> = plan
+        .specs
+        .iter()
+        .map(|spec| vec![0; spec.out_words.len()])
+        .collect();
     let memos: Vec<MemoSpec> = chosen
         .iter()
         .enumerate()
         .map(|(k, &i)| {
-            let (seg, io, _, _) = &survivors[i];
+            let (seg, io, _, dep_plan, _) = &survivors[i];
             let a = plan.assignments[k];
             decisions[i].chosen = true;
             decisions[i].assignment = Some(a);
+            table_deps[a.table][a.slot] = dep_plan.fp_words();
             MemoSpec {
                 func: seg.func,
                 kind: seg.kind,
@@ -554,6 +623,7 @@ pub fn run_pipeline(
                 slot: a.slot,
                 inputs: io.inputs.clone(),
                 outputs: io.outputs.clone(),
+                deps: dep_plan.deps.clone(),
                 ret: io.ret,
             }
         })
@@ -561,6 +631,12 @@ pub fn run_pipeline(
     report.transformed = memos.len();
     report.merged_tables = plan.merged_tables;
     report.total_table_bytes = plan.total_bytes();
+    report.dep_edges = shared_region_edges(
+        &chosen
+            .iter()
+            .map(|&i| (survivors[i].0.name.clone(), survivors[i].3.clone()))
+            .collect::<Vec<_>>(),
+    );
     report.decisions = decisions;
 
     // Per-table guard policies: predict each table's collision rate as the
@@ -597,6 +673,7 @@ pub fn run_pipeline(
         specs: plan.specs,
         profile,
         policies,
+        table_deps,
         report,
     })
 }

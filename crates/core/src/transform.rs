@@ -9,7 +9,7 @@
 
 use analysis::{SegKind, Segment};
 use minic::ast::{
-    Block, MemoOperand, MemoStmt, NodeId, ProfileStmt, Program, ScalarKind, Stmt, StmtKind,
+    Block, MemoDep, MemoOperand, MemoStmt, NodeId, ProfileStmt, Program, ScalarKind, Stmt, StmtKind,
 };
 
 /// A profiling-probe request: wrap `segment` and record `inputs`.
@@ -57,6 +57,8 @@ pub struct MemoSpec {
     pub inputs: Vec<MemoOperand>,
     /// Output operands.
     pub outputs: Vec<MemoOperand>,
+    /// Validated dependency regions (fingerprinted, not hashed).
+    pub deps: Vec<MemoDep>,
     /// Memoized return kind for function-body segments.
     pub ret: Option<ScalarKind>,
 }
@@ -99,6 +101,7 @@ pub fn insert_memos(program: &Program, memos: &[MemoSpec]) -> Program {
                 slot: m.slot,
                 inputs: m.inputs.clone(),
                 outputs: m.outputs.clone(),
+                deps: m.deps.clone(),
                 ret: m.ret,
                 body,
             }))])
@@ -251,6 +254,7 @@ mod tests {
             slot: 0,
             inputs: vec![val_operand()],
             outputs: vec![],
+            deps: vec![],
             ret: Some(ScalarKind::Int),
         };
         let transformed = insert_memos(&checked.program, &[memo]);

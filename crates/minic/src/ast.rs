@@ -493,6 +493,44 @@ pub struct ProfileStmt {
     pub body: Block,
 }
 
+/// A global memory region a memoized segment's result depends on without
+/// the region being part of the hash key (inserted, never parsed).
+///
+/// Mutable dependency regions carry the red/green scheme: entries record a
+/// chunked epoch fingerprint over the region and are promoted to hits only
+/// while validation proves the fingerprinted chunks unchanged. Invariant
+/// regions (profile-classified read-only tables) get the same fingerprint
+/// as a cheap guard closing the stale-invariant hole.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct MemoDep {
+    /// Global variable naming the region.
+    pub name: String,
+    /// Region size in 64-bit words (1 for scalars).
+    pub words: usize,
+    /// Whether the program writes the region after initialization; mutable
+    /// dependencies make the segment's entries "green-candidates".
+    pub mutable: bool,
+}
+
+impl MemoDep {
+    /// Chunk granularity: the smallest power-of-two chunk size (in words)
+    /// that covers the region with at most 64 chunks, so a region's
+    /// read-set fits one `u64` mask word.
+    pub fn chunk_shift(&self) -> u32 {
+        let mut shift = 0u32;
+        while (self.words + (1usize << shift) - 1) >> shift > 64 {
+            shift += 1;
+        }
+        shift
+    }
+
+    /// Number of chunks the region divides into (1..=64).
+    pub fn chunk_count(&self) -> usize {
+        let shift = self.chunk_shift();
+        (self.words + (1usize << shift) - 1) >> shift
+    }
+}
+
 /// A memoized segment (inserted, never parsed).
 #[derive(Debug, Clone, PartialEq)]
 pub struct MemoStmt {
@@ -506,6 +544,8 @@ pub struct MemoStmt {
     pub inputs: Vec<MemoOperand>,
     /// Output operands recorded/restored.
     pub outputs: Vec<MemoOperand>,
+    /// Validated dependency regions (not hashed into the key).
+    pub deps: Vec<MemoDep>,
     /// If the segment is a whole function body that returns a value, the
     /// return value is memoized too and restored on a hit.
     pub ret: Option<ScalarKind>,

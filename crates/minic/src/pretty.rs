@@ -248,6 +248,18 @@ impl Printer {
             .collect::<Vec<_>>()
             .join(", ");
         self.line(&format!("/* computation reuse: segment {} */", m.segment));
+        if !m.deps.is_empty() {
+            let deps = m
+                .deps
+                .iter()
+                .map(|d| {
+                    let kind = if d.mutable { "mut" } else { "inv" };
+                    format!("{} {}[{}]", kind, d.name, d.words)
+                })
+                .collect::<Vec<_>>()
+                .join(", ");
+            self.line(&format!("/* deps: {deps} */"));
+        }
         self.line(&format!(
             "if (check_hash({keys}, hash_table_{}, &key) == 0) {{",
             m.table
@@ -571,6 +583,7 @@ mod tests {
             slot: 0,
             inputs: vec![MemoOperand::scalar("val", ScalarKind::Int)],
             outputs: vec![MemoOperand::scalar("i", ScalarKind::Int)],
+            deps: vec![],
             ret: Some(ScalarKind::Int),
             body: Block::default(),
         };

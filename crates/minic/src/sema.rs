@@ -653,6 +653,25 @@ impl Checker {
                 for (idx, op) in m.inputs.iter().chain(m.outputs.iter()).enumerate() {
                     self.check_operand(s.id, idx, op, s.span);
                 }
+                for dep in &m.deps {
+                    let Some(&gid) = self.info.global_index.get(&dep.name) else {
+                        self.err(
+                            s.span,
+                            format!("memo dependency `{}` is not a global", dep.name),
+                        );
+                        continue;
+                    };
+                    let words = self.info.size_of(&self.info.globals[gid].ty);
+                    if words != dep.words {
+                        self.err(
+                            s.span,
+                            format!(
+                                "memo dependency `{}` covers {} words, global has {words}",
+                                dep.name, dep.words
+                            ),
+                        );
+                    }
+                }
                 self.check_block(&m.body, true);
             }
         }

@@ -341,6 +341,7 @@ mod tests {
             slot: 0,
             inputs: vec![],
             outputs: vec![],
+            deps: vec![],
             ret: None,
             body: sample_block(),
         }));

@@ -8,6 +8,7 @@
 
 use crate::hash::index_of;
 use crate::stats::TableStats;
+use crate::FpValidator;
 
 /// A direct-addressed memo table mapping an input key (concatenated 64-bit
 /// words) to recorded output words.
@@ -24,6 +25,10 @@ pub struct DirectTable {
 struct Entry {
     key: Box<[u64]>,
     out: Box<[u64]>,
+    /// Dependency fingerprint (empty for exact-match-only entries): pairs
+    /// of `(chunk mask, chained-epoch sum)` per dependency region, opaque
+    /// to the table. An empty boxed slice does not allocate.
+    fp: Box<[u64]>,
 }
 
 impl DirectTable {
@@ -79,12 +84,49 @@ impl DirectTable {
     /// (widths are validated once at spec level; see
     /// [`crate::TableSpec::validate`]).
     pub fn lookup(&mut self, key: &[u64], out: &mut Vec<u64>) -> bool {
+        self.lookup_dep(key, out, false, None)
+    }
+
+    /// Dependency-validating lookup (the red/green probe path).
+    ///
+    /// `green` marks the probing segment as depending on *mutable* regions:
+    /// with no `validate` closure (exact-match mode) such entries can never
+    /// be trusted and the probe is answered as a forced red recompute; with
+    /// a closure, a key-matched entry's fingerprint is passed to it and the
+    /// entry is promoted to a hit only on `true` (counted in `green_hits`),
+    /// otherwise the probe is a stale red (`stale_reds`, also a miss).
+    /// Entries recorded without a fingerprint behave exactly as before.
+    pub fn lookup_dep(
+        &mut self,
+        key: &[u64],
+        out: &mut Vec<u64>,
+        green: bool,
+        mut validate: FpValidator,
+    ) -> bool {
         debug_assert_eq!(key.len(), self.key_words, "key width mismatch");
         let idx = index_of(key, self.entries.len());
         self.stats.accesses += 1;
         self.access_counts[idx] += 1;
+        if green && validate.is_none() {
+            // Exact-match mode cannot verify external dependencies, so the
+            // entry (if any) is untrusted: forced red.
+            self.stats.misses += 1;
+            return false;
+        }
         match &self.entries[idx] {
             Some(e) if *e.key == *key => {
+                if !e.fp.is_empty() {
+                    if let Some(v) = validate.as_mut() {
+                        if !v(&e.fp) {
+                            self.stats.misses += 1;
+                            self.stats.stale_reds += 1;
+                            return false;
+                        }
+                        if green {
+                            self.stats.green_hits += 1;
+                        }
+                    }
+                }
                 self.stats.hits += 1;
                 out.clear();
                 out.extend_from_slice(&e.out);
@@ -104,6 +146,12 @@ impl DirectTable {
     /// In debug builds, panics if `key` or `outputs` have the wrong number
     /// of words.
     pub fn record(&mut self, key: &[u64], outputs: &[u64]) {
+        self.record_dep(key, outputs, &[]);
+    }
+
+    /// Records `outputs` for `key` together with a dependency fingerprint
+    /// (pass `&[]` for exact-match-only entries).
+    pub fn record_dep(&mut self, key: &[u64], outputs: &[u64], fp: &[u64]) {
         debug_assert_eq!(key.len(), self.key_words, "key width mismatch");
         debug_assert_eq!(outputs.len(), self.out_words, "output width mismatch");
         let idx = index_of(key, self.entries.len());
@@ -117,6 +165,7 @@ impl DirectTable {
         self.entries[idx] = Some(Entry {
             key: key.into(),
             out: outputs.into(),
+            fp: fp.into(),
         });
     }
 

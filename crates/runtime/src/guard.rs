@@ -297,6 +297,7 @@ mod tests {
             collisions: 90,
             evictions: 90,
             insertions: 100,
+            ..TableStats::default()
         }
     }
 
@@ -308,6 +309,7 @@ mod tests {
             collisions: 2,
             evictions: 2,
             insertions: 20,
+            ..TableStats::default()
         }
     }
 
@@ -367,6 +369,7 @@ mod tests {
             collisions: 40,
             evictions: 40,
             insertions: 70,
+            ..TableStats::default()
         };
         g.on_epoch(&mixed, 16, 16);
         let v = g.on_epoch(&mixed, 16, 16);

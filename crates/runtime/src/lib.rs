@@ -55,6 +55,13 @@ pub use sharded::ShardedTable;
 pub use stats::TableStats;
 pub use telemetry::{EpochStats, StateTransition, Telemetry};
 
+/// Probe-time dependency-fingerprint validator (DESIGN.md §8g): given an
+/// entry's recorded fingerprint, decide whether its dependencies still
+/// hold (`true` promotes the entry green). `None` disables validation —
+/// green-marked entries are then forced red, invariant-only fingerprints
+/// are trusted as-is.
+pub type FpValidator<'a> = Option<&'a mut dyn FnMut(&[u64]) -> bool>;
+
 /// A structurally invalid [`TableSpec`], reported once at table
 /// construction (the per-access checks are `debug_assert!`s).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -173,17 +180,38 @@ impl TableKind {
         }
     }
 
-    fn record(&mut self, slot: usize, key: &[u64], outputs: &[u64]) {
+    fn lookup_dep(
+        &mut self,
+        slot: usize,
+        key: &[u64],
+        out: &mut Vec<u64>,
+        green: bool,
+        validate: FpValidator,
+    ) -> bool {
         match self {
             TableKind::Direct(t) => {
                 debug_assert_eq!(slot, 0);
-                t.record(key, outputs)
+                t.lookup_dep(key, out, green, validate)
             }
             TableKind::Lru(t) => {
                 debug_assert_eq!(slot, 0);
-                t.record(key, outputs)
+                t.lookup_dep(key, out, green, validate)
             }
-            TableKind::Merged(t) => t.record(slot, key, outputs),
+            TableKind::Merged(t) => t.lookup_dep(slot, key, out, green, validate),
+        }
+    }
+
+    fn record_dep(&mut self, slot: usize, key: &[u64], outputs: &[u64], fp: &[u64]) {
+        match self {
+            TableKind::Direct(t) => {
+                debug_assert_eq!(slot, 0);
+                t.record_dep(key, outputs, fp)
+            }
+            TableKind::Lru(t) => {
+                debug_assert_eq!(slot, 0);
+                t.record_dep(key, outputs, fp)
+            }
+            TableKind::Merged(t) => t.record_dep(slot, key, outputs, fp),
         }
     }
 
@@ -364,17 +392,68 @@ impl MemoTable {
         hit
     }
 
+    /// Dependency-validating lookup: the red/green probe path.
+    ///
+    /// `green` marks segment `slot` as depending on *mutable* regions.
+    /// With `validate: None` (exact-match mode) a green segment's probe is
+    /// answered as a forced red recompute — exact matching cannot trust
+    /// external dependencies — while fingerprint-free and invariant-only
+    /// entries behave exactly like [`MemoTable::lookup`]. With a closure,
+    /// a key-matched entry's fingerprint is passed to it; `true` promotes
+    /// the entry to a hit (a *green hit* when `green`), `false` demotes the
+    /// probe to a stale red (counted in both `misses` and `stale_reds`).
+    /// Bypassed tables answer a forced miss without consulting storage or
+    /// the validator.
+    pub fn lookup_dep(
+        &mut self,
+        slot: usize,
+        key: &[u64],
+        out: &mut Vec<u64>,
+        green: bool,
+        validate: FpValidator,
+    ) -> bool {
+        if self.guard.is_bypassed() {
+            self.telemetry.observe_bypassed(slot);
+            self.roll_epoch_if_due();
+            return false;
+        }
+        let before = *self.kind.stats();
+        let hit = self.kind.lookup_dep(slot, key, out, green, validate);
+        let delta = self.kind.stats().delta_since(&before);
+        self.telemetry.observe(slot, &delta);
+        self.roll_epoch_if_due();
+        hit
+    }
+
     /// Records `outputs` for `key` in segment `slot` (dropped while the
     /// table is bypassed).
     pub fn record(&mut self, slot: usize, key: &[u64], outputs: &[u64]) {
+        self.record_dep(slot, key, outputs, &[]);
+    }
+
+    /// Records `outputs` for `key` in segment `slot` together with a
+    /// dependency fingerprint (`&[]` for exact-match entries; dropped while
+    /// the table is bypassed).
+    pub fn record_dep(&mut self, slot: usize, key: &[u64], outputs: &[u64], fp: &[u64]) {
         if self.guard.is_bypassed() {
             self.telemetry.observe_dropped_record();
             return;
         }
         let before = *self.kind.stats();
-        self.kind.record(slot, key, outputs);
+        self.kind.record_dep(slot, key, outputs, fp);
         let delta = self.kind.stats().delta_since(&before);
         self.telemetry.observe(slot, &delta);
+    }
+
+    /// Declares that segment `slot` records an `fp_words`-word dependency
+    /// fingerprint. Only the merged kind needs the widths ahead of time
+    /// (its per-entry fingerprint groups share one buffer); the other kinds
+    /// store whatever fingerprint each recording passes. Build-time
+    /// configuration, called before the table sees traffic.
+    pub fn set_deps(&mut self, slot: usize, fp_words: usize) {
+        if let TableKind::Merged(t) = &mut self.kind {
+            t.set_fp_words(slot, fp_words);
+        }
     }
 
     fn roll_epoch_if_due(&mut self) {
@@ -568,6 +647,86 @@ mod tests {
             assert_eq!(out, vec![1, 2]);
             assert_eq!(t.stats().accesses, 2);
         }
+    }
+
+    #[test]
+    fn dep_lookup_promotes_green_and_demotes_stale() {
+        let spec = TableSpec {
+            slots: 16,
+            key_words: 1,
+            out_words: vec![1],
+        };
+        for mut t in [
+            MemoTable::direct(&spec),
+            MemoTable::lru(&spec),
+            MemoTable::merged(&spec),
+        ] {
+            t.set_deps(0, 2);
+            let mut out = Vec::new();
+            // Cold miss, then record with a fingerprint.
+            let mut nope = |_: &[u64]| unreachable!("no entry to validate");
+            assert!(!t.lookup_dep(0, &[9], &mut out, true, Some(&mut nope)));
+            t.record_dep(0, &[9], &[42], &[0b1010, 77]);
+            // Validator accepts: green hit.
+            let mut seen = Vec::new();
+            let mut ok = |fp: &[u64]| {
+                seen = fp.to_vec();
+                true
+            };
+            assert!(t.lookup_dep(0, &[9], &mut out, true, Some(&mut ok)));
+            assert_eq!(out, vec![42]);
+            assert_eq!(seen, vec![0b1010, 77], "validator sees the stored fp");
+            // Validator rejects: stale red, counted as a miss too.
+            let mut no = |_: &[u64]| false;
+            assert!(!t.lookup_dep(0, &[9], &mut out, true, Some(&mut no)));
+            // Exact-match mode never trusts a mutable-dep entry.
+            assert!(!t.lookup_dep(0, &[9], &mut out, true, None));
+            let s = t.stats();
+            assert_eq!(s.accesses, 4);
+            assert_eq!(s.hits, 1);
+            assert_eq!(s.green_hits, 1);
+            assert_eq!(s.stale_reds, 1);
+            assert_eq!(s.misses, 3);
+        }
+    }
+
+    #[test]
+    fn invariant_only_entries_hit_without_a_validator() {
+        let spec = TableSpec {
+            slots: 8,
+            key_words: 1,
+            out_words: vec![1],
+        };
+        let mut t = MemoTable::direct(&spec);
+        let mut out = Vec::new();
+        t.record_dep(0, &[3], &[30], &[u64::MAX, 5]);
+        // green=false: an invariant-only segment's entry is trusted in
+        // exact-match mode (matching the profile-trusting seed behavior)…
+        assert!(t.lookup_dep(0, &[3], &mut out, false, None));
+        assert_eq!(out, vec![30]);
+        // …and validated when a validator is supplied, without counting as
+        // a green hit.
+        let mut ok = |_: &[u64]| true;
+        assert!(t.lookup_dep(0, &[3], &mut out, false, Some(&mut ok)));
+        assert_eq!(t.stats().green_hits, 0);
+        let mut no = |_: &[u64]| false;
+        assert!(!t.lookup_dep(0, &[3], &mut out, false, Some(&mut no)));
+        assert_eq!(t.stats().stale_reds, 1);
+    }
+
+    #[test]
+    fn fingerprint_free_entries_ignore_the_validator() {
+        let spec = TableSpec {
+            slots: 8,
+            key_words: 1,
+            out_words: vec![1],
+        };
+        let mut t = MemoTable::direct(&spec);
+        let mut out = Vec::new();
+        t.record(0, &[4], &[40]);
+        let mut boom = |_: &[u64]| panic!("fp-free entry must not validate");
+        assert!(t.lookup_dep(0, &[4], &mut out, false, Some(&mut boom)));
+        assert_eq!(out, vec![40]);
     }
 
     #[test]

@@ -6,9 +6,12 @@
 //! is used." Capacities are small, so lookup is a linear scan.
 
 use crate::stats::TableStats;
+use crate::FpValidator;
 
-/// One buffer entry: `(key words, output words)`.
-type LruEntry = (Box<[u64]>, Box<[u64]>);
+/// One buffer entry: `(key words, output words, dependency fingerprint)`.
+/// The fingerprint is empty for exact-match-only entries (an empty boxed
+/// slice does not allocate).
+type LruEntry = (Box<[u64]>, Box<[u64]>, Box<[u64]>);
 
 /// A fixed-capacity, fully-associative memo buffer with LRU eviction.
 #[derive(Debug, Clone)]
@@ -67,9 +70,37 @@ impl LruTable {
     ///
     /// In debug builds, panics if `key` has the wrong number of words.
     pub fn lookup(&mut self, key: &[u64], out: &mut Vec<u64>) -> bool {
+        self.lookup_dep(key, out, false, None)
+    }
+
+    /// Dependency-validating lookup; same contract as
+    /// [`crate::DirectTable::lookup_dep`].
+    pub fn lookup_dep(
+        &mut self,
+        key: &[u64],
+        out: &mut Vec<u64>,
+        green: bool,
+        mut validate: FpValidator,
+    ) -> bool {
         debug_assert_eq!(key.len(), self.key_words, "key width mismatch");
         self.stats.accesses += 1;
-        if let Some(pos) = self.entries.iter().position(|(k, _)| **k == *key) {
+        if green && validate.is_none() {
+            self.stats.misses += 1;
+            return false;
+        }
+        if let Some(pos) = self.entries.iter().position(|(k, _, _)| **k == *key) {
+            if !self.entries[pos].2.is_empty() {
+                if let Some(v) = validate.as_mut() {
+                    if !v(&self.entries[pos].2) {
+                        self.stats.misses += 1;
+                        self.stats.stale_reds += 1;
+                        return false;
+                    }
+                    if green {
+                        self.stats.green_hits += 1;
+                    }
+                }
+            }
             let entry = self.entries.remove(pos);
             out.clear();
             out.extend_from_slice(&entry.1);
@@ -89,17 +120,24 @@ impl LruTable {
     ///
     /// In debug builds, panics if widths mismatch.
     pub fn record(&mut self, key: &[u64], outputs: &[u64]) {
+        self.record_dep(key, outputs, &[]);
+    }
+
+    /// Records `outputs` for `key` together with a dependency fingerprint
+    /// (pass `&[]` for exact-match-only entries).
+    pub fn record_dep(&mut self, key: &[u64], outputs: &[u64], fp: &[u64]) {
         debug_assert_eq!(key.len(), self.key_words, "key width mismatch");
         debug_assert_eq!(outputs.len(), self.out_words, "output width mismatch");
         self.stats.insertions += 1;
-        if let Some(pos) = self.entries.iter().position(|(k, _)| **k == *key) {
+        if let Some(pos) = self.entries.iter().position(|(k, _, _)| **k == *key) {
             self.entries.remove(pos);
         } else if self.entries.len() == self.capacity {
             self.entries.pop();
             self.stats.collisions += 1; // an eviction of a different key
             self.stats.evictions += 1;
         }
-        self.entries.insert(0, (key.into(), outputs.into()));
+        self.entries
+            .insert(0, (key.into(), outputs.into(), fp.into()));
     }
 
     /// Access statistics so far.

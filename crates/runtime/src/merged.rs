@@ -9,6 +9,7 @@
 
 use crate::hash::index_of;
 use crate::stats::TableStats;
+use crate::FpValidator;
 
 /// A direct-addressed table shared by up to 64 segments with identical
 /// inputs.
@@ -21,6 +22,11 @@ pub struct MergedTable {
     /// Word offset of each slot's output group within an entry.
     out_offsets: Vec<usize>,
     total_out_words: usize,
+    /// Dependency-fingerprint width per segment slot (zero for exact-match
+    /// slots), with the same offset layout as the output groups.
+    fp_words: Vec<usize>,
+    fp_offsets: Vec<usize>,
+    total_fp_words: usize,
     /// Aggregate counters plus per-slot counters.
     stats: TableStats,
     slot_stats: Vec<TableStats>,
@@ -33,6 +39,9 @@ struct MergedEntry {
     /// Bit `s` set ⇔ slot `s`'s outputs are valid for this key.
     valid: u64,
     out: Box<[u64]>,
+    /// Concatenated per-slot dependency fingerprints (empty when no slot
+    /// has one; an empty boxed slice does not allocate).
+    fp: Box<[u64]>,
 }
 
 impl MergedTable {
@@ -62,10 +71,32 @@ impl MergedTable {
             out_words: out_words.to_vec(),
             out_offsets,
             total_out_words: total,
+            fp_words: vec![0; out_words.len()],
+            fp_offsets: vec![0; out_words.len()],
+            total_fp_words: 0,
             stats: TableStats::default(),
             slot_stats: vec![TableStats::default(); out_words.len()],
             access_counts: vec![0; slots],
         }
+    }
+
+    /// Declares that segment `slot` records a dependency fingerprint of
+    /// `words` words. Build-time configuration: existing entries are
+    /// dropped because the per-entry fingerprint layout changes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slot` is out of range.
+    pub fn set_fp_words(&mut self, slot: usize, words: usize) {
+        assert!(slot < self.fp_words.len(), "slot out of range");
+        self.fp_words[slot] = words;
+        let mut total = 0usize;
+        for (off, &w) in self.fp_offsets.iter_mut().zip(&self.fp_words) {
+            *off = total;
+            total += w;
+        }
+        self.total_fp_words = total;
+        self.entries.fill_with(|| None);
     }
 
     /// Creates the largest merged table fitting in `bytes`.
@@ -112,14 +143,50 @@ impl MergedTable {
     /// In debug builds, panics on width mismatch or out-of-range slot
     /// (out-of-range slots still panic in release via indexing).
     pub fn lookup(&mut self, slot: usize, key: &[u64], out: &mut Vec<u64>) -> bool {
+        self.lookup_dep(slot, key, out, false, None)
+    }
+
+    /// Dependency-validating lookup; same contract as
+    /// [`crate::DirectTable::lookup_dep`], applied to segment `slot`'s
+    /// fingerprint group.
+    pub fn lookup_dep(
+        &mut self,
+        slot: usize,
+        key: &[u64],
+        out: &mut Vec<u64>,
+        green: bool,
+        mut validate: FpValidator,
+    ) -> bool {
         debug_assert_eq!(key.len(), self.key_words, "key width mismatch");
         assert!(slot < self.out_words.len(), "slot out of range");
         let idx = index_of(key, self.entries.len());
         self.stats.accesses += 1;
         self.slot_stats[slot].accesses += 1;
         self.access_counts[idx] += 1;
+        if green && validate.is_none() {
+            self.stats.misses += 1;
+            self.slot_stats[slot].misses += 1;
+            return false;
+        }
         match &self.entries[idx] {
             Some(e) if *e.key == *key && e.valid >> slot & 1 == 1 => {
+                let fplo = self.fp_offsets[slot];
+                let fphi = fplo + self.fp_words[slot];
+                if fphi > fplo {
+                    if let Some(v) = validate.as_mut() {
+                        if !v(&e.fp[fplo..fphi]) {
+                            self.stats.misses += 1;
+                            self.stats.stale_reds += 1;
+                            self.slot_stats[slot].misses += 1;
+                            self.slot_stats[slot].stale_reds += 1;
+                            return false;
+                        }
+                        if green {
+                            self.stats.green_hits += 1;
+                            self.slot_stats[slot].green_hits += 1;
+                        }
+                    }
+                }
                 self.stats.hits += 1;
                 self.slot_stats[slot].hits += 1;
                 let lo = self.out_offsets[slot];
@@ -147,16 +214,31 @@ impl MergedTable {
     /// In debug builds, panics on width mismatch; out-of-range slots panic
     /// in all builds.
     pub fn record(&mut self, slot: usize, key: &[u64], outputs: &[u64]) {
+        self.record_dep(slot, key, outputs, &[]);
+    }
+
+    /// Records `outputs` (and segment `slot`'s dependency fingerprint, an
+    /// empty slice for exact-match slots) under `key`.
+    ///
+    /// # Panics
+    ///
+    /// In debug builds, panics when `fp` does not match the width declared
+    /// via [`MergedTable::set_fp_words`]; out-of-range slots panic in all
+    /// builds.
+    pub fn record_dep(&mut self, slot: usize, key: &[u64], outputs: &[u64], fp: &[u64]) {
         debug_assert_eq!(key.len(), self.key_words, "key width mismatch");
         assert!(slot < self.out_words.len(), "slot out of range");
         debug_assert_eq!(outputs.len(), self.out_words[slot], "output width mismatch");
+        debug_assert_eq!(fp.len(), self.fp_words[slot], "fingerprint width mismatch");
         let idx = index_of(key, self.entries.len());
         self.stats.insertions += 1;
         self.slot_stats[slot].insertions += 1;
         let lo = self.out_offsets[slot];
+        let fplo = self.fp_offsets[slot];
         match &mut self.entries[idx] {
             Some(e) if *e.key == *key => {
                 e.out[lo..lo + outputs.len()].copy_from_slice(outputs);
+                e.fp[fplo..fplo + fp.len()].copy_from_slice(fp);
                 e.valid |= 1 << slot;
             }
             other => {
@@ -168,10 +250,13 @@ impl MergedTable {
                 }
                 let mut out = vec![0u64; self.total_out_words].into_boxed_slice();
                 out[lo..lo + outputs.len()].copy_from_slice(outputs);
+                let mut fpbuf = vec![0u64; self.total_fp_words].into_boxed_slice();
+                fpbuf[fplo..fplo + fp.len()].copy_from_slice(fp);
                 *other = Some(MergedEntry {
                     key: key.into(),
                     valid: 1 << slot,
                     out,
+                    fp: fpbuf,
                 });
             }
         }

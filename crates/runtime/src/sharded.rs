@@ -46,7 +46,7 @@ use crate::faults::{FailPoint, FaultPlan, INJECTED_POISON_PANIC};
 use crate::guard::{GuardPolicy, TableState};
 use crate::hash::hash_words;
 use crate::stats::TableStats;
-use crate::{MemoTable, SpecError, TableSpec};
+use crate::{FpValidator, MemoTable, SpecError, TableSpec};
 
 /// The three table kinds wrapped in N power-of-two lock shards, probed
 /// through `&self` so one store can outlive and be shared by many runs.
@@ -159,10 +159,51 @@ impl ShardedTable {
         self.lock(self.shard_index(key)).lookup(slot, key, out)
     }
 
+    /// Dependency-validating lookup in the shard the key hashes to; same
+    /// contract as [`MemoTable::lookup_dep`]. The validator runs under the
+    /// shard lock (it only reads caller-local epoch state, so it cannot
+    /// deadlock against other shards), and a fired
+    /// [`FailPoint::ProbeMiss`] still skips the probe entirely.
+    pub fn lookup_dep(
+        &self,
+        slot: usize,
+        key: &[u64],
+        out: &mut Vec<u64>,
+        green: bool,
+        validate: FpValidator,
+    ) -> bool {
+        if let Some(plan) = &self.faults {
+            if plan.fire(FailPoint::ProbeMiss) {
+                return false;
+            }
+        }
+        self.lock(self.shard_index(key))
+            .lookup_dep(slot, key, out, green, validate)
+    }
+
     /// Records `outputs` for `key` in segment `slot` in the shard the key
     /// hashes to (dropped while that shard is bypassed).
     pub fn record(&self, slot: usize, key: &[u64], outputs: &[u64]) {
         self.lock(self.shard_index(key)).record(slot, key, outputs)
+    }
+
+    /// Records `outputs` plus a dependency fingerprint for `key` in
+    /// segment `slot` (`&[]` for exact-match entries).
+    pub fn record_dep(&self, slot: usize, key: &[u64], outputs: &[u64], fp: &[u64]) {
+        self.lock(self.shard_index(key))
+            .record_dep(slot, key, outputs, fp)
+    }
+
+    /// Declares segment `slot`'s fingerprint width on every shard; see
+    /// [`MemoTable::set_deps`]. Takes `&mut self`: dependency layouts are
+    /// wired at build time, before the store is shared.
+    pub fn set_deps(&mut self, slot: usize, fp_words: usize) {
+        for shard in &mut self.shards {
+            shard
+                .get_mut()
+                .unwrap_or_else(PoisonError::into_inner)
+                .set_deps(slot, fp_words);
+        }
     }
 
     /// Number of shards (a power of two).

@@ -7,6 +7,15 @@ pub struct TableStats {
     pub accesses: u64,
     /// Lookups that found a matching key (and valid outputs).
     pub hits: u64,
+    /// Subset of `hits` accepted only after dependency validation on an
+    /// entry with at least one mutable dependency region — the red/green
+    /// scheme's "green" promotions. Exact-match reuse alone would have
+    /// recomputed these.
+    pub green_hits: u64,
+    /// Lookups whose key matched but whose dependency fingerprint failed
+    /// validation ("red"): the entry is stale and the caller recomputes.
+    /// Also counted in `misses`.
+    pub stale_reds: u64,
     /// Lookups that found no usable entry.
     pub misses: u64,
     /// Recordings that evicted an entry holding a *different* key — the
@@ -47,6 +56,8 @@ impl TableStats {
     pub fn merge(&mut self, other: &TableStats) {
         self.accesses = self.accesses.saturating_add(other.accesses);
         self.hits = self.hits.saturating_add(other.hits);
+        self.green_hits = self.green_hits.saturating_add(other.green_hits);
+        self.stale_reds = self.stale_reds.saturating_add(other.stale_reds);
         self.misses = self.misses.saturating_add(other.misses);
         self.collisions = self.collisions.saturating_add(other.collisions);
         self.evictions = self.evictions.saturating_add(other.evictions);
@@ -60,6 +71,8 @@ impl TableStats {
         TableStats {
             accesses: self.accesses.wrapping_sub(earlier.accesses),
             hits: self.hits.wrapping_sub(earlier.hits),
+            green_hits: self.green_hits.wrapping_sub(earlier.green_hits),
+            stale_reds: self.stale_reds.wrapping_sub(earlier.stale_reds),
             misses: self.misses.wrapping_sub(earlier.misses),
             collisions: self.collisions.wrapping_sub(earlier.collisions),
             evictions: self.evictions.wrapping_sub(earlier.evictions),
@@ -88,6 +101,7 @@ mod tests {
             collisions: 1,
             evictions: 1,
             insertions: 4,
+            ..TableStats::default()
         };
         let b = TableStats {
             accesses: 5,
@@ -96,6 +110,7 @@ mod tests {
             collisions: 0,
             evictions: 0,
             insertions: 0,
+            ..TableStats::default()
         };
         a.merge(&b);
         assert_eq!(a.accesses, 15);
@@ -112,6 +127,7 @@ mod tests {
             collisions: u64::MAX - 7,
             evictions: u64::MAX - 7,
             insertions: 0,
+            ..TableStats::default()
         };
         let b = a;
         a.merge(&b);
@@ -151,6 +167,7 @@ mod tests {
             collisions: 5,
             evictions: 6,
             insertions: 40,
+            ..TableStats::default()
         };
         let mut later = earlier;
         later.merge(&TableStats {
@@ -160,6 +177,7 @@ mod tests {
             collisions: 2,
             evictions: 2,
             insertions: 7,
+            ..TableStats::default()
         });
         let d = later.delta_since(&earlier);
         assert_eq!(d.accesses, 10);

@@ -54,6 +54,7 @@
 //!         module: vm::lower(&checked),
 //!         specs: vec![],
 //!         policies: vec![],
+//!         table_deps: vec![],
 //!     }],
 //!     ServiceConfig { workers: 2, ..ServiceConfig::default() },
 //! )
@@ -99,6 +100,10 @@ pub struct ServiceProgram {
     pub specs: Vec<TableSpec>,
     /// Per-table adaptive-guard policies (same length as `specs`).
     pub policies: Vec<GuardPolicy>,
+    /// Per-table, per-slot dependency-fingerprint widths in words
+    /// ([`compreuse::ReuseOutcome`]'s `table_deps`; `0` = exact-match
+    /// slot). An empty outer vector means no slot is fingerprinted.
+    pub table_deps: Vec<Vec<usize>>,
 }
 
 /// Service tuning knobs.
@@ -144,6 +149,12 @@ pub struct ServiceConfig {
     /// Queue depth at which a degraded service re-arms its stores
     /// (hysteresis: must be below the high watermark to avoid flapping).
     pub low_watermark: usize,
+    /// Whether fingerprinted segments run dependency validation
+    /// (try-mark-green) on probes. With `false`, green entries are forced
+    /// red — the exact-match A arm of a hit-ratio A/B comparison. Answers
+    /// are identical either way (DESIGN.md §8e/§8g); only the hit ratio
+    /// and cycle ledger move.
+    pub validate: bool,
 }
 
 impl Default for ServiceConfig {
@@ -162,6 +173,7 @@ impl Default for ServiceConfig {
             backoff_cap_ns: 2_000_000,
             high_watermark: None,
             low_watermark: 0,
+            validate: true,
         }
     }
 }
@@ -296,6 +308,10 @@ pub struct ServiceReport {
     /// Aggregate store statistics accumulated by *this batch* (delta over
     /// the run; the store itself keeps accumulating across batches).
     pub store_delta: TableStats,
+    /// Per-program store-statistics deltas for this batch, in program
+    /// index order (the green/red breakdown per workload; sums to
+    /// `store_delta`).
+    pub per_program_delta: Vec<TableStats>,
     /// Total retries consumed across the batch (queue re-pushes plus
     /// worker re-executions).
     pub retries: u64,
@@ -439,6 +455,15 @@ impl ReuseService {
         self.config.workers = workers.max(1);
     }
 
+    /// Enables or disables try-mark-green validation on probes for
+    /// subsequent runs. With validation off, dependency-keyed entries are
+    /// forced red (recompute), which is the exact-match A arm of the
+    /// serving A/B benchmark. Answers are identical either way (§8e);
+    /// only hit ratios and the modelled cycle ledger move.
+    pub fn set_validate(&mut self, validate: bool) {
+        self.config.validate = validate;
+    }
+
     /// Installs (or removes) a fault plan. Queue and worker fail points
     /// apply from the next [`ReuseService::run`]; store-level probe
     /// faults need the stores rebuilt ([`ReuseService::reset_stores`]) to
@@ -486,12 +511,24 @@ impl ReuseService {
     /// Aggregate statistics over every program's shared store.
     pub fn store_stats(&self) -> TableStats {
         let mut total = TableStats::default();
-        for p in &self.programs {
-            for t in p.store.iter() {
-                total.merge(&t.stats());
-            }
+        for s in self.per_program_stats() {
+            total.merge(&s);
         }
         total
+    }
+
+    /// Aggregate store statistics per program, in program-index order.
+    pub fn per_program_stats(&self) -> Vec<TableStats> {
+        self.programs
+            .iter()
+            .map(|p| {
+                let mut total = TableStats::default();
+                for t in p.store.iter() {
+                    total.merge(&t.stats());
+                }
+                total
+            })
+            .collect()
     }
 
     /// Total bytes held by the shared stores.
@@ -507,6 +544,7 @@ impl ReuseService {
             cost: self.config.cost.clone(),
             input: req.input.clone(),
             shared_tables: store,
+            validate: self.config.validate,
             ..RunConfig::default()
         }
     }
@@ -542,7 +580,7 @@ impl ReuseService {
         let queue: BoundedQueue<usize> =
             BoundedQueue::with_faults(self.config.queue_capacity, self.config.faults.clone());
         let results: Mutex<Vec<Option<RequestResult>>> = Mutex::new(vec![None; requests.len()]);
-        let before = self.store_stats();
+        let before = self.per_program_stats();
         let faults_before = self.config.faults.as_ref().map(|p| p.counters());
         let mut push_retries = 0u64;
         let mut degraded_flips = 0u64;
@@ -639,7 +677,16 @@ impl ReuseService {
             }
         });
         let wall_seconds = t0.elapsed().as_secs_f64();
-        let after = self.store_stats();
+        let after = self.per_program_stats();
+        let per_program_delta: Vec<TableStats> = after
+            .iter()
+            .zip(&before)
+            .map(|(a, b)| a.delta_since(b))
+            .collect();
+        let mut store_delta = TableStats::default();
+        for d in &per_program_delta {
+            store_delta.merge(d);
+        }
 
         let results: Vec<RequestResult> = recover(results.into_inner())
             .into_iter()
@@ -671,7 +718,8 @@ impl ReuseService {
             latency,
             latency_by_status,
             per_worker,
-            store_delta: after.delta_since(&before),
+            store_delta,
+            per_program_delta,
             retries,
             degraded_flips,
             faults: self
@@ -790,13 +838,20 @@ impl ReuseService {
         let mut latency = LatencyHistogram::new();
         let mut results = Vec::with_capacity(requests.len());
         let mut table_stats = TableStats::default();
+        let mut per_program: Vec<TableStats> = (0..self.programs.len())
+            .map(|_| TableStats::default())
+            .collect();
         let t0 = Instant::now();
         for (idx, req) in requests.iter().enumerate() {
             let rt = &self.programs[req.program];
             let pre = compiled[req.program]
                 .get_or_insert_with(|| vm::precompile(&rt.program.module, &self.config.cost));
-            let tables = private_tables(&rt.program.specs, &rt.program.policies)
-                .unwrap_or_else(|e| panic!("{}: invalid table spec: {e}", rt.program.name));
+            let tables = private_tables(
+                &rt.program.specs,
+                &rt.program.policies,
+                &rt.program.table_deps,
+            )
+            .unwrap_or_else(|e| panic!("{}: invalid table spec: {e}", rt.program.name));
             let mut config = self.run_config_for(req, None);
             config.tables = tables;
             let start = Instant::now();
@@ -806,6 +861,7 @@ impl ReuseService {
             if let Ok(o) = &outcome {
                 for t in &o.tables {
                     table_stats.merge(t.stats());
+                    per_program[req.program].merge(t.stats());
                 }
             }
             results.push(RequestResult {
@@ -838,6 +894,7 @@ impl ReuseService {
             latency,
             latency_by_status,
             store_delta: table_stats,
+            per_program_delta: per_program,
             retries: 0,
             degraded_flips: 0,
             faults: None,
@@ -850,13 +907,21 @@ fn build_store(p: &ServiceProgram, config: &ServiceConfig) -> Result<Vec<Sharded
     p.specs
         .iter()
         .zip(&p.policies)
-        .map(|(spec, policy)| {
+        .enumerate()
+        .map(|(i, (spec, policy))| {
             let mut t = ShardedTable::try_from_spec(spec, config.shards)?;
             t.set_policy(GuardPolicy {
                 enabled: config.adaptive,
                 ..policy.clone()
             });
             t.set_fault_plan(config.faults.clone());
+            if let Some(deps) = p.table_deps.get(i) {
+                for (slot, &fpw) in deps.iter().enumerate() {
+                    if fpw > 0 {
+                        t.set_deps(slot, fpw);
+                    }
+                }
+            }
             Ok(t)
         })
         .collect()
@@ -868,11 +933,13 @@ fn build_store(p: &ServiceProgram, config: &ServiceConfig) -> Result<Vec<Sharded
 fn private_tables(
     specs: &[TableSpec],
     policies: &[GuardPolicy],
+    table_deps: &[Vec<usize>],
 ) -> Result<Vec<MemoTable>, SpecError> {
     specs
         .iter()
+        .enumerate()
         .zip(policies)
-        .map(|(spec, policy)| {
+        .map(|((i, spec), policy)| {
             let mut t = if spec.out_words.len() > 1 {
                 MemoTable::try_merged(spec)?
             } else {
@@ -882,6 +949,13 @@ fn private_tables(
                 enabled: false,
                 ..policy.clone()
             });
+            if let Some(deps) = table_deps.get(i) {
+                for (slot, &fpw) in deps.iter().enumerate() {
+                    if fpw > 0 {
+                        t.set_deps(slot, fpw);
+                    }
+                }
+            }
             Ok(t)
         })
         .collect()
@@ -928,6 +1002,7 @@ mod tests {
             module: vm::lower(&outcome.transformed),
             specs: outcome.specs,
             policies: outcome.policies,
+            table_deps: outcome.table_deps,
         }
     }
 

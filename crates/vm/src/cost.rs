@@ -72,6 +72,12 @@ pub struct CostModel {
     /// Cycles per output word copied (table→vars on a hit, vars→table on a
     /// miss — the paper notes a hit and a miss do the same extra work).
     pub memo_per_out_word: u64,
+    /// Fixed cycles for one try-mark-green fingerprint validation (epoch
+    /// sum recomputation setup). Charged only when a probe carries a
+    /// validator; memory-bound like hashing, so identical under O0/O3.
+    pub fp_probe_base: u64,
+    /// Cycles per fingerprint word read (probe) or written (record).
+    pub fp_per_word: u64,
 }
 
 impl CostModel {
@@ -94,6 +100,8 @@ impl CostModel {
             memo_base: 24,
             memo_per_key_word: 10,
             memo_per_out_word: 8,
+            fp_probe_base: 16,
+            fp_per_word: 4,
         }
     }
 
@@ -116,6 +124,8 @@ impl CostModel {
             memo_base: 24,
             memo_per_key_word: 10,
             memo_per_out_word: 8,
+            fp_probe_base: 16,
+            fp_per_word: 4,
         }
     }
 
@@ -133,6 +143,18 @@ impl CostModel {
         self.memo_base
             + self.memo_per_key_word * key_words as u64
             + self.memo_per_out_word * out_words as u64
+    }
+
+    /// Extra cycles charged when a probe validates an entry fingerprint
+    /// (chunk-mask walk + chained-epoch sum compare). Charged on hits and
+    /// misses alike whenever validation is enabled for the segment.
+    pub fn fp_probe_cost(&self, fp_words: usize) -> u64 {
+        self.fp_probe_base + self.fp_per_word * fp_words as u64
+    }
+
+    /// Extra cycles charged when a miss records an entry fingerprint.
+    pub fn fp_record_cost(&self, fp_words: usize) -> u64 {
+        self.fp_per_word * fp_words as u64
     }
 }
 
@@ -166,6 +188,8 @@ mod tests {
         // But the memo probe costs the same: this is what compresses
         // speedups between Table 6 and Table 7.
         assert_eq!(o3.memo_overhead(1, 1), o0.memo_overhead(1, 1));
+        assert_eq!(o3.fp_probe_cost(2), o0.fp_probe_cost(2));
+        assert_eq!(o3.fp_record_cost(2), o0.fp_record_cost(2));
     }
 
     #[test]

@@ -8,6 +8,7 @@
 //! `Memo` segments).
 
 use crate::cost::{cycles_to_seconds, CostModel};
+use crate::deps_rt::DepRuntime;
 use crate::energy::EnergyModel;
 use crate::lower::{
     Coerce, CostKind, LCallee, LExpr, LMemo, LOperand, LPlace, LProfile, LStmt, Module, OpLoc,
@@ -77,6 +78,16 @@ pub struct RunConfig {
     pub max_depth: usize,
     /// Which execution engine to use.
     pub engine: Engine,
+    /// Try-mark-green validation. When `true` (the default), probes of
+    /// fingerprinted segments validate stored dependency fingerprints
+    /// against the live chunk epochs: entries whose dependencies are
+    /// provably unchanged are promoted to (green) hits, the rest
+    /// recompute. When `false`, lookups are exact-match only: segments
+    /// with *mutable* dependencies are forced red (their entries cannot
+    /// be trusted without validation), which is the A-arm baseline of
+    /// the perturbed-input experiment. Either way the executed answer is
+    /// identical — validation only changes which probes recompute.
+    pub validate: bool,
 }
 
 impl Default for RunConfig {
@@ -91,6 +102,7 @@ impl Default for RunConfig {
             max_cycles: u64::MAX,
             max_depth: 4096,
             engine: Engine::default(),
+            validate: true,
         }
     }
 }
@@ -230,6 +242,9 @@ fn run_on_current_thread(module: &Module, config: RunConfig) -> Result<Outcome, 
         out_scratch: Vec::new(),
         rec_scratch: Vec::new(),
         seen_scratch: Vec::new(),
+        dep_rt: DepRuntime::new(module),
+        fp_scratch: Vec::new(),
+        validate: config.validate,
     };
 
     let ret = m.call(module.main, &[])?;
@@ -293,6 +308,12 @@ struct Machine<'m> {
     rec_scratch: Vec<u64>,
     /// Reused ancestor-dedup buffer for profile probes.
     seen_scratch: Vec<u32>,
+    /// Chunk-epoch chains and recording frames for fingerprinted memos.
+    dep_rt: DepRuntime,
+    /// Reused fingerprint buffer (cleared per record).
+    fp_scratch: Vec<u64>,
+    /// Whether probes of fingerprinted segments run validation.
+    validate: bool,
 }
 
 impl<'m> Machine<'m> {
@@ -311,14 +332,18 @@ impl<'m> Machine<'m> {
     }
 
     #[inline]
-    fn read(&self, addr: usize) -> Result<Value, Trap> {
+    fn read(&mut self, addr: usize) -> Result<Value, Trap> {
         if addr == 0 {
             return Err(Trap::NullDeref);
         }
-        match self.mem.get(addr) {
-            Some(v) => Ok(*v),
-            None => Err(Trap::OutOfBounds(addr)),
+        let v = match self.mem.get(addr) {
+            Some(v) => *v,
+            None => return Err(Trap::OutOfBounds(addr)),
+        };
+        if self.dep_rt.active() {
+            self.dep_rt.note_read(addr);
         }
+        Ok(v)
     }
 
     #[inline]
@@ -329,6 +354,7 @@ impl<'m> Machine<'m> {
         match self.mem.get_mut(addr) {
             Some(cell) => {
                 *cell = v;
+                self.dep_rt.note_write(addr, v);
                 Ok(())
             }
             None => Err(Trap::OutOfBounds(addr)),
@@ -575,7 +601,13 @@ impl<'m> Machine<'m> {
         // stack above it.
         let ks = self.key_arena.len();
         for op in &m.inputs {
-            read_operand_into(&self.mem, self.frame, op, &mut self.key_arena)?;
+            read_operand_into(
+                &self.mem,
+                self.frame,
+                op,
+                &mut self.key_arena,
+                &mut self.dep_rt,
+            )?;
         }
         // A hit and a miss charge the same extra operations (§2.1).
         self.tick(
@@ -584,15 +616,41 @@ impl<'m> Machine<'m> {
         );
         self.table_words += (m.key_words + m.out_words) as u64;
 
+        // Fingerprinted segments validate stored dependency fingerprints
+        // against the live chunk epochs (try-mark-green) when enabled;
+        // with validation off, green segments fall to forced red inside
+        // the table (the validator stays `None`).
+        let fp_words = m.fp_words as usize;
+        let validating = fp_words > 0 && self.validate;
+        if validating {
+            self.tick(self.cost.fp_probe_cost(fp_words));
+            self.table_words += fp_words as u64;
+        }
         self.out_scratch.clear();
-        let hit = self.tables.lookup(
-            m.table as usize,
-            m.slot as usize,
-            &self.key_arena[ks..],
-            &mut self.out_scratch,
-        );
+        let hit = {
+            let dep_rt = &self.dep_rt;
+            let mut validator = |fp: &[u64]| dep_rt.validate(&m.deps, fp);
+            self.tables.lookup_dep(
+                m.table as usize,
+                m.slot as usize,
+                &self.key_arena[ks..],
+                &mut self.out_scratch,
+                m.green,
+                if validating {
+                    Some(&mut validator)
+                } else {
+                    None
+                },
+            )
+        };
         if hit {
             self.key_arena.truncate(ks);
+            // A hit inside an enclosing recording stands in for the reads
+            // the skipped body would have performed: taint the enclosing
+            // frames with this segment's full dependency footprint.
+            if self.dep_rt.active() && !m.deps.is_empty() {
+                self.dep_rt.note_nested_hit(&m.deps);
+            }
             // Restore outputs; optionally return the memoized value.
             let mut pos = 0usize;
             for op in &m.outputs {
@@ -602,6 +660,7 @@ impl<'m> Machine<'m> {
                     self.frame,
                     op,
                     &self.out_scratch[pos..pos + n],
+                    &mut self.dep_rt,
                 )?;
                 pos += n;
             }
@@ -617,11 +676,26 @@ impl<'m> Machine<'m> {
             return Ok(Flow::Normal);
         }
 
-        // Miss: run the body, then record outputs (and return value).
+        // Miss: run the body — under a recording frame when the segment
+        // is fingerprinted, so the entry can witness what it read — then
+        // record outputs (and return value). Frames are maintained even
+        // with validation off: the store may later serve validating
+        // probes, and an entry without a fingerprint could never be
+        // trusted by them.
+        let tracking = fp_words > 0;
+        if tracking {
+            self.dep_rt.push_frame();
+        }
         let flow = self.exec_block(&m.body)?;
         self.rec_scratch.clear();
         for op in &m.outputs {
-            read_operand_into(&self.mem, self.frame, op, &mut self.rec_scratch)?;
+            read_operand_into(
+                &self.mem,
+                self.frame,
+                op,
+                &mut self.rec_scratch,
+                &mut self.dep_rt,
+            )?;
         }
         let ret_flow = match (&flow, m.ret) {
             (Flow::Return(v), Some(is_float)) => {
@@ -638,21 +712,35 @@ impl<'m> Machine<'m> {
                 // The body fell through without returning: don't record a
                 // bogus return slot; skip recording entirely. The caller
                 // will trap if it uses the missing value.
+                if tracking {
+                    self.dep_rt.pop_frame();
+                }
                 self.key_arena.truncate(ks);
                 return Ok(Flow::Normal);
             }
             _ => {
                 // Break/Continue cannot escape a legal segment.
+                if tracking {
+                    self.dep_rt.pop_frame();
+                }
                 self.key_arena.truncate(ks);
                 return Ok(flow);
             }
         };
+        self.fp_scratch.clear();
+        if tracking {
+            self.dep_rt
+                .pop_frame_build_fp(&m.deps, &mut self.fp_scratch);
+            self.tick(self.cost.fp_record_cost(fp_words));
+            self.table_words += fp_words as u64;
+        }
         self.table_words += m.out_words as u64;
-        self.tables.record(
+        self.tables.record_dep(
             m.table as usize,
             m.slot as usize,
             &self.key_arena[ks..],
             &self.rec_scratch,
+            &self.fp_scratch,
         );
         self.key_arena.truncate(ks);
         if ret_flow {
@@ -668,7 +756,13 @@ impl<'m> Machine<'m> {
         }
         let ks = self.key_arena.len();
         for op in &p.inputs {
-            read_operand_into(&self.mem, self.frame, op, &mut self.key_arena)?;
+            read_operand_into(
+                &self.mem,
+                self.frame,
+                op,
+                &mut self.key_arena,
+                &mut self.dep_rt,
+            )?;
         }
         {
             let prof = self.profiler.as_mut().expect("profiler present");
@@ -744,7 +838,11 @@ impl<'m> Machine<'m> {
             }
             LExpr::ReadGlobal(a) => {
                 self.tick(self.cost.mem_access);
-                Ok(self.mem[*a as usize])
+                let a = *a as usize;
+                if self.dep_rt.active() {
+                    self.dep_rt.note_read(a);
+                }
+                Ok(self.mem[a])
             }
             LExpr::ReadMem(addr) => {
                 let a = self.eval(addr)?.as_ptr()?;
@@ -948,11 +1046,14 @@ pub(crate) fn operand_base(mem: &[Value], frame: usize, op: &LOperand) -> Result
 
 /// Appends an operand's bit pattern to `out` (key/record construction).
 /// Appending to a caller-owned buffer keeps the hot path allocation-free.
+/// Reads of tracked cells land in any active recording frames (an inner
+/// memo's key build is a read the enclosing recording depends on).
 pub(crate) fn read_operand_into(
     mem: &[Value],
     frame: usize,
     op: &LOperand,
     out: &mut Vec<u64>,
+    dep: &mut DepRuntime,
 ) -> Result<(), Trap> {
     let base = operand_base(mem, frame, op)?;
     for i in 0..op.words as usize {
@@ -965,15 +1066,23 @@ pub(crate) fn read_operand_into(
         };
         out.push(w);
     }
+    if dep.active() {
+        for i in 0..op.words as usize {
+            dep.note_read(base + i);
+        }
+    }
     Ok(())
 }
 
 /// Writes recorded words back into an operand's cells (memo hit restore).
+/// Restored writes fold into the epoch chains like ordinary stores: a
+/// restore changes tracked memory, so later validations must see it.
 pub(crate) fn write_operand_from(
     mem: &mut [Value],
     frame: usize,
     op: &LOperand,
     words: &[u64],
+    dep: &mut DepRuntime,
 ) -> Result<(), Trap> {
     let base = operand_base(mem, frame, op)?;
     for (i, &w) in words.iter().enumerate() {
@@ -983,6 +1092,7 @@ pub(crate) fn write_operand_from(
             Value::Int(w as i64)
         };
         mem_write(mem, base + i, v)?;
+        dep.note_write(base + i, v);
     }
     Ok(())
 }

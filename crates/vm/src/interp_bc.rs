@@ -15,6 +15,7 @@
 
 use crate::bytecode::{BcModule, Instr};
 use crate::cost::{cycles_to_seconds, CostModel};
+use crate::deps_rt::DepRuntime;
 use crate::interp::{
     binary_value, coerce_value, make_profiler, mem_read, mem_write, read_operand_into, unary_value,
     write_operand_from, Outcome, RunConfig,
@@ -93,6 +94,9 @@ pub(crate) fn run_bc(
         out_scratch: Vec::new(),
         rec_scratch: Vec::new(),
         seen_scratch: Vec::new(),
+        dep_rt: DepRuntime::new(module),
+        fp_scratch: Vec::new(),
+        validate: config.validate,
     };
 
     let ret = m.exec()?;
@@ -154,6 +158,12 @@ struct BcMachine<'m, 'b> {
     rec_scratch: Vec<u64>,
     /// Reused ancestor-dedup buffer for profile probes.
     seen_scratch: Vec<u32>,
+    /// Chunk-epoch chains and recording frames for fingerprinted memos.
+    dep_rt: DepRuntime,
+    /// Reused fingerprint buffer (cleared per record).
+    fp_scratch: Vec<u64>,
+    /// Whether probes of fingerprinted segments run validation.
+    validate: bool,
 }
 
 impl BcMachine<'_, '_> {
@@ -205,6 +215,9 @@ impl BcMachine<'_, '_> {
         keep: bool,
     ) -> Result<(), Trap> {
         let old = mem_read(&self.mem, addr)?;
+        if self.dep_rt.active() {
+            self.dep_rt.note_read(addr);
+        }
         self.tick(self.cost.int_alu);
         let new = match (old, ptr_stride) {
             (Value::Ptr(a), Some(stride)) => {
@@ -217,6 +230,7 @@ impl BcMachine<'_, '_> {
         };
         self.charge_write(write_cost);
         mem_write(&mut self.mem, addr, new)?;
+        self.dep_rt.note_write(addr, new);
         if keep {
             self.stack.push(if post { old } else { new });
         }
@@ -298,6 +312,9 @@ impl BcMachine<'_, '_> {
                 Instr::ReadGlobal(a) => {
                     self.tick(self.cost.mem_access);
                     let v = self.mem[*a as usize];
+                    if self.dep_rt.active() {
+                        self.dep_rt.note_read(*a as usize);
+                    }
                     self.stack.push(v);
                     pc += 1;
                 }
@@ -305,6 +322,9 @@ impl BcMachine<'_, '_> {
                     let a = self.pop().as_ptr()?;
                     self.tick(self.cost.mem_access);
                     let v = mem_read(&self.mem, a)?;
+                    if self.dep_rt.active() {
+                        self.dep_rt.note_read(a);
+                    }
                     self.stack.push(v);
                     pc += 1;
                 }
@@ -314,6 +334,9 @@ impl BcMachine<'_, '_> {
                     self.tick(u64::from(*cost));
                     let addr = (b as i64).wrapping_add(i.wrapping_mul(*stride)) as usize;
                     let v = mem_read(&self.mem, addr)?;
+                    if self.dep_rt.active() {
+                        self.dep_rt.note_read(addr);
+                    }
                     self.stack.push(v);
                     pc += 1;
                 }
@@ -336,6 +359,9 @@ impl BcMachine<'_, '_> {
                     };
                     let addr = (b as i64).wrapping_add(i.wrapping_mul(*stride)) as usize;
                     let v = mem_read(&self.mem, addr)?;
+                    if self.dep_rt.active() {
+                        self.dep_rt.note_read(addr);
+                    }
                     self.stack.push(v);
                     pc += 1;
                 }
@@ -546,6 +572,7 @@ impl BcMachine<'_, '_> {
                     let v = coerce_value(v, *coerce)?;
                     self.charge_write(*write_cost);
                     mem_write(&mut self.mem, addr, v)?;
+                    self.dep_rt.note_write(addr, v);
                     self.stack.push(v);
                     pc += 1;
                 }
@@ -566,6 +593,9 @@ impl BcMachine<'_, '_> {
                 Instr::LoadDupAddr => {
                     let addr = self.pop().as_ptr()?;
                     let old = mem_read(&self.mem, addr)?;
+                    if self.dep_rt.active() {
+                        self.dep_rt.note_read(addr);
+                    }
                     self.stack.push(Value::Ptr(addr));
                     self.stack.push(old);
                     pc += 1;
@@ -592,6 +622,7 @@ impl BcMachine<'_, '_> {
                     };
                     self.charge_write(*write_cost);
                     mem_write(&mut self.mem, addr, new)?;
+                    self.dep_rt.note_write(addr, new);
                     self.stack.push(new);
                     pc += 1;
                 }
@@ -763,20 +794,48 @@ impl BcMachine<'_, '_> {
 
         let ks = self.key_arena.len();
         for op in &m.inputs {
-            read_operand_into(&self.mem, self.frame, op, &mut self.key_arena)?;
+            read_operand_into(
+                &self.mem,
+                self.frame,
+                op,
+                &mut self.key_arena,
+                &mut self.dep_rt,
+            )?;
         }
         self.tick(self.bc.memo_cost[id as usize]);
         self.table_words += (m.key_words + m.out_words) as u64;
 
+        // Try-mark-green probe: identical charge and validator contract to
+        // the tree-walker's `exec_memo` (fp costs come from the shared
+        // `CostModel`, computed at runtime — `memo_cost` stays exact-match).
+        let fp_words = m.fp_words as usize;
+        let validating = fp_words > 0 && self.validate;
+        if validating {
+            self.tick(self.cost.fp_probe_cost(fp_words));
+            self.table_words += fp_words as u64;
+        }
         self.out_scratch.clear();
-        let hit = self.tables.lookup(
-            m.table as usize,
-            m.slot as usize,
-            &self.key_arena[ks..],
-            &mut self.out_scratch,
-        );
+        let hit = {
+            let dep_rt = &self.dep_rt;
+            let mut validator = |fp: &[u64]| dep_rt.validate(&m.deps, fp);
+            self.tables.lookup_dep(
+                m.table as usize,
+                m.slot as usize,
+                &self.key_arena[ks..],
+                &mut self.out_scratch,
+                m.green,
+                if validating {
+                    Some(&mut validator)
+                } else {
+                    None
+                },
+            )
+        };
         if hit {
             self.key_arena.truncate(ks);
+            if self.dep_rt.active() && !m.deps.is_empty() {
+                self.dep_rt.note_nested_hit(&m.deps);
+            }
             let mut pos = 0usize;
             for op in &m.outputs {
                 let n = op.words as usize;
@@ -785,6 +844,7 @@ impl BcMachine<'_, '_> {
                     self.frame,
                     op,
                     &self.out_scratch[pos..pos + n],
+                    &mut self.dep_rt,
                 )?;
                 pos += n;
             }
@@ -798,6 +858,9 @@ impl BcMachine<'_, '_> {
             }
             Ok(hit_target)
         } else {
+            if fp_words > 0 {
+                self.dep_rt.push_frame();
+            }
             self.regions.push(Region {
                 memo: true,
                 id,
@@ -815,7 +878,13 @@ impl BcMachine<'_, '_> {
         let m = self.bc.memos[id as usize];
         self.rec_scratch.clear();
         for op in &m.outputs {
-            read_operand_into(&self.mem, self.frame, op, &mut self.rec_scratch)?;
+            read_operand_into(
+                &self.mem,
+                self.frame,
+                op,
+                &mut self.rec_scratch,
+                &mut self.dep_rt,
+            )?;
         }
         Ok(())
     }
@@ -829,15 +898,26 @@ impl BcMachine<'_, '_> {
         }
         self.read_outputs(id)?;
         let m = self.bc.memos[id as usize];
+        let tracking = m.fp_words > 0;
         if m.ret.is_none() {
+            self.fp_scratch.clear();
+            if tracking {
+                self.dep_rt
+                    .pop_frame_build_fp(&m.deps, &mut self.fp_scratch);
+                self.tick(self.cost.fp_record_cost(m.fp_words as usize));
+                self.table_words += m.fp_words as u64;
+            }
             self.table_words += m.out_words as u64;
             let ks = r.key_start as usize;
-            self.tables.record(
+            self.tables.record_dep(
                 m.table as usize,
                 m.slot as usize,
                 &self.key_arena[ks..],
                 &self.rec_scratch,
+                &self.fp_scratch,
             );
+        } else if tracking {
+            self.dep_rt.pop_frame();
         }
         // A body that memoizes a return value but fell through records
         // nothing (no bogus return slot), same as the tree-walker.
@@ -855,6 +935,7 @@ impl BcMachine<'_, '_> {
         }
         self.read_outputs(id)?;
         let m = self.bc.memos[id as usize];
+        let tracking = m.fp_words > 0;
         if let Some(is_float) = m.ret {
             let v = *self.stack.last().expect("return value");
             let w = if is_float {
@@ -863,14 +944,24 @@ impl BcMachine<'_, '_> {
                 v.as_int()? as u64
             };
             self.rec_scratch.push(w);
+            self.fp_scratch.clear();
+            if tracking {
+                self.dep_rt
+                    .pop_frame_build_fp(&m.deps, &mut self.fp_scratch);
+                self.tick(self.cost.fp_record_cost(m.fp_words as usize));
+                self.table_words += m.fp_words as u64;
+            }
             self.table_words += m.out_words as u64;
             let ks = r.key_start as usize;
-            self.tables.record(
+            self.tables.record_dep(
                 m.table as usize,
                 m.slot as usize,
                 &self.key_arena[ks..],
                 &self.rec_scratch,
+                &self.fp_scratch,
             );
+        } else if tracking {
+            self.dep_rt.pop_frame();
         }
         // ret=None with a Return flow: outputs were read (trap parity)
         // but nothing is recorded, same as the tree-walker's `_` arm.
@@ -887,6 +978,9 @@ impl BcMachine<'_, '_> {
             return Ok(());
         }
         self.read_outputs(id)?;
+        if self.bc.memos[id as usize].fp_words > 0 {
+            self.dep_rt.pop_frame();
+        }
         self.key_arena.truncate(r.key_start as usize);
         Ok(())
     }
@@ -895,7 +989,13 @@ impl BcMachine<'_, '_> {
         let p = self.bc.profiles[id as usize];
         let ks = self.key_arena.len();
         for op in &p.inputs {
-            read_operand_into(&self.mem, self.frame, op, &mut self.key_arena)?;
+            read_operand_into(
+                &self.mem,
+                self.frame,
+                op,
+                &mut self.key_arena,
+                &mut self.dep_rt,
+            )?;
         }
         {
             let prof = self.profiler.as_mut().expect("profiler present");

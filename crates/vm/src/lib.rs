@@ -28,6 +28,7 @@
 
 mod bytecode;
 pub mod cost;
+pub mod deps_rt;
 pub mod energy;
 pub mod interp;
 mod interp_bc;

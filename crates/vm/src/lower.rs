@@ -8,10 +8,11 @@
 
 use crate::value::Value;
 use minic::ast::{
-    BinOp, Block, Expr, ExprKind, FuncDef, MemoOperand, NodeId, OperandShape, Program, ScalarKind,
-    Stmt, StmtKind, Type, UnOp,
+    BinOp, Block, Expr, ExprKind, FuncDef, MemoDep, MemoOperand, NodeId, OperandShape, Program,
+    ScalarKind, Stmt, StmtKind, Type, UnOp,
 };
 use minic::sema::{Builtin, Checked, ConstVal, Res, SemaInfo};
+use std::collections::HashMap;
 
 /// Cost class of an operation (indexes into the cost model).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -198,6 +199,34 @@ pub struct LOperand {
     pub is_float: bool,
 }
 
+/// A tracked global memory region some memoized segment depends on.
+/// Regions are interned module-wide; each divides into at most 64
+/// power-of-two chunks whose chained write epochs back fingerprint
+/// validation.
+#[derive(Debug, Clone, Copy)]
+pub struct DepRegion {
+    /// First global memory cell of the region.
+    pub addr: u32,
+    /// Extent in cells.
+    pub words: u32,
+    /// log2 of the chunk size in cells.
+    pub shift: u32,
+    /// Number of chunks (`ceil(words / 2^shift)`, 1..=64).
+    pub chunks: u32,
+    /// Offset of this region's first chunk epoch in the flat epoch array.
+    pub epoch_off: u32,
+}
+
+/// One validated dependency of a lowered memo: a module dep region plus
+/// its mutability (mutable deps make the segment green).
+#[derive(Debug, Clone, Copy)]
+pub struct LDep {
+    /// Index into [`Module::dep_regions`].
+    pub region: u32,
+    /// Whether the program writes the region after initialization.
+    pub mutable: bool,
+}
+
 /// A lowered memoized segment.
 #[derive(Debug, Clone)]
 pub struct LMemo {
@@ -209,6 +238,8 @@ pub struct LMemo {
     pub inputs: Vec<LOperand>,
     /// Output operands.
     pub outputs: Vec<LOperand>,
+    /// Validated dependency regions (fingerprinted, not in the key).
+    pub deps: Vec<LDep>,
     /// Memoized return value: `Some(is_float)`.
     pub ret: Option<bool>,
     /// Original body (runs on a miss).
@@ -217,6 +248,11 @@ pub struct LMemo {
     pub key_words: u32,
     /// Total output words including the return slot (cached).
     pub out_words: u32,
+    /// Fingerprint words per table entry (`2 × deps.len()`, cached).
+    pub fp_words: u32,
+    /// Whether any dependency is mutable: entries must be validated
+    /// before they can be trusted (try-mark-green).
+    pub green: bool,
 }
 
 /// A lowered profiling probe.
@@ -330,6 +366,10 @@ pub struct Module {
     pub profile_segments: Vec<String>,
     /// Number of memo tables the module expects at run time.
     pub table_count: usize,
+    /// Tracked dependency regions (union over all memos' deps).
+    pub dep_regions: Vec<DepRegion>,
+    /// Total chunk-epoch words across all dep regions.
+    pub dep_epoch_words: u32,
 }
 
 /// Lowers a checked program.
@@ -355,6 +395,9 @@ pub fn lower(checked: &Checked) -> Module {
         profile_segments: Vec::new(),
         table_count: 0,
         current_func: 0,
+        dep_regions: Vec::new(),
+        dep_index: HashMap::new(),
+        dep_epoch_words: 0,
     };
     let funcs: Vec<LFunc> = checked
         .program
@@ -376,6 +419,8 @@ pub fn lower(checked: &Checked) -> Module {
         branch_origins: lw.branch_origins,
         profile_segments: lw.profile_segments,
         table_count: lw.table_count,
+        dep_regions: lw.dep_regions,
+        dep_epoch_words: lw.dep_epoch_words,
     }
 }
 
@@ -432,6 +477,9 @@ struct Lowerer<'c> {
     profile_segments: Vec<String>,
     table_count: usize,
     current_func: usize,
+    dep_regions: Vec<DepRegion>,
+    dep_index: HashMap<usize, u32>,
+    dep_epoch_words: u32,
 }
 
 impl<'c> Lowerer<'c> {
@@ -554,18 +602,58 @@ impl<'c> Lowerer<'c> {
                 let key_words: u32 = inputs.iter().map(|o| o.words).sum();
                 let out_words: u32 =
                     outputs.iter().map(|o| o.words).sum::<u32>() + u32::from(m.ret.is_some());
+                let deps: Vec<LDep> = m
+                    .deps
+                    .iter()
+                    .map(|d| LDep {
+                        region: self.intern_dep(d),
+                        mutable: d.mutable,
+                    })
+                    .collect();
+                let fp_words = 2 * deps.len() as u32;
+                let green = deps.iter().any(|d| d.mutable);
                 LStmt::Memo(LMemo {
                     table: m.table as u32,
                     slot: m.slot as u32,
                     inputs,
                     outputs,
+                    deps,
                     ret: m.ret.map(|k| k == ScalarKind::Float),
                     body: self.lower_block(&m.body),
                     key_words,
                     out_words,
+                    fp_words,
+                    green,
                 })
             }
         })
+    }
+
+    /// Interns the dep's global as a module dep region (deduplicated by
+    /// global), assigning its chunk-epoch range on first sight.
+    fn intern_dep(&mut self, dep: &MemoDep) -> u32 {
+        let gid = *self
+            .info
+            .global_index
+            .get(&dep.name)
+            .expect("memo dep names a global (checked by sema)");
+        if let Some(&idx) = self.dep_index.get(&gid) {
+            return idx;
+        }
+        let g = &self.info.globals[gid];
+        let shift = dep.chunk_shift();
+        let chunks = dep.chunk_count() as u32;
+        let idx = self.dep_regions.len() as u32;
+        self.dep_regions.push(DepRegion {
+            addr: g.addr as u32,
+            words: dep.words as u32,
+            shift,
+            chunks,
+            epoch_off: self.dep_epoch_words,
+        });
+        self.dep_epoch_words += chunks;
+        self.dep_index.insert(gid, idx);
+        idx
     }
 
     fn push_loop(&mut self, id: NodeId) -> u32 {

@@ -17,7 +17,7 @@
 
 use std::sync::Arc;
 
-use memo_runtime::{MemoTable, ShardedTable, TableState};
+use memo_runtime::{FpValidator, MemoTable, ShardedTable, TableState};
 
 /// The set of reuse tables a run probes, indexed by the module's table ids.
 #[derive(Debug)]
@@ -86,11 +86,36 @@ impl TableHandles {
         }
     }
 
-    /// Records `outputs` for `key` in segment `slot` of table `idx`.
-    pub(crate) fn record(&mut self, idx: usize, slot: usize, key: &[u64], outputs: &[u64]) {
+    /// Dependency-validating lookup (red/green probe path); see
+    /// [`MemoTable::lookup_dep`] for the green/validator contract.
+    pub(crate) fn lookup_dep(
+        &mut self,
+        idx: usize,
+        slot: usize,
+        key: &[u64],
+        out: &mut Vec<u64>,
+        green: bool,
+        validate: FpValidator,
+    ) -> bool {
         match self {
-            TableHandles::Private(t) => t[idx].record(slot, key, outputs),
-            TableHandles::Shared(t) => t[idx].record(slot, key, outputs),
+            TableHandles::Private(t) => t[idx].lookup_dep(slot, key, out, green, validate),
+            TableHandles::Shared(t) => t[idx].lookup_dep(slot, key, out, green, validate),
+        }
+    }
+
+    /// Records `outputs` plus a dependency fingerprint (`&[]` for
+    /// exact-match entries).
+    pub(crate) fn record_dep(
+        &mut self,
+        idx: usize,
+        slot: usize,
+        key: &[u64],
+        outputs: &[u64],
+        fp: &[u64],
+    ) {
+        match self {
+            TableHandles::Private(t) => t[idx].record_dep(slot, key, outputs, fp),
+            TableHandles::Shared(t) => t[idx].record_dep(slot, key, outputs, fp),
         }
     }
 

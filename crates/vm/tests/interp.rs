@@ -372,6 +372,7 @@ fn memoize_function(
         slot: 0,
         inputs,
         outputs,
+        deps: vec![],
         ret,
         body,
     }))]);
@@ -598,6 +599,7 @@ fn merged_table_segments_share_key() {
             slot,
             inputs: vec![MemoOperand::scalar("x", ScalarKind::Int)],
             outputs: vec![MemoOperand::scalar(outvar, ScalarKind::Int)],
+            deps: vec![],
             ret: None,
             body,
         }))]);

@@ -114,6 +114,94 @@ fn assert_engines_agree(outcome: &compreuse::ReuseOutcome, input: &[i64]) {
     }
 }
 
+/// Like [`program_with`] but with a 32-word global array the hot
+/// function reads and the driver loop occasionally mutates: large enough
+/// for §8g key reduction and written between `hot` calls, so `hot`'s
+/// memo key drops the array and its entries carry *mutable* dependency
+/// fingerprints — probes must validate them against the chunk epochs,
+/// promoting still-valid entries green and forcing stale ones red.
+fn dep_program_with(body_expr: &str, iters: u8, modulus: u32) -> String {
+    format!(
+        "
+        int lut[32];
+        int hot(int x) {{
+            int acc = 1;
+            for (int i = 0; i < {iters}; i++) {{
+                acc = (acc + lut[(x + i) % 32] + {body_expr}) % {modulus};
+                acc = acc < 0 ? -acc : acc;
+            }}
+            return acc;
+        }}
+        int main() {{
+            for (int i = 0; i < 32; i++) lut[i] = i * 3 + 1;
+            int s = 0;
+            int t = 0;
+            while (!eof()) {{
+                s = (s + hot(input())) & 1048575;
+                t = t + 1;
+                if (t % 64 == 0) lut[t % 32] = lut[t % 32] + 1;
+            }}
+            print(s);
+            return 0;
+        }}"
+    )
+}
+
+/// Chains two runs of `module` under one engine: a cold run on `input_a`
+/// populating fresh tables, then a warm run on `input_b` reusing them —
+/// the configuration where dependency validation promotes entries green.
+fn run_chained(
+    module: &vm::Module,
+    outcome: &compreuse::ReuseOutcome,
+    input_a: &[i64],
+    input_b: &[i64],
+    engine: Engine,
+) -> (vm::Outcome, vm::Outcome) {
+    let cold = run_one(module, input_a, outcome.make_tables(), engine).expect("cold run");
+    let warm = run_one(module, input_b, cold.tables.clone(), engine).expect("warm run");
+    (cold, warm)
+}
+
+/// A fixed instance of the dependency-keyed template, deterministic
+/// enough to assert green hits actually happen: the warm run re-probes
+/// keys recorded cold, the `lut` fingerprints still hold (main rebuilds
+/// the array identically), so entries promote green — and the answers
+/// must equal the from-scratch baseline bit for bit on both engines.
+#[test]
+fn green_promoted_warm_run_matches_from_scratch() {
+    let src = dep_program_with("(x * 7 + i)", 12, 7919);
+    let input_a: Vec<i64> = (0..600).map(|i| (i * 13) % 40).collect();
+    // Perturbed rerun: overlapping key set, shifted mix.
+    let input_b: Vec<i64> = (0..600).map(|i| (i * 11) % 40).collect();
+    let program = minic::parse(&src).expect("template parses");
+    let outcome = run_pipeline(
+        &program,
+        &PipelineConfig {
+            profile_input: input_a.clone(),
+            min_exec: 8,
+            ..PipelineConfig::default()
+        },
+    )
+    .expect("pipeline");
+    assert!(
+        outcome.table_deps.iter().flatten().any(|&fpw| fpw > 0),
+        "template should plan at least one dependency-keyed segment"
+    );
+    let base = vm::lower(&outcome.baseline);
+    let memo = vm::lower(&outcome.transformed);
+    let base_b = run_one(&base, &input_b, vec![], Engine::Tree).expect("baseline");
+    let (tree_cold, tree_warm) = run_chained(&memo, &outcome, &input_a, &input_b, Engine::Tree);
+    let (bc_cold, bc_warm) = run_chained(&memo, &outcome, &input_a, &input_b, Engine::Bytecode);
+    // §8e: the warm, green-promoted run computes the from-scratch answer.
+    assert_eq!(tree_warm.output_text(), base_b.output_text());
+    assert_eq!(tree_warm.ret, base_b.ret);
+    // Engine parity holds for the whole chain, green stats included.
+    assert_eq!(fingerprint(&tree_cold), fingerprint(&bc_cold));
+    assert_eq!(fingerprint(&tree_warm), fingerprint(&bc_warm));
+    let green: u64 = tree_warm.tables.iter().map(|t| t.stats().green_hits).sum();
+    assert!(green > 0, "warm run promoted no entries green");
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(16))]
 
@@ -138,6 +226,46 @@ proptest! {
         )
         .expect("pipeline");
         assert_engines_agree(&outcome, &input);
+    }
+
+    #[test]
+    fn green_validated_equals_from_scratch(
+        body in arb_body_expr(),
+        iters in 4u8..16,
+        modulus in 17u32..10_000,
+        distinct in 3i64..60,
+        n in 200usize..800,
+        shift in 1i64..13,
+    ) {
+        // Cold run on input_a records dependency-fingerprinted entries;
+        // the warm run on a perturbed input_b revalidates them. Whatever
+        // mix of green hits and red recomputes results, the output must
+        // equal a from-scratch baseline on input_b, and both engines
+        // must agree on every observable (§8e/§8g).
+        let src = dep_program_with(&body, iters, modulus);
+        let input_a: Vec<i64> = (0..n).map(|i| (i as i64 * 13) % distinct).collect();
+        let input_b: Vec<i64> = (0..n).map(|i| (i as i64 * shift) % distinct).collect();
+        let program = minic::parse(&src).expect("template parses");
+        let outcome = run_pipeline(
+            &program,
+            &PipelineConfig {
+                profile_input: input_a.clone(),
+                min_exec: 8,
+                ..PipelineConfig::default()
+            },
+        )
+        .expect("pipeline");
+        let base = vm::lower(&outcome.baseline);
+        let memo = vm::lower(&outcome.transformed);
+        let base_b = run_one(&base, &input_b, vec![], Engine::Tree).expect("baseline");
+        let (tree_cold, tree_warm) =
+            run_chained(&memo, &outcome, &input_a, &input_b, Engine::Tree);
+        let (bc_cold, bc_warm) =
+            run_chained(&memo, &outcome, &input_a, &input_b, Engine::Bytecode);
+        prop_assert_eq!(tree_warm.output_text(), base_b.output_text());
+        prop_assert_eq!(tree_warm.ret, base_b.ret);
+        prop_assert_eq!(fingerprint(&tree_cold), fingerprint(&bc_cold));
+        prop_assert_eq!(fingerprint(&tree_warm), fingerprint(&bc_warm));
     }
 
     #[test]
