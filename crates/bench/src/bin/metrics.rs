@@ -34,13 +34,33 @@
 //! round. Extra flags: `--shards S` (lock shards per table),
 //! `--requests R` (requests per workload per batch),
 //! `--assert-serve-speedup` (exit nonzero unless the sweep's highest
-//! worker count beats its lowest on warm wall-clock — meaningful only on
-//! a multi-CPU host — or any fingerprint diverges from the sequential
-//! baseline).
+//! worker count beats its lowest on warm wall-clock, or any fingerprint
+//! diverges from the sequential baseline). A parallel speedup is only
+//! measurable when the host grants at least as many CPUs as the highest
+//! swept worker count; with fewer, the gate exits with the distinct
+//! *inconclusive* status 3 — not success — so CI can tell "proved" from
+//! "could not be measured here".
 //!
 //! ```text
 //! cargo run --release -p bench --bin metrics -- --serve --workers 4
 //! cargo run --release -p bench --bin metrics -- --serve \
+//!     --sweep-workers 1,2,4 --shards 8 --assert-serve-speedup
+//! ```
+//!
+//! `--contend` replaces the report with the shared-store contention
+//! microbench (DESIGN.md §8h): per `--sweep-workers` point, reader
+//! threads hammer a hot key set on one `ShardedTable` while interleaved
+//! writers re-record and evict, and every hit payload is verified
+//! against the recorded value (a mismatch is a torn read and fails the
+//! run). The JSON report carries `optimistic_hits` /
+//! `optimistic_retries` per point. `--shards` and `--requests` (ops per
+//! thread, in thousands) apply; with `--assert-serve-speedup` the gate
+//! requires monotone throughput across the sweep — or exits 3
+//! (inconclusive) when the host has fewer CPUs than the highest thread
+//! count.
+//!
+//! ```text
+//! cargo run --release -p bench --bin metrics -- --contend \
 //!     --sweep-workers 1,2,4 --shards 8 --assert-serve-speedup
 //! ```
 //!
@@ -77,10 +97,17 @@
 //!     --sweep-workers 1,2,4 --assert-hit-lift
 //! ```
 
+use bench::contend::{run_contend, ContendOpts};
 use bench::reports::EngineBenchRow;
 use bench::runner::{execute, execute_with_tables, prepare_with, InputKind, PrepareOpts};
 use bench::serve::{run_serve, run_serve_ab, ServeOpts};
 use workloads::Workload;
+
+/// Exit status for a speedup gate that could not be measured on this
+/// host (fewer CPUs than the highest swept worker count). Distinct from
+/// success (0) and failure (1) so CI treats "unproven here" differently
+/// from "disproven".
+const EXIT_INCONCLUSIVE: i32 = 3;
 
 /// Times one full prepare + execute cycle on `engine`, in milliseconds.
 fn time_workload(w: &Workload, opt: vm::OptLevel, scale: f64, engine: vm::Engine) -> f64 {
@@ -266,10 +293,81 @@ fn serve_mode(
             eprintln!("--assert-serve-speedup needs a sweep with at least two worker counts");
             std::process::exit(1);
         }
+        if summary.cpus < hi.workers {
+            // The host cannot run hi.workers threads in parallel, so the
+            // comparison proves nothing either way (determinism was still
+            // checked above). Report the distinct inconclusive status.
+            eprintln!(
+                "serve: speedup gate inconclusive: {} cpus < {} workers",
+                summary.cpus, hi.workers
+            );
+            std::process::exit(EXIT_INCONCLUSIVE);
+        }
         if hi.warm.wall_seconds >= lo.warm.wall_seconds {
             eprintln!(
                 "serve: {} workers not faster than {}: {:.4}s vs {:.4}s ({} cpus)",
                 hi.workers, lo.workers, hi.warm.wall_seconds, lo.warm.wall_seconds, summary.cpus
+            );
+            std::process::exit(1);
+        }
+    }
+}
+
+/// Runs the contention microbench (`--contend`) and applies the optional
+/// monotone-throughput gate. Torn reads or a lossy shard-stats merge fail
+/// the run unconditionally; the throughput gate additionally requires
+/// every sweep step to keep at least 95% of the previous point's
+/// throughput (absorbing scheduler jitter) and the last point to beat
+/// the first outright — or exits 3 (inconclusive) when the host has
+/// fewer CPUs than the highest thread count.
+fn contend_mode(opts: &ContendOpts, sweep: &[usize], assert_speedup: bool) {
+    let summary = run_contend(opts, sweep);
+    println!("{}", bench::reports::contend_report_json(&summary));
+    if !summary.no_torn_reads() {
+        eprintln!("contend: a hit returned a torn payload");
+        std::process::exit(1);
+    }
+    if summary.points.iter().any(|p| !p.shard_merge_ok) {
+        eprintln!("contend: per-shard statistics did not merge losslessly");
+        std::process::exit(1);
+    }
+    if assert_speedup {
+        let max_threads = sweep.iter().copied().max().unwrap_or(1);
+        if sweep.len() < 2 {
+            eprintln!("--assert-serve-speedup needs a sweep with at least two thread counts");
+            std::process::exit(1);
+        }
+        if summary.cpus < max_threads {
+            eprintln!(
+                "contend: throughput gate inconclusive: {} cpus < {} threads",
+                summary.cpus, max_threads
+            );
+            std::process::exit(EXIT_INCONCLUSIVE);
+        }
+        for pair in summary.points.windows(2) {
+            if pair[1].throughput_ops < pair[0].throughput_ops * 0.95 {
+                eprintln!(
+                    "contend: throughput fell {} -> {} threads: {:.0} -> {:.0} ops/s",
+                    pair[0].threads,
+                    pair[1].threads,
+                    pair[0].throughput_ops,
+                    pair[1].throughput_ops
+                );
+                std::process::exit(1);
+            }
+        }
+        let (first, last) = (
+            &summary.points[0],
+            &summary.points[summary.points.len() - 1],
+        );
+        if last.throughput_ops <= first.throughput_ops {
+            eprintln!(
+                "contend: {} threads not faster than {}: {:.0} vs {:.0} ops/s ({} cpus)",
+                last.threads,
+                first.threads,
+                last.throughput_ops,
+                first.throughput_ops,
+                summary.cpus
             );
             std::process::exit(1);
         }
@@ -287,6 +385,7 @@ fn main() {
     let mut bench_mode = false;
     let mut assert_faster = false;
     let mut serve = false;
+    let mut contend = false;
     let mut workers = 4usize;
     let mut shards = 8usize;
     let mut requests_per_workload = 4usize;
@@ -303,6 +402,7 @@ fn main() {
     while i < argv.len() {
         match argv[i].as_str() {
             "--serve" => serve = true,
+            "--contend" => contend = true,
             "--workers" => {
                 i += 1;
                 workers = argv
@@ -410,6 +510,19 @@ fn main() {
             other => panic!("unknown flag {other}"),
         }
         i += 1;
+    }
+
+    if contend {
+        let opts = ContendOpts {
+            shards,
+            // --requests rides along as thousands of ops per thread, so
+            // the serve and contend sweeps share a CLI vocabulary.
+            ops_per_thread: requests_per_workload.max(1) * 25_000,
+            ..ContendOpts::default()
+        };
+        let sweep = sweep_workers.unwrap_or_else(|| vec![workers]);
+        contend_mode(&opts, &sweep, assert_serve_speedup);
+        return;
     }
 
     if serve {

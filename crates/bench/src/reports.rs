@@ -590,7 +590,9 @@ fn json_stats(s: &memo_runtime::TableStats) -> String {
         concat!(
             "{{\"accesses\":{},\"hits\":{},\"green_hits\":{},\"stale_reds\":{},",
             "\"misses\":{},\"collisions\":{},",
-            "\"evictions\":{},\"insertions\":{},\"hit_ratio\":{},\"collision_rate\":{}}}"
+            "\"evictions\":{},\"insertions\":{},",
+            "\"optimistic_hits\":{},\"optimistic_retries\":{},",
+            "\"hit_ratio\":{},\"collision_rate\":{}}}"
         ),
         s.accesses,
         s.hits,
@@ -600,6 +602,8 @@ fn json_stats(s: &memo_runtime::TableStats) -> String {
         s.collisions,
         s.evictions,
         s.insertions,
+        s.optimistic_hits,
+        s.optimistic_retries,
         s.hit_ratio(),
         s.collision_rate(),
     )
@@ -893,6 +897,51 @@ pub fn serve_report_json(s: &crate::serve::ServeSummary) -> String {
         fault_plan,
         names.join(","),
         json_service_report(&s.baseline),
+        points.join(","),
+    )
+}
+
+/// Serialises a [`crate::contend::ContendSummary`] — the shared-store
+/// contention microbench (`metrics --contend`). Each point reports wall
+/// time, aggregate throughput, the torn-read count (must be 0), and the
+/// merged store statistics including `optimistic_hits` and
+/// `optimistic_retries` (DESIGN.md §8h).
+pub fn contend_report_json(s: &crate::contend::ContendSummary) -> String {
+    let points: Vec<String> = s
+        .points
+        .iter()
+        .map(|p| {
+            format!(
+                concat!(
+                    "{{\"threads\":{},\"wall_seconds\":{:.6},\"ops\":{},",
+                    "\"throughput_ops\":{:.1},\"hits\":{},\"misses\":{},",
+                    "\"torn\":{},\"shard_merge_ok\":{},\"stats\":{}}}"
+                ),
+                p.threads,
+                p.wall_seconds,
+                p.ops,
+                p.throughput_ops,
+                p.hits,
+                p.misses,
+                p.torn,
+                p.shard_merge_ok,
+                json_stats(&p.stats),
+            )
+        })
+        .collect();
+    format!(
+        concat!(
+            "{{\"bench\":\"contend\",\"slots\":{},\"shards\":{},\"hot_keys\":{},",
+            "\"ops_per_thread\":{},\"write_every\":{},\"cpus\":{},",
+            "\"no_torn_reads\":{},\"sweep\":[{}]}}"
+        ),
+        s.opts.slots,
+        s.opts.shards,
+        s.opts.hot_keys,
+        s.opts.ops_per_thread,
+        s.opts.write_every,
+        s.cpus,
+        s.no_torn_reads(),
         points.join(","),
     )
 }

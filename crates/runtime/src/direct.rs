@@ -5,6 +5,20 @@
 //! the previous entry in place. The table additionally counts per-slot
 //! accesses so the harness can regenerate the paper's Figures 7/8
 //! ("histogram of accessed table entries").
+//!
+//! ## Flat storage
+//!
+//! Entries live in two flat buffers instead of per-entry boxes: `meta`
+//! holds one occupancy/fingerprint-length word per slot and `data` holds
+//! the entry bodies at a fixed stride (`key ++ outputs ++ fingerprint
+//! capacity`). Nothing is allocated or freed per recording, which is what
+//! makes the optimistic shared probe ([`DirectTable::probe_shared`])
+//! sound: a racing writer can overwrite words in place but can never make
+//! a reader's pointer dangle. Once [`DirectTable::freeze_geometry`] is
+//! called the buffers never move again (resizes and record-time
+//! fingerprint growth are forbidden), so lock-free readers only ever read
+//! stable, in-bounds memory and rely on the caller's version-word
+//! protocol (see `sharded.rs`) to discard torn snapshots.
 
 use crate::hash::index_of;
 use crate::stats::TableStats;
@@ -14,21 +28,22 @@ use crate::FpValidator;
 /// words) to recorded output words.
 #[derive(Debug, Clone)]
 pub struct DirectTable {
-    entries: Vec<Option<Entry>>,
+    /// Per-slot occupancy word: `0` for an empty slot, else
+    /// `1 | (fp_len << 1)` where `fp_len` is the entry's fingerprint
+    /// length in words.
+    meta: Vec<u64>,
+    /// Entry bodies at stride `key_words + out_words + fp_cap`:
+    /// `[key][outputs][fingerprint]` per slot.
+    data: Vec<u64>,
     key_words: usize,
     out_words: usize,
+    /// Fingerprint capacity per entry (grown on demand until frozen).
+    fp_cap: usize,
+    /// Geometry pinned: `data`/`meta` may be overwritten in place but
+    /// never reallocated, so shared optimistic readers stay in-bounds.
+    frozen: bool,
     stats: TableStats,
     access_counts: Vec<u64>,
-}
-
-#[derive(Debug, Clone)]
-struct Entry {
-    key: Box<[u64]>,
-    out: Box<[u64]>,
-    /// Dependency fingerprint (empty for exact-match-only entries): pairs
-    /// of `(chunk mask, chained-epoch sum)` per dependency region, opaque
-    /// to the table. An empty boxed slice does not allocate.
-    fp: Box<[u64]>,
 }
 
 impl DirectTable {
@@ -44,9 +59,12 @@ impl DirectTable {
         assert!(slots > 0, "table must have at least one slot");
         assert!(key_words > 0, "key must have at least one word");
         DirectTable {
-            entries: vec![None; slots],
+            meta: vec![0; slots],
+            data: vec![0; slots * (key_words + out_words)],
             key_words,
             out_words,
+            fp_cap: 0,
+            frozen: false,
             stats: TableStats::default(),
             access_counts: vec![0; slots],
         }
@@ -65,14 +83,59 @@ impl DirectTable {
         (key_words + out_words) * 8 + 8
     }
 
+    fn stride(&self) -> usize {
+        self.key_words + self.out_words + self.fp_cap
+    }
+
     /// Number of slots.
     pub fn slots(&self) -> usize {
-        self.entries.len()
+        self.meta.len()
     }
 
     /// Storage footprint in bytes (the paper's Table 3 last column).
     pub fn bytes(&self) -> usize {
-        self.entries.len() * Self::entry_bytes(self.key_words, self.out_words)
+        self.meta.len() * Self::entry_bytes(self.key_words, self.out_words)
+    }
+
+    /// Pins the table's geometry: after this call the entry buffers are
+    /// only ever overwritten in place, never reallocated or resized.
+    /// Required before the table is probed through
+    /// [`DirectTable::probe_shared`] concurrently with writers; recordings
+    /// whose fingerprint exceeds the declared capacity
+    /// ([`DirectTable::reserve_fp_words`]) then panic instead of growing.
+    pub fn freeze_geometry(&mut self) {
+        self.frozen = true;
+    }
+
+    /// Whether [`DirectTable::freeze_geometry`] was called.
+    pub fn is_frozen(&self) -> bool {
+        self.frozen
+    }
+
+    /// Ensures entries can hold fingerprints of up to `words` words,
+    /// rebuilding the flat buffer if capacity grows. Build-time
+    /// configuration: call before [`DirectTable::freeze_geometry`] (or
+    /// while holding exclusive access — the buffer may reallocate).
+    pub fn reserve_fp_words(&mut self, words: usize) {
+        if words > self.fp_cap {
+            self.grow_fp_cap(words);
+        }
+    }
+
+    fn grow_fp_cap(&mut self, new_cap: usize) {
+        debug_assert!(new_cap > self.fp_cap);
+        let old_stride = self.stride();
+        let new_stride = self.key_words + self.out_words + new_cap;
+        let mut data = vec![0u64; self.meta.len() * new_stride];
+        for slot in 0..self.meta.len() {
+            if self.meta[slot] != 0 {
+                let old = slot * old_stride;
+                let new = slot * new_stride;
+                data[new..new + old_stride].copy_from_slice(&self.data[old..old + old_stride]);
+            }
+        }
+        self.data = data;
+        self.fp_cap = new_cap;
     }
 
     /// Looks `key` up; on a hit copies the recorded outputs into `out`
@@ -104,7 +167,7 @@ impl DirectTable {
         mut validate: FpValidator,
     ) -> bool {
         debug_assert_eq!(key.len(), self.key_words, "key width mismatch");
-        let idx = index_of(key, self.entries.len());
+        let idx = index_of(key, self.meta.len());
         self.stats.accesses += 1;
         self.access_counts[idx] += 1;
         if green && validate.is_none() {
@@ -113,30 +176,75 @@ impl DirectTable {
             self.stats.misses += 1;
             return false;
         }
-        match &self.entries[idx] {
-            Some(e) if *e.key == *key => {
-                if !e.fp.is_empty() {
-                    if let Some(v) = validate.as_mut() {
-                        if !v(&e.fp) {
-                            self.stats.misses += 1;
-                            self.stats.stale_reds += 1;
-                            return false;
-                        }
-                        if green {
-                            self.stats.green_hits += 1;
-                        }
+        let meta = self.meta[idx];
+        let base = idx * self.stride();
+        if meta != 0 && self.data[base..base + self.key_words] == *key {
+            let fp_len = (meta >> 1) as usize;
+            if fp_len > 0 {
+                if let Some(v) = validate.as_mut() {
+                    let fplo = base + self.key_words + self.out_words;
+                    if !v(&self.data[fplo..fplo + fp_len]) {
+                        self.stats.misses += 1;
+                        self.stats.stale_reds += 1;
+                        return false;
+                    }
+                    if green {
+                        self.stats.green_hits += 1;
                     }
                 }
-                self.stats.hits += 1;
-                out.clear();
-                out.extend_from_slice(&e.out);
-                true
             }
-            _ => {
-                self.stats.misses += 1;
-                false
+            self.stats.hits += 1;
+            let lo = base + self.key_words;
+            out.clear();
+            out.extend_from_slice(&self.data[lo..lo + self.out_words]);
+            true
+        } else {
+            self.stats.misses += 1;
+            false
+        }
+    }
+
+    /// Read-only probe for the shared optimistic path: no statistics, no
+    /// access counts, no validator. On a key match copies the outputs into
+    /// `out` and the fingerprint into `fp` (both cleared first) and returns
+    /// `true`.
+    ///
+    /// Every word is read with `read_volatile` because a writer holding
+    /// the shard lock may be overwriting the same entry concurrently; the
+    /// copies may therefore be *torn* and the caller must discard them
+    /// unless its version word is unchanged across the probe (the seqlock
+    /// protocol in `sharded.rs`). A torn `meta` word cannot read out of
+    /// bounds: the fingerprint length is clamped to the frozen capacity
+    /// and all offsets derive from frozen geometry.
+    pub fn probe_shared(&self, key: &[u64], out: &mut Vec<u64>, fp: &mut Vec<u64>) -> bool {
+        debug_assert_eq!(key.len(), self.key_words, "key width mismatch");
+        let idx = index_of(key, self.meta.len());
+        // SAFETY: `idx < meta.len()` and all offsets below stay within
+        // `data` (stride × slots), whose length is pinned while frozen.
+        unsafe {
+            let meta = std::ptr::read_volatile(self.meta.as_ptr().add(idx));
+            if meta == 0 {
+                return false;
+            }
+            let base = self.data.as_ptr().add(idx * self.stride());
+            for (w, &kw) in key.iter().enumerate() {
+                if std::ptr::read_volatile(base.add(w)) != kw {
+                    return false;
+                }
+            }
+            out.clear();
+            for w in 0..self.out_words {
+                out.push(std::ptr::read_volatile(base.add(self.key_words + w)));
+            }
+            let fp_len = ((meta >> 1) as usize).min(self.fp_cap);
+            fp.clear();
+            for w in 0..fp_len {
+                fp.push(std::ptr::read_volatile(
+                    base.add(self.key_words + self.out_words + w),
+                ));
             }
         }
+        true
     }
 
     /// Records `outputs` for `key`, replacing whatever occupied the slot.
@@ -151,22 +259,37 @@ impl DirectTable {
 
     /// Records `outputs` for `key` together with a dependency fingerprint
     /// (pass `&[]` for exact-match-only entries).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the fingerprint exceeds the declared capacity of a frozen
+    /// table (declare widths via [`DirectTable::reserve_fp_words`] before
+    /// freezing — growing would move the buffer under optimistic readers).
     pub fn record_dep(&mut self, key: &[u64], outputs: &[u64], fp: &[u64]) {
         debug_assert_eq!(key.len(), self.key_words, "key width mismatch");
         debug_assert_eq!(outputs.len(), self.out_words, "output width mismatch");
-        let idx = index_of(key, self.entries.len());
-        self.stats.insertions += 1;
-        if let Some(prev) = &self.entries[idx] {
-            if *prev.key != *key {
-                self.stats.collisions += 1;
-                self.stats.evictions += 1;
-            }
+        if fp.len() > self.fp_cap {
+            assert!(
+                !self.frozen,
+                "fingerprint of {} words exceeds the frozen capacity of {}",
+                fp.len(),
+                self.fp_cap
+            );
+            self.grow_fp_cap(fp.len());
         }
-        self.entries[idx] = Some(Entry {
-            key: key.into(),
-            out: outputs.into(),
-            fp: fp.into(),
-        });
+        let idx = index_of(key, self.meta.len());
+        self.stats.insertions += 1;
+        let base = idx * self.stride();
+        if self.meta[idx] != 0 && self.data[base..base + self.key_words] != *key {
+            self.stats.collisions += 1;
+            self.stats.evictions += 1;
+        }
+        self.data[base..base + self.key_words].copy_from_slice(key);
+        let lo = base + self.key_words;
+        self.data[lo..lo + self.out_words].copy_from_slice(outputs);
+        let fplo = lo + self.out_words;
+        self.data[fplo..fplo + fp.len()].copy_from_slice(fp);
+        self.meta[idx] = 1 | ((fp.len() as u64) << 1);
     }
 
     /// Access statistics so far.
@@ -181,14 +304,15 @@ impl DirectTable {
 
     /// Number of occupied slots.
     pub fn occupancy(&self) -> usize {
-        self.entries.iter().filter(|e| e.is_some()).count()
+        self.meta.iter().filter(|&&m| m != 0).count()
     }
 
     /// Drops every stored entry and zeroes the per-slot access histogram,
     /// keeping geometry and whole-run statistics. Forgetting is always
-    /// sound for a memo table; used by shard poison recovery.
+    /// sound for a memo table; used by shard poison recovery. Works on
+    /// frozen tables: the buffers are overwritten in place, not moved.
     pub fn clear(&mut self) {
-        self.entries.fill_with(|| None);
+        self.meta.fill(0);
         self.access_counts.fill(0);
     }
 
@@ -199,13 +323,23 @@ impl DirectTable {
     ///
     /// # Panics
     ///
-    /// Panics if `new_slots` is zero.
+    /// Panics if `new_slots` is zero or the geometry is frozen.
     pub fn resize(&mut self, new_slots: usize) {
         assert!(new_slots > 0, "table must have at least one slot");
-        let old = std::mem::replace(&mut self.entries, vec![None; new_slots]);
-        for e in old.into_iter().flatten() {
-            let idx = index_of(&e.key, new_slots);
-            self.entries[idx] = Some(e);
+        assert!(!self.frozen, "cannot resize a frozen table");
+        let stride = self.stride();
+        let old_meta = std::mem::replace(&mut self.meta, vec![0; new_slots]);
+        let old_data = std::mem::replace(&mut self.data, vec![0; new_slots * stride]);
+        for (slot, &meta) in old_meta.iter().enumerate() {
+            if meta == 0 {
+                continue;
+            }
+            let old = slot * stride;
+            let key = &old_data[old..old + self.key_words];
+            let idx = index_of(key, new_slots);
+            let new = idx * stride;
+            self.data[new..new + stride].copy_from_slice(&old_data[old..old + stride]);
+            self.meta[idx] = meta;
         }
         self.access_counts = vec![0; new_slots];
     }
@@ -304,5 +438,83 @@ mod tests {
         let mut t = DirectTable::new(4, 2, 1);
         let mut out = Vec::new();
         t.lookup(&[1], &mut out);
+    }
+
+    #[test]
+    fn fingerprints_survive_capacity_growth() {
+        let mut t = DirectTable::new(16, 1, 1);
+        t.record_dep(&[1], &[10], &[0xAA]);
+        // A wider fingerprint on another key grows capacity; key 1's entry
+        // (including its shorter fingerprint) must survive the rebuild.
+        t.record_dep(&[2], &[20], &[0xBB, 0xCC, 0xDD]);
+        let mut out = Vec::new();
+        let mut seen = Vec::new();
+        let mut grab = |fp: &[u64]| {
+            seen = fp.to_vec();
+            true
+        };
+        assert!(t.lookup_dep(&[1], &mut out, false, Some(&mut grab)));
+        assert_eq!(out, vec![10]);
+        assert_eq!(seen, vec![0xAA]);
+        let mut grab2 = |fp: &[u64]| {
+            seen = fp.to_vec();
+            true
+        };
+        assert!(t.lookup_dep(&[2], &mut out, false, Some(&mut grab2)));
+        assert_eq!(seen, vec![0xBB, 0xCC, 0xDD]);
+    }
+
+    #[test]
+    fn probe_shared_matches_locked_lookup() {
+        let mut t = DirectTable::new(16, 2, 2);
+        t.reserve_fp_words(2);
+        t.freeze_geometry();
+        t.record_dep(&[1, 2], &[10, 20], &[7, 8]);
+        t.record(&[3, 4], &[30, 40]);
+        let mut out = Vec::new();
+        let mut fp = Vec::new();
+        assert!(t.probe_shared(&[1, 2], &mut out, &mut fp));
+        assert_eq!(out, vec![10, 20]);
+        assert_eq!(fp, vec![7, 8]);
+        assert!(t.probe_shared(&[3, 4], &mut out, &mut fp));
+        assert_eq!(out, vec![30, 40]);
+        assert!(fp.is_empty(), "exact-match entry has no fingerprint");
+        assert!(!t.probe_shared(&[9, 9], &mut out, &mut fp));
+        assert_eq!(t.stats().accesses, 0, "shared probes leave stats alone");
+        assert!(t.access_counts().iter().all(|&c| c == 0));
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds the frozen capacity")]
+    fn frozen_table_rejects_undeclared_fingerprint_growth() {
+        let mut t = DirectTable::new(8, 1, 1);
+        t.reserve_fp_words(1);
+        t.freeze_geometry();
+        t.record_dep(&[1], &[1], &[1, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot resize a frozen table")]
+    fn frozen_table_rejects_resize() {
+        let mut t = DirectTable::new(8, 1, 1);
+        t.freeze_geometry();
+        t.resize(16);
+    }
+
+    #[test]
+    fn resize_rehashes_flat_entries() {
+        let mut t = DirectTable::new(4, 1, 1);
+        t.record_dep(&[9], &[90], &[5]);
+        t.resize(32);
+        let mut out = Vec::new();
+        let mut seen = Vec::new();
+        let mut grab = |fp: &[u64]| {
+            seen = fp.to_vec();
+            true
+        };
+        assert!(t.lookup_dep(&[9], &mut out, false, Some(&mut grab)));
+        assert_eq!(out, vec![90]);
+        assert_eq!(seen, vec![5]);
+        assert_eq!(t.occupancy(), 1);
     }
 }

@@ -6,6 +6,17 @@
 //! group per segment. GNU Go's eight `accumulate_influence` segments are
 //! the paper's motivating case — unmerged tables ran the iPAQ out of
 //! memory.
+//!
+//! ## Flat storage
+//!
+//! Like [`crate::DirectTable`], entries live in flat buffers: `valid`
+//! holds one validity bit vector per slot (`0` ⇔ empty) and `data` holds
+//! the bodies at a fixed stride (`key ++ all output groups ++ all
+//! fingerprint groups`). No allocation happens per recording, so the
+//! optimistic shared probe ([`MergedTable::probe_shared`]) can read
+//! entries without the shard lock: writers overwrite words in place but
+//! never move the buffers once [`MergedTable::freeze_geometry`] pins the
+//! layout, and the caller's version word discards torn snapshots.
 
 use crate::hash::index_of;
 use crate::stats::TableStats;
@@ -15,7 +26,12 @@ use crate::FpValidator;
 /// inputs.
 #[derive(Debug, Clone)]
 pub struct MergedTable {
-    entries: Vec<Option<MergedEntry>>,
+    /// Per-slot validity bit vector: bit `s` set ⇔ slot `s`'s outputs are
+    /// valid for the stored key; `0` ⇔ the slot is empty.
+    valid: Vec<u64>,
+    /// Entry bodies at stride `key_words + total_out_words +
+    /// total_fp_words`: `[key][output groups][fingerprint groups]`.
+    data: Vec<u64>,
     key_words: usize,
     /// Output width per segment slot.
     out_words: Vec<usize>,
@@ -27,21 +43,12 @@ pub struct MergedTable {
     fp_words: Vec<usize>,
     fp_offsets: Vec<usize>,
     total_fp_words: usize,
+    /// Geometry pinned: buffers are overwritten in place, never moved.
+    frozen: bool,
     /// Aggregate counters plus per-slot counters.
     stats: TableStats,
     slot_stats: Vec<TableStats>,
     access_counts: Vec<u64>,
-}
-
-#[derive(Debug, Clone)]
-struct MergedEntry {
-    key: Box<[u64]>,
-    /// Bit `s` set ⇔ slot `s`'s outputs are valid for this key.
-    valid: u64,
-    out: Box<[u64]>,
-    /// Concatenated per-slot dependency fingerprints (empty when no slot
-    /// has one; an empty boxed slice does not allocate).
-    fp: Box<[u64]>,
 }
 
 impl MergedTable {
@@ -66,7 +73,8 @@ impl MergedTable {
             total += w;
         }
         MergedTable {
-            entries: vec![None; slots],
+            valid: vec![0; slots],
+            data: vec![0; slots * (key_words + total)],
             key_words,
             out_words: out_words.to_vec(),
             out_offsets,
@@ -74,15 +82,22 @@ impl MergedTable {
             fp_words: vec![0; out_words.len()],
             fp_offsets: vec![0; out_words.len()],
             total_fp_words: 0,
+            frozen: false,
             stats: TableStats::default(),
             slot_stats: vec![TableStats::default(); out_words.len()],
             access_counts: vec![0; slots],
         }
     }
 
+    fn stride(&self) -> usize {
+        self.key_words + self.total_out_words + self.total_fp_words
+    }
+
     /// Declares that segment `slot` records a dependency fingerprint of
     /// `words` words. Build-time configuration: existing entries are
-    /// dropped because the per-entry fingerprint layout changes.
+    /// dropped because the per-entry fingerprint layout changes, and the
+    /// flat buffer is rebuilt (requires exclusive access — never call
+    /// while optimistic readers may be probing).
     ///
     /// # Panics
     ///
@@ -96,7 +111,8 @@ impl MergedTable {
             total += w;
         }
         self.total_fp_words = total;
-        self.entries.fill_with(|| None);
+        self.valid.fill(0);
+        self.data = vec![0; self.valid.len() * self.stride()];
     }
 
     /// Creates the largest merged table fitting in `bytes`.
@@ -118,12 +134,12 @@ impl MergedTable {
 
     /// Number of slots.
     pub fn slots(&self) -> usize {
-        self.entries.len()
+        self.valid.len()
     }
 
     /// Storage footprint in bytes.
     pub fn bytes(&self) -> usize {
-        self.entries.len() * Self::entry_bytes(self.key_words, &self.out_words)
+        self.valid.len() * Self::entry_bytes(self.key_words, &self.out_words)
     }
 
     /// Storage the same segments would need with *separate* tables of the
@@ -131,8 +147,19 @@ impl MergedTable {
     pub fn unmerged_bytes(&self) -> usize {
         self.out_words
             .iter()
-            .map(|&w| self.entries.len() * ((self.key_words + w) * 8 + 8))
+            .map(|&w| self.valid.len() * ((self.key_words + w) * 8 + 8))
             .sum()
+    }
+
+    /// Pins the table's geometry for lock-free shared probing; see
+    /// [`crate::DirectTable::freeze_geometry`].
+    pub fn freeze_geometry(&mut self) {
+        self.frozen = true;
+    }
+
+    /// Whether [`MergedTable::freeze_geometry`] was called.
+    pub fn is_frozen(&self) -> bool {
+        self.frozen
     }
 
     /// Looks `key` up for segment `slot`; on a hit (key matches *and* the
@@ -159,7 +186,7 @@ impl MergedTable {
     ) -> bool {
         debug_assert_eq!(key.len(), self.key_words, "key width mismatch");
         assert!(slot < self.out_words.len(), "slot out of range");
-        let idx = index_of(key, self.entries.len());
+        let idx = index_of(key, self.valid.len());
         self.stats.accesses += 1;
         self.slot_stats[slot].accesses += 1;
         self.access_counts[idx] += 1;
@@ -168,39 +195,84 @@ impl MergedTable {
             self.slot_stats[slot].misses += 1;
             return false;
         }
-        match &self.entries[idx] {
-            Some(e) if *e.key == *key && e.valid >> slot & 1 == 1 => {
-                let fplo = self.fp_offsets[slot];
-                let fphi = fplo + self.fp_words[slot];
-                if fphi > fplo {
-                    if let Some(v) = validate.as_mut() {
-                        if !v(&e.fp[fplo..fphi]) {
-                            self.stats.misses += 1;
-                            self.stats.stale_reds += 1;
-                            self.slot_stats[slot].misses += 1;
-                            self.slot_stats[slot].stale_reds += 1;
-                            return false;
-                        }
-                        if green {
-                            self.stats.green_hits += 1;
-                            self.slot_stats[slot].green_hits += 1;
-                        }
+        let base = idx * self.stride();
+        if self.valid[idx] >> slot & 1 == 1 && self.data[base..base + self.key_words] == *key {
+            let fplo = base + self.key_words + self.total_out_words + self.fp_offsets[slot];
+            let fphi = fplo + self.fp_words[slot];
+            if fphi > fplo {
+                if let Some(v) = validate.as_mut() {
+                    if !v(&self.data[fplo..fphi]) {
+                        self.stats.misses += 1;
+                        self.stats.stale_reds += 1;
+                        self.slot_stats[slot].misses += 1;
+                        self.slot_stats[slot].stale_reds += 1;
+                        return false;
+                    }
+                    if green {
+                        self.stats.green_hits += 1;
+                        self.slot_stats[slot].green_hits += 1;
                     }
                 }
-                self.stats.hits += 1;
-                self.slot_stats[slot].hits += 1;
-                let lo = self.out_offsets[slot];
-                let hi = lo + self.out_words[slot];
-                out.clear();
-                out.extend_from_slice(&e.out[lo..hi]);
-                true
             }
-            _ => {
-                self.stats.misses += 1;
-                self.slot_stats[slot].misses += 1;
-                false
+            self.stats.hits += 1;
+            self.slot_stats[slot].hits += 1;
+            let lo = base + self.key_words + self.out_offsets[slot];
+            let hi = lo + self.out_words[slot];
+            out.clear();
+            out.extend_from_slice(&self.data[lo..hi]);
+            true
+        } else {
+            self.stats.misses += 1;
+            self.slot_stats[slot].misses += 1;
+            false
+        }
+    }
+
+    /// Read-only probe for the shared optimistic path: no statistics, no
+    /// access counts, no validator. On a match (key equal *and* segment
+    /// `slot`'s valid bit set) copies the slot's outputs into `out` and its
+    /// fingerprint group into `fp` (both cleared first) and returns `true`.
+    ///
+    /// Words are read with `read_volatile`; the snapshot may be torn and
+    /// must be discarded by the caller unless its version word is
+    /// unchanged across the probe (the seqlock protocol in `sharded.rs`).
+    /// All offsets derive from frozen geometry, so even a torn read stays
+    /// in-bounds.
+    pub fn probe_shared(
+        &self,
+        slot: usize,
+        key: &[u64],
+        out: &mut Vec<u64>,
+        fp: &mut Vec<u64>,
+    ) -> bool {
+        debug_assert_eq!(key.len(), self.key_words, "key width mismatch");
+        assert!(slot < self.out_words.len(), "slot out of range");
+        let idx = index_of(key, self.valid.len());
+        // SAFETY: `idx < valid.len()` and every offset below stays within
+        // `data` (stride × slots), whose length is pinned while frozen.
+        unsafe {
+            let valid = std::ptr::read_volatile(self.valid.as_ptr().add(idx));
+            if valid >> slot & 1 == 0 {
+                return false;
+            }
+            let base = self.data.as_ptr().add(idx * self.stride());
+            for (w, &kw) in key.iter().enumerate() {
+                if std::ptr::read_volatile(base.add(w)) != kw {
+                    return false;
+                }
+            }
+            let lo = self.key_words + self.out_offsets[slot];
+            out.clear();
+            for w in 0..self.out_words[slot] {
+                out.push(std::ptr::read_volatile(base.add(lo + w)));
+            }
+            let fplo = self.key_words + self.total_out_words + self.fp_offsets[slot];
+            fp.clear();
+            for w in 0..self.fp_words[slot] {
+                fp.push(std::ptr::read_volatile(base.add(fplo + w)));
             }
         }
+        true
     }
 
     /// Records `outputs` for segment `slot` under `key`.
@@ -230,36 +302,30 @@ impl MergedTable {
         assert!(slot < self.out_words.len(), "slot out of range");
         debug_assert_eq!(outputs.len(), self.out_words[slot], "output width mismatch");
         debug_assert_eq!(fp.len(), self.fp_words[slot], "fingerprint width mismatch");
-        let idx = index_of(key, self.entries.len());
+        let idx = index_of(key, self.valid.len());
         self.stats.insertions += 1;
         self.slot_stats[slot].insertions += 1;
-        let lo = self.out_offsets[slot];
-        let fplo = self.fp_offsets[slot];
-        match &mut self.entries[idx] {
-            Some(e) if *e.key == *key => {
-                e.out[lo..lo + outputs.len()].copy_from_slice(outputs);
-                e.fp[fplo..fplo + fp.len()].copy_from_slice(fp);
-                e.valid |= 1 << slot;
+        let stride = self.stride();
+        let base = idx * stride;
+        let same_key = self.valid[idx] != 0 && self.data[base..base + self.key_words] == *key;
+        if !same_key {
+            if self.valid[idx] != 0 {
+                self.stats.collisions += 1;
+                self.stats.evictions += 1;
+                self.slot_stats[slot].collisions += 1;
+                self.slot_stats[slot].evictions += 1;
             }
-            other => {
-                if other.is_some() {
-                    self.stats.collisions += 1;
-                    self.stats.evictions += 1;
-                    self.slot_stats[slot].collisions += 1;
-                    self.slot_stats[slot].evictions += 1;
-                }
-                let mut out = vec![0u64; self.total_out_words].into_boxed_slice();
-                out[lo..lo + outputs.len()].copy_from_slice(outputs);
-                let mut fpbuf = vec![0u64; self.total_fp_words].into_boxed_slice();
-                fpbuf[fplo..fplo + fp.len()].copy_from_slice(fp);
-                *other = Some(MergedEntry {
-                    key: key.into(),
-                    valid: 1 << slot,
-                    out,
-                    fp: fpbuf,
-                });
-            }
+            // Fresh entry: zero every group so other slots read as zeroed
+            // (they are invalid anyway), then install the key.
+            self.data[base + self.key_words..base + stride].fill(0);
+            self.data[base..base + self.key_words].copy_from_slice(key);
+            self.valid[idx] = 0;
         }
+        let lo = base + self.key_words + self.out_offsets[slot];
+        self.data[lo..lo + outputs.len()].copy_from_slice(outputs);
+        let fplo = base + self.key_words + self.total_out_words + self.fp_offsets[slot];
+        self.data[fplo..fplo + fp.len()].copy_from_slice(fp);
+        self.valid[idx] |= 1 << slot;
     }
 
     /// Aggregate statistics across all slots.
@@ -268,6 +334,10 @@ impl MergedTable {
     }
 
     /// Statistics for one segment slot.
+    ///
+    /// Shared optimistic probes (resolved without the shard lock) are
+    /// folded into the *aggregate* shard counters only; per-slot counters
+    /// see just the locked traffic.
     pub fn slot_stats(&self, slot: usize) -> &TableStats {
         &self.slot_stats[slot]
     }
@@ -280,9 +350,9 @@ impl MergedTable {
     /// Drops every stored entry and zeroes the per-slot access histogram,
     /// keeping geometry and whole-run statistics (aggregate and per-slot).
     /// Forgetting is always sound for a memo table; used by shard poison
-    /// recovery.
+    /// recovery. Works on frozen tables: buffers are overwritten in place.
     pub fn clear(&mut self) {
-        self.entries.fill_with(|| None);
+        self.valid.fill(0);
         self.access_counts.fill(0);
     }
 
@@ -292,13 +362,23 @@ impl MergedTable {
     ///
     /// # Panics
     ///
-    /// Panics if `new_slots` is zero.
+    /// Panics if `new_slots` is zero or the geometry is frozen.
     pub fn resize(&mut self, new_slots: usize) {
         assert!(new_slots > 0, "table must have at least one slot");
-        let old = std::mem::replace(&mut self.entries, vec![None; new_slots]);
-        for e in old.into_iter().flatten() {
-            let idx = index_of(&e.key, new_slots);
-            self.entries[idx] = Some(e);
+        assert!(!self.frozen, "cannot resize a frozen table");
+        let stride = self.stride();
+        let old_valid = std::mem::replace(&mut self.valid, vec![0; new_slots]);
+        let old_data = std::mem::replace(&mut self.data, vec![0; new_slots * stride]);
+        for (slot, &valid) in old_valid.iter().enumerate() {
+            if valid == 0 {
+                continue;
+            }
+            let old = slot * stride;
+            let key = &old_data[old..old + self.key_words];
+            let idx = index_of(key, new_slots);
+            let new = idx * stride;
+            self.data[new..new + stride].copy_from_slice(&old_data[old..old + stride]);
+            self.valid[idx] = valid;
         }
         self.access_counts = vec![0; new_slots];
     }
@@ -380,6 +460,45 @@ mod tests {
         assert_eq!(t.slot_stats(1).hits, 0);
         assert_eq!(t.slot_stats(1).misses, 1);
         assert_eq!(t.stats().accesses, 2);
+    }
+
+    #[test]
+    fn probe_shared_matches_locked_lookup() {
+        let mut t = MergedTable::new(16, 1, &[2, 1]);
+        t.set_fp_words(1, 2);
+        t.freeze_geometry();
+        t.record(0, &[5], &[50, 51]);
+        t.record_dep(1, &[5], &[52], &[9, 10]);
+        let mut out = Vec::new();
+        let mut fp = Vec::new();
+        assert!(t.probe_shared(0, &[5], &mut out, &mut fp));
+        assert_eq!(out, vec![50, 51]);
+        assert!(fp.is_empty());
+        assert!(t.probe_shared(1, &[5], &mut out, &mut fp));
+        assert_eq!(out, vec![52]);
+        assert_eq!(fp, vec![9, 10]);
+        assert!(!t.probe_shared(0, &[6], &mut out, &mut fp));
+        assert_eq!(t.stats().accesses, 0, "shared probes leave stats alone");
+    }
+
+    #[test]
+    fn resize_rehashes_flat_entries() {
+        let mut t = MergedTable::new(2, 1, &[1, 2]);
+        t.set_fp_words(0, 1);
+        t.record_dep(0, &[3], &[30], &[7]);
+        t.record(1, &[3], &[31, 32]);
+        t.resize(16);
+        let mut out = Vec::new();
+        let mut seen = Vec::new();
+        let mut grab = |fp: &[u64]| {
+            seen = fp.to_vec();
+            true
+        };
+        assert!(t.lookup_dep(0, &[3], &mut out, false, Some(&mut grab)));
+        assert_eq!(out, vec![30]);
+        assert_eq!(seen, vec![7]);
+        assert!(t.lookup(1, &[3], &mut out));
+        assert_eq!(out, vec![31, 32]);
     }
 
     #[test]

@@ -1,12 +1,31 @@
 //! A sharded, shareable wrapper over [`MemoTable`] for concurrent probing.
 //!
 //! A [`MemoTable`] is `&mut`-owned by one VM and dies with the run. A
-//! [`ShardedTable`] wraps the same storage kinds in N power-of-two lock
-//! shards (std [`Mutex`] only — the workspace builds offline) so many
-//! worker threads can probe one long-lived reuse store through `&self`.
-//! Each shard is a complete `MemoTable` — storage, telemetry, and its own
+//! [`ShardedTable`] wraps the same storage kinds in N power-of-two shards
+//! (std primitives only — the workspace builds offline) so many worker
+//! threads can probe one long-lived reuse store through `&self`. Each
+//! shard is a complete `MemoTable` — storage, telemetry, and its own
 //! [`AdaptiveGuard`](crate::AdaptiveGuard) — so the adaptive machinery is
 //! evaluated per shard with no extra code.
+//!
+//! ## Optimistic lock-free probes (DESIGN.md §8h)
+//!
+//! Lookups are answered *without the shard lock* on the common path. Each
+//! shard carries a seqlock-style **version word**: writers (record, evict,
+//! clear, poison recovery) take the shard `Mutex`, store an odd version,
+//! mutate the flat entry buffers in place, and store the next even
+//! version. A reader snapshots the version (odd ⇒ a writer is mid-update:
+//! retry/fall back), probes the frozen-geometry storage with volatile
+//! reads, and re-reads the version — a change means the copy may be torn
+//! and is discarded. Dependency-validating probes re-check the version a
+//! *second* time after the fingerprint validator runs, so a torn entry can
+//! never be promoted green. A probe falls back to the locked path when the
+//! shard is bypassed, its lock is poisoned, its version stays unstable
+//! across the bounded retry budget, or the storage kind has no lock-free
+//! path. Shard geometry is frozen at build time
+//! ([`MemoTable::freeze_geometry`]), so the buffers optimistic readers
+//! walk are never reallocated: torn *words* are possible and handled, torn
+//! *pointers* are not.
 //!
 //! ## Sharding scheme
 //!
@@ -21,11 +40,18 @@
 //!
 //! ## What merging preserves
 //!
-//! Every counter increment happens under exactly one shard lock, so the
-//! aggregate [`ShardedTable::stats`] is a lossless sum of the per-shard
+//! Every counter increment happens exactly once — under the shard lock for
+//! locked traffic, in the shard's atomic side counters for optimistically
+//! resolved probes — and [`ShardedTable::shard_stats`] folds the side
+//! counters into each shard's snapshot. The aggregate
+//! [`ShardedTable::stats`] is therefore still a lossless sum of per-shard
 //! deltas: no access is lost or double-counted under contention (asserted
-//! by `tests/sharded_prop.rs`). The aggregate taken while writers are
-//! still running is a momentary snapshot; quiesce first for exact totals.
+//! by `tests/sharded_prop.rs` and `tests/contention_stress.rs`). Two
+//! documented divergences from the locked path: optimistic probes do not
+//! feed per-entry access counts, and their telemetry contribution is
+//! drained into the shard's windows (attributed to segment 0) only when
+//! the lock is next taken. The aggregate taken while writers are still
+//! running is a momentary snapshot; quiesce first for exact totals.
 //!
 //! ## Poisoning and fault injection
 //!
@@ -33,14 +59,18 @@
 //! recovered on the next acquisition: the poison flag is cleared and the
 //! shard's *entries dropped* — its storage may have been mid-update, and
 //! forgetting is always sound for a cache, so the shard restarts empty but
-//! valid while every other shard keeps serving untouched. Recoveries are
-//! counted ([`ShardedTable::poison_recoveries`]). For chaos testing, an
-//! installed [`FaultPlan`] can force probe misses
-//! ([`FailPoint::ProbeMiss`]) and [`ShardedTable::poison_shard`] poisons a
-//! shard's lock for real via a deliberate panic.
+//! valid while every other shard keeps serving untouched. The drop runs
+//! inside a version-word write window, and optimistic probes check the
+//! poison flag before trusting a snapshot, so a poisoned shard is always
+//! recovered before its next probe is answered. Recoveries are counted
+//! ([`ShardedTable::poison_recoveries`]). For chaos testing, an installed
+//! [`FaultPlan`] can force probe misses ([`FailPoint::ProbeMiss`]) and
+//! [`ShardedTable::poison_shard`] poisons a shard's lock for real via a
+//! deliberate panic.
 
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
+use std::cell::{Cell, UnsafeCell};
+use std::sync::atomic::{fence, AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard};
 
 use crate::faults::{FailPoint, FaultPlan, INJECTED_POISON_PANIC};
 use crate::guard::{GuardPolicy, TableState};
@@ -48,11 +78,113 @@ use crate::hash::hash_words;
 use crate::stats::TableStats;
 use crate::{FpValidator, MemoTable, SpecError, TableSpec};
 
+/// Optimistic probe attempts before giving up and taking the shard lock.
+const OPTIMISTIC_ATTEMPTS: usize = 3;
+
+thread_local! {
+    /// Reusable `(outputs, fingerprint)` snapshot buffers for optimistic
+    /// probes. Taken out and restored (rather than borrowed) so a
+    /// validator that re-enters the store cannot hit a nested borrow.
+    static PROBE_SCRATCH: Cell<(Vec<u64>, Vec<u64>)> =
+        const { Cell::new((Vec::new(), Vec::new())) };
+}
+
+/// Counters for probes resolved on the lock-free path, maintained beside
+/// the locked [`MemoTable`]'s own statistics and folded into the shard's
+/// [`TableStats`] snapshot by [`ShardedTable::shard_stats`]. A probe is
+/// counted exactly once, at its final resolution: optimistically here, or
+/// in the table's counters after falling back to the lock.
+#[derive(Debug, Default)]
+struct OptCounters {
+    accesses: AtomicU64,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    green_hits: AtomicU64,
+    stale_reds: AtomicU64,
+    optimistic_hits: AtomicU64,
+    optimistic_retries: AtomicU64,
+}
+
+impl OptCounters {
+    fn snapshot(&self) -> TableStats {
+        TableStats {
+            accesses: self.accesses.load(Ordering::Relaxed),
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            green_hits: self.green_hits.load(Ordering::Relaxed),
+            stale_reds: self.stale_reds.load(Ordering::Relaxed),
+            optimistic_hits: self.optimistic_hits.load(Ordering::Relaxed),
+            optimistic_retries: self.optimistic_retries.load(Ordering::Relaxed),
+            ..TableStats::default()
+        }
+    }
+}
+
+/// One lock shard: the table, its seqlock version word, and side state
+/// readable without the lock.
+#[derive(Debug)]
+struct Shard {
+    /// Seqlock version word: even ⇔ entry storage is stable, odd ⇔ a
+    /// writer is mutating it. Bumped only by operations that change entry
+    /// storage (record, clear/poison recovery) — locked lookups touch only
+    /// statistics and telemetry, which optimistic readers never read.
+    version: AtomicU64,
+    /// Lock-free mirror of the shard guard's bypassed state, resynced
+    /// after every locked operation. A momentarily stale mirror is sound:
+    /// bypass never changes outputs, only whether the probe consults
+    /// storage.
+    bypassed: AtomicBool,
+    /// The table. Mutated only while holding `lock`; read without it by
+    /// optimistic probes under the version-word protocol.
+    table: UnsafeCell<MemoTable>,
+    /// Writer lock. The payload remembers how much of `opt` has already
+    /// been drained into the table's telemetry (see `absorb_shared_delta`).
+    lock: Mutex<TableStats>,
+    opt: OptCounters,
+}
+
+// SAFETY: all mutation of `table` happens with the shard `lock` held; the
+// only unsynchronised access is the read-only optimistic probe, which
+// copies words volatilely and discards the copy unless `version` proves no
+// writer overlapped it (seqlock protocol). `MemoTable` owns its storage
+// (no interior references), so it is `Send`.
+unsafe impl Send for Shard {}
+unsafe impl Sync for Shard {}
+
+impl Shard {
+    fn new(table: MemoTable) -> Self {
+        Shard {
+            version: AtomicU64::new(0),
+            bypassed: AtomicBool::new(false),
+            table: UnsafeCell::new(table),
+            lock: Mutex::new(TableStats::default()),
+            opt: OptCounters::default(),
+        }
+    }
+
+    /// Marks the version word odd before entry storage is mutated. If a
+    /// previous writer panicked mid-update the word is already odd and
+    /// stays odd. Callers must hold the shard lock.
+    fn begin_entry_write(&self) -> u64 {
+        let odd = self.version.load(Ordering::Relaxed) | 1;
+        self.version.store(odd, Ordering::Relaxed);
+        // The odd store must become visible before any storage mutation.
+        fence(Ordering::Release);
+        odd
+    }
+
+    /// Publishes the mutation: the next even version. Readers that saw
+    /// neither the odd word nor the bump observed a stable snapshot.
+    fn end_entry_write(&self, odd: u64) {
+        self.version.store(odd.wrapping_add(1), Ordering::Release);
+    }
+}
+
 /// The three table kinds wrapped in N power-of-two lock shards, probed
 /// through `&self` so one store can outlive and be shared by many runs.
 #[derive(Debug)]
 pub struct ShardedTable {
-    shards: Vec<Mutex<MemoTable>>,
+    shards: Vec<Shard>,
     /// `shards.len() - 1`; the length is a power of two.
     mask: u32,
     /// Times a poisoned shard was recovered (cleared and restarted empty).
@@ -64,9 +196,13 @@ pub struct ShardedTable {
 impl ShardedTable {
     /// Builds a sharded store from `spec`, rounding `shards` up to the
     /// next power of two (minimum 1). The spec's slot budget is divided
-    /// across the shards (at least one slot each); multi-segment specs
-    /// get merged shards, single-segment specs direct-addressed ones,
-    /// mirroring the pipeline's kind choice.
+    /// across the shards with *ceiling* division, so the aggregate shard
+    /// capacity is never below `spec.slots` (a 100-slot spec over 8 shards
+    /// serves 104 slots, not 96). Multi-segment specs get merged shards,
+    /// single-segment specs direct-addressed ones, mirroring the
+    /// pipeline's kind choice. Every shard's geometry is frozen so the
+    /// optimistic probe path stays sound; declare fingerprint widths via
+    /// [`ShardedTable::set_deps`] before the store sees traffic.
     ///
     /// # Errors
     ///
@@ -75,18 +211,19 @@ impl ShardedTable {
         spec.validate()?;
         let n = shards.max(1).next_power_of_two();
         let per_shard = TableSpec {
-            slots: (spec.slots / n).max(1),
+            slots: spec.slots.div_ceil(n),
             key_words: spec.key_words,
             out_words: spec.out_words.clone(),
         };
         let mut built = Vec::with_capacity(n);
         for _ in 0..n {
-            let table = if per_shard.out_words.len() > 1 {
+            let mut table = if per_shard.out_words.len() > 1 {
                 MemoTable::try_merged(&per_shard)?
             } else {
                 MemoTable::try_direct(&per_shard)?
             };
-            built.push(Mutex::new(table));
+            table.freeze_geometry();
+            built.push(Shard::new(table));
         }
         Ok(ShardedTable {
             shards: built,
@@ -110,10 +247,9 @@ impl ShardedTable {
     /// build time, before the store is shared.
     pub fn set_policy(&mut self, policy: GuardPolicy) {
         for shard in &mut self.shards {
-            shard
-                .get_mut()
-                .unwrap_or_else(PoisonError::into_inner)
-                .set_policy(policy.clone());
+            let table = shard.table.get_mut();
+            table.set_policy(policy.clone());
+            *shard.bypassed.get_mut() = table.state() == TableState::Bypassed;
         }
     }
 
@@ -132,77 +268,203 @@ impl ShardedTable {
         self.shard_index(key)
     }
 
-    fn lock(&self, i: usize) -> MutexGuard<'_, MemoTable> {
-        self.shards[i].lock().unwrap_or_else(|poisoned| {
+    fn acquire(&self, i: usize) -> MutexGuard<'_, TableStats> {
+        let shard = &self.shards[i];
+        shard.lock.lock().unwrap_or_else(|poisoned| {
             // Another worker panicked while holding this shard: its storage
             // may be mid-update, so drop the entries (forgetting is always
             // sound for a cache) and clear the flag so later acquisitions
             // see a healthy, empty shard instead of re-recovering forever.
-            self.shards[i].clear_poison();
+            // The drop runs inside a version write window so an optimistic
+            // reader racing the recovery discards its snapshot.
+            shard.lock.clear_poison();
             self.poison_recoveries.fetch_add(1, Ordering::Relaxed);
-            let mut guard = poisoned.into_inner();
-            guard.clear();
+            let guard = poisoned.into_inner();
+            // SAFETY: we hold the (just-recovered) shard lock.
+            let table = unsafe { &mut *shard.table.get() };
+            let odd = shard.begin_entry_write();
+            table.clear();
+            shard.end_entry_write(odd);
             guard
         })
+    }
+
+    /// Runs `f` on shard `i`'s table under its lock. `entry_write` wraps
+    /// the call in a version write window — required for any operation
+    /// that mutates entry storage, forbidden to omit. Optimistic counters
+    /// accumulated since the last locked operation are drained into the
+    /// table's telemetry first (keeping guard epochs rolling), and the
+    /// lock-free bypassed mirror is resynced afterwards.
+    fn with_locked<R>(
+        &self,
+        i: usize,
+        entry_write: bool,
+        f: impl FnOnce(&mut MemoTable) -> R,
+    ) -> R {
+        let shard = &self.shards[i];
+        let mut drained = self.acquire(i);
+        // SAFETY: the shard lock is held for the whole scope; optimistic
+        // readers never take references into the table's buffers, they
+        // copy words and validate against the version word.
+        let table = unsafe { &mut *shard.table.get() };
+        let totals = shard.opt.snapshot();
+        let delta = totals.delta_since(&drained);
+        *drained = totals;
+        table.absorb_shared_delta(&delta);
+        let result = if entry_write {
+            let odd = shard.begin_entry_write();
+            let result = f(table);
+            shard.end_entry_write(odd);
+            result
+        } else {
+            f(table)
+        };
+        shard
+            .bypassed
+            .store(table.state() == TableState::Bypassed, Ordering::Relaxed);
+        result
     }
 
     /// Looks up `key` for segment `slot` in the shard the key hashes to.
     /// Same contract as [`MemoTable::lookup`]; a bypassed shard answers a
     /// forced miss, as does a fired [`FailPoint::ProbeMiss`] (which skips
-    /// the probe entirely, leaving statistics untouched).
+    /// the probe entirely, leaving statistics untouched). Resolved on the
+    /// optimistic lock-free path whenever the shard is stable.
     pub fn lookup(&self, slot: usize, key: &[u64], out: &mut Vec<u64>) -> bool {
-        if let Some(plan) = &self.faults {
-            if plan.fire(FailPoint::ProbeMiss) {
-                return false;
-            }
-        }
-        self.lock(self.shard_index(key)).lookup(slot, key, out)
+        self.lookup_dep(slot, key, out, false, None)
     }
 
     /// Dependency-validating lookup in the shard the key hashes to; same
-    /// contract as [`MemoTable::lookup_dep`]. The validator runs under the
-    /// shard lock (it only reads caller-local epoch state, so it cannot
-    /// deadlock against other shards), and a fired
-    /// [`FailPoint::ProbeMiss`] still skips the probe entirely.
+    /// contract as [`MemoTable::lookup_dep`]. On the optimistic path the
+    /// validator runs on a version-checked *copy* of the fingerprint, and
+    /// the version word is re-checked after validation before the entry
+    /// can be promoted green (so a torn entry never marks green); on the
+    /// locked fallback it runs under the shard lock (it only reads
+    /// caller-local epoch state, so it cannot deadlock against other
+    /// shards). A fired [`FailPoint::ProbeMiss`] still skips the probe
+    /// entirely.
     pub fn lookup_dep(
         &self,
         slot: usize,
         key: &[u64],
         out: &mut Vec<u64>,
         green: bool,
-        validate: FpValidator,
+        mut validate: FpValidator,
     ) -> bool {
         if let Some(plan) = &self.faults {
             if plan.fire(FailPoint::ProbeMiss) {
                 return false;
             }
         }
-        self.lock(self.shard_index(key))
-            .lookup_dep(slot, key, out, green, validate)
+        let i = self.shard_index(key);
+        let shard = &self.shards[i];
+        if green && validate.is_none() {
+            // Forced red: exact-match mode cannot trust a mutable-dep
+            // entry, so the answer never consults storage — no tear is
+            // possible and the miss is counted lock-free. Bypassed shards
+            // still take the locked path so the forced miss lands in their
+            // bypass telemetry.
+            if !shard.bypassed.load(Ordering::Relaxed) {
+                shard.opt.accesses.fetch_add(1, Ordering::Relaxed);
+                shard.opt.misses.fetch_add(1, Ordering::Relaxed);
+                return false;
+            }
+            return self.with_locked(i, false, |t| t.lookup_dep(slot, key, out, green, None));
+        }
+        let (mut out_buf, mut fp_buf) = PROBE_SCRATCH.with(Cell::take);
+        let mut resolved = None;
+        for _ in 0..OPTIMISTIC_ATTEMPTS {
+            if shard.bypassed.load(Ordering::Relaxed) || shard.lock.is_poisoned() {
+                break;
+            }
+            let v1 = shard.version.load(Ordering::Acquire);
+            if v1 & 1 == 1 {
+                // A writer is mid-update; spin once and retry.
+                shard.opt.optimistic_retries.fetch_add(1, Ordering::Relaxed);
+                std::hint::spin_loop();
+                continue;
+            }
+            // SAFETY: read-only probe; every word is copied volatilely and
+            // the copy is discarded unless the version word below proves no
+            // writer overlapped (the buffers themselves cannot move: the
+            // shard geometry is frozen).
+            let table = unsafe { &*shard.table.get() };
+            let Some(matched) = table.probe_shared(slot, key, &mut out_buf, &mut fp_buf) else {
+                break; // kind without a lock-free path: locked fallback
+            };
+            fence(Ordering::Acquire);
+            if shard.version.load(Ordering::Relaxed) != v1 {
+                shard.opt.optimistic_retries.fetch_add(1, Ordering::Relaxed);
+                continue;
+            }
+            // The copy is consistent. Resolve it lock-free.
+            if !matched {
+                shard.opt.accesses.fetch_add(1, Ordering::Relaxed);
+                shard.opt.misses.fetch_add(1, Ordering::Relaxed);
+                resolved = Some(false);
+                break;
+            }
+            let mut green_hit = false;
+            if !fp_buf.is_empty() {
+                if let Some(v) = validate.as_mut() {
+                    let fp_ok = v(&fp_buf);
+                    // Re-validate *after* the fingerprint check (§8h): if a
+                    // writer replaced the entry while the validator ran,
+                    // retry rather than promote on a superseded entry.
+                    if shard.version.load(Ordering::Acquire) != v1 {
+                        shard.opt.optimistic_retries.fetch_add(1, Ordering::Relaxed);
+                        continue;
+                    }
+                    if !fp_ok {
+                        shard.opt.accesses.fetch_add(1, Ordering::Relaxed);
+                        shard.opt.misses.fetch_add(1, Ordering::Relaxed);
+                        shard.opt.stale_reds.fetch_add(1, Ordering::Relaxed);
+                        resolved = Some(false);
+                        break;
+                    }
+                    green_hit = green;
+                }
+            }
+            shard.opt.accesses.fetch_add(1, Ordering::Relaxed);
+            shard.opt.hits.fetch_add(1, Ordering::Relaxed);
+            shard.opt.optimistic_hits.fetch_add(1, Ordering::Relaxed);
+            if green_hit {
+                shard.opt.green_hits.fetch_add(1, Ordering::Relaxed);
+            }
+            out.clear();
+            out.extend_from_slice(&out_buf);
+            resolved = Some(true);
+            break;
+        }
+        PROBE_SCRATCH.with(|cell| cell.set((out_buf, fp_buf)));
+        match resolved {
+            Some(hit) => hit,
+            None => self.with_locked(i, false, |t| t.lookup_dep(slot, key, out, green, validate)),
+        }
     }
 
     /// Records `outputs` for `key` in segment `slot` in the shard the key
-    /// hashes to (dropped while that shard is bypassed).
+    /// hashes to (dropped while that shard is bypassed). Writers always
+    /// take the shard lock and bump the version word.
     pub fn record(&self, slot: usize, key: &[u64], outputs: &[u64]) {
-        self.lock(self.shard_index(key)).record(slot, key, outputs)
+        self.record_dep(slot, key, outputs, &[])
     }
 
     /// Records `outputs` plus a dependency fingerprint for `key` in
     /// segment `slot` (`&[]` for exact-match entries).
     pub fn record_dep(&self, slot: usize, key: &[u64], outputs: &[u64], fp: &[u64]) {
-        self.lock(self.shard_index(key))
-            .record_dep(slot, key, outputs, fp)
+        let i = self.shard_index(key);
+        self.with_locked(i, true, |t| t.record_dep(slot, key, outputs, fp))
     }
 
     /// Declares segment `slot`'s fingerprint width on every shard; see
     /// [`MemoTable::set_deps`]. Takes `&mut self`: dependency layouts are
-    /// wired at build time, before the store is shared.
+    /// wired at build time, before the store is shared (the flat buffers
+    /// may be rebuilt, which exclusive access makes safe even though the
+    /// shards are frozen).
     pub fn set_deps(&mut self, slot: usize, fp_words: usize) {
         for shard in &mut self.shards {
-            shard
-                .get_mut()
-                .unwrap_or_else(PoisonError::into_inner)
-                .set_deps(slot, fp_words);
+            shard.table.get_mut().set_deps(slot, fp_words);
         }
     }
 
@@ -220,41 +482,51 @@ impl ShardedTable {
         total
     }
 
-    /// Per-shard statistics snapshots, in shard order.
+    /// Per-shard statistics snapshots, in shard order: the locked table's
+    /// counters with the shard's optimistic side counters folded in, so
+    /// the sum over shards accounts for every probe exactly once.
     pub fn shard_stats(&self) -> Vec<TableStats> {
         (0..self.shards.len())
-            .map(|i| *self.lock(i).stats())
+            .map(|i| {
+                let mut s = self.with_locked(i, false, |t| *t.stats());
+                s.merge(&self.shards[i].opt.snapshot());
+                s
+            })
             .collect()
     }
 
     /// Per-shard guard states, in shard order.
     pub fn shard_states(&self) -> Vec<TableState> {
         (0..self.shards.len())
-            .map(|i| self.lock(i).state())
+            .map(|i| self.with_locked(i, false, |t| t.state()))
             .collect()
     }
 
     /// Total storage footprint across shards, in bytes.
     pub fn bytes(&self) -> usize {
-        (0..self.shards.len()).map(|i| self.lock(i).bytes()).sum()
+        (0..self.shards.len())
+            .map(|i| self.with_locked(i, false, |t| t.bytes()))
+            .sum()
     }
 
     /// Total slot count across shards.
     pub fn slots(&self) -> usize {
-        (0..self.shards.len()).map(|i| self.lock(i).slots()).sum()
+        (0..self.shards.len())
+            .map(|i| self.with_locked(i, false, |t| t.slots()))
+            .sum()
     }
 
     /// Total lookups answered as forced misses by bypassed shards.
     pub fn bypassed_total(&self) -> u64 {
         (0..self.shards.len())
-            .map(|i| self.lock(i).telemetry().bypassed_total())
+            .map(|i| self.with_locked(i, false, |t| t.telemetry().bypassed_total()))
             .sum()
     }
 
     /// Total recordings dropped by bypassed shards.
     pub fn dropped_records(&self) -> u64 {
         (0..self.shards.len())
-            .map(|i| self.lock(i).telemetry().dropped_records())
+            .map(|i| self.with_locked(i, false, |t| t.telemetry().dropped_records()))
             .sum()
     }
 
@@ -267,8 +539,10 @@ impl ShardedTable {
     /// Genuinely poisons shard `shard`'s lock by panicking while holding
     /// it (the panic is caught here; install
     /// [`crate::silence_injected_panics`] to mute its report). The next
-    /// acquisition recovers the shard empty-but-valid. Chaos-testing
-    /// entry point for the retryable poisoned-shard fault.
+    /// acquisition recovers the shard empty-but-valid — optimistic probes
+    /// see the poison flag and fall back to the lock, so the recovery is
+    /// never skipped. Chaos-testing entry point for the retryable
+    /// poisoned-shard fault.
     ///
     /// # Panics
     ///
@@ -276,9 +550,7 @@ impl ShardedTable {
     pub fn poison_shard(&self, shard: usize) {
         assert!(shard < self.shards.len(), "shard out of range");
         let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            let _guard = self.shards[shard]
-                .lock()
-                .unwrap_or_else(PoisonError::into_inner);
+            let _guard = self.acquire(shard);
             std::panic::panic_any(INJECTED_POISON_PANIC);
         }));
     }
@@ -287,7 +559,7 @@ impl ShardedTable {
     /// degradation under overload), journaling `reason` per shard.
     pub fn force_bypass(&self, reason: &'static str) {
         for i in 0..self.shards.len() {
-            self.lock(i).force_bypass(reason);
+            self.with_locked(i, false, |t| t.force_bypass(reason));
         }
     }
 
@@ -295,7 +567,7 @@ impl ShardedTable {
     /// probation, disabled ones return to `Active`), journaling `reason`.
     pub fn end_forced_bypass(&self, reason: &'static str) {
         for i in 0..self.shards.len() {
-            self.lock(i).end_forced_bypass(reason);
+            self.with_locked(i, false, |t| t.end_forced_bypass(reason));
         }
     }
 }
@@ -344,6 +616,27 @@ mod tests {
     }
 
     #[test]
+    fn slot_budget_rounds_up_never_down() {
+        // Regression: floor division used to shave capacity off
+        // non-power-of-two budgets (100 slots over 8 shards served 96).
+        for (slots, shards) in [(100, 8), (7, 4), (129, 16), (1000, 8), (33, 2)] {
+            let t = ShardedTable::try_from_spec(&spec(slots), shards).unwrap();
+            assert!(
+                t.slots() >= slots,
+                "{slots} slots over {shards} shards served only {}",
+                t.slots()
+            );
+            let n = t.shard_count();
+            assert!(
+                t.slots() < slots + n,
+                "ceiling division wastes at most one slot per shard: \
+                 {slots} over {n} shards got {}",
+                t.slots()
+            );
+        }
+    }
+
+    #[test]
     fn invalid_specs_yield_typed_errors() {
         let bad = TableSpec {
             slots: 0,
@@ -381,6 +674,56 @@ mod tests {
         }
         assert_eq!(t.stats(), sum);
         assert_eq!(sum.accesses, 100);
+    }
+
+    #[test]
+    fn warm_hits_resolve_on_the_optimistic_path() {
+        let t = ShardedTable::try_from_spec(&spec(64), 4).unwrap();
+        let mut out = Vec::new();
+        for k in 0..16u64 {
+            t.record(0, &[k], &[k * 10]);
+        }
+        for _ in 0..4 {
+            for k in 0..16u64 {
+                assert!(t.lookup(0, &[k], &mut out));
+                assert_eq!(out, vec![k * 10]);
+            }
+        }
+        let s = t.stats();
+        assert_eq!(s.hits, 64);
+        assert_eq!(
+            s.optimistic_hits, 64,
+            "uncontended warm hits never take the lock"
+        );
+        assert_eq!(s.accesses, 64);
+        assert_eq!(s.misses, 0);
+    }
+
+    #[test]
+    fn optimistic_green_validation_and_stale_reds() {
+        let mut t = ShardedTable::try_from_spec(&spec(64), 4).unwrap();
+        t.set_deps(0, 2);
+        let mut out = Vec::new();
+        t.record_dep(0, &[5], &[50], &[9, 10]);
+        let mut seen = Vec::new();
+        let mut ok = |fp: &[u64]| {
+            seen = fp.to_vec();
+            true
+        };
+        assert!(t.lookup_dep(0, &[5], &mut out, true, Some(&mut ok)));
+        assert_eq!(out, vec![50]);
+        assert_eq!(seen, vec![9, 10], "validator sees the stored fp");
+        let mut no = |_: &[u64]| false;
+        assert!(!t.lookup_dep(0, &[5], &mut out, true, Some(&mut no)));
+        // Forced red (green, no validator) also resolves lock-free.
+        assert!(!t.lookup_dep(0, &[5], &mut out, true, None));
+        let s = t.stats();
+        assert_eq!(s.accesses, 3);
+        assert_eq!(s.hits, 1);
+        assert_eq!(s.green_hits, 1);
+        assert_eq!(s.stale_reds, 1);
+        assert_eq!(s.misses, 2);
+        assert_eq!(s.optimistic_hits, 1);
     }
 
     #[test]

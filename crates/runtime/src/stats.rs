@@ -28,6 +28,14 @@ pub struct TableStats {
     pub evictions: u64,
     /// Total recordings.
     pub insertions: u64,
+    /// Subset of `hits` answered on the lock-free optimistic probe path of
+    /// a [`crate::ShardedTable`] (version word validated, shard lock never
+    /// taken). Always zero for run-private tables.
+    pub optimistic_hits: u64,
+    /// Optimistic probes that observed a version-word change (or an active
+    /// writer) and had to retry or fall back to the shard lock. Not an
+    /// access: the probe is counted once, at its final resolution.
+    pub optimistic_retries: u64,
 }
 
 impl TableStats {
@@ -62,6 +70,10 @@ impl TableStats {
         self.collisions = self.collisions.saturating_add(other.collisions);
         self.evictions = self.evictions.saturating_add(other.evictions);
         self.insertions = self.insertions.saturating_add(other.insertions);
+        self.optimistic_hits = self.optimistic_hits.saturating_add(other.optimistic_hits);
+        self.optimistic_retries = self
+            .optimistic_retries
+            .saturating_add(other.optimistic_retries);
     }
 
     /// Counter increments since `earlier` (a snapshot of the same table's
@@ -77,6 +89,10 @@ impl TableStats {
             collisions: self.collisions.wrapping_sub(earlier.collisions),
             evictions: self.evictions.wrapping_sub(earlier.evictions),
             insertions: self.insertions.wrapping_sub(earlier.insertions),
+            optimistic_hits: self.optimistic_hits.wrapping_sub(earlier.optimistic_hits),
+            optimistic_retries: self
+                .optimistic_retries
+                .wrapping_sub(earlier.optimistic_retries),
         }
     }
 }

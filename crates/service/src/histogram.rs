@@ -115,22 +115,35 @@ impl LatencyHistogram {
         self.max_ns
     }
 
-    /// Upper bound (bucket ceiling) of the quantile `q` in `[0, 1]`: the
-    /// smallest bucket ceiling at which at least `q * count` samples have
-    /// accumulated, clamped into `[min_ns, max_ns]` so a quantile never
-    /// reports a latency outside the observed range. Returns 0 when
-    /// empty. Resolution is the bucket width, i.e. a factor of two.
+    /// The quantile `q` in `[0, 1]`, interpolated within the covering
+    /// bucket: the rank-`⌈q·count⌉` sample is located in its bucket and
+    /// the bucket's samples are assumed uniformly spread over `[lo, hi]`,
+    /// so a distribution concentrated in one bucket no longer collapses
+    /// every quantile onto the bucket ceiling (the old behaviour reported
+    /// p50 == p99 == `max_ns`). The estimate is clamped into
+    /// `[min_ns, max_ns]` so a quantile never reports a latency outside
+    /// the observed range; `quantile_ns(1.0)` is exactly `max_ns`, and
+    /// the result is monotone in `q`. Returns 0 when empty.
     pub fn quantile_ns(&self, q: f64) -> u64 {
         if self.count == 0 {
             return 0;
         }
-        let threshold = (q.clamp(0.0, 1.0) * self.count as f64).ceil().max(1.0) as u64;
+        let rank = (q.clamp(0.0, 1.0) * self.count as f64).ceil().max(1.0) as u64;
         let mut seen = 0;
         for (b, &n) in self.buckets.iter().enumerate() {
-            seen += n;
-            if seen >= threshold {
-                return bucket_bounds(b).1.clamp(self.min_ns, self.max_ns);
+            if n == 0 {
+                continue;
             }
+            if seen + n >= rank {
+                let (lo, hi) = bucket_bounds(b);
+                let fraction = (rank - seen) as f64 / n as f64;
+                // `(hi - lo) as f64` can round up past the true width
+                // (bucket 64 spans nearly 2^63), so saturate before the
+                // clamp rather than risk overflow.
+                let est = lo.saturating_add(((hi - lo) as f64 * fraction) as u64);
+                return est.clamp(self.min_ns, self.max_ns);
+            }
+            seen += n;
         }
         self.max_ns
     }
@@ -197,14 +210,17 @@ mod tests {
     }
 
     #[test]
-    fn quantiles_report_bucket_ceilings_clamped_to_observed_range() {
+    fn quantiles_interpolate_within_buckets() {
         let mut h = LatencyHistogram::new();
         for _ in 0..99 {
             h.record(10); // bucket [8, 15]
         }
         h.record(1_000_000); // bucket [2^19, 2^20-1]
-        assert_eq!(h.quantile_ns(0.5), 15);
-        assert_eq!(h.quantile_ns(0.99), 15);
+                             // The median sits partway through bucket [8, 15] — not at its
+                             // ceiling — and stays within the observed range.
+        let p50 = h.quantile_ns(0.5);
+        assert!((10..15).contains(&p50), "p50 = {p50}");
+        assert!(h.quantile_ns(0.99) <= 15);
         // The last bucket's ceiling (2^20 - 1) exceeds the largest
         // observed sample; the clamp reports max_ns instead.
         assert_eq!(h.quantile_ns(1.0), 1_000_000);
@@ -214,5 +230,61 @@ mod tests {
         one.record(10);
         assert_eq!(one.quantile_ns(0.0), 10);
         assert_eq!(one.quantile_ns(1.0), 10);
+    }
+
+    #[test]
+    fn quantile_is_monotone_and_bounded_on_random_samples() {
+        // Property over pseudo-random sample sets: quantile_ns is
+        // monotone non-decreasing in q, and
+        //   quantile_ns(0.0) <= quantile_ns(0.5) <= quantile_ns(1.0)
+        // with quantile_ns(1.0) == max_ns exactly.
+        let mut state = 0x9e37_79b9_7f4a_7c15u64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for trial in 0..32 {
+            let mut h = LatencyHistogram::new();
+            let samples = 1 + (next() % 500) as usize;
+            for _ in 0..samples {
+                // Spread across many orders of magnitude, including 0.
+                let ns = next() >> (next() % 60);
+                h.record(ns);
+            }
+            let mut prev = 0u64;
+            for step in 0..=20 {
+                let q = step as f64 / 20.0;
+                let v = h.quantile_ns(q);
+                assert!(
+                    v >= prev,
+                    "trial {trial}: quantile_ns not monotone at q={q}: {v} < {prev}"
+                );
+                assert!(v >= h.min_ns() && v <= h.max_ns());
+                prev = v;
+            }
+            let median = h.quantile_ns(0.5);
+            assert!(h.quantile_ns(0.0) <= median);
+            assert!(median <= h.quantile_ns(1.0));
+            assert_eq!(h.quantile_ns(1.0), h.max_ns());
+        }
+    }
+
+    #[test]
+    fn concentrated_distribution_does_not_collapse_onto_max() {
+        // Regression: every sample in ONE bucket used to make p50 == p99
+        // == max_ns. 100 samples at 600µs plus one at 1ms share bucket
+        // [2^19, 2^20-1]; the median must stay near 600µs, far below max.
+        let mut h = LatencyHistogram::new();
+        for _ in 0..100 {
+            h.record(600_000);
+        }
+        h.record(1_000_000);
+        let p50 = h.quantile_ns(0.5);
+        assert!(p50 < h.max_ns(), "p50 = {p50} collapsed onto max");
+        assert!(p50 >= h.min_ns());
+        assert!(h.quantile_ns(0.5) <= h.quantile_ns(0.99));
+        assert_eq!(h.quantile_ns(1.0), h.max_ns());
     }
 }
