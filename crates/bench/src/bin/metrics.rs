@@ -96,11 +96,34 @@
 //! cargo run --release -p bench --bin metrics -- --serve --alt \
 //!     --sweep-workers 1,2,4 --assert-hit-lift
 //! ```
+//!
+//! Persistence flags (with `--serve`, DESIGN.md §8i): `--snapshot-out
+//! <path>` writes the warm store snapshot there; `--snapshot-in <path>`
+//! restores the restarted service from that file instead of the one just
+//! written; either flag (or `--assert-warm-restart`) switches to the
+//! warm-restart suite — a cold round, a warm round, a snapshot, a
+//! simulated restart + restore, and a restored round, each reported as a
+//! decile hit-ratio curve alongside the deterministic TinyLFU admission
+//! A/B microbench. `--admission` enables sketch-gated L2 admission in the
+//! service itself; `--l1-slots N` sizes the per-worker L1 front (0
+//! disables tiering). `--assert-warm-restart` is the CI gate: exit
+//! nonzero unless the snapshot restored, every request fingerprinted
+//! identically to the sequential baseline, the restored service reached
+//! the warm first-decile hit ratio within its first 10% of requests, the
+//! admission A/B was conclusive, and the report round-trips through the
+//! `bench::json` parser.
+//!
+//! ```text
+//! cargo run --release -p bench --bin metrics -- --serve \
+//!     --snapshot-out store.snap --assert-warm-restart --admission
+//! ```
+
+use std::path::PathBuf;
 
 use bench::contend::{run_contend, ContendOpts};
 use bench::reports::EngineBenchRow;
 use bench::runner::{execute, execute_with_tables, prepare_with, InputKind, PrepareOpts};
-use bench::serve::{run_serve, run_serve_ab, ServeOpts};
+use bench::serve::{run_serve, run_serve_ab, run_warm_restart, ServeOpts};
 use workloads::Workload;
 
 /// Exit status for a speedup gate that could not be measured on this
@@ -260,6 +283,82 @@ fn serve_ab_mode(ws: &[Workload], opts: &ServeOpts, sweep: &[usize], assert_lift
     }
 }
 
+/// The `--serve` warm-restart mode (triggered by `--assert-warm-restart`,
+/// `--snapshot-out`, or `--snapshot-in`): cold and warm decile rounds, a
+/// snapshot, a simulated restart + restore, and a restored round —
+/// bundled with the deterministic TinyLFU admission A/B microbench into
+/// one JSON report (DESIGN.md §8i). With `--assert-warm-restart` the
+/// process exits nonzero unless the snapshot restored, every answer
+/// matched the sequential baseline, the restored service reached the
+/// warm first-decile hit ratio within its first 10% of requests, the
+/// admission A/B was conclusive (fewer evictions at equal memory), and
+/// the emitted report round-trips through the JSON parser.
+fn warm_restart_mode(
+    ws: &[Workload],
+    opts: &ServeOpts,
+    workers: usize,
+    snapshot_out: Option<&PathBuf>,
+    snapshot_in: Option<&PathBuf>,
+    assert_gate: bool,
+) {
+    let summary = run_warm_restart(
+        ws,
+        opts,
+        workers,
+        snapshot_out.map(PathBuf::as_path),
+        snapshot_in.map(PathBuf::as_path),
+    );
+    let ab = bench::admission::default_admission_ab();
+    let report = format!(
+        "{{\"bench\":\"warm_restart_suite\",\"warm_restart\":{},\"admission\":{}}}",
+        bench::reports::warm_restart_json(&summary),
+        bench::reports::admission_ab_json(&ab),
+    );
+    println!("{report}");
+    if !summary.matches_baseline {
+        eprintln!("warm-restart: fingerprints diverged from the sequential baseline");
+        std::process::exit(1);
+    }
+    if assert_gate {
+        let fail = |msg: &str| -> ! {
+            eprintln!("warm-restart: gate failed: {msg}");
+            std::process::exit(1);
+        };
+        if !summary.restore_ok {
+            fail("the snapshot did not restore (service cold-started)");
+        }
+        if !summary.gate_holds() {
+            fail(&format!(
+                "restored first decile {:.4} below warm first decile {:.4} (tolerance {})",
+                summary.restored.first_decile(),
+                summary.warm.first_decile(),
+                summary.tolerance
+            ));
+        }
+        if !ab.conclusive() {
+            fail(&format!(
+                "admission A/B inconclusive: on {} evictions / {} rejects, off {} evictions",
+                ab.on.evictions, ab.on.admission_rejects, ab.off.evictions
+            ));
+        }
+        let parsed = bench::json::parse(&report)
+            .unwrap_or_else(|e| fail(&format!("emitted report is not valid JSON: {e}")));
+        let round_trip_ok = parsed
+            .get("warm_restart")
+            .and_then(|v| v.get("gate_holds"))
+            .and_then(|v| v.as_bool())
+            == Some(true)
+            && parsed
+                .get("admission")
+                .and_then(|v| v.get("conclusive"))
+                .and_then(|v| v.as_bool())
+                == Some(true);
+        if !round_trip_ok {
+            fail("round-tripped report disagrees with the in-memory summary");
+        }
+    }
+}
+
 /// Runs the serving benchmark and applies the optional CI gates.
 fn serve_mode(
     ws: &[Workload],
@@ -397,6 +496,11 @@ fn main() {
     let mut high_watermark: Option<usize> = None;
     let mut assert_fault_equiv = false;
     let mut assert_hit_lift = false;
+    let mut snapshot_out: Option<PathBuf> = None;
+    let mut snapshot_in: Option<PathBuf> = None;
+    let mut assert_warm_restart = false;
+    let mut admission = false;
+    let mut l1_slots: Option<usize> = None;
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
     while i < argv.len() {
@@ -476,6 +580,30 @@ fn main() {
             }
             "--assert-fault-equivalence" => assert_fault_equiv = true,
             "--assert-hit-lift" => assert_hit_lift = true,
+            "--snapshot-out" => {
+                i += 1;
+                snapshot_out = Some(PathBuf::from(
+                    argv.get(i)
+                        .unwrap_or_else(|| panic!("--snapshot-out needs a path")),
+                ));
+            }
+            "--snapshot-in" => {
+                i += 1;
+                snapshot_in = Some(PathBuf::from(
+                    argv.get(i)
+                        .unwrap_or_else(|| panic!("--snapshot-in needs a path")),
+                ));
+            }
+            "--assert-warm-restart" => assert_warm_restart = true,
+            "--admission" => admission = true,
+            "--l1-slots" => {
+                i += 1;
+                l1_slots = Some(
+                    argv.get(i)
+                        .and_then(|s| s.parse().ok())
+                        .unwrap_or_else(|| panic!("--l1-slots needs an integer (0 disables L1)")),
+                );
+            }
             "--scale" => {
                 i += 1;
                 scale = argv
@@ -533,7 +661,7 @@ fn main() {
         } else {
             vec![workloads::by_name(&name).unwrap_or_else(|| panic!("unknown workload {name}"))]
         };
-        let opts = ServeOpts {
+        let mut opts = ServeOpts {
             scale,
             opt,
             shards,
@@ -542,10 +670,26 @@ fn main() {
             fault_rate,
             deadline_cycles,
             high_watermark,
+            admission,
             ..ServeOpts::default()
         };
+        if let Some(slots) = l1_slots {
+            opts.l1_slots = slots;
+        }
         let sweep = sweep_workers.unwrap_or_else(|| vec![workers]);
-        if input == InputKind::Alt {
+        if assert_warm_restart || snapshot_out.is_some() || snapshot_in.is_some() {
+            // --serve with snapshot flags: the warm-restart suite — cold
+            // vs warm vs snapshot-restored decile curves plus the TinyLFU
+            // admission A/B, with the CI gate behind --assert-warm-restart.
+            warm_restart_mode(
+                &ws,
+                &opts,
+                workers,
+                snapshot_out.as_ref(),
+                snapshot_in.as_ref(),
+                assert_warm_restart,
+            );
+        } else if input == InputKind::Alt {
             // --serve --alt: the perturbed-input A/B mode. The batch
             // already mixes default and alternate inputs; --alt here
             // selects the red-vs-green arm comparison over it.

@@ -21,6 +21,7 @@
 
 #![warn(missing_docs)]
 
+pub mod admission;
 pub mod contend;
 pub mod fmt;
 pub mod json;

@@ -592,6 +592,7 @@ fn json_stats(s: &memo_runtime::TableStats) -> String {
             "\"misses\":{},\"collisions\":{},",
             "\"evictions\":{},\"insertions\":{},",
             "\"optimistic_hits\":{},\"optimistic_retries\":{},",
+            "\"l1_hits\":{},\"promotions\":{},\"admission_rejects\":{},",
             "\"hit_ratio\":{},\"collision_rate\":{}}}"
         ),
         s.accesses,
@@ -604,6 +605,9 @@ fn json_stats(s: &memo_runtime::TableStats) -> String {
         s.insertions,
         s.optimistic_hits,
         s.optimistic_retries,
+        s.l1_hits,
+        s.promotions,
+        s.admission_rejects,
         s.hit_ratio(),
         s.collision_rate(),
     )
@@ -898,6 +902,99 @@ pub fn serve_report_json(s: &crate::serve::ServeSummary) -> String {
         names.join(","),
         json_service_report(&s.baseline),
         points.join(","),
+    )
+}
+
+fn json_f64_array(vals: &[f64]) -> String {
+    let rendered: Vec<String> = vals.iter().map(|v| format!("{v}")).collect();
+    format!("[{}]", rendered.join(","))
+}
+
+fn json_decile_run(d: &crate::serve::DecileRun) -> String {
+    format!(
+        concat!(
+            "{{\"overall\":{},\"first_decile\":{},\"deciles\":{},",
+            "\"stats\":{}}}"
+        ),
+        d.overall(),
+        d.first_decile(),
+        json_f64_array(&d.ratios),
+        json_stats(&d.delta),
+    )
+}
+
+/// Serialises a [`crate::serve::WarmRestartSummary`] — the snapshot /
+/// warm-restart benchmark (`metrics --serve --assert-warm-restart`,
+/// DESIGN.md §8i): cold/warm/restored decile curves, the snapshot size,
+/// and the gate verdict.
+pub fn warm_restart_json(s: &crate::serve::WarmRestartSummary) -> String {
+    let names: Vec<String> = s
+        .workload_names
+        .iter()
+        .map(|n| format!("\"{}\"", json_escape(n)))
+        .collect();
+    format!(
+        concat!(
+            "{{\"bench\":\"warm_restart\",\"scale\":{},\"opt\":\"{:?}\",",
+            "\"shards\":{},\"workers\":{},\"requests\":{},\"l1_slots\":{},",
+            "\"admission\":{},\"snapshot_bytes\":{},\"restore_ok\":{},",
+            "\"matches_baseline\":{},\"tolerance\":{},\"gate_holds\":{},",
+            "\"workloads\":[{}],\"cold\":{},\"warm\":{},\"restored\":{}}}"
+        ),
+        s.opts.scale,
+        s.opts.opt,
+        s.opts.shards,
+        s.workers,
+        s.requests,
+        s.opts.l1_slots,
+        s.opts.admission,
+        s.snapshot_bytes,
+        s.restore_ok,
+        s.matches_baseline,
+        s.tolerance,
+        s.gate_holds(),
+        names.join(","),
+        json_decile_run(&s.cold),
+        json_decile_run(&s.warm),
+        json_decile_run(&s.restored),
+    )
+}
+
+fn json_admission_arm(a: &crate::admission::AdmissionArm) -> String {
+    format!(
+        concat!(
+            "{{\"evictions\":{},\"admission_rejects\":{},\"insertions\":{},",
+            "\"hot_survival\":{},\"stats\":{}}}"
+        ),
+        a.evictions,
+        a.admission_rejects,
+        a.insertions,
+        a.hot_survival,
+        json_stats(&a.stats),
+    )
+}
+
+/// Serialises a [`crate::admission::AdmissionAb`] — the TinyLFU
+/// admission A/B microbench (`metrics --serve --admission`): both arms'
+/// eviction/rejection counts at equal memory plus the conclusiveness
+/// verdict.
+pub fn admission_ab_json(ab: &crate::admission::AdmissionAb) -> String {
+    format!(
+        concat!(
+            "{{\"bench\":\"admission_ab\",\"slots\":{},\"shards\":{},",
+            "\"hot_keys\":{},\"hot_rounds\":{},\"one_shots\":{},",
+            "\"conclusive\":{},\"eviction_cut\":{},",
+            "\"on\":{},\"off\":{}}}"
+        ),
+        ab.slots,
+        ab.shards,
+        ab.hot_keys,
+        ab.hot_rounds,
+        ab.one_shots,
+        ab.conclusive(),
+        ab.off.evictions.saturating_sub(ab.on.evictions),
+        json_admission_arm(&ab.on),
+        json_admission_arm(&ab.off),
     )
 }
 

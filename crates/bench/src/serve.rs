@@ -18,10 +18,11 @@
 //! identically to the fault-free baseline, and the four terminal
 //! statuses must account for the whole batch (DESIGN.md §8f).
 
+use std::path::{Path, PathBuf};
 use std::sync::Arc;
 
 use crate::runner::{prepare_with, PrepareOpts};
-use memo_runtime::FaultPlan;
+use memo_runtime::{FaultPlan, TableStats};
 use service::{Request, ReuseService, ServiceConfig, ServiceProgram, ServiceReport};
 use vm::{CostModel, OptLevel};
 use workloads::Workload;
@@ -49,6 +50,10 @@ pub struct ServeOpts {
     pub deadline_cycles: Option<u64>,
     /// Queue-depth high watermark at which the producer sheds load.
     pub high_watermark: Option<usize>,
+    /// Per-worker L1 cache slots per table (`0` disables tiering).
+    pub l1_slots: usize,
+    /// Whether the stores gate recordings through TinyLFU admission.
+    pub admission: bool,
 }
 
 impl Default for ServeOpts {
@@ -63,6 +68,8 @@ impl Default for ServeOpts {
             fault_rate: 0.1,
             deadline_cycles: None,
             high_watermark: None,
+            l1_slots: 64,
+            admission: false,
         }
     }
 }
@@ -155,6 +162,8 @@ pub fn build_service(
             // without changing any outcome.
             backoff_base_ns: 2_000,
             backoff_cap_ns: 200_000,
+            l1_slots: opts.l1_slots,
+            admission: opts.admission,
             ..ServiceConfig::default()
         },
     )
@@ -379,6 +388,151 @@ pub fn run_serve_ab(ws: &[Workload], opts: &ServeOpts, worker_counts: &[usize]) 
     }
 }
 
+/// One batch served in ten sequential sub-batches, so the hit ratio is
+/// observable *within* the batch (the first decile is what a restarted
+/// service's early requests experience).
+#[derive(Debug)]
+pub struct DecileRun {
+    /// Hit ratio of each tenth of the batch, in order.
+    pub ratios: Vec<f64>,
+    /// Fingerprints across the sub-batches, in request order.
+    pub fingerprints: Vec<u64>,
+    /// Store-statistics delta summed over the whole batch.
+    pub delta: TableStats,
+}
+
+impl DecileRun {
+    /// Hit ratio over the whole batch.
+    pub fn overall(&self) -> f64 {
+        self.delta.hit_ratio()
+    }
+
+    /// Hit ratio of the first tenth of the batch.
+    pub fn first_decile(&self) -> f64 {
+        self.ratios.first().copied().unwrap_or(0.0)
+    }
+}
+
+/// Serves `requests` in ten sequential sub-batches, recording each
+/// tenth's hit ratio.
+pub fn run_deciles(svc: &ReuseService, requests: &[Request]) -> DecileRun {
+    let chunk = requests.len().div_ceil(10).max(1);
+    let mut ratios = Vec::with_capacity(10);
+    let mut fingerprints = Vec::with_capacity(requests.len());
+    let mut delta = TableStats::default();
+    for sub in requests.chunks(chunk) {
+        let report = svc.run(sub);
+        ratios.push(report.hit_ratio());
+        fingerprints.extend(report.fingerprints());
+        delta.merge(&report.store_delta);
+    }
+    DecileRun {
+        ratios,
+        fingerprints,
+        delta,
+    }
+}
+
+/// The warm-restart benchmark's verdict (`metrics --serve
+/// --assert-warm-restart`): cold/warm/restored decile curves plus the
+/// gates the restored run must pass (DESIGN.md §8i).
+#[derive(Debug)]
+pub struct WarmRestartSummary {
+    /// Options the run used.
+    pub opts: ServeOpts,
+    /// Worker threads.
+    pub workers: usize,
+    /// Program names, in request `program`-index order.
+    pub workload_names: Vec<String>,
+    /// Requests per batch.
+    pub requests: usize,
+    /// First round against the cold store.
+    pub cold: DecileRun,
+    /// Second round over the populated store (the warm reference).
+    pub warm: DecileRun,
+    /// Round served after snapshot → "restart" → restore.
+    pub restored: DecileRun,
+    /// Snapshot file size in bytes.
+    pub snapshot_bytes: u64,
+    /// Whether the restore actually used the snapshot (`false` means it
+    /// degraded to a cold start, which fails the gate).
+    pub restore_ok: bool,
+    /// Whether every round's fingerprints equal the sequential baseline.
+    pub matches_baseline: bool,
+    /// Slack allowed between the restored and warm first-decile hit
+    /// ratios.
+    pub tolerance: f64,
+}
+
+impl WarmRestartSummary {
+    /// The warm-restart gate: the snapshot restored, every answer matched
+    /// the baseline, and the restored service was already at the warm hit
+    /// ratio within its first 10% of requests — its first decile must
+    /// match the warm round's first decile (the same requests at the same
+    /// position; the overall ratios mix input families and are reported,
+    /// not gated).
+    pub fn gate_holds(&self) -> bool {
+        self.restore_ok
+            && self.matches_baseline
+            && self.restored.first_decile() + self.tolerance >= self.warm.first_decile()
+    }
+}
+
+/// Runs the warm-restart benchmark: cold and warm decile rounds, a
+/// snapshot of the warm store, a simulated restart (stores reset cold),
+/// a restore, and a restored decile round.
+///
+/// `snapshot_out` chooses where the snapshot is written (a temp file
+/// otherwise); `snapshot_in` restores from an existing snapshot written
+/// by a previous run *instead of* this run's own (the cross-process warm
+/// start — the store shape must match).
+///
+/// # Panics
+///
+/// Panics if the pipeline fails for a workload (see [`build_service`]).
+pub fn run_warm_restart(
+    ws: &[Workload],
+    opts: &ServeOpts,
+    workers: usize,
+    snapshot_out: Option<&Path>,
+    snapshot_in: Option<&Path>,
+) -> WarmRestartSummary {
+    let (mut svc, requests) = build_service(ws, opts, workers);
+    let baseline = svc.run_private_sequential(&requests);
+    let expected = baseline.fingerprints();
+    let cold = run_deciles(&svc, &requests);
+    let warm = run_deciles(&svc, &requests);
+    let own_path: PathBuf = snapshot_out.map_or_else(
+        || std::env::temp_dir().join("compreuse-warm-restart.snap"),
+        Path::to_path_buf,
+    );
+    svc.snapshot_to(&own_path)
+        .unwrap_or_else(|e| panic!("cannot write snapshot to {}: {e}", own_path.display()));
+    let restore_path = snapshot_in.unwrap_or(&own_path);
+    let snapshot_bytes = std::fs::metadata(restore_path).map_or(0, |m| m.len());
+    // The "restart": every store is rebuilt cold, then the snapshot is
+    // restored — the same path a fresh process takes.
+    svc.reset_stores().expect("specs already built once");
+    let restore_ok = svc.restore_from(restore_path).is_restored();
+    let restored = run_deciles(&svc, &requests);
+    let matches_baseline = [&cold, &warm, &restored]
+        .iter()
+        .all(|r| r.fingerprints == expected);
+    WarmRestartSummary {
+        opts: opts.clone(),
+        workers,
+        workload_names: svc.program_names().iter().map(|s| s.to_string()).collect(),
+        requests: requests.len(),
+        cold,
+        warm,
+        restored,
+        snapshot_bytes,
+        restore_ok,
+        matches_baseline,
+        tolerance: 0.05,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -444,6 +598,34 @@ mod tests {
             assert_eq!(p.red_warm.store_delta.green_hits, 0);
         }
         assert!(summary.lift_holds());
+    }
+
+    #[test]
+    fn warm_restart_resumes_at_the_warm_hit_ratio() {
+        let ws = vec![workloads::unepic::unepic(), workloads::rasta::rasta()];
+        let opts = ServeOpts {
+            scale: 0.05,
+            requests_per_workload: 10, // 20 requests → deciles of 2
+            ..ServeOpts::default()
+        };
+        let dir = std::env::temp_dir().join("compreuse-bench-warm-restart");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("serve.snap");
+        let summary = run_warm_restart(&ws, &opts, 2, Some(&path), None);
+        assert!(summary.restore_ok, "snapshot must restore");
+        assert!(summary.matches_baseline, "fingerprints diverged");
+        assert!(summary.snapshot_bytes > 0);
+        assert!(
+            summary.gate_holds(),
+            "restored first decile {:.4} vs warm first decile {:.4}",
+            summary.restored.first_decile(),
+            summary.warm.first_decile()
+        );
+        assert!(
+            summary.restored.first_decile() > summary.cold.first_decile(),
+            "a restored store must beat a cold start out of the gate"
+        );
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -297,6 +297,74 @@ impl DirectTable {
         &self.stats
     }
 
+    /// Snapshot geometry: `(slots, key_words, out_words, fp_cap)`. The
+    /// persist layer refuses to import entries into a table whose
+    /// geometry differs from the one snapshotted.
+    pub(crate) fn snapshot_geometry(&self) -> (usize, usize, Vec<usize>, Vec<usize>) {
+        (
+            self.meta.len(),
+            self.key_words,
+            vec![self.out_words],
+            vec![self.fp_cap],
+        )
+    }
+
+    /// Visits every occupied slot as `(slot, meta_word, entry_row)` where
+    /// the row is the full `stride()`-word body (key, outputs, fingerprint
+    /// capacity). Snapshot export path (DESIGN.md §8i).
+    pub(crate) fn export_rows(&self, f: &mut dyn FnMut(u64, u64, &[u64])) {
+        let stride = self.stride();
+        for (slot, &meta) in self.meta.iter().enumerate() {
+            if meta != 0 {
+                let base = slot * stride;
+                f(slot as u64, meta, &self.data[base..base + stride]);
+            }
+        }
+    }
+
+    /// Installs one snapshotted entry row without touching statistics or
+    /// access counts. Returns `false` (leaving the table unchanged) when
+    /// the row does not fit this table's geometry — the restore path then
+    /// reports corruption instead of panicking.
+    pub(crate) fn import_row(&mut self, slot: usize, meta: u64, row: &[u64]) -> bool {
+        let stride = self.stride();
+        let fits = slot < self.meta.len()
+            && row.len() == stride
+            && meta & 1 == 1
+            && ((meta >> 1) as usize) <= self.fp_cap;
+        if !fits {
+            return false;
+        }
+        let base = slot * stride;
+        self.data[base..base + stride].copy_from_slice(row);
+        self.meta[slot] = meta;
+        true
+    }
+
+    /// Overwrites the whole-run statistics (snapshot-restore baseline).
+    pub(crate) fn set_stats(&mut self, stats: TableStats) {
+        self.stats = stats;
+    }
+
+    /// The key resident in the slot `key` indexes to, when that slot is
+    /// occupied by a *different* key — i.e. the entry a recording of `key`
+    /// would evict. `None` when the slot is empty or already holds `key`
+    /// (no eviction, so admission has nothing to decide).
+    pub(crate) fn resident_key(&self, key: &[u64]) -> Option<&[u64]> {
+        debug_assert_eq!(key.len(), self.key_words, "key width mismatch");
+        let idx = index_of(key, self.meta.len());
+        if self.meta[idx] == 0 {
+            return None;
+        }
+        let base = idx * self.stride();
+        let resident = &self.data[base..base + self.key_words];
+        if resident == key {
+            None
+        } else {
+            Some(resident)
+        }
+    }
+
     /// Per-slot access counts (for the accessed-entries histograms).
     pub fn access_counts(&self) -> &[u64] {
         &self.access_counts

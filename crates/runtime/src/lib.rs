@@ -39,9 +39,11 @@ pub mod guard;
 pub mod hash;
 pub mod lru;
 pub mod merged;
+pub mod persist;
 pub mod sharded;
 pub mod stats;
 pub mod telemetry;
+pub mod tiered;
 
 pub use direct::DirectTable;
 pub use faults::{
@@ -51,9 +53,14 @@ pub use faults::{
 pub use guard::{AdaptiveGuard, EpochVerdict, GuardPolicy, TableState};
 pub use lru::LruTable;
 pub use merged::MergedTable;
+pub use persist::{
+    read_snapshot, restore_words, snapshot_json, snapshot_words, write_snapshot, SnapshotError,
+    SNAPSHOT_VERSION,
+};
 pub use sharded::ShardedTable;
 pub use stats::TableStats;
 pub use telemetry::{EpochStats, StateTransition, Telemetry};
+pub use tiered::{key_hash64, L1Cache, TinyLfu};
 
 /// Probe-time dependency-fingerprint validator (DESIGN.md §8g): given an
 /// entry's recorded fingerprint, decide whether its dependencies still
@@ -530,6 +537,72 @@ impl MemoTable {
         }
         self.telemetry.observe(0, delta);
         self.roll_epoch_if_due();
+    }
+
+    /// Snapshot geometry `(slots, key_words, out_words, fp_words)` used by
+    /// the persist layer to refuse imports into a differently-shaped
+    /// table. `None` for the LRU kind (no snapshot path — sharded stores
+    /// never build it).
+    pub(crate) fn snapshot_geometry(&self) -> Option<(usize, usize, Vec<usize>, Vec<usize>)> {
+        match &self.kind {
+            TableKind::Direct(t) => Some(t.snapshot_geometry()),
+            TableKind::Merged(t) => Some(t.snapshot_geometry()),
+            TableKind::Lru(_) => None,
+        }
+    }
+
+    /// Visits every occupied entry as `(slot, meta_word, entry_row)`;
+    /// snapshot export (DESIGN.md §8i). No-op for the LRU kind.
+    pub(crate) fn export_rows(&self, f: &mut dyn FnMut(u64, u64, &[u64])) {
+        match &self.kind {
+            TableKind::Direct(t) => t.export_rows(f),
+            TableKind::Merged(t) => t.export_rows(f),
+            TableKind::Lru(_) => {}
+        }
+    }
+
+    /// Installs one snapshotted entry row, bypassing statistics and the
+    /// guard. Returns `false` when the row does not fit the geometry (or
+    /// the kind has no snapshot path).
+    pub(crate) fn import_row(&mut self, slot: usize, meta: u64, row: &[u64]) -> bool {
+        match &mut self.kind {
+            TableKind::Direct(t) => t.import_row(slot, meta, row),
+            TableKind::Merged(t) => t.import_row(slot, meta, row),
+            TableKind::Lru(_) => false,
+        }
+    }
+
+    /// Overwrites the whole-run statistics with a snapshot baseline.
+    pub(crate) fn set_stats_baseline(&mut self, stats: TableStats) {
+        match &mut self.kind {
+            TableKind::Direct(t) => t.set_stats(stats),
+            TableKind::Merged(t) => t.set_stats(stats),
+            TableKind::Lru(_) => {}
+        }
+    }
+
+    /// Reinstates snapshot-preserved telemetry running totals; see
+    /// [`Telemetry::restore_baseline`].
+    pub(crate) fn restore_telemetry_baseline(
+        &mut self,
+        epoch: u64,
+        bypassed_total: u64,
+        dropped_records: u64,
+    ) {
+        self.telemetry
+            .restore_baseline(epoch, bypassed_total, dropped_records);
+    }
+
+    /// The key a recording of `key` would evict (occupied slot, different
+    /// key), for the TinyLFU admission decision. `None` when recording
+    /// `key` evicts nothing — or for the LRU kind, which evicts by recency
+    /// and takes no admission gate.
+    pub(crate) fn resident_key(&self, key: &[u64]) -> Option<&[u64]> {
+        match &self.kind {
+            TableKind::Direct(t) => t.resident_key(key),
+            TableKind::Merged(t) => t.resident_key(key),
+            TableKind::Lru(_) => None,
+        }
     }
 
     fn roll_epoch_if_due(&mut self) {

@@ -333,6 +333,72 @@ impl MergedTable {
         &self.stats
     }
 
+    /// Snapshot geometry: `(slots, key_words, out_words, fp_words)`; see
+    /// [`crate::DirectTable::snapshot_geometry`].
+    pub(crate) fn snapshot_geometry(&self) -> (usize, usize, Vec<usize>, Vec<usize>) {
+        (
+            self.valid.len(),
+            self.key_words,
+            self.out_words.clone(),
+            self.fp_words.clone(),
+        )
+    }
+
+    /// Visits every occupied slot as `(slot, valid_word, entry_row)`;
+    /// snapshot export path (DESIGN.md §8i).
+    pub(crate) fn export_rows(&self, f: &mut dyn FnMut(u64, u64, &[u64])) {
+        let stride = self.stride();
+        for (slot, &valid) in self.valid.iter().enumerate() {
+            if valid != 0 {
+                let base = slot * stride;
+                f(slot as u64, valid, &self.data[base..base + stride]);
+            }
+        }
+    }
+
+    /// Installs one snapshotted entry row without touching statistics.
+    /// Returns `false` (table unchanged) when the row does not fit this
+    /// table's geometry.
+    pub(crate) fn import_row(&mut self, slot: usize, valid: u64, row: &[u64]) -> bool {
+        let stride = self.stride();
+        let segs = self.out_words.len();
+        let fits = slot < self.valid.len()
+            && row.len() == stride
+            && valid != 0
+            && (segs == 64 || valid >> segs == 0);
+        if !fits {
+            return false;
+        }
+        let base = slot * stride;
+        self.data[base..base + stride].copy_from_slice(row);
+        self.valid[slot] = valid;
+        true
+    }
+
+    /// Overwrites the whole-run aggregate statistics (snapshot-restore
+    /// baseline). Per-slot statistics stay at zero: a snapshot preserves
+    /// the shard aggregate, not the per-segment split (DESIGN.md §8i).
+    pub(crate) fn set_stats(&mut self, stats: TableStats) {
+        self.stats = stats;
+    }
+
+    /// The key a recording of `key` would evict; see
+    /// [`crate::DirectTable::resident_key`].
+    pub(crate) fn resident_key(&self, key: &[u64]) -> Option<&[u64]> {
+        debug_assert_eq!(key.len(), self.key_words, "key width mismatch");
+        let idx = index_of(key, self.valid.len());
+        if self.valid[idx] == 0 {
+            return None;
+        }
+        let base = idx * self.stride();
+        let resident = &self.data[base..base + self.key_words];
+        if resident == key {
+            None
+        } else {
+            Some(resident)
+        }
+    }
+
     /// Statistics for one segment slot.
     ///
     /// Shared optimistic probes (resolved without the shard lock) are

@@ -76,6 +76,7 @@ use crate::faults::{FailPoint, FaultPlan, INJECTED_POISON_PANIC};
 use crate::guard::{GuardPolicy, TableState};
 use crate::hash::hash_words;
 use crate::stats::TableStats;
+use crate::tiered::{key_hash64, TinyLfu};
 use crate::{FpValidator, MemoTable, SpecError, TableSpec};
 
 /// Optimistic probe attempts before giving up and taking the shard lock.
@@ -103,6 +104,10 @@ struct OptCounters {
     stale_reds: AtomicU64,
     optimistic_hits: AtomicU64,
     optimistic_retries: AtomicU64,
+    /// Recordings refused by the TinyLFU admission sketch. Counted here
+    /// (not in the table: the storage was never touched) and folded into
+    /// the shard snapshot like the optimistic counters.
+    admission_rejects: AtomicU64,
 }
 
 impl OptCounters {
@@ -115,6 +120,7 @@ impl OptCounters {
             stale_reds: self.stale_reds.load(Ordering::Relaxed),
             optimistic_hits: self.optimistic_hits.load(Ordering::Relaxed),
             optimistic_retries: self.optimistic_retries.load(Ordering::Relaxed),
+            admission_rejects: self.admission_rejects.load(Ordering::Relaxed),
             ..TableStats::default()
         }
     }
@@ -141,13 +147,17 @@ struct Shard {
     /// been drained into the table's telemetry (see `absorb_shared_delta`).
     lock: Mutex<TableStats>,
     opt: OptCounters,
+    /// TinyLFU admission sketch (`None` = admission off). Mutated only
+    /// while holding `lock`; optimistic readers never touch it.
+    sketch: UnsafeCell<Option<TinyLfu>>,
 }
 
-// SAFETY: all mutation of `table` happens with the shard `lock` held; the
-// only unsynchronised access is the read-only optimistic probe, which
-// copies words volatilely and discards the copy unless `version` proves no
-// writer overlapped it (seqlock protocol). `MemoTable` owns its storage
-// (no interior references), so it is `Send`.
+// SAFETY: all mutation of `table` and `sketch` happens with the shard
+// `lock` held; the only unsynchronised access is the read-only optimistic
+// probe, which copies table words volatilely (never touching the sketch)
+// and discards the copy unless `version` proves no writer overlapped it
+// (seqlock protocol). `MemoTable` and `TinyLfu` own their storage (no
+// interior references), so the shard is `Send`.
 unsafe impl Send for Shard {}
 unsafe impl Sync for Shard {}
 
@@ -159,6 +169,7 @@ impl Shard {
             table: UnsafeCell::new(table),
             lock: Mutex::new(TableStats::default()),
             opt: OptCounters::default(),
+            sketch: UnsafeCell::new(None),
         }
     }
 
@@ -452,9 +463,71 @@ impl ShardedTable {
 
     /// Records `outputs` plus a dependency fingerprint for `key` in
     /// segment `slot` (`&[]` for exact-match entries).
+    ///
+    /// With admission enabled ([`ShardedTable::set_admission`]) a
+    /// recording that would evict a *different* resident key is first
+    /// judged by the shard's TinyLFU sketch: the candidate is admitted
+    /// only when its estimated frequency strictly exceeds the victim's,
+    /// otherwise the recording is dropped and counted in
+    /// [`TableStats::admission_rejects`]. Same-key refreshes and
+    /// empty-slot recordings are always admitted. A bypassed shard skips
+    /// the sketch entirely — the §8c guard's decision (drop the record)
+    /// supersedes admission, and the drop lands in bypass telemetry as
+    /// before.
     pub fn record_dep(&self, slot: usize, key: &[u64], outputs: &[u64], fp: &[u64]) {
         let i = self.shard_index(key);
-        self.with_locked(i, true, |t| t.record_dep(slot, key, outputs, fp))
+        let shard = &self.shards[i];
+        let mut drained = self.acquire(i);
+        // SAFETY: the shard lock is held for the whole scope (see
+        // `with_locked`, whose drain/resync steps this writer repeats so
+        // the admission decision can sit between them).
+        let table = unsafe { &mut *shard.table.get() };
+        let totals = shard.opt.snapshot();
+        let delta = totals.delta_since(&drained);
+        *drained = totals;
+        table.absorb_shared_delta(&delta);
+        // SAFETY: the sketch is only ever touched under the shard lock.
+        let sketch = unsafe { &mut *shard.sketch.get() };
+        let admitted = match sketch {
+            Some(lfu) if table.state() != TableState::Bypassed => {
+                let candidate = key_hash64(key);
+                match table.resident_key(key).map(key_hash64) {
+                    Some(victim) => lfu.admits(candidate, victim),
+                    None => {
+                        lfu.observe(candidate);
+                        true
+                    }
+                }
+            }
+            _ => true,
+        };
+        if admitted {
+            let odd = shard.begin_entry_write();
+            table.record_dep(slot, key, outputs, fp);
+            shard.end_entry_write(odd);
+        } else {
+            shard.opt.admission_rejects.fetch_add(1, Ordering::Relaxed);
+        }
+        shard
+            .bypassed
+            .store(table.state() == TableState::Bypassed, Ordering::Relaxed);
+    }
+
+    /// Enables (or disables) TinyLFU admission on every shard, each sized
+    /// for its own slot count. Takes `&mut self`: admission is wired at
+    /// build time, before the store is shared. Enabling resets any
+    /// previous sketch's frequency state.
+    pub fn set_admission(&mut self, enabled: bool) {
+        for shard in &mut self.shards {
+            let slots = shard.table.get_mut().slots();
+            *shard.sketch.get_mut() = enabled.then(|| TinyLfu::new(slots));
+        }
+    }
+
+    /// Whether TinyLFU admission is enabled (on shard 0 — shards are
+    /// always configured uniformly).
+    pub fn admission_enabled(&mut self) -> bool {
+        self.shards[0].sketch.get_mut().is_some()
     }
 
     /// Declares segment `slot`'s fingerprint width on every shard; see
@@ -528,6 +601,21 @@ impl ShardedTable {
         (0..self.shards.len())
             .map(|i| self.with_locked(i, false, |t| t.telemetry().dropped_records()))
             .sum()
+    }
+
+    /// Runs a read-only closure on shard `i`'s table under its lock
+    /// (snapshot export path; optimistic counters are drained first so
+    /// the table's telemetry is current).
+    pub(crate) fn with_shard<R>(&self, i: usize, f: impl FnOnce(&MemoTable) -> R) -> R {
+        self.with_locked(i, false, |t| f(t))
+    }
+
+    /// Runs a closure on shard `i`'s table through exclusive access (no
+    /// locking, no version bump — the store is not shared yet). Snapshot
+    /// *restore* path: a restored store is always rebuilt fresh before
+    /// being handed to workers.
+    pub(crate) fn with_shard_mut<R>(&mut self, i: usize, f: impl FnOnce(&mut MemoTable) -> R) -> R {
+        f(self.shards[i].table.get_mut())
     }
 
     /// Times a poisoned shard lock was recovered (shard cleared and
@@ -798,6 +886,88 @@ mod tests {
         assert!(t.shard_states().iter().all(|&s| s == TableState::Active));
         assert!(t.lookup(0, &[5], &mut out), "entries survived the bypass");
         assert_eq!(out, vec![50]);
+    }
+
+    fn admission_store(enabled: bool) -> ShardedTable {
+        let mut t = ShardedTable::try_from_spec(&spec(256), 1).unwrap();
+        t.set_admission(enabled);
+        t
+    }
+
+    /// 64 hot keys recorded 16 times each, then 200 one-shot keys whose
+    /// residues alias many of the hot slots.
+    fn hot_then_one_shot(t: &ShardedTable) {
+        for _ in 0..16 {
+            for k in 0..64u64 {
+                t.record(0, &[k], &[k * 2]);
+            }
+        }
+        for k in 10_000..10_200u64 {
+            t.record(0, &[k], &[1]);
+        }
+    }
+
+    #[test]
+    fn admission_protects_hot_entries_from_one_shot_churn() {
+        let t = admission_store(true);
+        hot_then_one_shot(&t);
+        let s = t.stats();
+        assert!(s.admission_rejects > 0, "sketch rejected no one-shots");
+        let mut out = Vec::new();
+        let mut hot_hits = 0;
+        for k in 0..64u64 {
+            if t.lookup(0, &[k], &mut out) {
+                hot_hits += 1;
+            }
+        }
+        assert_eq!(hot_hits, 64, "every hot key survived the one-shot flood");
+    }
+
+    #[test]
+    fn admission_cuts_evictions_at_equal_memory() {
+        let off = admission_store(false);
+        hot_then_one_shot(&off);
+        let on = admission_store(true);
+        hot_then_one_shot(&on);
+        assert!(
+            on.stats().evictions < off.stats().evictions,
+            "admission on: {} evictions, off: {}",
+            on.stats().evictions,
+            off.stats().evictions
+        );
+        assert_eq!(
+            off.stats().admission_rejects,
+            0,
+            "no rejects without a sketch"
+        );
+    }
+
+    #[test]
+    fn same_key_refreshes_are_always_admitted() {
+        let t = admission_store(true);
+        let mut out = Vec::new();
+        t.record(0, &[5], &[50]);
+        for _ in 0..10 {
+            t.record(0, &[5], &[51]);
+        }
+        assert!(t.lookup(0, &[5], &mut out));
+        assert_eq!(out, vec![51], "refresh took effect");
+        assert_eq!(t.stats().admission_rejects, 0);
+    }
+
+    #[test]
+    fn bypassed_shards_skip_the_admission_sketch() {
+        let t = admission_store(true);
+        t.force_bypass("test");
+        for k in 0..50u64 {
+            t.record(0, &[k], &[k]);
+        }
+        assert_eq!(
+            t.stats().admission_rejects,
+            0,
+            "bypass supersedes admission"
+        );
+        assert!(t.dropped_records() >= 50, "records dropped by the guard");
     }
 
     #[test]

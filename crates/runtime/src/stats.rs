@@ -36,6 +36,17 @@ pub struct TableStats {
     /// writer) and had to retry or fall back to the shard lock. Not an
     /// access: the probe is counted once, at its final resolution.
     pub optimistic_retries: u64,
+    /// Subset of `hits` answered from a per-worker L1 front cache without
+    /// touching the shared L2 store (DESIGN.md §8i). Always zero for
+    /// untiered configurations.
+    pub l1_hits: u64,
+    /// Entries copied from the L2 store into an L1 front cache after
+    /// repeated L2 hits on the same key (DESIGN.md §8i).
+    pub promotions: u64,
+    /// Recordings the TinyLFU admission sketch refused because the
+    /// candidate key's estimated frequency did not exceed the resident
+    /// victim's (DESIGN.md §8i). Not insertions: the store is unchanged.
+    pub admission_rejects: u64,
 }
 
 impl TableStats {
@@ -74,6 +85,11 @@ impl TableStats {
         self.optimistic_retries = self
             .optimistic_retries
             .saturating_add(other.optimistic_retries);
+        self.l1_hits = self.l1_hits.saturating_add(other.l1_hits);
+        self.promotions = self.promotions.saturating_add(other.promotions);
+        self.admission_rejects = self
+            .admission_rejects
+            .saturating_add(other.admission_rejects);
     }
 
     /// Counter increments since `earlier` (a snapshot of the same table's
@@ -93,6 +109,11 @@ impl TableStats {
             optimistic_retries: self
                 .optimistic_retries
                 .wrapping_sub(earlier.optimistic_retries),
+            l1_hits: self.l1_hits.wrapping_sub(earlier.l1_hits),
+            promotions: self.promotions.wrapping_sub(earlier.promotions),
+            admission_rejects: self
+                .admission_rejects
+                .wrapping_sub(earlier.admission_rejects),
         }
     }
 }
@@ -202,5 +223,29 @@ mod tests {
         assert_eq!(d.collisions, 2);
         assert_eq!(d.evictions, 2);
         assert_eq!(d.insertions, 7);
+    }
+
+    #[test]
+    fn tiering_counters_merge_and_delta() {
+        let earlier = TableStats {
+            l1_hits: 4,
+            promotions: 2,
+            admission_rejects: 1,
+            ..TableStats::default()
+        };
+        let mut later = earlier;
+        later.merge(&TableStats {
+            l1_hits: 6,
+            promotions: 1,
+            admission_rejects: 3,
+            ..TableStats::default()
+        });
+        assert_eq!(later.l1_hits, 10);
+        assert_eq!(later.promotions, 3);
+        assert_eq!(later.admission_rejects, 4);
+        let d = later.delta_since(&earlier);
+        assert_eq!(d.l1_hits, 6);
+        assert_eq!(d.promotions, 1);
+        assert_eq!(d.admission_rejects, 3);
     }
 }

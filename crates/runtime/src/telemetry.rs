@@ -165,6 +165,21 @@ impl Telemetry {
         closed
     }
 
+    /// Reinstates the running totals a snapshot preserved (DESIGN.md §8i):
+    /// the next window index plus the whole-run bypass/drop counters. The
+    /// window in flight, closed-window history, per-segment counters, and
+    /// the transition journal are *not* restored — they describe the
+    /// process that died, and replaying them would mis-attribute the new
+    /// process's traffic — so the restored table resumes with an empty
+    /// history at epoch `epoch`.
+    pub fn restore_baseline(&mut self, epoch: u64, bypassed_total: u64, dropped_records: u64) {
+        self.epoch = epoch;
+        self.window = TableStats::default();
+        self.window_bypassed = 0;
+        self.bypassed_total = bypassed_total;
+        self.dropped_records = dropped_records;
+    }
+
     /// Journals a guard transition at window `epoch`.
     pub fn push_transition(
         &mut self,

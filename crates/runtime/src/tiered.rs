@@ -1,0 +1,474 @@
+//! Two-level tiering and frequency-based admission (DESIGN.md §8i).
+//!
+//! Two independent pieces share this module because both exist to protect
+//! a shared [`crate::ShardedTable`] L2 from unprofitable traffic:
+//!
+//! - [`L1Cache`] — a small, per-worker, direct-mapped front cache probed
+//!   before the sharded store. It is allocation-free after construction
+//!   and takes no locks: each worker owns its L1 outright, so the only
+//!   coherence question is staleness against the shared L2. The cache
+//!   resolves it by construction: **only fingerprint-free segments are
+//!   cacheable**. An entry without a dependency fingerprint maps its key
+//!   to outputs as a pure function (DESIGN.md §8g), so a stale L1 copy is
+//!   still a *correct* copy — the worst case is serving outputs the L2
+//!   has since evicted, which a private memo table would have served too.
+//!   Fingerprinted entries can genuinely go stale and are never cached.
+//! - [`TinyLfu`] — a counting sketch (4-bit saturating counters, periodic
+//!   halving) estimating key frequencies from the record stream. The
+//!   sharded store consults it before letting a recording evict a
+//!   resident entry with a different key: the candidate is admitted only
+//!   when its estimated frequency *exceeds* the victim's, so one-shot
+//!   keys stop churning hot entries out of a saturated table.
+
+use crate::stats::TableStats;
+use crate::TableSpec;
+
+/// 64-bit mix (splitmix64 finaliser) used for L1 slot selection and the
+/// TinyLFU row hashes. Distinct from the paper's Jenkins pipeline on
+/// purpose: the sketch and the L1 want hash bits decorrelated from both
+/// the L2 shard choice (Fibonacci high bits) and the in-shard index
+/// (Jenkins low bits).
+#[inline]
+fn mix64(mut x: u64) -> u64 {
+    x ^= x >> 30;
+    x = x.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x ^= x >> 27;
+    x = x.wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// 64-bit hash of a key's words, for [`TinyLfu`] frequency estimates and
+/// [`L1Cache`] indexing.
+pub fn key_hash64(key: &[u64]) -> u64 {
+    let mut h = 0x9E37_79B9_7F4A_7C15u64;
+    for &w in key {
+        h = mix64(h ^ w);
+    }
+    h
+}
+
+/// A per-worker direct-mapped front cache over one table of a shared
+/// sharded store (DESIGN.md §8i).
+///
+/// Keys are admitted by *promotion only*: the first L2 hit for a key marks
+/// its L1 slot as a candidate, and a second L2 hit for the same key while
+/// the candidacy stands installs the entry (counted in
+/// [`TableStats::promotions`]). Recordings never install fresh entries —
+/// they only refresh an already-resident one (write-through), so a burst
+/// of one-shot records cannot flush the L1.
+#[derive(Debug, Clone)]
+pub struct L1Cache {
+    /// `slots - 1`; the slot count is a power of two.
+    mask: u64,
+    key_words: usize,
+    /// Output width per segment slot (from the table's spec).
+    out_words: Vec<usize>,
+    /// Widest output group; the data stride reserves this much.
+    max_out: usize,
+    /// Per segment slot: `true` iff the segment declared no dependency
+    /// fingerprint, making its entries pure key→output functions that are
+    /// safe to serve stale.
+    cacheable: Vec<bool>,
+    /// Per L1 slot: `0` empty, else `1 | (segment_slot << 1)`.
+    meta: Vec<u64>,
+    /// Entry bodies at stride `key_words + max_out`.
+    data: Vec<u64>,
+    /// Per L1 slot: hash of the last L2-hit `(segment, key)` awaiting its
+    /// second hit (`0` = no candidate).
+    candidate: Vec<u64>,
+    stats: TableStats,
+}
+
+impl L1Cache {
+    /// A front cache with at least `slots` entries (rounded up to a power
+    /// of two) for the table shaped by `spec`, whose segment `s` declared
+    /// a `fp_words[s]`-word dependency fingerprint (`0` = exact-match).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slots` is zero or `fp_words.len()` differs from the
+    /// spec's segment count.
+    pub fn new(slots: usize, spec: &TableSpec, fp_words: &[usize]) -> Self {
+        assert!(slots > 0, "L1 must have at least one slot");
+        assert_eq!(
+            fp_words.len(),
+            spec.out_words.len(),
+            "one fingerprint width per segment"
+        );
+        let n = slots.next_power_of_two();
+        let max_out = spec.out_words.iter().copied().max().unwrap_or(0);
+        L1Cache {
+            mask: (n - 1) as u64,
+            key_words: spec.key_words,
+            out_words: spec.out_words.clone(),
+            max_out,
+            cacheable: fp_words.iter().map(|&w| w == 0).collect(),
+            meta: vec![0; n],
+            data: vec![0; n * (spec.key_words + max_out)],
+            candidate: vec![0; n],
+            stats: TableStats::default(),
+        }
+    }
+
+    fn stride(&self) -> usize {
+        self.key_words + self.max_out
+    }
+
+    /// Number of L1 slots (a power of two).
+    pub fn slots(&self) -> usize {
+        self.meta.len()
+    }
+
+    /// Whether segment `slot`'s entries may be cached (declared
+    /// fingerprint-free at build time).
+    pub fn cacheable(&self, slot: usize) -> bool {
+        self.cacheable.get(slot).copied().unwrap_or(false)
+    }
+
+    /// Counters accumulated by this cache: `accesses`/`hits`/`l1_hits` for
+    /// probes it answered, `promotions` for installs. Probes it could not
+    /// answer are *not* counted here — they resolve (and count) in the L2,
+    /// so summing L1 and L2 stats counts every probe exactly once.
+    pub fn stats(&self) -> &TableStats {
+        &self.stats
+    }
+
+    fn index_and_hash(&self, slot: usize, key: &[u64]) -> (usize, u64) {
+        let h = mix64(key_hash64(key) ^ ((slot as u64) << 1 | 1));
+        ((h & self.mask) as usize, h | 1)
+    }
+
+    /// Probes the cache for segment `slot`'s outputs under `key`. Returns
+    /// `true` and fills `out` on a hit; on a miss nothing is counted (the
+    /// caller falls through to the L2, which counts the probe).
+    ///
+    /// Callers must not probe for uncacheable segments or forced-red
+    /// probes (`green` with no validator) — route those straight to the
+    /// L2 so its miss accounting and bypass telemetry stay exact.
+    pub fn probe(&mut self, slot: usize, key: &[u64], out: &mut Vec<u64>) -> bool {
+        debug_assert!(self.cacheable(slot), "probe only cacheable segments");
+        debug_assert_eq!(key.len(), self.key_words, "key width mismatch");
+        let (idx, _) = self.index_and_hash(slot, key);
+        let meta = self.meta[idx];
+        if meta == 0 || (meta >> 1) as usize != slot {
+            return false;
+        }
+        let base = idx * self.stride();
+        if self.data[base..base + self.key_words] != *key {
+            return false;
+        }
+        self.stats.accesses += 1;
+        self.stats.hits += 1;
+        self.stats.l1_hits += 1;
+        let lo = base + self.key_words;
+        out.clear();
+        out.extend_from_slice(&self.data[lo..lo + self.out_words[slot]]);
+        true
+    }
+
+    /// Feeds an L2 hit for a cacheable segment into the promotion
+    /// machinery: the first hit for a `(slot, key)` marks it candidate,
+    /// the second installs the entry (write path for admission-by-reuse).
+    pub fn note_l2_hit(&mut self, slot: usize, key: &[u64], outputs: &[u64]) {
+        if !self.cacheable(slot) {
+            return;
+        }
+        debug_assert_eq!(key.len(), self.key_words, "key width mismatch");
+        let (idx, tag) = self.index_and_hash(slot, key);
+        if self.candidate[idx] == tag {
+            self.install(idx, slot, key, outputs);
+            self.candidate[idx] = 0;
+            self.stats.promotions += 1;
+        } else {
+            self.candidate[idx] = tag;
+        }
+    }
+
+    /// Write-through on record: refreshes the outputs only when this exact
+    /// `(slot, key)` is already resident, so the L1 never serves outputs
+    /// older than the worker's own recordings. Non-resident keys are not
+    /// installed — promotion is the only admission path.
+    pub fn write_through(&mut self, slot: usize, key: &[u64], outputs: &[u64]) {
+        if !self.cacheable(slot) {
+            return;
+        }
+        debug_assert_eq!(key.len(), self.key_words, "key width mismatch");
+        let (idx, _) = self.index_and_hash(slot, key);
+        let meta = self.meta[idx];
+        if meta == 0 || (meta >> 1) as usize != slot {
+            return;
+        }
+        let base = idx * self.stride();
+        if self.data[base..base + self.key_words] != *key {
+            return;
+        }
+        self.install(idx, slot, key, outputs);
+    }
+
+    fn install(&mut self, idx: usize, slot: usize, key: &[u64], outputs: &[u64]) {
+        debug_assert_eq!(outputs.len(), self.out_words[slot], "output width mismatch");
+        let base = idx * self.stride();
+        self.data[base..base + self.key_words].copy_from_slice(key);
+        let lo = base + self.key_words;
+        self.data[lo..lo + outputs.len()].copy_from_slice(outputs);
+        self.meta[idx] = 1 | ((slot as u64) << 1);
+    }
+
+    /// Drops every cached entry and candidacy, keeping the statistics.
+    pub fn clear(&mut self) {
+        self.meta.fill(0);
+        self.candidate.fill(0);
+    }
+}
+
+/// How many record observations pass before every sketch counter is
+/// halved, per counter: the sample period is `HALVING_OPS_PER_COUNTER ×
+/// counters`, aging old frequencies out so the sketch tracks the recent
+/// stream rather than all history.
+const HALVING_OPS_PER_COUNTER: u64 = 8;
+
+/// TinyLFU-style frequency sketch: a count-min of 4 rows of 4-bit
+/// saturating counters, halved every sample period (DESIGN.md §8i).
+#[derive(Debug, Clone)]
+pub struct TinyLfu {
+    /// Packed 4-bit counters, 16 per word.
+    counters: Vec<u64>,
+    /// `nibbles - 1`; the nibble count is a power of two.
+    mask: u64,
+    /// Record observations since the last halving.
+    samples: u64,
+    sample_period: u64,
+    halvings: u64,
+}
+
+/// Count-min rows per estimate.
+const SKETCH_ROWS: u64 = 4;
+
+impl TinyLfu {
+    /// A sketch sized for a table of `slots` entries: roughly four
+    /// counters per slot (rounded up to a power of two, minimum 64), so
+    /// estimates stay meaningful at full occupancy.
+    pub fn new(slots: usize) -> Self {
+        let nibbles = (slots.max(1) * 4).next_power_of_two().max(64);
+        TinyLfu {
+            counters: vec![0; nibbles / 16],
+            mask: (nibbles - 1) as u64,
+            samples: 0,
+            sample_period: HALVING_OPS_PER_COUNTER * nibbles as u64,
+            halvings: 0,
+        }
+    }
+
+    fn nibble(&self, idx: u64) -> u8 {
+        let word = self.counters[(idx / 16) as usize];
+        ((word >> ((idx % 16) * 4)) & 0xF) as u8
+    }
+
+    fn bump_nibble(&mut self, idx: u64) {
+        let word = &mut self.counters[(idx / 16) as usize];
+        let shift = (idx % 16) * 4;
+        let v = (*word >> shift) & 0xF;
+        if v < 0xF {
+            *word += 1 << shift;
+        }
+    }
+
+    fn rows(h: u64) -> impl Iterator<Item = u64> {
+        // Double hashing: row i probes h1 + i·h2 (h2 forced odd so the
+        // stride is coprime with the power-of-two nibble count).
+        let h1 = h;
+        let h2 = mix64(h) | 1;
+        (0..SKETCH_ROWS).map(move |i| h1.wrapping_add(i.wrapping_mul(h2)))
+    }
+
+    /// Estimated frequency of the key hashing to `h`: the count-min
+    /// minimum over the rows.
+    pub fn estimate(&self, h: u64) -> u8 {
+        Self::rows(h)
+            .map(|r| self.nibble(r & self.mask))
+            .min()
+            .unwrap_or(0)
+    }
+
+    /// Feeds one observation of the key hashing to `h` into the sketch,
+    /// halving every counter when the sample period elapses.
+    pub fn observe(&mut self, h: u64) {
+        for r in Self::rows(h) {
+            self.bump_nibble(r & self.mask);
+        }
+        self.samples += 1;
+        if self.samples >= self.sample_period {
+            self.halve();
+        }
+    }
+
+    /// The admission decision: after observing the candidate, admit it
+    /// only when its estimated frequency strictly exceeds the resident
+    /// victim's. Strict comparison keeps ties with the incumbent — a
+    /// candidate seen no more often than the entry it would evict is not
+    /// worth the churn.
+    pub fn admits(&mut self, candidate: u64, victim: u64) -> bool {
+        self.observe(candidate);
+        self.estimate(candidate) > self.estimate(victim)
+    }
+
+    fn halve(&mut self) {
+        for word in &mut self.counters {
+            // Halve all 16 nibbles at once: shift, then mask the bit that
+            // leaked in from each nibble's upper neighbour.
+            *word = (*word >> 1) & 0x7777_7777_7777_7777;
+        }
+        self.samples /= 2;
+        self.halvings += 1;
+    }
+
+    /// Times the sketch halved its counters (aging events).
+    pub fn halvings(&self) -> u64 {
+        self.halvings
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec() -> TableSpec {
+        TableSpec {
+            slots: 64,
+            key_words: 2,
+            out_words: vec![2],
+        }
+    }
+
+    #[test]
+    fn promotion_needs_two_l2_hits() {
+        let mut l1 = L1Cache::new(16, &spec(), &[0]);
+        let mut out = Vec::new();
+        assert!(!l1.probe(0, &[1, 2], &mut out));
+        l1.note_l2_hit(0, &[1, 2], &[10, 20]);
+        assert!(!l1.probe(0, &[1, 2], &mut out), "candidate, not resident");
+        l1.note_l2_hit(0, &[1, 2], &[10, 20]);
+        assert!(l1.probe(0, &[1, 2], &mut out), "second hit promotes");
+        assert_eq!(out, vec![10, 20]);
+        assert_eq!(l1.stats().promotions, 1);
+        assert_eq!(l1.stats().l1_hits, 1);
+        assert_eq!(l1.stats().hits, 1);
+        assert_eq!(l1.stats().accesses, 1, "misses are counted by the L2");
+    }
+
+    #[test]
+    fn write_through_refreshes_resident_entries_only() {
+        let mut l1 = L1Cache::new(16, &spec(), &[0]);
+        let mut out = Vec::new();
+        l1.write_through(0, &[1, 2], &[10, 20]);
+        assert!(!l1.probe(0, &[1, 2], &mut out), "records never install");
+        l1.note_l2_hit(0, &[1, 2], &[10, 20]);
+        l1.note_l2_hit(0, &[1, 2], &[10, 20]);
+        l1.write_through(0, &[1, 2], &[11, 21]);
+        assert!(l1.probe(0, &[1, 2], &mut out));
+        assert_eq!(out, vec![11, 21], "resident entry refreshed");
+    }
+
+    #[test]
+    fn fingerprinted_segments_are_never_cacheable() {
+        let mspec = TableSpec {
+            slots: 64,
+            key_words: 1,
+            out_words: vec![1, 1],
+        };
+        let mut l1 = L1Cache::new(16, &mspec, &[0, 2]);
+        assert!(l1.cacheable(0));
+        assert!(!l1.cacheable(1));
+        l1.note_l2_hit(1, &[5], &[50]);
+        l1.note_l2_hit(1, &[5], &[50]);
+        assert_eq!(l1.stats().promotions, 0, "fingerprinted slot ignored");
+    }
+
+    #[test]
+    fn segments_do_not_alias_each_other() {
+        let mspec = TableSpec {
+            slots: 64,
+            key_words: 1,
+            out_words: vec![1, 1],
+        };
+        let mut l1 = L1Cache::new(16, &mspec, &[0, 0]);
+        let mut out = Vec::new();
+        l1.note_l2_hit(0, &[5], &[50]);
+        l1.note_l2_hit(0, &[5], &[50]);
+        assert!(l1.probe(0, &[5], &mut out));
+        assert!(
+            !l1.probe(1, &[5], &mut out),
+            "segment 1 never hits segment 0's entry"
+        );
+    }
+
+    #[test]
+    fn clear_drops_entries_but_keeps_stats() {
+        let mut l1 = L1Cache::new(16, &spec(), &[0]);
+        let mut out = Vec::new();
+        l1.note_l2_hit(0, &[1, 2], &[10, 20]);
+        l1.note_l2_hit(0, &[1, 2], &[10, 20]);
+        assert!(l1.probe(0, &[1, 2], &mut out));
+        l1.clear();
+        assert!(!l1.probe(0, &[1, 2], &mut out));
+        assert_eq!(l1.stats().promotions, 1);
+        assert_eq!(l1.stats().l1_hits, 1);
+    }
+
+    #[test]
+    fn sketch_estimates_track_frequency() {
+        let mut lfu = TinyLfu::new(256);
+        let hot = key_hash64(&[1]);
+        let cold = key_hash64(&[2]);
+        for _ in 0..10 {
+            lfu.observe(hot);
+        }
+        lfu.observe(cold);
+        assert!(lfu.estimate(hot) > lfu.estimate(cold));
+    }
+
+    #[test]
+    fn admission_prefers_frequent_candidates() {
+        let mut lfu = TinyLfu::new(256);
+        let hot = key_hash64(&[1]);
+        let one_shot = key_hash64(&[999]);
+        for _ in 0..8 {
+            lfu.observe(hot);
+        }
+        assert!(
+            !lfu.admits(one_shot, hot),
+            "a one-shot key must not evict a hot resident"
+        );
+        for _ in 0..12 {
+            lfu.observe(one_shot);
+        }
+        assert!(
+            lfu.admits(one_shot, hot),
+            "a now-hotter candidate is admitted"
+        );
+    }
+
+    #[test]
+    fn counters_saturate_and_halve() {
+        let mut lfu = TinyLfu::new(16);
+        let h = key_hash64(&[7]);
+        for _ in 0..100 {
+            lfu.observe(h);
+        }
+        assert_eq!(lfu.estimate(h), 0xF, "4-bit counters saturate");
+        let before = lfu.estimate(h);
+        lfu.halve();
+        assert_eq!(lfu.estimate(h), before / 2);
+        assert!(lfu.halvings() >= 1);
+    }
+
+    #[test]
+    fn halving_happens_within_the_sample_period() {
+        let mut lfu = TinyLfu::new(1);
+        // Tiny sketch (64 nibbles): the period is 8×64 = 512 observations.
+        for k in 0..513u64 {
+            lfu.observe(key_hash64(&[k]));
+        }
+        assert!(lfu.halvings() >= 1, "periodic aging never fired");
+    }
+}

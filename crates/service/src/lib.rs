@@ -73,14 +73,15 @@ pub mod fingerprint;
 pub mod histogram;
 pub mod queue;
 
+use std::path::Path;
 use std::sync::{Arc, Mutex, PoisonError};
 use std::time::{Duration, Instant};
 
 use memo_runtime::{
-    FailPoint, FaultCounters, FaultPlan, GuardPolicy, MemoTable, ShardedTable, SpecError,
-    TableSpec, TableState, TableStats,
+    FailPoint, FaultCounters, FaultPlan, GuardPolicy, MemoTable, ShardedTable, SnapshotError,
+    SpecError, TableSpec, TableState, TableStats,
 };
-use vm::{CostModel, Module, RunConfig};
+use vm::{CostModel, L1Cache, Module, RunConfig};
 
 pub use fingerprint::fingerprint_outcome;
 pub use histogram::LatencyHistogram;
@@ -155,6 +156,18 @@ pub struct ServiceConfig {
     /// are identical either way (DESIGN.md §8e/§8g); only the hit ratio
     /// and cycle ledger move.
     pub validate: bool,
+    /// Per-worker L1 cache slots per table (DESIGN.md §8i); `0` disables
+    /// tiering and workers probe the shared store directly. L1 caches are
+    /// per batch: their `l1_hits`/`promotions` are folded into the batch's
+    /// [`ServiceReport::store_delta`] (not the cumulative
+    /// [`ReuseService::store_stats`], which tracks the shared store only).
+    pub l1_slots: usize,
+    /// Whether the stores gate recordings through the TinyLFU admission
+    /// sketch (DESIGN.md §8i): a new key must look more frequent than the
+    /// resident it would evict, so one-shot keys stop churning hot
+    /// entries. Applies to stores built after the flag is set (via
+    /// [`ReuseService::new`] or [`ReuseService::reset_stores`]).
+    pub admission: bool,
 }
 
 impl Default for ServiceConfig {
@@ -174,6 +187,8 @@ impl Default for ServiceConfig {
             high_watermark: None,
             low_watermark: 0,
             validate: true,
+            l1_slots: 64,
+            admission: false,
         }
     }
 }
@@ -367,6 +382,24 @@ struct ProgramRt {
     store: Arc<Vec<ShardedTable>>,
 }
 
+/// How [`ReuseService::restore_from`] ended.
+#[derive(Debug)]
+pub enum RestoreOutcome {
+    /// The snapshot was valid: the stores hold its entries and resume at
+    /// the snapshotted hit ratio.
+    Restored,
+    /// The snapshot was unusable (reason attached); the stores are fresh
+    /// and empty — the documented degraded mode, never a panic.
+    ColdStart(SnapshotError),
+}
+
+impl RestoreOutcome {
+    /// Whether the snapshot was actually restored.
+    pub fn is_restored(&self) -> bool {
+        matches!(self, RestoreOutcome::Restored)
+    }
+}
+
 /// The service: programs, their shared stores, and a worker-pool runner.
 ///
 /// `run` may be called repeatedly; the shared stores persist between
@@ -448,6 +481,61 @@ impl ReuseService {
             rt.store = Arc::new(build_store(&rt.program, &self.config)?);
         }
         Ok(())
+    }
+
+    /// Writes a snapshot of every program's shared store to `path`
+    /// (DESIGN.md §8i): all entries, dependency fingerprints, per-shard
+    /// statistics and telemetry baselines, in program-index order. Safe
+    /// on a live service — each shard is captured under its lock.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SnapshotError::Io`] on filesystem failure.
+    pub fn snapshot_to(&self, path: &Path) -> Result<(), SnapshotError> {
+        let refs: Vec<&ShardedTable> = self.programs.iter().flat_map(|p| p.store.iter()).collect();
+        memo_runtime::write_snapshot(&refs, path)
+    }
+
+    /// Restores the stores from a snapshot written by
+    /// [`ReuseService::snapshot_to`] under the *same program set and
+    /// service shape* (table specs, shard count). On success the service
+    /// resumes warm: entries, statistics and telemetry baselines are back
+    /// and shard geometry is re-frozen, so the optimistic probe path is
+    /// immediately live. On *any* failure — missing file, corruption,
+    /// version or geometry mismatch — the service falls back to fresh,
+    /// empty stores (a clean cold start) and reports why; it never
+    /// panics on snapshot contents.
+    ///
+    /// # Panics
+    ///
+    /// Panics only if a table spec stopped being instantiable (cannot
+    /// happen for specs that already built once in `new`).
+    pub fn restore_from(&mut self, path: &Path) -> RestoreOutcome {
+        let build = |programs: &[ProgramRt], config: &ServiceConfig| -> Vec<Vec<ShardedTable>> {
+            programs
+                .iter()
+                .map(|rt| {
+                    build_store(&rt.program, config)
+                        .unwrap_or_else(|e| panic!("{}: invalid table spec: {e}", rt.program.name))
+                })
+                .collect()
+        };
+        let mut fresh = build(&self.programs, &self.config);
+        let mut refs: Vec<&mut ShardedTable> =
+            fresh.iter_mut().flat_map(|v| v.iter_mut()).collect();
+        let outcome = match memo_runtime::read_snapshot(&mut refs, path) {
+            Ok(()) => RestoreOutcome::Restored,
+            Err(e) => {
+                // A failed restore may have imported some shards; discard
+                // everything and cold-start from another fresh build.
+                fresh = build(&self.programs, &self.config);
+                RestoreOutcome::ColdStart(e)
+            }
+        };
+        for (rt, store) in self.programs.iter_mut().zip(fresh) {
+            rt.store = Arc::new(store);
+        }
+        outcome
     }
 
     /// Changes the worker count for subsequent [`ReuseService::run`] calls.
@@ -580,6 +668,10 @@ impl ReuseService {
         let queue: BoundedQueue<usize> =
             BoundedQueue::with_faults(self.config.queue_capacity, self.config.faults.clone());
         let results: Mutex<Vec<Option<RequestResult>>> = Mutex::new(vec![None; requests.len()]);
+        // Per-program L1 statistics accumulated by the workers (the caches
+        // themselves are per worker and die with the batch).
+        let l1_acc: Mutex<Vec<TableStats>> =
+            Mutex::new(vec![TableStats::default(); self.programs.len()]);
         let before = self.per_program_stats();
         let faults_before = self.config.faults.as_ref().map(|p| p.counters());
         let mut push_retries = 0u64;
@@ -589,11 +681,17 @@ impl ReuseService {
             for w in 0..workers {
                 let queue = &queue;
                 let results = &results;
+                let l1_acc = &l1_acc;
                 s.spawn(move || {
                     // One lazily-filled bytecode cache per worker: each
                     // program is compiled at most once per worker, then
-                    // every request for it reuses the bytecode.
+                    // every request for it reuses the bytecode. The L1
+                    // tier is per worker per program too, built on first
+                    // use and carried across this worker's requests so
+                    // promotions pay off within the batch.
                     let mut compiled: Vec<Option<vm::Precompiled<'_>>> =
+                        (0..self.programs.len()).map(|_| None).collect();
+                    let mut l1_sets: Vec<Option<Vec<L1Cache>>> =
                         (0..self.programs.len()).map(|_| None).collect();
                     while let Some(idx) = queue.pop() {
                         let req = &requests[idx];
@@ -601,8 +699,24 @@ impl ReuseService {
                         let pre = compiled[req.program].get_or_insert_with(|| {
                             vm::precompile(&rt.program.module, &self.config.cost)
                         });
-                        let record = self.serve_one(idx, req, rt, pre, w);
+                        let l1 = if self.config.l1_slots > 0 {
+                            Some(
+                                l1_sets[req.program]
+                                    .take()
+                                    .unwrap_or_else(|| build_l1(&rt.program, self.config.l1_slots)),
+                            )
+                        } else {
+                            None
+                        };
+                        let (record, l1) = self.serve_one(idx, req, rt, pre, w, l1);
+                        l1_sets[req.program] = l1;
                         recover(results.lock())[idx] = Some(record);
+                    }
+                    let mut acc = recover(l1_acc.lock());
+                    for (p, set) in l1_sets.iter().enumerate() {
+                        for cache in set.iter().flatten() {
+                            acc[p].merge(cache.stats());
+                        }
                     }
                 });
             }
@@ -678,10 +792,19 @@ impl ReuseService {
         });
         let wall_seconds = t0.elapsed().as_secs_f64();
         let after = self.per_program_stats();
+        // L1 probes that hit never reach the shared store, so the batch's
+        // true traffic is the store delta plus the workers' L1 counters
+        // (summing the tiers counts every probe exactly once).
+        let l1_totals = recover(l1_acc.into_inner());
         let per_program_delta: Vec<TableStats> = after
             .iter()
             .zip(&before)
-            .map(|(a, b)| a.delta_since(b))
+            .zip(&l1_totals)
+            .map(|((a, b), l1)| {
+                let mut d = a.delta_since(b);
+                d.merge(l1);
+                d
+            })
             .collect();
         let mut store_delta = TableStats::default();
         for d in &per_program_delta {
@@ -732,7 +855,10 @@ impl ReuseService {
     }
 
     /// Runs one request on a worker thread: retry loop for poisoned-shard
-    /// faults, slow-request penalty, then the deadline checks.
+    /// faults, slow-request penalty, then the deadline checks. The
+    /// worker's L1 tier rides through the run and comes back with the
+    /// result (`None` after a trap — the aborted machine dropped it; the
+    /// worker rebuilds an empty tier on the next request).
     fn serve_one(
         &self,
         idx: usize,
@@ -740,7 +866,8 @@ impl ReuseService {
         rt: &ProgramRt,
         pre: &vm::Precompiled<'_>,
         worker: usize,
-    ) -> RequestResult {
+        mut l1: Option<Vec<L1Cache>>,
+    ) -> (RequestResult, Option<Vec<L1Cache>>) {
         let start = Instant::now();
         let mut failed_attempts = 0u32;
         let outcome = loop {
@@ -764,20 +891,25 @@ impl ReuseService {
                     continue;
                 }
             }
-            break Some(vm::run_precompiled(
-                &rt.program.module,
-                pre,
-                self.run_config_for(req, Some(Arc::clone(&rt.store))),
-            ));
+            let mut config = self.run_config_for(req, Some(Arc::clone(&rt.store)));
+            config.l1 = l1.take();
+            let mut result = vm::run_precompiled(&rt.program.module, pre, config);
+            if let Ok(o) = &mut result {
+                l1 = o.l1.take();
+            }
+            break Some(result);
         };
         let latency_ns = start.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64;
         let Some(outcome) = outcome else {
-            return unserved(
-                idx,
-                req.program,
-                RequestStatus::Exhausted,
-                latency_ns,
-                self.config.max_retries,
+            return (
+                unserved(
+                    idx,
+                    req.program,
+                    RequestStatus::Exhausted,
+                    latency_ns,
+                    self.config.max_retries,
+                ),
+                l1,
             );
         };
         let cycles = outcome.as_ref().map_or(0, |o| o.cycles);
@@ -799,17 +931,20 @@ impl ReuseService {
         } else {
             RequestStatus::Ok
         };
-        RequestResult {
-            request: idx,
-            program: req.program,
-            worker,
-            fingerprint: fingerprint_outcome(&outcome),
-            cycles,
-            latency_ns,
-            trapped: outcome.is_err(),
-            status,
-            retries: failed_attempts,
-        }
+        (
+            RequestResult {
+                request: idx,
+                program: req.program,
+                worker,
+                fingerprint: fingerprint_outcome(&outcome),
+                cycles,
+                latency_ns,
+                trapped: outcome.is_err(),
+                status,
+                retries: failed_attempts,
+            },
+            l1,
+        )
     }
 
     /// Applies `f` to every sharded table of every program.
@@ -915,6 +1050,7 @@ fn build_store(p: &ServiceProgram, config: &ServiceConfig) -> Result<Vec<Sharded
                 ..policy.clone()
             });
             t.set_fault_plan(config.faults.clone());
+            t.set_admission(config.admission);
             if let Some(deps) = p.table_deps.get(i) {
                 for (slot, &fpw) in deps.iter().enumerate() {
                     if fpw > 0 {
@@ -923,6 +1059,23 @@ fn build_store(p: &ServiceProgram, config: &ServiceConfig) -> Result<Vec<Sharded
                 }
             }
             Ok(t)
+        })
+        .collect()
+}
+
+/// Builds one worker's L1 tier for a program: one cache per table, with
+/// the program's dependency-fingerprint widths deciding which segments
+/// are cacheable (fingerprinted segments never are; DESIGN.md §8i).
+fn build_l1(p: &ServiceProgram, l1_slots: usize) -> Vec<L1Cache> {
+    p.specs
+        .iter()
+        .enumerate()
+        .map(|(i, spec)| {
+            let deps = match p.table_deps.get(i) {
+                Some(d) if !d.is_empty() => d.clone(),
+                _ => vec![0; spec.out_words.len()],
+            };
+            L1Cache::new(l1_slots, spec, &deps)
         })
         .collect()
 }
@@ -1206,6 +1359,118 @@ mod tests {
             report.latency_by_status[RequestStatus::Shed.index()].count(),
             shed
         );
+    }
+
+    #[test]
+    fn tiered_workers_report_l1_hits_and_match_the_baseline() {
+        let svc = ReuseService::new(
+            vec![memoized_program("work")],
+            ServiceConfig {
+                workers: 2,
+                l1_slots: 128,
+                ..ServiceConfig::default()
+            },
+        )
+        .expect("valid specs");
+        let requests = mix(24);
+        let baseline = svc.run_private_sequential(&requests);
+        svc.run(&requests); // warm the store so L2 hits can promote
+        let warm = svc.run(&requests);
+        assert_eq!(warm.fingerprints(), baseline.fingerprints());
+        assert!(
+            warm.store_delta.l1_hits > 0,
+            "a warm tiered batch must answer some probes from the L1: {:?}",
+            warm.store_delta
+        );
+        assert!(warm.store_delta.promotions > 0);
+        assert!(
+            warm.store_delta.hits >= warm.store_delta.l1_hits,
+            "l1_hits is a subset of hits"
+        );
+    }
+
+    #[test]
+    fn untiered_runs_report_no_l1_traffic() {
+        let svc = ReuseService::new(
+            vec![memoized_program("work")],
+            ServiceConfig {
+                workers: 2,
+                l1_slots: 0,
+                ..ServiceConfig::default()
+            },
+        )
+        .expect("valid specs");
+        let report = svc.run(&mix(8));
+        assert_eq!(report.store_delta.l1_hits, 0);
+        assert_eq!(report.store_delta.promotions, 0);
+    }
+
+    #[test]
+    fn snapshot_restore_resumes_warm_with_equal_fingerprints() {
+        let dir = std::env::temp_dir().join("compreuse-service-snap");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("warm.snap");
+        let requests = mix(24);
+        let mut svc = ReuseService::new(vec![memoized_program("work")], ServiceConfig::default())
+            .expect("valid specs");
+        let baseline = svc.run_private_sequential(&requests);
+        svc.run(&requests); // warm the store
+        let warm = svc.run(&requests);
+        let stats_before = svc.store_stats();
+        svc.snapshot_to(&path).expect("snapshot writes");
+        // "Restart": reset to cold, then restore the snapshot.
+        svc.reset_stores().expect("specs valid");
+        assert_eq!(svc.store_stats().accesses, 0, "reset is cold");
+        let outcome = svc.restore_from(&path);
+        assert!(outcome.is_restored(), "restore failed: {outcome:?}");
+        assert_eq!(
+            svc.store_stats(),
+            stats_before,
+            "statistics baseline survives the restart"
+        );
+        let restored = svc.run(&requests);
+        assert_eq!(restored.fingerprints(), baseline.fingerprints());
+        assert!(
+            restored.hit_ratio() >= warm.hit_ratio() - 0.05,
+            "restored batch must run warm: restored {} vs warm {}",
+            restored.hit_ratio(),
+            warm.hit_ratio()
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn broken_snapshots_cold_start_instead_of_panicking() {
+        let dir = std::env::temp_dir().join("compreuse-service-snap-broken");
+        std::fs::create_dir_all(&dir).unwrap();
+        let requests = mix(8);
+        let mut svc = ReuseService::new(vec![memoized_program("work")], ServiceConfig::default())
+            .expect("valid specs");
+        let baseline = svc.run_private_sequential(&requests);
+        svc.run(&requests);
+        let path = dir.join("store.snap");
+        svc.snapshot_to(&path).expect("snapshot writes");
+        // Corrupt the file in place.
+        let mut bytes = std::fs::read(&path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0xA5;
+        std::fs::write(&path, &bytes).unwrap();
+        let outcome = svc.restore_from(&path);
+        assert!(
+            matches!(outcome, RestoreOutcome::ColdStart(_)),
+            "corrupt snapshot must cold-start, got {outcome:?}"
+        );
+        assert_eq!(svc.store_stats().accesses, 0, "cold start is empty");
+        // The cold service still serves correctly.
+        let report = svc.run(&requests);
+        assert_eq!(report.fingerprints(), baseline.fingerprints());
+        // A missing file cold-starts too.
+        let outcome = svc.restore_from(&dir.join("absent.snap"));
+        assert!(matches!(
+            outcome,
+            RestoreOutcome::ColdStart(SnapshotError::Io(_))
+        ));
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

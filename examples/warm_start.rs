@@ -1,0 +1,80 @@
+//! Warm starts from a store snapshot (DESIGN.md §8i).
+//!
+//! ```sh
+//! cargo run --release --example warm_start
+//! ```
+//!
+//! A freshly started reuse service pays the cold-store tax: its first
+//! requests all miss and execute in full. This example serves a batch to
+//! warm the shared stores, snapshots them to disk, simulates a restart
+//! by resetting the service to empty stores, restores from the snapshot,
+//! and serves the batch again — printing the hit ratio of the *first
+//! decile* (the first 10% of requests) for the cold, warm, and restored
+//! runs. The restored service resumes at the warm ratio immediately;
+//! every answer is checked against the sequential baseline, so the
+//! shortcut is provably behavior-preserving. A deliberately corrupted
+//! snapshot at the end shows the failure mode: a clean cold start, never
+//! a panic.
+
+use bench::serve::{build_service, run_deciles, ServeOpts};
+
+fn main() {
+    let scale = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0.05);
+    let ws = vec![
+        workloads::by_name("UNEPIC").expect("workload"),
+        workloads::by_name("RASTA").expect("workload"),
+    ];
+    let opts = ServeOpts {
+        scale,
+        requests_per_workload: 10,
+        ..ServeOpts::default()
+    };
+    println!("preparing {} workloads at scale {scale}...", ws.len());
+    let (mut svc, requests) = build_service(&ws, &opts, 2);
+    let baseline = svc.run_private_sequential(&requests).fingerprints();
+
+    let cold = run_deciles(&svc, &requests);
+    let warm = run_deciles(&svc, &requests);
+
+    let path =
+        std::env::temp_dir().join(format!("compreuse-warm-start-{}.snap", std::process::id()));
+    svc.snapshot_to(&path).expect("snapshot writes");
+    let bytes = std::fs::metadata(&path).map(|m| m.len()).unwrap_or(0);
+    println!("snapshot: {} ({bytes} bytes)", path.display());
+
+    // "Restart": drop every store back to empty, then restore.
+    svc.reset_stores().expect("reset");
+    assert!(svc.restore_from(&path).is_restored(), "snapshot restores");
+    let restored = run_deciles(&svc, &requests);
+
+    for (run, label) in [(&cold, "cold"), (&warm, "warm"), (&restored, "restored")] {
+        assert_eq!(run.fingerprints, baseline, "{label} answers match baseline");
+        println!(
+            "{label:>8}: first decile {:.4}   overall {:.4}",
+            run.first_decile(),
+            run.overall()
+        );
+    }
+    println!(
+        "warm start recovers {:+.4} first-decile hit ratio over cold",
+        restored.first_decile() - cold.first_decile()
+    );
+
+    // Failure mode: flip one byte mid-file and restore again. The
+    // service refuses the snapshot and cold-starts — still correct,
+    // just slower for the first decile.
+    let mut raw = std::fs::read(&path).expect("read snapshot");
+    let mid = raw.len() / 2;
+    raw[mid] ^= 0x01;
+    std::fs::write(&path, &raw).expect("rewrite");
+    svc.reset_stores().expect("reset");
+    let outcome = svc.restore_from(&path);
+    assert!(!outcome.is_restored(), "corrupt snapshot must be refused");
+    println!("corrupt snapshot -> {outcome:?} (clean cold start)");
+    let after = svc.run(&requests);
+    assert_eq!(after.fingerprints(), baseline, "cold answers still match");
+    let _ = std::fs::remove_file(&path);
+}
