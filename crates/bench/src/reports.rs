@@ -690,53 +690,127 @@ fn json_table(index: usize, spec: &memo_runtime::TableSpec, t: &MemoTable) -> St
 // ---------------------------------------------------------------------
 
 /// Host wall-clock timings of one workload's full prepare + execute
-/// cycle under each execution engine.
+/// cycle under each measured execution engine (tree first; any number of
+/// further tiers may follow).
 #[derive(Debug, Clone)]
 pub struct EngineBenchRow {
     /// Workload name.
     pub name: &'static str,
-    /// Tree-walker wall-clock, milliseconds.
-    pub tree_ms: f64,
-    /// Bytecode-engine wall-clock, milliseconds.
-    pub bytecode_ms: f64,
+    /// Wall-clock per engine, milliseconds, in measurement order.
+    pub engine_ms: Vec<(vm::Engine, f64)>,
 }
 
 impl EngineBenchRow {
-    /// Wall-clock speedup of the bytecode engine over the tree-walker.
-    pub fn speedup(&self) -> f64 {
-        self.tree_ms / self.bytecode_ms
+    /// Wall-clock of `engine`, if it was measured.
+    pub fn ms(&self, engine: vm::Engine) -> Option<f64> {
+        self.engine_ms
+            .iter()
+            .find(|(e, _)| *e == engine)
+            .map(|&(_, ms)| ms)
     }
+
+    /// Wall-clock speedup of the bytecode engine over the tree-walker.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either engine was not measured.
+    pub fn speedup(&self) -> f64 {
+        self.ms(vm::Engine::Tree).expect("tree measured")
+            / self.ms(vm::Engine::Bytecode).expect("bytecode measured")
+    }
+}
+
+/// Sums each engine's wall-clock across `rows`, in row engine order.
+pub fn engine_totals(rows: &[EngineBenchRow]) -> Vec<(vm::Engine, f64)> {
+    let mut totals: Vec<(vm::Engine, f64)> = Vec::new();
+    for r in rows {
+        for &(e, ms) in &r.engine_ms {
+            match totals.iter_mut().find(|(t, _)| *t == e) {
+                Some((_, acc)) => *acc += ms,
+                None => totals.push((e, ms)),
+            }
+        }
+    }
+    totals
 }
 
 /// Serialises the per-engine wall-clock comparison. Modelled metrics are
 /// engine-independent (asserted by the differential tests), so only host
 /// timings appear here.
+///
+/// The schema is N-engine: each workload and the totals carry an
+/// `engine_ms` object keyed by engine name, plus `speedup_vs_tree` for
+/// every non-tree engine. The two-engine keys the PR 3 reports used
+/// (`tree_ms`, `bytecode_ms`, `speedup`, `total_tree_ms`,
+/// `total_bytecode_ms`, `speedup_wall`) are kept verbatim whenever both
+/// of those engines were measured, so existing consumers never break.
 pub fn engine_bench_json(scale: f64, opt: OptLevel, rows: &[EngineBenchRow]) -> String {
-    let total_tree: f64 = rows.iter().map(|r| r.tree_ms).sum();
-    let total_bc: f64 = rows.iter().map(|r| r.bytecode_ms).sum();
+    let ms_obj = |pairs: &[(vm::Engine, f64)]| -> String {
+        let fields: Vec<String> = pairs
+            .iter()
+            .map(|(e, ms)| format!("\"{e}\":{ms:.3}"))
+            .collect();
+        format!("{{{}}}", fields.join(","))
+    };
+    let speedups_obj = |pairs: &[(vm::Engine, f64)]| -> String {
+        let tree = pairs
+            .iter()
+            .find(|(e, _)| *e == vm::Engine::Tree)
+            .map(|&(_, ms)| ms);
+        let fields: Vec<String> = pairs
+            .iter()
+            .filter(|(e, _)| *e != vm::Engine::Tree)
+            .filter_map(|&(e, ms)| tree.map(|t| format!("\"{e}\":{:.3}", t / ms)))
+            .collect();
+        format!("{{{}}}", fields.join(","))
+    };
+    let legacy = |pairs: &[(vm::Engine, f64)], t_key: &str, b_key: &str, s_key: &str| -> String {
+        let (Some(t), Some(b)) = (
+            pairs
+                .iter()
+                .find(|(e, _)| *e == vm::Engine::Tree)
+                .map(|&(_, ms)| ms),
+            pairs
+                .iter()
+                .find(|(e, _)| *e == vm::Engine::Bytecode)
+                .map(|&(_, ms)| ms),
+        ) else {
+            return String::new();
+        };
+        format!(
+            "\"{t_key}\":{t:.3},\"{b_key}\":{b:.3},\"{s_key}\":{:.3},",
+            t / b
+        )
+    };
     let per: Vec<String> = rows
         .iter()
         .map(|r| {
             format!(
-                "{{\"name\":\"{}\",\"tree_ms\":{:.3},\"bytecode_ms\":{:.3},\"speedup\":{:.3}}}",
+                "{{\"name\":\"{}\",{}\"engine_ms\":{},\"speedup_vs_tree\":{}}}",
                 json_escape(r.name),
-                r.tree_ms,
-                r.bytecode_ms,
-                r.speedup(),
+                legacy(&r.engine_ms, "tree_ms", "bytecode_ms", "speedup"),
+                ms_obj(&r.engine_ms),
+                speedups_obj(&r.engine_ms),
             )
         })
         .collect();
+    let totals = engine_totals(rows);
     format!(
         concat!(
             "{{\"bench\":\"engines\",\"scale\":{},\"opt\":\"{:?}\",",
-            "\"total_tree_ms\":{:.3},\"total_bytecode_ms\":{:.3},\"speedup_wall\":{:.3},",
+            "{}\"total_engine_ms\":{},\"speedup_wall_vs_tree\":{},",
             "\"workloads\":[{}]}}"
         ),
         scale,
         opt,
-        total_tree,
-        total_bc,
-        total_tree / total_bc,
+        legacy(
+            &totals,
+            "total_tree_ms",
+            "total_bytecode_ms",
+            "speedup_wall"
+        ),
+        ms_obj(&totals),
+        speedups_obj(&totals),
         per.join(","),
     )
 }

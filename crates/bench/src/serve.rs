@@ -127,6 +127,7 @@ pub fn build_service(
                     specs: p.outcome.specs,
                     policies: p.outcome.policies,
                     table_deps: p.outcome.table_deps,
+                    spec_plan: p.outcome.spec_plan,
                 });
             });
         }

@@ -1,14 +1,19 @@
-//! Engine equivalence contract: the flat bytecode engine must be
-//! observationally identical to the tree-walker — same output text, same
-//! return value, same modelled cycles/energy, same table statistics, and
-//! same profiler counts — on every workload, at both opt levels, on both
-//! input families. Host wall-clock is the only permitted difference.
+//! Engine equivalence contract: every execution tier — the tree-walker
+//! (the executable spec), the flat bytecode engine, and the
+//! profile-guided specialized tier — must be observationally identical:
+//! same output text, same return value, same modelled cycles/energy,
+//! same table statistics, and same profiler counts. Host wall-clock is
+//! the only permitted difference. The matrix covers all seven main
+//! workloads × both opt levels × both input families × validation
+//! on/off × every engine pair.
 
 use bench::runner::{prepare_with, InputKind, PrepareOpts, Prepared};
 use vm::{CostModel, Engine, OptLevel, RunConfig};
 use workloads::Workload;
 
 const SCALE: f64 = 0.05;
+
+const ENGINES: [Engine; 3] = [Engine::Tree, Engine::Bytecode, Engine::Specialized];
 
 /// Deterministic fingerprint of a profiler state (hash maps are sorted
 /// so iteration order cannot leak in).
@@ -31,7 +36,9 @@ fn profile_fingerprint(p: &vm::ProfileData) -> String {
     s
 }
 
-/// Deterministic fingerprint of everything a run observes.
+/// Deterministic fingerprint of everything a run observes. The
+/// host-side observability fields (`Outcome::trace`, `Outcome::spec`)
+/// are deliberately excluded: they name the engine, not the program.
 fn outcome_fingerprint(o: &vm::Outcome) -> String {
     let stats: Vec<_> = o.tables.iter().map(|t| *t.stats()).collect();
     format!(
@@ -61,15 +68,18 @@ fn run_engine(p: &Prepared, module: &vm::Module, input: &[i64], engine: Engine) 
             input: input.to_vec(),
             tables: p.outcome.make_tables(),
             engine,
+            spec_plan: p.spec_plan.clone(),
             ..RunConfig::default()
         },
     )
     .unwrap_or_else(|t| panic!("{} ({engine}): trapped: {t}", p.name))
 }
 
-/// Pipeline + baseline + memoized runs for one (workload, opt): both
-/// engines must agree at every observation point.
-fn check_workload(w: &Workload, opt: OptLevel) {
+/// Pipeline + baseline + memoized runs for one (workload, opt, validate)
+/// cell: all three engines must agree pairwise at every observation
+/// point. Returns the specialized guard probes observed, so the caller
+/// can assert the tier actually specialized something somewhere.
+fn check_workload(w: &Workload, opt: OptLevel, validate: bool) -> u64 {
     let prep = |engine| {
         prepare_with(
             w,
@@ -77,51 +87,69 @@ fn check_workload(w: &Workload, opt: OptLevel) {
             SCALE,
             &PrepareOpts {
                 engine,
+                validate,
                 ..PrepareOpts::default()
             },
         )
     };
-    let pt = prep(Engine::Tree);
-    let pb = prep(Engine::Bytecode);
+    let preps: Vec<Prepared> = ENGINES.iter().map(|&e| prep(e)).collect();
 
     // The profiling runs inside the pipeline must have produced the same
-    // value-set profiles, hence the same decisions and table plan.
-    assert_eq!(
-        profile_fingerprint(&pt.outcome.profile),
-        profile_fingerprint(&pb.outcome.profile),
-        "{} {opt:?}: pipeline profiles diverged across engines",
-        w.name
-    );
-    assert_eq!(
-        pt.outcome.report.transformed, pb.outcome.report.transformed,
-        "{} {opt:?}: decision counts diverged",
-        w.name
-    );
+    // value-set profiles, hence the same decisions and table plan —
+    // pairwise across every engine.
+    for pair in preps.windows(2) {
+        assert_eq!(
+            profile_fingerprint(&pair[0].outcome.profile),
+            profile_fingerprint(&pair[1].outcome.profile),
+            "{} {opt:?} validate={validate} ({}/{}): pipeline profiles diverged",
+            w.name,
+            pair[0].engine,
+            pair[1].engine,
+        );
+        assert_eq!(
+            pair[0].outcome.report.transformed, pair[1].outcome.report.transformed,
+            "{} {opt:?} validate={validate}: decision counts diverged",
+            w.name
+        );
+    }
 
+    // The specialized prepare carries the mined plan; all engines run
+    // the same modules with it (non-specialized engines ignore it).
+    let ps = &preps[2];
+    let mut guard_probes = 0u64;
     for kind in [InputKind::Default, InputKind::Alt] {
         let input = match kind {
             InputKind::Default => (w.default_input)(SCALE),
             InputKind::Alt => (w.alt_input)(SCALE),
         };
-        for (label, module) in [("base", &pb.base_module), ("memo", &pb.memo_module)] {
-            let tree = run_engine(&pb, module, &input, Engine::Tree);
-            let bc = run_engine(&pb, module, &input, Engine::Bytecode);
-            assert_eq!(
-                outcome_fingerprint(&tree),
-                outcome_fingerprint(&bc),
-                "{} {opt:?} {kind:?} {label}: engines diverged",
-                w.name
-            );
+        for (label, module) in [("base", &ps.base_module), ("memo", &ps.memo_module)] {
+            let outs: Vec<vm::Outcome> = ENGINES
+                .iter()
+                .map(|&e| run_engine(ps, module, &input, e))
+                .collect();
+            for (i, a) in outs.iter().enumerate() {
+                for b in &outs[i + 1..] {
+                    assert_eq!(
+                        outcome_fingerprint(a),
+                        outcome_fingerprint(b),
+                        "{} {opt:?} {kind:?} validate={validate} {label}: engines diverged",
+                        w.name
+                    );
+                }
+            }
+            guard_probes += outs[2].spec.map(|s| s.guard_probes).unwrap_or(0);
         }
     }
+    guard_probes
 }
 
 /// Green-promotion parity (§8g): plan with dependency validation, then
 /// chain a cold run (default inputs, fresh tables) into a warm run
 /// (alternate inputs, reusing the populated tables). The warm run probes
 /// dependency-fingerprinted entries recorded cold — the configuration
-/// where try-mark-green promotes entries — and both engines must agree
-/// on every observable of both runs, green/stale statistics included.
+/// where try-mark-green promotes entries — and all three engines must
+/// agree on every observable of both runs, green/stale statistics
+/// included.
 #[test]
 fn engines_agree_on_green_promoted_hits() {
     let ws = [
@@ -140,6 +168,7 @@ fn engines_agree_on_green_promoted_hits() {
                     SCALE,
                     &PrepareOpts {
                         validate: true,
+                        engine: Engine::Specialized,
                         ..PrepareOpts::default()
                     },
                 );
@@ -154,26 +183,30 @@ fn engines_agree_on_green_promoted_hits() {
                             input: warm_input.clone(),
                             tables: cold.tables.clone(),
                             engine,
+                            spec_plan: p.spec_plan.clone(),
                             ..RunConfig::default()
                         },
                     )
                     .unwrap_or_else(|t| panic!("{} ({engine}): warm trapped: {t}", p.name));
                     (cold, warm)
                 };
-                let (tree_cold, tree_warm) = chain(Engine::Tree);
-                let (bc_cold, bc_warm) = chain(Engine::Bytecode);
-                assert_eq!(
-                    outcome_fingerprint(&tree_cold),
-                    outcome_fingerprint(&bc_cold),
-                    "{}: engines diverged on the cold validated run",
-                    w.name
-                );
-                assert_eq!(
-                    outcome_fingerprint(&tree_warm),
-                    outcome_fingerprint(&bc_warm),
-                    "{}: engines diverged on the green-promoted warm run",
-                    w.name
-                );
+                let chains: Vec<(vm::Outcome, vm::Outcome)> =
+                    ENGINES.iter().map(|&e| chain(e)).collect();
+                for pair in chains.windows(2) {
+                    assert_eq!(
+                        outcome_fingerprint(&pair[0].0),
+                        outcome_fingerprint(&pair[1].0),
+                        "{}: engines diverged on the cold validated run",
+                        w.name
+                    );
+                    assert_eq!(
+                        outcome_fingerprint(&pair[0].1),
+                        outcome_fingerprint(&pair[1].1),
+                        "{}: engines diverged on the green-promoted warm run",
+                        w.name
+                    );
+                }
+                let (tree_cold, tree_warm) = &chains[0];
                 let green: u64 = tree_cold
                     .tables
                     .iter()
@@ -196,17 +229,31 @@ fn engines_agree_on_all_workloads_both_opt_levels() {
         workloads::g721::encode(),
         workloads::g721::decode(),
         workloads::mpeg2::encode(),
+        workloads::mpeg2::decode(),
         workloads::rasta::rasta(),
         workloads::unepic::unepic(),
         workloads::gnugo::gnugo(),
     ];
+    let guard_probes = std::sync::atomic::AtomicU64::new(0);
     std::thread::scope(|s| {
         for w in &ws {
+            let guard_probes = &guard_probes;
             s.spawn(move || {
                 for opt in [OptLevel::O0, OptLevel::O3] {
-                    check_workload(w, opt);
+                    for validate in [false, true] {
+                        let probes = check_workload(w, opt, validate);
+                        guard_probes.fetch_add(probes, std::sync::atomic::Ordering::Relaxed);
+                    }
                 }
             });
         }
     });
+    // The matrix must exercise the specialized tier for real: somewhere
+    // a guard was actually evaluated (otherwise every specialized run
+    // degenerated to generic bytecode and the equivalence above proved
+    // nothing about clones or deopts).
+    assert!(
+        guard_probes.load(std::sync::atomic::Ordering::Relaxed) > 0,
+        "no specialized run ever probed a guard — plans never mined a dominant key"
+    );
 }

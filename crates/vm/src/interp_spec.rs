@@ -1,19 +1,27 @@
-//! The non-recursive bytecode dispatch loop.
+//! The specialized-tier dispatch loop (third engine).
 //!
-//! Executes a [`BcModule`] produced by [`crate::bytecode::compile`] with
-//! MiniC call frames on an explicit stack (no Rust recursion, no
-//! dedicated big-stack thread) and all memo/profile scratch buffers
-//! preallocated on the machine, so the memo hit path — including the
-//! bypassed-table forced-miss probe — performs **zero heap allocations**.
+//! Executes a [`SpecCode`] built by [`crate::specialize::build`]: the
+//! generic bytecode with mined `Super2` fusions substituted in place and
+//! per-segment specialized clones appended. The loop is a copy of
+//! `interp_bc` (same frame layout, same charge points, same memo/profile
+//! region machinery) extended with three things:
 //!
-//! Cycle/energy parity with the tree-walker is a hard contract: every
-//! instruction charges exactly the cost the tree-walker charges at the
-//! corresponding program point, the cycle-budget check runs at the same
-//! points (call entry and loop heads), and traps fire in the same order.
-//! The differential and property tests in `tests/` assert bit-for-bit
-//! equal [`Outcome`]s across engines.
+//! - `Super2(p)` executes both halves of fused pair `p` and advances the
+//!   pc by two (the second half stays in place, so any jump landing on
+//!   it executes it alone);
+//! - `PushKnown` pushes a baked immediate while charging exactly the
+//!   cost of the read it replaced;
+//! - a **guard** at each planned `MemoEnter`: on a table miss with the
+//!   built key equal to the plan's dominant key (and every folded slot
+//!   holding the expected value class), execution jumps to the
+//!   specialized clone; otherwise it *deopts* — falls through to the
+//!   generic body, exactly once per missed probe, charging nothing.
+//!
+//! Observable equivalence with the other two engines is a hard contract
+//! (DESIGN.md §8j); the differential and property suites assert
+//! bit-for-bit equal [`Outcome`]s across all tier pairs.
 
-use crate::bytecode::{op_kind, BcModule, Instr};
+use crate::bytecode::{BcModule, Instr};
 use crate::cost::{cycles_to_seconds, CostModel};
 use crate::deps_rt::DepRuntime;
 use crate::interp::{
@@ -21,6 +29,7 @@ use crate::interp::{
     write_operand_from, Outcome, RunConfig,
 };
 use crate::lower::{Module, WriteCost};
+use crate::specialize::{PairCode, SpecCode, SpecStats};
 use crate::tables::TableHandles;
 use crate::value::{PrintVal, Trap, Value};
 use memo_runtime::TableState;
@@ -38,9 +47,7 @@ struct FrameRec {
     stack_top: usize,
 }
 
-/// A live memo/profile region. Memo regions remember whether the table
-/// was armed (probed) and where their key starts in the shared arena;
-/// profile regions remember the entry cycle count.
+/// A live memo/profile region (see `interp_bc::Region`).
 #[derive(Debug, Clone, Copy)]
 struct Region {
     memo: bool,
@@ -50,11 +57,12 @@ struct Region {
     entry_cycles: u64,
 }
 
-/// Runs a compiled module to completion. Engine-agnostic setup and the
-/// outcome layout match `run_on_current_thread` in `interp` exactly.
-pub(crate) fn run_bc(
+/// Runs a specialized module to completion. Setup and outcome layout
+/// match `interp_bc::run_bc` exactly; `Outcome::spec` additionally
+/// reports the specialization counters.
+pub(crate) fn run_spec(
     module: &Module,
-    bc: &BcModule<'_>,
+    spec: &SpecCode<'_>,
     config: RunConfig,
 ) -> Result<Outcome, Trap> {
     let globals_len = module.globals.len();
@@ -70,9 +78,10 @@ pub(crate) fn run_bc(
         module.table_count,
     );
 
-    let mut m = BcMachine {
+    let mut m = SpecMachine {
         module,
-        bc,
+        spec,
+        bc: &spec.bc,
         mem,
         frame: 0,
         stack_top: globals_len,
@@ -101,10 +110,11 @@ pub(crate) fn run_bc(
         dep_rt: DepRuntime::new(module),
         fp_scratch: Vec::new(),
         validate: config.validate,
-        trace: config
-            .record_trace
-            .then(|| Box::new(crate::specialize::DispatchTrace::new())),
-        parked_trace: None,
+        stats: SpecStats {
+            fused_sites: spec.fused,
+            cloned_segments: spec.cloned,
+            ..SpecStats::default()
+        },
     };
 
     let ret = m.exec()?;
@@ -127,16 +137,18 @@ pub(crate) fn run_bc(
         tables,
         l1,
         profile: m.profiler,
-        trace: m.trace.or(m.parked_trace).map(|b| *b),
-        spec: None,
+        trace: None,
+        spec: Some(m.stats),
     })
 }
 
-struct BcMachine<'m, 'b> {
+struct SpecMachine<'m, 'b> {
     module: &'m Module,
+    spec: &'b SpecCode<'m>,
+    /// `&spec.bc`, held separately so memo/profile helpers read exactly
+    /// like `interp_bc`'s.
     bc: &'b BcModule<'m>,
     mem: Vec<Value>,
-    /// Current frame base (absolute cell index).
     frame: usize,
     stack_top: usize,
     stack_limit: usize,
@@ -154,38 +166,21 @@ struct BcMachine<'m, 'b> {
     loop_counts: Vec<u64>,
     branch_counts: Vec<u64>,
     profiler: Option<crate::profile::ProfileData>,
-    /// Operand stack.
     stack: Vec<Value>,
-    /// Suspended callers.
     frames: Vec<FrameRec>,
-    /// Live memo/profile regions, across all frames (profile nesting is
-    /// observed globally, like the tree-walker's `profile_stack`).
     regions: Vec<Region>,
-    /// Memo/profile key words under construction; nested regions stack
-    /// their keys and truncate back on exit, so capacity is reused.
     key_arena: Vec<u64>,
-    /// Reused lookup-output buffer.
     out_scratch: Vec<u64>,
-    /// Reused record buffer.
     rec_scratch: Vec<u64>,
-    /// Reused ancestor-dedup buffer for profile probes.
     seen_scratch: Vec<u32>,
-    /// Chunk-epoch chains and recording frames for fingerprinted memos.
     dep_rt: DepRuntime,
-    /// Reused fingerprint buffer (cleared per record).
     fp_scratch: Vec<u64>,
-    /// Whether probes of fingerprinted segments run validation.
     validate: bool,
-    /// Dispatch-pair trace, recorded only when `RunConfig::record_trace`
-    /// is set (the pipeline's profiling run). Boxed so the common
-    /// non-recording machine stays small.
-    trace: Option<Box<crate::specialize::DispatchTrace>>,
-    /// A saturated trace, moved out of `trace` so the dispatch loop's
-    /// per-step check goes back to the cheap `None` path.
-    parked_trace: Option<Box<crate::specialize::DispatchTrace>>,
+    /// Guard/fusion counters reported in [`Outcome::spec`].
+    stats: SpecStats,
 }
 
-impl BcMachine<'_, '_> {
+impl SpecMachine<'_, '_> {
     #[inline]
     fn tick(&mut self, n: u64) {
         self.cycles += n;
@@ -221,9 +216,7 @@ impl BcMachine<'_, '_> {
         }
     }
 
-    /// Shared `++`/`--` read-modify-write (the `IncDecFin`/`IncDecLocal`
-    /// bodies): charge `int_alu`, step, charge the write, push old/new
-    /// (elided when `keep` is false — value-discarding position).
+    /// Shared `++`/`--` read-modify-write (see `interp_bc::inc_dec`).
     fn inc_dec(
         &mut self,
         addr: usize,
@@ -256,9 +249,8 @@ impl BcMachine<'_, '_> {
         Ok(())
     }
 
-    /// Pushes a frame for `fid` (whose arguments are the top `nargs`
-    /// operands) and returns its entry pc. Check/charge order matches the
-    /// tree-walker's `call` exactly.
+    /// Pushes a frame for `fid` and returns its entry pc (identical
+    /// check/charge order to `interp_bc::enter_function`).
     fn enter_function(&mut self, fid: u32, nargs: usize, ret_pc: u32) -> Result<u32, Trap> {
         self.check_budget()?;
         if self.depth >= self.max_depth {
@@ -297,20 +289,390 @@ impl BcMachine<'_, '_> {
         Ok(self.bc.entries[fid as usize])
     }
 
-    fn exec(&mut self) -> Result<Value, Trap> {
-        let code: &[Instr] = &self.bc.code;
-        let mut pc = self.enter_function(self.module.main, 0, HALT)?;
-        loop {
-            let instr = &code[pc as usize];
-            if let Some(t) = self.trace.as_deref_mut() {
-                t.step(op_kind(instr));
-                if t.saturated() {
-                    // Budget spent: park the recorder so the rest of the
-                    // run pays only the `None` check every engine pays.
-                    self.parked_trace = self.trace.take();
+    /// Executes one *linear* instruction (both halves of a `Super2` pair
+    /// route through here). Linear instructions never transfer control,
+    /// so no pc is involved; charges and traps are identical to the main
+    /// dispatch arms.
+    fn lin(&mut self, ins: &Instr) -> Result<(), Trap> {
+        match ins {
+            Instr::PushI(v) => self.stack.push(Value::Int(*v)),
+            Instr::PushF(v) => self.stack.push(Value::Float(*v)),
+            Instr::PushFn(f) => self.stack.push(Value::Func(*f)),
+            Instr::PushUninit => self.stack.push(Value::Uninit),
+            Instr::Pop => {
+                self.pop();
+            }
+            Instr::ReadLocal(off) => {
+                self.tick(self.cost.var_access);
+                let v = self.mem[self.frame + *off as usize];
+                self.stack.push(v);
+            }
+            Instr::ReadGlobal(a) => {
+                self.tick(self.cost.mem_access);
+                let v = self.mem[*a as usize];
+                if self.dep_rt.active() {
+                    self.dep_rt.note_read(*a as usize);
+                }
+                self.stack.push(v);
+            }
+            Instr::ReadMem => {
+                let a = self.pop().as_ptr()?;
+                self.tick(self.cost.mem_access);
+                let v = mem_read(&self.mem, a)?;
+                if self.dep_rt.active() {
+                    self.dep_rt.note_read(a);
+                }
+                self.stack.push(v);
+            }
+            Instr::PtrAddRead { stride, cost } => {
+                let i = self.pop().as_int()?;
+                let b = self.pop().as_ptr()?;
+                self.tick(u64::from(*cost));
+                let addr = (b as i64).wrapping_add(i.wrapping_mul(*stride)) as usize;
+                let v = mem_read(&self.mem, addr)?;
+                if self.dep_rt.active() {
+                    self.dep_rt.note_read(addr);
+                }
+                self.stack.push(v);
+            }
+            Instr::ReadIdx {
+                global,
+                base,
+                idx,
+                stride,
+                pre_cost,
+                post_cost,
+            } => {
+                let iv = self.fast_arg(idx);
+                self.tick(u64::from(*pre_cost));
+                let i = iv.as_int()?;
+                self.tick(u64::from(*post_cost));
+                let b = if *global {
+                    *base as usize
+                } else {
+                    self.frame + *base as usize
+                };
+                let addr = (b as i64).wrapping_add(i.wrapping_mul(*stride)) as usize;
+                let v = mem_read(&self.mem, addr)?;
+                if self.dep_rt.active() {
+                    self.dep_rt.note_read(addr);
+                }
+                self.stack.push(v);
+            }
+            Instr::AddrLocal(off) => {
+                self.stack.push(Value::Ptr(self.frame + *off as usize));
+            }
+            Instr::AddrGlobal(a) => self.stack.push(Value::Ptr(*a as usize)),
+            Instr::CheckPtr => {
+                let a = self.pop().as_ptr()?;
+                self.stack.push(Value::Ptr(a));
+            }
+            Instr::PtrAdd(stride) => {
+                let i = self.pop().as_int()?;
+                let b = self.pop().as_ptr()?;
+                self.tick(self.cost.int_alu);
+                let delta = i.wrapping_mul(*stride);
+                self.stack
+                    .push(Value::Ptr((b as i64).wrapping_add(delta) as usize));
+            }
+            Instr::PtrDiff(stride) => {
+                let y = self.pop().as_ptr()? as i64;
+                let x = self.pop().as_ptr()? as i64;
+                self.tick(self.cost.int_alu);
+                self.stack.push(Value::Int((x - y) / *stride));
+            }
+            Instr::Unary(op, c) => {
+                let v = self.pop();
+                self.tick(*c);
+                self.stack.push(unary_value(*op, v)?);
+            }
+            Instr::Binary(op, c) => {
+                let y = self.pop();
+                let x = self.pop();
+                self.tick(*c);
+                self.stack.push(binary_value(*op, x, y)?);
+            }
+            Instr::BinaryFast { op, a, b, cost } => {
+                let x = self.fast_arg(a);
+                let y = self.fast_arg(b);
+                self.tick(*cost);
+                self.stack.push(binary_value(*op, x, y)?);
+            }
+            Instr::Truthy => {
+                let v = self.pop().truthy()?;
+                self.stack.push(Value::Int(i64::from(v)));
+            }
+            Instr::Tick(n) => self.tick(*n),
+            Instr::WhileHead(c) | Instr::ForHead(c) => {
+                self.check_budget()?;
+                self.tick(*c);
+            }
+            Instr::DoHead { loop_idx, cost } => {
+                self.check_budget()?;
+                self.loop_counts[*loop_idx as usize] += 1;
+                self.tick(*cost);
+            }
+            Instr::LoopCount(loop_idx) => {
+                self.loop_counts[*loop_idx as usize] += 1;
+            }
+            Instr::DeclStore { slot, coerce } => {
+                let v = coerce_value(self.pop(), *coerce)?;
+                self.tick(self.cost.var_access);
+                let addr = self.frame + *slot as usize;
+                self.mem[addr] = v;
+            }
+            Instr::Store { coerce, write_cost } => {
+                let v = self.pop();
+                let addr = self.pop().as_ptr()?;
+                let v = coerce_value(v, *coerce)?;
+                self.charge_write(*write_cost);
+                mem_write(&mut self.mem, addr, v)?;
+                self.dep_rt.note_write(addr, v);
+                self.stack.push(v);
+            }
+            Instr::StoreLocal {
+                slot,
+                coerce,
+                write_cost,
+                keep,
+            } => {
+                let v = coerce_value(self.pop(), *coerce)?;
+                self.charge_write(*write_cost);
+                mem_write(&mut self.mem, self.frame + *slot as usize, v)?;
+                if *keep {
+                    self.stack.push(v);
                 }
             }
-            match instr {
+            Instr::LoadDupAddr => {
+                let addr = self.pop().as_ptr()?;
+                let old = mem_read(&self.mem, addr)?;
+                if self.dep_rt.active() {
+                    self.dep_rt.note_read(addr);
+                }
+                self.stack.push(Value::Ptr(addr));
+                self.stack.push(old);
+            }
+            Instr::AssignOpFin {
+                op,
+                cost,
+                coerce,
+                ptr_stride,
+                write_cost,
+            } => {
+                let rhs = self.pop();
+                let old = self.pop();
+                let addr = self.pop().as_ptr()?;
+                self.tick(*cost);
+                let new = match ptr_stride {
+                    Some(stride) => {
+                        let base = old.as_ptr()? as i64;
+                        let step = rhs.as_int()?.wrapping_mul(*stride);
+                        let delta = if *op == BinOp::Sub { -step } else { step };
+                        Value::Ptr(base.wrapping_add(delta) as usize)
+                    }
+                    None => coerce_value(binary_value(*op, old, rhs)?, *coerce)?,
+                };
+                self.charge_write(*write_cost);
+                mem_write(&mut self.mem, addr, new)?;
+                self.dep_rt.note_write(addr, new);
+                self.stack.push(new);
+            }
+            Instr::IncDecFin {
+                delta,
+                post,
+                ptr_stride,
+                write_cost,
+            } => {
+                let addr = self.pop().as_ptr()?;
+                self.inc_dec(addr, *delta, *post, *ptr_stride, *write_cost, true)?;
+            }
+            Instr::IncDecLocal {
+                slot,
+                delta,
+                post,
+                ptr_stride,
+                write_cost,
+                keep,
+            } => {
+                let addr = self.frame + *slot as usize;
+                self.inc_dec(addr, *delta, *post, *ptr_stride, *write_cost, *keep)?;
+            }
+            Instr::CoerceVal(c) => {
+                let v = coerce_value(self.pop(), *c)?;
+                self.stack.push(v);
+            }
+            Instr::CastInt => {
+                let v = self.pop();
+                self.tick(self.cost.int_alu);
+                let v = match v {
+                    Value::Int(x) => Value::Int(x),
+                    Value::Float(x) => Value::Int(x as i64),
+                    Value::Ptr(a) => Value::Int(a as i64),
+                    Value::Uninit => return Err(Trap::UninitRead),
+                    Value::Func(_) => return Err(Trap::TypeConfusion("function")),
+                };
+                self.stack.push(v);
+            }
+            Instr::CastFloat => {
+                let v = self.pop();
+                self.tick(self.cost.float_alu);
+                let v = match v {
+                    Value::Int(x) => Value::Float(x as f64),
+                    Value::Float(x) => Value::Float(x),
+                    Value::Uninit => return Err(Trap::UninitRead),
+                    _ => return Err(Trap::TypeConfusion("pointer")),
+                };
+                self.stack.push(v);
+            }
+            Instr::PushKnown { w, float, cost } => {
+                self.tick(u64::from(*cost));
+                self.stack.push(if *float {
+                    Value::Float(f64::from_bits(*w))
+                } else {
+                    Value::Int(*w as i64)
+                });
+            }
+            _ => unreachable!("non-linear instruction inside a Super2 pair"),
+        }
+        Ok(())
+    }
+
+    fn exec(&mut self) -> Result<Value, Trap> {
+        let code: &[Instr] = &self.spec.bc.code;
+        let mut pc = self.enter_function(self.module.main, 0, HALT)?;
+        loop {
+            match &code[pc as usize] {
+                Instr::Super2(p) => {
+                    match &self.spec.pairs[*p as usize] {
+                        PairCode::PushIBinary { v, op, c } => {
+                            let x = self.pop();
+                            self.tick(*c);
+                            let r = binary_value(*op, x, Value::Int(*v))?;
+                            self.stack.push(r);
+                        }
+                        PairCode::BinaryPushI { op, c, v } => {
+                            let y = self.pop();
+                            let x = self.pop();
+                            self.tick(*c);
+                            let r = binary_value(*op, x, y)?;
+                            self.stack.push(r);
+                            self.stack.push(Value::Int(*v));
+                        }
+                        PairCode::BinaryBinary { op1, c1, op2, c2 } => {
+                            let y = self.pop();
+                            let x = self.pop();
+                            self.tick(*c1);
+                            let r1 = binary_value(*op1, x, y)?;
+                            let x2 = self.pop();
+                            self.tick(*c2);
+                            let r2 = binary_value(*op2, x2, r1)?;
+                            self.stack.push(r2);
+                        }
+                        PairCode::BinaryStore {
+                            op,
+                            c,
+                            slot,
+                            coerce,
+                            write_cost,
+                            keep,
+                        } => {
+                            let y = self.pop();
+                            let x = self.pop();
+                            self.tick(*c);
+                            let v = coerce_value(binary_value(*op, x, y)?, *coerce)?;
+                            self.charge_write(*write_cost);
+                            mem_write(&mut self.mem, self.frame + *slot as usize, v)?;
+                            if *keep {
+                                self.stack.push(v);
+                            }
+                        }
+                        PairCode::FastBinary {
+                            op1,
+                            a,
+                            b,
+                            c1,
+                            op2,
+                            c2,
+                        } => {
+                            let fa = self.fast_arg(a);
+                            let fb = self.fast_arg(b);
+                            self.tick(*c1);
+                            let r1 = binary_value(*op1, fa, fb)?;
+                            let x = self.pop();
+                            self.tick(*c2);
+                            let r2 = binary_value(*op2, x, r1)?;
+                            self.stack.push(r2);
+                        }
+                        PairCode::FastStore {
+                            op,
+                            a,
+                            b,
+                            c,
+                            slot,
+                            coerce,
+                            write_cost,
+                            keep,
+                        } => {
+                            let fa = self.fast_arg(a);
+                            let fb = self.fast_arg(b);
+                            self.tick(*c);
+                            let v = coerce_value(binary_value(*op, fa, fb)?, *coerce)?;
+                            self.charge_write(*write_cost);
+                            mem_write(&mut self.mem, self.frame + *slot as usize, v)?;
+                            if *keep {
+                                self.stack.push(v);
+                            }
+                        }
+                        PairCode::ReadBinary { off, op, c } => {
+                            self.tick(self.cost.var_access);
+                            let v = self.mem[self.frame + *off as usize];
+                            let x = self.pop();
+                            self.tick(*c);
+                            let r = binary_value(*op, x, v)?;
+                            self.stack.push(r);
+                        }
+                        PairCode::ReadFast { off, op, a, b, c } => {
+                            self.tick(self.cost.var_access);
+                            let v = self.mem[self.frame + *off as usize];
+                            self.stack.push(v);
+                            let fa = self.fast_arg(a);
+                            let fb = self.fast_arg(b);
+                            self.tick(*c);
+                            let r = binary_value(*op, fa, fb)?;
+                            self.stack.push(r);
+                        }
+                        PairCode::FastRead { op, a, b, c, off } => {
+                            let fa = self.fast_arg(a);
+                            let fb = self.fast_arg(b);
+                            self.tick(*c);
+                            let r = binary_value(*op, fa, fb)?;
+                            self.stack.push(r);
+                            self.tick(self.cost.var_access);
+                            let v = self.mem[self.frame + *off as usize];
+                            self.stack.push(v);
+                        }
+                        PairCode::CountRead { loop_idx, off } => {
+                            self.loop_counts[*loop_idx as usize] += 1;
+                            self.tick(self.cost.var_access);
+                            let v = self.mem[self.frame + *off as usize];
+                            self.stack.push(v);
+                        }
+                        PairCode::Generic([a, b]) => {
+                            self.lin(a)?;
+                            self.lin(b)?;
+                        }
+                    }
+                    pc += 2;
+                }
+                Instr::PushKnown { w, float, cost } => {
+                    self.tick(u64::from(*cost));
+                    self.stack.push(if *float {
+                        Value::Float(f64::from_bits(*w))
+                    } else {
+                        Value::Int(*w as i64)
+                    });
+                    pc += 1;
+                }
                 Instr::PushI(v) => {
                     self.stack.push(Value::Int(*v));
                     pc += 1;
@@ -784,27 +1146,36 @@ impl BcMachine<'_, '_> {
                     self.profile_exit(*id);
                     pc += 1;
                 }
-                // The generic compiler never emits specialized opcodes;
-                // they exist only in plan-built `SpecCode`.
-                Instr::Super2(_) | Instr::PushKnown { .. } => {
-                    unreachable!("specialized opcode in generic bytecode")
-                }
             }
         }
     }
 
     // ------------------------------------------------------------------
-    // Memo and profile regions
+    // Memo and profile regions (identical to interp_bc except the guard
+    // fork at the end of memo_enter's miss path)
     // ------------------------------------------------------------------
 
-    /// Memo segment entry: mirrors `exec_memo` up to the hit/miss fork.
-    /// Returns the next pc (`hit_target` on a hit, fall-through else).
+    /// Whether every folded slot currently holds the value class the
+    /// guard baked in. An integer key word is bit-identical to a
+    /// pointer's (`read_operand_into` encodes both raw), so a key match
+    /// alone cannot prove the clone's immediates are faithful.
+    fn folds_ok(&self, folds: &[(u32, bool)]) -> bool {
+        folds
+            .iter()
+            .all(|&(off, float)| match self.mem[self.frame + off as usize] {
+                Value::Int(_) => !float,
+                Value::Float(_) => float,
+                _ => false,
+            })
+    }
+
+    /// Memo segment entry. The guard (if one is planned at this pc)
+    /// fires only on a table miss: a matching key jumps to the
+    /// specialized clone, a mismatch deopts — falls through to the
+    /// generic body, exactly once per missed probe. Either way charges
+    /// nothing: the guard is host-side control flow.
     fn memo_enter(&mut self, id: u32, hit_target: u32, pc: u32) -> Result<u32, Trap> {
         let m = self.bc.memos[id as usize];
-        // Bypassed table: pay only the guard branch, run the body with an
-        // unarmed region; the forced-miss probe advances the epoch clock.
-        // Shared stores never take this path — their guard state is per
-        // shard and unknown before the key exists (`TableHandles::state`).
         if self.tables.state(m.table as usize) == TableState::Bypassed {
             self.tick(self.cost.branch);
             self.out_scratch.clear();
@@ -838,9 +1209,6 @@ impl BcMachine<'_, '_> {
         self.tick(self.bc.memo_cost[id as usize]);
         self.table_words += (m.key_words + m.out_words) as u64;
 
-        // Try-mark-green probe: identical charge and validator contract to
-        // the tree-walker's `exec_memo` (fp costs come from the shared
-        // `CostModel`, computed at runtime — `memo_cost` stays exact-match).
         let fp_words = m.fp_words as usize;
         let validating = fp_words > 0 && self.validate;
         if validating {
@@ -901,12 +1269,26 @@ impl BcMachine<'_, '_> {
                 key_start: ks as u32,
                 entry_cycles: 0,
             });
+            // Guard fork: only at the original MemoEnter pc (a cloned
+            // nested MemoEnter sits elsewhere and takes the generic
+            // path). Recording on exit happens under the *live* key in
+            // the arena either way — a specialized run can never create
+            // a specialized-keyed table entry.
+            if let Some(g) = &self.spec.guards[id as usize] {
+                if g.enter_pc == pc {
+                    self.stats.guard_probes += 1;
+                    if self.key_arena[ks..] == g.key[..] && self.folds_ok(&g.folds) {
+                        self.stats.guard_hits += 1;
+                        return Ok(g.target);
+                    }
+                    self.stats.deopts += 1;
+                }
+            }
             Ok(pc + 1)
         }
     }
 
-    /// Reads the segment's outputs into `rec_scratch` (trap parity: the
-    /// tree-walker reads them on every miss exit, recording or not).
+    /// Reads the segment's outputs into `rec_scratch` (trap parity).
     fn read_outputs(&mut self, id: u32) -> Result<(), Trap> {
         let m = self.bc.memos[id as usize];
         self.rec_scratch.clear();
@@ -922,7 +1304,7 @@ impl BcMachine<'_, '_> {
         Ok(())
     }
 
-    /// Memo body fell through its end (`Flow::Normal` in the tree-walker).
+    /// Memo body fell through its end (generic or cloned copy alike).
     fn memo_exit_normal(&mut self, id: u32) -> Result<(), Trap> {
         let r = self.regions.pop().expect("memo region");
         debug_assert!(r.memo && r.id == id, "region stack out of sync");
@@ -952,14 +1334,11 @@ impl BcMachine<'_, '_> {
         } else if tracking {
             self.dep_rt.pop_frame();
         }
-        // A body that memoizes a return value but fell through records
-        // nothing (no bogus return slot), same as the tree-walker.
         self.key_arena.truncate(r.key_start as usize);
         Ok(())
     }
 
-    /// Memo region unwound by `return`; the return value is on top of the
-    /// operand stack (peeked, not popped — outer regions need it too).
+    /// Memo region unwound by `return`.
     fn memo_exit_ret(&mut self, id: u32) -> Result<(), Trap> {
         let r = self.regions.pop().expect("memo region");
         debug_assert!(r.memo && r.id == id, "region stack out of sync");
@@ -996,8 +1375,6 @@ impl BcMachine<'_, '_> {
         } else if tracking {
             self.dep_rt.pop_frame();
         }
-        // ret=None with a Return flow: outputs were read (trap parity)
-        // but nothing is recorded, same as the tree-walker's `_` arm.
         self.key_arena.truncate(r.key_start as usize);
         Ok(())
     }
@@ -1040,9 +1417,6 @@ impl BcMachine<'_, '_> {
             } else {
                 seg.distinct.insert(key.into(), 1);
             }
-            // Count this execution under each distinct active ancestor
-            // (profile regions only, across all frames — the global
-            // nesting view the tree-walker's profile_stack provides).
             self.seen_scratch.clear();
             for r in &self.regions {
                 if r.memo {

@@ -1,11 +1,15 @@
-//! Property test: the tree-walking and bytecode engines produce identical
-//! [`vm::Outcome`]s — output, return value, modelled cycles/energy, table
-//! statistics — on randomized MiniC programs, including trap parity when
-//! the program faults.
+//! Property test: the tree-walking, bytecode, and profile-guided
+//! specialized engines produce identical [`vm::Outcome`]s — output,
+//! return value, modelled cycles/energy, table statistics — on
+//! randomized MiniC programs, including trap parity when the program
+//! faults and deopt parity when a specialization guard fails mid-run.
 
 use compreuse::{run_pipeline, PipelineConfig};
 use proptest::prelude::*;
+use std::sync::Arc;
 use vm::{Engine, RunConfig};
+
+const ENGINES: [Engine; 3] = [Engine::Tree, Engine::Bytecode, Engine::Specialized];
 
 /// A random arithmetic expression over `x`, `i`, and `acc`. With
 /// `div_by` set, a division by `(x - div_by)` is injected so specific
@@ -75,12 +79,14 @@ fn fingerprint(o: &vm::Outcome) -> String {
     )
 }
 
-/// Runs `module` under one engine.
+/// Runs `module` under one engine. The plan is ignored by every engine
+/// except [`Engine::Specialized`].
 fn run_one(
     module: &vm::Module,
     input: &[i64],
     tables: Vec<memo_runtime::MemoTable>,
     engine: Engine,
+    plan: Option<Arc<vm::SpecPlan>>,
 ) -> Result<vm::Outcome, vm::Trap> {
     vm::run(
         module,
@@ -88,30 +94,53 @@ fn run_one(
             input: input.to_vec(),
             tables,
             engine,
+            spec_plan: plan,
             ..RunConfig::default()
         },
     )
 }
 
-/// Both engines on both program versions must agree bit-for-bit (or trap
-/// identically).
+/// All engines on both program versions must agree bit-for-bit (or trap
+/// identically). The specialized tier runs the pipeline's mined plan
+/// when there is one.
 fn assert_engines_agree(outcome: &compreuse::ReuseOutcome, input: &[i64]) {
+    let plan = outcome.spec_plan.clone().map(Arc::new);
     for module in [
         vm::lower(&outcome.baseline),
         vm::lower(&outcome.transformed),
     ] {
-        let tree = run_one(&module, input, outcome.make_tables(), Engine::Tree);
-        let bc = run_one(&module, input, outcome.make_tables(), Engine::Bytecode);
-        match (tree, bc) {
-            (Ok(a), Ok(b)) => assert_eq!(fingerprint(&a), fingerprint(&b)),
-            (Err(a), Err(b)) => assert_eq!(a, b, "engines trapped differently"),
-            (a, b) => panic!(
-                "engines diverged: tree={:?} bytecode={:?}",
-                a.map(|o| o.output_text()),
-                b.map(|o| o.output_text())
-            ),
+        let runs: Vec<Result<vm::Outcome, vm::Trap>> = ENGINES
+            .iter()
+            .map(|&e| run_one(&module, input, outcome.make_tables(), e, plan.clone()))
+            .collect();
+        for pair in runs.windows(2) {
+            match (&pair[0], &pair[1]) {
+                (Ok(a), Ok(b)) => assert_eq!(fingerprint(a), fingerprint(b)),
+                (Err(a), Err(b)) => assert_eq!(a, b, "engines trapped differently"),
+                (a, b) => panic!(
+                    "engines diverged: {:?} vs {:?}",
+                    a.as_ref().map(|o| o.output_text()),
+                    b.as_ref().map(|o| o.output_text())
+                ),
+            }
         }
     }
+}
+
+/// A profiling input dominated by one recurring operand value: `dom`
+/// appears on two of every three calls, the rest cycle over `distinct`
+/// other values. This is the shape the specializer mines — the plan
+/// bakes `dom` into a cloned segment body behind a guard.
+fn dominant_input(dom: i64, distinct: i64, n: usize) -> Vec<i64> {
+    (0..n)
+        .map(|i| {
+            if i % 3 != 0 {
+                dom
+            } else {
+                dom + 1 + (i as i64 * 13) % distinct
+            }
+        })
+        .collect()
 }
 
 /// Like [`program_with`] but with a 32-word global array the hot
@@ -157,8 +186,10 @@ fn run_chained(
     input_b: &[i64],
     engine: Engine,
 ) -> (vm::Outcome, vm::Outcome) {
-    let cold = run_one(module, input_a, outcome.make_tables(), engine).expect("cold run");
-    let warm = run_one(module, input_b, cold.tables.clone(), engine).expect("warm run");
+    let plan = outcome.spec_plan.clone().map(Arc::new);
+    let cold =
+        run_one(module, input_a, outcome.make_tables(), engine, plan.clone()).expect("cold run");
+    let warm = run_one(module, input_b, cold.tables.clone(), engine, plan).expect("warm run");
     (cold, warm)
 }
 
@@ -179,6 +210,7 @@ fn green_promoted_warm_run_matches_from_scratch() {
         &PipelineConfig {
             profile_input: input_a.clone(),
             min_exec: 8,
+            engine: Engine::Specialized,
             ..PipelineConfig::default()
         },
     )
@@ -189,17 +221,102 @@ fn green_promoted_warm_run_matches_from_scratch() {
     );
     let base = vm::lower(&outcome.baseline);
     let memo = vm::lower(&outcome.transformed);
-    let base_b = run_one(&base, &input_b, vec![], Engine::Tree).expect("baseline");
-    let (tree_cold, tree_warm) = run_chained(&memo, &outcome, &input_a, &input_b, Engine::Tree);
-    let (bc_cold, bc_warm) = run_chained(&memo, &outcome, &input_a, &input_b, Engine::Bytecode);
+    let base_b = run_one(&base, &input_b, vec![], Engine::Tree, None).expect("baseline");
+    let chains: Vec<(vm::Outcome, vm::Outcome)> = ENGINES
+        .iter()
+        .map(|&e| run_chained(&memo, &outcome, &input_a, &input_b, e))
+        .collect();
+    let (tree_cold, tree_warm) = &chains[0];
     // §8e: the warm, green-promoted run computes the from-scratch answer.
     assert_eq!(tree_warm.output_text(), base_b.output_text());
     assert_eq!(tree_warm.ret, base_b.ret);
     // Engine parity holds for the whole chain, green stats included.
-    assert_eq!(fingerprint(&tree_cold), fingerprint(&bc_cold));
-    assert_eq!(fingerprint(&tree_warm), fingerprint(&bc_warm));
+    for (cold, warm) in &chains[1..] {
+        assert_eq!(fingerprint(tree_cold), fingerprint(cold));
+        assert_eq!(fingerprint(tree_warm), fingerprint(warm));
+    }
     let green: u64 = tree_warm.tables.iter().map(|t| t.stats().green_hits).sum();
     assert!(green > 0, "warm run promoted no entries green");
+}
+
+/// Deterministic deopt regression (§8j): a segment specialized on a
+/// dominant operand `v`, probed only with values `v' != v`, must fall
+/// back to the generic body exactly once per probe, charge the same
+/// modelled cycles as the generic engine, and never record a table
+/// entry under the baked (specialized) key.
+#[test]
+fn deopt_falls_back_once_per_probe() {
+    let dom = 5i64;
+    let src = program_with("(x * 3 + i)", 10, 4093, None);
+    let profile = dominant_input(dom, 20, 600);
+    let program = minic::parse(&src).expect("template parses");
+    let outcome = run_pipeline(
+        &program,
+        &PipelineConfig {
+            profile_input: profile,
+            min_exec: 8,
+            engine: Engine::Specialized,
+            ..PipelineConfig::default()
+        },
+    )
+    .expect("pipeline");
+    let plan = outcome.spec_plan.clone().map(Arc::new).expect("mined plan");
+    assert!(
+        !plan.dominants.is_empty(),
+        "dominant-operand template must mine a dominant key"
+    );
+    let memo = vm::lower(&outcome.transformed);
+    // Every probe value differs from the baked dominant: each repeats, so
+    // the table hits after the first occurrence; every *miss* evaluates
+    // the guard and must deopt.
+    let probe_input: Vec<i64> = (0..400).map(|i| dom + 30 + (i % 10)).collect();
+    let spec = run_one(
+        &memo,
+        &probe_input,
+        outcome.make_tables(),
+        Engine::Specialized,
+        Some(plan),
+    )
+    .expect("specialized run");
+    let generic = run_one(
+        &memo,
+        &probe_input,
+        outcome.make_tables(),
+        Engine::Bytecode,
+        None,
+    )
+    .expect("generic run");
+    // Identical cycle charges and table statistics (fingerprint covers
+    // cycles, energy bits, and per-table stats).
+    assert_eq!(fingerprint(&spec), fingerprint(&generic));
+    assert_eq!(spec.cycles, generic.cycles);
+    let s = spec.spec.expect("specialized run reports SpecStats");
+    assert!(s.cloned_segments > 0, "plan must clone the hot segment");
+    assert!(s.guard_probes > 0, "misses at the specialized site probe");
+    assert_eq!(s.guard_hits, 0, "no probe carried the dominant value");
+    assert_eq!(s.deopts, s.guard_probes, "exactly one fallback per probe");
+    // No specialized-keyed entry leaked into the tables: a follow-up
+    // generic run probing the dominant value must behave identically on
+    // the specialized run's tables and on the generic run's tables —
+    // both miss the baked key first, then record and reuse it.
+    let dom_probe: Vec<i64> = vec![dom; 8];
+    let after_spec = run_one(
+        &memo,
+        &dom_probe,
+        spec.tables.clone(),
+        Engine::Bytecode,
+        None,
+    )
+    .expect("warm");
+    let after_generic = run_one(
+        &memo,
+        &dom_probe,
+        generic.tables.clone(),
+        Engine::Bytecode,
+        None,
+    )
+    .expect("warm");
+    assert_eq!(fingerprint(&after_spec), fingerprint(&after_generic));
 }
 
 proptest! {
@@ -221,11 +338,59 @@ proptest! {
             &PipelineConfig {
                 profile_input: input.clone(),
                 min_exec: 8,
+                engine: Engine::Specialized,
                 ..PipelineConfig::default()
             },
         )
         .expect("pipeline");
         assert_engines_agree(&outcome, &input);
+    }
+
+    #[test]
+    fn deopt_equals_generic(
+        body in arb_body_expr(),
+        iters in 4u8..16,
+        modulus in 17u32..10_000,
+        dom in 1i64..40,
+        distinct in 3i64..40,
+        n in 200usize..800,
+    ) {
+        // Profile with a dominant operand so the plan bakes `dom`, then
+        // run on values that never carry it: every guard evaluation
+        // fails mid-run, and the specialized observables must equal a
+        // from-scratch generic bytecode run bit for bit.
+        let src = program_with(&body, iters, modulus, None);
+        let profile = dominant_input(dom, distinct, n);
+        let program = minic::parse(&src).expect("template parses");
+        let outcome = run_pipeline(
+            &program,
+            &PipelineConfig {
+                profile_input: profile,
+                min_exec: 8,
+                engine: Engine::Specialized,
+                ..PipelineConfig::default()
+            },
+        )
+        .expect("pipeline");
+        let plan = outcome.spec_plan.clone().map(Arc::new);
+        let memo = vm::lower(&outcome.transformed);
+        let probe: Vec<i64> =
+            (0..n).map(|i| dom + 1 + (i as i64 * 7) % distinct).collect();
+        let spec = run_one(
+            &memo, &probe, outcome.make_tables(), Engine::Specialized, plan,
+        )
+        .expect("specialized run");
+        let generic = run_one(
+            &memo, &probe, outcome.make_tables(), Engine::Bytecode, None,
+        )
+        .expect("generic run");
+        prop_assert_eq!(fingerprint(&spec), fingerprint(&generic));
+        if let Some(s) = spec.spec {
+            if s.cloned_segments > 0 {
+                prop_assert_eq!(s.guard_hits, 0);
+                prop_assert_eq!(s.deopts, s.guard_probes);
+            }
+        }
     }
 
     #[test]
@@ -251,21 +416,25 @@ proptest! {
             &PipelineConfig {
                 profile_input: input_a.clone(),
                 min_exec: 8,
+                engine: Engine::Specialized,
                 ..PipelineConfig::default()
             },
         )
         .expect("pipeline");
         let base = vm::lower(&outcome.baseline);
         let memo = vm::lower(&outcome.transformed);
-        let base_b = run_one(&base, &input_b, vec![], Engine::Tree).expect("baseline");
-        let (tree_cold, tree_warm) =
-            run_chained(&memo, &outcome, &input_a, &input_b, Engine::Tree);
-        let (bc_cold, bc_warm) =
-            run_chained(&memo, &outcome, &input_a, &input_b, Engine::Bytecode);
+        let base_b = run_one(&base, &input_b, vec![], Engine::Tree, None).expect("baseline");
+        let chains: Vec<(vm::Outcome, vm::Outcome)> = ENGINES
+            .iter()
+            .map(|&e| run_chained(&memo, &outcome, &input_a, &input_b, e))
+            .collect();
+        let (tree_cold, tree_warm) = &chains[0];
         prop_assert_eq!(tree_warm.output_text(), base_b.output_text());
         prop_assert_eq!(tree_warm.ret, base_b.ret);
-        prop_assert_eq!(fingerprint(&tree_cold), fingerprint(&bc_cold));
-        prop_assert_eq!(fingerprint(&tree_warm), fingerprint(&bc_warm));
+        for (cold, warm) in &chains[1..] {
+            prop_assert_eq!(fingerprint(tree_cold), fingerprint(cold));
+            prop_assert_eq!(fingerprint(tree_warm), fingerprint(warm));
+        }
     }
 
     #[test]
@@ -288,6 +457,7 @@ proptest! {
             &PipelineConfig {
                 profile_input: profile.clone(),
                 min_exec: 8,
+                engine: Engine::Specialized,
                 ..PipelineConfig::default()
             },
         )
